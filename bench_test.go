@@ -1,0 +1,325 @@
+// Benchmarks regenerating every quantitative result of the paper
+// (experiments E1–E6, see DESIGN.md) plus ablations of the design choices.
+// Each experiment bench runs full simulated trials per iteration and
+// reports the measured simulated latencies as custom metrics, so
+// `go test -bench=. -benchmem` reproduces the paper's numbers alongside
+// the harness's own computational cost.
+package artemis_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/experiment"
+	"artemis/internal/prefix"
+	"artemis/internal/simnet"
+	"artemis/internal/topo"
+)
+
+func benchOpts(seed int64) experiment.Options {
+	cfg := topo.DefaultGenConfig()
+	cfg.Stubs = 150
+	cfg.Transit = 40
+	cfg.Seed = seed
+	return experiment.Options{Seed: seed, Topo: cfg}
+}
+
+// BenchmarkE1_EndToEnd reproduces §3's headline timeline: detection ≈45s,
+// trigger ≈15s, mitigation ≤5min, total ≈6min.
+func BenchmarkE1_EndToEnd(b *testing.B) {
+	var det, trig, mit, tot time.Duration
+	n := 0
+	for i := 0; i < b.N; i++ {
+		env, err := experiment.Build(benchOpts(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := experiment.RunTrial(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !tr.Detected {
+			continue
+		}
+		det += tr.DetectionDelay
+		trig += tr.TriggerDelay
+		mit += tr.MitigationDelay
+		tot += tr.Total
+		n++
+	}
+	if n > 0 {
+		b.ReportMetric(det.Seconds()/float64(n), "detect-s")
+		b.ReportMetric(trig.Seconds()/float64(n), "trigger-s")
+		b.ReportMetric(mit.Seconds()/float64(n), "mitigate-s")
+		b.ReportMetric(tot.Seconds()/float64(n), "total-s")
+	}
+}
+
+// BenchmarkE2_PerSourceDetection reproduces §2's min-of-sources claim.
+func BenchmarkE2_PerSourceDetection(b *testing.B) {
+	for _, src := range []string{experiment.SrcRIS, experiment.SrcBGPmon, experiment.SrcPeriscope, "combined"} {
+		src := src
+		b.Run(src, func(b *testing.B) {
+			var sum time.Duration
+			n := 0
+			for i := 0; i < b.N; i++ {
+				opts := benchOpts(int64(i + 100))
+				if src != "combined" {
+					opts.Sources = []string{src}
+				}
+				env, err := experiment.Build(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr, err := experiment.RunTrial(env)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tr.Detected {
+					sum += tr.DetectionDelay
+					n++
+				}
+			}
+			if n > 0 {
+				b.ReportMetric(sum.Seconds()/float64(n), "detect-s")
+			}
+			b.ReportMetric(float64(n)/float64(b.N), "coverage")
+		})
+	}
+}
+
+// BenchmarkE3_MonitoringTradeoff reproduces the §2 parametrization
+// trade-off: arsenal size vs overhead vs detection speed.
+func BenchmarkE3_MonitoringTradeoff(b *testing.B) {
+	for _, lgs := range []int{2, 8, 32} {
+		lgs := lgs
+		b.Run(map[int]string{2: "lgs-2", 8: "lgs-8", 32: "lgs-32"}[lgs], func(b *testing.B) {
+			var det time.Duration
+			queries, n := 0, 0
+			for i := 0; i < b.N; i++ {
+				opts := benchOpts(int64(i + 200))
+				opts.Sources = []string{experiment.SrcPeriscope}
+				opts.LGCount = lgs
+				env, err := experiment.Build(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr, err := experiment.RunTrial(env)
+				if err != nil {
+					b.Fatal(err)
+				}
+				queries += tr.LGQueries
+				if tr.Detected {
+					det += tr.DetectionDelay
+					n++
+				}
+			}
+			if n > 0 {
+				b.ReportMetric(det.Seconds()/float64(n), "detect-s")
+			}
+			b.ReportMetric(float64(n)/float64(b.N), "coverage")
+			b.ReportMetric(float64(queries)/float64(b.N), "queries/trial")
+		})
+	}
+}
+
+// BenchmarkE4_DeaggregationLimit reproduces the §2 caveat: /22 and /23
+// victims recover fully; a /24 victim cannot be out-specified.
+func BenchmarkE4_DeaggregationLimit(b *testing.B) {
+	for _, bits := range []int{22, 23, 24} {
+		bits := bits
+		b.Run(map[int]string{22: "victim-22", 23: "victim-23", 24: "victim-24"}[bits], func(b *testing.B) {
+			var recovered float64
+			for i := 0; i < b.N; i++ {
+				opts := benchOpts(int64(i + 300))
+				opts.Owned = prefix.New(prefix.MustParseAddr("10.0.0.0"), bits)
+				env, err := experiment.Build(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr, err := experiment.RunTrial(env)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recovered += tr.RecoveredFrac
+			}
+			b.ReportMetric(recovered/float64(b.N), "recovered-frac")
+		})
+	}
+}
+
+// BenchmarkE5_BaselineComparison reproduces §1's argument: the archive
+// pipeline is minutes-to-hours slower, missing most short hijacks.
+func BenchmarkE5_BaselineComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.E5(2, benchOpts(int64(i+400)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ArtemisResponse.Mean.Seconds(), "artemis-s")
+		b.ReportMetric(res.BaselineResponse.Mean.Seconds(), "baseline-s")
+		b.ReportMetric(res.ArtemisCoverage, "artemis-coverage")
+		b.ReportMetric(res.BaselineCoverage, "baseline-coverage")
+	}
+}
+
+// BenchmarkE6_PropagationTimeline regenerates the §4 demo series.
+func BenchmarkE6_PropagationTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.E6(benchOpts(int64(i + 500)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Points)), "samples")
+		b.ReportMetric(res.Trial.Total.Seconds(), "total-s")
+	}
+}
+
+// --- Ablations of design choices (DESIGN.md) ---
+
+// BenchmarkAblation_MRAI: the MRAI dominates the mitigation tail.
+func BenchmarkAblation_MRAI(b *testing.B) {
+	for name, mrai := range map[string]time.Duration{
+		"mrai-0s": simnet.Disabled, "mrai-15s": 15 * time.Second, "mrai-30s": 30 * time.Second,
+	} {
+		mrai := mrai
+		b.Run(name, func(b *testing.B) {
+			var tot time.Duration
+			n := 0
+			for i := 0; i < b.N; i++ {
+				opts := benchOpts(int64(i + 600))
+				opts.Net = simnet.Config{MRAI: mrai}
+				env, err := experiment.Build(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr, err := experiment.RunTrial(env)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tr.Detected {
+					tot += tr.Total
+					n++
+				}
+			}
+			if n > 0 {
+				b.ReportMetric(tot.Seconds()/float64(n), "total-s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_DetectionCriteria: single-source vs all-sources
+// detection (the min-of-delays design).
+func BenchmarkAblation_DetectionCriteria(b *testing.B) {
+	for _, mode := range []string{"streams-only", "all-sources"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			var det time.Duration
+			n := 0
+			for i := 0; i < b.N; i++ {
+				opts := benchOpts(int64(i + 700))
+				if mode == "streams-only" {
+					opts.Sources = []string{experiment.SrcRIS, experiment.SrcBGPmon}
+				}
+				env, err := experiment.Build(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr, err := experiment.RunTrial(env)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tr.Detected {
+					det += tr.DetectionDelay
+					n++
+				}
+			}
+			if n > 0 {
+				b.ReportMetric(det.Seconds()/float64(n), "detect-s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_PrefixIndex: radix trie vs linear scan for
+// longest-prefix match, the detector/monitor hot path.
+func BenchmarkAblation_PrefixIndex(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const nPrefixes = 2000
+	prefixes := make([]prefix.Prefix, nPrefixes)
+	tr := prefix.NewTrie[int]()
+	for i := range prefixes {
+		p := prefix.New(prefix.Addr(rng.Uint32()), 8+rng.Intn(17))
+		prefixes[i] = p
+		tr.Insert(p, i)
+	}
+	addrs := make([]prefix.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = prefix.Addr(rng.Uint32())
+	}
+	b.Run("trie", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr.LongestMatch(addrs[i%len(addrs)])
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := addrs[i%len(addrs)]
+			best, ok := prefix.Prefix{}, false
+			for _, p := range prefixes {
+				if p.ContainsAddr(a) && (!ok || p.Bits() > best.Bits()) {
+					best, ok = p, true
+				}
+			}
+			_ = best
+		}
+	})
+}
+
+// BenchmarkBGPCodec measures the wire codec on a realistic UPDATE.
+func BenchmarkBGPCodec(b *testing.B) {
+	u := &bgp.Update{
+		Attrs: []bgp.PathAttr{
+			&bgp.OriginAttr{Value: bgp.OriginIGP},
+			bgp.NewASPath([]bgp.ASN{65001, 65002, 65003, 196615}),
+			&bgp.NextHopAttr{Addr: prefix.MustParseAddr("192.0.2.1")},
+		},
+		NLRI: []prefix.Prefix{prefix.MustParse("10.0.0.0/23"), prefix.MustParse("10.0.0.0/24")},
+	}
+	wire, err := bgp.Marshal(u, bgp.DefaultOptions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("marshal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bgp.Marshal(u, bgp.DefaultOptions); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bgp.ParseMessage(wire, bgp.DefaultOptions); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSimulatorConvergence measures raw simulator throughput: one
+// announcement flooding a 500-AS Internet.
+func BenchmarkSimulatorConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env, err := experiment.Build(benchOpts(int64(i + 800)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := env.Victim.Announce(env.Net, env.Opts.Owned); err != nil {
+			b.Fatal(err)
+		}
+		env.Engine.RunUntil(10 * time.Minute)
+	}
+}

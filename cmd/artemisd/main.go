@@ -1,0 +1,134 @@
+// artemisd is the ARTEMIS daemon: it connects to live monitoring feeds
+// (a RIS-style WebSocket stream and/or a BGPmon-style XML stream), watches
+// the configured prefixes, and on detection mitigates through a
+// controller's REST API. It is the client side of cmd/simnet.
+//
+//	go run ./cmd/artemisd \
+//	    -prefix 10.0.0.0/23 -origin 61000 \
+//	    -ris ws://127.0.0.1:PORT/v1/ws \
+//	    -bgpmon 127.0.0.1:PORT \
+//	    -controller http://127.0.0.1:PORT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/controller"
+	"artemis/internal/core"
+	"artemis/internal/feeds/bgpmon"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/feeds/ris"
+	"artemis/internal/prefix"
+)
+
+func main() {
+	prefixes := flag.String("prefix", "", "comma-separated owned prefixes (required)")
+	origins := flag.String("origin", "", "comma-separated legitimate origin ASNs (required)")
+	risURL := flag.String("ris", "", "RIS websocket URL (ws://host:port/v1/ws)")
+	bmonAddr := flag.String("bgpmon", "", "BGPmon TCP address (host:port)")
+	ctrlURL := flag.String("controller", "", "controller REST base URL (enables auto-mitigation)")
+	cfgDelay := flag.Duration("config-delay", 15*time.Second, "controller configuration latency")
+	runFor := flag.Duration("run-for", 0, "exit after this wall time (0 = run forever)")
+	flag.Parse()
+
+	cfg := &core.Config{}
+	for _, s := range splitList(*prefixes) {
+		p, err := prefix.Parse(s)
+		if err != nil {
+			log.Fatalf("bad -prefix %q: %v", s, err)
+		}
+		cfg.OwnedPrefixes = append(cfg.OwnedPrefixes, p)
+	}
+	for _, s := range splitList(*origins) {
+		v, err := strconv.ParseUint(s, 10, 32)
+		if err != nil {
+			log.Fatalf("bad -origin %q: %v", s, err)
+		}
+		cfg.LegitOrigins = append(cfg.LegitOrigins, bgp.ASN(v))
+	}
+	cfg.ManualMitigation = *ctrlURL == ""
+
+	var inj controller.RouteInjector = noopInjector{}
+	if *ctrlURL != "" {
+		inj = controller.NewRESTClient(*ctrlURL)
+	}
+	start := time.Now()
+	ctrl := controller.NewReal(inj, controller.WithConfigDelay(*cfgDelay))
+	svc, err := core.NewService(cfg, ctrl, func() time.Duration { return time.Since(start) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc.Detector.OnAlert(func(a core.Alert) {
+		log.Printf("ALERT %s: %s announced by AS%d (collides with owned %s, via %s/%s vp AS%d)",
+			a.Type, a.Prefix, a.Origin, a.Owned, a.Evidence.Source, a.Evidence.Collector, a.Evidence.VantagePoint)
+		if cfg.ManualMitigation {
+			log.Printf("  no -controller configured: mitigation left to the operator")
+		}
+	})
+
+	filter := feedtypes.Filter{Prefixes: cfg.OwnedPrefixes, MoreSpecific: true, LessSpecific: true}
+	connected := 0
+	if *risURL != "" {
+		cli, err := ris.DialClient(*risURL, filter)
+		if err != nil {
+			log.Fatalf("ris: %v", err)
+		}
+		defer cli.Close()
+		go pump("ris", cli.Events(), svc)
+		connected++
+	}
+	if *bmonAddr != "" {
+		cli, err := bgpmon.DialClient(*bmonAddr, filter)
+		if err != nil {
+			log.Fatalf("bgpmon: %v", err)
+		}
+		defer cli.Close()
+		go pump("bgpmon", cli.Events(), svc)
+		connected++
+	}
+	if connected == 0 {
+		log.Fatal("no feeds configured; pass -ris and/or -bgpmon")
+	}
+	fmt.Printf("artemisd watching %v (origins %v) over %d feed(s)\n",
+		cfg.OwnedPrefixes, cfg.LegitOrigins, connected)
+
+	if *runFor > 0 {
+		time.Sleep(*runFor)
+		fmt.Println("run-for elapsed; exiting")
+		return
+	}
+	select {}
+}
+
+func pump(name string, events <-chan feedtypes.Event, svc *core.Service) {
+	for ev := range events {
+		svc.Detector.Process(ev)
+		svc.Monitor.Process(ev)
+	}
+	log.Printf("%s stream closed", name)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		log.Fatal("missing required flag (see -h)")
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// noopInjector is used when no controller is configured: detection-only.
+type noopInjector struct{}
+
+func (noopInjector) AnnounceRoute(prefix.Prefix) error { return nil }
+func (noopInjector) WithdrawRoute(prefix.Prefix) error { return nil }

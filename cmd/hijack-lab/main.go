@@ -1,0 +1,85 @@
+// hijack-lab runs the paper's experiments end to end and prints the
+// tables that EXPERIMENTS.md records.
+//
+//	go run ./cmd/hijack-lab -experiment e1 -trials 30
+//	go run ./cmd/hijack-lab -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"artemis/internal/experiment"
+)
+
+func main() {
+	which := flag.String("experiment", "all", "experiment to run: e1..e6 or all")
+	trials := flag.Int("trials", 10, "trials per configuration (e1 uses 'a few dozen' → 30 in the paper)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	flag.Parse()
+
+	base := experiment.Options{Seed: *seed}
+	run := strings.ToLower(*which)
+	all := run == "all"
+
+	if all || run == "e1" {
+		res, err := experiment.E1(*trials, base)
+		if err != nil {
+			log.Fatalf("E1: %v", err)
+		}
+		fmt.Println(res.Table())
+	}
+	if all || run == "e2" {
+		res, err := experiment.E2(*trials, base)
+		if err != nil {
+			log.Fatalf("E2: %v", err)
+		}
+		fmt.Println(res.Table())
+	}
+	if all || run == "e3" {
+		rows, err := experiment.E3(max(*trials/2, 2),
+			[]int{2, 4, 8, 16, 32},
+			[]string{experiment.SelectRandom, experiment.SelectDegree, experiment.SelectGeo}, base)
+		if err != nil {
+			log.Fatalf("E3: %v", err)
+		}
+		fmt.Println(experiment.E3Table(rows))
+	}
+	if all || run == "e4" {
+		rows, err := experiment.E4(max(*trials/2, 2), []int{22, 23, 24}, base)
+		if err != nil {
+			log.Fatalf("E4: %v", err)
+		}
+		fmt.Println(experiment.E4Table(rows))
+	}
+	if all || run == "e5" {
+		res, err := experiment.E5(max(*trials/2, 2), base)
+		if err != nil {
+			log.Fatalf("E5: %v", err)
+		}
+		fmt.Println(res.Table())
+	}
+	if all || run == "e6" {
+		res, err := experiment.E6(base)
+		if err != nil {
+			log.Fatalf("E6: %v", err)
+		}
+		fmt.Printf("E6 — propagation/mitigation timeline (§4 demo): %d samples, total response %v\n",
+			len(res.Points), res.Trial.Total)
+		for i, p := range res.Points {
+			if i%10 == 0 || i == len(res.Points)-1 {
+				fmt.Printf("  t=%-10v legit=%.0f%% hijackedVPs=%d\n", p.T, 100*p.FractionLegit, p.Hijacked)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,54 @@
+// mrtdump prints the records of an MRT (RFC 6396) file, the format of the
+// archive baseline feed. Reads a file argument or stdin.
+//
+//	go run ./cmd/mrtdump updates.900.mrt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"artemis/internal/bgp"
+	"artemis/internal/bgp/mrt"
+)
+
+func main() {
+	flag.Parse()
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	r := mrt.NewReader(in)
+	for i := 0; ; i++ {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			log.Fatalf("record %d: %v", i, err)
+		}
+		switch m := rec.(type) {
+		case *mrt.BGP4MPMessage:
+			u, ok := m.Message.(*bgp.Update)
+			if !ok {
+				fmt.Printf("%d %v BGP4MP peer=%v %v\n", i, m.Time().Format("15:04:05"), m.PeerAS, m.Message.Type())
+				continue
+			}
+			path, _ := u.ASPath()
+			fmt.Printf("%d %v BGP4MP peer=%v announce=%v withdraw=%v path=%v\n",
+				i, m.Time().Format("15:04:05"), m.PeerAS, u.NLRI, u.Withdrawn, path)
+		case *mrt.PeerIndexTable:
+			fmt.Printf("%d %v PEER_INDEX_TABLE view=%q peers=%d\n", i, m.Time().Format("15:04:05"), m.ViewName, len(m.Peers))
+		case *mrt.RIBEntry:
+			fmt.Printf("%d %v RIB seq=%d prefix=%v routes=%d\n", i, m.Time().Format("15:04:05"), m.Sequence, m.Prefix, len(m.Routes))
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// simnet runs the simulated Internet with all feed servers live, paced
+// against the wall clock, and scripts a hijack — the server side of the
+// demo. Point cmd/artemisd at the printed endpoints.
+//
+//	go run ./cmd/simnet -scale 60 -hijack-after 3m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/controller"
+	"artemis/internal/feeds/bgpmon"
+	"artemis/internal/feeds/ris"
+	"artemis/internal/peering"
+	"artemis/internal/prefix"
+	"artemis/internal/sim"
+	"artemis/internal/simnet"
+	"artemis/internal/topo"
+)
+
+func main() {
+	scale := flag.Float64("scale", 60, "wall-clock compression (60 = 1 sim minute per second)")
+	hijackAfter := flag.Duration("hijack-after", 3*time.Minute, "sim time before the scripted hijack (0 disables)")
+	horizon := flag.Duration("horizon", 30*time.Minute, "sim time to run before exiting")
+	ownedStr := flag.String("prefix", "10.0.0.0/23", "victim prefix")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	owned, err := prefix.Parse(*ownedStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := topo.DefaultGenConfig()
+	cfg.Seed = *seed
+	tp, err := topo.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stub0 := topo.FirstASN + bgp.ASN(cfg.Tier1+cfg.Transit)
+	victim, err := peering.Attach(tp, 61000, []bgp.ASN{stub0, stub0 + 1}, 5*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker, err := peering.Attach(tp, 64666, []bgp.ASN{stub0 + 40, stub0 + 41}, 5*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := sim.NewEngine(*seed)
+	nw := simnet.New(tp, eng, simnet.Config{})
+
+	risSvc := ris.New(nw, []ris.CollectorConfig{
+		{Name: "rrc00", Peers: []bgp.ASN{topo.FirstASN + 10, topo.FirstASN + 25}},
+		{Name: "rrc01", Peers: []bgp.ASN{topo.FirstASN + 40, topo.FirstASN + 55}},
+	})
+	risLn := mustListen()
+	go http.Serve(risLn, ris.NewServer(risSvc))
+
+	bmonSvc := bgpmon.New(nw, bgpmon.Config{Peers: []bgp.ASN{topo.FirstASN + 15, topo.FirstASN + 60}})
+	bmonSrv, err := bgpmon.NewServer(bmonSvc, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bmonSrv.Close()
+
+	ctrl := controller.NewSim(nw, victim.Bind(nw))
+	ctrlLn := mustListen()
+	go http.Serve(ctrlLn, controller.NewRESTServer(ctrl))
+
+	fmt.Printf("simulated Internet: %d ASes (victim AS%d owns %s, attacker AS%d)\n",
+		tp.Len(), victim.ASN, owned, attacker.ASN)
+	fmt.Printf("RIS websocket:    ws://%s/v1/ws\n", risLn.Addr())
+	fmt.Printf("BGPmon XML:       tcp://%s\n", bmonSrv.Addr())
+	fmt.Printf("controller REST:  http://%s/v1/routes\n", ctrlLn.Addr())
+	fmt.Printf("running at %gx for %v of sim time\n\n", *scale, *horizon)
+
+	victim.Announce(nw, owned)
+	if *hijackAfter > 0 {
+		eng.After(*hijackAfter, func() {
+			fmt.Printf("[sim %v] HIJACK: AS%d announces %s\n", eng.Now().Round(time.Second), attacker.ASN, owned)
+			attacker.Announce(nw, owned)
+		})
+	}
+	eng.RunPaced(*scale, *horizon, 5*time.Second)
+	fmt.Println("horizon reached; exiting")
+}
+
+func mustListen() net.Listener {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ln
+}

@@ -1,0 +1,39 @@
+// The SIGCOMM demo (§4): visualize, in (simulated) real time, how a
+// hijack propagates across vantage points around the globe and how the
+// mitigation turns them back to the legitimate origin.
+//
+// Prints the monitoring service's timeline as an ASCII strip chart plus
+// before/during/after world maps of the vantage points.
+//
+//	go run ./examples/demo-visualization
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"artemis/internal/bgp"
+	"artemis/internal/experiment"
+	"artemis/internal/vis"
+)
+
+func main() {
+	res, err := experiment.E6(experiment.Options{Seed: 404})
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	env, tr := res.Env, res.Trial
+
+	fmt.Printf("hijack at t=%v, detected +%v via %s, total response %v\n\n",
+		tr.HijackAt, tr.DetectionDelay, tr.DetectedBy, tr.Total)
+
+	fmt.Println("fraction of vantage points on the legitimate origin over time:")
+	fmt.Print(vis.Timeline(env.Artemis.Monitor.History(), 72, 10))
+	fmt.Println()
+	fmt.Print(vis.TimelineReport(env.Artemis.Monitor.History()))
+	fmt.Println()
+
+	fmt.Println("vantage points at the end of the experiment:")
+	legit := map[bgp.ASN]bool{env.Victim.ASN: true}
+	fmt.Print(vis.WorldMap(env.Topo, env.Artemis.Monitor.VPOrigins(), legit, 72, 18))
+}

@@ -1,0 +1,34 @@
+// Monitoring trade-off (§2): "The system can be parametrized (e.g.,
+// selecting LGs based on location or connectivity) to achieve trade-offs
+// between monitoring overhead and detection efficiency/speed."
+//
+// Sweeps the looking-glass arsenal size and the selection strategy with
+// Periscope as the only feed, printing coverage, detection delay, and
+// query overhead for each configuration.
+//
+//	go run ./examples/monitoring-tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"artemis/internal/experiment"
+)
+
+func main() {
+	rows, err := experiment.E3(
+		3,
+		[]int{2, 4, 8, 16, 32},
+		[]string{experiment.SelectRandom, experiment.SelectDegree, experiment.SelectGeo},
+		experiment.Options{Seed: 300},
+	)
+	if err != nil {
+		log.Fatalf("sweep: %v", err)
+	}
+	fmt.Print(experiment.E3Table(rows))
+	fmt.Println("\nReading the table: more looking glasses raise query cost linearly but")
+	fmt.Println("improve coverage (the chance any monitored view is captured) and cut")
+	fmt.Println("detection delay; connectivity-aware (degree) selection beats random at")
+	fmt.Println("equal cost because high-cone transit ASes see hijacks first.")
+}

@@ -1,0 +1,50 @@
+// Quickstart: the whole ARTEMIS loop in one file.
+//
+// Builds a small synthetic Internet, announces a /23 from a victim AS,
+// hijacks it from another AS, and lets ARTEMIS detect the hijack from the
+// monitoring feeds and mitigate it through the controller by announcing
+// the two /24s. Prints the §3 timeline at the end.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"artemis/internal/experiment"
+	"artemis/internal/hijack"
+)
+
+func main() {
+	env, err := experiment.Build(experiment.Options{Seed: 2016, Kind: hijack.ExactOrigin})
+	if err != nil {
+		log.Fatalf("build testbed: %v", err)
+	}
+	fmt.Printf("synthetic Internet: %d ASes, %d links\n", env.Topo.Len(), env.Topo.Links())
+	fmt.Printf("victim AS%d at muxes %v, attacker AS%d at muxes %v\n",
+		env.Victim.ASN, env.Victim.Muxes, env.Attacker.ASN, env.Attacker.Muxes)
+	fmt.Printf("monitoring: %d vantage points across %d feeds\n\n",
+		len(env.MonitoredVPs), len(env.Sources))
+
+	tr, err := experiment.RunTrial(env)
+	if err != nil {
+		log.Fatalf("trial: %v", err)
+	}
+	if !tr.Detected {
+		log.Fatal("hijack went undetected — increase feed coverage")
+	}
+
+	alert := env.Artemis.Detector.Alerts()[0]
+	fmt.Printf("hijack launched:     t=%v (AS%d announces %s)\n",
+		tr.HijackAt.Round(time.Millisecond), env.Attacker.ASN, alert.Prefix)
+	fmt.Printf("detected:            +%v via %s (%s alert)\n",
+		tr.DetectionDelay.Round(time.Millisecond), tr.DetectedBy, alert.Type)
+	rec := env.Artemis.Mitigator.Records()[0]
+	fmt.Printf("mitigation announced: +%v (de-aggregated into %v)\n",
+		(tr.DetectionDelay + tr.TriggerDelay).Round(time.Millisecond), rec.Prefixes)
+	fmt.Printf("fully mitigated:     +%v (%d ASes had been captured, all recovered)\n",
+		tr.Total.Round(time.Millisecond), tr.EverCaptured)
+	fmt.Printf("\npaper §3 reference: detect ~45s, announce +15s, complete <5min, total ~6min\n")
+}

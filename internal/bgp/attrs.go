@@ -1,0 +1,372 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"artemis/internal/prefix"
+)
+
+// AttrCode identifies a path attribute type (RFC 4271 §5).
+type AttrCode uint8
+
+const (
+	AttrOrigin          AttrCode = 1
+	AttrASPath          AttrCode = 2
+	AttrNextHop         AttrCode = 3
+	AttrMED             AttrCode = 4
+	AttrLocalPref       AttrCode = 5
+	AttrAtomicAggregate AttrCode = 6
+	AttrAggregator      AttrCode = 7
+	AttrCommunities     AttrCode = 8
+	AttrAS4Path         AttrCode = 17
+)
+
+// Attribute flag bits.
+const (
+	flagOptional   = 0x80
+	flagTransitive = 0x40
+	flagPartial    = 0x20
+	flagExtLen     = 0x10
+)
+
+// PathAttr is a decoded BGP path attribute.
+type PathAttr interface {
+	Code() AttrCode
+	// appendValue appends only the attribute value (no type/flags/length).
+	appendValue(dst []byte, opt Options) ([]byte, error)
+	flags() uint8
+}
+
+// Origin values (RFC 4271 §5.1.1).
+const (
+	OriginIGP        uint8 = 0
+	OriginEGP        uint8 = 1
+	OriginIncomplete uint8 = 2
+)
+
+// OriginAttr is ORIGIN (type 1).
+type OriginAttr struct{ Value uint8 }
+
+func (*OriginAttr) Code() AttrCode { return AttrOrigin }
+func (*OriginAttr) flags() uint8   { return flagTransitive }
+func (o *OriginAttr) appendValue(dst []byte, _ Options) ([]byte, error) {
+	return append(dst, o.Value), nil
+}
+
+// AS path segment types (RFC 4271 §5.1.2).
+const (
+	SegSet      uint8 = 1
+	SegSequence uint8 = 2
+)
+
+// ASPathSegment is one segment of an AS_PATH.
+type ASPathSegment struct {
+	Type uint8 // SegSet or SegSequence
+	ASNs []ASN
+}
+
+// ASPathAttr is AS_PATH (type 2).
+type ASPathAttr struct{ Segments []ASPathSegment }
+
+// NewASPath builds a single-sequence AS_PATH, the form every route in the
+// simulator carries.
+func NewASPath(path []ASN) *ASPathAttr {
+	if len(path) == 0 {
+		return &ASPathAttr{}
+	}
+	return &ASPathAttr{Segments: []ASPathSegment{{Type: SegSequence, ASNs: path}}}
+}
+
+func (*ASPathAttr) Code() AttrCode { return AttrASPath }
+func (*ASPathAttr) flags() uint8   { return flagTransitive }
+
+// Flatten expands sequence segments in order; set segments are appended in
+// their listed order too (the simulator never aggregates, so sets only
+// appear in hand-crafted inputs).
+func (a *ASPathAttr) Flatten() []ASN {
+	var out []ASN
+	for _, s := range a.Segments {
+		out = append(out, s.ASNs...)
+	}
+	return out
+}
+
+func (a *ASPathAttr) appendValue(dst []byte, opt Options) ([]byte, error) {
+	for _, s := range a.Segments {
+		if len(s.ASNs) > 255 {
+			return nil, fmt.Errorf("bgp: AS_PATH segment with %d ASNs", len(s.ASNs))
+		}
+		dst = append(dst, s.Type, byte(len(s.ASNs)))
+		for _, asn := range s.ASNs {
+			if opt.AS4 {
+				dst = binary.BigEndian.AppendUint32(dst, uint32(asn))
+			} else {
+				w := asn
+				if w > 0xffff {
+					w = ASTrans
+				}
+				dst = binary.BigEndian.AppendUint16(dst, uint16(w))
+			}
+		}
+	}
+	return dst, nil
+}
+
+func parseASPath(b []byte, as4 bool) (*ASPathAttr, error) {
+	a := &ASPathAttr{}
+	width := 2
+	if as4 {
+		width = 4
+	}
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return nil, NewMessageError(ErrUpdateMessage, ErrSubMalformedASPath, nil, "bgp: truncated AS_PATH segment header")
+		}
+		typ, n := b[0], int(b[1])
+		if typ != SegSet && typ != SegSequence {
+			return nil, NewMessageError(ErrUpdateMessage, ErrSubMalformedASPath, nil, fmt.Sprintf("bgp: AS_PATH segment type %d", typ))
+		}
+		if len(b) < 2+n*width {
+			return nil, NewMessageError(ErrUpdateMessage, ErrSubMalformedASPath, nil, "bgp: truncated AS_PATH segment")
+		}
+		seg := ASPathSegment{Type: typ, ASNs: make([]ASN, n)}
+		for i := 0; i < n; i++ {
+			off := 2 + i*width
+			if as4 {
+				seg.ASNs[i] = ASN(binary.BigEndian.Uint32(b[off : off+4]))
+			} else {
+				seg.ASNs[i] = ASN(binary.BigEndian.Uint16(b[off : off+2]))
+			}
+		}
+		a.Segments = append(a.Segments, seg)
+		b = b[2+n*width:]
+	}
+	return a, nil
+}
+
+// NextHopAttr is NEXT_HOP (type 3).
+type NextHopAttr struct{ Addr prefix.Addr }
+
+func (*NextHopAttr) Code() AttrCode { return AttrNextHop }
+func (*NextHopAttr) flags() uint8   { return flagTransitive }
+func (n *NextHopAttr) appendValue(dst []byte, _ Options) ([]byte, error) {
+	return binary.BigEndian.AppendUint32(dst, uint32(n.Addr)), nil
+}
+
+// MEDAttr is MULTI_EXIT_DISC (type 4).
+type MEDAttr struct{ Value uint32 }
+
+func (*MEDAttr) Code() AttrCode { return AttrMED }
+func (*MEDAttr) flags() uint8   { return flagOptional }
+func (m *MEDAttr) appendValue(dst []byte, _ Options) ([]byte, error) {
+	return binary.BigEndian.AppendUint32(dst, m.Value), nil
+}
+
+// LocalPrefAttr is LOCAL_PREF (type 5).
+type LocalPrefAttr struct{ Value uint32 }
+
+func (*LocalPrefAttr) Code() AttrCode { return AttrLocalPref }
+func (*LocalPrefAttr) flags() uint8   { return flagTransitive }
+func (l *LocalPrefAttr) appendValue(dst []byte, _ Options) ([]byte, error) {
+	return binary.BigEndian.AppendUint32(dst, l.Value), nil
+}
+
+// AtomicAggregateAttr is ATOMIC_AGGREGATE (type 6).
+type AtomicAggregateAttr struct{}
+
+func (*AtomicAggregateAttr) Code() AttrCode { return AttrAtomicAggregate }
+func (*AtomicAggregateAttr) flags() uint8   { return flagTransitive }
+func (*AtomicAggregateAttr) appendValue(dst []byte, _ Options) ([]byte, error) {
+	return dst, nil
+}
+
+// AggregatorAttr is AGGREGATOR (type 7), 4-octet-AS form.
+type AggregatorAttr struct {
+	ASN  ASN
+	Addr prefix.Addr
+}
+
+func (*AggregatorAttr) Code() AttrCode { return AttrAggregator }
+func (*AggregatorAttr) flags() uint8   { return flagOptional | flagTransitive }
+func (a *AggregatorAttr) appendValue(dst []byte, opt Options) ([]byte, error) {
+	if opt.AS4 {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(a.ASN))
+	} else {
+		w := a.ASN
+		if w > 0xffff {
+			w = ASTrans
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(w))
+	}
+	return binary.BigEndian.AppendUint32(dst, uint32(a.Addr)), nil
+}
+
+// Community is a BGP community value (RFC 1997).
+type Community uint32
+
+// CommunitiesAttr is COMMUNITIES (type 8).
+type CommunitiesAttr struct{ Communities []Community }
+
+func (*CommunitiesAttr) Code() AttrCode { return AttrCommunities }
+func (*CommunitiesAttr) flags() uint8   { return flagOptional | flagTransitive }
+func (c *CommunitiesAttr) appendValue(dst []byte, _ Options) ([]byte, error) {
+	for _, v := range c.Communities {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(v))
+	}
+	return dst, nil
+}
+
+// RawAttr preserves an attribute the codec does not model. Flags are kept
+// verbatim so optional transitive attributes survive a decode/encode cycle.
+type RawAttr struct {
+	AttrFlags uint8
+	AttrCode  AttrCode
+	Value     []byte
+}
+
+func (r *RawAttr) Code() AttrCode { return r.AttrCode }
+func (r *RawAttr) flags() uint8   { return r.AttrFlags &^ flagExtLen }
+func (r *RawAttr) appendValue(dst []byte, _ Options) ([]byte, error) {
+	return append(dst, r.Value...), nil
+}
+
+func appendAttr(dst []byte, a PathAttr, opt Options) ([]byte, error) {
+	val, err := a.appendValue(nil, opt)
+	if err != nil {
+		return nil, err
+	}
+	fl := a.flags()
+	if len(val) > 255 {
+		fl |= flagExtLen
+	}
+	dst = append(dst, fl, byte(a.Code()))
+	if fl&flagExtLen != 0 {
+		if len(val) > 0xffff {
+			return nil, fmt.Errorf("bgp: attribute %d value too long", a.Code())
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(val)))
+	} else {
+		dst = append(dst, byte(len(val)))
+	}
+	return append(dst, val...), nil
+}
+
+func parseAttrs(b []byte, opt Options) ([]PathAttr, error) {
+	var out []PathAttr
+	seen := map[AttrCode]bool{}
+	for len(b) > 0 {
+		if len(b) < 3 {
+			return nil, NewMessageError(ErrUpdateMessage, ErrSubMalformedAttributeList, nil, "bgp: truncated attribute header")
+		}
+		fl, code := b[0], AttrCode(b[1])
+		var vlen, hlen int
+		if fl&flagExtLen != 0 {
+			if len(b) < 4 {
+				return nil, NewMessageError(ErrUpdateMessage, ErrSubMalformedAttributeList, nil, "bgp: truncated extended length")
+			}
+			vlen, hlen = int(binary.BigEndian.Uint16(b[2:4])), 4
+		} else {
+			vlen, hlen = int(b[2]), 3
+		}
+		if len(b) < hlen+vlen {
+			return nil, NewMessageError(ErrUpdateMessage, ErrSubAttributeLengthError, nil, "bgp: truncated attribute value")
+		}
+		val := b[hlen : hlen+vlen]
+		b = b[hlen+vlen:]
+		if seen[code] {
+			return nil, NewMessageError(ErrUpdateMessage, ErrSubMalformedAttributeList, nil, fmt.Sprintf("bgp: duplicate attribute %d", code))
+		}
+		seen[code] = true
+
+		a, err := parseAttrValue(fl, code, val, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func fixedLen(code AttrCode, val []byte, want int) error {
+	if len(val) != want {
+		return NewMessageError(ErrUpdateMessage, ErrSubAttributeLengthError, nil, fmt.Sprintf("bgp: attribute %d length %d, want %d", code, len(val), want))
+	}
+	return nil
+}
+
+func parseAttrValue(fl uint8, code AttrCode, val []byte, opt Options) (PathAttr, error) {
+	switch code {
+	case AttrOrigin:
+		if err := fixedLen(code, val, 1); err != nil {
+			return nil, err
+		}
+		if val[0] > OriginIncomplete {
+			return nil, NewMessageError(ErrUpdateMessage, ErrSubInvalidOriginAttribute, val, fmt.Sprintf("bgp: origin %d", val[0]))
+		}
+		return &OriginAttr{Value: val[0]}, nil
+	case AttrASPath:
+		return parseASPath(val, opt.AS4)
+	case AttrAS4Path:
+		// AS4_PATH is always 4-octet regardless of session capability.
+		ap, err := parseASPath(val, true)
+		if err != nil {
+			return nil, err
+		}
+		return &RawAttr{AttrFlags: fl, AttrCode: code, Value: mustValue(ap, Options{AS4: true})}, nil
+	case AttrNextHop:
+		if err := fixedLen(code, val, 4); err != nil {
+			return nil, err
+		}
+		return &NextHopAttr{Addr: prefix.Addr(binary.BigEndian.Uint32(val))}, nil
+	case AttrMED:
+		if err := fixedLen(code, val, 4); err != nil {
+			return nil, err
+		}
+		return &MEDAttr{Value: binary.BigEndian.Uint32(val)}, nil
+	case AttrLocalPref:
+		if err := fixedLen(code, val, 4); err != nil {
+			return nil, err
+		}
+		return &LocalPrefAttr{Value: binary.BigEndian.Uint32(val)}, nil
+	case AttrAtomicAggregate:
+		if err := fixedLen(code, val, 0); err != nil {
+			return nil, err
+		}
+		return &AtomicAggregateAttr{}, nil
+	case AttrAggregator:
+		want := 6
+		if opt.AS4 {
+			want = 8
+		}
+		if err := fixedLen(code, val, want); err != nil {
+			return nil, err
+		}
+		if opt.AS4 {
+			return &AggregatorAttr{ASN: ASN(binary.BigEndian.Uint32(val[:4])), Addr: prefix.Addr(binary.BigEndian.Uint32(val[4:]))}, nil
+		}
+		return &AggregatorAttr{ASN: ASN(binary.BigEndian.Uint16(val[:2])), Addr: prefix.Addr(binary.BigEndian.Uint32(val[2:]))}, nil
+	case AttrCommunities:
+		if len(val)%4 != 0 {
+			return nil, NewMessageError(ErrUpdateMessage, ErrSubAttributeLengthError, nil, "bgp: COMMUNITIES length not a multiple of 4")
+		}
+		c := &CommunitiesAttr{Communities: make([]Community, len(val)/4)}
+		for i := range c.Communities {
+			c.Communities[i] = Community(binary.BigEndian.Uint32(val[4*i:]))
+		}
+		return c, nil
+	default:
+		if fl&flagOptional == 0 {
+			return nil, NewMessageError(ErrUpdateMessage, ErrSubUnrecognizedWellKnownAttr, []byte{byte(code)}, fmt.Sprintf("bgp: unrecognized well-known attribute %d", code))
+		}
+		return &RawAttr{AttrFlags: fl, AttrCode: code, Value: append([]byte(nil), val...)}, nil
+	}
+}
+
+func mustValue(a PathAttr, opt Options) []byte {
+	v, err := a.appendValue(nil, opt)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

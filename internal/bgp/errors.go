@@ -1,0 +1,66 @@
+package bgp
+
+import "fmt"
+
+// Error codes for NOTIFICATION messages (RFC 4271 §4.5 and §6).
+const (
+	ErrMessageHeader    uint8 = 1
+	ErrOpenMessage      uint8 = 2
+	ErrUpdateMessage    uint8 = 3
+	ErrHoldTimerExpired uint8 = 4
+	ErrFSMError         uint8 = 5
+	ErrCease            uint8 = 6
+)
+
+// Message header error subcodes.
+const (
+	ErrSubConnectionNotSynchronized uint8 = 1
+	ErrSubBadMessageLength          uint8 = 2
+	ErrSubBadMessageType            uint8 = 3
+)
+
+// OPEN message error subcodes.
+const (
+	ErrSubUnsupportedVersionNumber uint8 = 1
+	ErrSubBadPeerAS                uint8 = 2
+	ErrSubBadBGPIdentifier         uint8 = 3
+	ErrSubUnacceptableHoldTime     uint8 = 6
+)
+
+// UPDATE message error subcodes.
+const (
+	ErrSubMalformedAttributeList    uint8 = 1
+	ErrSubUnrecognizedWellKnownAttr uint8 = 2
+	ErrSubMissingWellKnownAttr      uint8 = 3
+	ErrSubAttributeFlagsError       uint8 = 4
+	ErrSubAttributeLengthError      uint8 = 5
+	ErrSubInvalidOriginAttribute    uint8 = 6
+	ErrSubInvalidNextHopAttribute   uint8 = 8
+	ErrSubOptionalAttributeError    uint8 = 9
+	ErrSubInvalidNetworkField       uint8 = 10
+	ErrSubMalformedASPath           uint8 = 11
+)
+
+// MessageError is a protocol violation that, on a live session, is reported
+// to the peer as a NOTIFICATION with the carried code/subcode/data.
+type MessageError struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+	msg     string
+}
+
+// NewMessageError builds a MessageError. data may be nil.
+func NewMessageError(code, subcode uint8, data []byte, msg string) *MessageError {
+	return &MessageError{Code: code, Subcode: subcode, Data: data, msg: msg}
+}
+
+func (e *MessageError) Error() string {
+	return fmt.Sprintf("%s (code %d subcode %d)", e.msg, e.Code, e.Subcode)
+}
+
+// Notification converts the error into the NOTIFICATION message a speaker
+// sends before closing the session.
+func (e *MessageError) Notification() *Notification {
+	return &Notification{Code: e.Code, Subcode: e.Subcode, Data: e.Data}
+}

@@ -1,0 +1,269 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"artemis/internal/prefix"
+)
+
+// --- OPEN ---
+
+// Open is the BGP OPEN message (RFC 4271 §4.2). A 4-octet local ASN is
+// carried in the Four-Octet-AS capability with AS_TRANS in the fixed field,
+// exactly as RFC 6793 specifies; Open.ASN always exposes the real ASN.
+type Open struct {
+	Version  uint8 // always 4
+	ASN      ASN
+	HoldTime uint16 // seconds; 0 disables keepalives
+	RouterID prefix.Addr
+	Caps     []Capability
+}
+
+// Capability is a BGP capability (RFC 5492) from the OPEN optional
+// parameters.
+type Capability struct {
+	Code  uint8
+	Value []byte
+}
+
+// Capability codes used by the reproduction.
+const (
+	CapCodeFourOctetAS uint8 = 65
+	capParamType       uint8 = 2
+)
+
+// NewOpen builds an OPEN for a 4-octet-AS speaker.
+func NewOpen(asn ASN, holdTime uint16, routerID prefix.Addr) *Open {
+	return &Open{Version: 4, ASN: asn, HoldTime: holdTime, RouterID: routerID,
+		Caps: []Capability{FourOctetASCap(asn)}}
+}
+
+// FourOctetASCap returns the RFC 6793 capability advertising asn.
+func FourOctetASCap(asn ASN) Capability {
+	v := make([]byte, 4)
+	binary.BigEndian.PutUint32(v, uint32(asn))
+	return Capability{Code: CapCodeFourOctetAS, Value: v}
+}
+
+// FourOctetAS extracts the peer's 4-octet ASN from its capabilities.
+func (o *Open) FourOctetAS() (ASN, bool) {
+	for _, c := range o.Caps {
+		if c.Code == CapCodeFourOctetAS && len(c.Value) == 4 {
+			return ASN(binary.BigEndian.Uint32(c.Value)), true
+		}
+	}
+	return 0, false
+}
+
+func (*Open) Type() MessageType { return MsgOpen }
+
+func (o *Open) marshalBody(dst []byte, _ Options) ([]byte, error) {
+	dst = append(dst, o.Version)
+	wireAS := o.ASN
+	if wireAS > 0xffff {
+		wireAS = ASTrans
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(wireAS))
+	dst = binary.BigEndian.AppendUint16(dst, o.HoldTime)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(o.RouterID))
+	// Optional parameters: each capability in its own parameter, the common
+	// layout emitted by real speakers.
+	var params []byte
+	for _, c := range o.Caps {
+		if len(c.Value) > 255 {
+			return nil, fmt.Errorf("bgp: capability %d value too long", c.Code)
+		}
+		params = append(params, capParamType, byte(2+len(c.Value)), c.Code, byte(len(c.Value)))
+		params = append(params, c.Value...)
+	}
+	if len(params) > 255 {
+		return nil, fmt.Errorf("bgp: optional parameters too long (%d bytes)", len(params))
+	}
+	dst = append(dst, byte(len(params)))
+	return append(dst, params...), nil
+}
+
+func parseOpen(b []byte) (*Open, error) {
+	if len(b) < 10 {
+		return nil, NewMessageError(ErrOpenMessage, ErrSubBadMessageLength, nil, "bgp: short OPEN")
+	}
+	o := &Open{
+		Version:  b[0],
+		ASN:      ASN(binary.BigEndian.Uint16(b[1:3])),
+		HoldTime: binary.BigEndian.Uint16(b[3:5]),
+		RouterID: prefix.Addr(binary.BigEndian.Uint32(b[5:9])),
+	}
+	if o.Version != 4 {
+		return nil, NewMessageError(ErrOpenMessage, ErrSubUnsupportedVersionNumber, []byte{0, 4}, fmt.Sprintf("bgp: version %d", o.Version))
+	}
+	optLen := int(b[9])
+	opts := b[10:]
+	if len(opts) != optLen {
+		return nil, NewMessageError(ErrOpenMessage, ErrSubBadMessageLength, nil, "bgp: OPEN optional parameter length mismatch")
+	}
+	for len(opts) > 0 {
+		if len(opts) < 2 {
+			return nil, NewMessageError(ErrOpenMessage, ErrSubBadMessageLength, nil, "bgp: truncated optional parameter")
+		}
+		ptype, plen := opts[0], int(opts[1])
+		if len(opts) < 2+plen {
+			return nil, NewMessageError(ErrOpenMessage, ErrSubBadMessageLength, nil, "bgp: truncated optional parameter")
+		}
+		val := opts[2 : 2+plen]
+		opts = opts[2+plen:]
+		if ptype != capParamType {
+			continue // unknown parameter types are skipped
+		}
+		for len(val) > 0 {
+			if len(val) < 2 || len(val) < 2+int(val[1]) {
+				return nil, NewMessageError(ErrOpenMessage, ErrSubBadMessageLength, nil, "bgp: truncated capability")
+			}
+			clen := int(val[1])
+			o.Caps = append(o.Caps, Capability{Code: val[0], Value: append([]byte(nil), val[2:2+clen]...)})
+			val = val[2+clen:]
+		}
+	}
+	if as4, ok := o.FourOctetAS(); ok {
+		o.ASN = as4
+	}
+	return o, nil
+}
+
+// --- UPDATE ---
+
+// Update is the BGP UPDATE message (RFC 4271 §4.3).
+type Update struct {
+	Withdrawn []prefix.Prefix
+	Attrs     []PathAttr
+	NLRI      []prefix.Prefix
+}
+
+func (*Update) Type() MessageType { return MsgUpdate }
+
+func (u *Update) marshalBody(dst []byte, opt Options) ([]byte, error) {
+	wd := appendNLRI(nil, u.Withdrawn)
+	if len(wd) > 0xffff {
+		return nil, fmt.Errorf("bgp: withdrawn routes too long")
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(wd)))
+	dst = append(dst, wd...)
+
+	var attrs []byte
+	for _, a := range u.Attrs {
+		var err error
+		attrs, err = appendAttr(attrs, a, opt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(attrs) > 0xffff {
+		return nil, fmt.Errorf("bgp: path attributes too long")
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(attrs)))
+	dst = append(dst, attrs...)
+	return appendNLRI(dst, u.NLRI), nil
+}
+
+func parseUpdate(b []byte, opt Options) (*Update, error) {
+	if len(b) < 4 {
+		return nil, NewMessageError(ErrUpdateMessage, ErrSubMalformedAttributeList, nil, "bgp: short UPDATE")
+	}
+	wdLen := int(binary.BigEndian.Uint16(b[:2]))
+	if len(b) < 2+wdLen+2 {
+		return nil, NewMessageError(ErrUpdateMessage, ErrSubMalformedAttributeList, nil, "bgp: truncated withdrawn routes")
+	}
+	u := &Update{}
+	var err error
+	if u.Withdrawn, err = parseNLRI(b[2 : 2+wdLen]); err != nil {
+		return nil, err
+	}
+	rest := b[2+wdLen:]
+	attrLen := int(binary.BigEndian.Uint16(rest[:2]))
+	if len(rest) < 2+attrLen {
+		return nil, NewMessageError(ErrUpdateMessage, ErrSubMalformedAttributeList, nil, "bgp: truncated path attributes")
+	}
+	if u.Attrs, err = parseAttrs(rest[2:2+attrLen], opt); err != nil {
+		return nil, err
+	}
+	if u.NLRI, err = parseNLRI(rest[2+attrLen:]); err != nil {
+		return nil, err
+	}
+	if len(u.NLRI) > 0 {
+		if err := u.checkMandatoryAttrs(); err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
+
+// checkMandatoryAttrs enforces RFC 4271 §6.3: an UPDATE that advertises
+// NLRI must carry ORIGIN, AS_PATH and NEXT_HOP.
+func (u *Update) checkMandatoryAttrs() error {
+	need := map[AttrCode]bool{AttrOrigin: true, AttrASPath: true, AttrNextHop: true}
+	for _, a := range u.Attrs {
+		delete(need, a.Code())
+	}
+	for code := range need {
+		return NewMessageError(ErrUpdateMessage, ErrSubMissingWellKnownAttr, []byte{byte(code)}, fmt.Sprintf("bgp: missing mandatory attribute %d", code))
+	}
+	return nil
+}
+
+// ASPath returns the flattened AS_PATH (sequence segments expanded in
+// order) and true when present.
+func (u *Update) ASPath() ([]ASN, bool) {
+	for _, a := range u.Attrs {
+		if ap, ok := a.(*ASPathAttr); ok {
+			return ap.Flatten(), true
+		}
+	}
+	return nil, false
+}
+
+// Origin returns the origin AS — the last element of the AS_PATH — and
+// true when the path is non-empty. This is the field ARTEMIS's detector
+// checks against the legitimate origin set.
+func (u *Update) Origin() (ASN, bool) {
+	path, ok := u.ASPath()
+	if !ok || len(path) == 0 {
+		return 0, false
+	}
+	return path[len(path)-1], true
+}
+
+// --- NOTIFICATION ---
+
+// Notification is the BGP NOTIFICATION message (RFC 4271 §4.5).
+type Notification struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+}
+
+func (*Notification) Type() MessageType { return MsgNotification }
+
+func (n *Notification) marshalBody(dst []byte, _ Options) ([]byte, error) {
+	dst = append(dst, n.Code, n.Subcode)
+	return append(dst, n.Data...), nil
+}
+
+func parseNotification(b []byte) (*Notification, error) {
+	if len(b) < 2 {
+		return nil, NewMessageError(ErrMessageHeader, ErrSubBadMessageLength, nil, "bgp: short NOTIFICATION")
+	}
+	return &Notification{Code: b[0], Subcode: b[1], Data: append([]byte(nil), b[2:]...)}, nil
+}
+
+func (n *Notification) Error() string {
+	return fmt.Sprintf("bgp: notification code %d subcode %d", n.Code, n.Subcode)
+}
+
+// --- KEEPALIVE ---
+
+// Keepalive is the (bodyless) BGP KEEPALIVE message.
+type Keepalive struct{}
+
+func (*Keepalive) Type() MessageType { return MsgKeepalive }
+
+func (*Keepalive) marshalBody(dst []byte, _ Options) ([]byte, error) { return dst, nil }

@@ -1,0 +1,375 @@
+// Package mrt implements the MRT export format (RFC 6396) that RouteViews
+// and RIPE RIS use for their archived BGP data: BGP4MP update records and
+// TABLE_DUMP_V2 RIB snapshots.
+//
+// In the paper's framing, these archives are the *slow* path — full RIBs
+// every 2 hours, update files every 15 minutes — that make third-party
+// hijack detection too late for short-lived events. The reproduction's
+// baseline detector (internal/feeds/dumps) consumes exactly this format so
+// the ARTEMIS-vs-archive comparison (experiment E5) exercises a faithful
+// pipeline, not a toy stand-in.
+package mrt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/prefix"
+)
+
+// Record types and subtypes used by the reproduction (RFC 6396 §4).
+const (
+	TypeTableDumpV2 uint16 = 13
+	TypeBGP4MP      uint16 = 16
+
+	SubtypePeerIndexTable   uint16 = 1
+	SubtypeRIBIPv4Unicast   uint16 = 2
+	SubtypeBGP4MPMessageAS4 uint16 = 4
+)
+
+// Record is a decoded MRT record: one of *BGP4MPMessage, *PeerIndexTable,
+// or *RIBEntry.
+type Record interface {
+	// Timestamp is the capture time carried in the MRT common header.
+	Time() time.Time
+	appendBody(dst []byte) ([]byte, error)
+	typeSubtype() (uint16, uint16)
+}
+
+// BGP4MPMessage is a BGP4MP_MESSAGE_AS4 record: one BGP message as seen on
+// a collector's peering session.
+type BGP4MPMessage struct {
+	Timestamp time.Time
+	PeerAS    bgp.ASN
+	LocalAS   bgp.ASN
+	Interface uint16
+	PeerIP    prefix.Addr
+	LocalIP   prefix.Addr
+	Message   bgp.Message
+}
+
+func (m *BGP4MPMessage) Time() time.Time               { return m.Timestamp }
+func (m *BGP4MPMessage) typeSubtype() (uint16, uint16) { return TypeBGP4MP, SubtypeBGP4MPMessageAS4 }
+
+const afiIPv4 uint16 = 1
+
+func (m *BGP4MPMessage) appendBody(dst []byte) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.PeerAS))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.LocalAS))
+	dst = binary.BigEndian.AppendUint16(dst, m.Interface)
+	dst = binary.BigEndian.AppendUint16(dst, afiIPv4)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.PeerIP))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.LocalIP))
+	msg, err := bgp.Marshal(m.Message, bgp.DefaultOptions)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, msg...), nil
+}
+
+func parseBGP4MP(ts time.Time, b []byte) (*BGP4MPMessage, error) {
+	if len(b) < 20 {
+		return nil, fmt.Errorf("mrt: short BGP4MP body (%d bytes)", len(b))
+	}
+	afi := binary.BigEndian.Uint16(b[10:12])
+	if afi != afiIPv4 {
+		return nil, fmt.Errorf("mrt: unsupported AFI %d", afi)
+	}
+	msg, err := bgp.ParseMessage(b[20:], bgp.DefaultOptions)
+	if err != nil {
+		return nil, fmt.Errorf("mrt: embedded BGP message: %w", err)
+	}
+	return &BGP4MPMessage{
+		Timestamp: ts,
+		PeerAS:    bgp.ASN(binary.BigEndian.Uint32(b[0:4])),
+		LocalAS:   bgp.ASN(binary.BigEndian.Uint32(b[4:8])),
+		Interface: binary.BigEndian.Uint16(b[8:10]),
+		PeerIP:    prefix.Addr(binary.BigEndian.Uint32(b[12:16])),
+		LocalIP:   prefix.Addr(binary.BigEndian.Uint32(b[16:20])),
+		Message:   msg,
+	}, nil
+}
+
+// Peer describes one collector peer in a PEER_INDEX_TABLE.
+type Peer struct {
+	BGPID prefix.Addr
+	IP    prefix.Addr
+	AS    bgp.ASN
+}
+
+// PeerIndexTable is the TABLE_DUMP_V2 peer index that RIB entries refer
+// into by position.
+type PeerIndexTable struct {
+	Timestamp   time.Time
+	CollectorID prefix.Addr
+	ViewName    string
+	Peers       []Peer
+}
+
+func (p *PeerIndexTable) Time() time.Time { return p.Timestamp }
+func (p *PeerIndexTable) typeSubtype() (uint16, uint16) {
+	return TypeTableDumpV2, SubtypePeerIndexTable
+}
+
+func (p *PeerIndexTable) appendBody(dst []byte) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(p.CollectorID))
+	if len(p.ViewName) > 0xffff {
+		return nil, fmt.Errorf("mrt: view name too long")
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(p.ViewName)))
+	dst = append(dst, p.ViewName...)
+	if len(p.Peers) > 0xffff {
+		return nil, fmt.Errorf("mrt: too many peers")
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(p.Peers)))
+	for _, pe := range p.Peers {
+		dst = append(dst, 0x02) // IPv4 address, 4-octet AS
+		dst = binary.BigEndian.AppendUint32(dst, uint32(pe.BGPID))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(pe.IP))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(pe.AS))
+	}
+	return dst, nil
+}
+
+func parsePeerIndexTable(ts time.Time, b []byte) (*PeerIndexTable, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("mrt: short PEER_INDEX_TABLE")
+	}
+	p := &PeerIndexTable{Timestamp: ts, CollectorID: prefix.Addr(binary.BigEndian.Uint32(b[:4]))}
+	nameLen := int(binary.BigEndian.Uint16(b[4:6]))
+	if len(b) < 6+nameLen+2 {
+		return nil, fmt.Errorf("mrt: truncated view name")
+	}
+	p.ViewName = string(b[6 : 6+nameLen])
+	b = b[6+nameLen:]
+	count := int(binary.BigEndian.Uint16(b[:2]))
+	b = b[2:]
+	for i := 0; i < count; i++ {
+		if len(b) < 1 {
+			return nil, fmt.Errorf("mrt: truncated peer entry")
+		}
+		typ := b[0]
+		if typ&0x01 != 0 {
+			return nil, fmt.Errorf("mrt: IPv6 peer not supported")
+		}
+		ipLen, asLen := 4, 2
+		if typ&0x02 != 0 {
+			asLen = 4
+		}
+		need := 1 + 4 + ipLen + asLen
+		if len(b) < need {
+			return nil, fmt.Errorf("mrt: truncated peer entry")
+		}
+		pe := Peer{
+			BGPID: prefix.Addr(binary.BigEndian.Uint32(b[1:5])),
+			IP:    prefix.Addr(binary.BigEndian.Uint32(b[5:9])),
+		}
+		if asLen == 4 {
+			pe.AS = bgp.ASN(binary.BigEndian.Uint32(b[9:13]))
+		} else {
+			pe.AS = bgp.ASN(binary.BigEndian.Uint16(b[9:11]))
+		}
+		p.Peers = append(p.Peers, pe)
+		b = b[need:]
+	}
+	return p, nil
+}
+
+// RIBPeerRoute is one peer's route for the prefix of a RIB entry.
+type RIBPeerRoute struct {
+	PeerIndex  uint16
+	Originated time.Time
+	Attrs      []bgp.PathAttr
+}
+
+// RIBEntry is a TABLE_DUMP_V2 RIB_IPV4_UNICAST record: every peer's route
+// for one prefix at snapshot time.
+type RIBEntry struct {
+	Timestamp time.Time
+	Sequence  uint32
+	Prefix    prefix.Prefix
+	Routes    []RIBPeerRoute
+}
+
+func (r *RIBEntry) Time() time.Time               { return r.Timestamp }
+func (r *RIBEntry) typeSubtype() (uint16, uint16) { return TypeTableDumpV2, SubtypeRIBIPv4Unicast }
+
+func (r *RIBEntry) appendBody(dst []byte) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint32(dst, r.Sequence)
+	dst = append(dst, byte(r.Prefix.Bits()))
+	n := (r.Prefix.Bits() + 7) / 8
+	a := uint32(r.Prefix.Addr())
+	for i := 0; i < n; i++ {
+		dst = append(dst, byte(a>>(24-8*uint(i))))
+	}
+	if len(r.Routes) > 0xffff {
+		return nil, fmt.Errorf("mrt: too many RIB routes")
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Routes)))
+	for _, rt := range r.Routes {
+		dst = binary.BigEndian.AppendUint16(dst, rt.PeerIndex)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(rt.Originated.Unix()))
+		attrs, err := marshalAttrs(rt.Attrs)
+		if err != nil {
+			return nil, err
+		}
+		if len(attrs) > 0xffff {
+			return nil, fmt.Errorf("mrt: RIB attributes too long")
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(attrs)))
+		dst = append(dst, attrs...)
+	}
+	return dst, nil
+}
+
+func parseRIBEntry(ts time.Time, b []byte) (*RIBEntry, error) {
+	if len(b) < 5 {
+		return nil, fmt.Errorf("mrt: short RIB entry")
+	}
+	r := &RIBEntry{Timestamp: ts, Sequence: binary.BigEndian.Uint32(b[:4])}
+	bits := int(b[4])
+	if bits > 32 {
+		return nil, fmt.Errorf("mrt: RIB prefix length %d", bits)
+	}
+	n := (bits + 7) / 8
+	if len(b) < 5+n+2 {
+		return nil, fmt.Errorf("mrt: truncated RIB prefix")
+	}
+	var a uint32
+	for i := 0; i < n; i++ {
+		a |= uint32(b[5+i]) << (24 - 8*uint(i))
+	}
+	r.Prefix = prefix.New(prefix.Addr(a), bits)
+	b = b[5+n:]
+	count := int(binary.BigEndian.Uint16(b[:2]))
+	b = b[2:]
+	for i := 0; i < count; i++ {
+		if len(b) < 8 {
+			return nil, fmt.Errorf("mrt: truncated RIB route")
+		}
+		rt := RIBPeerRoute{
+			PeerIndex:  binary.BigEndian.Uint16(b[:2]),
+			Originated: time.Unix(int64(binary.BigEndian.Uint32(b[2:6])), 0).UTC(),
+		}
+		alen := int(binary.BigEndian.Uint16(b[6:8]))
+		if len(b) < 8+alen {
+			return nil, fmt.Errorf("mrt: truncated RIB attributes")
+		}
+		attrs, err := parseAttrsViaUpdate(b[8 : 8+alen])
+		if err != nil {
+			return nil, err
+		}
+		rt.Attrs = attrs
+		r.Routes = append(r.Routes, rt)
+		b = b[8+alen:]
+	}
+	return r, nil
+}
+
+// marshalAttrs encodes a bare path-attribute block by round-tripping
+// through an UPDATE body, reusing the bgp package's attribute codec.
+func marshalAttrs(attrs []bgp.PathAttr) ([]byte, error) {
+	u := &bgp.Update{Attrs: attrs}
+	msg, err := bgp.Marshal(u, bgp.DefaultOptions)
+	if err != nil {
+		return nil, err
+	}
+	body := msg[bgp.HeaderLen:]
+	// body = 2-byte withdrawn len (0) + 2-byte attr len + attrs
+	attrLen := int(binary.BigEndian.Uint16(body[2:4]))
+	return body[4 : 4+attrLen], nil
+}
+
+func parseAttrsViaUpdate(attrBytes []byte) ([]bgp.PathAttr, error) {
+	body := make([]byte, 0, 4+len(attrBytes))
+	body = binary.BigEndian.AppendUint16(body, 0)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(attrBytes)))
+	body = append(body, attrBytes...)
+	full := make([]byte, bgp.HeaderLen, bgp.HeaderLen+len(body))
+	for i := 0; i < 16; i++ {
+		full[i] = 0xff
+	}
+	full = append(full, body...)
+	binary.BigEndian.PutUint16(full[16:18], uint16(len(full)))
+	full[18] = byte(bgp.MsgUpdate)
+	m, err := bgp.ParseMessage(full, bgp.DefaultOptions)
+	if err != nil {
+		return nil, fmt.Errorf("mrt: RIB attributes: %w", err)
+	}
+	return m.(*bgp.Update).Attrs, nil
+}
+
+// Marshal encodes a full MRT record (common header + body).
+func Marshal(r Record) ([]byte, error) {
+	typ, sub := r.typeSubtype()
+	hdr := make([]byte, 0, 12)
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(r.Time().Unix()))
+	hdr = binary.BigEndian.AppendUint16(hdr, typ)
+	hdr = binary.BigEndian.AppendUint16(hdr, sub)
+	body, err := r.appendBody(nil)
+	if err != nil {
+		return nil, err
+	}
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(body)))
+	return append(hdr, body...), nil
+}
+
+// Writer writes MRT records to an underlying stream.
+type Writer struct{ w io.Writer }
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Write encodes and writes one record.
+func (w *Writer) Write(r Record) error {
+	b, err := Marshal(r)
+	if err != nil {
+		return err
+	}
+	_, err = w.w.Write(b)
+	return err
+}
+
+// Reader reads MRT records from an underlying stream.
+type Reader struct{ r io.Reader }
+
+// NewReader returns a Reader consuming from r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// maxRecordLen bounds a single MRT record; real RIB entries stay far below
+// this, and the cap keeps a corrupt length field from allocating gigabytes.
+const maxRecordLen = 1 << 20
+
+// Next reads the next record. It returns io.EOF at a clean end of stream.
+func (r *Reader) Next() (Record, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("mrt: truncated header: %w", err)
+		}
+		return nil, err
+	}
+	ts := time.Unix(int64(binary.BigEndian.Uint32(hdr[:4])), 0).UTC()
+	typ := binary.BigEndian.Uint16(hdr[4:6])
+	sub := binary.BigEndian.Uint16(hdr[6:8])
+	length := binary.BigEndian.Uint32(hdr[8:12])
+	if length > maxRecordLen {
+		return nil, fmt.Errorf("mrt: record length %d exceeds cap", length)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		return nil, fmt.Errorf("mrt: truncated body: %w", err)
+	}
+	switch {
+	case typ == TypeBGP4MP && sub == SubtypeBGP4MPMessageAS4:
+		return parseBGP4MP(ts, body)
+	case typ == TypeTableDumpV2 && sub == SubtypePeerIndexTable:
+		return parsePeerIndexTable(ts, body)
+	case typ == TypeTableDumpV2 && sub == SubtypeRIBIPv4Unicast:
+		return parseRIBEntry(ts, body)
+	}
+	return nil, fmt.Errorf("mrt: unsupported record type %d subtype %d", typ, sub)
+}

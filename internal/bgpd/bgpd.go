@@ -1,0 +1,295 @@
+// Package bgpd is a minimal BGP-4 speaker over TCP: session establishment
+// (OPEN exchange with 4-octet-AS capability, RFC 4271 §8 happy path),
+// keepalives, hold-timer enforcement, and UPDATE exchange using the wire
+// codec from internal/bgp.
+//
+// It is the southbound of the SDN controller (internal/controller): when
+// ARTEMIS triggers mitigation, the controller originates the de-aggregated
+// prefixes by sending UPDATEs over a bgpd session to the AS's border
+// router — the "network controller that supports BGP, like ONOS or
+// OpenDayLight" of §2.
+package bgpd
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/prefix"
+)
+
+// Config describes the local end of a session.
+type Config struct {
+	LocalAS  bgp.ASN
+	RouterID prefix.Addr
+	// PeerAS, when non-zero, is enforced against the remote OPEN.
+	PeerAS bgp.ASN
+	// HoldTime in seconds (default 90; keepalives at a third of it).
+	HoldTime uint16
+}
+
+func (c Config) withDefaults() Config {
+	if c.HoldTime == 0 {
+		c.HoldTime = 90
+	}
+	return c
+}
+
+// ErrSessionClosed is returned once the session has terminated.
+var ErrSessionClosed = errors.New("bgpd: session closed")
+
+// Session is an established BGP session.
+type Session struct {
+	conn    net.Conn
+	cfg     Config
+	peerAS  bgp.ASN
+	peerID  prefix.Addr
+	updates chan *bgp.Update
+
+	wmu      sync.Mutex
+	closeOne sync.Once
+	closed   chan struct{}
+	err      error
+	errMu    sync.Mutex
+}
+
+// Dial opens a TCP connection and establishes a BGP session as the
+// initiator.
+func Dial(addr string, cfg Config) (*Session, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Establish(conn, cfg)
+}
+
+// Establish runs the OPEN/KEEPALIVE handshake over an existing connection.
+// Both sides may call it (the exchange is symmetric).
+func Establish(conn net.Conn, cfg Config) (*Session, error) {
+	cfg = cfg.withDefaults()
+	s := &Session{
+		conn:    conn,
+		cfg:     cfg,
+		updates: make(chan *bgp.Update, 256),
+		closed:  make(chan struct{}),
+	}
+	open := bgp.NewOpen(cfg.LocalAS, cfg.HoldTime, cfg.RouterID)
+	if err := s.send(open); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	conn.SetReadDeadline(deadline)
+	msg, err := bgp.ReadMessage(conn, bgp.DefaultOptions)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("bgpd: waiting for OPEN: %w", err)
+	}
+	peerOpen, ok := msg.(*bgp.Open)
+	if !ok {
+		s.notifyAndClose(bgp.ErrFSMError, 0)
+		return nil, fmt.Errorf("bgpd: expected OPEN, got %v", msg.Type())
+	}
+	if cfg.PeerAS != 0 && peerOpen.ASN != cfg.PeerAS {
+		s.notifyAndClose(bgp.ErrOpenMessage, bgp.ErrSubBadPeerAS)
+		return nil, fmt.Errorf("bgpd: peer AS %v, want %v", peerOpen.ASN, cfg.PeerAS)
+	}
+	s.peerAS = peerOpen.ASN
+	s.peerID = peerOpen.RouterID
+	if err := s.send(&bgp.Keepalive{}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	msg, err = bgp.ReadMessage(conn, bgp.DefaultOptions)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("bgpd: waiting for KEEPALIVE: %w", err)
+	}
+	if msg.Type() != bgp.MsgKeepalive {
+		s.notifyAndClose(bgp.ErrFSMError, 0)
+		return nil, fmt.Errorf("bgpd: expected KEEPALIVE, got %v", msg.Type())
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	hold := time.Duration(minU16(cfg.HoldTime, peerOpen.HoldTime)) * time.Second
+	go s.readLoop(hold)
+	if hold > 0 {
+		go s.keepaliveLoop(hold / 3)
+	}
+	return s, nil
+}
+
+func minU16(a, b uint16) uint16 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// PeerAS returns the negotiated remote AS.
+func (s *Session) PeerAS() bgp.ASN { return s.peerAS }
+
+// PeerID returns the remote router ID.
+func (s *Session) PeerID() prefix.Addr { return s.peerID }
+
+// Updates returns the stream of received UPDATE messages. The channel is
+// closed when the session ends; Err then reports why.
+func (s *Session) Updates() <-chan *bgp.Update { return s.updates }
+
+// Err reports the terminal session error (nil on clean local close).
+func (s *Session) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// SendUpdate transmits an UPDATE message.
+func (s *Session) SendUpdate(u *bgp.Update) error {
+	select {
+	case <-s.closed:
+		return ErrSessionClosed
+	default:
+	}
+	return s.send(u)
+}
+
+// Announce is a convenience: originate prefixes with the given AS path
+// (LocalAS is prepended automatically when path is empty).
+func (s *Session) Announce(path []bgp.ASN, nextHop prefix.Addr, prefixes ...prefix.Prefix) error {
+	if len(path) == 0 {
+		path = []bgp.ASN{s.cfg.LocalAS}
+	}
+	return s.SendUpdate(&bgp.Update{
+		Attrs: []bgp.PathAttr{
+			&bgp.OriginAttr{Value: bgp.OriginIGP},
+			bgp.NewASPath(path),
+			&bgp.NextHopAttr{Addr: nextHop},
+		},
+		NLRI: prefixes,
+	})
+}
+
+// WithdrawPrefixes sends a withdrawal for the given prefixes.
+func (s *Session) WithdrawPrefixes(prefixes ...prefix.Prefix) error {
+	return s.SendUpdate(&bgp.Update{Withdrawn: prefixes})
+}
+
+func (s *Session) send(m bgp.Message) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return bgp.WriteMessage(s.conn, m, bgp.DefaultOptions)
+}
+
+func (s *Session) readLoop(hold time.Duration) {
+	defer close(s.updates)
+	for {
+		if hold > 0 {
+			s.conn.SetReadDeadline(time.Now().Add(hold))
+		}
+		msg, err := bgp.ReadMessage(s.conn, bgp.DefaultOptions)
+		if err != nil {
+			s.fail(fmt.Errorf("bgpd: read: %w", err))
+			return
+		}
+		switch m := msg.(type) {
+		case *bgp.Update:
+			select {
+			case s.updates <- m:
+			case <-s.closed:
+				return
+			}
+		case *bgp.Keepalive:
+			// refreshes the hold timer via the next SetReadDeadline
+		case *bgp.Notification:
+			s.fail(m)
+			return
+		case *bgp.Open:
+			s.notifyAndClose(bgp.ErrFSMError, 0)
+			s.fail(errors.New("bgpd: unexpected OPEN in established state"))
+			return
+		}
+	}
+}
+
+func (s *Session) keepaliveLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.send(&bgp.Keepalive{}); err != nil {
+				s.fail(err)
+				return
+			}
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+func (s *Session) fail(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+	s.closeOne.Do(func() {
+		close(s.closed)
+		s.conn.Close()
+	})
+}
+
+func (s *Session) notifyAndClose(code, subcode uint8) {
+	s.send(&bgp.Notification{Code: code, Subcode: subcode})
+	s.closeOne.Do(func() {
+		close(s.closed)
+		s.conn.Close()
+	})
+}
+
+// Close terminates the session with a Cease notification.
+func (s *Session) Close() error {
+	s.notifyAndClose(bgp.ErrCease, 0)
+	return nil
+}
+
+// Listener accepts incoming BGP sessions.
+type Listener struct {
+	ln  net.Listener
+	cfg Config
+}
+
+// Listen starts accepting BGP connections on addr; each established
+// session is handed to accept.
+func Listen(addr string, cfg Config, accept func(*Session)) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &Listener{ln: ln, cfg: cfg}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				sess, err := Establish(conn, cfg)
+				if err != nil {
+					return
+				}
+				accept(sess)
+			}()
+		}
+	}()
+	return l, nil
+}
+
+// Addr returns the listening address.
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Close stops accepting sessions.
+func (l *Listener) Close() error { return l.ln.Close() }

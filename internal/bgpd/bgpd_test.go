@@ -1,0 +1,126 @@
+package bgpd
+
+import (
+	"testing"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/prefix"
+)
+
+func pair(t *testing.T, serverCfg, clientCfg Config) (server, client *Session) {
+	t.Helper()
+	sessCh := make(chan *Session, 1)
+	l, err := Listen("127.0.0.1:0", serverCfg, func(s *Session) { sessCh <- s })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	cli, err := Dial(l.Addr(), clientCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	select {
+	case srv := <-sessCh:
+		t.Cleanup(func() { srv.Close() })
+		return srv, cli
+	case <-time.After(3 * time.Second):
+		t.Fatal("server session not established")
+		return nil, nil
+	}
+}
+
+func TestEstablishAndExchangeUpdates(t *testing.T) {
+	srv, cli := pair(t,
+		Config{LocalAS: 65001, RouterID: 1},
+		Config{LocalAS: 196615, RouterID: 2, PeerAS: 65001},
+	)
+	if srv.PeerAS() != 196615 || cli.PeerAS() != 65001 {
+		t.Fatalf("negotiated ASes: %v / %v", srv.PeerAS(), cli.PeerAS())
+	}
+	if err := cli.Announce(nil, prefix.MustParseAddr("192.0.2.1"),
+		prefix.MustParse("10.0.0.0/24"), prefix.MustParse("10.0.1.0/24")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-srv.Updates():
+		if len(u.NLRI) != 2 {
+			t.Fatalf("NLRI = %v", u.NLRI)
+		}
+		origin, ok := u.Origin()
+		if !ok || origin != 196615 {
+			t.Fatalf("origin = %v,%v (4-octet AS must survive)", origin, ok)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("update not delivered")
+	}
+}
+
+func TestWithdraw(t *testing.T) {
+	srv, cli := pair(t, Config{LocalAS: 65001, RouterID: 1}, Config{LocalAS: 65002, RouterID: 2})
+	if err := cli.WithdrawPrefixes(prefix.MustParse("10.0.0.0/23")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-srv.Updates():
+		if len(u.Withdrawn) != 1 || u.Withdrawn[0].String() != "10.0.0.0/23" {
+			t.Fatalf("withdrawn = %v", u.Withdrawn)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("withdraw not delivered")
+	}
+}
+
+func TestPeerASEnforced(t *testing.T) {
+	l, err := Listen("127.0.0.1:0", Config{LocalAS: 65001, RouterID: 1}, func(s *Session) { s.Close() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := Dial(l.Addr(), Config{LocalAS: 65002, RouterID: 2, PeerAS: 9999}); err == nil {
+		t.Fatal("wrong peer AS accepted")
+	}
+}
+
+func TestCloseSendsCeaseAndEndsPeer(t *testing.T) {
+	srv, cli := pair(t, Config{LocalAS: 65001, RouterID: 1}, Config{LocalAS: 65002, RouterID: 2})
+	cli.Close()
+	select {
+	case _, ok := <-srv.Updates():
+		if ok {
+			t.Fatal("unexpected update")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("peer did not observe close")
+	}
+	if srv.Err() == nil {
+		t.Fatal("server should record the notification as terminal error")
+	}
+	if err := cli.SendUpdate(&bgp.Update{}); err != ErrSessionClosed {
+		t.Fatalf("send after close = %v", err)
+	}
+}
+
+func TestKeepalivesMaintainSession(t *testing.T) {
+	// Hold time 3s → keepalives every 1s; session must survive 4s idle.
+	srv, cli := pair(t,
+		Config{LocalAS: 65001, RouterID: 1, HoldTime: 3},
+		Config{LocalAS: 65002, RouterID: 2, HoldTime: 3},
+	)
+	time.Sleep(4 * time.Second)
+	if err := cli.Announce(nil, 1, prefix.MustParse("10.0.0.0/24")); err != nil {
+		t.Fatalf("session died despite keepalives: %v", err)
+	}
+	select {
+	case <-srv.Updates():
+	case <-time.After(3 * time.Second):
+		t.Fatal("update after idle period not delivered")
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", Config{LocalAS: 65001, RouterID: 1}); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}

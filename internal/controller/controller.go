@@ -1,0 +1,211 @@
+// Package controller reproduces the SDN controller ARTEMIS runs over
+// (§2: "a network controller that supports BGP, like ONOS or
+// OpenDayLight"). The controller owns the AS's BGP route origination: the
+// mitigation service asks it to announce or withdraw prefixes, it applies
+// a configuration latency (the ~15 s the paper measured between detection
+// and the de-aggregated announcements leaving the routers), and pushes the
+// routes through a southbound — the simulated AS node in experiments, or a
+// live bgpd session in the demo.
+package controller
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/bgpd"
+	"artemis/internal/prefix"
+	"artemis/internal/simnet"
+)
+
+// RouteInjector is the controller's southbound: something that can
+// originate and withdraw prefixes on behalf of the AS.
+type RouteInjector interface {
+	AnnounceRoute(p prefix.Prefix) error
+	WithdrawRoute(p prefix.Prefix) error
+}
+
+// DefaultConfigDelay is the configuration/propagation latency inside the
+// controller and routers — §3 reports ~15 s from mitigation trigger to the
+// de-aggregated prefixes being announced.
+const DefaultConfigDelay = 15 * time.Second
+
+// ActionKind distinguishes controller operations.
+type ActionKind string
+
+// Controller action kinds.
+const (
+	ActionAnnounce ActionKind = "announce"
+	ActionWithdraw ActionKind = "withdraw"
+)
+
+// Action is one recorded controller operation.
+type Action struct {
+	Kind ActionKind
+	// Prefix affected.
+	Prefix prefix.Prefix
+	// RequestedAt / AppliedAt bracket the configuration latency.
+	RequestedAt, AppliedAt time.Duration
+}
+
+// Controller schedules route changes onto a southbound injector after a
+// configuration delay.
+type Controller struct {
+	inj         RouteInjector
+	configDelay time.Duration
+	// now and after abstract time so the controller runs both on the
+	// simulation engine and on the wall clock.
+	now   func() time.Duration
+	after func(time.Duration, func())
+
+	mu      sync.Mutex
+	actions []Action
+}
+
+// Option configures a Controller.
+type Option func(*Controller)
+
+// WithConfigDelay overrides the configuration latency.
+func WithConfigDelay(d time.Duration) Option {
+	return func(c *Controller) { c.configDelay = d }
+}
+
+// New builds a controller over an injector using the given clock. For
+// simulation use NewSim; for wall-clock use NewReal.
+func New(inj RouteInjector, now func() time.Duration, after func(time.Duration, func()), opts ...Option) *Controller {
+	c := &Controller{inj: inj, configDelay: DefaultConfigDelay, now: now, after: after}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// NewSim builds a controller driven by the simulation engine's clock.
+func NewSim(nw *simnet.Network, inj RouteInjector, opts ...Option) *Controller {
+	return New(inj, nw.Engine.Now, nw.Engine.After, opts...)
+}
+
+// NewReal builds a controller on the wall clock (live demo mode).
+func NewReal(inj RouteInjector, opts ...Option) *Controller {
+	start := time.Now()
+	return New(inj,
+		func() time.Duration { return time.Since(start) },
+		func(d time.Duration, fn func()) { time.AfterFunc(d, fn) },
+		opts...)
+}
+
+// Announce asks the controller to originate p. The route leaves the
+// routers after the configuration delay.
+func (c *Controller) Announce(p prefix.Prefix) error {
+	return c.apply(ActionAnnounce, p)
+}
+
+// Withdraw asks the controller to stop originating p.
+func (c *Controller) Withdraw(p prefix.Prefix) error {
+	return c.apply(ActionWithdraw, p)
+}
+
+func (c *Controller) apply(kind ActionKind, p prefix.Prefix) error {
+	req := c.now()
+	c.after(c.configDelay, func() {
+		var err error
+		if kind == ActionAnnounce {
+			err = c.inj.AnnounceRoute(p)
+		} else {
+			err = c.inj.WithdrawRoute(p)
+		}
+		if err != nil {
+			return // injector failure: action never recorded as applied
+		}
+		c.mu.Lock()
+		c.actions = append(c.actions, Action{Kind: kind, Prefix: p, RequestedAt: req, AppliedAt: c.now()})
+		c.mu.Unlock()
+	})
+	return nil
+}
+
+// Actions returns the applied operations, oldest first.
+func (c *Controller) Actions() []Action {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Action(nil), c.actions...)
+}
+
+// SimInjector originates routes at one or more ASes of the simulated
+// network (the owner's border routers / PEERING sites).
+type SimInjector struct {
+	nw   *simnet.Network
+	ases []bgp.ASN
+}
+
+// NewSimInjector validates the target ASes and returns the injector.
+func NewSimInjector(nw *simnet.Network, ases ...bgp.ASN) (*SimInjector, error) {
+	if len(ases) == 0 {
+		return nil, fmt.Errorf("controller: no target ASes")
+	}
+	for _, asn := range ases {
+		if nw.Node(asn) == nil {
+			return nil, fmt.Errorf("controller: unknown AS %v", asn)
+		}
+	}
+	return &SimInjector{nw: nw, ases: ases}, nil
+}
+
+// AnnounceRoute implements RouteInjector.
+func (s *SimInjector) AnnounceRoute(p prefix.Prefix) error {
+	for _, asn := range s.ases {
+		if err := s.nw.Announce(asn, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WithdrawRoute implements RouteInjector.
+func (s *SimInjector) WithdrawRoute(p prefix.Prefix) error {
+	for _, asn := range s.ases {
+		if err := s.nw.Withdraw(asn, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BGPInjector originates routes by sending UPDATEs over live bgpd
+// sessions to the AS's border routers.
+type BGPInjector struct {
+	mu       sync.Mutex
+	sessions []*bgpd.Session
+	localAS  bgp.ASN
+	nextHop  prefix.Addr
+}
+
+// NewBGPInjector wraps established sessions.
+func NewBGPInjector(localAS bgp.ASN, nextHop prefix.Addr, sessions ...*bgpd.Session) *BGPInjector {
+	return &BGPInjector{sessions: sessions, localAS: localAS, nextHop: nextHop}
+}
+
+// AnnounceRoute implements RouteInjector over BGP.
+func (b *BGPInjector) AnnounceRoute(p prefix.Prefix) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, s := range b.sessions {
+		if err := s.Announce([]bgp.ASN{b.localAS}, b.nextHop, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WithdrawRoute implements RouteInjector over BGP.
+func (b *BGPInjector) WithdrawRoute(p prefix.Prefix) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, s := range b.sessions {
+		if err := s.WithdrawPrefixes(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

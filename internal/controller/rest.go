@@ -1,0 +1,116 @@
+package controller
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"artemis/internal/prefix"
+)
+
+// The REST surface mirrors an ONOS-style application API:
+//
+//	POST /v1/routes  {"prefix":"10.0.0.0/24","action":"announce"}
+//	GET  /v1/routes  → applied actions
+//
+// RESTClient implements RouteInjector over this API so an ARTEMIS daemon
+// can drive a controller in another process.
+
+type wireAction struct {
+	Prefix      string  `json:"prefix"`
+	Action      string  `json:"action"`
+	RequestedAt float64 `json:"requested_at,omitempty"`
+	AppliedAt   float64 `json:"applied_at,omitempty"`
+}
+
+// RESTServer exposes a Controller over HTTP.
+type RESTServer struct{ ctrl *Controller }
+
+// NewRESTServer wraps a controller.
+func NewRESTServer(ctrl *Controller) *RESTServer { return &RESTServer{ctrl: ctrl} }
+
+// ServeHTTP implements the API.
+func (s *RESTServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/v1/routes" {
+		http.NotFound(w, r)
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		var req wireAction
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request body", http.StatusBadRequest)
+			return
+		}
+		p, err := prefix.Parse(req.Prefix)
+		if err != nil {
+			http.Error(w, "bad prefix", http.StatusBadRequest)
+			return
+		}
+		switch ActionKind(req.Action) {
+		case ActionAnnounce:
+			err = s.ctrl.Announce(p)
+		case ActionWithdraw:
+			err = s.ctrl.Withdraw(p)
+		default:
+			http.Error(w, "unknown action", http.StatusBadRequest)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	case http.MethodGet:
+		actions := s.ctrl.Actions()
+		out := make([]wireAction, 0, len(actions))
+		for _, a := range actions {
+			out = append(out, wireAction{
+				Prefix:      a.Prefix.String(),
+				Action:      string(a.Kind),
+				RequestedAt: a.RequestedAt.Seconds(),
+				AppliedAt:   a.AppliedAt.Seconds(),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// RESTClient drives a remote controller; it implements RouteInjector so
+// the ARTEMIS mitigation service can use it directly.
+type RESTClient struct{ baseURL string }
+
+// NewRESTClient points at a RESTServer base URL (http://host:port).
+func NewRESTClient(baseURL string) *RESTClient { return &RESTClient{baseURL: baseURL} }
+
+// AnnounceRoute implements RouteInjector.
+func (c *RESTClient) AnnounceRoute(p prefix.Prefix) error {
+	return c.post(wireAction{Prefix: p.String(), Action: string(ActionAnnounce)})
+}
+
+// WithdrawRoute implements RouteInjector.
+func (c *RESTClient) WithdrawRoute(p prefix.Prefix) error {
+	return c.post(wireAction{Prefix: p.String(), Action: string(ActionWithdraw)})
+}
+
+func (c *RESTClient) post(a wireAction) error {
+	b, err := json.Marshal(a)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(c.baseURL+"/v1/routes", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("controller: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+var _ RouteInjector = (*RESTClient)(nil)

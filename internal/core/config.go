@@ -1,0 +1,115 @@
+// Package core implements ARTEMIS itself — the paper's contribution: a
+// self-operated system that detects hijacks of an AS's own prefixes in
+// near real time from multiple BGP monitoring feeds, and automatically
+// mitigates them by announcing de-aggregated sub-prefixes through an SDN
+// controller (§2, Fig. 1).
+//
+// Three services, mirroring the paper's architecture:
+//
+//   - Detector: consumes every configured feed, flags announcements of
+//     owned address space with an illegitimate origin (exact-prefix,
+//     sub-prefix, or super-prefix/squatting) or an illegitimate first hop
+//     (path anomaly), deduplicates, and raises alerts. Because all feeds
+//     are watched concurrently, detection delay is the minimum of the
+//     sources' delays.
+//   - Mitigator: on alert, computes the de-aggregation of the attacked
+//     address space (clamped at /24 — longer prefixes are filtered, §2)
+//     and asks the controller to announce the sub-prefixes.
+//   - Monitor: tracks, per vantage point, which origin currently captures
+//     the owned address space, yielding the real-time mitigation-progress
+//     view the demo (§4) visualizes.
+package core
+
+import (
+	"fmt"
+
+	"artemis/internal/bgp"
+	"artemis/internal/prefix"
+)
+
+// Config is the operator-supplied ground truth about the protected AS.
+type Config struct {
+	// OwnedPrefixes is the address space ARTEMIS protects.
+	OwnedPrefixes []prefix.Prefix
+	// LegitOrigins are the ASNs allowed to originate the owned prefixes
+	// (usually just the protected AS; multi-origin setups list several).
+	LegitOrigins []bgp.ASN
+	// AllowedUpstreams, when non-empty, enables path-anomaly (Type-1)
+	// detection: for each legitimate origin, the set of neighbor ASes that
+	// may appear adjacent to it in an AS path. An attacker that fakes the
+	// origin but splices itself in as the upstream is caught here.
+	AllowedUpstreams map[bgp.ASN][]bgp.ASN
+	// MaxDeaggregationLen clamps mitigation sub-prefixes (default 24: more
+	// specific prefixes are filtered by ISPs, §2).
+	MaxDeaggregationLen int
+	// ManualMitigation disables the automatic alert→mitigation wiring;
+	// the operator must call Mitigator.HandleAlert. The zero value is the
+	// paper's headline mode: fully automatic.
+	ManualMitigation bool
+}
+
+// Validate checks internal consistency.
+func (c *Config) Validate() error {
+	if len(c.OwnedPrefixes) == 0 {
+		return fmt.Errorf("core: no owned prefixes configured")
+	}
+	if len(c.LegitOrigins) == 0 {
+		return fmt.Errorf("core: no legitimate origins configured")
+	}
+	if c.MaxDeaggregationLen < 0 || c.MaxDeaggregationLen > 32 {
+		return fmt.Errorf("core: invalid MaxDeaggregationLen %d", c.MaxDeaggregationLen)
+	}
+	for i, p := range c.OwnedPrefixes {
+		for j, q := range c.OwnedPrefixes {
+			if i != j && p == q {
+				return fmt.Errorf("core: duplicate owned prefix %s", p)
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Config) maxLen() int {
+	if c.MaxDeaggregationLen == 0 {
+		return 24
+	}
+	return c.MaxDeaggregationLen
+}
+
+func (c *Config) originLegit(asn bgp.ASN) bool {
+	for _, o := range c.LegitOrigins {
+		if o == asn {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Config) upstreamAllowed(origin, upstream bgp.ASN) bool {
+	allowed, ok := c.AllowedUpstreams[origin]
+	if !ok {
+		return true // no policy for this origin → path checks disabled
+	}
+	for _, a := range allowed {
+		if a == upstream {
+			return true
+		}
+	}
+	return false
+}
+
+// matchOwned returns the owned prefix related to p, and the relation:
+// exact, sub (p inside owned), or super (p covers owned).
+func (c *Config) matchOwned(p prefix.Prefix) (owned prefix.Prefix, rel AlertType, ok bool) {
+	for _, o := range c.OwnedPrefixes {
+		switch {
+		case p == o:
+			return o, AlertExactOrigin, true
+		case o.Contains(p):
+			return o, AlertSubPrefix, true
+		case p.Contains(o):
+			return o, AlertSquat, true
+		}
+	}
+	return prefix.Prefix{}, 0, false
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/prefix"
+)
+
+// AlertType classifies a detected hijack.
+type AlertType uint8
+
+const (
+	// AlertExactOrigin: the owned prefix announced with a wrong origin.
+	AlertExactOrigin AlertType = iota + 1
+	// AlertSubPrefix: a more-specific slice of owned space announced by an
+	// illegitimate origin — the most damaging variant (wins LPM).
+	AlertSubPrefix
+	// AlertSquat: a covering super-prefix announced by an illegitimate
+	// origin; it captures traffic wherever the owned route is not known.
+	AlertSquat
+	// AlertPathAnomaly: origin looks legitimate but the adjacent upstream
+	// in the path is not an allowed neighbor (Type-1 hijack).
+	AlertPathAnomaly
+)
+
+func (t AlertType) String() string {
+	switch t {
+	case AlertExactOrigin:
+		return "exact-origin"
+	case AlertSubPrefix:
+		return "sub-prefix"
+	case AlertSquat:
+		return "squat"
+	case AlertPathAnomaly:
+		return "path-anomaly"
+	}
+	return fmt.Sprintf("AlertType(%d)", uint8(t))
+}
+
+// Alert is one detected hijack incident (deduplicated across feeds and
+// vantage points).
+type Alert struct {
+	Type AlertType
+	// Prefix is the offending announcement's prefix.
+	Prefix prefix.Prefix
+	// Owned is the protected prefix it collides with.
+	Owned prefix.Prefix
+	// Origin is the illegitimate origin AS (for path anomalies, the AS
+	// spliced next to the legitimate origin).
+	Origin bgp.ASN
+	// Evidence is the first feed event that triggered the alert.
+	Evidence feedtypes.Event
+	// DetectedAt is when ARTEMIS learned of it — the evidence's emission
+	// time (feed latency included).
+	DetectedAt time.Duration
+}
+
+// Key identifies the incident for deduplication.
+func (a Alert) Key() string {
+	return fmt.Sprintf("%d|%s|%d", a.Type, a.Prefix, uint32(a.Origin))
+}
+
+// Detector is the detection service: it subscribes to every configured
+// source and raises deduplicated alerts.
+type Detector struct {
+	cfg *Config
+
+	mu       sync.Mutex
+	seen     map[string]bool
+	alerts   []Alert
+	handlers []func(Alert)
+	cancels  []func()
+	// perSource counts matching events per source name (diagnostics and
+	// the E2 per-source experiment).
+	perSource map[string]int
+}
+
+// NewDetector builds the service; call Start to attach sources.
+func NewDetector(cfg *Config) *Detector {
+	return &Detector{cfg: cfg, seen: make(map[string]bool), perSource: make(map[string]int)}
+}
+
+// OnAlert registers a handler invoked synchronously for each new alert.
+func (d *Detector) OnAlert(fn func(Alert)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.handlers = append(d.handlers, fn)
+}
+
+// Start subscribes to the sources with a filter covering the owned space
+// in both directions (sub- and super-prefixes).
+func (d *Detector) Start(sources ...feedtypes.Source) {
+	filter := feedtypes.Filter{
+		Prefixes:     d.cfg.OwnedPrefixes,
+		MoreSpecific: true,
+		LessSpecific: true,
+	}
+	for _, src := range sources {
+		cancel := src.Subscribe(filter, d.Process)
+		d.mu.Lock()
+		d.cancels = append(d.cancels, cancel)
+		d.mu.Unlock()
+	}
+}
+
+// Stop detaches from all sources.
+func (d *Detector) Stop() {
+	d.mu.Lock()
+	cancels := d.cancels
+	d.cancels = nil
+	d.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// Process classifies one feed event. It is exported so network clients
+// (which deliver events on their own goroutines) can push into the
+// detector directly.
+func (d *Detector) Process(ev feedtypes.Event) {
+	if ev.Kind != feedtypes.Announce {
+		return // withdrawals never signal a hijack by themselves
+	}
+	origin, ok := ev.Origin()
+	if !ok {
+		return
+	}
+	d.mu.Lock()
+	d.perSource[ev.Source]++
+	d.mu.Unlock()
+
+	owned, rel, ok := d.cfg.matchOwned(ev.Prefix)
+	if !ok {
+		return
+	}
+	var alert Alert
+	if d.cfg.originLegit(origin) {
+		// Origin fine; check the adjacent upstream when a policy exists.
+		// Path[len-1] is the origin; Path[len-2] its neighbor. A path of
+		// length 1 is the origin's own vantage point — nothing to check.
+		if len(ev.Path) < 2 {
+			return
+		}
+		upstream := ev.Path[len(ev.Path)-2]
+		if d.cfg.upstreamAllowed(origin, upstream) {
+			return
+		}
+		alert = Alert{Type: AlertPathAnomaly, Prefix: ev.Prefix, Owned: owned, Origin: upstream}
+	} else {
+		alert = Alert{Type: rel, Prefix: ev.Prefix, Owned: owned, Origin: origin}
+	}
+	alert.Evidence = ev
+	alert.DetectedAt = ev.EmittedAt
+
+	d.mu.Lock()
+	if d.seen[alert.Key()] {
+		d.mu.Unlock()
+		return
+	}
+	d.seen[alert.Key()] = true
+	d.alerts = append(d.alerts, alert)
+	handlers := make([]func(Alert), len(d.handlers))
+	copy(handlers, d.handlers)
+	d.mu.Unlock()
+	for _, fn := range handlers {
+		fn(alert)
+	}
+}
+
+// Alerts returns all alerts raised so far.
+func (d *Detector) Alerts() []Alert {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Alert(nil), d.alerts...)
+}
+
+// EventsBySource reports how many matching events each source delivered.
+func (d *Detector) EventsBySource() map[string]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]int, len(d.perSource))
+	for k, v := range d.perSource {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/prefix"
+)
+
+func testConfig() *Config {
+	return &Config{
+		OwnedPrefixes: []prefix.Prefix{prefix.MustParse("10.0.0.0/23")},
+		LegitOrigins:  []bgp.ASN{61000},
+	}
+}
+
+func announceEvent(p string, path ...bgp.ASN) feedtypes.Event {
+	return feedtypes.Event{
+		Source: "test", Collector: "c0", VantagePoint: path[0],
+		Kind: feedtypes.Announce, Prefix: prefix.MustParse(p), Path: path,
+		SeenAt: time.Second, EmittedAt: 2 * time.Second,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Config{LegitOrigins: []bgp.ASN{1}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("no owned prefixes accepted")
+	}
+	bad = &Config{OwnedPrefixes: []prefix.Prefix{prefix.MustParse("10.0.0.0/23")}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("no legit origins accepted")
+	}
+	dup := testConfig()
+	dup.OwnedPrefixes = append(dup.OwnedPrefixes, dup.OwnedPrefixes[0])
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate owned prefix accepted")
+	}
+	badLen := testConfig()
+	badLen.MaxDeaggregationLen = 40
+	if err := badLen.Validate(); err == nil {
+		t.Fatal("bad MaxDeaggregationLen accepted")
+	}
+}
+
+func TestDetectExactOriginHijack(t *testing.T) {
+	d := NewDetector(testConfig())
+	var got []Alert
+	d.OnAlert(func(a Alert) { got = append(got, a) })
+	// Legit announcement: no alert.
+	d.Process(announceEvent("10.0.0.0/23", 1001, 1002, 61000))
+	// Hijack: origin 666.
+	d.Process(announceEvent("10.0.0.0/23", 1001, 1002, 666))
+	if len(got) != 1 {
+		t.Fatalf("alerts = %+v", got)
+	}
+	a := got[0]
+	if a.Type != AlertExactOrigin || a.Origin != 666 || a.Owned.String() != "10.0.0.0/23" {
+		t.Fatalf("alert = %+v", a)
+	}
+	if a.DetectedAt != 2*time.Second {
+		t.Fatalf("DetectedAt = %v (must be feed emission time)", a.DetectedAt)
+	}
+}
+
+func TestDetectSubPrefixHijack(t *testing.T) {
+	d := NewDetector(testConfig())
+	var got []Alert
+	d.OnAlert(func(a Alert) { got = append(got, a) })
+	d.Process(announceEvent("10.0.1.0/24", 1001, 666))
+	if len(got) != 1 || got[0].Type != AlertSubPrefix {
+		t.Fatalf("alerts = %+v", got)
+	}
+}
+
+func TestDetectSquat(t *testing.T) {
+	d := NewDetector(testConfig())
+	var got []Alert
+	d.OnAlert(func(a Alert) { got = append(got, a) })
+	d.Process(announceEvent("10.0.0.0/16", 1001, 666))
+	if len(got) != 1 || got[0].Type != AlertSquat {
+		t.Fatalf("alerts = %+v", got)
+	}
+}
+
+func TestUnrelatedPrefixIgnored(t *testing.T) {
+	d := NewDetector(testConfig())
+	d.Process(announceEvent("192.0.2.0/24", 1001, 666))
+	if len(d.Alerts()) != 0 {
+		t.Fatalf("alerts = %+v", d.Alerts())
+	}
+}
+
+func TestWithdrawalsIgnored(t *testing.T) {
+	d := NewDetector(testConfig())
+	ev := announceEvent("10.0.0.0/23", 1001, 666)
+	ev.Kind = feedtypes.Withdraw
+	ev.Path = nil
+	d.Process(ev)
+	if len(d.Alerts()) != 0 {
+		t.Fatal("withdrawal raised an alert")
+	}
+}
+
+func TestDeduplicationAcrossVPsAndSources(t *testing.T) {
+	d := NewDetector(testConfig())
+	e1 := announceEvent("10.0.0.0/23", 1001, 666)
+	e2 := announceEvent("10.0.0.0/23", 1002, 666)
+	e2.Source = "other"
+	d.Process(e1)
+	d.Process(e2)
+	if len(d.Alerts()) != 1 {
+		t.Fatalf("alerts = %+v", d.Alerts())
+	}
+	// A different attacker for the same prefix is a new incident.
+	d.Process(announceEvent("10.0.0.0/23", 1001, 667))
+	if len(d.Alerts()) != 2 {
+		t.Fatalf("alerts = %+v", d.Alerts())
+	}
+	bySource := d.EventsBySource()
+	if bySource["test"] != 2 || bySource["other"] != 1 {
+		t.Fatalf("per-source counts = %v", bySource)
+	}
+}
+
+func TestPathAnomalyDetection(t *testing.T) {
+	cfg := testConfig()
+	cfg.AllowedUpstreams = map[bgp.ASN][]bgp.ASN{61000: {2000, 2001}}
+	d := NewDetector(cfg)
+	var got []Alert
+	d.OnAlert(func(a Alert) { got = append(got, a) })
+	// Legit path: upstream 2000 adjacent to origin.
+	d.Process(announceEvent("10.0.0.0/23", 1001, 2000, 61000))
+	if len(got) != 0 {
+		t.Fatalf("false positive on allowed upstream: %+v", got)
+	}
+	// Type-1 hijack: attacker 666 splices itself next to the origin.
+	d.Process(announceEvent("10.0.0.0/23", 1001, 666, 61000))
+	if len(got) != 1 || got[0].Type != AlertPathAnomaly || got[0].Origin != 666 {
+		t.Fatalf("alerts = %+v", got)
+	}
+	// Path of just the origin itself (the owner's own VP view): fine.
+	d.Process(announceEvent("10.0.0.0/23", 61000))
+	if len(got) != 1 {
+		t.Fatalf("origin-only path flagged: %+v", got)
+	}
+}
+
+func TestPathCheckDisabledWithoutPolicy(t *testing.T) {
+	d := NewDetector(testConfig()) // no AllowedUpstreams
+	d.Process(announceEvent("10.0.0.0/23", 1001, 666, 61000))
+	if len(d.Alerts()) != 0 {
+		t.Fatal("path anomaly raised without an upstream policy")
+	}
+}
+
+func TestMultipleOwnedPrefixes(t *testing.T) {
+	cfg := testConfig()
+	cfg.OwnedPrefixes = append(cfg.OwnedPrefixes, prefix.MustParse("192.0.2.0/24"))
+	d := NewDetector(cfg)
+	d.Process(announceEvent("192.0.2.0/24", 1001, 666))
+	alerts := d.Alerts()
+	if len(alerts) != 1 || alerts[0].Owned.String() != "192.0.2.0/24" {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+}

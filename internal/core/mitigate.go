@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"artemis/internal/controller"
+	"artemis/internal/prefix"
+)
+
+// MitigationRecord documents one mitigation action.
+type MitigationRecord struct {
+	Alert Alert
+	// Prefixes are the de-aggregated announcements requested.
+	Prefixes []prefix.Prefix
+	// TriggeredAt is when the mitigator asked the controller.
+	TriggeredAt time.Duration
+	// Competitive marks mitigations that cannot strictly win LPM (the
+	// attacked prefix is already at the de-aggregation limit, e.g. a /24):
+	// ARTEMIS re-announces the same prefix and competes on path length —
+	// "it might not work for /24 prefixes" (§2).
+	Competitive bool
+}
+
+// Mitigator turns alerts into de-aggregated announcements via the
+// controller.
+type Mitigator struct {
+	cfg  *Config
+	ctrl *controller.Controller
+	now  func() time.Duration
+
+	mu      sync.Mutex
+	records []MitigationRecord
+	done    map[string]bool
+}
+
+// NewMitigator builds the mitigation service. now supplies timestamps
+// (engine clock in simulation).
+func NewMitigator(cfg *Config, ctrl *controller.Controller, now func() time.Duration) *Mitigator {
+	return &Mitigator{cfg: cfg, ctrl: ctrl, now: now, done: make(map[string]bool)}
+}
+
+// MitigationPrefixes computes the response to an alert: the sub-prefixes
+// to announce. For a hijack of prefix P the response covers P with
+// announcements one bit more specific (so LPM strictly prefers them),
+// clamped at the filtering limit; at the limit, the same prefix is
+// re-announced competitively. For squatting (a covering super-prefix),
+// the owned prefix itself is (re-)announced: it is already more specific
+// than the attacker's.
+func (m *Mitigator) MitigationPrefixes(a Alert) (prefixes []prefix.Prefix, competitive bool) {
+	maxLen := m.cfg.maxLen()
+	scope := a.Prefix
+	if a.Type == AlertSquat {
+		scope = a.Owned
+	}
+	target := scope.Bits() + 1
+	if a.Type == AlertSquat {
+		// The owned prefix already beats the squatter's covering prefix.
+		return []prefix.Prefix{scope}, false
+	}
+	if target > maxLen {
+		// Cannot out-specific the attacker: compete with the same prefix.
+		return []prefix.Prefix{scope}, true
+	}
+	subs, err := scope.Deaggregate(target)
+	if err != nil {
+		// Unreachable for target = bits+1; fall back to competition.
+		return []prefix.Prefix{scope}, true
+	}
+	return subs, false
+}
+
+// HandleAlert runs mitigation for one alert (idempotent per incident).
+// It is the handler wired to the detector when AutoMitigate is on, and
+// the entry point an operator UI would call in manual mode.
+func (m *Mitigator) HandleAlert(a Alert) {
+	m.mu.Lock()
+	if m.done[a.Key()] {
+		m.mu.Unlock()
+		return
+	}
+	m.done[a.Key()] = true
+	m.mu.Unlock()
+
+	prefixes, competitive := m.MitigationPrefixes(a)
+	rec := MitigationRecord{
+		Alert:       a,
+		Prefixes:    prefixes,
+		TriggeredAt: m.now(),
+		Competitive: competitive,
+	}
+	for _, p := range prefixes {
+		if err := m.ctrl.Announce(p); err != nil {
+			return // controller rejected; leave incident unrecorded as mitigated
+		}
+	}
+	m.mu.Lock()
+	m.records = append(m.records, rec)
+	m.mu.Unlock()
+}
+
+// Records returns the mitigations performed so far.
+func (m *Mitigator) Records() []MitigationRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]MitigationRecord(nil), m.records...)
+}

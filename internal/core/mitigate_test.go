@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"artemis/internal/controller"
+	"artemis/internal/prefix"
+	"artemis/internal/sim"
+	"artemis/internal/simnet"
+	"artemis/internal/topo"
+)
+
+func simWorld(t *testing.T) (*simnet.Network, *sim.Engine, *controller.Controller) {
+	t.Helper()
+	tp := topo.Line(3, time.Millisecond)
+	eng := sim.NewEngine(1)
+	nw := simnet.New(tp, eng, simnet.Config{MRAI: simnet.Disabled, ProcMin: time.Millisecond, ProcMax: 2 * time.Millisecond})
+	inj, err := controller.NewSimInjector(nw, topo.FirstASN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := controller.NewSim(nw, inj, controller.WithConfigDelay(time.Second))
+	return nw, eng, ctrl
+}
+
+func alertOf(typ AlertType, p, owned string) Alert {
+	return Alert{Type: typ, Prefix: prefix.MustParse(p), Owned: prefix.MustParse(owned), Origin: 666}
+}
+
+func TestMitigationPrefixesExact(t *testing.T) {
+	_, _, ctrl := simWorld(t)
+	m := NewMitigator(testConfig(), ctrl, func() time.Duration { return 0 })
+	prefixes, competitive := m.MitigationPrefixes(alertOf(AlertExactOrigin, "10.0.0.0/23", "10.0.0.0/23"))
+	if competitive {
+		t.Fatal("a /23 hijack is strictly mitigable")
+	}
+	if len(prefixes) != 2 || prefixes[0].String() != "10.0.0.0/24" || prefixes[1].String() != "10.0.1.0/24" {
+		t.Fatalf("prefixes = %v", prefixes)
+	}
+}
+
+func TestMitigationPrefixesSubPrefix(t *testing.T) {
+	_, _, ctrl := simWorld(t)
+	cfg := testConfig()
+	cfg.OwnedPrefixes = []prefix.Prefix{prefix.MustParse("10.0.0.0/22")}
+	m := NewMitigator(cfg, ctrl, func() time.Duration { return 0 })
+	// Attacker announced a /23 inside our /22: respond with its two /24s.
+	prefixes, competitive := m.MitigationPrefixes(alertOf(AlertSubPrefix, "10.0.2.0/23", "10.0.0.0/22"))
+	if competitive || len(prefixes) != 2 || prefixes[0].String() != "10.0.2.0/24" {
+		t.Fatalf("prefixes = %v competitive = %v", prefixes, competitive)
+	}
+}
+
+func TestMitigationPrefixesSlash24IsCompetitive(t *testing.T) {
+	_, _, ctrl := simWorld(t)
+	cfg := testConfig()
+	cfg.OwnedPrefixes = []prefix.Prefix{prefix.MustParse("10.0.0.0/24")}
+	m := NewMitigator(cfg, ctrl, func() time.Duration { return 0 })
+	prefixes, competitive := m.MitigationPrefixes(alertOf(AlertExactOrigin, "10.0.0.0/24", "10.0.0.0/24"))
+	if !competitive {
+		t.Fatal("/24 mitigation must be flagged competitive (§2 caveat)")
+	}
+	if len(prefixes) != 1 || prefixes[0].String() != "10.0.0.0/24" {
+		t.Fatalf("prefixes = %v", prefixes)
+	}
+}
+
+func TestMitigationPrefixesSquat(t *testing.T) {
+	_, _, ctrl := simWorld(t)
+	m := NewMitigator(testConfig(), ctrl, func() time.Duration { return 0 })
+	prefixes, competitive := m.MitigationPrefixes(alertOf(AlertSquat, "10.0.0.0/16", "10.0.0.0/23"))
+	if competitive || len(prefixes) != 1 || prefixes[0].String() != "10.0.0.0/23" {
+		t.Fatalf("squat response = %v competitive=%v", prefixes, competitive)
+	}
+}
+
+func TestHandleAlertAnnouncesViaController(t *testing.T) {
+	nw, eng, ctrl := simWorld(t)
+	m := NewMitigator(testConfig(), ctrl, nw.Engine.Now)
+	m.HandleAlert(alertOf(AlertExactOrigin, "10.0.0.0/23", "10.0.0.0/23"))
+	eng.Run()
+	for _, s := range []string{"10.0.0.0/24", "10.0.1.0/24"} {
+		if _, ok := nw.Node(topo.FirstASN + 2).BestRoute(prefix.MustParse(s)); !ok {
+			t.Fatalf("%s not propagated", s)
+		}
+	}
+	recs := m.Records()
+	if len(recs) != 1 || len(recs[0].Prefixes) != 2 || recs[0].Competitive {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestHandleAlertIdempotent(t *testing.T) {
+	nw, eng, ctrl := simWorld(t)
+	m := NewMitigator(testConfig(), ctrl, nw.Engine.Now)
+	a := alertOf(AlertExactOrigin, "10.0.0.0/23", "10.0.0.0/23")
+	m.HandleAlert(a)
+	m.HandleAlert(a)
+	eng.Run()
+	if len(m.Records()) != 1 {
+		t.Fatalf("records = %+v", m.Records())
+	}
+	if len(ctrl.Actions()) != 2 {
+		t.Fatalf("controller actions = %+v (duplicate mitigation ran)", ctrl.Actions())
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/prefix"
+)
+
+// Monitor is the monitoring service (§2): it consumes the same feeds as
+// the detector and maintains, per vantage point, which origin AS currently
+// captures the owned address space — the real-time view of hijack spread
+// and mitigation progress that the demo visualizes (§4).
+type Monitor struct {
+	cfg *Config
+
+	mu      sync.Mutex
+	vps     map[bgp.ASN]*vpState
+	history []Sample
+	cancels []func()
+	probes  []prefix.Addr
+}
+
+type vpState struct {
+	// entries: announced prefix → (origin, last change time) as seen from
+	// this vantage point, across all feeds (freshest wins).
+	entries *prefix.Trie[vpEntry]
+	last    map[prefix.Prefix]time.Duration
+}
+
+type vpEntry struct {
+	origin bgp.ASN
+}
+
+// Sample is one point of the mitigation-progress time series.
+type Sample struct {
+	Time time.Duration
+	// LegitVPs / HijackedVPs / UnknownVPs partition the vantage points:
+	// all probes legit / any probe captured by an illegitimate origin /
+	// no routing information yet.
+	LegitVPs, HijackedVPs, UnknownVPs int
+}
+
+// FractionLegit is the share of informed vantage points that route every
+// probe to a legitimate origin.
+func (s Sample) FractionLegit() float64 {
+	informed := s.LegitVPs + s.HijackedVPs
+	if informed == 0 {
+		return 0
+	}
+	return float64(s.LegitVPs) / float64(informed)
+}
+
+// NewMonitor builds the monitoring service.
+func NewMonitor(cfg *Config) *Monitor {
+	m := &Monitor{cfg: cfg, vps: make(map[bgp.ASN]*vpState)}
+	m.probes = probeAddrs(cfg.OwnedPrefixes)
+	return m
+}
+
+// probeAddrs picks representative addresses inside the owned space: the
+// first address of each /24 (capped at 8 per owned prefix) so sub-prefix
+// hijacks of any half are noticed.
+func probeAddrs(owned []prefix.Prefix) []prefix.Addr {
+	var out []prefix.Addr
+	for _, p := range owned {
+		bits := p.Bits()
+		if bits > 24 {
+			out = append(out, p.Addr())
+			continue
+		}
+		subs, err := p.Deaggregate(24)
+		if err != nil || len(subs) > 8 {
+			// Very large owned block: probe 8 evenly spaced /24s.
+			step := (uint64(p.Last()-p.Addr()) + 1) / 8
+			for i := 0; i < 8; i++ {
+				out = append(out, p.Addr()+prefix.Addr(uint64(i)*step))
+			}
+			continue
+		}
+		for _, s := range subs {
+			out = append(out, s.Addr())
+		}
+	}
+	return out
+}
+
+// Start subscribes the monitor to the sources.
+func (m *Monitor) Start(sources ...feedtypes.Source) {
+	filter := feedtypes.Filter{Prefixes: m.cfg.OwnedPrefixes, MoreSpecific: true, LessSpecific: true}
+	for _, src := range sources {
+		cancel := src.Subscribe(filter, m.Process)
+		m.mu.Lock()
+		m.cancels = append(m.cancels, cancel)
+		m.mu.Unlock()
+	}
+}
+
+// Stop detaches from all sources.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	cancels := m.cancels
+	m.cancels = nil
+	m.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// Process folds one feed event into the per-VP view. Exported for network
+// clients that deliver events themselves.
+func (m *Monitor) Process(ev feedtypes.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.vps[ev.VantagePoint]
+	if st == nil {
+		st = &vpState{entries: prefix.NewTrie[vpEntry](), last: make(map[prefix.Prefix]time.Duration)}
+		m.vps[ev.VantagePoint] = st
+	}
+	// Freshest observation wins across sources; a stale LG poll must not
+	// roll back a newer streamed update.
+	if last, ok := st.last[ev.Prefix]; ok && ev.SeenAt < last {
+		return
+	}
+	st.last[ev.Prefix] = ev.SeenAt
+	if ev.Kind == feedtypes.Withdraw {
+		st.entries.Delete(ev.Prefix)
+	} else if origin, ok := ev.Origin(); ok {
+		st.entries.Insert(ev.Prefix, vpEntry{origin: origin})
+	}
+	m.history = append(m.history, m.sampleLocked(ev.EmittedAt))
+}
+
+// vpVerdict classifies one vantage point right now.
+func (m *Monitor) vpVerdict(st *vpState) (legit, informed bool) {
+	informed = false
+	legit = true
+	for _, addr := range m.probes {
+		_, e, ok := st.entries.LongestMatch(addr)
+		if !ok {
+			continue
+		}
+		informed = true
+		if !m.cfg.originLegit(e.origin) {
+			legit = false
+		}
+	}
+	return legit && informed, informed
+}
+
+func (m *Monitor) sampleLocked(at time.Duration) Sample {
+	s := Sample{Time: at}
+	for _, st := range m.vps {
+		legit, informed := m.vpVerdict(st)
+		switch {
+		case !informed:
+			s.UnknownVPs++
+		case legit:
+			s.LegitVPs++
+		default:
+			s.HijackedVPs++
+		}
+	}
+	return s
+}
+
+// Snapshot returns the current partition of vantage points.
+func (m *Monitor) Snapshot(at time.Duration) Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sampleLocked(at)
+}
+
+// History returns the full time series of samples.
+func (m *Monitor) History() []Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Sample(nil), m.history...)
+}
+
+// VPOrigins reports, per vantage point, the origin AS serving each probe
+// address — the data behind the demo's geographic visualization.
+func (m *Monitor) VPOrigins() map[bgp.ASN][]bgp.ASN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[bgp.ASN][]bgp.ASN, len(m.vps))
+	for vp, st := range m.vps {
+		origins := make([]bgp.ASN, 0, len(m.probes))
+		for _, addr := range m.probes {
+			if _, e, ok := st.entries.LongestMatch(addr); ok {
+				origins = append(origins, e.origin)
+			} else {
+				origins = append(origins, 0)
+			}
+		}
+		out[vp] = origins
+	}
+	return out
+}
+
+// VantagePoints lists the VPs the monitor has heard from, sorted.
+func (m *Monitor) VantagePoints() []bgp.ASN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]bgp.ASN, 0, len(m.vps))
+	for vp := range m.vps {
+		out = append(out, vp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

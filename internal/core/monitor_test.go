@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/prefix"
+)
+
+func monEvent(vp bgp.ASN, p string, seen time.Duration, path ...bgp.ASN) feedtypes.Event {
+	return feedtypes.Event{
+		Source: "test", VantagePoint: vp, Kind: feedtypes.Announce,
+		Prefix: prefix.MustParse(p), Path: path, SeenAt: seen, EmittedAt: seen,
+	}
+}
+
+func TestMonitorTracksHijackAndRecovery(t *testing.T) {
+	m := NewMonitor(testConfig()) // owns 10.0.0.0/23, legit 61000
+	// Two VPs learn the legit route.
+	m.Process(monEvent(1, "10.0.0.0/23", time.Second, 1, 61000))
+	m.Process(monEvent(2, "10.0.0.0/23", time.Second, 2, 61000))
+	s := m.Snapshot(time.Second)
+	if s.LegitVPs != 2 || s.HijackedVPs != 0 {
+		t.Fatalf("after legit: %+v", s)
+	}
+	// VP 2 flips to the attacker.
+	m.Process(monEvent(2, "10.0.0.0/23", 2*time.Second, 2, 666))
+	s = m.Snapshot(2 * time.Second)
+	if s.LegitVPs != 1 || s.HijackedVPs != 1 {
+		t.Fatalf("after hijack: %+v", s)
+	}
+	if got := s.FractionLegit(); got != 0.5 {
+		t.Fatalf("FractionLegit = %v", got)
+	}
+	// Mitigation: VP 2 gets the two /24s back from the owner. The stale
+	// /23 still points at the attacker but LPM prefers the /24s.
+	m.Process(monEvent(2, "10.0.0.0/24", 3*time.Second, 2, 61000))
+	m.Process(monEvent(2, "10.0.1.0/24", 3*time.Second, 2, 61000))
+	s = m.Snapshot(3 * time.Second)
+	if s.LegitVPs != 2 || s.HijackedVPs != 0 {
+		t.Fatalf("after mitigation: %+v", s)
+	}
+}
+
+func TestMonitorSubPrefixHijackPartial(t *testing.T) {
+	m := NewMonitor(testConfig())
+	m.Process(monEvent(1, "10.0.0.0/23", time.Second, 1, 61000))
+	// Attacker takes only the low /24: VP is hijacked (one probe bad).
+	m.Process(monEvent(1, "10.0.0.0/24", 2*time.Second, 1, 666))
+	s := m.Snapshot(2 * time.Second)
+	if s.HijackedVPs != 1 {
+		t.Fatalf("sub-prefix hijack unnoticed: %+v", s)
+	}
+}
+
+func TestMonitorStaleEventIgnored(t *testing.T) {
+	m := NewMonitor(testConfig())
+	m.Process(monEvent(1, "10.0.0.0/23", 5*time.Second, 1, 61000))
+	// A slow looking glass reports the old attacker state with an older
+	// SeenAt; it must not roll the view back.
+	m.Process(monEvent(1, "10.0.0.0/23", 2*time.Second, 1, 666))
+	s := m.Snapshot(5 * time.Second)
+	if s.LegitVPs != 1 || s.HijackedVPs != 0 {
+		t.Fatalf("stale event applied: %+v", s)
+	}
+}
+
+func TestMonitorWithdrawalMakesUnknown(t *testing.T) {
+	m := NewMonitor(testConfig())
+	m.Process(monEvent(1, "10.0.0.0/23", time.Second, 1, 61000))
+	w := feedtypes.Event{
+		Source: "test", VantagePoint: 1, Kind: feedtypes.Withdraw,
+		Prefix: prefix.MustParse("10.0.0.0/23"), SeenAt: 2 * time.Second, EmittedAt: 2 * time.Second,
+	}
+	m.Process(w)
+	s := m.Snapshot(2 * time.Second)
+	if s.UnknownVPs != 1 || s.LegitVPs != 0 {
+		t.Fatalf("after withdraw: %+v", s)
+	}
+}
+
+func TestMonitorHistoryGrows(t *testing.T) {
+	m := NewMonitor(testConfig())
+	m.Process(monEvent(1, "10.0.0.0/23", time.Second, 1, 61000))
+	m.Process(monEvent(2, "10.0.0.0/23", 2*time.Second, 2, 666))
+	h := m.History()
+	if len(h) != 2 {
+		t.Fatalf("history = %+v", h)
+	}
+	if h[0].Time != time.Second || h[1].Time != 2*time.Second {
+		t.Fatalf("history times = %+v", h)
+	}
+}
+
+func TestMonitorVPOriginsAndList(t *testing.T) {
+	m := NewMonitor(testConfig())
+	m.Process(monEvent(7, "10.0.0.0/23", time.Second, 7, 61000))
+	m.Process(monEvent(3, "10.0.0.0/24", time.Second, 3, 666))
+	vps := m.VantagePoints()
+	if len(vps) != 2 || vps[0] != 3 || vps[1] != 7 {
+		t.Fatalf("VPs = %v", vps)
+	}
+	origins := m.VPOrigins()
+	// Owned /23 probes at 10.0.0.0 and 10.0.1.0.
+	if got := origins[7]; got[0] != 61000 || got[1] != 61000 {
+		t.Fatalf("vp7 origins = %v", got)
+	}
+	if got := origins[3]; got[0] != 666 || got[1] != 0 {
+		t.Fatalf("vp3 origins = %v", got)
+	}
+}
+
+func TestProbeAddrs(t *testing.T) {
+	probes := probeAddrs([]prefix.Prefix{prefix.MustParse("10.0.0.0/23")})
+	if len(probes) != 2 || probes[0] != prefix.MustParseAddr("10.0.0.0") || probes[1] != prefix.MustParseAddr("10.0.1.0") {
+		t.Fatalf("probes = %v", probes)
+	}
+	// A /25 owned prefix probes just itself.
+	cfg := &Config{MaxDeaggregationLen: 25}
+	_ = cfg
+	probes = probeAddrs([]prefix.Prefix{prefix.MustParse("10.0.0.128/25")})
+	if len(probes) != 1 || probes[0] != prefix.MustParseAddr("10.0.0.128") {
+		t.Fatalf("/25 probes = %v", probes)
+	}
+	// A huge block caps at 8 probes.
+	probes = probeAddrs([]prefix.Prefix{prefix.MustParse("10.0.0.0/8")})
+	if len(probes) != 8 {
+		t.Fatalf("/8 probes = %d", len(probes))
+	}
+}

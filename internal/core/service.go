@@ -1,0 +1,48 @@
+package core
+
+import (
+	"time"
+
+	"artemis/internal/controller"
+	"artemis/internal/feeds/feedtypes"
+)
+
+// Service is the assembled ARTEMIS instance: detection, mitigation and
+// monitoring wired together per Fig. 1 of the paper.
+type Service struct {
+	Config    *Config
+	Detector  *Detector
+	Mitigator *Mitigator
+	Monitor   *Monitor
+}
+
+// NewService validates the configuration and assembles the services.
+// now supplies timestamps (the simulation engine's clock, or a wall-clock
+// adapter in live mode).
+func NewService(cfg *Config, ctrl *controller.Controller, now func() time.Duration) (*Service, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Service{
+		Config:    cfg,
+		Detector:  NewDetector(cfg),
+		Mitigator: NewMitigator(cfg, ctrl, now),
+		Monitor:   NewMonitor(cfg),
+	}
+	if !cfg.ManualMitigation {
+		s.Detector.OnAlert(s.Mitigator.HandleAlert)
+	}
+	return s, nil
+}
+
+// Start attaches both the detector and the monitor to the sources.
+func (s *Service) Start(sources ...feedtypes.Source) {
+	s.Detector.Start(sources...)
+	s.Monitor.Start(sources...)
+}
+
+// Stop detaches everything.
+func (s *Service) Stop() {
+	s.Detector.Stop()
+	s.Monitor.Stop()
+}

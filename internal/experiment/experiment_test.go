@@ -1,0 +1,299 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"artemis/internal/hijack"
+	"artemis/internal/prefix"
+	"artemis/internal/topo"
+)
+
+// smallOpts shrinks the Internet so the full test suite stays fast while
+// keeping multi-hop structure.
+func smallOpts(seed int64) Options {
+	cfg := topo.DefaultGenConfig()
+	cfg.Stubs = 100
+	cfg.Transit = 30
+	cfg.Seed = seed
+	return Options{Seed: seed, Topo: cfg}
+}
+
+func TestBuildEnv(t *testing.T) {
+	env, err := Build(smallOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.RIS == nil || env.BGPmon == nil || env.Periscope == nil {
+		t.Fatal("not all sources built by default")
+	}
+	if len(env.Sources) != 3 {
+		t.Fatalf("sources = %d", len(env.Sources))
+	}
+	if len(env.MonitoredVPs) == 0 {
+		t.Fatal("no vantage points")
+	}
+	if env.Victim.ASN != VictimASN || env.Attacker.ASN != AttackerASN {
+		t.Fatal("virtual AS numbering broken")
+	}
+	// Victim and attacker muxes must be disjoint.
+	for _, vm := range env.Victim.Muxes {
+		for _, am := range env.Attacker.Muxes {
+			if vm == am {
+				t.Fatalf("mux %v shared by victim and attacker", vm)
+			}
+		}
+	}
+}
+
+func TestBuildSourceSubset(t *testing.T) {
+	opts := smallOpts(1)
+	opts.Sources = []string{SrcRIS}
+	env, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.RIS == nil || env.BGPmon != nil || env.Periscope != nil {
+		t.Fatal("source subset not honored")
+	}
+}
+
+func TestRunTrialPaperShape(t *testing.T) {
+	env, err := Build(smallOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := RunTrial(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape of §3: detection well under 2 minutes, trigger = controller
+	// delay (~15s), full mitigation within minutes, everything recovered.
+	if tr.DetectionDelay <= 0 || tr.DetectionDelay > 2*time.Minute {
+		t.Fatalf("detection delay = %v", tr.DetectionDelay)
+	}
+	if tr.TriggerDelay < 10*time.Second || tr.TriggerDelay > 30*time.Second {
+		t.Fatalf("trigger delay = %v", tr.TriggerDelay)
+	}
+	if tr.Total <= 0 || tr.Total > 15*time.Minute {
+		t.Fatalf("total = %v", tr.Total)
+	}
+	if tr.RecoveredFrac != 1.0 || tr.StillCaptured != 0 {
+		t.Fatalf("not fully recovered: %+v", tr)
+	}
+	if tr.EverCaptured == 0 || tr.PeakCaptured == 0 {
+		t.Fatal("hijack captured nothing — topology too small or attacker isolated")
+	}
+	if tr.DetectedBy == "" {
+		t.Fatal("detection source not recorded")
+	}
+}
+
+func TestRunTrialSubPrefix(t *testing.T) {
+	// Victim owns a /22 so the attacker's /23 slice can be beaten with
+	// /24s (still above the filtering limit).
+	opts := smallOpts(5)
+	opts.Owned = prefix.MustParse("10.0.0.0/22")
+	opts.Kind = hijack.SubPrefix
+	env, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := RunTrial(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Detected || tr.RecoveredFrac != 1.0 {
+		t.Fatalf("sub-prefix hijack not fully mitigated: %+v", tr)
+	}
+	alerts := env.Artemis.Detector.Alerts()
+	if len(alerts) == 0 || alerts[0].Prefix.String() != "10.0.0.0/23" {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+	recs := env.Artemis.Mitigator.Records()
+	if len(recs) != 1 || len(recs[0].Prefixes) != 2 || recs[0].Competitive {
+		t.Fatalf("mitigation = %+v", recs)
+	}
+}
+
+func TestRunTrialSlash24NotFullyRecoverable(t *testing.T) {
+	opts := smallOpts(7)
+	opts.Owned = prefix.MustParse("10.0.0.0/24")
+	env, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := RunTrial(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := env.Artemis.Mitigator.Records()
+	if len(recs) != 1 || !recs[0].Competitive {
+		t.Fatalf("/24 mitigation should be competitive: %+v", recs)
+	}
+	// The victim already originates the /24, so the competitive
+	// re-announcement adds nothing: captured ASes stay captured — the
+	// §2 caveat in its starkest form.
+	if tr.RecoveredFrac >= 1.0 {
+		t.Fatalf("/24 hijack fully recovered (%.2f); the §2 caveat should bite", tr.RecoveredFrac)
+	}
+	if tr.StillCaptured == 0 {
+		t.Fatalf("expected lasting capture: %+v", tr)
+	}
+}
+
+func TestPathFakeRejectedInTrials(t *testing.T) {
+	opts := smallOpts(1)
+	opts.Kind = hijack.PathFake
+	env, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunTrial(env); err == nil {
+		t.Fatal("PathFake trial should be rejected")
+	}
+}
+
+func TestE1Aggregates(t *testing.T) {
+	res, err := E1(3, smallOpts(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detection.N != 3 || res.Total.N != 3 {
+		t.Fatalf("summaries = %+v", res)
+	}
+	if res.Detection.Mean <= 0 || res.Total.Mean < res.Detection.Mean {
+		t.Fatalf("ordering broken: %+v", res)
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestE2MinOfSources(t *testing.T) {
+	res, err := E2(3, smallOpts(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerSource) < 2 {
+		t.Fatalf("per-source data missing: %+v", res.PerSource)
+	}
+	// The combined delay can never exceed a source's delay on the same
+	// trials (min property, §2). Sources that missed some trials have
+	// fewer samples; compare only full-coverage sources.
+	for name, s := range res.PerSource {
+		if s.N == res.Combined.N && res.Combined.Mean > s.Mean+time.Millisecond {
+			t.Fatalf("combined mean %v exceeds %s mean %v", res.Combined.Mean, name, s.Mean)
+		}
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestE3MoreLGsBetterCoverageAndCost(t *testing.T) {
+	rows, err := E3(3, []int{2, 24}, []string{SelectRandom}, smallOpts(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	small, large := rows[0], rows[1]
+	if large.QueriesPerMin <= small.QueriesPerMin {
+		t.Fatalf("more LGs should cost more: %v vs %v", small.QueriesPerMin, large.QueriesPerMin)
+	}
+	// The benefit side of the trade-off: a large arsenal must not be
+	// worse on both coverage and speed.
+	better := large.DetectionRate > small.DetectionRate ||
+		(large.Detection.N > 0 && small.Detection.N > 0 && large.Detection.Mean < small.Detection.Mean) ||
+		(large.Detection.N > 0 && small.Detection.N == 0)
+	if !better {
+		t.Fatalf("24 LGs no better than 2: %+v vs %+v", large, small)
+	}
+	if large.DetectionRate == 0 {
+		t.Fatal("24-LG arsenal should detect at least sometimes")
+	}
+	if E3Table(rows) == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestE3Strategies(t *testing.T) {
+	rows, err := E3(1, []int{4}, []string{SelectRandom, SelectDegree, SelectGeo}, smallOpts(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestE4Slash24Caveat(t *testing.T) {
+	rows, err := E4(1, []int{23, 24}, smallOpts(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Competitive || rows[0].RecoveredFrac != 1.0 {
+		t.Fatalf("/23 should fully recover: %+v", rows[0])
+	}
+	if !rows[1].Competitive || rows[1].RecoveredFrac >= 1.0 {
+		t.Fatalf("/24 should be competitive and partial: %+v", rows[1])
+	}
+	if E4Table(rows) == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestE6TimelineShape(t *testing.T) {
+	res, err := E6(smallOpts(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// The fraction must dip during the hijack and return to 1.0.
+	minFrac, last := 1.0, res.Points[len(res.Points)-1]
+	for _, p := range res.Points {
+		if p.FractionLegit < minFrac {
+			minFrac = p.FractionLegit
+		}
+	}
+	if minFrac >= 1.0 {
+		t.Fatal("timeline never dipped — hijack invisible to monitor")
+	}
+	if last.FractionLegit != 1.0 {
+		t.Fatalf("timeline did not recover: %+v", last)
+	}
+}
+
+func TestE5BaselineMuchSlower(t *testing.T) {
+	res, err := E5(2, smallOpts(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The archive pipeline (15-minute files + manual verification) must be
+	// far slower than ARTEMIS end to end.
+	if res.BaselineResponse.Mean < 2*res.ArtemisResponse.Mean {
+		t.Fatalf("baseline %v not clearly slower than ARTEMIS %v",
+			res.BaselineResponse.Mean, res.ArtemisResponse.Mean)
+	}
+	// ARTEMIS catches more in-progress hijacks than the baseline, and the
+	// sampled duration distribution matches the paper's anchor.
+	if res.ArtemisCoverage <= res.BaselineCoverage {
+		t.Fatalf("coverage: artemis %.2f vs baseline %.2f", res.ArtemisCoverage, res.BaselineCoverage)
+	}
+	if res.ShortHijackFrac < 0.20 || res.ShortHijackFrac > 0.30 {
+		t.Fatalf("short-hijack fraction = %.2f", res.ShortHijackFrac)
+	}
+	if res.ArtemisCoverage < 0.80 {
+		t.Fatalf("ARTEMIS should outpace >80%% of hijacks (paper §3), got %.2f", res.ArtemisCoverage)
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,245 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/hijack"
+	"artemis/internal/prefix"
+	"artemis/internal/simnet"
+)
+
+// captureTracker maintains the ground-truth data-plane state during a
+// trial: which ASes currently send the owned address space's traffic to
+// an illegitimate origin. It mirrors the paper's measurement ("until all
+// the vantage points ... have switched to the legitimate ASN-1") but over
+// every AS, which is strictly stronger.
+type captureTracker struct {
+	env      *Env
+	probes   []prefix.Addr
+	captured map[bgp.ASN]bool
+	// everCaptured records ASes hit at least once; lastRecovery the time
+	// of the most recent captured→clean transition.
+	everCaptured map[bgp.ASN]bool
+	lastRecovery time.Duration
+	peak         int
+}
+
+func newCaptureTracker(env *Env) *captureTracker {
+	t := &captureTracker{
+		env:          env,
+		captured:     make(map[bgp.ASN]bool),
+		everCaptured: make(map[bgp.ASN]bool),
+	}
+	owned := env.Opts.Owned
+	if subs, err := owned.Deaggregate(min(owned.Bits()+1, 24)); err == nil {
+		for _, s := range subs {
+			t.probes = append(t.probes, s.Addr())
+		}
+	} else {
+		t.probes = []prefix.Addr{owned.Addr()}
+	}
+	env.Net.OnChange(func(ev simnet.RouteChange) { t.onChange(ev) })
+	return t
+}
+
+func (t *captureTracker) onChange(ev simnet.RouteChange) {
+	if !ev.Prefix.Overlaps(t.env.Opts.Owned) {
+		return
+	}
+	node := t.env.Net.Node(ev.AS)
+	bad := false
+	for _, addr := range t.probes {
+		if origin, ok := node.ResolveOrigin(addr); ok && origin != VictimASN {
+			bad = true
+			break
+		}
+	}
+	was := t.captured[ev.AS]
+	if bad && !was {
+		t.captured[ev.AS] = true
+		t.everCaptured[ev.AS] = true
+		if len(t.captured) > t.peak {
+			t.peak = len(t.captured)
+		}
+	} else if !bad && was {
+		delete(t.captured, ev.AS)
+		t.lastRecovery = ev.Time
+	}
+}
+
+// Trial is the outcome of one §3 experiment run.
+type Trial struct {
+	// Detected reports whether any feed revealed the hijack. A feed only
+	// sees what its vantage points see: with a tiny arsenal none of the
+	// monitored views may be captured, and the hijack stays invisible —
+	// the coverage side of the §2 parametrization trade-off.
+	Detected bool
+	// HijackAt is when the attacker announced.
+	HijackAt time.Duration
+	// DetectionDelay: hijack → ARTEMIS alert (§3 reports ≈45 s).
+	DetectionDelay time.Duration
+	// TriggerDelay: alert → de-aggregated prefixes announced by the
+	// controller (§3 reports ≈15 s).
+	TriggerDelay time.Duration
+	// MitigationDelay: announcement → every AS back on the victim
+	// (§3 reports ≤5 min).
+	MitigationDelay time.Duration
+	// Total: hijack → fully mitigated (§3 reports ≈6 min).
+	Total time.Duration
+	// DetectedBy names the feed that delivered the first evidence.
+	DetectedBy string
+	// PeakCaptured is the maximum number of ASes simultaneously captured.
+	PeakCaptured int
+	// EverCaptured counts ASes hit at any point.
+	EverCaptured int
+	// StillCaptured counts ASes not recovered by the end of the trial.
+	StillCaptured int
+	// RecoveredFrac is 1 - StillCaptured/EverCaptured (1.0 when nothing
+	// was captured).
+	RecoveredFrac float64
+	// LGQueries is the Periscope overhead spent during the trial.
+	LGQueries int
+}
+
+// trialTimeouts bound the phases in simulation time.
+const (
+	setupHorizon = 15 * time.Minute
+	runHorizon   = 45 * time.Minute
+	quietPeriod  = 2 * time.Minute
+)
+
+// runQuiet advances the simulation until no routing change happened for
+// quietPeriod (periodic feed polls keep firing but cause no changes), or
+// the horizon passes.
+func (env *Env) runQuiet(horizon time.Duration) {
+	deadline := env.Engine.Now() + horizon
+	for env.Engine.Now() < deadline {
+		next := env.Engine.Now() + 15*time.Second
+		env.Engine.RunUntil(next)
+		if env.Engine.Now()-env.Net.LastChange() >= quietPeriod {
+			return
+		}
+	}
+}
+
+// runPhase3 advances the simulation until the hijack outcome is final:
+// routing quiet, and either mitigation fully applied or enough time past
+// the slowest feed cycle to call the hijack undetected.
+func (env *Env) runPhase3(hijackAt time.Duration) {
+	deadline := env.Engine.Now() + runHorizon
+	// Give every feed at least two full cycles before declaring a miss.
+	undetectedGrace := 2*env.Opts.LGPoll + 2*quietPeriod
+	for env.Engine.Now() < deadline {
+		env.Engine.RunUntil(env.Engine.Now() + 15*time.Second)
+		if env.Engine.Now()-env.Net.LastChange() < quietPeriod {
+			continue
+		}
+		recs := env.Artemis.Mitigator.Records()
+		if len(recs) == 0 {
+			if env.Engine.Now()-hijackAt >= undetectedGrace {
+				return // undetected for good
+			}
+			continue
+		}
+		want := 0
+		for _, r := range recs {
+			want += len(r.Prefixes)
+		}
+		if len(env.Ctrl.Actions()) >= want {
+			return // mitigation applied and network settled after it
+		}
+	}
+}
+
+// RunTrial executes the three phases of §3 against a built environment
+// and returns the measured timeline.
+func RunTrial(env *Env) (Trial, error) {
+	owned := env.Opts.Owned
+
+	// Phase 1 — setup: announce and wait for convergence.
+	if err := env.Victim.Announce(env.Net, owned); err != nil {
+		return Trial{}, err
+	}
+	env.runQuiet(setupHorizon)
+	if len(env.Artemis.Detector.Alerts()) != 0 {
+		return Trial{}, fmt.Errorf("experiment: false alert during setup: %+v", env.Artemis.Detector.Alerts())
+	}
+
+	// Phase 2 — hijack.
+	attack, err := hijack.AttackPrefix(env.Opts.Kind, owned)
+	if err != nil {
+		return Trial{}, err
+	}
+	tr := Trial{HijackAt: env.Engine.Now()}
+	if env.Opts.Kind == hijack.PathFake {
+		// A forged path cannot be expressed through normal origination in
+		// the simulator's control plane (the attacker's router would need
+		// to lie); experiments that use PathFake drive the detector
+		// directly. Reject here to keep trial semantics honest.
+		return Trial{}, fmt.Errorf("experiment: PathFake is exercised at the detector level, not in trials")
+	}
+	if err := env.Attacker.Announce(env.Net, attack); err != nil {
+		return Trial{}, err
+	}
+
+	// Phase 3 — detection fires the mitigation automatically; run until
+	// the network settles *and* no detection or mitigation is pending.
+	// Routing can quiesce before a slow looking-glass poll reveals the
+	// hijack, so quiet alone is not completion.
+	env.runPhase3(tr.HijackAt)
+
+	alerts := env.Artemis.Detector.Alerts()
+	if len(alerts) == 0 {
+		// Undetected: report ground-truth impact with Detected=false.
+		tr.PeakCaptured = env.track.peak
+		tr.EverCaptured = len(env.track.everCaptured)
+		tr.StillCaptured = len(env.track.captured)
+		if tr.EverCaptured > 0 {
+			tr.RecoveredFrac = 1 - float64(tr.StillCaptured)/float64(tr.EverCaptured)
+		}
+		if env.Periscope != nil {
+			tr.LGQueries = env.Periscope.Queries()
+		}
+		return tr, nil
+	}
+	tr.Detected = true
+	alert := alerts[0]
+	tr.DetectionDelay = alert.DetectedAt - tr.HijackAt
+	tr.DetectedBy = alert.Evidence.Source
+
+	actions := env.Ctrl.Actions()
+	if len(actions) == 0 {
+		return Trial{}, fmt.Errorf("experiment: mitigation never applied")
+	}
+	var announcedAt time.Duration
+	for _, a := range actions {
+		if a.AppliedAt > announcedAt {
+			announcedAt = a.AppliedAt
+		}
+	}
+	tr.TriggerDelay = announcedAt - alert.DetectedAt
+
+	tr.PeakCaptured = env.track.peak
+	tr.EverCaptured = len(env.track.everCaptured)
+	tr.StillCaptured = len(env.track.captured)
+	if tr.EverCaptured > 0 {
+		tr.RecoveredFrac = 1 - float64(tr.StillCaptured)/float64(tr.EverCaptured)
+	} else {
+		tr.RecoveredFrac = 1
+	}
+	if tr.StillCaptured == 0 && tr.EverCaptured > 0 {
+		tr.MitigationDelay = env.track.lastRecovery - announcedAt
+		tr.Total = env.track.lastRecovery - tr.HijackAt
+	} else {
+		// Unrecovered (e.g. the /24 caveat): report the horizon as a
+		// lower bound on Total.
+		tr.MitigationDelay = env.Engine.Now() - announcedAt
+		tr.Total = env.Engine.Now() - tr.HijackAt
+	}
+	if env.Periscope != nil {
+		tr.LGQueries = env.Periscope.Queries()
+	}
+	return tr, nil
+}

@@ -1,0 +1,133 @@
+// Package bgpmon reproduces a BGPmon-style monitoring feed: BGP updates
+// observed at vantage points, passed through a processing pipeline with a
+// per-event delay, and streamed to clients as XML messages over a raw TCP
+// connection — the XFB-flavored transport BGPmon used.
+//
+// Unlike the RIS-style feed (batched per collector), BGPmon models a
+// per-event processing latency, so the two sources have different delay
+// profiles; ARTEMIS's detection latency is the minimum across them (§2).
+package bgpmon
+
+import (
+	"sync"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/simnet"
+)
+
+// SourceName identifies this feed in events.
+const SourceName = "bgpmon"
+
+// Config tunes the simulated processing pipeline.
+type Config struct {
+	// Collector is the feed instance name (default "bmon0").
+	Collector string
+	// Peers are the vantage-point ASes monitored.
+	Peers []bgp.ASN
+	// MinDelay/MaxDelay bound the per-event processing latency.
+	// Defaults 20s-60s, the order BGPmon exhibited in the paper's era.
+	MinDelay, MaxDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Collector == "" {
+		c.Collector = "bmon0"
+	}
+	if c.MinDelay == 0 && c.MaxDelay == 0 {
+		c.MinDelay, c.MaxDelay = 20*time.Second, 60*time.Second
+	}
+	if c.MaxDelay < c.MinDelay {
+		c.MaxDelay = c.MinDelay
+	}
+	return c
+}
+
+// Service observes the simulated network and publishes delayed events.
+type Service struct {
+	nw  *simnet.Network
+	cfg Config
+
+	mu     sync.Mutex
+	subs   map[int]*subscriber
+	nextID int
+}
+
+type subscriber struct {
+	filter feedtypes.Filter
+	fn     func(feedtypes.Event)
+}
+
+// New attaches the feed to the network's vantage points.
+func New(nw *simnet.Network, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	svc := &Service{nw: nw, cfg: cfg, subs: make(map[int]*subscriber)}
+	for _, asn := range cfg.Peers {
+		node := nw.Node(asn)
+		if node == nil {
+			continue
+		}
+		vp := asn
+		node.OnChange(func(ev simnet.RouteChange) { svc.observe(vp, ev) })
+	}
+	return svc
+}
+
+// Name implements feedtypes.Source.
+func (s *Service) Name() string { return SourceName }
+
+// Subscribe registers fn for events matching f.
+func (s *Service) Subscribe(f feedtypes.Filter, fn func(feedtypes.Event)) (cancel func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	s.subs[id] = &subscriber{filter: f, fn: fn}
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		delete(s.subs, id)
+	}
+}
+
+func (s *Service) observe(vp bgp.ASN, ev simnet.RouteChange) {
+	now := s.nw.Engine.Now()
+	out := feedtypes.Event{
+		Source:       SourceName,
+		Collector:    s.cfg.Collector,
+		VantagePoint: vp,
+		Prefix:       ev.Prefix,
+		SeenAt:       now,
+	}
+	if ev.New != nil {
+		out.Kind = feedtypes.Announce
+		out.Path = append([]bgp.ASN{vp}, ev.New.Path...)
+	} else {
+		out.Kind = feedtypes.Withdraw
+	}
+	delay := s.cfg.MinDelay
+	if s.cfg.MaxDelay > s.cfg.MinDelay {
+		delay += time.Duration(s.nw.Engine.Rand().Int63n(int64(s.cfg.MaxDelay - s.cfg.MinDelay)))
+	}
+	s.nw.Engine.After(delay, func() {
+		out.EmittedAt = s.nw.Engine.Now()
+		s.publish(out)
+	})
+}
+
+func (s *Service) publish(ev feedtypes.Event) {
+	s.mu.Lock()
+	subs := make([]*subscriber, 0, len(s.subs))
+	for _, sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.mu.Unlock()
+	for _, sub := range subs {
+		if sub.filter.Match(ev.Prefix) {
+			sub.fn(ev)
+		}
+	}
+}
+
+var _ feedtypes.Source = (*Service)(nil)

@@ -1,0 +1,69 @@
+package bgpmon
+
+import (
+	"encoding/xml"
+	"io"
+	"net"
+
+	"artemis/internal/feeds/feedtypes"
+)
+
+// Client consumes a BGPmon server's XML stream, applying a prefix filter
+// locally (the server streams everything, as BGPmon did).
+type Client struct {
+	conn   net.Conn
+	filter feedtypes.Filter
+	events chan feedtypes.Event
+	errs   chan error
+}
+
+// DialClient connects to a Server and starts decoding.
+func DialClient(addr string, f feedtypes.Filter) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, filter: f, events: make(chan feedtypes.Event, 256), errs: make(chan error, 1)}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	defer close(c.events)
+	dec := xml.NewDecoder(c.conn)
+	for {
+		var m xmlMessage
+		if err := dec.Decode(&m); err != nil {
+			if err != io.EOF {
+				c.errs <- err
+			}
+			return
+		}
+		evs, err := xmlToEvents(m)
+		if err != nil {
+			c.errs <- err
+			return
+		}
+		for _, ev := range evs {
+			if c.filter.Match(ev.Prefix) {
+				c.events <- ev
+			}
+		}
+	}
+}
+
+// Events returns the filtered stream; the channel closes on disconnect.
+func (c *Client) Events() <-chan feedtypes.Event { return c.events }
+
+// Err reports the terminal error, if any, after Events closes.
+func (c *Client) Err() error {
+	select {
+	case err := <-c.errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Close disconnects.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,119 @@
+package bgpmon
+
+import (
+	"encoding/xml"
+	"net"
+	"sync"
+
+	"artemis/internal/feeds/feedtypes"
+)
+
+// Server streams the full feed to every TCP client as a sequence of XML
+// BGP_MESSAGE elements (no framing beyond XML itself, like BGPmon).
+// Filtering is the client's job.
+type Server struct {
+	svc *Service
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]func() // conn -> unsubscribe
+	closed bool
+}
+
+// NewServer starts listening on addr ("127.0.0.1:0" for tests) and serving
+// the feed.
+func NewServer(svc *Service, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{svc: svc, ln: ln, conns: make(map[net.Conn]func())}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.attach(conn)
+	}
+}
+
+func (s *Server) attach(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	// Per-connection serialized writer; events are small so a modest
+	// buffer suffices, and a stuck client is dropped.
+	out := make(chan []byte, 4096)
+	cancel := s.svc.Subscribe(feedtypes.Filter{}, func(ev feedtypes.Event) {
+		b, err := xml.Marshal(eventToXML(ev))
+		if err != nil {
+			return
+		}
+		b = append(b, '\n')
+		select {
+		case out <- b:
+		default:
+			conn.Close()
+		}
+	})
+	s.conns[conn] = cancel
+	s.mu.Unlock()
+
+	go func() {
+		defer s.drop(conn)
+		for b := range out {
+			if _, err := conn.Write(b); err != nil {
+				return
+			}
+		}
+	}()
+	go func() {
+		// Detect client hangup by reading (clients never send).
+		buf := make([]byte, 1)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				s.drop(conn)
+				return
+			}
+		}
+	}()
+}
+
+func (s *Server) drop(conn net.Conn) {
+	s.mu.Lock()
+	cancel, ok := s.conns[conn]
+	if ok {
+		delete(s.conns, conn)
+	}
+	s.mu.Unlock()
+	if ok {
+		cancel()
+		conn.Close()
+	}
+}
+
+// Close stops the listener and disconnects all clients.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		s.drop(c)
+	}
+}

@@ -1,0 +1,99 @@
+package bgpmon
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/prefix"
+)
+
+// xmlMessage is the on-wire XML element, shaped after BGPmon's XFB stream:
+// one BGP_MESSAGE element per event.
+type xmlMessage struct {
+	XMLName   xml.Name   `xml:"BGP_MESSAGE"`
+	Timestamp float64    `xml:"TIME,attr"`
+	SeenAt    float64    `xml:"SEEN,attr"`
+	Collector string     `xml:"COLLECTOR,attr"`
+	Peer      xmlPeering `xml:"PEERING"`
+	Update    xmlUpdate  `xml:"UPDATE"`
+}
+
+type xmlPeering struct {
+	AS uint32 `xml:"AS,attr"`
+}
+
+type xmlUpdate struct {
+	Withdraw []string `xml:"WITHDRAW"`
+	NLRI     []string `xml:"NLRI"`
+	ASPath   string   `xml:"AS_PATH"`
+}
+
+func eventToXML(ev feedtypes.Event) xmlMessage {
+	m := xmlMessage{
+		Timestamp: ev.EmittedAt.Seconds(),
+		SeenAt:    ev.SeenAt.Seconds(),
+		Collector: ev.Collector,
+		Peer:      xmlPeering{AS: uint32(ev.VantagePoint)},
+	}
+	if ev.Kind == feedtypes.Withdraw {
+		m.Update.Withdraw = []string{ev.Prefix.String()}
+		return m
+	}
+	m.Update.NLRI = []string{ev.Prefix.String()}
+	parts := make([]string, len(ev.Path))
+	for i, a := range ev.Path {
+		parts[i] = strconv.FormatUint(uint64(a), 10)
+	}
+	m.Update.ASPath = strings.Join(parts, " ")
+	return m
+}
+
+// xmlToEvents converts one XML message to events (a message carries either
+// withdrawals or announcements; both lists are honored for robustness).
+func xmlToEvents(m xmlMessage) ([]feedtypes.Event, error) {
+	base := feedtypes.Event{
+		Source:       SourceName,
+		Collector:    m.Collector,
+		VantagePoint: bgp.ASN(m.Peer.AS),
+		SeenAt:       time.Duration(m.SeenAt * float64(time.Second)),
+		EmittedAt:    time.Duration(m.Timestamp * float64(time.Second)),
+	}
+	var out []feedtypes.Event
+	for _, w := range m.Update.Withdraw {
+		p, err := prefix.Parse(w)
+		if err != nil {
+			return nil, fmt.Errorf("bgpmon: bad WITHDRAW: %w", err)
+		}
+		ev := base
+		ev.Kind = feedtypes.Withdraw
+		ev.Prefix = p
+		out = append(out, ev)
+	}
+	var path []bgp.ASN
+	if m.Update.ASPath != "" {
+		for _, tok := range strings.Fields(m.Update.ASPath) {
+			v, err := strconv.ParseUint(tok, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bgpmon: bad AS_PATH token %q", tok)
+			}
+			path = append(path, bgp.ASN(v))
+		}
+	}
+	for _, n := range m.Update.NLRI {
+		p, err := prefix.Parse(n)
+		if err != nil {
+			return nil, fmt.Errorf("bgpmon: bad NLRI: %w", err)
+		}
+		ev := base
+		ev.Kind = feedtypes.Announce
+		ev.Prefix = p
+		ev.Path = path
+		out = append(out, ev)
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package dumps
+
+import (
+	"bytes"
+	"io"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/bgp/mrt"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/prefix"
+)
+
+// BaselineDetector models a third-party alert service of the kind the
+// paper argues is too slow (§1): it learns about routing changes only when
+// the archive publishes a file, parses the MRT data, flags origin
+// conflicts for the configured prefixes, and then waits out a notification
+// + manual verification delay before the operator can act.
+type BaselineDetector struct {
+	archive *Archive
+	filter  feedtypes.Filter
+	// NotifyDelay is the time from alert generation to the operator having
+	// verified it by hand — the paper cites ~80 minutes for YouTube; a
+	// diligent operator is modeled at 10 minutes by default.
+	notifyDelay time.Duration
+	legit       map[bgp.ASN]bool
+	alerts      []BaselineAlert
+	seen        map[string]bool
+}
+
+// BaselineAlert is one detected conflict, with the full latency breakdown.
+type BaselineAlert struct {
+	Prefix prefix.Prefix
+	Origin bgp.ASN
+	// ObservedAt is when the VP actually changed (from the MRT record).
+	ObservedAt time.Duration
+	// PublishedAt is when the file containing it was released.
+	PublishedAt time.Duration
+	// ActionableAt adds the notification/verification delay.
+	ActionableAt time.Duration
+}
+
+// DefaultNotifyDelay is the post-publication human verification latency.
+const DefaultNotifyDelay = 10 * time.Minute
+
+// NewBaselineDetector attaches a detector to an archive. legitOrigins are
+// the ASes allowed to originate the filtered prefixes.
+func NewBaselineDetector(a *Archive, f feedtypes.Filter, legitOrigins []bgp.ASN, notifyDelay time.Duration) *BaselineDetector {
+	if notifyDelay == 0 {
+		notifyDelay = DefaultNotifyDelay
+	}
+	d := &BaselineDetector{
+		archive:     a,
+		filter:      f,
+		notifyDelay: notifyDelay,
+		legit:       make(map[bgp.ASN]bool),
+		seen:        make(map[string]bool),
+	}
+	for _, o := range legitOrigins {
+		d.legit[o] = true
+	}
+	a.OnPublish(d.processFile)
+	return d
+}
+
+// Alerts returns all conflicts found so far.
+func (d *BaselineDetector) Alerts() []BaselineAlert {
+	return append([]BaselineAlert(nil), d.alerts...)
+}
+
+func (d *BaselineDetector) processFile(f File) {
+	r := mrt.NewReader(bytes.NewReader(f.Data))
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			return // a corrupt archive file yields whatever parsed so far
+		}
+		switch m := rec.(type) {
+		case *mrt.BGP4MPMessage:
+			u, ok := m.Message.(*bgp.Update)
+			if !ok {
+				continue
+			}
+			origin, ok := u.Origin()
+			if !ok {
+				continue
+			}
+			for _, p := range u.NLRI {
+				d.check(p, origin, SimTimeOf(m.Timestamp), f.PublishedAt)
+			}
+		case *mrt.RIBEntry:
+			for _, rt := range m.Routes {
+				u := &bgp.Update{Attrs: rt.Attrs}
+				origin, ok := u.Origin()
+				if !ok {
+					continue
+				}
+				d.check(m.Prefix, origin, SimTimeOf(m.Timestamp), f.PublishedAt)
+			}
+		}
+	}
+}
+
+func (d *BaselineDetector) check(p prefix.Prefix, origin bgp.ASN, observed, published time.Duration) {
+	if !d.filter.Match(p) || d.legit[origin] {
+		return
+	}
+	key := p.String() + "|" + origin.String()
+	if d.seen[key] {
+		return
+	}
+	d.seen[key] = true
+	d.alerts = append(d.alerts, BaselineAlert{
+		Prefix:       p,
+		Origin:       origin,
+		ObservedAt:   observed,
+		PublishedAt:  published,
+		ActionableAt: published + d.notifyDelay,
+	})
+}

@@ -1,0 +1,261 @@
+// Package dumps reproduces the RouteViews/RIS *archive* pipeline the paper
+// contrasts ARTEMIS against (§1): full RIB snapshots every 2 hours and
+// update files every 15 minutes, published as MRT (RFC 6396) files. A
+// third-party alert system consuming these archives cannot see a hijack
+// until the next file lands — that staleness, plus the operator's manual
+// verification, is the baseline of experiment E5.
+package dumps
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/bgp/mrt"
+	"artemis/internal/prefix"
+	"artemis/internal/route"
+	"artemis/internal/simnet"
+)
+
+// SourceName identifies this feed.
+const SourceName = "dumps"
+
+// Config tunes the archive cadence.
+type Config struct {
+	// Collector names the archive ("rv0").
+	Collector string
+	// Peers are the vantage-point ASes whose sessions feed the archive.
+	Peers []bgp.ASN
+	// RIBInterval is the full-table snapshot period (default 2h, §1).
+	RIBInterval time.Duration
+	// UpdateInterval is the update-file period (default 15m, §1).
+	UpdateInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Collector == "" {
+		c.Collector = "rv0"
+	}
+	if c.RIBInterval == 0 {
+		c.RIBInterval = 2 * time.Hour
+	}
+	if c.UpdateInterval == 0 {
+		c.UpdateInterval = 15 * time.Minute
+	}
+	return c
+}
+
+// File is one published archive file.
+type File struct {
+	Name        string
+	PublishedAt time.Duration
+	Data        []byte
+}
+
+// Archive accumulates VP events and periodically publishes MRT files.
+type Archive struct {
+	nw  *simnet.Network
+	cfg Config
+
+	mu      sync.Mutex
+	files   []File
+	hooks   []func(File)
+	stopped bool
+
+	pending []pendingUpdate
+}
+
+type pendingUpdate struct {
+	vp  bgp.ASN
+	at  time.Duration
+	msg *bgp.Update
+}
+
+// New attaches the archive to the network and schedules publications.
+func New(nw *simnet.Network, cfg Config) *Archive {
+	cfg = cfg.withDefaults()
+	a := &Archive{nw: nw, cfg: cfg}
+	for _, asn := range cfg.Peers {
+		node := nw.Node(asn)
+		if node == nil {
+			continue
+		}
+		vp := asn
+		node.OnChange(func(ev simnet.RouteChange) { a.observe(vp, ev) })
+	}
+	nw.Engine.After(cfg.UpdateInterval, a.publishUpdates)
+	nw.Engine.After(cfg.RIBInterval, a.publishRIB)
+	return a
+}
+
+// Stop ceases future publications.
+func (a *Archive) Stop() {
+	a.mu.Lock()
+	a.stopped = true
+	a.mu.Unlock()
+}
+
+// OnPublish registers a hook invoked (in the engine goroutine) whenever a
+// file is published. The baseline detector attaches here.
+func (a *Archive) OnPublish(fn func(File)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.hooks = append(a.hooks, fn)
+}
+
+// Files lists everything published so far, in publication order.
+func (a *Archive) Files() []File {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]File(nil), a.files...)
+}
+
+// Get returns a file's bytes by name.
+func (a *Archive) Get(name string) ([]byte, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, f := range a.files {
+		if f.Name == name {
+			return f.Data, true
+		}
+	}
+	return nil, false
+}
+
+func (a *Archive) observe(vp bgp.ASN, ev simnet.RouteChange) {
+	u := &bgp.Update{}
+	if ev.New != nil {
+		path := append([]bgp.ASN{vp}, ev.New.Path...)
+		u.Attrs = []bgp.PathAttr{
+			&bgp.OriginAttr{Value: bgp.OriginIGP},
+			bgp.NewASPath(path),
+			&bgp.NextHopAttr{Addr: prefix.Addr(vp)},
+		}
+		u.NLRI = []prefix.Prefix{ev.Prefix}
+	} else {
+		u.Withdrawn = []prefix.Prefix{ev.Prefix}
+	}
+	a.pending = append(a.pending, pendingUpdate{vp: vp, at: a.nw.Engine.Now(), msg: u})
+}
+
+func (a *Archive) publishUpdates() {
+	a.mu.Lock()
+	stopped := a.stopped
+	a.mu.Unlock()
+	if stopped {
+		return
+	}
+	now := a.nw.Engine.Now()
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	for _, p := range a.pending {
+		rec := &mrt.BGP4MPMessage{
+			Timestamp: simEpoch.Add(p.at),
+			PeerAS:    p.vp,
+			LocalAS:   0,
+			PeerIP:    prefix.Addr(p.vp),
+			Message:   p.msg,
+		}
+		if err := w.Write(rec); err != nil {
+			// Encoding our own records cannot fail with valid inputs;
+			// surface loudly in development.
+			panic(fmt.Sprintf("dumps: encode update record: %v", err))
+		}
+	}
+	a.pending = nil
+	a.publish(File{
+		Name:        fmt.Sprintf("updates.%d.mrt", int(now.Seconds())),
+		PublishedAt: now,
+		Data:        append([]byte(nil), buf.Bytes()...),
+	})
+	a.nw.Engine.After(a.cfg.UpdateInterval, a.publishUpdates)
+}
+
+func (a *Archive) publishRIB() {
+	a.mu.Lock()
+	stopped := a.stopped
+	a.mu.Unlock()
+	if stopped {
+		return
+	}
+	now := a.nw.Engine.Now()
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+
+	pit := &mrt.PeerIndexTable{Timestamp: simEpoch.Add(now), ViewName: a.cfg.Collector}
+	peerIdx := map[bgp.ASN]uint16{}
+	for i, vp := range a.cfg.Peers {
+		peerIdx[vp] = uint16(i)
+		pit.Peers = append(pit.Peers, mrt.Peer{BGPID: prefix.Addr(vp), IP: prefix.Addr(vp), AS: vp})
+	}
+	if err := w.Write(pit); err != nil {
+		panic(fmt.Sprintf("dumps: encode peer index: %v", err))
+	}
+
+	// Gather each peer's full best-route table, grouped by prefix.
+	byPrefix := map[prefix.Prefix][]mrt.RIBPeerRoute{}
+	var order []prefix.Prefix
+	for _, vp := range a.cfg.Peers {
+		node := a.nw.Node(vp)
+		if node == nil {
+			continue
+		}
+		idx := peerIdx[vp]
+		node.Table().WalkBest(func(r *route.Route) bool {
+			path := append([]bgp.ASN{vp}, r.Path...)
+			attrs := []bgp.PathAttr{
+				&bgp.OriginAttr{Value: bgp.OriginIGP},
+				bgp.NewASPath(path),
+				&bgp.NextHopAttr{Addr: prefix.Addr(vp)},
+			}
+			if _, seen := byPrefix[r.Prefix]; !seen {
+				order = append(order, r.Prefix)
+			}
+			byPrefix[r.Prefix] = append(byPrefix[r.Prefix], mrt.RIBPeerRoute{
+				PeerIndex:  idx,
+				Originated: simEpoch.Add(now),
+				Attrs:      attrs,
+			})
+			return true
+		})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Compare(order[j]) < 0 })
+	for seq, p := range order {
+		rec := &mrt.RIBEntry{
+			Timestamp: simEpoch.Add(now),
+			Sequence:  uint32(seq),
+			Prefix:    p,
+			Routes:    byPrefix[p],
+		}
+		if err := w.Write(rec); err != nil {
+			panic(fmt.Sprintf("dumps: encode rib entry: %v", err))
+		}
+	}
+	a.publish(File{
+		Name:        fmt.Sprintf("rib.%d.mrt", int(now.Seconds())),
+		PublishedAt: now,
+		Data:        append([]byte(nil), buf.Bytes()...),
+	})
+	a.nw.Engine.After(a.cfg.RIBInterval, a.publishRIB)
+}
+
+func (a *Archive) publish(f File) {
+	a.mu.Lock()
+	a.files = append(a.files, f)
+	hooks := make([]func(File), len(a.hooks))
+	copy(hooks, a.hooks)
+	a.mu.Unlock()
+	for _, fn := range hooks {
+		fn(f)
+	}
+}
+
+// simEpoch anchors simulation durations to MRT wall-clock timestamps.
+// June 2016: the paper's SIGCOMM.
+var simEpoch = time.Unix(1466000000, 0).UTC()
+
+// SimTimeOf converts an MRT record timestamp back to simulation time.
+func SimTimeOf(t time.Time) time.Duration { return t.Sub(simEpoch) }

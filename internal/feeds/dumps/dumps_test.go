@@ -1,0 +1,196 @@
+package dumps
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/bgp/mrt"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/prefix"
+	"artemis/internal/sim"
+	"artemis/internal/simnet"
+	"artemis/internal/topo"
+)
+
+func setup(t *testing.T) (*simnet.Network, *sim.Engine) {
+	t.Helper()
+	tp := topo.Line(4, 10*time.Millisecond)
+	eng := sim.NewEngine(1)
+	nw := simnet.New(tp, eng, simnet.Config{MRAI: simnet.Disabled, ProcMin: time.Millisecond, ProcMax: 2 * time.Millisecond})
+	return nw, eng
+}
+
+func peers() []bgp.ASN { return []bgp.ASN{topo.FirstASN + 2, topo.FirstASN + 3} }
+
+func TestUpdateFilesPublishedOnSchedule(t *testing.T) {
+	nw, eng := setup(t)
+	a := New(nw, Config{Peers: peers(), UpdateInterval: 15 * time.Minute, RIBInterval: 2 * time.Hour})
+	nw.Announce(topo.FirstASN, prefix.MustParse("10.0.0.0/23"))
+	eng.RunUntil(46 * time.Minute)
+	a.Stop()
+	files := a.Files()
+	if len(files) != 3 {
+		t.Fatalf("files = %d, want 3 update files in 46min", len(files))
+	}
+	if files[0].PublishedAt != 15*time.Minute {
+		t.Fatalf("first publication at %v", files[0].PublishedAt)
+	}
+	// First file contains the announcement, later ones are empty.
+	recs := parseAll(t, files[0].Data)
+	if len(recs) != 2 {
+		t.Fatalf("first update file has %d records, want 2 (two VPs)", len(recs))
+	}
+	m := recs[0].(*mrt.BGP4MPMessage)
+	u := m.Message.(*bgp.Update)
+	if len(u.NLRI) != 1 || u.NLRI[0].String() != "10.0.0.0/23" {
+		t.Fatalf("record NLRI = %v", u.NLRI)
+	}
+	if origin, _ := u.Origin(); origin != topo.FirstASN {
+		t.Fatalf("origin = %v", origin)
+	}
+	if len(parseAll(t, files[1].Data)) != 0 {
+		t.Fatal("quiet interval should publish an empty update file")
+	}
+}
+
+func TestRIBSnapshotRoundTrips(t *testing.T) {
+	nw, eng := setup(t)
+	a := New(nw, Config{Peers: peers(), UpdateInterval: time.Hour, RIBInterval: 30 * time.Minute})
+	nw.Announce(topo.FirstASN, prefix.MustParse("10.0.0.0/23"))
+	nw.Announce(topo.FirstASN+1, prefix.MustParse("192.0.2.0/24"))
+	eng.RunUntil(31 * time.Minute)
+	a.Stop()
+	var rib File
+	for _, f := range a.Files() {
+		if f.Name[:3] == "rib" {
+			rib = f
+		}
+	}
+	if rib.Name == "" {
+		t.Fatal("no RIB snapshot published")
+	}
+	recs := parseAll(t, rib.Data)
+	pit, ok := recs[0].(*mrt.PeerIndexTable)
+	if !ok || len(pit.Peers) != 2 {
+		t.Fatalf("first record should be the peer index: %+v", recs[0])
+	}
+	entries := 0
+	for _, r := range recs[1:] {
+		e, ok := r.(*mrt.RIBEntry)
+		if !ok {
+			t.Fatalf("unexpected record %T", r)
+		}
+		if len(e.Routes) != 2 {
+			t.Fatalf("RIB entry %s has %d peer routes, want 2", e.Prefix, len(e.Routes))
+		}
+		entries++
+	}
+	if entries != 2 {
+		t.Fatalf("RIB entries = %d, want 2 prefixes", entries)
+	}
+}
+
+func TestGetByName(t *testing.T) {
+	nw, eng := setup(t)
+	a := New(nw, Config{Peers: peers()})
+	eng.RunUntil(16 * time.Minute)
+	a.Stop()
+	files := a.Files()
+	if len(files) == 0 {
+		t.Fatal("nothing published")
+	}
+	if _, ok := a.Get(files[0].Name); !ok {
+		t.Fatal("Get by name failed")
+	}
+	if _, ok := a.Get("nope.mrt"); ok {
+		t.Fatal("Get of unknown name succeeded")
+	}
+}
+
+func TestBaselineDetectorLatency(t *testing.T) {
+	nw, eng := setup(t)
+	a := New(nw, Config{Peers: peers(), UpdateInterval: 15 * time.Minute, RIBInterval: 2 * time.Hour})
+	owned := prefix.MustParse("10.0.0.0/23")
+	victim, attacker := topo.FirstASN, topo.FirstASN+1
+	det := NewBaselineDetector(a, feedtypes.Filter{
+		Prefixes: []prefix.Prefix{owned}, MoreSpecific: true,
+	}, []bgp.ASN{victim}, 10*time.Minute)
+
+	nw.Announce(victim, owned)
+	eng.RunUntil(20 * time.Minute) // first file at 15m: legit announcement, no alert
+	if len(det.Alerts()) != 0 {
+		t.Fatalf("false alert on legit origin: %+v", det.Alerts())
+	}
+	// Hijack at ~20m; it lands in the file published at 30m.
+	nw.Announce(attacker, owned)
+	eng.RunUntil(31 * time.Minute)
+	a.Stop()
+	alerts := det.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+	al := alerts[0]
+	if al.Origin != attacker || al.Prefix != owned {
+		t.Fatalf("alert = %+v", al)
+	}
+	if al.PublishedAt != 30*time.Minute {
+		t.Fatalf("published at %v, want 30m", al.PublishedAt)
+	}
+	if al.ActionableAt != 40*time.Minute {
+		t.Fatalf("actionable at %v, want 40m", al.ActionableAt)
+	}
+	if al.ObservedAt < 20*time.Minute || al.ObservedAt > 21*time.Minute {
+		t.Fatalf("observed at %v", al.ObservedAt)
+	}
+}
+
+func TestBaselineDetectorFromRIB(t *testing.T) {
+	// A hijack that happened before the detector subscribed is still
+	// caught from the next full RIB snapshot.
+	nw, eng := setup(t)
+	a := New(nw, Config{Peers: peers(), UpdateInterval: 500 * time.Hour, RIBInterval: 2 * time.Hour})
+	owned := prefix.MustParse("10.0.0.0/23")
+	det := NewBaselineDetector(a, feedtypes.Filter{Prefixes: []prefix.Prefix{owned}}, []bgp.ASN{topo.FirstASN}, 0)
+	nw.Announce(topo.FirstASN+1, owned) // hijack, never a legit announcement
+	eng.RunUntil(2*time.Hour + time.Minute)
+	a.Stop()
+	alerts := det.Alerts()
+	if len(alerts) != 1 || alerts[0].Origin != topo.FirstASN+1 {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+	if alerts[0].ActionableAt != 2*time.Hour+DefaultNotifyDelay {
+		t.Fatalf("default notify delay not applied: %v", alerts[0].ActionableAt)
+	}
+}
+
+func TestBaselineDeduplicatesAlerts(t *testing.T) {
+	nw, eng := setup(t)
+	a := New(nw, Config{Peers: peers(), UpdateInterval: 10 * time.Minute, RIBInterval: time.Hour})
+	owned := prefix.MustParse("10.0.0.0/23")
+	det := NewBaselineDetector(a, feedtypes.Filter{Prefixes: []prefix.Prefix{owned}}, []bgp.ASN{topo.FirstASN}, 0)
+	nw.Announce(topo.FirstASN+1, owned)
+	eng.RunUntil(3 * time.Hour) // several update files + RIB dumps see the same conflict
+	a.Stop()
+	if len(det.Alerts()) != 1 {
+		t.Fatalf("duplicate alerts: %+v", det.Alerts())
+	}
+}
+
+func parseAll(t *testing.T, data []byte) []mrt.Record {
+	t.Helper()
+	r := mrt.NewReader(bytes.NewReader(data))
+	var out []mrt.Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,80 @@
+package feedtypes
+
+import (
+	"testing"
+
+	"artemis/internal/bgp"
+	"artemis/internal/prefix"
+)
+
+func TestEventOrigin(t *testing.T) {
+	e := Event{Kind: Announce, Path: []bgp.ASN{10, 20, 30}}
+	o, ok := e.Origin()
+	if !ok || o != 30 {
+		t.Fatalf("Origin = %v,%v", o, ok)
+	}
+	w := Event{Kind: Withdraw}
+	if _, ok := w.Origin(); ok {
+		t.Fatal("withdrawal has no origin")
+	}
+	empty := Event{Kind: Announce}
+	if _, ok := empty.Origin(); ok {
+		t.Fatal("empty path has no origin")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Announce.String() != "announcement" || Withdraw.String() != "withdrawal" {
+		t.Fatal("Kind.String broken")
+	}
+}
+
+func TestFilterExact(t *testing.T) {
+	f := Filter{Prefixes: []prefix.Prefix{prefix.MustParse("10.0.0.0/23")}}
+	if !f.Match(prefix.MustParse("10.0.0.0/23")) {
+		t.Fatal("exact match failed")
+	}
+	if f.Match(prefix.MustParse("10.0.0.0/24")) {
+		t.Fatal("more specific matched without flag")
+	}
+	if f.Match(prefix.MustParse("10.0.0.0/16")) {
+		t.Fatal("less specific matched without flag")
+	}
+}
+
+func TestFilterMoreSpecific(t *testing.T) {
+	f := Filter{Prefixes: []prefix.Prefix{prefix.MustParse("10.0.0.0/23")}, MoreSpecific: true}
+	if !f.Match(prefix.MustParse("10.0.1.0/24")) {
+		t.Fatal("sub-prefix should match")
+	}
+	if f.Match(prefix.MustParse("10.0.2.0/24")) {
+		t.Fatal("sibling prefix matched")
+	}
+}
+
+func TestFilterLessSpecific(t *testing.T) {
+	f := Filter{Prefixes: []prefix.Prefix{prefix.MustParse("10.0.0.0/23")}, LessSpecific: true}
+	if !f.Match(prefix.MustParse("10.0.0.0/16")) {
+		t.Fatal("covering prefix should match")
+	}
+	if f.Match(prefix.MustParse("10.0.0.0/24")) {
+		t.Fatal("sub-prefix matched with only LessSpecific")
+	}
+}
+
+func TestFilterMatchAll(t *testing.T) {
+	var f Filter
+	if !f.MatchAll() || !f.Match(prefix.MustParse("203.0.113.0/24")) {
+		t.Fatal("empty filter should match everything")
+	}
+}
+
+func TestFilterMultiplePrefixes(t *testing.T) {
+	f := Filter{Prefixes: []prefix.Prefix{
+		prefix.MustParse("10.0.0.0/23"),
+		prefix.MustParse("192.0.2.0/24"),
+	}, MoreSpecific: true}
+	if !f.Match(prefix.MustParse("192.0.2.128/25")) {
+		t.Fatal("second watched prefix not honored")
+	}
+}

@@ -1,0 +1,273 @@
+// Package periscope reproduces a Periscope-style looking-glass
+// infrastructure: per-AS looking glasses that answer "show ip bgp
+// <prefix> longer-prefixes" queries from the router's live table, plus an
+// aggregation client that polls a selected arsenal of LGs on a schedule,
+// respecting per-LG rate limits, and turns answer changes into feed events.
+//
+// Unlike the streaming feeds, a looking glass has no pipeline latency —
+// it reads an operational router directly (the paper's motivation for
+// using LGs, §1) — but it only *sees* anything when polled, so its delay
+// profile is the polling schedule. Experiment E3 sweeps the arsenal size
+// and selection strategy to reproduce the paper's monitoring-overhead vs
+// detection-speed trade-off.
+package periscope
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/prefix"
+	"artemis/internal/route"
+	"artemis/internal/simnet"
+)
+
+// SourceName identifies this feed in events.
+const SourceName = "periscope"
+
+// LGRoute is one looking-glass answer row.
+type LGRoute struct {
+	Prefix prefix.Prefix `json:"prefix"`
+	Path   []bgp.ASN     `json:"path"`
+	Origin bgp.ASN       `json:"origin"`
+}
+
+// LookingGlass answers queries from one AS's routing table.
+type LookingGlass struct {
+	ID   string
+	ASN  bgp.ASN
+	node *simnet.Node
+}
+
+// NewLookingGlass attaches an LG to an AS in the network.
+func NewLookingGlass(nw *simnet.Network, asn bgp.ASN) (*LookingGlass, error) {
+	node := nw.Node(asn)
+	if node == nil {
+		return nil, fmt.Errorf("periscope: unknown AS %v", asn)
+	}
+	return &LookingGlass{ID: fmt.Sprintf("lg-%d", uint32(asn)), ASN: asn, node: node}, nil
+}
+
+// Query returns the LPM route for p plus all more-specific routes, as the
+// AS currently selects them. It must run in the simulation goroutine.
+func (lg *LookingGlass) Query(p prefix.Prefix) []LGRoute {
+	var out []LGRoute
+	seen := map[string]bool{}
+	add := func(rp prefix.Prefix, path []bgp.ASN, origin bgp.ASN) {
+		key := rp.String()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, LGRoute{Prefix: rp, Path: append([]bgp.ASN{lg.ASN}, path...), Origin: origin})
+	}
+	if r, ok := lg.node.Table().ResolveBestFor(p); ok {
+		add(r.Prefix, r.Path, r.Origin(lg.ASN))
+	}
+	lg.node.Table().WalkCovered(p, func(r *route.Route) bool {
+		add(r.Prefix, r.Path, r.Origin(lg.ASN))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Compare(out[j].Prefix) < 0 })
+	return out
+}
+
+// Config tunes the aggregation client.
+type Config struct {
+	// LGs is the arsenal (vantage ASes to poll).
+	LGs []bgp.ASN
+	// Prefixes is the watch list queried at each poll.
+	Prefixes []prefix.Prefix
+	// PollInterval is the per-LG poll period (the Periscope rate limit).
+	// Default 3 minutes.
+	PollInterval time.Duration
+	// Stagger spreads first polls evenly across the interval (default on;
+	// NoStagger aligns them, the worst case).
+	NoStagger bool
+	// RTTMin/RTTMax bound the query round-trip (default 200ms-2s).
+	RTTMin, RTTMax time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.PollInterval == 0 {
+		c.PollInterval = 3 * time.Minute
+	}
+	if c.RTTMin == 0 && c.RTTMax == 0 {
+		c.RTTMin, c.RTTMax = 200*time.Millisecond, 2*time.Second
+	}
+	if c.RTTMax < c.RTTMin {
+		c.RTTMax = c.RTTMin
+	}
+	return c
+}
+
+// Service polls the arsenal and publishes answer changes as events.
+type Service struct {
+	nw  *simnet.Network
+	cfg Config
+	lgs []*LookingGlass
+
+	mu      sync.Mutex
+	subs    map[int]*subscriber
+	nextID  int
+	stopped bool
+
+	// last answer per (lg, watched prefix, answered prefix) to detect change
+	state map[string]string
+
+	queries int
+}
+
+type subscriber struct {
+	filter feedtypes.Filter
+	fn     func(feedtypes.Event)
+}
+
+// New builds the service and schedules the polling loops.
+func New(nw *simnet.Network, cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	svc := &Service{nw: nw, cfg: cfg, subs: make(map[int]*subscriber), state: make(map[string]string)}
+	for _, asn := range cfg.LGs {
+		lg, err := NewLookingGlass(nw, asn)
+		if err != nil {
+			return nil, err
+		}
+		svc.lgs = append(svc.lgs, lg)
+	}
+	for i, lg := range svc.lgs {
+		offset := time.Duration(0)
+		if !cfg.NoStagger && len(svc.lgs) > 0 {
+			offset = time.Duration(i) * cfg.PollInterval / time.Duration(len(svc.lgs))
+		}
+		lg := lg
+		nw.Engine.After(offset, func() { svc.poll(lg) })
+	}
+	return svc, nil
+}
+
+// Name implements feedtypes.Source.
+func (s *Service) Name() string { return SourceName }
+
+// Stop ceases polling (pending events still drain).
+func (s *Service) Stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+}
+
+// Queries returns the total number of LG queries issued — the monitoring
+// overhead measure of experiment E3.
+func (s *Service) Queries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queries
+}
+
+// Subscribe registers fn for events matching f.
+func (s *Service) Subscribe(f feedtypes.Filter, fn func(feedtypes.Event)) (cancel func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	s.subs[id] = &subscriber{filter: f, fn: fn}
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		delete(s.subs, id)
+	}
+}
+
+func (s *Service) poll(lg *LookingGlass) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.queries += len(s.cfg.Prefixes)
+	s.mu.Unlock()
+
+	now := s.nw.Engine.Now()
+	rtt := s.cfg.RTTMin
+	if s.cfg.RTTMax > s.cfg.RTTMin {
+		rtt += time.Duration(s.nw.Engine.Rand().Int63n(int64(s.cfg.RTTMax - s.cfg.RTTMin)))
+	}
+	var changed []feedtypes.Event
+	for _, watched := range s.cfg.Prefixes {
+		answers := lg.Query(watched)
+		current := map[string]bool{}
+		for _, a := range answers {
+			key := lg.ID + "|" + watched.String() + "|" + a.Prefix.String()
+			current[key] = true
+			sig := pathSig(a.Path)
+			if s.state[key] == sig {
+				continue
+			}
+			s.state[key] = sig
+			changed = append(changed, feedtypes.Event{
+				Source:       SourceName,
+				Collector:    lg.ID,
+				VantagePoint: lg.ASN,
+				Kind:         feedtypes.Announce,
+				Prefix:       a.Prefix,
+				Path:         a.Path,
+				SeenAt:       now,
+			})
+		}
+		// Answers that disappeared become withdrawals.
+		pfx := lg.ID + "|" + watched.String() + "|"
+		for key := range s.state {
+			if len(key) > len(pfx) && key[:len(pfx)] == pfx && !current[key] {
+				delete(s.state, key)
+				p, err := prefix.Parse(key[len(pfx):])
+				if err != nil {
+					continue
+				}
+				changed = append(changed, feedtypes.Event{
+					Source:       SourceName,
+					Collector:    lg.ID,
+					VantagePoint: lg.ASN,
+					Kind:         feedtypes.Withdraw,
+					Prefix:       p,
+					SeenAt:       now,
+				})
+			}
+		}
+	}
+	if len(changed) > 0 {
+		s.nw.Engine.After(rtt, func() {
+			at := s.nw.Engine.Now()
+			for i := range changed {
+				changed[i].EmittedAt = at
+				s.publish(changed[i])
+			}
+		})
+	}
+	s.nw.Engine.After(s.cfg.PollInterval, func() { s.poll(lg) })
+}
+
+func pathSig(path []bgp.ASN) string {
+	sig := make([]byte, 0, len(path)*5)
+	for _, a := range path {
+		sig = append(sig, byte(a>>24), byte(a>>16), byte(a>>8), byte(a), '.')
+	}
+	return string(sig)
+}
+
+func (s *Service) publish(ev feedtypes.Event) {
+	s.mu.Lock()
+	subs := make([]*subscriber, 0, len(s.subs))
+	for _, sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.mu.Unlock()
+	for _, sub := range subs {
+		if sub.filter.Match(ev.Prefix) {
+			sub.fn(ev)
+		}
+	}
+}
+
+var _ feedtypes.Source = (*Service)(nil)

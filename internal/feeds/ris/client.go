@@ -1,0 +1,79 @@
+package ris
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/wsock"
+)
+
+// Client consumes a RIS server over WebSocket and surfaces events on a
+// channel. It is the network-transport twin of Service.Subscribe: the
+// ARTEMIS daemon uses Client against a live server, while the virtual-time
+// experiments subscribe in-process.
+type Client struct {
+	ws     *wsock.Conn
+	events chan feedtypes.Event
+	errs   chan error
+}
+
+// DialClient connects to url (ws://host:port/path), subscribes with f, and
+// starts streaming.
+func DialClient(url string, f feedtypes.Filter) (*Client, error) {
+	ws, err := wsock.Dial(url)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(filterToWire(f))
+	if err != nil {
+		ws.Close()
+		return nil, err
+	}
+	if err := ws.WriteMessage(wsock.OpText, b); err != nil {
+		ws.Close()
+		return nil, err
+	}
+	c := &Client{ws: ws, events: make(chan feedtypes.Event, 256), errs: make(chan error, 1)}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	defer close(c.events)
+	for {
+		_, raw, err := c.ws.ReadMessage()
+		if err != nil {
+			c.errs <- err
+			return
+		}
+		var env wireEnvelope
+		if err := json.Unmarshal(raw, &env); err != nil {
+			c.errs <- fmt.Errorf("ris: bad server message: %w", err)
+			return
+		}
+		ev, err := wireToEvent(env)
+		if err != nil {
+			c.errs <- err
+			return
+		}
+		c.events <- ev
+	}
+}
+
+// Events returns the stream of decoded events. The channel closes when the
+// connection ends; Err then reports why.
+func (c *Client) Events() <-chan feedtypes.Event { return c.events }
+
+// Err returns the terminal error after Events closes, if any.
+func (c *Client) Err() error {
+	select {
+	case err := <-c.errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.ws.Close() }

@@ -1,0 +1,6 @@
+package ris
+
+import "artemis/internal/wsock"
+
+// dialRaw exposes the raw websocket dial for protocol-violation tests.
+func dialRaw(url string) (*wsock.Conn, error) { return wsock.Dial(url) }

@@ -1,0 +1,169 @@
+// Package ris reproduces a RIS-style live BGP streaming service: route
+// collectors peer with a set of vantage-point ASes in the simulated
+// Internet, batch the routing changes they observe (the pipeline latency
+// that dominated streamed BGP data in the paper's era), and publish them —
+// in-process for the virtual-time experiments, and as JSON over WebSocket
+// (internal/wsock) for the live demo mode, mirroring the RIS Live API
+// shape.
+package ris
+
+import (
+	"sync"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/simnet"
+)
+
+// SourceName identifies this feed in events.
+const SourceName = "ris"
+
+// DefaultBatchDelay is the collector pipeline latency: observed changes
+// become visible to subscribers this long after they happen. 30s matches
+// the tens-of-seconds latency of streamed collector data in 2016.
+const DefaultBatchDelay = 30 * time.Second
+
+// CollectorConfig describes one route collector.
+type CollectorConfig struct {
+	// Name is the collector identifier (e.g. "rrc00").
+	Name string
+	// Peers are the vantage-point ASes the collector sessions with.
+	Peers []bgp.ASN
+	// BatchDelay overrides DefaultBatchDelay when non-zero.
+	BatchDelay time.Duration
+}
+
+// Service is the collector infrastructure plus its in-process pub/sub.
+type Service struct {
+	nw *simnet.Network
+
+	mu     sync.Mutex
+	subs   map[int]*subscriber
+	nextID int
+
+	collectors []*collector
+}
+
+type subscriber struct {
+	filter feedtypes.Filter
+	fn     func(feedtypes.Event)
+}
+
+type collector struct {
+	svc     *Service
+	name    string
+	peers   []bgp.ASN
+	delay   time.Duration
+	pending []feedtypes.Event
+	armed   bool
+}
+
+// New attaches collectors to the network. Each peer's best-route changes
+// are observed immediately and published after the collector's batch delay.
+func New(nw *simnet.Network, configs []CollectorConfig) *Service {
+	svc := &Service{nw: nw, subs: make(map[int]*subscriber)}
+	for _, cfg := range configs {
+		c := &collector{svc: svc, name: cfg.Name, delay: cfg.BatchDelay}
+		if c.delay == 0 {
+			c.delay = DefaultBatchDelay
+		}
+		for _, asn := range cfg.Peers {
+			node := nw.Node(asn)
+			if node == nil {
+				continue
+			}
+			vp := asn
+			c.peers = append(c.peers, vp)
+			node.OnChange(func(ev simnet.RouteChange) { c.observe(vp, ev) })
+		}
+		svc.collectors = append(svc.collectors, c)
+	}
+	return svc
+}
+
+// Name implements feedtypes.Source.
+func (s *Service) Name() string { return SourceName }
+
+// VantagePoints returns the union of all collectors' peers — the set of
+// viewpoints the monitoring service can reason about.
+func (s *Service) VantagePoints() []bgp.ASN {
+	seen := map[bgp.ASN]bool{}
+	var out []bgp.ASN
+	for _, c := range s.collectors {
+		for _, vp := range c.peers {
+			if !seen[vp] {
+				seen[vp] = true
+				out = append(out, vp)
+			}
+		}
+	}
+	return out
+}
+
+// Subscribe registers fn for events matching f. It may be called from any
+// goroutine (the live servers subscribe from connection handlers).
+func (s *Service) Subscribe(f feedtypes.Filter, fn func(feedtypes.Event)) (cancel func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	s.subs[id] = &subscriber{filter: f, fn: fn}
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		delete(s.subs, id)
+	}
+}
+
+func (c *collector) observe(vp bgp.ASN, ev simnet.RouteChange) {
+	now := c.svc.nw.Engine.Now()
+	out := feedtypes.Event{
+		Source:       SourceName,
+		Collector:    c.name,
+		VantagePoint: vp,
+		Prefix:       ev.Prefix,
+		SeenAt:       now,
+	}
+	if ev.New != nil {
+		out.Kind = feedtypes.Announce
+		out.Path = append([]bgp.ASN{vp}, ev.New.Path...)
+	} else {
+		out.Kind = feedtypes.Withdraw
+	}
+	c.pending = append(c.pending, out)
+	if !c.armed {
+		c.armed = true
+		c.svc.nw.Engine.After(c.delay, c.flush)
+	}
+}
+
+func (c *collector) flush() {
+	c.armed = false
+	if len(c.pending) == 0 {
+		return
+	}
+	batch := c.pending
+	c.pending = nil
+	now := c.svc.nw.Engine.Now()
+	for i := range batch {
+		batch[i].EmittedAt = now
+		c.svc.publish(batch[i])
+	}
+}
+
+func (s *Service) publish(ev feedtypes.Event) {
+	s.mu.Lock()
+	subs := make([]*subscriber, 0, len(s.subs))
+	for _, sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.mu.Unlock()
+	for _, sub := range subs {
+		if sub.filter.Match(ev.Prefix) {
+			sub.fn(ev)
+		}
+	}
+}
+
+var _ feedtypes.Source = (*Service)(nil)

@@ -1,0 +1,99 @@
+package ris
+
+import (
+	"fmt"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/prefix"
+)
+
+// The wire format mirrors the shape of the RIS Live JSON API: an envelope
+// with a type tag and a data object. Subscriptions flow client→server,
+// ris_message events flow server→client.
+
+type wireEnvelope struct {
+	Type string    `json:"type"`
+	Data *wireData `json:"data,omitempty"`
+}
+
+type wireData struct {
+	// ris_message fields
+	Timestamp float64  `json:"timestamp,omitempty"` // emission time, seconds of sim time
+	SeenAt    float64  `json:"seen_at,omitempty"`   // VP change time, seconds of sim time
+	Host      string   `json:"host,omitempty"`
+	PeerASN   uint32   `json:"peer_asn,omitempty"`
+	MsgType   string   `json:"msg_type,omitempty"` // "announcement" | "withdrawal"
+	Prefix    string   `json:"prefix,omitempty"`
+	Path      []uint32 `json:"path,omitempty"`
+
+	// ris_subscribe fields
+	Prefixes     []string `json:"prefixes,omitempty"`
+	MoreSpecific bool     `json:"moreSpecific,omitempty"`
+	LessSpecific bool     `json:"lessSpecific,omitempty"`
+}
+
+func eventToWire(ev feedtypes.Event) wireEnvelope {
+	d := &wireData{
+		Timestamp: ev.EmittedAt.Seconds(),
+		SeenAt:    ev.SeenAt.Seconds(),
+		Host:      ev.Collector,
+		PeerASN:   uint32(ev.VantagePoint),
+		MsgType:   ev.Kind.String(),
+		Prefix:    ev.Prefix.String(),
+	}
+	for _, a := range ev.Path {
+		d.Path = append(d.Path, uint32(a))
+	}
+	return wireEnvelope{Type: "ris_message", Data: d}
+}
+
+func wireToEvent(e wireEnvelope) (feedtypes.Event, error) {
+	if e.Type != "ris_message" || e.Data == nil {
+		return feedtypes.Event{}, fmt.Errorf("ris: unexpected message type %q", e.Type)
+	}
+	p, err := prefix.Parse(e.Data.Prefix)
+	if err != nil {
+		return feedtypes.Event{}, fmt.Errorf("ris: bad prefix: %w", err)
+	}
+	ev := feedtypes.Event{
+		Source:       SourceName,
+		Collector:    e.Data.Host,
+		VantagePoint: bgp.ASN(e.Data.PeerASN),
+		Prefix:       p,
+		SeenAt:       time.Duration(e.Data.SeenAt * float64(time.Second)),
+		EmittedAt:    time.Duration(e.Data.Timestamp * float64(time.Second)),
+	}
+	if e.Data.MsgType == feedtypes.Withdraw.String() {
+		ev.Kind = feedtypes.Withdraw
+	} else {
+		for _, a := range e.Data.Path {
+			ev.Path = append(ev.Path, bgp.ASN(a))
+		}
+	}
+	return ev, nil
+}
+
+func filterToWire(f feedtypes.Filter) wireEnvelope {
+	d := &wireData{MoreSpecific: f.MoreSpecific, LessSpecific: f.LessSpecific}
+	for _, p := range f.Prefixes {
+		d.Prefixes = append(d.Prefixes, p.String())
+	}
+	return wireEnvelope{Type: "ris_subscribe", Data: d}
+}
+
+func wireToFilter(e wireEnvelope) (feedtypes.Filter, error) {
+	if e.Type != "ris_subscribe" || e.Data == nil {
+		return feedtypes.Filter{}, fmt.Errorf("ris: expected ris_subscribe, got %q", e.Type)
+	}
+	f := feedtypes.Filter{MoreSpecific: e.Data.MoreSpecific, LessSpecific: e.Data.LessSpecific}
+	for _, s := range e.Data.Prefixes {
+		p, err := prefix.Parse(s)
+		if err != nil {
+			return feedtypes.Filter{}, fmt.Errorf("ris: bad subscription prefix: %w", err)
+		}
+		f.Prefixes = append(f.Prefixes, p)
+	}
+	return f, nil
+}

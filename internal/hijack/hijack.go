@@ -1,0 +1,106 @@
+// Package hijack defines the attack scenarios the experiments replay —
+// the §3 protocol generalized to the hijack taxonomy the detector handles —
+// plus the empirical hijack-duration distribution from the Argus study
+// ([3] in the paper) that experiment E5 samples: "more than 20% of hijacks
+// last < 10 mins", and ARTEMIS's ~6 minute response is "smaller than the
+// duration of > 80% of the hijacking cases observed".
+package hijack
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"artemis/internal/prefix"
+)
+
+// Kind classifies the attack.
+type Kind uint8
+
+const (
+	// ExactOrigin: the attacker announces the victim's exact prefix with
+	// itself as origin (the paper's evaluated scenario).
+	ExactOrigin Kind = iota
+	// SubPrefix: the attacker announces a more-specific slice, capturing
+	// the slice everywhere by longest-prefix match.
+	SubPrefix
+	// Squat: the attacker announces a covering super-prefix.
+	Squat
+	// PathFake: the attacker announces the exact prefix with a forged
+	// path ending in the legitimate origin (Type-1 hijack); only the
+	// path-anomaly check can see it.
+	PathFake
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ExactOrigin:
+		return "exact-origin"
+	case SubPrefix:
+		return "sub-prefix"
+	case Squat:
+		return "squat"
+	case PathFake:
+		return "path-fake"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// AttackPrefix computes what the attacker announces against an owned
+// prefix.
+func AttackPrefix(k Kind, owned prefix.Prefix) (prefix.Prefix, error) {
+	switch k {
+	case ExactOrigin, PathFake:
+		return owned, nil
+	case SubPrefix:
+		if owned.Bits() >= 32 {
+			return prefix.Prefix{}, fmt.Errorf("hijack: cannot sub-prefix a /32")
+		}
+		lo, _ := owned.Split()
+		return lo, nil
+	case Squat:
+		if owned.Bits() == 0 {
+			return prefix.Prefix{}, fmt.Errorf("hijack: cannot squat on /0")
+		}
+		return owned.Parent(), nil
+	}
+	return prefix.Prefix{}, fmt.Errorf("hijack: unknown kind %v", k)
+}
+
+// DurationModel samples hijack durations following the Argus-style
+// distribution the paper cites: heavily skewed, with a large short-lived
+// mass and a long tail.
+//
+// The piecewise model: 25% under 10 minutes, a further 55% between 10
+// minutes and 6 hours (log-uniform), and a 20% tail from 6 hours to 7
+// days (log-uniform). This reproduces the paper's two anchor points:
+// >20% of hijacks last <10 min, and >80% last longer than ARTEMIS's
+// ~6-minute full response.
+type DurationModel struct {
+	rng *rand.Rand
+}
+
+// NewDurationModel seeds the sampler.
+func NewDurationModel(seed int64) *DurationModel {
+	return &DurationModel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample draws one hijack duration.
+func (m *DurationModel) Sample() time.Duration {
+	u := m.rng.Float64()
+	switch {
+	case u < 0.25:
+		// 1..10 minutes, log-uniform.
+		return logUniform(m.rng, time.Minute, 10*time.Minute)
+	case u < 0.80:
+		return logUniform(m.rng, 10*time.Minute, 6*time.Hour)
+	default:
+		return logUniform(m.rng, 6*time.Hour, 7*24*time.Hour)
+	}
+}
+
+func logUniform(rng *rand.Rand, lo, hi time.Duration) time.Duration {
+	l, h := float64(lo), float64(hi)
+	return time.Duration(l * math.Pow(h/l, rng.Float64()))
+}

@@ -1,0 +1,85 @@
+package hijack
+
+import (
+	"testing"
+	"time"
+
+	"artemis/internal/prefix"
+)
+
+func TestAttackPrefix(t *testing.T) {
+	owned := prefix.MustParse("10.0.0.0/23")
+	cases := []struct {
+		kind Kind
+		want string
+	}{
+		{ExactOrigin, "10.0.0.0/23"},
+		{PathFake, "10.0.0.0/23"},
+		{SubPrefix, "10.0.0.0/24"},
+		{Squat, "10.0.0.0/22"},
+	}
+	for _, c := range cases {
+		got, err := AttackPrefix(c.kind, owned)
+		if err != nil || got.String() != c.want {
+			t.Errorf("%v: got %v, %v; want %s", c.kind, got, err, c.want)
+		}
+	}
+}
+
+func TestAttackPrefixEdgeCases(t *testing.T) {
+	if _, err := AttackPrefix(SubPrefix, prefix.MustParse("10.0.0.1/32")); err == nil {
+		t.Fatal("sub-prefix of /32 accepted")
+	}
+	if _, err := AttackPrefix(Squat, prefix.MustParse("0.0.0.0/0")); err == nil {
+		t.Fatal("squat on /0 accepted")
+	}
+	if _, err := AttackPrefix(Kind(99), prefix.MustParse("10.0.0.0/23")); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		ExactOrigin: "exact-origin", SubPrefix: "sub-prefix",
+		Squat: "squat", PathFake: "path-fake",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestDurationModelAnchors(t *testing.T) {
+	m := NewDurationModel(1)
+	const n = 20000
+	short, beyond6min := 0, 0
+	for i := 0; i < n; i++ {
+		d := m.Sample()
+		if d < time.Minute || d > 7*24*time.Hour {
+			t.Fatalf("sample %v out of range", d)
+		}
+		if d < 10*time.Minute {
+			short++
+		}
+		if d > 6*time.Minute {
+			beyond6min++
+		}
+	}
+	// Paper anchors: >20% last under 10 minutes...
+	if frac := float64(short) / n; frac < 0.20 || frac > 0.30 {
+		t.Fatalf("fraction under 10min = %v, want ~0.25", frac)
+	}
+	// ...and >80% outlive ARTEMIS's ~6 minute full response.
+	if frac := float64(beyond6min) / n; frac < 0.80 {
+		t.Fatalf("fraction beyond 6min = %v, want > 0.80", frac)
+	}
+}
+
+func TestDurationModelDeterministic(t *testing.T) {
+	a, b := NewDurationModel(7), NewDurationModel(7)
+	for i := 0; i < 100; i++ {
+		if a.Sample() != b.Sample() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

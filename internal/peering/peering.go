@@ -1,0 +1,80 @@
+// Package peering reproduces the PEERING-testbed setup of the paper's
+// evaluation (§3): a virtual AS, holding a real ASN and prefix, attached
+// to the Internet at multiple sites ("muxes"). The victim runs one virtual
+// AS and announces its prefix; the attacker runs a second virtual AS at
+// different sites and announces the same prefix.
+package peering
+
+import (
+	"fmt"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/prefix"
+	"artemis/internal/simnet"
+	"artemis/internal/topo"
+)
+
+// VirtualAS is one PEERING-style virtual AS.
+type VirtualAS struct {
+	ASN   bgp.ASN
+	Muxes []bgp.ASN
+}
+
+// Attach adds the virtual AS to the topology as a customer of each mux.
+// It must be called before simnet.New materializes the network.
+func Attach(t *topo.Topology, asn bgp.ASN, muxes []bgp.ASN, linkDelay time.Duration) (*VirtualAS, error) {
+	if t.Has(asn) {
+		return nil, fmt.Errorf("peering: AS %v already exists", asn)
+	}
+	if len(muxes) == 0 {
+		return nil, fmt.Errorf("peering: need at least one mux")
+	}
+	var lat, lon float64
+	for _, mux := range muxes {
+		if !t.Has(mux) {
+			return nil, fmt.Errorf("peering: unknown mux AS %v", mux)
+		}
+	}
+	t.AddAS(asn)
+	for _, mux := range muxes {
+		if err := t.AddC2P(asn, mux, linkDelay); err != nil {
+			return nil, err
+		}
+		if g, ok := t.Geo(mux); ok {
+			lat += g.Lat / float64(len(muxes))
+			lon += g.Lon / float64(len(muxes))
+		}
+	}
+	t.SetGeo(asn, topo.GeoPoint{Lat: lat, Lon: lon, Region: "peering"})
+	return &VirtualAS{ASN: asn, Muxes: append([]bgp.ASN(nil), muxes...)}, nil
+}
+
+// Announce originates p from the virtual AS.
+func (v *VirtualAS) Announce(nw *simnet.Network, p prefix.Prefix) error {
+	return nw.Announce(v.ASN, p)
+}
+
+// Withdraw withdraws p from the virtual AS.
+func (v *VirtualAS) Withdraw(nw *simnet.Network, p prefix.Prefix) error {
+	return nw.Withdraw(v.ASN, p)
+}
+
+// AnnounceRoute implements controller.RouteInjector when bound to a
+// network via Bind.
+type BoundVirtualAS struct {
+	v  *VirtualAS
+	nw *simnet.Network
+}
+
+// Bind couples the virtual AS to a materialized network so it can serve
+// as the controller's southbound injector.
+func (v *VirtualAS) Bind(nw *simnet.Network) *BoundVirtualAS {
+	return &BoundVirtualAS{v: v, nw: nw}
+}
+
+// AnnounceRoute implements controller.RouteInjector.
+func (b *BoundVirtualAS) AnnounceRoute(p prefix.Prefix) error { return b.v.Announce(b.nw, p) }
+
+// WithdrawRoute implements controller.RouteInjector.
+func (b *BoundVirtualAS) WithdrawRoute(p prefix.Prefix) error { return b.v.Withdraw(b.nw, p) }

@@ -1,0 +1,88 @@
+package peering
+
+import (
+	"testing"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/prefix"
+	"artemis/internal/sim"
+	"artemis/internal/simnet"
+	"artemis/internal/topo"
+)
+
+func TestAttachValidation(t *testing.T) {
+	tp := topo.Line(3, time.Millisecond)
+	if _, err := Attach(tp, topo.FirstASN, []bgp.ASN{topo.FirstASN + 1}, time.Millisecond); err == nil {
+		t.Fatal("existing ASN accepted")
+	}
+	if _, err := Attach(tp, 61000, nil, time.Millisecond); err == nil {
+		t.Fatal("empty mux list accepted")
+	}
+	if _, err := Attach(tp, 61000, []bgp.ASN{9999}, time.Millisecond); err == nil {
+		t.Fatal("unknown mux accepted")
+	}
+}
+
+func TestVirtualASAnnouncesFromAllSites(t *testing.T) {
+	tp := topo.Line(4, time.Millisecond)
+	vas, err := Attach(tp, 61000, []bgp.ASN{topo.FirstASN, topo.FirstASN + 3}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Degree(61000) != 2 {
+		t.Fatalf("virtual AS degree = %d", tp.Degree(61000))
+	}
+	if _, ok := tp.Geo(61000); !ok {
+		t.Fatal("virtual AS has no geo placement")
+	}
+	eng := sim.NewEngine(1)
+	nw := simnet.New(tp, eng, simnet.Config{MRAI: simnet.Disabled, ProcMin: time.Millisecond, ProcMax: 2 * time.Millisecond})
+	p := prefix.MustParse("10.0.0.0/23")
+	if err := vas.Announce(nw, p); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	// Every AS should route to the virtual AS; the middle of the line
+	// reaches it via whichever mux is nearer.
+	for _, asn := range tp.ASes() {
+		origin, ok := nw.Node(asn).ResolveOrigin(prefix.MustParseAddr("10.0.0.1"))
+		if !ok || origin != 61000 {
+			t.Fatalf("AS %v origin = %v,%v", asn, origin, ok)
+		}
+	}
+	// Withdraw removes it everywhere.
+	if err := vas.Withdraw(nw, p); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if _, ok := nw.Node(topo.FirstASN + 1).BestRoute(p); ok {
+		t.Fatal("route survived withdrawal")
+	}
+}
+
+func TestBoundVirtualASAsInjector(t *testing.T) {
+	tp := topo.Line(3, time.Millisecond)
+	vas, err := Attach(tp, 61000, []bgp.ASN{topo.FirstASN}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(1)
+	nw := simnet.New(tp, eng, simnet.Config{MRAI: simnet.Disabled, ProcMin: time.Millisecond, ProcMax: 2 * time.Millisecond})
+	bound := vas.Bind(nw)
+	p := prefix.MustParse("10.0.0.0/24")
+	if err := bound.AnnounceRoute(p); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if origin, ok := nw.Node(topo.FirstASN + 2).ResolveOrigin(prefix.MustParseAddr("10.0.0.1")); !ok || origin != 61000 {
+		t.Fatalf("origin = %v,%v", origin, ok)
+	}
+	if err := bound.WithdrawRoute(p); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if _, ok := nw.Node(topo.FirstASN + 2).BestRoute(p); ok {
+		t.Fatal("withdraw failed")
+	}
+}

@@ -1,0 +1,219 @@
+// Package prefix provides IPv4 prefix (CIDR) arithmetic for BGP routing:
+// parsing, containment, splitting, de-aggregation, and a binary radix trie
+// with longest-prefix matching.
+//
+// ARTEMIS reasons exclusively about IPv4 prefixes (the paper's evaluation
+// hijacks an IPv4 /23), so the package is deliberately v4-only; addresses
+// are uint32 in host byte order, which keeps every operation allocation-free.
+package prefix
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order.
+type Addr uint32
+
+// ParseAddr parses a dotted-quad IPv4 address.
+func ParseAddr(s string) (Addr, error) {
+	var parts [4]uint64
+	rest := s
+	for i := 0; i < 4; i++ {
+		var tok string
+		if i < 3 {
+			dot := strings.IndexByte(rest, '.')
+			if dot < 0 {
+				return 0, fmt.Errorf("prefix: invalid IPv4 address %q", s)
+			}
+			tok, rest = rest[:dot], rest[dot+1:]
+		} else {
+			tok = rest
+		}
+		v, err := strconv.ParseUint(tok, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("prefix: invalid IPv4 address %q", s)
+		}
+		parts[i] = v
+	}
+	return Addr(parts[0]<<24 | parts[1]<<16 | parts[2]<<8 | parts[3]), nil
+}
+
+// MustParseAddr is ParseAddr that panics on error; for tests and constants.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String returns the dotted-quad form of the address.
+func (a Addr) String() string {
+	var b [15]byte
+	buf := strconv.AppendUint(b[:0], uint64(a>>24), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a>>16&0xff), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a>>8&0xff), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a&0xff), 10)
+	return string(buf)
+}
+
+// Prefix is an IPv4 CIDR prefix. The zero value is 0.0.0.0/0 (the default
+// route), which is a valid prefix.
+type Prefix struct {
+	addr Addr
+	bits uint8
+}
+
+// New returns the prefix addr/bits with host bits zeroed. It panics if
+// bits > 32 so that an impossible prefix cannot circulate silently.
+func New(addr Addr, bits int) Prefix {
+	if bits < 0 || bits > 32 {
+		panic(fmt.Sprintf("prefix: invalid length %d", bits))
+	}
+	return Prefix{addr: addr & Mask(bits), bits: uint8(bits)}
+}
+
+// Mask returns the network mask for a prefix length.
+func Mask(bits int) Addr {
+	if bits <= 0 {
+		return 0
+	}
+	return Addr(^uint32(0) << (32 - uint(bits)))
+}
+
+// Parse parses "a.b.c.d/len" CIDR notation. Host bits set beyond the mask
+// are an error (BGP NLRI never carries them).
+func Parse(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("prefix: missing '/' in %q", s)
+	}
+	addr, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("prefix: invalid length in %q", s)
+	}
+	if addr&^Mask(bits) != 0 {
+		return Prefix{}, fmt.Errorf("prefix: host bits set in %q", s)
+	}
+	return Prefix{addr: addr, bits: uint8(bits)}, nil
+}
+
+// MustParse is Parse that panics on error; for tests and table literals.
+func MustParse(s string) Prefix {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Addr returns the network address of the prefix.
+func (p Prefix) Addr() Addr { return p.addr }
+
+// Bits returns the prefix length.
+func (p Prefix) Bits() int { return int(p.bits) }
+
+// String returns CIDR notation.
+func (p Prefix) String() string {
+	return p.addr.String() + "/" + strconv.Itoa(int(p.bits))
+}
+
+// Contains reports whether p contains (or equals) q: q's network falls
+// inside p and q is at least as specific.
+func (p Prefix) Contains(q Prefix) bool {
+	return p.bits <= q.bits && q.addr&Mask(int(p.bits)) == p.addr
+}
+
+// ContainsAddr reports whether the address falls inside p.
+func (p Prefix) ContainsAddr(a Addr) bool {
+	return a&Mask(int(p.bits)) == p.addr
+}
+
+// Overlaps reports whether p and q share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	return p.Contains(q) || q.Contains(p)
+}
+
+// Last returns the highest address inside the prefix.
+func (p Prefix) Last() Addr {
+	return p.addr | ^Mask(int(p.bits))
+}
+
+// Split returns the two halves of p, each one bit more specific.
+// It panics on a /32, which cannot be split.
+func (p Prefix) Split() (lo, hi Prefix) {
+	if p.bits >= 32 {
+		panic("prefix: cannot split a /32")
+	}
+	nb := p.bits + 1
+	lo = Prefix{addr: p.addr, bits: nb}
+	hi = Prefix{addr: p.addr | 1<<(32-uint(nb)), bits: nb}
+	return lo, hi
+}
+
+// Parent returns the prefix one bit less specific that contains p.
+// It panics on a /0.
+func (p Prefix) Parent() Prefix {
+	if p.bits == 0 {
+		panic("prefix: /0 has no parent")
+	}
+	return New(p.addr, int(p.bits)-1)
+}
+
+// Deaggregate returns the 2^(bits-p.Bits()) sub-prefixes of p at the given
+// length, in address order. This is the mitigation primitive of ARTEMIS §2:
+// a hijacked /23 de-aggregates into its two /24s, which are more specific
+// than the attacker's announcement and therefore preferred everywhere.
+// If bits <= p.Bits() the prefix itself is returned. Requesting more than
+// 2^16 sub-prefixes is an error: no operator floods the table like that,
+// and refusing protects callers from typos (e.g. de-aggregating a /8 to /32s).
+func (p Prefix) Deaggregate(bits int) ([]Prefix, error) {
+	if bits < 0 || bits > 32 {
+		return nil, fmt.Errorf("prefix: invalid target length %d", bits)
+	}
+	if bits <= int(p.bits) {
+		return []Prefix{p}, nil
+	}
+	n := bits - int(p.bits)
+	if n > 16 {
+		return nil, fmt.Errorf("prefix: refusing to de-aggregate %s into 2^%d /%ds", p, n, bits)
+	}
+	count := 1 << uint(n)
+	step := Addr(1) << (32 - uint(bits))
+	out := make([]Prefix, count)
+	for i := 0; i < count; i++ {
+		out[i] = Prefix{addr: p.addr + Addr(i)*step, bits: uint8(bits)}
+	}
+	return out, nil
+}
+
+// Compare orders prefixes by network address, then by length (less
+// specific first). It returns -1, 0, or +1.
+func (p Prefix) Compare(q Prefix) int {
+	switch {
+	case p.addr < q.addr:
+		return -1
+	case p.addr > q.addr:
+		return 1
+	case p.bits < q.bits:
+		return -1
+	case p.bits > q.bits:
+		return 1
+	}
+	return 0
+}
+
+// bit returns the i-th most significant bit (0-indexed) of the network
+// address; used by the trie.
+func (p Prefix) bit(i int) int {
+	return int(p.addr >> (31 - uint(i)) & 1)
+}

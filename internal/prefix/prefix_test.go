@@ -1,0 +1,275 @@
+package prefix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"10.0.0.1", 0x0a000001, true},
+		{"192.168.1.200", 0xc0a801c8, true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"256.0.0.1", 0, false},
+		{"-1.0.0.1", 0, false},
+		{"a.b.c.d", 0, false},
+		{"", 0, false},
+		{"1..2.3", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseAddr(%q) err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseAddr(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := Addr(rng.Uint32())
+		got, err := ParseAddr(a.String())
+		if err != nil {
+			t.Fatalf("ParseAddr(%q): %v", a.String(), err)
+		}
+		if got != a {
+			t.Fatalf("round trip %#x -> %q -> %#x", a, a.String(), got)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"10.0.0.0/23", true},
+		{"0.0.0.0/0", true},
+		{"255.255.255.255/32", true},
+		{"10.0.0.0/33", false},
+		{"10.0.0.0/-1", false},
+		{"10.0.0.0", false},
+		{"10.0.0.1/23", false}, // host bits set
+		{"10.0.1.0/23", false}, // host bits set
+		{"10.0.0.0/x", false},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("Parse(%q) err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && p.String() != c.in {
+			t.Errorf("Parse(%q).String() = %q", c.in, p.String())
+		}
+	}
+}
+
+func TestNewMasksHostBits(t *testing.T) {
+	p := New(MustParseAddr("10.0.1.77"), 23)
+	if got := p.String(); got != "10.0.0.0/23" {
+		t.Errorf("New masked = %q, want 10.0.0.0/23", got)
+	}
+}
+
+func TestNewPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(_, 33) did not panic")
+		}
+	}()
+	New(0, 33)
+}
+
+func TestContains(t *testing.T) {
+	cases := []struct {
+		p, q string
+		want bool
+	}{
+		{"10.0.0.0/23", "10.0.0.0/24", true},
+		{"10.0.0.0/23", "10.0.1.0/24", true},
+		{"10.0.0.0/23", "10.0.2.0/24", false},
+		{"10.0.0.0/23", "10.0.0.0/23", true},
+		{"10.0.0.0/24", "10.0.0.0/23", false},
+		{"0.0.0.0/0", "203.0.113.0/24", true},
+		{"10.0.0.0/8", "11.0.0.0/8", false},
+	}
+	for _, c := range cases {
+		p, q := MustParse(c.p), MustParse(c.q)
+		if got := p.Contains(q); got != c.want {
+			t.Errorf("%s.Contains(%s) = %v, want %v", p, q, got, c.want)
+		}
+	}
+}
+
+func TestContainsAddr(t *testing.T) {
+	p := MustParse("10.0.0.0/23")
+	if !p.ContainsAddr(MustParseAddr("10.0.1.255")) {
+		t.Error("10.0.1.255 should be inside 10.0.0.0/23")
+	}
+	if p.ContainsAddr(MustParseAddr("10.0.2.0")) {
+		t.Error("10.0.2.0 should be outside 10.0.0.0/23")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := MustParse("10.0.0.0/23")
+	b := MustParse("10.0.1.0/24")
+	c := MustParse("10.0.2.0/24")
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("a and c should not overlap")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	lo, hi := MustParse("10.0.0.0/23").Split()
+	if lo.String() != "10.0.0.0/24" || hi.String() != "10.0.1.0/24" {
+		t.Errorf("Split = %s, %s", lo, hi)
+	}
+}
+
+func TestSplitPanicsOn32(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Split of /32 did not panic")
+		}
+	}()
+	MustParse("10.0.0.1/32").Split()
+}
+
+func TestParent(t *testing.T) {
+	if got := MustParse("10.0.1.0/24").Parent(); got.String() != "10.0.0.0/23" {
+		t.Errorf("Parent = %s", got)
+	}
+}
+
+func TestParentPanicsOnDefault(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Parent of /0 did not panic")
+		}
+	}()
+	MustParse("0.0.0.0/0").Parent()
+}
+
+func TestDeaggregate(t *testing.T) {
+	p := MustParse("10.0.0.0/22")
+	subs, err := p.Deaggregate(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24"}
+	if len(subs) != len(want) {
+		t.Fatalf("got %d sub-prefixes, want %d", len(subs), len(want))
+	}
+	for i, s := range subs {
+		if s.String() != want[i] {
+			t.Errorf("sub[%d] = %s, want %s", i, s, want[i])
+		}
+	}
+}
+
+func TestDeaggregateIdentity(t *testing.T) {
+	p := MustParse("10.0.0.0/24")
+	subs, err := p.Deaggregate(24)
+	if err != nil || len(subs) != 1 || subs[0] != p {
+		t.Fatalf("Deaggregate to same length = %v, %v", subs, err)
+	}
+	subs, err = p.Deaggregate(20) // less specific: identity too
+	if err != nil || len(subs) != 1 || subs[0] != p {
+		t.Fatalf("Deaggregate to shorter length = %v, %v", subs, err)
+	}
+}
+
+func TestDeaggregateRefusesExplosion(t *testing.T) {
+	if _, err := MustParse("10.0.0.0/8").Deaggregate(32); err == nil {
+		t.Fatal("expected error de-aggregating /8 to /32s")
+	}
+	if _, err := MustParse("10.0.0.0/8").Deaggregate(33); err == nil {
+		t.Fatal("expected error for invalid target length")
+	}
+}
+
+func TestDeaggregateCoversExactly(t *testing.T) {
+	// Property: de-aggregations partition the parent exactly.
+	prop := func(raw uint32, plen8, tlen8 uint8) bool {
+		plen := int(plen8%17) + 8 // 8..24
+		tlen := plen + int(tlen8%8)
+		if tlen > 32 {
+			tlen = 32
+		}
+		p := New(Addr(raw), plen)
+		subs, err := p.Deaggregate(tlen)
+		if err != nil {
+			return false
+		}
+		// Contiguous, in order, all inside p, covering p end to end.
+		if subs[0].Addr() != p.Addr() {
+			return false
+		}
+		for i, s := range subs {
+			if !p.Contains(s) {
+				return false
+			}
+			if i > 0 && s.Addr() != subs[i-1].Last()+1 {
+				return false
+			}
+		}
+		return subs[len(subs)-1].Last() == p.Last()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := MustParse("10.0.0.0/23")
+	b := MustParse("10.0.0.0/24")
+	c := MustParse("10.0.1.0/24")
+	if a.Compare(b) != -1 || b.Compare(a) != 1 {
+		t.Error("shorter prefix should order first at same address")
+	}
+	if b.Compare(c) != -1 || c.Compare(b) != 1 {
+		t.Error("lower address should order first")
+	}
+	if a.Compare(a) != 0 {
+		t.Error("equal prefixes should compare 0")
+	}
+}
+
+func TestLast(t *testing.T) {
+	if got := MustParse("10.0.0.0/23").Last(); got != MustParseAddr("10.0.1.255") {
+		t.Errorf("Last = %s", got)
+	}
+	if got := MustParse("10.0.0.4/32").Last(); got != MustParseAddr("10.0.0.4") {
+		t.Errorf("Last /32 = %s", got)
+	}
+}
+
+func TestContainmentProperty(t *testing.T) {
+	// Property: p.Contains(q) iff every address formed inside q is inside p.
+	prop := func(raw1, raw2 uint32, l1, l2 uint8) bool {
+		p := New(Addr(raw1), int(l1%33))
+		q := New(Addr(raw2), int(l2%33))
+		want := p.ContainsAddr(q.Addr()) && p.ContainsAddr(q.Last()) && p.Bits() <= q.Bits()
+		return p.Contains(q) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+package prefix
+
+// Trie is a binary radix trie keyed by Prefix, mapping each prefix to a
+// value of type V. It supports exact lookup, longest-prefix match (the BGP
+// forwarding rule that makes de-aggregation an effective mitigation), and
+// subtree enumeration ("all announced prefixes covered by my /22").
+//
+// The trie is not safe for concurrent mutation; routers in the simulator
+// are single-goroutine actors, and ARTEMIS guards its own trie with a mutex.
+type Trie[V any] struct {
+	root *node[V]
+	size int
+}
+
+type node[V any] struct {
+	child [2]*node[V]
+	val   V
+	set   bool
+}
+
+// NewTrie returns an empty trie.
+func NewTrie[V any]() *Trie[V] { return &Trie[V]{root: &node[V]{}} }
+
+// Len returns the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Insert stores val under p, replacing any existing value.
+// It reports whether the prefix was newly added.
+func (t *Trie[V]) Insert(p Prefix, val V) bool {
+	n := t.root
+	for i := 0; i < p.Bits(); i++ {
+		b := p.bit(i)
+		if n.child[b] == nil {
+			n.child[b] = &node[V]{}
+		}
+		n = n.child[b]
+	}
+	added := !n.set
+	n.val, n.set = val, true
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// Get returns the value stored exactly at p.
+func (t *Trie[V]) Get(p Prefix) (V, bool) {
+	n := t.root
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[p.bit(i)]
+		if n == nil {
+			var zero V
+			return zero, false
+		}
+	}
+	if !n.set {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Delete removes p. It reports whether the prefix was present.
+// Empty interior nodes are pruned so long-lived tries do not leak.
+func (t *Trie[V]) Delete(p Prefix) bool {
+	// Record the path so we can prune bottom-up.
+	path := make([]*node[V], 0, p.Bits()+1)
+	n := t.root
+	path = append(path, n)
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[p.bit(i)]
+		if n == nil {
+			return false
+		}
+		path = append(path, n)
+	}
+	if !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.size--
+	for i := len(path) - 1; i > 0; i-- {
+		cur := path[i]
+		if cur.set || cur.child[0] != nil || cur.child[1] != nil {
+			break
+		}
+		path[i-1].child[p.bit(i-1)] = nil
+	}
+	return true
+}
+
+// LongestMatch returns the most specific stored prefix containing addr,
+// with its value. ok is false when nothing covers addr.
+func (t *Trie[V]) LongestMatch(addr Addr) (p Prefix, val V, ok bool) {
+	n := t.root
+	var (
+		bestLen  = -1
+		bestVal  V
+		bestBits int
+	)
+	if n.set {
+		bestLen, bestVal, bestBits = 0, n.val, 0
+	}
+	for i := 0; i < 32 && n != nil; i++ {
+		b := int(addr >> (31 - uint(i)) & 1)
+		n = n.child[b]
+		if n != nil && n.set {
+			bestLen, bestVal, bestBits = i+1, n.val, i+1
+		}
+	}
+	if bestLen < 0 {
+		return Prefix{}, bestVal, false
+	}
+	return New(addr, bestBits), bestVal, true
+}
+
+// LongestMatchPrefix returns the most specific stored prefix that contains q
+// (including q itself when stored).
+func (t *Trie[V]) LongestMatchPrefix(q Prefix) (p Prefix, val V, ok bool) {
+	n := t.root
+	bestLen := -1
+	var bestVal V
+	if n.set {
+		bestLen, bestVal = 0, n.val
+	}
+	for i := 0; i < q.Bits() && n != nil; i++ {
+		n = n.child[q.bit(i)]
+		if n != nil && n.set {
+			bestLen, bestVal = i+1, n.val
+		}
+	}
+	if bestLen < 0 {
+		return Prefix{}, bestVal, false
+	}
+	return New(q.Addr(), bestLen), bestVal, true
+}
+
+// CoveredBy calls fn for every stored prefix contained in p (including p
+// itself when stored), in trie order. Returning false stops the walk.
+func (t *Trie[V]) CoveredBy(p Prefix, fn func(Prefix, V) bool) {
+	n := t.root
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[p.bit(i)]
+		if n == nil {
+			return
+		}
+	}
+	walk(n, p, fn)
+}
+
+// Walk calls fn for every stored prefix, in trie order (address order,
+// shorter prefixes before their sub-prefixes). Returning false stops.
+func (t *Trie[V]) Walk(fn func(Prefix, V) bool) {
+	walk(t.root, Prefix{}, fn)
+}
+
+func walk[V any](n *node[V], at Prefix, fn func(Prefix, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.set && !fn(at, n.val) {
+		return false
+	}
+	if at.Bits() == 32 {
+		return true
+	}
+	lo, hi := at.Split()
+	if !walk(n.child[0], lo, fn) {
+		return false
+	}
+	return walk(n.child[1], hi, fn)
+}

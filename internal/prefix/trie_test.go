@@ -1,0 +1,234 @@
+package prefix
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrieInsertGet(t *testing.T) {
+	tr := NewTrie[int]()
+	if !tr.Insert(MustParse("10.0.0.0/23"), 1) {
+		t.Fatal("first insert should add")
+	}
+	if tr.Insert(MustParse("10.0.0.0/23"), 2) {
+		t.Fatal("second insert should replace, not add")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	v, ok := tr.Get(MustParse("10.0.0.0/23"))
+	if !ok || v != 2 {
+		t.Fatalf("Get = %d, %v", v, ok)
+	}
+	if _, ok := tr.Get(MustParse("10.0.0.0/24")); ok {
+		t.Fatal("Get of absent, more specific prefix should miss")
+	}
+	if _, ok := tr.Get(MustParse("10.0.0.0/22")); ok {
+		t.Fatal("Get of absent, less specific prefix should miss")
+	}
+}
+
+func TestTrieDefaultRoute(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Insert(MustParse("0.0.0.0/0"), "default")
+	p, v, ok := tr.LongestMatch(MustParseAddr("203.0.113.7"))
+	if !ok || v != "default" || p.String() != "0.0.0.0/0" {
+		t.Fatalf("LongestMatch via default route = %s %q %v", p, v, ok)
+	}
+	tr.Insert(MustParse("203.0.113.0/24"), "specific")
+	_, v, _ = tr.LongestMatch(MustParseAddr("203.0.113.7"))
+	if v != "specific" {
+		t.Fatalf("more specific should win, got %q", v)
+	}
+}
+
+func TestTrieLongestMatch(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Insert(MustParse("10.0.0.0/8"), "/8")
+	tr.Insert(MustParse("10.0.0.0/23"), "/23")
+	tr.Insert(MustParse("10.0.0.0/24"), "/24")
+
+	cases := []struct {
+		addr string
+		want string
+		ok   bool
+	}{
+		{"10.0.0.1", "/24", true},
+		{"10.0.1.1", "/23", true},
+		{"10.9.0.1", "/8", true},
+		{"11.0.0.1", "", false},
+	}
+	for _, c := range cases {
+		_, v, ok := tr.LongestMatch(MustParseAddr(c.addr))
+		if ok != c.ok || v != c.want {
+			t.Errorf("LongestMatch(%s) = %q,%v want %q,%v", c.addr, v, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestTrieLongestMatchPrefix(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Insert(MustParse("10.0.0.0/16"), "/16")
+	tr.Insert(MustParse("10.0.0.0/23"), "/23")
+
+	p, v, ok := tr.LongestMatchPrefix(MustParse("10.0.0.0/24"))
+	if !ok || v != "/23" || p.String() != "10.0.0.0/23" {
+		t.Fatalf("got %s %q %v", p, v, ok)
+	}
+	// Exact prefix is itself the longest match.
+	p, v, ok = tr.LongestMatchPrefix(MustParse("10.0.0.0/23"))
+	if !ok || v != "/23" || p.String() != "10.0.0.0/23" {
+		t.Fatalf("exact: got %s %q %v", p, v, ok)
+	}
+	// A *less* specific query matches only shorter stored prefixes.
+	p, v, ok = tr.LongestMatchPrefix(MustParse("10.0.0.0/20"))
+	if !ok || v != "/16" || p.String() != "10.0.0.0/16" {
+		t.Fatalf("shorter query: got %s %q %v", p, v, ok)
+	}
+	if _, _, ok := tr.LongestMatchPrefix(MustParse("11.0.0.0/8")); ok {
+		t.Fatal("unrelated prefix should not match")
+	}
+}
+
+func TestTrieDelete(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(MustParse("10.0.0.0/23"), 1)
+	tr.Insert(MustParse("10.0.0.0/24"), 2)
+	if !tr.Delete(MustParse("10.0.0.0/23")) {
+		t.Fatal("delete of present prefix failed")
+	}
+	if tr.Delete(MustParse("10.0.0.0/23")) {
+		t.Fatal("second delete should be a no-op")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	if _, v, ok := tr.LongestMatch(MustParseAddr("10.0.0.9")); !ok || v != 2 {
+		t.Fatalf("remaining /24 unreachable: %v %v", v, ok)
+	}
+	if _, _, ok := tr.LongestMatch(MustParseAddr("10.0.1.9")); ok {
+		t.Fatal("deleted /23 still matching")
+	}
+}
+
+func TestTrieDeletePrunes(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(MustParse("10.0.0.0/24"), 1)
+	tr.Delete(MustParse("10.0.0.0/24"))
+	// After pruning, the root must have no children.
+	if tr.root.child[0] != nil || tr.root.child[1] != nil {
+		t.Fatal("trie not pruned after delete")
+	}
+}
+
+func TestTrieCoveredBy(t *testing.T) {
+	tr := NewTrie[int]()
+	for i, s := range []string{"10.0.0.0/22", "10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/23", "10.4.0.0/24", "0.0.0.0/0"} {
+		tr.Insert(MustParse(s), i)
+	}
+	var got []string
+	tr.CoveredBy(MustParse("10.0.0.0/22"), func(p Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want := []string{"10.0.0.0/22", "10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/23"}
+	if len(got) != len(want) {
+		t.Fatalf("CoveredBy = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("CoveredBy = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTrieWalkOrderAndStop(t *testing.T) {
+	tr := NewTrie[int]()
+	ins := []string{"192.168.0.0/16", "10.0.0.0/8", "10.0.0.0/24", "172.16.0.0/12"}
+	for i, s := range ins {
+		tr.Insert(MustParse(s), i)
+	}
+	var got []string
+	tr.Walk(func(p Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want := append([]string(nil), ins...)
+	sort.Slice(want, func(i, j int) bool {
+		return MustParse(want[i]).Compare(MustParse(want[j])) < 0
+	})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Walk order = %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.Walk(func(Prefix, int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Walk did not stop early: %d visits", n)
+	}
+}
+
+func TestTrieAgainstLinearScan(t *testing.T) {
+	// Property: LongestMatch agrees with a brute-force linear scan.
+	rng := rand.New(rand.NewSource(42))
+	tr := NewTrie[int]()
+	var stored []Prefix
+	for i := 0; i < 500; i++ {
+		p := New(Addr(rng.Uint32()), 8+rng.Intn(25))
+		if tr.Insert(p, i) {
+			stored = append(stored, p)
+		}
+	}
+	linear := func(a Addr) (Prefix, bool) {
+		best, ok := Prefix{}, false
+		for _, p := range stored {
+			if p.ContainsAddr(a) && (!ok || p.Bits() > best.Bits()) {
+				best, ok = p, true
+			}
+		}
+		return best, ok
+	}
+	for i := 0; i < 5000; i++ {
+		a := Addr(rng.Uint32())
+		wantP, wantOK := linear(a)
+		gotP, _, gotOK := tr.LongestMatch(a)
+		if gotOK != wantOK || (gotOK && gotP != wantP) {
+			t.Fatalf("LongestMatch(%s) = %v,%v; linear scan says %v,%v", a, gotP, gotOK, wantP, wantOK)
+		}
+	}
+}
+
+func TestTrieQuickInsertDeleteInvariant(t *testing.T) {
+	// Property: after any sequence of inserts and deletes, Len equals the
+	// size of the reference set and Get agrees with it.
+	prop := func(ops []uint32) bool {
+		tr := NewTrie[bool]()
+		ref := map[Prefix]bool{}
+		for _, op := range ops {
+			p := New(Addr(op&^0xff), 16+int(op%9)) // /16../24
+			if op&0x80 != 0 {
+				tr.Delete(p)
+				delete(ref, p)
+			} else {
+				tr.Insert(p, true)
+				ref[p] = true
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for p := range ref {
+			if _, ok := tr.Get(p); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package route
+
+import (
+	"testing"
+
+	"artemis/internal/bgp"
+	"artemis/internal/prefix"
+	"artemis/internal/topo"
+)
+
+func mk(p string, from bgp.ASN, rel topo.Rel, path ...bgp.ASN) *Route {
+	return &Route{Prefix: prefix.MustParse(p), Path: path, From: from, Rel: rel}
+}
+
+func TestLocalPrefOrdering(t *testing.T) {
+	local := mk("10.0.0.0/23", 0, 0)
+	cust := mk("10.0.0.0/23", 1, topo.Customer, 1, 9)
+	peer := mk("10.0.0.0/23", 2, topo.Peer, 2, 9)
+	prov := mk("10.0.0.0/23", 3, topo.Provider, 3, 9)
+	if !(local.LocalPref() > cust.LocalPref() && cust.LocalPref() > peer.LocalPref() && peer.LocalPref() > prov.LocalPref()) {
+		t.Fatal("local-pref ordering broken")
+	}
+	if !Better(cust, peer) || !Better(peer, prov) || !Better(local, cust) {
+		t.Fatal("Better does not respect local-pref")
+	}
+}
+
+func TestBetterPrefersShorterPath(t *testing.T) {
+	short := mk("10.0.0.0/23", 1, topo.Peer, 1, 9)
+	long := mk("10.0.0.0/23", 2, topo.Peer, 2, 5, 9)
+	if !Better(short, long) || Better(long, short) {
+		t.Fatal("shorter path should win at equal local-pref")
+	}
+	// But relationship dominates length.
+	custLong := mk("10.0.0.0/23", 3, topo.Customer, 3, 4, 5, 9)
+	if !Better(custLong, short) {
+		t.Fatal("customer route should beat shorter peer route")
+	}
+}
+
+func TestBetterTiebreakDeterministic(t *testing.T) {
+	a := mk("10.0.0.0/23", 1, topo.Peer, 1, 9)
+	b := mk("10.0.0.0/23", 2, topo.Peer, 2, 9)
+	if !Better(a, b) || Better(b, a) {
+		t.Fatal("lowest neighbor ASN should break ties")
+	}
+}
+
+func TestOriginAndLocal(t *testing.T) {
+	r := mk("10.0.0.0/23", 1, topo.Customer, 1, 5, 9)
+	if r.Origin(42) != 9 || r.Local() {
+		t.Fatalf("Origin/Local broken: %v %v", r.Origin(42), r.Local())
+	}
+	l := mk("10.0.0.0/23", 0, 0)
+	if l.Origin(42) != 42 || !l.Local() {
+		t.Fatal("local route origin should be self")
+	}
+}
+
+func TestHasLoop(t *testing.T) {
+	r := mk("10.0.0.0/23", 1, topo.Peer, 1, 5, 9)
+	if !r.HasLoop(5) || r.HasLoop(7) {
+		t.Fatal("HasLoop broken")
+	}
+}
+
+func TestExportable(t *testing.T) {
+	local := mk("10.0.0.0/23", 0, 0)
+	cust := mk("10.0.0.0/23", 1, topo.Customer, 1, 9)
+	peer := mk("10.0.0.0/23", 2, topo.Peer, 2, 9)
+	prov := mk("10.0.0.0/23", 3, topo.Provider, 3, 9)
+	for _, rel := range []topo.Rel{topo.Customer, topo.Peer, topo.Provider} {
+		if !Exportable(local, rel) {
+			t.Errorf("local route must export to %v", rel)
+		}
+		if !Exportable(cust, rel) {
+			t.Errorf("customer route must export to %v", rel)
+		}
+	}
+	for _, r := range []*Route{peer, prov} {
+		if !Exportable(r, topo.Customer) {
+			t.Errorf("%v-learned route must export to customers", r.Rel)
+		}
+		if Exportable(r, topo.Peer) || Exportable(r, topo.Provider) {
+			t.Errorf("%v-learned route must not export to peers/providers (valley-free)", r.Rel)
+		}
+	}
+}
+
+func TestRouteString(t *testing.T) {
+	var nilRoute *Route
+	if nilRoute.String() != "<none>" {
+		t.Fatal("nil route String")
+	}
+	r := mk("10.0.0.0/23", 1, topo.Peer, 1, 9)
+	if got := r.String(); got != "10.0.0.0/23 via 1 9" {
+		t.Fatalf("String = %q", got)
+	}
+	l := mk("10.0.0.0/23", 0, 0)
+	if got := l.String(); got != "10.0.0.0/23 via local" {
+		t.Fatalf("local String = %q", got)
+	}
+}

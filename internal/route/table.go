@@ -1,0 +1,163 @@
+package route
+
+import (
+	"artemis/internal/bgp"
+	"artemis/internal/prefix"
+)
+
+// Table is the routing table of one AS: per-prefix candidate sets plus the
+// selected best route, indexed in a radix trie for longest-prefix match.
+type Table struct {
+	self     bgp.ASN
+	prefixes map[prefix.Prefix]*prefixState
+	best     *prefix.Trie[*Route]
+}
+
+type prefixState struct {
+	candidates map[bgp.ASN]*Route // keyed by From (0 = local)
+	best       *Route
+}
+
+// NewTable returns an empty table for the AS with the given number.
+func NewTable(self bgp.ASN) *Table {
+	return &Table{
+		self:     self,
+		prefixes: make(map[prefix.Prefix]*prefixState),
+		best:     prefix.NewTrie[*Route](),
+	}
+}
+
+// Self returns the owning ASN.
+func (t *Table) Self() bgp.ASN { return t.self }
+
+// Update installs or replaces the candidate route from r.From for r.Prefix
+// and re-runs selection. It returns the previous and new best routes and
+// whether the best route changed. Routes containing the local ASN in their
+// path are rejected by the caller (Node), not here.
+func (t *Table) Update(r *Route) (old, best *Route, changed bool) {
+	st := t.prefixes[r.Prefix]
+	if st == nil {
+		st = &prefixState{candidates: make(map[bgp.ASN]*Route)}
+		t.prefixes[r.Prefix] = st
+	}
+	st.candidates[r.From] = r
+	return t.reselect(r.Prefix, st)
+}
+
+// Withdraw removes the candidate learned from the given neighbor (0 for a
+// locally originated route) and re-runs selection.
+func (t *Table) Withdraw(p prefix.Prefix, from bgp.ASN) (old, best *Route, changed bool) {
+	st := t.prefixes[p]
+	if st == nil {
+		return nil, nil, false
+	}
+	if _, ok := st.candidates[from]; !ok {
+		return st.best, st.best, false
+	}
+	delete(st.candidates, from)
+	old, best, changed = t.reselect(p, st)
+	if len(st.candidates) == 0 {
+		delete(t.prefixes, p)
+	}
+	return old, best, changed
+}
+
+// Originate installs a locally originated route for p.
+func (t *Table) Originate(p prefix.Prefix) (old, best *Route, changed bool) {
+	return t.Update(&Route{Prefix: p})
+}
+
+// WithdrawLocal removes the local origination of p.
+func (t *Table) WithdrawLocal(p prefix.Prefix) (old, best *Route, changed bool) {
+	return t.Withdraw(p, 0)
+}
+
+func (t *Table) reselect(p prefix.Prefix, st *prefixState) (old, best *Route, changed bool) {
+	old = st.best
+	for _, cand := range st.candidates {
+		if best == nil || Better(cand, best) {
+			best = cand
+		}
+	}
+	st.best = best
+	if best == old {
+		return old, best, false
+	}
+	if best == nil {
+		t.best.Delete(p)
+	} else {
+		t.best.Insert(p, best)
+	}
+	return old, best, true
+}
+
+// Best returns the selected route for exactly p.
+func (t *Table) Best(p prefix.Prefix) (*Route, bool) {
+	st := t.prefixes[p]
+	if st == nil || st.best == nil {
+		return nil, false
+	}
+	return st.best, true
+}
+
+// Candidates returns all candidate routes for p (selection input), in no
+// particular order.
+func (t *Table) Candidates(p prefix.Prefix) []*Route {
+	st := t.prefixes[p]
+	if st == nil {
+		return nil
+	}
+	out := make([]*Route, 0, len(st.candidates))
+	for _, r := range st.candidates {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Resolve performs longest-prefix-match forwarding for addr and returns the
+// best route of the most specific covering prefix. This is "where does my
+// traffic for this address actually go" — the data-plane question behind
+// hijack impact and mitigation success.
+func (t *Table) Resolve(addr prefix.Addr) (*Route, bool) {
+	_, r, ok := t.best.LongestMatch(addr)
+	if !ok || r == nil {
+		return nil, false
+	}
+	return r, true
+}
+
+// ResolveOrigin returns the origin AS currently receiving traffic for addr
+// from this AS's viewpoint.
+func (t *Table) ResolveOrigin(addr prefix.Addr) (bgp.ASN, bool) {
+	r, ok := t.Resolve(addr)
+	if !ok {
+		return 0, false
+	}
+	return r.Origin(t.self), true
+}
+
+// ResolveBestFor returns the best route of the most specific selected
+// prefix that contains p (or is p itself) — what "show ip bgp <prefix>"
+// answers on a router when the exact prefix is absent.
+func (t *Table) ResolveBestFor(p prefix.Prefix) (*Route, bool) {
+	_, r, ok := t.best.LongestMatchPrefix(p)
+	if !ok || r == nil {
+		return nil, false
+	}
+	return r, true
+}
+
+// WalkCovered visits the selected best routes of all prefixes contained in
+// p (p itself included when present) — the "longer-prefixes" form of a
+// looking-glass query, which is how a monitor notices sub-prefix hijacks.
+func (t *Table) WalkCovered(p prefix.Prefix, fn func(*Route) bool) {
+	t.best.CoveredBy(p, func(_ prefix.Prefix, r *Route) bool { return fn(r) })
+}
+
+// WalkBest visits every selected best route in trie order.
+func (t *Table) WalkBest(fn func(*Route) bool) {
+	t.best.Walk(func(_ prefix.Prefix, r *Route) bool { return fn(r) })
+}
+
+// Len returns the number of prefixes with at least one candidate.
+func (t *Table) Len() int { return len(t.prefixes) }

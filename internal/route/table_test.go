@@ -1,0 +1,157 @@
+package route
+
+import (
+	"testing"
+
+	"artemis/internal/bgp"
+	"artemis/internal/prefix"
+	"artemis/internal/topo"
+)
+
+func TestTableUpdateSelectsBest(t *testing.T) {
+	tb := NewTable(42)
+	p := "10.0.0.0/23"
+	_, best, changed := tb.Update(mk(p, 3, topo.Provider, 3, 9))
+	if !changed || best.From != 3 {
+		t.Fatalf("first update: best=%v changed=%v", best, changed)
+	}
+	_, best, changed = tb.Update(mk(p, 1, topo.Customer, 1, 9))
+	if !changed || best.From != 1 {
+		t.Fatalf("customer route should take over: %v %v", best, changed)
+	}
+	// A worse route arriving must not change the best.
+	_, best, changed = tb.Update(mk(p, 2, topo.Peer, 2, 9))
+	if changed || best.From != 1 {
+		t.Fatalf("peer route should not displace customer: %v %v", best, changed)
+	}
+	if len(tb.Candidates(prefix.MustParse(p))) != 3 {
+		t.Fatalf("candidates = %d, want 3", len(tb.Candidates(prefix.MustParse(p))))
+	}
+}
+
+func TestTableReplaceFromSameNeighbor(t *testing.T) {
+	tb := NewTable(42)
+	p := "10.0.0.0/23"
+	tb.Update(mk(p, 1, topo.Customer, 1, 9))
+	// Same neighbor re-announces with a longer path: implicit replacement.
+	_, best, _ := tb.Update(mk(p, 1, topo.Customer, 1, 5, 9))
+	if len(best.Path) != 3 {
+		t.Fatalf("replacement not applied: %v", best)
+	}
+	if got := len(tb.Candidates(prefix.MustParse(p))); got != 1 {
+		t.Fatalf("candidates = %d, want 1 (implicit withdraw)", got)
+	}
+}
+
+func TestTableWithdraw(t *testing.T) {
+	tb := NewTable(42)
+	p := prefix.MustParse("10.0.0.0/23")
+	tb.Update(mk(p.String(), 1, topo.Customer, 1, 9))
+	tb.Update(mk(p.String(), 2, topo.Peer, 2, 9))
+	old, best, changed := tb.Withdraw(p, 1)
+	if !changed || old.From != 1 || best.From != 2 {
+		t.Fatalf("withdraw best: old=%v best=%v changed=%v", old, best, changed)
+	}
+	_, best, changed = tb.Withdraw(p, 2)
+	if !changed || best != nil {
+		t.Fatalf("last withdraw: best=%v changed=%v", best, changed)
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("table should be empty, Len=%d", tb.Len())
+	}
+	// Withdrawing absent state is a no-op.
+	if _, _, changed := tb.Withdraw(p, 7); changed {
+		t.Fatal("withdraw of unknown prefix reported change")
+	}
+}
+
+func TestTableWithdrawNonBestDoesNotChange(t *testing.T) {
+	tb := NewTable(42)
+	p := prefix.MustParse("10.0.0.0/23")
+	tb.Update(mk(p.String(), 1, topo.Customer, 1, 9))
+	tb.Update(mk(p.String(), 2, topo.Peer, 2, 9))
+	_, best, changed := tb.Withdraw(p, 2)
+	if changed || best.From != 1 {
+		t.Fatalf("withdrawing non-best changed selection: %v %v", best, changed)
+	}
+}
+
+func TestTableOriginateWins(t *testing.T) {
+	tb := NewTable(42)
+	p := prefix.MustParse("10.0.0.0/23")
+	tb.Update(mk(p.String(), 1, topo.Customer, 1, 9))
+	_, best, changed := tb.Originate(p)
+	if !changed || !best.Local() {
+		t.Fatalf("local origination should be best: %v", best)
+	}
+	if best.Origin(tb.Self()) != 42 {
+		t.Fatalf("origin = %v", best.Origin(tb.Self()))
+	}
+	_, best, changed = tb.WithdrawLocal(p)
+	if !changed || best.From != 1 {
+		t.Fatalf("withdraw local should fall back: %v", best)
+	}
+}
+
+func TestTableResolveLongestMatch(t *testing.T) {
+	tb := NewTable(42)
+	tb.Update(mk("10.0.0.0/23", 1, topo.Customer, 1, 9)) // hijacker at 9? no: origin 9
+	tb.Update(mk("10.0.0.0/24", 2, topo.Provider, 2, 7)) // more specific via provider
+	addr := prefix.MustParseAddr("10.0.0.55")
+	origin, ok := tb.ResolveOrigin(addr)
+	if !ok || origin != 7 {
+		t.Fatalf("ResolveOrigin = %v,%v; longest match must win regardless of preference", origin, ok)
+	}
+	// Address only covered by the /23.
+	origin, ok = tb.ResolveOrigin(prefix.MustParseAddr("10.0.1.55"))
+	if !ok || origin != 9 {
+		t.Fatalf("ResolveOrigin /23 side = %v,%v", origin, ok)
+	}
+	if _, ok := tb.ResolveOrigin(prefix.MustParseAddr("11.0.0.1")); ok {
+		t.Fatal("uncovered address resolved")
+	}
+}
+
+func TestTableResolveAfterWithdraw(t *testing.T) {
+	tb := NewTable(42)
+	tb.Update(mk("10.0.0.0/24", 2, topo.Provider, 2, 7))
+	tb.Withdraw(prefix.MustParse("10.0.0.0/24"), 2)
+	if _, ok := tb.Resolve(prefix.MustParseAddr("10.0.0.1")); ok {
+		t.Fatal("resolve after withdraw should miss")
+	}
+}
+
+func TestWalkBest(t *testing.T) {
+	tb := NewTable(42)
+	tb.Update(mk("10.0.0.0/23", 1, topo.Customer, 1, 9))
+	tb.Update(mk("192.168.0.0/16", 1, topo.Customer, 1, 9))
+	n := 0
+	tb.WalkBest(func(r *Route) bool { n++; return true })
+	if n != 2 {
+		t.Fatalf("WalkBest visited %d", n)
+	}
+	n = 0
+	tb.WalkBest(func(r *Route) bool { n++; return false })
+	if n != 1 {
+		t.Fatal("WalkBest did not stop early")
+	}
+}
+
+func TestBestIsStableIdentity(t *testing.T) {
+	// reselect must report changed=false when the same route object stays
+	// best, so MRAI queues don't fill with no-op updates.
+	tb := NewTable(42)
+	p := prefix.MustParse("10.0.0.0/23")
+	r1 := mk(p.String(), 1, topo.Customer, 1, 9)
+	tb.Update(r1)
+	_, _, changed := tb.Update(mk(p.String(), 2, topo.Provider, 2, 9))
+	if changed {
+		t.Fatal("adding worse candidate must not signal change")
+	}
+	b, _ := tb.Best(p)
+	if b != r1 {
+		t.Fatal("best route identity changed")
+	}
+}
+
+var _ = bgp.ASN(0) // keep import when test bodies change

@@ -1,0 +1,231 @@
+// Package sim provides the discrete-event simulation engine that drives the
+// reproduced ARTEMIS testbed: a virtual clock, an event scheduler, and an
+// optional wall-clock pacer for the live demo mode.
+//
+// Everything in the simulated Internet — BGP update propagation, MRAI
+// timers, collector batching, looking-glass polling, controller
+// configuration latency — is an event on this engine. Running in virtual
+// time makes a "6 minute" hijack-and-mitigation experiment complete in
+// milliseconds, while the pacer replays the same event stream against the
+// wall clock (optionally time-scaled) so that real network feed servers
+// can stream it to real clients.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Engine is a discrete-event scheduler with a virtual clock.
+//
+// Scheduling is safe from any goroutine; event functions themselves are
+// executed sequentially by whichever goroutine calls Run/RunUntil/Step,
+// so handlers never race with each other. Determinism: with the same seed
+// and the same schedule order, runs are bit-for-bit identical (ties in
+// time are broken by scheduling sequence number).
+type Engine struct {
+	mu    sync.Mutex
+	queue eventQueue
+	now   time.Duration
+	seq   uint64
+	rng   *rand.Rand
+
+	// pace, when non-zero, is consulted by RunPaced.
+	stopped bool
+}
+
+// NewEngine returns an engine at virtual time zero whose RNG is seeded
+// deterministically.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// Rand returns the engine's deterministic RNG. It must only be used from
+// event handlers (which are serialized) to keep runs reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (or present) runs the event at the current time, after already-queued
+// events for that time.
+func (e *Engine) At(t time.Duration, fn func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := e.now + d
+	if d < 0 {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.queue.Len()
+}
+
+// Stop makes Run/RunUntil/RunPaced return after the current event.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	e.stopped = true
+	e.mu.Unlock()
+}
+
+// Step executes the single earliest event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	e.mu.Lock()
+	if e.queue.Len() == 0 {
+		e.mu.Unlock()
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.mu.Unlock()
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or Stop is called, and
+// returns the final virtual time.
+func (e *Engine) Run() time.Duration {
+	for {
+		e.mu.Lock()
+		if e.stopped || e.queue.Len() == 0 {
+			now := e.now
+			e.stopped = false
+			e.mu.Unlock()
+			return now
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.mu.Unlock()
+		ev.fn()
+	}
+}
+
+// RunUntil executes events with time <= t, then advances the clock to
+// exactly t. Events scheduled during the run are honored if they fall
+// within the horizon.
+func (e *Engine) RunUntil(t time.Duration) {
+	for {
+		e.mu.Lock()
+		if e.stopped {
+			e.stopped = false
+			e.mu.Unlock()
+			return
+		}
+		if e.queue.Len() == 0 || e.queue[0].at > t {
+			if e.now < t {
+				e.now = t
+			}
+			e.mu.Unlock()
+			return
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.mu.Unlock()
+		ev.fn()
+	}
+}
+
+// RunPaced replays events against the wall clock: an event at virtual time
+// T fires roughly T/scale after the call (scale 1 is real time, scale 60
+// compresses a minute into a second). It returns when the queue drains, the
+// horizon (if > 0) is reached, or Stop is called. Unlike Run, it tolerates
+// an intermittently empty queue for up to idle, so that live producers
+// (e.g. an interactive hijack trigger) can keep feeding it.
+func (e *Engine) RunPaced(scale float64, horizon, idle time.Duration) {
+	if scale <= 0 {
+		scale = 1
+	}
+	start := time.Now()
+	base := e.Now()
+	for {
+		e.mu.Lock()
+		if e.stopped {
+			e.stopped = false
+			e.mu.Unlock()
+			return
+		}
+		if e.queue.Len() == 0 {
+			e.mu.Unlock()
+			if idle <= 0 {
+				return
+			}
+			deadline := time.Now().Add(idle)
+			for e.Pending() == 0 {
+				if time.Now().After(deadline) {
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+			continue
+		}
+		next := e.queue[0].at
+		e.mu.Unlock()
+		if horizon > 0 && next > horizon {
+			return
+		}
+		wall := start.Add(time.Duration(float64(next-base) / scale))
+		if d := time.Until(wall); d > 0 {
+			time.Sleep(d)
+		}
+		e.mu.Lock()
+		if e.queue.Len() == 0 || e.queue[0].at > next {
+			e.mu.Unlock()
+			continue // producer raced us; re-evaluate
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.mu.Unlock()
+		ev.fn()
+	}
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunExecutesInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.At(3*time.Second, func() { got = append(got, 3) })
+	e.At(1*time.Second, func() { got = append(got, 1) })
+	e.At(2*time.Second, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 3*time.Second {
+		t.Fatalf("final time = %v, want 3s", end)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if got[i] != v {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie order = %v", got)
+		}
+	}
+}
+
+func TestAfterIsRelative(t *testing.T) {
+	e := NewEngine(1)
+	var at2 time.Duration
+	e.At(time.Minute, func() {
+		e.After(30*time.Second, func() { at2 = e.Now() })
+	})
+	e.Run()
+	if at2 != 90*time.Second {
+		t.Fatalf("nested After fired at %v, want 90s", at2)
+	}
+}
+
+func TestSchedulingInPastClampsToNow(t *testing.T) {
+	e := NewEngine(1)
+	var fired time.Duration
+	e.At(time.Minute, func() {
+		e.At(time.Second, func() { fired = e.Now() }) // in the past
+	})
+	e.Run()
+	if fired != time.Minute {
+		t.Fatalf("past event fired at %v, want 1m", fired)
+	}
+	e2 := NewEngine(1)
+	e2.At(time.Minute, func() {
+		e2.After(-5*time.Second, func() { fired = e2.Now() })
+	})
+	e2.Run()
+	if fired != time.Minute {
+		t.Fatalf("negative After fired at %v, want 1m", fired)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := NewEngine(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 5 * time.Second} {
+		d := d
+		e.At(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(3 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want 2 events", fired)
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want clock advanced to 3s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.RunUntil(10 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("remaining event not delivered: %v", fired)
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.At(time.Second, func() { n++ })
+	if !e.Step() {
+		t.Fatal("Step with queued event returned false")
+	}
+	if n != 1 || e.Now() != time.Second {
+		t.Fatalf("n=%d now=%v", n, e.Now())
+	}
+	if e.Step() {
+		t.Fatal("Step with empty queue returned true")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.At(time.Second, func() { n++; e.Stop() })
+	e.At(2*time.Second, func() { n++ })
+	e.Run()
+	if n != 1 {
+		t.Fatalf("Stop did not halt run, n=%d", n)
+	}
+	// Engine is reusable after Stop.
+	e.Run()
+	if n != 2 {
+		t.Fatalf("Run after Stop did not resume, n=%d", n)
+	}
+}
+
+func TestCrossGoroutineScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var mu sync.Mutex
+	n := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e.At(time.Duration(i)*time.Millisecond, func() {
+				mu.Lock()
+				n++
+				mu.Unlock()
+			})
+		}(i)
+	}
+	wg.Wait()
+	e.Run()
+	if n != 50 {
+		t.Fatalf("n = %d, want 50", n)
+	}
+}
+
+func TestRunPacedCompressesTime(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	// 2 simulated seconds at 100x should take ~20ms wall time.
+	e.At(2*time.Second, func() { fired++ })
+	start := time.Now()
+	e.RunPaced(100, 0, 0)
+	wall := time.Since(start)
+	if fired != 1 {
+		t.Fatal("event not fired")
+	}
+	if wall > time.Second {
+		t.Fatalf("paced run too slow: %v", wall)
+	}
+	if wall < 10*time.Millisecond {
+		t.Fatalf("paced run did not pace at all: %v", wall)
+	}
+}
+
+func TestRunPacedHorizon(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.At(time.Millisecond, func() { fired++ })
+	e.At(time.Hour, func() { fired++ })
+	e.RunPaced(1, time.Second, 0)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (horizon must cut the far event)", fired)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		e := NewEngine(7)
+		var got []int
+		var rec func(depth int)
+		rec = func(depth int) {
+			if depth == 0 {
+				return
+			}
+			d := time.Duration(e.Rand().Intn(1000)) * time.Millisecond
+			e.After(d, func() {
+				got = append(got, depth*1000+int(d/time.Millisecond))
+				rec(depth - 1)
+			})
+		}
+		rec(20)
+		e.Run()
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}

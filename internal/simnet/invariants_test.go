@@ -1,0 +1,207 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/prefix"
+	"artemis/internal/route"
+	"artemis/internal/sim"
+	"artemis/internal/topo"
+)
+
+// These tests check global invariants of the converged simulator over
+// generated Internets — properties that must hold for *every* AS and
+// every route, not just hand-picked cases.
+
+func convergedInternet(t *testing.T, seed int64) (*topo.Topology, *Network) {
+	t.Helper()
+	cfg := topo.DefaultGenConfig()
+	cfg.Stubs = 120
+	cfg.Transit = 30
+	cfg.Seed = seed
+	tp, err := topo.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(seed)
+	nw := New(tp, eng, Config{MRAI: Disabled, ProcMin: time.Millisecond, ProcMax: 2 * time.Millisecond})
+	// Announce several prefixes from scattered origins.
+	origins := []bgp.ASN{
+		topo.FirstASN,                                     // tier-1
+		topo.FirstASN + bgp.ASN(cfg.Tier1),                // transit
+		topo.FirstASN + bgp.ASN(cfg.Tier1+cfg.Transit),    // stub
+		topo.FirstASN + bgp.ASN(cfg.Tier1+cfg.Transit+50), // another stub
+	}
+	for i, o := range origins {
+		nw.Announce(o, prefix.New(prefix.Addr(uint32(10+i)<<24), 23))
+	}
+	eng.Run()
+	return tp, nw
+}
+
+// pathIsValleyFree checks Gao–Rexford: once a path goes "down" (provider→
+// customer) or sideways (peer), it may never go "up" or sideways again.
+func pathIsValleyFree(tp *topo.Topology, path []bgp.ASN) bool {
+	// path[0] is nearest, path[len-1] the origin. Walk from origin toward
+	// the receiver: each step origin-side AS exports to the next AS.
+	wentDownOrSideways := false
+	for i := len(path) - 1; i > 0; i-- {
+		from, to := path[i], path[i-1]
+		rel, ok := tp.Rel(from, to) // what `to` is relative to `from`
+		if !ok {
+			return false // path uses a non-existent link
+		}
+		switch rel {
+		case topo.Provider:
+			// from exported to its provider: only legal while still on
+			// the ascending (customer) leg.
+			if wentDownOrSideways {
+				return false
+			}
+		case topo.Peer, topo.Customer:
+			wentDownOrSideways = true
+		}
+	}
+	return true
+}
+
+func TestInvariantValleyFreePathsEverywhere(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		tp, nw := convergedInternet(t, seed)
+		checked := 0
+		for _, asn := range tp.ASes() {
+			self := asn
+			nw.Node(asn).Table().WalkBest(func(r *route.Route) bool {
+				if r.Local() {
+					return true
+				}
+				full := append([]bgp.ASN{self}, r.Path...)
+				if !pathIsValleyFree(tp, full) {
+					t.Fatalf("seed %d: AS %v holds non-valley-free path %v", seed, asn, full)
+				}
+				checked++
+				return true
+			})
+		}
+		if checked == 0 {
+			t.Fatal("no routes checked")
+		}
+	}
+}
+
+func TestInvariantPathsAreLoopFreeAndLinked(t *testing.T) {
+	tp, nw := convergedInternet(t, 4)
+	for _, asn := range tp.ASes() {
+		nw.Node(asn).Table().WalkBest(func(r *route.Route) bool {
+			seen := map[bgp.ASN]bool{asn: true}
+			for _, hop := range r.Path {
+				if seen[hop] {
+					t.Fatalf("AS %v best path has a loop: %v", asn, r.Path)
+				}
+				seen[hop] = true
+			}
+			// First hop must be an actual neighbor.
+			if len(r.Path) > 0 {
+				if _, ok := tp.Rel(asn, r.Path[0]); !ok {
+					t.Fatalf("AS %v learned route from non-neighbor %v", asn, r.Path[0])
+				}
+				if r.Path[0] != r.From {
+					t.Fatalf("AS %v: path head %v != From %v", asn, r.Path[0], r.From)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestInvariantPathsExistInTopology(t *testing.T) {
+	tp, nw := convergedInternet(t, 5)
+	for _, asn := range tp.ASes() {
+		nw.Node(asn).Table().WalkBest(func(r *route.Route) bool {
+			hops := append([]bgp.ASN{asn}, r.Path...)
+			for i := 0; i+1 < len(hops); i++ {
+				if _, ok := tp.Rel(hops[i], hops[i+1]); !ok {
+					t.Fatalf("AS %v path %v uses missing link %v-%v", asn, r.Path, hops[i], hops[i+1])
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestInvariantCustomerRouteUniversallyVisible(t *testing.T) {
+	// A stub-originated prefix is a customer route for its providers and
+	// must reach every AS (the Internet sells transit to everyone).
+	tp, nw := convergedInternet(t, 6)
+	addr := prefix.MustParseAddr("12.0.0.1") // third announced prefix: first stub
+	for _, asn := range tp.ASes() {
+		if _, ok := nw.Node(asn).ResolveOrigin(addr); !ok {
+			t.Fatalf("AS %v cannot reach the stub prefix", asn)
+		}
+	}
+}
+
+func TestInvariantWithdrawRestoresCleanState(t *testing.T) {
+	tp, nw := convergedInternet(t, 7)
+	p := prefix.MustParse("99.0.0.0/23")
+	extra := topo.FirstASN + 40
+	nw.Announce(extra, p)
+	nw.Engine.Run()
+	nw.Withdraw(extra, p)
+	nw.Engine.Run()
+	for _, asn := range tp.ASes() {
+		if _, ok := nw.Node(asn).BestRoute(p); ok {
+			t.Fatalf("AS %v retains withdrawn prefix", asn)
+		}
+	}
+}
+
+func TestInvariantHijackCaptureIsProximityBiased(t *testing.T) {
+	// After an exact-prefix hijack converges, every AS routes to exactly
+	// one of victim/attacker, and both camps are non-empty on a
+	// generated Internet with scattered placement.
+	cfg := topo.DefaultGenConfig()
+	cfg.Stubs = 120
+	cfg.Seed = 8
+	tp, err := topo.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(8)
+	nw := New(tp, eng, Config{MRAI: Disabled, ProcMin: time.Millisecond, ProcMax: 2 * time.Millisecond})
+	p := prefix.MustParse("10.0.0.0/23")
+	victim := topo.FirstASN + bgp.ASN(cfg.Tier1+cfg.Transit)
+	attacker := victim + 60
+	nw.Announce(victim, p)
+	eng.Run()
+	nw.Announce(attacker, p)
+	eng.Run()
+	addr := prefix.MustParseAddr("10.0.0.1")
+	campV, campA := 0, 0
+	for _, asn := range tp.ASes() {
+		origin, ok := nw.Node(asn).ResolveOrigin(addr)
+		if !ok {
+			t.Fatalf("AS %v lost the prefix during the hijack", asn)
+		}
+		switch origin {
+		case victim:
+			campV++
+		case attacker:
+			campA++
+		default:
+			t.Fatalf("AS %v routes to a third party %v", asn, origin)
+		}
+	}
+	if campV == 0 || campA == 0 {
+		t.Fatalf("hijack did not split the Internet: victim=%d attacker=%d", campV, campA)
+	}
+	// The attacker and victim always keep themselves.
+	if o, _ := nw.Node(attacker).ResolveOrigin(addr); o != attacker {
+		t.Fatal("attacker not routing to itself")
+	}
+	if o, _ := nw.Node(victim).ResolveOrigin(addr); o != victim {
+		t.Fatal("victim not routing to itself")
+	}
+}

@@ -1,0 +1,380 @@
+// Package simnet is the discrete-event BGP Internet simulator that stands
+// in for the live Internet in the reproduced ARTEMIS experiments.
+//
+// Every AS from the topology becomes a Node running the route package's
+// decision process. Updates propagate along links with per-link delays,
+// are rate-limited per adjacency by the MRAI (MinRouteAdvertisementInterval,
+// RFC 4271 §9.2.1.1 — the dominant term in BGP convergence time), and are
+// subject to the ingress filtering of very specific prefixes (more specific
+// than /24) that makes the paper's §2 caveat about /24 de-aggregation real.
+//
+// The simulator answers two kinds of questions:
+//
+//   - control plane: which route does AS X select for prefix P over time
+//     (observed by collectors, looking glasses, and the detector);
+//   - data plane: which origin AS receives traffic for address A from AS
+//     X's viewpoint (longest-prefix match over the Loc-RIB), which defines
+//     hijack impact and mitigation success.
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/prefix"
+	"artemis/internal/route"
+	"artemis/internal/sim"
+	"artemis/internal/topo"
+)
+
+// Config tunes protocol timing. Zero values select defaults.
+type Config struct {
+	// MRAI is the per-adjacency MinRouteAdvertisementInterval. Default 30s
+	// (the classic eBGP default). 0 selects the default; use Disabled to
+	// turn rate limiting off entirely.
+	MRAI time.Duration
+	// MRAIJitter applies the RFC's suggested random jitter, arming each
+	// timer at U[0.75,1.0]*MRAI. Default on (disable with NoJitter).
+	NoJitter bool
+	// ProcMin/ProcMax bound the per-message processing delay a router adds
+	// before its updates become visible. Defaults 10ms–100ms.
+	ProcMin, ProcMax time.Duration
+	// FilterMoreSpecificThan drops announcements of prefixes more specific
+	// than this length at ingress. Default 24 — "BGP advertisements of
+	// prefixes smaller than /24 are filtered" (§2). Set to 32 to disable.
+	FilterMoreSpecificThan int
+	// FilterFraction is the fraction of ASes that apply the ingress
+	// filter. Default 1.0 (conservative: /25+ effectively never
+	// propagates); lower it for the E4 ablation.
+	FilterFraction float64
+}
+
+// Disabled turns off a timer that would otherwise default.
+const Disabled = time.Duration(-1)
+
+func (c Config) withDefaults() Config {
+	if c.MRAI == 0 {
+		c.MRAI = 30 * time.Second
+	}
+	if c.MRAI == Disabled {
+		c.MRAI = 0
+	}
+	if c.ProcMin == 0 && c.ProcMax == 0 {
+		c.ProcMin, c.ProcMax = 10*time.Millisecond, 100*time.Millisecond
+	}
+	if c.FilterMoreSpecificThan == 0 {
+		c.FilterMoreSpecificThan = 24
+	}
+	if c.FilterFraction == 0 {
+		c.FilterFraction = 1.0
+	}
+	return c
+}
+
+// RouteChange reports one AS changing its best route for a prefix.
+// Old and New may be nil (no previous route / route lost).
+type RouteChange struct {
+	Time   time.Duration
+	AS     bgp.ASN
+	Prefix prefix.Prefix
+	Old    *route.Route
+	New    *route.Route
+}
+
+// Network is the simulated Internet.
+type Network struct {
+	Topo   *topo.Topology
+	Engine *sim.Engine
+
+	cfg        Config
+	nodes      map[bgp.ASN]*Node
+	taps       []func(RouteChange)
+	lastChange time.Duration
+
+	updatesSent      int
+	updatesProcessed int
+	prefixesDropped  int
+}
+
+// New builds a network over the topology. The engine supplies time and
+// randomness; construction itself schedules nothing.
+func New(t *topo.Topology, engine *sim.Engine, cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	nw := &Network{Topo: t, Engine: engine, cfg: cfg, nodes: make(map[bgp.ASN]*Node, t.Len())}
+	for _, asn := range t.ASes() {
+		filters := cfg.FilterFraction >= 1.0 || engine.Rand().Float64() < cfg.FilterFraction
+		nw.nodes[asn] = newNode(nw, asn, t.Neighbors(asn), filters)
+	}
+	return nw
+}
+
+// Node returns the simulated router of an AS.
+func (nw *Network) Node(asn bgp.ASN) *Node { return nw.nodes[asn] }
+
+// Nodes returns all nodes keyed by ASN. The map is owned by the network.
+func (nw *Network) Nodes() map[bgp.ASN]*Node { return nw.nodes }
+
+// OnChange registers a network-wide tap invoked on every best-route change
+// anywhere. Collectors and the experiment harness attach here.
+func (nw *Network) OnChange(fn func(RouteChange)) { nw.taps = append(nw.taps, fn) }
+
+// Announce schedules a local origination of p at asn, now.
+func (nw *Network) Announce(asn bgp.ASN, p prefix.Prefix) error {
+	n := nw.nodes[asn]
+	if n == nil {
+		return fmt.Errorf("simnet: unknown AS %v", asn)
+	}
+	nw.Engine.After(0, func() { n.originate(p) })
+	return nil
+}
+
+// Withdraw schedules withdrawal of a local origination of p at asn, now.
+func (nw *Network) Withdraw(asn bgp.ASN, p prefix.Prefix) error {
+	n := nw.nodes[asn]
+	if n == nil {
+		return fmt.Errorf("simnet: unknown AS %v", asn)
+	}
+	nw.Engine.After(0, func() { n.withdrawLocal(p) })
+	return nil
+}
+
+// LastChange returns the virtual time of the most recent best-route change
+// anywhere in the network — the convergence detector used by experiments.
+func (nw *Network) LastChange() time.Duration { return nw.lastChange }
+
+// Stats reports message-level counters since construction.
+func (nw *Network) Stats() (updatesSent, updatesProcessed, prefixesDropped int) {
+	return nw.updatesSent, nw.updatesProcessed, nw.prefixesDropped
+}
+
+func (nw *Network) emit(ev RouteChange) {
+	nw.lastChange = ev.Time
+	for _, fn := range nw.taps {
+		fn(ev)
+	}
+}
+
+func (nw *Network) procDelay() time.Duration {
+	if nw.cfg.ProcMax <= nw.cfg.ProcMin {
+		return nw.cfg.ProcMin
+	}
+	return nw.cfg.ProcMin + time.Duration(nw.Engine.Rand().Int63n(int64(nw.cfg.ProcMax-nw.cfg.ProcMin)))
+}
+
+func (nw *Network) mraiInterval() time.Duration {
+	if nw.cfg.MRAI <= 0 {
+		return 0
+	}
+	if nw.cfg.NoJitter {
+		return nw.cfg.MRAI
+	}
+	// RFC 4271 §9.2.1.1: jitter timers to 0.75-1.0 of the configured value.
+	f := 0.75 + 0.25*nw.Engine.Rand().Float64()
+	return time.Duration(f * float64(nw.cfg.MRAI))
+}
+
+// announcement is one advertised prefix inside an update message.
+type announcement struct {
+	prefix prefix.Prefix
+	path   []bgp.ASN // sender first, origin last
+}
+
+// updateMsg is the in-simulator representation of one BGP UPDATE.
+type updateMsg struct {
+	from      bgp.ASN
+	announce  []announcement
+	withdrawn []prefix.Prefix
+}
+
+// Node is one simulated AS router.
+type Node struct {
+	nw        *Network
+	asn       bgp.ASN
+	table     *route.Table
+	neighbors []topo.Neighbor
+	peers     map[bgp.ASN]*peerState
+	filters   bool
+	listeners []func(RouteChange)
+}
+
+type peerState struct {
+	nbr    topo.Neighbor
+	adjOut map[prefix.Prefix][]bgp.ASN // advertised path per prefix
+	dirty  map[prefix.Prefix]bool
+	armed  bool
+}
+
+func newNode(nw *Network, asn bgp.ASN, neighbors []topo.Neighbor, filters bool) *Node {
+	n := &Node{
+		nw:        nw,
+		asn:       asn,
+		table:     route.NewTable(asn),
+		neighbors: neighbors,
+		peers:     make(map[bgp.ASN]*peerState, len(neighbors)),
+		filters:   filters,
+	}
+	for _, nbr := range neighbors {
+		n.peers[nbr.ASN] = &peerState{
+			nbr:    nbr,
+			adjOut: make(map[prefix.Prefix][]bgp.ASN),
+			dirty:  make(map[prefix.Prefix]bool),
+		}
+	}
+	return n
+}
+
+// ASN returns the node's AS number.
+func (n *Node) ASN() bgp.ASN { return n.asn }
+
+// Table exposes the node's routing table (read-only use).
+func (n *Node) Table() *route.Table { return n.table }
+
+// BestRoute returns the selected route for exactly p.
+func (n *Node) BestRoute(p prefix.Prefix) (*route.Route, bool) { return n.table.Best(p) }
+
+// ResolveOrigin answers the data-plane question: which origin AS receives
+// this node's traffic for addr right now.
+func (n *Node) ResolveOrigin(addr prefix.Addr) (bgp.ASN, bool) {
+	return n.table.ResolveOrigin(addr)
+}
+
+// OnChange registers a per-node listener for best-route changes — the
+// attachment point for route collectors peering with this AS.
+func (n *Node) OnChange(fn func(RouteChange)) { n.listeners = append(n.listeners, fn) }
+
+func (n *Node) originate(p prefix.Prefix) {
+	old, best, changed := n.table.Originate(p)
+	if changed {
+		n.bestChanged(p, old, best)
+	}
+}
+
+func (n *Node) withdrawLocal(p prefix.Prefix) {
+	old, best, changed := n.table.WithdrawLocal(p)
+	if changed {
+		n.bestChanged(p, old, best)
+	}
+}
+
+// receive processes one update message from a neighbor.
+func (n *Node) receive(msg updateMsg) {
+	n.nw.updatesProcessed++
+	ps := n.peers[msg.from]
+	if ps == nil {
+		return // session no longer exists; stale in-flight message
+	}
+	for _, p := range msg.withdrawn {
+		old, best, changed := n.table.Withdraw(p, msg.from)
+		if changed {
+			n.bestChanged(p, old, best)
+		}
+	}
+	for _, a := range msg.announce {
+		if n.filters && a.prefix.Bits() > n.nw.cfg.FilterMoreSpecificThan {
+			n.nw.prefixesDropped++
+			continue
+		}
+		r := &route.Route{Prefix: a.prefix, Path: a.path, From: msg.from, Rel: ps.nbr.Rel}
+		if r.HasLoop(n.asn) {
+			// RFC 4271 loop detection: treat as implicit withdraw of any
+			// previous route from this neighbor.
+			old, best, changed := n.table.Withdraw(a.prefix, msg.from)
+			if changed {
+				n.bestChanged(a.prefix, old, best)
+			}
+			continue
+		}
+		old, best, changed := n.table.Update(r)
+		if changed {
+			n.bestChanged(a.prefix, old, best)
+		}
+	}
+}
+
+// bestChanged reacts to a change of this node's best route for p: notify
+// observers and mark the prefix dirty towards every adjacency.
+func (n *Node) bestChanged(p prefix.Prefix, old, best *route.Route) {
+	ev := RouteChange{Time: n.nw.Engine.Now(), AS: n.asn, Prefix: p, Old: old, New: best}
+	for _, fn := range n.listeners {
+		fn(ev)
+	}
+	n.nw.emit(ev)
+	// Iterate adjacencies in topology order so runs stay deterministic
+	// (map iteration order would reorder RNG draws).
+	for _, nbr := range n.neighbors {
+		ps := n.peers[nbr.ASN]
+		ps.dirty[p] = true
+		n.kick(ps)
+	}
+}
+
+// kick flushes the adjacency immediately when its MRAI timer is idle,
+// otherwise leaves the dirty set for the armed timer to pick up.
+func (n *Node) kick(ps *peerState) {
+	if ps.armed {
+		return
+	}
+	n.flush(ps)
+	if ivl := n.nw.mraiInterval(); ivl > 0 {
+		ps.armed = true
+		n.nw.Engine.After(ivl, func() { n.mraiExpired(ps) })
+	}
+}
+
+func (n *Node) mraiExpired(ps *peerState) {
+	ps.armed = false
+	if len(ps.dirty) == 0 {
+		return
+	}
+	n.flush(ps)
+	ps.armed = true
+	n.nw.Engine.After(n.nw.mraiInterval(), func() { n.mraiExpired(ps) })
+}
+
+// flush turns the adjacency's dirty set into one update message and
+// delivers it across the link.
+func (n *Node) flush(ps *peerState) {
+	if len(ps.dirty) == 0 {
+		return
+	}
+	var msg updateMsg
+	msg.from = n.asn
+	dirty := make([]prefix.Prefix, 0, len(ps.dirty))
+	for p := range ps.dirty {
+		dirty = append(dirty, p)
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].Compare(dirty[j]) < 0 })
+	for _, p := range dirty {
+		delete(ps.dirty, p)
+		best, ok := n.table.Best(p)
+		shouldAnnounce := ok && route.Exportable(best, ps.nbr.Rel) && best.From != ps.nbr.ASN
+		if shouldAnnounce {
+			path := append([]bgp.ASN{n.asn}, best.Path...)
+			ps.adjOut[p] = path
+			msg.announce = append(msg.announce, announcement{prefix: p, path: path})
+		} else if _, advertised := ps.adjOut[p]; advertised {
+			delete(ps.adjOut, p)
+			msg.withdrawn = append(msg.withdrawn, p)
+		}
+	}
+	if len(msg.announce) == 0 && len(msg.withdrawn) == 0 {
+		return
+	}
+	n.nw.updatesSent++
+	dst := n.nw.nodes[ps.nbr.ASN]
+	delay := ps.nbr.Delay + n.nw.procDelay()
+	n.nw.Engine.After(delay, func() { dst.receive(msg) })
+}
+
+// AdvertisedTo reports the AS path this node last advertised to the given
+// neighbor for p — the view a route collector peering with n sees.
+func (n *Node) AdvertisedTo(neighbor bgp.ASN, p prefix.Prefix) ([]bgp.ASN, bool) {
+	ps := n.peers[neighbor]
+	if ps == nil {
+		return nil, false
+	}
+	path, ok := ps.adjOut[p]
+	return path, ok
+}

@@ -1,0 +1,384 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/prefix"
+	"artemis/internal/sim"
+	"artemis/internal/topo"
+)
+
+// fastCfg removes MRAI so unit tests converge in a handful of events.
+func fastCfg() Config {
+	return Config{MRAI: Disabled, ProcMin: time.Millisecond, ProcMax: 2 * time.Millisecond}
+}
+
+func build(t *testing.T, tp *topo.Topology, cfg Config) (*Network, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	return New(tp, eng, cfg), eng
+}
+
+func TestAnnouncePropagatesLine(t *testing.T) {
+	tp := topo.Line(5, 10*time.Millisecond)
+	nw, eng := build(t, tp, fastCfg())
+	p := prefix.MustParse("10.0.0.0/23")
+	origin := topo.FirstASN // bottom of the chain
+	if err := nw.Announce(origin, p); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	for i := 0; i < 5; i++ {
+		asn := topo.FirstASN + bgp.ASN(i)
+		r, ok := nw.Node(asn).BestRoute(p)
+		if !ok {
+			t.Fatalf("AS %v has no route", asn)
+		}
+		if got := r.Origin(asn); got != origin {
+			t.Fatalf("AS %v origin = %v", asn, got)
+		}
+		if i > 0 && len(r.Path) != i {
+			t.Fatalf("AS %v path length = %d, want %d (%v)", asn, len(r.Path), i, r.Path)
+		}
+	}
+}
+
+func TestUnknownASRejected(t *testing.T) {
+	nw, _ := build(t, topo.Line(2, time.Millisecond), fastCfg())
+	if err := nw.Announce(9999, prefix.MustParse("10.0.0.0/24")); err == nil {
+		t.Fatal("announce from unknown AS accepted")
+	}
+	if err := nw.Withdraw(9999, prefix.MustParse("10.0.0.0/24")); err == nil {
+		t.Fatal("withdraw from unknown AS accepted")
+	}
+}
+
+func TestWithdrawRemovesEverywhere(t *testing.T) {
+	tp := topo.Line(4, 10*time.Millisecond)
+	nw, eng := build(t, tp, fastCfg())
+	p := prefix.MustParse("10.0.0.0/23")
+	nw.Announce(topo.FirstASN, p)
+	eng.Run()
+	nw.Withdraw(topo.FirstASN, p)
+	eng.Run()
+	for i := 0; i < 4; i++ {
+		if _, ok := nw.Node(topo.FirstASN + bgp.ASN(i)).BestRoute(p); ok {
+			t.Fatalf("AS index %d still has a route after withdraw", i)
+		}
+	}
+}
+
+func TestValleyFreeExport(t *testing.T) {
+	// stub1 and stub2 are customers of t1 and t2 respectively; t1 and t2
+	// peer. A route originated by stub1 must reach t2 and stub2 (customer
+	// route exported over the peering), but a route originated by t1's
+	// *provider-learned* side must never transit the peering.
+	//
+	//   prov
+	//     |         (prov is t1's provider)
+	//    t1 ---- t2    (peering)
+	//     |        \
+	//   stub1     stub2
+	tp := topo.New()
+	var prov, t1, t2, stub1, stub2 bgp.ASN = 100, 10, 20, 1, 2
+	tp.AddC2P(t1, prov, time.Millisecond)
+	tp.AddPeering(t1, t2, time.Millisecond)
+	tp.AddC2P(stub1, t1, time.Millisecond)
+	tp.AddC2P(stub2, t2, time.Millisecond)
+
+	nw, eng := build(t, tp, fastCfg())
+	pCust := prefix.MustParse("10.0.0.0/24")
+	nw.Announce(stub1, pCust)
+	eng.Run()
+	// Customer route reaches everyone.
+	for _, asn := range []bgp.ASN{prov, t1, t2, stub1, stub2} {
+		if _, ok := nw.Node(asn).BestRoute(pCust); !ok {
+			t.Fatalf("AS %v missing customer-originated route", asn)
+		}
+	}
+
+	pProv := prefix.MustParse("192.0.2.0/24")
+	nw.Announce(prov, pProv)
+	eng.Run()
+	// Provider-originated route reaches t1 and its customers (stub1), but
+	// must NOT cross the t1-t2 peering (valley-free).
+	if _, ok := nw.Node(stub1).BestRoute(pProv); !ok {
+		t.Fatal("stub1 should hear provider route via t1")
+	}
+	if _, ok := nw.Node(t2).BestRoute(pProv); ok {
+		t.Fatal("valley-free violation: provider route crossed a peering")
+	}
+	if _, ok := nw.Node(stub2).BestRoute(pProv); ok {
+		t.Fatal("valley-free violation: provider route reached stub2")
+	}
+}
+
+func TestCustomerPreferredOverPeer(t *testing.T) {
+	// dst is reachable both via a customer edge and a peering; the node
+	// must pick the customer route even when longer.
+	//
+	//    x ---- peer ----> dst   (x peers with dst)
+	//    x <- c1 <- c2 <- dst-as-customer-chain
+	tp := topo.New()
+	var x, dst, c1, c2 bgp.ASN = 10, 20, 30, 40
+	tp.AddPeering(x, dst, time.Millisecond)
+	tp.AddC2P(c1, x, time.Millisecond)   // c1 customer of x
+	tp.AddC2P(c2, c1, time.Millisecond)  // c2 customer of c1
+	tp.AddC2P(dst, c2, time.Millisecond) // dst customer of c2
+	// dst originates; x hears: direct peer path [dst], and a customer
+	// path [c1 c2 dst] climbing the customer chain.
+	nw, eng := build(t, tp, fastCfg())
+	p := prefix.MustParse("10.0.0.0/23")
+	nw.Announce(dst, p)
+	eng.Run()
+	r, ok := nw.Node(x).BestRoute(p)
+	if !ok {
+		t.Fatal("x has no route")
+	}
+	if r.Rel != topo.Customer {
+		t.Fatalf("x selected %v route %v; customer must win", r.Rel, r)
+	}
+	if len(r.Path) != 3 {
+		t.Fatalf("unexpected path %v", r.Path)
+	}
+}
+
+func TestSubPrefixWinsDataPlane(t *testing.T) {
+	// The mitigation mechanism: a /24 pulls traffic away from the /23
+	// everywhere, regardless of path preference.
+	tp := topo.Line(3, time.Millisecond)
+	nw, eng := build(t, tp, fastCfg())
+	victimPfx := prefix.MustParse("10.0.0.0/23")
+	top := topo.FirstASN + 2
+	nw.Announce(topo.FirstASN, victimPfx)
+	eng.Run()
+	if origin, _ := nw.Node(top).ResolveOrigin(prefix.MustParseAddr("10.0.0.1")); origin != topo.FirstASN {
+		t.Fatalf("pre: origin = %v", origin)
+	}
+	// top announces the more specific half.
+	nw.Announce(top, prefix.MustParse("10.0.0.0/24"))
+	eng.Run()
+	if origin, _ := nw.Node(topo.FirstASN).ResolveOrigin(prefix.MustParseAddr("10.0.0.1")); origin != top {
+		t.Fatalf("sub-prefix did not capture data plane: origin = %v", origin)
+	}
+	// Other half still with the /23 owner.
+	if origin, _ := nw.Node(topo.FirstASN + 1).ResolveOrigin(prefix.MustParseAddr("10.0.1.1")); origin != topo.FirstASN {
+		t.Fatalf("/23 should still own 10.0.1.0: origin = %v", origin)
+	}
+}
+
+func TestSlash25FilteredEverywhere(t *testing.T) {
+	tp := topo.Line(3, time.Millisecond)
+	nw, eng := build(t, tp, fastCfg()) // FilterMoreSpecificThan defaults to 24
+	p25 := prefix.MustParse("10.0.0.0/25")
+	nw.Announce(topo.FirstASN, p25)
+	eng.Run()
+	// Originator keeps its own route; nobody else accepts it.
+	if _, ok := nw.Node(topo.FirstASN).BestRoute(p25); !ok {
+		t.Fatal("originator should keep its local /25")
+	}
+	for i := 1; i < 3; i++ {
+		if _, ok := nw.Node(topo.FirstASN + bgp.ASN(i)).BestRoute(p25); ok {
+			t.Fatalf("/25 leaked to AS index %d despite ingress filter", i)
+		}
+	}
+	_, _, dropped := nw.Stats()
+	if dropped == 0 {
+		t.Fatal("filter drop counter not incremented")
+	}
+}
+
+func TestFilterDisabled(t *testing.T) {
+	cfg := fastCfg()
+	cfg.FilterMoreSpecificThan = 32
+	tp := topo.Line(3, time.Millisecond)
+	nw, eng := build(t, tp, cfg)
+	p25 := prefix.MustParse("10.0.0.0/25")
+	nw.Announce(topo.FirstASN, p25)
+	eng.Run()
+	if _, ok := nw.Node(topo.FirstASN + 2).BestRoute(p25); !ok {
+		t.Fatal("/25 should propagate with filtering disabled")
+	}
+}
+
+func TestOriginHijackSplitsInternet(t *testing.T) {
+	// Victim and attacker announce the same /23 from opposite ends of a
+	// line; ASes closer to the attacker choose the attacker (shorter path).
+	tp := topo.Line(6, time.Millisecond)
+	nw, eng := build(t, tp, fastCfg())
+	p := prefix.MustParse("10.0.0.0/23")
+	victim := topo.FirstASN
+	attacker := topo.FirstASN + 5
+	nw.Announce(victim, p)
+	eng.Run()
+	nw.Announce(attacker, p)
+	eng.Run()
+	addr := prefix.MustParseAddr("10.0.0.1")
+	var hijacked int
+	for i := 0; i < 6; i++ {
+		origin, ok := nw.Node(topo.FirstASN + bgp.ASN(i)).ResolveOrigin(addr)
+		if !ok {
+			t.Fatalf("AS index %d lost the route", i)
+		}
+		if origin == attacker {
+			hijacked++
+		}
+	}
+	if hijacked == 0 || hijacked == 6 {
+		t.Fatalf("hijack should split the line, got %d/6 captured", hijacked)
+	}
+}
+
+func TestRouteChangeEvents(t *testing.T) {
+	tp := topo.Line(3, time.Millisecond)
+	nw, eng := build(t, tp, fastCfg())
+	var events []RouteChange
+	nw.OnChange(func(ev RouteChange) { events = append(events, ev) })
+	var nodeEvents int
+	nw.Node(topo.FirstASN + 2).OnChange(func(RouteChange) { nodeEvents++ })
+	p := prefix.MustParse("10.0.0.0/23")
+	nw.Announce(topo.FirstASN, p)
+	eng.Run()
+	if len(events) != 3 {
+		t.Fatalf("expected 3 best-route changes, got %d", len(events))
+	}
+	if nodeEvents != 1 {
+		t.Fatalf("per-node listener fired %d times", nodeEvents)
+	}
+	for _, ev := range events[1:] {
+		if ev.Time <= 0 {
+			t.Fatal("propagated events must carry positive sim time")
+		}
+		if ev.Old != nil || ev.New == nil {
+			t.Fatalf("first-route event malformed: %+v", ev)
+		}
+	}
+	if nw.LastChange() != events[len(events)-1].Time {
+		t.Fatal("LastChange out of sync")
+	}
+}
+
+func TestAdvertisedTo(t *testing.T) {
+	tp := topo.Line(3, time.Millisecond)
+	nw, eng := build(t, tp, fastCfg())
+	p := prefix.MustParse("10.0.0.0/23")
+	nw.Announce(topo.FirstASN, p)
+	eng.Run()
+	mid := topo.FirstASN + 1
+	path, ok := nw.Node(mid).AdvertisedTo(topo.FirstASN+2, p)
+	if !ok || len(path) != 2 || path[0] != mid || path[1] != topo.FirstASN {
+		t.Fatalf("AdvertisedTo = %v,%v", path, ok)
+	}
+	if _, ok := nw.Node(mid).AdvertisedTo(9999, p); ok {
+		t.Fatal("AdvertisedTo unknown neighbor")
+	}
+}
+
+func TestMRAIDelaysSubsequentUpdates(t *testing.T) {
+	// With MRAI on, a second change shortly after the first must not reach
+	// the neighbor until the timer fires (~22.5-30s later).
+	cfg := Config{MRAI: 30 * time.Second, ProcMin: time.Millisecond, ProcMax: 2 * time.Millisecond}
+	tp := topo.Line(2, time.Millisecond)
+	nw, eng := build(t, tp, cfg)
+	p1 := prefix.MustParse("10.0.0.0/24")
+	p2 := prefix.MustParse("10.0.1.0/24")
+	up := topo.FirstASN + 1
+	var gotP2 time.Duration = -1
+	nw.Node(up).OnChange(func(ev RouteChange) {
+		if ev.Prefix == p2 {
+			gotP2 = ev.Time
+		}
+	})
+	nw.Announce(topo.FirstASN, p1)
+	eng.RunUntil(5 * time.Second)
+	nw.Announce(topo.FirstASN, p2) // MRAI timer armed by p1's send
+	eng.Run()
+	if gotP2 < 0 {
+		t.Fatal("p2 never arrived")
+	}
+	if gotP2 < 20*time.Second {
+		t.Fatalf("p2 arrived at %v; MRAI should have held it ~22.5-30s", gotP2)
+	}
+	if gotP2 > 35*time.Second {
+		t.Fatalf("p2 arrived at %v; too late", gotP2)
+	}
+}
+
+func TestMRAIFirstUpdateImmediate(t *testing.T) {
+	cfg := Config{MRAI: 30 * time.Second, ProcMin: time.Millisecond, ProcMax: 2 * time.Millisecond}
+	tp := topo.Line(2, time.Millisecond)
+	nw, eng := build(t, tp, cfg)
+	p := prefix.MustParse("10.0.0.0/24")
+	var got time.Duration = -1
+	nw.Node(topo.FirstASN + 1).OnChange(func(ev RouteChange) { got = ev.Time })
+	nw.Announce(topo.FirstASN, p)
+	eng.RunUntil(time.Second)
+	if got < 0 || got > 100*time.Millisecond {
+		t.Fatalf("first update delayed by MRAI: arrived %v", got)
+	}
+}
+
+func TestLoopSuppressed(t *testing.T) {
+	// Triangle of peers: updates must not cycle forever.
+	tp := topo.New()
+	tp.AddPeering(1, 2, time.Millisecond)
+	tp.AddPeering(2, 3, time.Millisecond)
+	tp.AddPeering(1, 3, time.Millisecond)
+	// Make 1 a customer chain origin: announce from a customer of 1 so
+	// routes are exportable across peerings.
+	tp.AddC2P(9, 1, time.Millisecond)
+	nw, eng := build(t, tp, fastCfg())
+	nw.Announce(9, prefix.MustParse("10.0.0.0/24"))
+	end := eng.Run() // must terminate
+	if end > time.Second {
+		t.Fatalf("convergence took %v; loop suspected", end)
+	}
+	sent, processed, _ := nw.Stats()
+	if sent == 0 || processed == 0 {
+		t.Fatal("stats not counted")
+	}
+}
+
+func TestGeneratedInternetConverges(t *testing.T) {
+	cfg := topo.DefaultGenConfig()
+	cfg.Stubs = 150 // keep the test quick
+	tp, err := topo.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, eng := build(t, tp, fastCfg())
+	p := prefix.MustParse("10.0.0.0/23")
+	stub := topo.FirstASN + bgp.ASN(cfg.Tier1+cfg.Transit) // first stub
+	nw.Announce(stub, p)
+	eng.Run()
+	missing := 0
+	for _, asn := range tp.ASes() {
+		if origin, ok := nw.Node(asn).ResolveOrigin(prefix.MustParseAddr("10.0.0.1")); !ok || origin != stub {
+			missing++
+		}
+	}
+	if missing != 0 {
+		t.Fatalf("%d ASes did not learn the stub's prefix", missing)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (time.Duration, int) {
+		cfg := topo.DefaultGenConfig()
+		cfg.Stubs = 60
+		tp, _ := topo.Generate(cfg)
+		eng := sim.NewEngine(7)
+		nw := New(tp, eng, Config{})
+		nw.Announce(topo.FirstASN+bgp.ASN(cfg.Tier1+cfg.Transit), prefix.MustParse("10.0.0.0/23"))
+		end := eng.Run()
+		sent, _, _ := nw.Stats()
+		return end, sent
+	}
+	e1, s1 := run()
+	e2, s2 := run()
+	if e1 != e2 || s1 != s2 {
+		t.Fatalf("runs diverge: (%v,%d) vs (%v,%d)", e1, s1, e2, s2)
+	}
+}

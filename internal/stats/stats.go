@@ -1,0 +1,139 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to report results the way the paper does: means over a few
+// dozen trials, percentiles, and empirical CDFs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N                int
+	Mean, Stddev     float64
+	Min, Median, Max float64
+	P10, P90         float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sumSq float64
+	for _, x := range sorted {
+		sum += x
+		sumSq += x * x
+	}
+	s.Mean = sum / float64(len(sorted))
+	if len(sorted) > 1 {
+		variance := (sumSq - sum*sum/float64(len(sorted))) / float64(len(sorted)-1)
+		if variance > 0 {
+			s.Stddev = math.Sqrt(variance)
+		}
+	}
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Median = Percentile(sorted, 0.5)
+	s.P10 = Percentile(sorted, 0.10)
+	s.P90 = Percentile(sorted, 0.90)
+	return s
+}
+
+// Percentile returns the q-quantile (0..1) of an ascending-sorted sample
+// using linear interpolation.
+func Percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// DurationSummary is Summary over time.Durations.
+type DurationSummary struct {
+	N                int
+	Mean, Stddev     time.Duration
+	Min, Median, Max time.Duration
+	P10, P90         time.Duration
+}
+
+// SummarizeDurations computes a DurationSummary.
+func SummarizeDurations(ds []time.Duration) DurationSummary {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = float64(d)
+	}
+	s := Summarize(xs)
+	return DurationSummary{
+		N:    s.N,
+		Mean: time.Duration(s.Mean), Stddev: time.Duration(s.Stddev),
+		Min: time.Duration(s.Min), Median: time.Duration(s.Median), Max: time.Duration(s.Max),
+		P10: time.Duration(s.P10), P90: time.Duration(s.P90),
+	}
+}
+
+func (s DurationSummary) String() string {
+	if s.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%v median=%v p90=%v min=%v max=%v",
+		s.N, s.Mean.Round(time.Millisecond), s.Median.Round(time.Millisecond),
+		s.P90.Round(time.Millisecond), s.Min.Round(time.Millisecond), s.Max.Round(time.Millisecond))
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64
+	F float64 // fraction of samples <= X
+}
+
+// CDF computes the empirical distribution of xs.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, 0, len(sorted))
+	for i, x := range sorted {
+		// collapse duplicates to the highest fraction
+		if len(out) > 0 && out[len(out)-1].X == x {
+			out[len(out)-1].F = float64(i+1) / float64(len(sorted))
+			continue
+		}
+		out = append(out, CDFPoint{X: x, F: float64(i+1) / float64(len(sorted))})
+	}
+	return out
+}
+
+// FractionBelow reports the share of samples strictly below x.
+func FractionBelow(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range xs {
+		if v < x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

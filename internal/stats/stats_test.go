@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-9 {
+		t.Fatalf("stddev = %v", s.Stddev)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Stddev != 0 || s.Median != 7 || s.P90 != 7 {
+		t.Fatalf("single = %+v", s)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if got := Percentile(sorted, 0.5); got != 5 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if Percentile(sorted, 0) != 0 || Percentile(sorted, 1) != 10 {
+		t.Fatal("extremes broken")
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P10 && s.P10 <= s.Median && s.Median <= s.P90 && s.P90 <= s.Max
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	s := SummarizeDurations([]time.Duration{time.Second, 3 * time.Second})
+	if s.Mean != 2*time.Second || s.N != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.String() == "" || SummarizeDurations(nil).String() != "n=0" {
+		t.Fatal("String broken")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{1, 2, 2, 3})
+	if len(pts) != 3 {
+		t.Fatalf("points = %+v", pts)
+	}
+	if pts[0].F != 0.25 || pts[1].X != 2 || pts[1].F != 0.75 || pts[2].F != 1 {
+		t.Fatalf("points = %+v", pts)
+	}
+	if CDF(nil) != nil {
+		t.Fatal("empty CDF")
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	xs := []float64{1, 5, 10}
+	if FractionBelow(xs, 6) != 2.0/3.0 {
+		t.Fatal("FractionBelow broken")
+	}
+	if FractionBelow(nil, 1) != 0 {
+		t.Fatal("empty FractionBelow")
+	}
+	if FractionBelow(xs, 1) != 0 {
+		t.Fatal("strictness broken")
+	}
+}

@@ -1,0 +1,202 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"artemis/internal/bgp"
+)
+
+// GenConfig parameterizes the synthetic Internet generator.
+type GenConfig struct {
+	// Tier1 is the number of tier-1 ASes, fully meshed with peering links.
+	Tier1 int
+	// Transit is the number of mid-tier transit providers. Each buys
+	// transit from 2 providers drawn from tier-1 and earlier transit ASes,
+	// and peers with a few same-tier ASes.
+	Transit int
+	// Stubs is the number of edge (stub) ASes. Each buys transit from 1-3
+	// transit providers.
+	Stubs int
+	// PeerProb is the probability that any given transit AS peers with
+	// another random same-tier transit AS (evaluated Transit times).
+	PeerProb float64
+	// MinDelay and MaxDelay bound per-link one-way propagation delay.
+	MinDelay, MaxDelay time.Duration
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultGenConfig is a laptop-scale Internet: big enough for realistic
+// multi-hop propagation and partial hijack capture, small enough that a
+// full experiment suite runs in seconds.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Tier1:    8,
+		Transit:  72,
+		Stubs:    420,
+		PeerProb: 0.35,
+		MinDelay: 10 * time.Millisecond,
+		MaxDelay: 80 * time.Millisecond,
+		Seed:     1,
+	}
+}
+
+// regions used for geographic placement of generated ASes.
+var regions = []struct {
+	name     string
+	lat, lon float64
+}{
+	{"north-america", 40, -100},
+	{"south-america", -15, -60},
+	{"europe", 50, 10},
+	{"africa", 5, 20},
+	{"asia", 30, 100},
+	{"oceania", -25, 135},
+}
+
+// FirstASN is the ASN assigned to the first generated AS; generated ASNs
+// are sequential from here, which keeps logs readable.
+const FirstASN bgp.ASN = 1000
+
+// Generate builds a hierarchical synthetic Internet. ASNs are assigned
+// sequentially: tier-1 first, then transit, then stubs — so tests can
+// address "some stub" deterministically.
+func Generate(cfg GenConfig) (*Topology, error) {
+	if cfg.Tier1 < 1 {
+		return nil, fmt.Errorf("topo: need at least one tier-1 AS")
+	}
+	if cfg.MaxDelay < cfg.MinDelay {
+		return nil, fmt.Errorf("topo: MaxDelay < MinDelay")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := New()
+	delay := func() time.Duration {
+		if cfg.MaxDelay == cfg.MinDelay {
+			return cfg.MinDelay
+		}
+		return cfg.MinDelay + time.Duration(rng.Int63n(int64(cfg.MaxDelay-cfg.MinDelay)))
+	}
+	place := func(asn bgp.ASN) {
+		r := regions[rng.Intn(len(regions))]
+		t.SetGeo(asn, GeoPoint{
+			Lat:    r.lat + rng.Float64()*16 - 8,
+			Lon:    r.lon + rng.Float64()*24 - 12,
+			Region: r.name,
+		})
+	}
+
+	next := FirstASN
+	newAS := func() bgp.ASN {
+		asn := next
+		next++
+		t.AddAS(asn)
+		place(asn)
+		return asn
+	}
+
+	// Tier-1 clique.
+	tier1 := make([]bgp.ASN, cfg.Tier1)
+	for i := range tier1 {
+		tier1[i] = newAS()
+	}
+	for i := 0; i < len(tier1); i++ {
+		for j := i + 1; j < len(tier1); j++ {
+			if err := t.AddPeering(tier1[i], tier1[j], delay()); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Transit tier: each buys from 2 distinct providers above it.
+	transit := make([]bgp.ASN, cfg.Transit)
+	for i := range transit {
+		asn := newAS()
+		transit[i] = asn
+		pool := append(append([]bgp.ASN(nil), tier1...), transit[:i]...)
+		for _, p := range pickDistinct(rng, pool, 2) {
+			if err := t.AddC2P(asn, p, delay()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Same-tier peering among transit ASes.
+	for _, a := range transit {
+		if rng.Float64() >= cfg.PeerProb || len(transit) < 2 {
+			continue
+		}
+		b := transit[rng.Intn(len(transit))]
+		if b == a {
+			continue
+		}
+		if _, exists := t.Rel(a, b); exists {
+			continue
+		}
+		if err := t.AddPeering(a, b, delay()); err != nil {
+			return nil, err
+		}
+	}
+
+	// Stubs: each buys from 1-3 transit providers (or tier-1 when there is
+	// no transit tier).
+	pool := transit
+	if len(pool) == 0 {
+		pool = tier1
+	}
+	for i := 0; i < cfg.Stubs; i++ {
+		asn := newAS()
+		n := 1 + rng.Intn(3)
+		for _, p := range pickDistinct(rng, pool, n) {
+			if err := t.AddC2P(asn, p, delay()); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if !t.Connected() {
+		return nil, fmt.Errorf("topo: generated topology is disconnected")
+	}
+	return t, nil
+}
+
+func pickDistinct(rng *rand.Rand, pool []bgp.ASN, n int) []bgp.ASN {
+	if n >= len(pool) {
+		return append([]bgp.ASN(nil), pool...)
+	}
+	idx := rng.Perm(len(pool))[:n]
+	out := make([]bgp.ASN, n)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+// Line builds a chain AS1000 - AS1001 - ... where each AS is the customer
+// of the next (traffic flows up the chain). Useful for deterministic tests.
+func Line(n int, linkDelay time.Duration) *Topology {
+	t := New()
+	for i := 0; i < n; i++ {
+		t.AddAS(FirstASN + bgp.ASN(i))
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := t.AddC2P(FirstASN+bgp.ASN(i), FirstASN+bgp.ASN(i+1), linkDelay); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+// Star builds a hub with n-1 customer spokes: spoke ASes 1001.. are
+// customers of hub AS1000.
+func Star(n int, linkDelay time.Duration) *Topology {
+	t := New()
+	hub := FirstASN
+	t.AddAS(hub)
+	for i := 1; i < n; i++ {
+		if err := t.AddC2P(FirstASN+bgp.ASN(i), hub, linkDelay); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}

@@ -1,0 +1,226 @@
+// Package topo models AS-level Internet topology: autonomous systems,
+// business relationships between them (customer–provider and settlement-free
+// peering, per Gao–Rexford), per-link propagation delays, and geographic
+// placement for the demo visualization.
+//
+// The paper evaluates against the live Internet; here a synthetic Internet
+// with the same hierarchical structure (tier-1 clique, transit providers,
+// stub edge networks) stands in for it. Hijack propagation and the
+// effectiveness of de-aggregation depend on this structure, not on the
+// identity of real ASes, so the substitution preserves the phenomena the
+// experiments measure.
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"artemis/internal/bgp"
+)
+
+// Rel is the business relationship of a neighbor *relative to the local AS*.
+type Rel int8
+
+const (
+	// Customer: the neighbor pays us for transit.
+	Customer Rel = -1
+	// Peer: settlement-free peering.
+	Peer Rel = 0
+	// Provider: we pay the neighbor for transit.
+	Provider Rel = 1
+)
+
+func (r Rel) String() string {
+	switch r {
+	case Customer:
+		return "customer"
+	case Peer:
+		return "peer"
+	case Provider:
+		return "provider"
+	}
+	return fmt.Sprintf("Rel(%d)", int8(r))
+}
+
+// Invert returns the relationship as seen from the other side of the link.
+func (r Rel) Invert() Rel { return -r }
+
+// Neighbor is one adjacency of an AS.
+type Neighbor struct {
+	ASN   bgp.ASN
+	Rel   Rel           // what the neighbor is to us
+	Delay time.Duration // one-way link propagation delay
+}
+
+// GeoPoint places an AS on the globe for the demo visualization.
+type GeoPoint struct {
+	Lat, Lon float64
+	Region   string
+}
+
+// Topology is an undirected AS graph with typed edges. The zero value is
+// not usable; call New.
+type Topology struct {
+	adj map[bgp.ASN][]Neighbor
+	geo map[bgp.ASN]GeoPoint
+}
+
+// New returns an empty topology.
+func New() *Topology {
+	return &Topology{adj: make(map[bgp.ASN][]Neighbor), geo: make(map[bgp.ASN]GeoPoint)}
+}
+
+// AddAS registers an AS with no links. Adding links registers endpoints
+// implicitly; AddAS is for isolated nodes in tests.
+func (t *Topology) AddAS(asn bgp.ASN) {
+	if _, ok := t.adj[asn]; !ok {
+		t.adj[asn] = nil
+	}
+}
+
+// AddC2P adds a customer→provider link with the given one-way delay.
+func (t *Topology) AddC2P(customer, provider bgp.ASN, delay time.Duration) error {
+	return t.addLink(customer, provider, Provider, delay)
+}
+
+// AddPeering adds a settlement-free peering link.
+func (t *Topology) AddPeering(a, b bgp.ASN, delay time.Duration) error {
+	return t.addLink(a, b, Peer, delay)
+}
+
+// addLink records the edge on both sides; relAB is what b is to a.
+func (t *Topology) addLink(a, b bgp.ASN, relAB Rel, delay time.Duration) error {
+	if a == b {
+		return fmt.Errorf("topo: self link on %v", a)
+	}
+	if _, ok := t.Rel(a, b); ok {
+		return fmt.Errorf("topo: duplicate link %v-%v", a, b)
+	}
+	t.adj[a] = append(t.adj[a], Neighbor{ASN: b, Rel: relAB, Delay: delay})
+	t.adj[b] = append(t.adj[b], Neighbor{ASN: a, Rel: relAB.Invert(), Delay: delay})
+	return nil
+}
+
+// Neighbors returns the adjacency list of asn. The returned slice is owned
+// by the topology and must not be mutated.
+func (t *Topology) Neighbors(asn bgp.ASN) []Neighbor { return t.adj[asn] }
+
+// Rel returns the relationship of b relative to a.
+func (t *Topology) Rel(a, b bgp.ASN) (Rel, bool) {
+	for _, n := range t.adj[a] {
+		if n.ASN == b {
+			return n.Rel, true
+		}
+	}
+	return 0, false
+}
+
+// Has reports whether the AS exists in the topology.
+func (t *Topology) Has(asn bgp.ASN) bool {
+	_, ok := t.adj[asn]
+	return ok
+}
+
+// Len returns the number of ASes.
+func (t *Topology) Len() int { return len(t.adj) }
+
+// Links returns the number of undirected links.
+func (t *Topology) Links() int {
+	n := 0
+	for _, adj := range t.adj {
+		n += len(adj)
+	}
+	return n / 2
+}
+
+// ASes returns all AS numbers in ascending order.
+func (t *Topology) ASes() []bgp.ASN {
+	out := make([]bgp.ASN, 0, len(t.adj))
+	for asn := range t.adj {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns the number of adjacencies of asn.
+func (t *Topology) Degree(asn bgp.ASN) int { return len(t.adj[asn]) }
+
+// Customers returns the ASes that are customers of asn.
+func (t *Topology) Customers(asn bgp.ASN) []bgp.ASN {
+	var out []bgp.ASN
+	for _, n := range t.adj[asn] {
+		if n.Rel == Customer {
+			out = append(out, n.ASN)
+		}
+	}
+	return out
+}
+
+// Providers returns the ASes that are providers of asn.
+func (t *Topology) Providers(asn bgp.ASN) []bgp.ASN {
+	var out []bgp.ASN
+	for _, n := range t.adj[asn] {
+		if n.Rel == Provider {
+			out = append(out, n.ASN)
+		}
+	}
+	return out
+}
+
+// SetGeo places an AS at a geographic point.
+func (t *Topology) SetGeo(asn bgp.ASN, g GeoPoint) { t.geo[asn] = g }
+
+// Geo returns the AS's geographic placement, if set.
+func (t *Topology) Geo(asn bgp.ASN) (GeoPoint, bool) {
+	g, ok := t.geo[asn]
+	return g, ok
+}
+
+// Connected reports whether the AS graph is a single component.
+// Every experiment requires it: a disconnected Internet would make
+// "visible at all vantage points" unreachable.
+func (t *Topology) Connected() bool {
+	if len(t.adj) == 0 {
+		return true
+	}
+	var start bgp.ASN
+	for asn := range t.adj {
+		start = asn
+		break
+	}
+	seen := map[bgp.ASN]bool{start: true}
+	queue := []bgp.ASN{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range t.adj[cur] {
+			if !seen[n.ASN] {
+				seen[n.ASN] = true
+				queue = append(queue, n.ASN)
+			}
+		}
+	}
+	return len(seen) == len(t.adj)
+}
+
+// CustomerConeSize returns the number of ASes reachable from asn by walking
+// provider→customer edges only (asn included). It is the standard measure
+// of how much of the Internet an AS provides transit for, used by the
+// looking-glass selection strategies in experiment E3.
+func (t *Topology) CustomerConeSize(asn bgp.ASN) int {
+	seen := map[bgp.ASN]bool{asn: true}
+	queue := []bgp.ASN{asn}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range t.adj[cur] {
+			if n.Rel == Customer && !seen[n.ASN] {
+				seen[n.ASN] = true
+				queue = append(queue, n.ASN)
+			}
+		}
+	}
+	return len(seen)
+}

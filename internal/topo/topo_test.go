@@ -1,0 +1,244 @@
+package topo
+
+import (
+	"testing"
+	"time"
+
+	"artemis/internal/bgp"
+)
+
+func TestAddC2PBothSides(t *testing.T) {
+	tp := New()
+	if err := tp.AddC2P(100, 200, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := tp.Rel(100, 200)
+	if !ok || r != Provider {
+		t.Fatalf("Rel(100,200) = %v,%v; 200 should be 100's provider", r, ok)
+	}
+	r, ok = tp.Rel(200, 100)
+	if !ok || r != Customer {
+		t.Fatalf("Rel(200,100) = %v,%v; 100 should be 200's customer", r, ok)
+	}
+}
+
+func TestAddPeeringSymmetric(t *testing.T) {
+	tp := New()
+	if err := tp.AddPeering(100, 200, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]bgp.ASN{{100, 200}, {200, 100}} {
+		r, ok := tp.Rel(pair[0], pair[1])
+		if !ok || r != Peer {
+			t.Fatalf("Rel(%d,%d) = %v,%v", pair[0], pair[1], r, ok)
+		}
+	}
+}
+
+func TestSelfAndDuplicateLinksRejected(t *testing.T) {
+	tp := New()
+	if err := tp.AddC2P(100, 100, 0); err == nil {
+		t.Fatal("self link accepted")
+	}
+	if err := tp.AddC2P(100, 200, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddPeering(100, 200, 0); err == nil {
+		t.Fatal("duplicate link accepted")
+	}
+	if err := tp.AddC2P(200, 100, 0); err == nil {
+		t.Fatal("reverse duplicate link accepted")
+	}
+}
+
+func TestRelInvert(t *testing.T) {
+	if Customer.Invert() != Provider || Provider.Invert() != Customer || Peer.Invert() != Peer {
+		t.Fatal("Invert broken")
+	}
+}
+
+func TestCustomersProviders(t *testing.T) {
+	tp := New()
+	tp.AddC2P(1, 10, 0)
+	tp.AddC2P(2, 10, 0)
+	tp.AddC2P(10, 100, 0)
+	tp.AddPeering(10, 20, 0)
+	if got := tp.Customers(10); len(got) != 2 {
+		t.Fatalf("Customers(10) = %v", got)
+	}
+	if got := tp.Providers(10); len(got) != 1 || got[0] != 100 {
+		t.Fatalf("Providers(10) = %v", got)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	tp := New()
+	if !tp.Connected() {
+		t.Fatal("empty topology should count as connected")
+	}
+	tp.AddC2P(1, 2, 0)
+	tp.AddAS(3)
+	if tp.Connected() {
+		t.Fatal("isolated AS3 not detected")
+	}
+	tp.AddC2P(3, 2, 0)
+	if !tp.Connected() {
+		t.Fatal("now-connected graph reported disconnected")
+	}
+}
+
+func TestCustomerConeSize(t *testing.T) {
+	// 100 provides for 10 and 20; 10 provides for 1.
+	tp := New()
+	tp.AddC2P(10, 100, 0)
+	tp.AddC2P(20, 100, 0)
+	tp.AddC2P(1, 10, 0)
+	tp.AddPeering(100, 200, 0)
+	if got := tp.CustomerConeSize(100); got != 4 {
+		t.Fatalf("cone(100) = %d, want 4", got)
+	}
+	if got := tp.CustomerConeSize(1); got != 1 {
+		t.Fatalf("cone(1) = %d, want 1", got)
+	}
+	if got := tp.CustomerConeSize(200); got != 1 {
+		t.Fatalf("cone(200) = %d, want 1 (peering must not count)", got)
+	}
+}
+
+func TestLineAndStarHelpers(t *testing.T) {
+	line := Line(4, time.Millisecond)
+	if line.Len() != 4 || line.Links() != 3 {
+		t.Fatalf("line: %d ASes %d links", line.Len(), line.Links())
+	}
+	r, _ := line.Rel(FirstASN, FirstASN+1)
+	if r != Provider {
+		t.Fatal("line should ascend customer->provider")
+	}
+	star := Star(5, time.Millisecond)
+	if star.Degree(FirstASN) != 4 {
+		t.Fatalf("hub degree = %d", star.Degree(FirstASN))
+	}
+}
+
+func TestGenerateDefault(t *testing.T) {
+	cfg := DefaultGenConfig()
+	tp, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Len() != cfg.Tier1+cfg.Transit+cfg.Stubs {
+		t.Fatalf("Len = %d", tp.Len())
+	}
+	if !tp.Connected() {
+		t.Fatal("generated topology disconnected")
+	}
+	// Tier-1 clique: first Tier1 ASes are fully meshed peers.
+	for i := 0; i < cfg.Tier1; i++ {
+		for j := i + 1; j < cfg.Tier1; j++ {
+			r, ok := tp.Rel(FirstASN+bgp.ASN(i), FirstASN+bgp.ASN(j))
+			if !ok || r != Peer {
+				t.Fatalf("tier-1 %d-%d not peered", i, j)
+			}
+		}
+	}
+	// Tier-1 ASes have no providers; stubs have no customers.
+	for i := 0; i < cfg.Tier1; i++ {
+		if len(tp.Providers(FirstASN+bgp.ASN(i))) != 0 {
+			t.Fatalf("tier-1 AS %d has a provider", i)
+		}
+	}
+	stubStart := cfg.Tier1 + cfg.Transit
+	for i := stubStart; i < tp.Len(); i++ {
+		asn := FirstASN + bgp.ASN(i)
+		if len(tp.Customers(asn)) != 0 {
+			t.Fatalf("stub %v has customers", asn)
+		}
+		np := len(tp.Providers(asn))
+		if np < 1 || np > 3 {
+			t.Fatalf("stub %v has %d providers", asn, np)
+		}
+	}
+	// Every AS has a geo placement.
+	for _, asn := range tp.ASes() {
+		if _, ok := tp.Geo(asn); !ok {
+			t.Fatalf("AS %v has no geo point", asn)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() || a.Links() != b.Links() {
+		t.Fatalf("same seed produced different graphs: %d/%d vs %d/%d links",
+			a.Len(), a.Links(), b.Len(), b.Links())
+	}
+	for _, asn := range a.ASes() {
+		na, nb := a.Neighbors(asn), b.Neighbors(asn)
+		if len(na) != len(nb) {
+			t.Fatalf("AS %v degree differs", asn)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("AS %v neighbor %d differs: %+v vs %+v", asn, i, na[i], nb[i])
+			}
+		}
+	}
+}
+
+func TestGenerateSeedVariation(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Seed = 2
+	a, _ := Generate(DefaultGenConfig())
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same node count, but link structure should differ somewhere.
+	if a.Links() == b.Links() {
+		same := true
+		for _, asn := range a.ASes() {
+			if len(a.Neighbors(asn)) != len(b.Neighbors(asn)) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Log("structures coincidentally similar; acceptable but unusual")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GenConfig{Tier1: 0}); err == nil {
+		t.Fatal("Tier1=0 accepted")
+	}
+	bad := DefaultGenConfig()
+	bad.MinDelay, bad.MaxDelay = time.Second, time.Millisecond
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("inverted delay bounds accepted")
+	}
+}
+
+func TestGenerateTinyConfigs(t *testing.T) {
+	// Degenerate but legal configurations must still generate.
+	for _, cfg := range []GenConfig{
+		{Tier1: 1, Stubs: 3, MinDelay: time.Millisecond, MaxDelay: time.Millisecond},
+		{Tier1: 2, Transit: 1, MinDelay: time.Millisecond, MaxDelay: time.Millisecond},
+		{Tier1: 3, Transit: 5, Stubs: 10, PeerProb: 1.0, MinDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+	} {
+		tp, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		if !tp.Connected() {
+			t.Fatalf("cfg %+v: disconnected", cfg)
+		}
+	}
+}

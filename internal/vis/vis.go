@@ -1,0 +1,144 @@
+// Package vis renders the demo of §4: a real-time view of how a hijack
+// propagates through the Internet and how mitigation claws it back. Two
+// renderings, both plain text so they work in any terminal:
+//
+//   - Timeline: the fraction of vantage points selecting the legitimate
+//     origin over time, as an ASCII strip chart;
+//   - WorldMap: vantage points plotted by latitude/longitude, each marked
+//     with whether it currently routes to the legitimate AS ('o'), the
+//     hijacker ('X'), or is unknown ('.').
+package vis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/core"
+	"artemis/internal/topo"
+)
+
+// Timeline renders monitor samples as an ASCII strip chart of the legit
+// fraction (height rows tall, at most width columns wide).
+func Timeline(samples []core.Sample, width, height int) string {
+	if len(samples) == 0 || width < 2 || height < 2 {
+		return "(no samples)\n"
+	}
+	start, end := samples[0].Time, samples[len(samples)-1].Time
+	if end <= start {
+		end = start + time.Second
+	}
+	// Resample: for each column take the last sample at or before the
+	// column's time.
+	cols := make([]float64, width)
+	idx := 0
+	for c := 0; c < width; c++ {
+		t := start + time.Duration(float64(end-start)*float64(c)/float64(width-1))
+		for idx+1 < len(samples) && samples[idx+1].Time <= t {
+			idx++
+		}
+		cols[c] = samples[idx].FractionLegit()
+	}
+	var b strings.Builder
+	for row := height - 1; row >= 0; row-- {
+		lo := float64(row) / float64(height)
+		label := " "
+		if row == height-1 {
+			label = "1"
+		} else if row == 0 {
+			label = "0"
+		}
+		b.WriteString(label + " |")
+		for _, v := range cols {
+			if v > lo {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "   %-12v%*v\n", start.Round(time.Second), width-12, end.Round(time.Second))
+	return b.String()
+}
+
+// WorldMap plots vantage points on a lat/lon grid. origins maps each VP to
+// the per-probe origins the monitor reported (see Monitor.VPOrigins);
+// legit is the set of legitimate origins.
+func WorldMap(tp *topo.Topology, origins map[bgp.ASN][]bgp.ASN, legit map[bgp.ASN]bool, width, height int) string {
+	if width < 10 || height < 5 {
+		width, height = 72, 18
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	vps := make([]bgp.ASN, 0, len(origins))
+	for vp := range origins {
+		vps = append(vps, vp)
+	}
+	sort.Slice(vps, func(i, j int) bool { return vps[i] < vps[j] })
+	for _, vp := range vps {
+		g, ok := tp.Geo(vp)
+		if !ok {
+			continue
+		}
+		x := int((g.Lon + 180) / 360 * float64(width-1))
+		y := int((90 - g.Lat) / 180 * float64(height-1))
+		if x < 0 || x >= width || y < 0 || y >= height {
+			continue
+		}
+		grid[y][x] = marker(origins[vp], legit)
+	}
+	var b strings.Builder
+	b.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	b.WriteString("  o legitimate origin   X hijacked   . no data\n")
+	return b.String()
+}
+
+func marker(origins []bgp.ASN, legit map[bgp.ASN]bool) byte {
+	known := false
+	for _, o := range origins {
+		if o == 0 {
+			continue
+		}
+		known = true
+		if !legit[o] {
+			return 'X'
+		}
+	}
+	if !known {
+		return '.'
+	}
+	return 'o'
+}
+
+// TimelineReport is a compact textual summary of a hijack incident.
+func TimelineReport(samples []core.Sample) string {
+	if len(samples) == 0 {
+		return "(no monitoring data)\n"
+	}
+	var b strings.Builder
+	worst := samples[0]
+	for _, s := range samples {
+		if s.FractionLegit() < worst.FractionLegit() {
+			worst = s
+		}
+	}
+	last := samples[len(samples)-1]
+	fmt.Fprintf(&b, "monitoring samples: %d\n", len(samples))
+	fmt.Fprintf(&b, "worst moment:       %.0f%% of VPs legit at %v (%d hijacked)\n",
+		100*worst.FractionLegit(), worst.Time.Round(time.Second), worst.HijackedVPs)
+	fmt.Fprintf(&b, "final state:        %.0f%% of VPs legit at %v\n",
+		100*last.FractionLegit(), last.Time.Round(time.Second))
+	return b.String()
+}

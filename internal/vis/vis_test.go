@@ -1,0 +1,83 @@
+package vis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/core"
+	"artemis/internal/topo"
+)
+
+func samples() []core.Sample {
+	return []core.Sample{
+		{Time: 0, LegitVPs: 4},
+		{Time: time.Minute, LegitVPs: 2, HijackedVPs: 2},
+		{Time: 2 * time.Minute, LegitVPs: 1, HijackedVPs: 3},
+		{Time: 5 * time.Minute, LegitVPs: 4},
+	}
+}
+
+func TestTimelineRenders(t *testing.T) {
+	out := Timeline(samples(), 40, 8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 { // 8 rows + axis + labels
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("no bars drawn")
+	}
+	// The dip must be visible: top row has gaps.
+	top := lines[0]
+	if !strings.Contains(top, "#") || !strings.Contains(strings.TrimRight(top[3:], " "), " ") {
+		t.Fatalf("top row should show the dip: %q", top)
+	}
+}
+
+func TestTimelineDegenerate(t *testing.T) {
+	if !strings.Contains(Timeline(nil, 40, 8), "no samples") {
+		t.Fatal("empty samples not handled")
+	}
+	one := []core.Sample{{Time: time.Second, LegitVPs: 1}}
+	if Timeline(one, 40, 8) == "" {
+		t.Fatal("single sample broke the chart")
+	}
+}
+
+func TestWorldMapMarkers(t *testing.T) {
+	tp := topo.New()
+	tp.AddAS(1)
+	tp.AddAS(2)
+	tp.AddAS(3)
+	tp.SetGeo(1, topo.GeoPoint{Lat: 50, Lon: 10})   // Europe, legit
+	tp.SetGeo(2, topo.GeoPoint{Lat: 40, Lon: -100}) // NA, hijacked
+	tp.SetGeo(3, topo.GeoPoint{Lat: -25, Lon: 135}) // Oceania, unknown
+	origins := map[bgp.ASN][]bgp.ASN{
+		1: {61000},
+		2: {61000, 64666},
+		3: {0},
+	}
+	legit := map[bgp.ASN]bool{61000: true}
+	out := WorldMap(tp, origins, legit, 72, 18)
+	if !strings.Contains(out, "o") || !strings.Contains(out, "X") || !strings.Contains(out, ".") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestWorldMapBadDims(t *testing.T) {
+	tp := topo.New()
+	if WorldMap(tp, nil, nil, 1, 1) == "" {
+		t.Fatal("bad dims not defaulted")
+	}
+}
+
+func TestTimelineReport(t *testing.T) {
+	out := TimelineReport(samples())
+	if !strings.Contains(out, "25%") || !strings.Contains(out, "100%") {
+		t.Fatalf("report:\n%s", out)
+	}
+	if !strings.Contains(TimelineReport(nil), "no monitoring data") {
+		t.Fatal("empty report not handled")
+	}
+}

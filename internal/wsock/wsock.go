@@ -1,0 +1,351 @@
+// Package wsock is a minimal WebSocket (RFC 6455) implementation covering
+// what a BGP streaming feed needs: the HTTP/1.1 upgrade handshake (server
+// and client side), text and binary data frames, fragmentation, ping/pong,
+// and close. It exists because the reproduced RIS Live feed
+// (internal/feeds/ris) streams JSON over WebSocket, and the module is
+// stdlib-only.
+//
+// Frames from the client are masked as the RFC requires; server frames are
+// not. Control frames interleaved with fragmented messages are handled.
+package wsock
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// magicGUID is the fixed GUID from RFC 6455 §1.3 used in the accept hash.
+const magicGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// Opcodes (RFC 6455 §5.2).
+const (
+	opContinuation = 0x0
+	OpText         = 0x1
+	OpBinary       = 0x2
+	opClose        = 0x8
+	opPing         = 0x9
+	opPong         = 0xA
+)
+
+// maxMessageLen bounds a reassembled message; feed events are tiny, so a
+// generous 4 MiB cap protects against a corrupt or hostile length field.
+const maxMessageLen = 4 << 20
+
+// ErrClosed is returned by Read/Write after the connection is closed,
+// locally or by the peer.
+var ErrClosed = errors.New("wsock: connection closed")
+
+// Conn is an established WebSocket connection. It is safe for one
+// concurrent reader plus one concurrent writer.
+type Conn struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	client bool // true when we are the client (must mask writes)
+
+	wmu    sync.Mutex
+	closed bool
+}
+
+// AcceptKey computes the Sec-WebSocket-Accept value for a handshake key.
+func AcceptKey(key string) string {
+	h := sha1.Sum([]byte(key + magicGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// Upgrade performs the server side of the WebSocket handshake on an HTTP
+// request, hijacking the underlying TCP connection.
+func Upgrade(w http.ResponseWriter, r *http.Request) (*Conn, error) {
+	if !strings.EqualFold(r.Header.Get("Upgrade"), "websocket") ||
+		!headerContainsToken(r.Header.Get("Connection"), "upgrade") {
+		http.Error(w, "not a websocket handshake", http.StatusBadRequest)
+		return nil, fmt.Errorf("wsock: not a websocket handshake")
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		http.Error(w, "missing Sec-WebSocket-Key", http.StatusBadRequest)
+		return nil, fmt.Errorf("wsock: missing Sec-WebSocket-Key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "hijacking unsupported", http.StatusInternalServerError)
+		return nil, fmt.Errorf("wsock: response writer does not support hijacking")
+	}
+	conn, rw, err := hj.Hijack()
+	if err != nil {
+		return nil, fmt.Errorf("wsock: hijack: %w", err)
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + AcceptKey(key) + "\r\n\r\n"
+	if _, err := rw.WriteString(resp); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := rw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Conn{conn: conn, br: rw.Reader, client: false}, nil
+}
+
+func headerContainsToken(header, token string) bool {
+	for _, part := range strings.Split(header, ",") {
+		if strings.EqualFold(strings.TrimSpace(part), token) {
+			return true
+		}
+	}
+	return false
+}
+
+// Dial connects to a ws:// URL (host:port with path) and performs the
+// client handshake.
+func Dial(url string) (*Conn, error) {
+	rest, ok := strings.CutPrefix(url, "ws://")
+	if !ok {
+		return nil, fmt.Errorf("wsock: only ws:// URLs supported, got %q", url)
+	}
+	host, path := rest, "/"
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		host, path = rest[:i], rest[i:]
+	}
+	conn, err := net.Dial("tcp", host)
+	if err != nil {
+		return nil, err
+	}
+	return ClientHandshake(conn, host, path)
+}
+
+// ClientHandshake performs the client side of the handshake over an
+// existing connection.
+func ClientHandshake(conn net.Conn, host, path string) (*Conn, error) {
+	var keyBytes [16]byte
+	if _, err := rand.Read(keyBytes[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	key := base64.StdEncoding.EncodeToString(keyBytes[:])
+	req := fmt.Sprintf("GET %s HTTP/1.1\r\nHost: %s\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Key: %s\r\nSec-WebSocket-Version: 13\r\n\r\n", path, host, key)
+	if _, err := io.WriteString(conn, req); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if !strings.Contains(status, "101") {
+		conn.Close()
+		return nil, fmt.Errorf("wsock: handshake rejected: %s", strings.TrimSpace(status))
+	}
+	var accept string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			break
+		}
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.EqualFold(strings.TrimSpace(k), "Sec-WebSocket-Accept") {
+			accept = strings.TrimSpace(v)
+		}
+	}
+	if accept != AcceptKey(key) {
+		conn.Close()
+		return nil, fmt.Errorf("wsock: bad Sec-WebSocket-Accept")
+	}
+	return &Conn{conn: conn, br: br, client: true}, nil
+}
+
+// WriteMessage sends one complete message with the given opcode (OpText or
+// OpBinary).
+func (c *Conn) WriteMessage(opcode byte, payload []byte) error {
+	return c.writeFrame(opcode, payload, true)
+}
+
+func (c *Conn) writeFrame(opcode byte, payload []byte, fin bool) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	var hdr [14]byte
+	b0 := opcode
+	if fin {
+		b0 |= 0x80
+	}
+	hdr[0] = b0
+	n := 2
+	switch {
+	case len(payload) < 126:
+		hdr[1] = byte(len(payload))
+	case len(payload) <= 0xffff:
+		hdr[1] = 126
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(len(payload)))
+		n = 4
+	default:
+		hdr[1] = 127
+		binary.BigEndian.PutUint64(hdr[2:10], uint64(len(payload)))
+		n = 10
+	}
+	if c.client {
+		hdr[1] |= 0x80
+		var mask [4]byte
+		if _, err := rand.Read(mask[:]); err != nil {
+			return err
+		}
+		copy(hdr[n:], mask[:])
+		n += 4
+		masked := make([]byte, len(payload))
+		for i, b := range payload {
+			masked[i] = b ^ mask[i%4]
+		}
+		payload = masked
+	}
+	if _, err := c.conn.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := c.conn.Write(payload)
+	return err
+}
+
+// ReadMessage reads the next complete data message, transparently handling
+// fragmentation and responding to pings. It returns the opcode (OpText or
+// OpBinary) and the reassembled payload. When the peer sends a close frame
+// the method echoes it and returns ErrClosed.
+func (c *Conn) ReadMessage() (byte, []byte, error) {
+	var (
+		msgOp  byte
+		buf    []byte
+		inFrag bool
+	)
+	for {
+		fin, op, payload, err := c.readFrame()
+		if err != nil {
+			return 0, nil, err
+		}
+		switch op {
+		case opPing:
+			if err := c.writeFrame(opPong, payload, true); err != nil {
+				return 0, nil, err
+			}
+		case opPong:
+			// unsolicited pong: ignore
+		case opClose:
+			c.writeFrame(opClose, payload, true)
+			c.Close()
+			return 0, nil, ErrClosed
+		case OpText, OpBinary:
+			if inFrag {
+				return 0, nil, fmt.Errorf("wsock: new data frame inside fragmented message")
+			}
+			if fin {
+				return op, payload, nil
+			}
+			msgOp, buf, inFrag = op, append([]byte(nil), payload...), true
+		case opContinuation:
+			if !inFrag {
+				return 0, nil, fmt.Errorf("wsock: continuation without start frame")
+			}
+			if len(buf)+len(payload) > maxMessageLen {
+				return 0, nil, fmt.Errorf("wsock: message exceeds %d bytes", maxMessageLen)
+			}
+			buf = append(buf, payload...)
+			if fin {
+				return msgOp, buf, nil
+			}
+		default:
+			return 0, nil, fmt.Errorf("wsock: unknown opcode %#x", op)
+		}
+	}
+}
+
+func (c *Conn) readFrame() (fin bool, op byte, payload []byte, err error) {
+	var h [2]byte
+	if _, err = io.ReadFull(c.br, h[:]); err != nil {
+		return false, 0, nil, err
+	}
+	fin = h[0]&0x80 != 0
+	if h[0]&0x70 != 0 {
+		return false, 0, nil, fmt.Errorf("wsock: nonzero reserved bits")
+	}
+	op = h[0] & 0x0f
+	masked := h[1]&0x80 != 0
+	length := uint64(h[1] & 0x7f)
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		length = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		length = binary.BigEndian.Uint64(ext[:])
+	}
+	if length > maxMessageLen {
+		return false, 0, nil, fmt.Errorf("wsock: frame length %d exceeds cap", length)
+	}
+	var mask [4]byte
+	if masked {
+		if _, err = io.ReadFull(c.br, mask[:]); err != nil {
+			return false, 0, nil, err
+		}
+	}
+	payload = make([]byte, length)
+	if _, err = io.ReadFull(c.br, payload); err != nil {
+		return false, 0, nil, err
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= mask[i%4]
+		}
+	}
+	return fin, op, payload, nil
+}
+
+// Ping sends a ping frame with the given payload (max 125 bytes).
+func (c *Conn) Ping(payload []byte) error {
+	if len(payload) > 125 {
+		return fmt.Errorf("wsock: control payload too long")
+	}
+	return c.writeFrame(opPing, payload, true)
+}
+
+// Close sends a close frame (best effort) and closes the connection.
+// It is idempotent.
+func (c *Conn) Close() error {
+	c.wmu.Lock()
+	if c.closed {
+		c.wmu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.wmu.Unlock()
+	// Best-effort close frame; ignore errors, the TCP close is what counts.
+	hdr := []byte{0x80 | opClose, 0}
+	if c.client {
+		hdr[1] = 0x80
+		hdr = append(hdr, 0, 0, 0, 0)
+	}
+	c.conn.Write(hdr)
+	return c.conn.Close()
+}
