@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race bench fmt vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Single-pass bench run, the same invocation CI archives (bench.txt is the
+# BENCH_* data source).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | tee bench.txt
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt build vet race

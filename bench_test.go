@@ -7,12 +7,15 @@
 package artemis_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
 
 	"artemis/internal/bgp"
+	"artemis/internal/core"
 	"artemis/internal/experiment"
+	"artemis/internal/feeds/feedtypes"
 	"artemis/internal/prefix"
 	"artemis/internal/simnet"
 	"artemis/internal/topo"
@@ -37,6 +40,7 @@ func BenchmarkE1_EndToEnd(b *testing.B) {
 			b.Fatal(err)
 		}
 		tr, err := experiment.RunTrial(env)
+		env.Close()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -74,6 +78,7 @@ func BenchmarkE2_PerSourceDetection(b *testing.B) {
 					b.Fatal(err)
 				}
 				tr, err := experiment.RunTrial(env)
+				env.Close()
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -107,6 +112,7 @@ func BenchmarkE3_MonitoringTradeoff(b *testing.B) {
 					b.Fatal(err)
 				}
 				tr, err := experiment.RunTrial(env)
+				env.Close()
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -140,6 +146,7 @@ func BenchmarkE4_DeaggregationLimit(b *testing.B) {
 					b.Fatal(err)
 				}
 				tr, err := experiment.RunTrial(env)
+				env.Close()
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -172,6 +179,7 @@ func BenchmarkE6_PropagationTimeline(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		res.Env.Close()
 		b.ReportMetric(float64(len(res.Points)), "samples")
 		b.ReportMetric(res.Trial.Total.Seconds(), "total-s")
 	}
@@ -196,6 +204,7 @@ func BenchmarkAblation_MRAI(b *testing.B) {
 					b.Fatal(err)
 				}
 				tr, err := experiment.RunTrial(env)
+				env.Close()
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -229,6 +238,7 @@ func BenchmarkAblation_DetectionCriteria(b *testing.B) {
 					b.Fatal(err)
 				}
 				tr, err := experiment.RunTrial(env)
+				env.Close()
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -279,6 +289,99 @@ func BenchmarkAblation_PrefixIndex(b *testing.B) {
 	})
 }
 
+// --- Detection data path: serial vs sharded pipeline ---
+
+// pipelineBenchConfig protects a realistically wide owned space — a /16
+// announced as 1024 /26s, the shape of a large operator protecting every
+// customer allocation — so the owned-space match has real work to do. The
+// serial path scans this list per event; the pipeline resolves it with one
+// trie LPM walk during shard routing and reuses the answer.
+func pipelineBenchConfig(b *testing.B) *core.Config {
+	owned, err := prefix.MustParse("10.0.0.0/16").Deaggregate(26)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &core.Config{OwnedPrefixes: owned, LegitOrigins: []bgp.ASN{61000}}
+}
+
+// pipelineWorkload builds a deterministic feed-scale event mix: mostly
+// benign announcements of the owned space, a slice of unrelated routes the
+// filter would pass anyway (covering prefixes), and a pinch of repeated
+// hijacks (dedup keeps alert volume bounded across iterations).
+func pipelineWorkload(n int) []feedtypes.Event {
+	rng := rand.New(rand.NewSource(42))
+	evs := make([]feedtypes.Event, n)
+	for i := range evs {
+		vp := bgp.ASN(100 + rng.Intn(64))
+		ev := feedtypes.Event{
+			Source:       []string{"ris", "bgpmon", "periscope"}[rng.Intn(3)],
+			Collector:    "c0",
+			VantagePoint: vp,
+			Kind:         feedtypes.Announce,
+			SeenAt:       time.Duration(i) * time.Millisecond,
+			EmittedAt:    time.Duration(i) * time.Millisecond,
+		}
+		switch r := rng.Intn(100); {
+		case r < 80: // benign: a random owned /26 (or a /27 half), legit origin
+			base := prefix.Addr(10<<24) + prefix.Addr(rng.Intn(1024)<<6)
+			if rng.Intn(2) == 0 {
+				ev.Prefix = prefix.New(base, 26)
+			} else {
+				ev.Prefix = prefix.New(base+prefix.Addr(rng.Intn(2)<<5), 27)
+			}
+			ev.Path = []bgp.ASN{vp, 1001, 61000}
+		case r < 95: // unrelated announcement
+			ev.Prefix = prefix.New(prefix.Addr(172<<24)|prefix.Addr(rng.Intn(1<<16))<<8, 24)
+			ev.Path = []bgp.ASN{vp, 2001, bgp.ASN(3000 + rng.Intn(32))}
+		default: // hijack, drawn from a small set of repeating incidents
+			base := prefix.Addr(10<<24) + prefix.Addr(rng.Intn(16)<<6)
+			ev.Prefix = prefix.New(base, 26)
+			ev.Path = []bgp.ASN{vp, 2001, bgp.ASN(666 + rng.Intn(4))}
+		}
+		evs[i] = ev
+	}
+	return evs
+}
+
+// BenchmarkDetectionBatchIngest is the pipeline's headline number: events
+// per second through classification for the serial reference path vs the
+// sharded pipeline at 1/4/8 shards. The 1-shard case isolates the
+// pipeline's fixed overhead (routing, scatter, sink); the 8-shard case
+// must beat serial.
+func BenchmarkDetectionBatchIngest(b *testing.B) {
+	const (
+		workload  = 8192
+		batchSize = 256 // a hot feed's coalesced flush (cmd/artemisd's pump cap)
+	)
+	evs := pipelineWorkload(workload)
+
+	b.Run("serial", func(b *testing.B) {
+		det := core.NewDetector(pipelineBenchConfig(b))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for off := 0; off < len(evs); off += batchSize {
+				det.ProcessBatch(evs[off : off+batchSize])
+			}
+		}
+		b.ReportMetric(float64(workload)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			det := core.NewDetector(pipelineBenchConfig(b))
+			pl := core.NewPipeline(det, nil, core.PipelineConfig{Shards: shards})
+			defer pl.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for off := 0; off < len(evs); off += batchSize {
+					pl.Submit(evs[off : off+batchSize])
+				}
+				pl.Flush()
+			}
+			b.ReportMetric(float64(workload)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
 // BenchmarkBGPCodec measures the wire codec on a realistic UPDATE.
 func BenchmarkBGPCodec(b *testing.B) {
 	u := &bgp.Update{
@@ -321,5 +424,6 @@ func BenchmarkSimulatorConvergence(b *testing.B) {
 			b.Fatal(err)
 		}
 		env.Engine.RunUntil(10 * time.Minute)
+		env.Close()
 	}
 }

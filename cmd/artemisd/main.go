@@ -64,6 +64,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// All feeds funnel into the sharded detection pipeline; shards classify
+	// concurrently, the sink serializes alerts and the monitor fold.
+	pl := core.NewPipeline(svc.Detector, svc.Monitor, core.PipelineConfig{})
+	defer pl.Close()
 	svc.Detector.OnAlert(func(a core.Alert) {
 		log.Printf("ALERT %s: %s announced by AS%d (collides with owned %s, via %s/%s vp AS%d)",
 			a.Type, a.Prefix, a.Origin, a.Owned, a.Evidence.Source, a.Evidence.Collector, a.Evidence.VantagePoint)
@@ -80,7 +84,7 @@ func main() {
 			log.Fatalf("ris: %v", err)
 		}
 		defer cli.Close()
-		go pump("ris", cli.Events(), svc)
+		go pump("ris", cli.Events(), pl)
 		connected++
 	}
 	if *bmonAddr != "" {
@@ -89,7 +93,7 @@ func main() {
 			log.Fatalf("bgpmon: %v", err)
 		}
 		defer cli.Close()
-		go pump("bgpmon", cli.Events(), svc)
+		go pump("bgpmon", cli.Events(), pl)
 		connected++
 	}
 	if connected == 0 {
@@ -100,16 +104,43 @@ func main() {
 
 	if *runFor > 0 {
 		time.Sleep(*runFor)
-		fmt.Println("run-for elapsed; exiting")
+		pl.Flush()
+		snap := pl.Snapshot()
+		fmt.Printf("run-for elapsed; pipeline ingested %d events in %d batches\n", snap.Events, snap.Submitted)
+		for _, sh := range snap.Shards {
+			fmt.Printf("  shard %d: %d events, %d batches, queue %d/%d\n",
+				sh.Shard, sh.Events, sh.Batches, sh.QueueLen, sh.QueueCap)
+		}
 		return
 	}
 	select {}
 }
 
-func pump(name string, events <-chan feedtypes.Event, svc *core.Service) {
+// maxPumpBatch caps how many stream events are coalesced into one
+// pipeline submission when the feed runs hot.
+const maxPumpBatch = 256
+
+// pump drains a feed's event stream into the pipeline, coalescing bursts
+// into batches: one event minimum, then whatever is already waiting on the
+// channel, so quiet feeds stay low-latency and busy feeds amortize the
+// per-submission cost.
+func pump(name string, events <-chan feedtypes.Event, pl *core.Pipeline) {
+	batch := make([]feedtypes.Event, 0, maxPumpBatch)
 	for ev := range events {
-		svc.Detector.Process(ev)
-		svc.Monitor.Process(ev)
+		batch = append(batch[:0], ev)
+	coalesce:
+		for len(batch) < maxPumpBatch {
+			select {
+			case next, ok := <-events:
+				if !ok {
+					break coalesce
+				}
+				batch = append(batch, next)
+			default:
+				break coalesce
+			}
+		}
+		pl.Submit(batch) // Submit copies; the batch slice is reused
 	}
 	log.Printf("%s stream closed", name)
 }

@@ -1,0 +1,3 @@
+module artemis
+
+go 1.24

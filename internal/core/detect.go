@@ -118,44 +118,65 @@ func (d *Detector) Stop() {
 	}
 }
 
-// Process classifies one feed event. It is exported so network clients
-// (which deliver events on their own goroutines) can push into the
-// detector directly.
-func (d *Detector) Process(ev feedtypes.Event) {
+// classify is the pure (stateless, lock-free) detection stage: it decides
+// whether one feed event evidences a hijack of the owned space. counted
+// reports whether the event is a well-formed announcement (the per-source
+// diagnostics counter's criterion); isAlert reports whether alert carries
+// a hijack candidate. This serial form resolves the owned-space match with
+// a linear scan; the pipeline resolves it once per event during shard
+// routing (trie LPM) and calls classifyRouted directly.
+func (c *Config) classify(ev *feedtypes.Event) (alert Alert, counted, isAlert bool) {
 	if ev.Kind != feedtypes.Announce {
-		return // withdrawals never signal a hijack by themselves
+		return Alert{}, false, false // withdrawals never signal a hijack by themselves
+	}
+	owned, rel, _ := c.matchOwned(ev.Prefix) // rel is 0 when nothing collides
+	return c.classifyRouted(ev, owned, rel)
+}
+
+// classifyRouted is classify with the owned-space match already resolved
+// (rel == 0 means "no collision"). The pipeline's router finds the owned
+// prefix once per event via the prefix trie — a single LPM walk instead of
+// the serial path's linear scan over every owned prefix — and shards reuse
+// that answer here, so the expensive half of classification is not
+// repeated. For disjoint owned prefixes (the operational norm) the result
+// is identical to classify; with nested owned prefixes the router resolves
+// the overlap by specificity where the linear scan uses config order.
+func (c *Config) classifyRouted(ev *feedtypes.Event, owned prefix.Prefix, rel AlertType) (alert Alert, counted, isAlert bool) {
+	if ev.Kind != feedtypes.Announce {
+		return Alert{}, false, false
 	}
 	origin, ok := ev.Origin()
 	if !ok {
-		return
+		return Alert{}, false, false
 	}
-	d.mu.Lock()
-	d.perSource[ev.Source]++
-	d.mu.Unlock()
-
-	owned, rel, ok := d.cfg.matchOwned(ev.Prefix)
-	if !ok {
-		return
+	counted = true
+	if rel == 0 {
+		return Alert{}, counted, false
 	}
-	var alert Alert
-	if d.cfg.originLegit(origin) {
+	if c.originLegit(origin) {
 		// Origin fine; check the adjacent upstream when a policy exists.
 		// Path[len-1] is the origin; Path[len-2] its neighbor. A path of
 		// length 1 is the origin's own vantage point — nothing to check.
 		if len(ev.Path) < 2 {
-			return
+			return Alert{}, counted, false
 		}
 		upstream := ev.Path[len(ev.Path)-2]
-		if d.cfg.upstreamAllowed(origin, upstream) {
-			return
+		if c.upstreamAllowed(origin, upstream) {
+			return Alert{}, counted, false
 		}
 		alert = Alert{Type: AlertPathAnomaly, Prefix: ev.Prefix, Owned: owned, Origin: upstream}
 	} else {
 		alert = Alert{Type: rel, Prefix: ev.Prefix, Owned: owned, Origin: origin}
 	}
-	alert.Evidence = ev
+	alert.Evidence = *ev
 	alert.DetectedAt = ev.EmittedAt
+	return alert, counted, true
+}
 
+// commit deduplicates a classified alert and dispatches handlers. It is
+// the serialized stage: whatever goroutine runs it (callers of Process, or
+// the pipeline's sink) sees alerts in a single total order.
+func (d *Detector) commit(alert Alert) {
 	d.mu.Lock()
 	if d.seen[alert.Key()] {
 		d.mu.Unlock()
@@ -168,6 +189,42 @@ func (d *Detector) Process(ev feedtypes.Event) {
 	d.mu.Unlock()
 	for _, fn := range handlers {
 		fn(alert)
+	}
+}
+
+// countSources folds a per-source event tally into the diagnostics counter.
+func (d *Detector) countSources(counts map[string]int) {
+	if len(counts) == 0 {
+		return
+	}
+	d.mu.Lock()
+	for src, n := range counts {
+		d.perSource[src] += n
+	}
+	d.mu.Unlock()
+}
+
+// Process classifies one feed event. It is exported so network clients
+// (which deliver events on their own goroutines) can push into the
+// detector directly.
+func (d *Detector) Process(ev feedtypes.Event) {
+	alert, counted, isAlert := d.cfg.classify(&ev)
+	if counted {
+		d.mu.Lock()
+		d.perSource[ev.Source]++
+		d.mu.Unlock()
+	}
+	if isAlert {
+		d.commit(alert)
+	}
+}
+
+// ProcessBatch classifies a batch of feed events in order on the calling
+// goroutine — the serial reference path the sharded pipeline is measured
+// against (and the fallback for consumers that don't need one).
+func (d *Detector) ProcessBatch(evs []feedtypes.Event) {
+	for i := range evs {
+		d.Process(evs[i])
 	}
 }
 

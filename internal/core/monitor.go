@@ -134,6 +134,15 @@ func (m *Monitor) Process(ev feedtypes.Event) {
 	m.history = append(m.history, m.sampleLocked(ev.EmittedAt))
 }
 
+// ProcessBatch folds a batch of feed events in order. Semantics are
+// identical to calling Process per event (one history sample per event),
+// so the pipeline's sink and the serial path produce the same series.
+func (m *Monitor) ProcessBatch(evs []feedtypes.Event) {
+	for i := range evs {
+		m.Process(evs[i])
+	}
+}
+
 // vpVerdict classifies one vantage point right now.
 func (m *Monitor) vpVerdict(st *vpState) (legit, informed bool) {
 	informed = false

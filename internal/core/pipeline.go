@@ -1,0 +1,474 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/prefix"
+	"artemis/internal/stats"
+)
+
+// Pipeline is the sharded, batched detection data path. Feed batches are
+// ingested whole, fanned out to N worker shards keyed by the event's
+// matched owned prefix (trie LPM, so every event for the same slice of
+// owned space lands on the same shard), classified concurrently by the
+// pure detection stage, and re-aggregated by a single sink that applies
+// results in submission order. Because dedup, alert handlers and the
+// monitor all run on the sink, the pipeline's observable behavior is
+// identical to the serial Detector/Monitor path — only the per-event
+// classification work is parallel.
+//
+// Backpressure is explicit end to end: shard queues and the completion
+// channel are bounded, so when the sink (or a slow alert handler) falls
+// behind, Submit blocks instead of buffering without limit — the feed's
+// transport is the buffer, as in any line-rate ingest design.
+//
+// Alert handlers run on the sink goroutine. A handler must not call
+// Submit/SubmitWait on its own pipeline (it would wait on the goroutine it
+// runs on); schedule follow-up work instead, as the mitigation controller
+// does.
+type Pipeline struct {
+	det *Detector
+	mon *Monitor
+	cfg PipelineConfig
+
+	// owned maps each owned prefix to its position in cfg.OwnedPrefixes;
+	// shardFor reduces that position mod the shard count, so events for the
+	// same owned prefix always route identically.
+	owned *prefix.Trie[int]
+
+	shards []*shard
+	done   chan *batchJob
+
+	// life guards the submit/close race: submitters hold it shared while
+	// assigning a sequence number and enqueueing, Close takes it exclusive
+	// to flip closed and close the shard queues. A sequence number is
+	// therefore only ever assigned to a job that is fully enqueued, which
+	// the sink's in-order application depends on.
+	life    sync.RWMutex
+	closed  bool
+	nextSeq atomic.Uint64
+
+	// applyMu/applyCond publish sink progress (the applied counter) to
+	// Flush waiters.
+	applyMu   sync.Mutex
+	applyCond *sync.Cond
+
+	cancels  []func()
+	cancelMu sync.Mutex
+
+	workers  sync.WaitGroup
+	sinkDone chan struct{}
+
+	submitted, applied, events stats.Counter
+}
+
+// PipelineConfig tunes the pipeline.
+type PipelineConfig struct {
+	// Shards is the number of classification workers (default GOMAXPROCS).
+	Shards int
+	// QueueDepth is the per-shard bound on waiting sub-batches before
+	// Submit blocks (default 128).
+	QueueDepth int
+	// Synchronous makes Start subscribe with SubmitWait, so a feed's
+	// publish call returns only after its batch is fully applied. The
+	// virtual-time experiments need this: the simulation engine must
+	// observe alerts as soon as the event that caused them is delivered.
+	Synchronous bool
+}
+
+func (c PipelineConfig) withDefaults() PipelineConfig {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards > 256 {
+		c.Shards = 256 // the scatter stage stores shard ids in a byte
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	return c
+}
+
+type shard struct {
+	in      chan shardTask
+	events  stats.Counter
+	batches stats.Counter
+}
+
+// shardTask is one shard's slice of a submitted batch: the indices of the
+// job's events this shard classifies.
+type shardTask struct {
+	job   *batchJob
+	shard int
+	idxs  []int32
+}
+
+// batchJob is one submitted batch in flight. The router pre-resolves each
+// event's owned-space match (rel/ownedIdx), shards classify their index
+// slices, and per-shard output slots keep everything single-writer — no
+// locks anywhere on the classification path.
+type batchJob struct {
+	seq    uint64
+	events []feedtypes.Event
+	// rel[i] is event i's relation to the owned space (an AlertType, or 0
+	// for no collision); ownedIdx[i] indexes Config.OwnedPrefixes.
+	rel      []uint8
+	ownedIdx []int32
+	// counts[s] is shard s's per-source event tally; alerts[s] its hijack
+	// candidates in index order. At most one task per shard per job, so
+	// slots are single-writer.
+	counts    []map[string]int
+	alerts    [][]indexedAlert
+	remaining atomic.Int32
+	// wait, when non-nil, is closed by the sink once the job is applied.
+	wait chan struct{}
+}
+
+// indexedAlert tags a candidate alert with its event's position in the
+// batch so the sink can restore submission order across shards.
+type indexedAlert struct {
+	idx   int32
+	alert Alert
+}
+
+// NewPipeline builds and starts the pipeline's workers and sink. mon may
+// be nil for a detection-only pipeline. Close releases the goroutines.
+func NewPipeline(det *Detector, mon *Monitor, cfg PipelineConfig) *Pipeline {
+	cfg = cfg.withDefaults()
+	p := &Pipeline{
+		det:      det,
+		mon:      mon,
+		cfg:      cfg,
+		owned:    prefix.NewTrie[int](),
+		done:     make(chan *batchJob, 4*cfg.Shards+16),
+		sinkDone: make(chan struct{}),
+	}
+	p.applyCond = sync.NewCond(&p.applyMu)
+	for i, o := range det.cfg.OwnedPrefixes {
+		p.owned.Insert(o, i)
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s := &shard{in: make(chan shardTask, cfg.QueueDepth)}
+		p.shards = append(p.shards, s)
+		p.workers.Add(1)
+		go p.work(i, s)
+	}
+	go p.sink()
+	return p
+}
+
+// route resolves an event prefix against the owned space in one trie
+// pass: LPM for exact and sub-prefix events, covering walk for
+// super-prefix (squat) events. It returns the matched owned prefix's
+// config index and the relation (0 = no collision). Shards reuse this
+// answer, so the owned-space match — the expensive half of classification
+// — is computed exactly once per event.
+func (p *Pipeline) route(pfx prefix.Prefix) (ownedIdx int32, rel AlertType) {
+	if owned, idx, ok := p.owned.LongestMatchPrefix(pfx); ok {
+		if owned == pfx {
+			return int32(idx), AlertExactOrigin
+		}
+		return int32(idx), AlertSubPrefix
+	}
+	covered := -1
+	p.owned.CoveredBy(pfx, func(_ prefix.Prefix, idx int) bool {
+		// Config order decides when a squat covers several owned prefixes,
+		// matching the serial scan.
+		if covered < 0 || idx < covered {
+			covered = idx
+		}
+		return true
+	})
+	if covered >= 0 {
+		return int32(covered), AlertSquat
+	}
+	return -1, 0
+}
+
+// shardFor routes a prefix to its shard: events matching the same owned
+// prefix always land on the same shard; events matching nothing hash over
+// all shards (classification drops them; any shard may do it). Routing is
+// a pure function of the prefix.
+func (p *Pipeline) shardFor(pfx prefix.Prefix) int {
+	idx, rel := p.route(pfx)
+	if rel != 0 {
+		return int(idx) % len(p.shards)
+	}
+	return hashPrefix(pfx) % len(p.shards)
+}
+
+// hashPrefix is FNV-1a over the prefix identity.
+func hashPrefix(pfx prefix.Prefix) int {
+	h := uint32(2166136261)
+	for _, b := range [5]byte{byte(pfx.Addr() >> 24), byte(pfx.Addr() >> 16), byte(pfx.Addr() >> 8), byte(pfx.Addr()), byte(pfx.Bits())} {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return int(h & 0x7fffffff)
+}
+
+// Submit ingests one batch asynchronously. The batch is copied, so the
+// caller may reuse its slice. Submit blocks only for backpressure (a full
+// shard queue). Batches submitted from one goroutine are applied in
+// submission order; no order is defined across goroutines.
+func (p *Pipeline) Submit(batch []feedtypes.Event) {
+	p.submit(batch, false)
+}
+
+// SubmitWait ingests one batch and returns after the sink has fully
+// applied it — alerts committed, handlers run, monitor folded.
+func (p *Pipeline) SubmitWait(batch []feedtypes.Event) {
+	p.submit(batch, true)
+}
+
+func (p *Pipeline) submit(batch []feedtypes.Event, wait bool) {
+	if len(batch) == 0 {
+		return
+	}
+	nshards := len(p.shards)
+	job := &batchJob{
+		events:   append([]feedtypes.Event(nil), batch...),
+		rel:      make([]uint8, len(batch)),
+		ownedIdx: make([]int32, len(batch)),
+		counts:   make([]map[string]int, nshards),
+		alerts:   make([][]indexedAlert, nshards),
+	}
+	if wait {
+		job.wait = make(chan struct{})
+	}
+	// Route every event once, then scatter index slices to shards with a
+	// counting sort over one backing array (no per-shard growth).
+	shardOf := make([]uint8, len(batch))
+	sizes := make([]int32, nshards)
+	for i := range job.events {
+		idx, rel := p.route(job.events[i].Prefix)
+		var s int
+		if rel != 0 {
+			s = int(idx) % nshards
+		} else {
+			s = hashPrefix(job.events[i].Prefix) % nshards
+		}
+		job.rel[i] = uint8(rel)
+		job.ownedIdx[i] = idx
+		shardOf[i] = uint8(s)
+		sizes[s]++
+	}
+	backing := make([]int32, len(batch))
+	offsets := make([]int32, nshards)
+	tasks := 0
+	var off int32
+	for s := 0; s < nshards; s++ {
+		offsets[s] = off
+		off += sizes[s]
+		if sizes[s] > 0 {
+			tasks++
+		}
+	}
+	fill := append([]int32(nil), offsets...)
+	for i := range shardOf {
+		s := shardOf[i]
+		backing[fill[s]] = int32(i)
+		fill[s]++
+	}
+	job.remaining.Store(int32(tasks))
+
+	p.life.RLock()
+	if p.closed {
+		p.life.RUnlock()
+		return // shut down: the batch is dropped, as a detached source's would be
+	}
+	job.seq = p.nextSeq.Add(1) - 1
+	p.submitted.Inc()
+	p.events.Add(int64(len(batch)))
+	for s := 0; s < nshards; s++ {
+		if sizes[s] > 0 {
+			p.shards[s].in <- shardTask{
+				job:   job,
+				shard: s,
+				idxs:  backing[offsets[s] : offsets[s]+sizes[s]],
+			}
+		}
+	}
+	p.life.RUnlock()
+	if wait {
+		<-job.wait
+	}
+}
+
+// work is one shard's loop: classify each assigned event (reusing the
+// router's owned-space match), tally sources, and hand the job to the sink
+// once the last shard finishes it.
+func (p *Pipeline) work(idx int, s *shard) {
+	defer p.workers.Done()
+	cfg := p.det.cfg
+	for t := range s.in {
+		var counts map[string]int
+		var alerts []indexedAlert
+		for _, i := range t.idxs {
+			ev := &t.job.events[i]
+			var owned prefix.Prefix
+			if oi := t.job.ownedIdx[i]; oi >= 0 {
+				owned = cfg.OwnedPrefixes[oi]
+			}
+			alert, counted, isAlert := cfg.classifyRouted(ev, owned, AlertType(t.job.rel[i]))
+			if counted {
+				if counts == nil {
+					counts = make(map[string]int, 4)
+				}
+				counts[ev.Source]++
+			}
+			if isAlert {
+				alerts = append(alerts, indexedAlert{idx: i, alert: alert})
+			}
+		}
+		t.job.counts[t.shard] = counts
+		t.job.alerts[t.shard] = alerts
+		s.events.Add(int64(len(t.idxs)))
+		s.batches.Inc()
+		if t.job.remaining.Add(-1) == 0 {
+			p.done <- t.job
+		}
+	}
+}
+
+// sink re-establishes submission order (shards complete jobs in any order)
+// and applies each job exactly as the serial path would have.
+func (p *Pipeline) sink() {
+	defer close(p.sinkDone)
+	reorder := make(map[uint64]*batchJob)
+	var next uint64
+	for job := range p.done {
+		reorder[job.seq] = job
+		for {
+			j, ok := reorder[next]
+			if !ok {
+				break
+			}
+			delete(reorder, next)
+			next++
+			p.apply(j)
+		}
+	}
+}
+
+func (p *Pipeline) apply(j *batchJob) {
+	for _, counts := range j.counts {
+		p.det.countSources(counts)
+	}
+	// Commit alerts in event order: each shard's list is ascending, so an
+	// N-way min-merge restores the batch's submission order.
+	for {
+		best, bestShard := int32(-1), -1
+		for s := range j.alerts {
+			if len(j.alerts[s]) > 0 && (best < 0 || j.alerts[s][0].idx < best) {
+				best, bestShard = j.alerts[s][0].idx, s
+			}
+		}
+		if bestShard < 0 {
+			break
+		}
+		p.det.commit(j.alerts[bestShard][0].alert)
+		j.alerts[bestShard] = j.alerts[bestShard][1:]
+	}
+	if p.mon != nil {
+		p.mon.ProcessBatch(j.events)
+	}
+	p.applyMu.Lock()
+	p.applied.Inc()
+	p.applyCond.Broadcast()
+	p.applyMu.Unlock()
+	if j.wait != nil {
+		close(j.wait)
+	}
+}
+
+// Start subscribes the pipeline to sources with the detector's filter
+// (owned space, both directions). Sources implementing
+// feedtypes.BatchSource deliver whole batches; others are adapted
+// per event.
+func (p *Pipeline) Start(sources ...feedtypes.Source) {
+	filter := feedtypes.Filter{
+		Prefixes:     p.det.cfg.OwnedPrefixes,
+		MoreSpecific: true,
+		LessSpecific: true,
+	}
+	deliver := p.Submit
+	if p.cfg.Synchronous {
+		deliver = p.SubmitWait
+	}
+	for _, src := range sources {
+		var cancel func()
+		if bs, ok := src.(feedtypes.BatchSource); ok {
+			cancel = bs.SubscribeBatch(filter, deliver)
+		} else {
+			cancel = src.Subscribe(filter, func(ev feedtypes.Event) {
+				deliver([]feedtypes.Event{ev})
+			})
+		}
+		p.cancelMu.Lock()
+		p.cancels = append(p.cancels, cancel)
+		p.cancelMu.Unlock()
+	}
+}
+
+// Flush blocks until every batch submitted before the call has been
+// applied. Batches submitted concurrently with or after Flush are not
+// waited for, so a flush completes even while sources keep publishing.
+func (p *Pipeline) Flush() {
+	target := p.submitted.Load()
+	p.applyMu.Lock()
+	for p.applied.Load() < target {
+		p.applyCond.Wait()
+	}
+	p.applyMu.Unlock()
+}
+
+// Close detaches from sources, drains every pending batch through the
+// sink, and stops the workers. It is idempotent; Submit after Close drops
+// the batch.
+func (p *Pipeline) Close() {
+	p.cancelMu.Lock()
+	cancels := p.cancels
+	p.cancels = nil
+	p.cancelMu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+
+	p.life.Lock()
+	if p.closed {
+		p.life.Unlock()
+		return
+	}
+	p.closed = true
+	for _, s := range p.shards {
+		close(s.in)
+	}
+	p.life.Unlock()
+
+	p.workers.Wait()
+	close(p.done)
+	<-p.sinkDone
+}
+
+// Snapshot reports the pipeline's counters: cumulative ingest totals plus
+// per-shard throughput and instantaneous queue depth.
+func (p *Pipeline) Snapshot() stats.PipelineSnapshot {
+	snap := stats.PipelineSnapshot{
+		Submitted: p.submitted.Load(),
+		Applied:   p.applied.Load(),
+		Events:    p.events.Load(),
+	}
+	for i, s := range p.shards {
+		snap.Shards = append(snap.Shards, stats.ShardSnapshot{
+			Shard:    i,
+			Events:   s.events.Load(),
+			Batches:  s.batches.Load(),
+			QueueLen: len(s.in),
+			QueueCap: cap(s.in),
+		})
+	}
+	return snap
+}

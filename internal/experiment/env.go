@@ -122,6 +122,11 @@ type Env struct {
 	Attacker *peering.VirtualAS
 	Ctrl     *controller.Controller
 	Artemis  *core.Service
+	// Pipeline is the sharded detection data path the trials run against;
+	// it feeds both the detector and the monitor. Synchronous mode keeps
+	// virtual-time semantics: a feed's publish returns only once its
+	// consequences (alerts, mitigation scheduling) are in place.
+	Pipeline *core.Pipeline
 
 	RIS       *ris.Service
 	BGPmon    *bgpmon.Service
@@ -246,9 +251,21 @@ func Build(opts Options) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	env.Artemis.Start(env.Sources...)
+	env.Pipeline = core.NewPipeline(env.Artemis.Detector, env.Artemis.Monitor, core.PipelineConfig{
+		Shards:      4,
+		Synchronous: true,
+	})
+	env.Pipeline.Start(env.Sources...)
 	env.track = newCaptureTracker(env)
 	return env, nil
+}
+
+// Close releases the testbed's concurrent machinery (pipeline workers and
+// sink). The Env's state remains readable. Safe to call more than once.
+func (env *Env) Close() {
+	if env.Pipeline != nil {
+		env.Pipeline.Close()
+	}
 }
 
 // selectLGs implements the E3 arsenal-selection strategies.

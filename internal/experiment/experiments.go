@@ -37,6 +37,7 @@ func E1(n int, base Options) (E1Result, error) {
 			return res, err
 		}
 		tr, err := RunTrial(env)
+		env.Close()
 		if err != nil {
 			return res, fmt.Errorf("trial %d: %w", i, err)
 		}
@@ -102,6 +103,7 @@ func E2(n int, base Options) (E2Result, error) {
 			})
 		}
 		tr, err := RunTrial(env)
+		env.Close()
 		if err != nil {
 			return E2Result{}, fmt.Errorf("trial %d: %w", i, err)
 		}
@@ -164,6 +166,7 @@ func E3(trialsPer int, counts []int, strategies []string, base Options) ([]E3Row
 					return nil, err
 				}
 				tr, err := RunTrial(env)
+				env.Close()
 				if err != nil {
 					return nil, fmt.Errorf("strategy %s n=%d trial %d: %w", strat, n, i, err)
 				}
@@ -224,6 +227,7 @@ func E4(trialsPer int, lens []int, base Options) ([]E4Row, error) {
 			}
 			tr, err := RunTrial(env)
 			if err != nil {
+				env.Close()
 				return nil, fmt.Errorf("/%d trial %d: %w", bits, i, err)
 			}
 			fracs = append(fracs, tr.RecoveredFrac)
@@ -233,6 +237,7 @@ func E4(trialsPer int, lens []int, base Options) ([]E4Row, error) {
 					competitive = true
 				}
 			}
+			env.Close()
 		}
 		row := E4Row{OwnedLen: bits, Competitive: competitive, Total: stats.SummarizeDurations(totals)}
 		row.RecoveredFrac = stats.Summarize(fracs).Mean
@@ -312,6 +317,7 @@ func E5(trials int, base Options) (E5Result, error) {
 			env.Engine.RunUntil(env.Engine.Now() + time.Minute)
 		}
 		archive.Stop()
+		env.Close()
 		alerts := det.Alerts()
 		if len(alerts) == 0 {
 			// No monitored vantage point was captured in this topology:
@@ -384,6 +390,7 @@ func E6(base Options) (E6Result, error) {
 	}
 	tr, err := RunTrial(env)
 	if err != nil {
+		env.Close()
 		return E6Result{}, err
 	}
 	var pts []E6Point

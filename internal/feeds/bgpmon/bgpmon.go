@@ -9,7 +9,6 @@
 package bgpmon
 
 import (
-	"sync"
 	"time"
 
 	"artemis/internal/bgp"
@@ -48,21 +47,13 @@ func (c Config) withDefaults() Config {
 type Service struct {
 	nw  *simnet.Network
 	cfg Config
-
-	mu     sync.Mutex
-	subs   map[int]*subscriber
-	nextID int
-}
-
-type subscriber struct {
-	filter feedtypes.Filter
-	fn     func(feedtypes.Event)
+	hub *feedtypes.Hub
 }
 
 // New attaches the feed to the network's vantage points.
 func New(nw *simnet.Network, cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	svc := &Service{nw: nw, cfg: cfg, subs: make(map[int]*subscriber)}
+	svc := &Service{nw: nw, cfg: cfg, hub: feedtypes.NewHub()}
 	for _, asn := range cfg.Peers {
 		node := nw.Node(asn)
 		if node == nil {
@@ -79,16 +70,14 @@ func (s *Service) Name() string { return SourceName }
 
 // Subscribe registers fn for events matching f.
 func (s *Service) Subscribe(f feedtypes.Filter, fn func(feedtypes.Event)) (cancel func()) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id := s.nextID
-	s.nextID++
-	s.subs[id] = &subscriber{filter: f, fn: fn}
-	return func() {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		delete(s.subs, id)
-	}
+	return s.hub.Subscribe(f, fn)
+}
+
+// SubscribeBatch registers fn for event batches matching f. BGPmon's
+// per-event processing delay means batches are usually singletons; the
+// batch form exists so consumers ingest every feed uniformly.
+func (s *Service) SubscribeBatch(f feedtypes.Filter, fn func([]feedtypes.Event)) (cancel func()) {
+	return s.hub.SubscribeBatch(f, fn)
 }
 
 func (s *Service) observe(vp bgp.ASN, ev simnet.RouteChange) {
@@ -112,22 +101,11 @@ func (s *Service) observe(vp bgp.ASN, ev simnet.RouteChange) {
 	}
 	s.nw.Engine.After(delay, func() {
 		out.EmittedAt = s.nw.Engine.Now()
-		s.publish(out)
+		s.hub.Publish([]feedtypes.Event{out})
 	})
 }
 
-func (s *Service) publish(ev feedtypes.Event) {
-	s.mu.Lock()
-	subs := make([]*subscriber, 0, len(s.subs))
-	for _, sub := range s.subs {
-		subs = append(subs, sub)
-	}
-	s.mu.Unlock()
-	for _, sub := range subs {
-		if sub.filter.Match(ev.Prefix) {
-			sub.fn(ev)
-		}
-	}
-}
-
-var _ feedtypes.Source = (*Service)(nil)
+var (
+	_ feedtypes.Source      = (*Service)(nil)
+	_ feedtypes.BatchSource = (*Service)(nil)
+)

@@ -1,0 +1,115 @@
+package feedtypes
+
+import "sync"
+
+// BatchSource is a monitoring feed that delivers events in batches. All
+// feed services in this repo implement it natively: collectors batch by
+// construction (RIS pipeline flushes, Periscope poll rounds), so handing
+// subscribers the whole batch at once preserves that structure and lets
+// consumers amortize per-delivery overhead (the detection pipeline ingests
+// batches directly). Events within a batch are in emission order.
+type BatchSource interface {
+	Name() string
+	SubscribeBatch(f Filter, fn func([]Event)) (cancel func())
+}
+
+// FilterEvents returns the events of batch that pass f, preserving order.
+// When every event matches (the common case for a subscriber whose filter
+// mirrors the feed's own watch list) the batch is returned as-is, without
+// copying; callers must therefore treat the result as shared and not
+// mutate it.
+func FilterEvents(f Filter, batch []Event) []Event {
+	if f.MatchAll() {
+		return batch
+	}
+	n := 0
+	for i := range batch {
+		if !f.Match(batch[i].Prefix) {
+			break
+		}
+		n++
+	}
+	if n == len(batch) {
+		return batch
+	}
+	out := make([]Event, 0, len(batch)-1)
+	out = append(out, batch[:n]...)
+	for i := n + 1; i < len(batch); i++ {
+		if f.Match(batch[i].Prefix) {
+			out = append(out, batch[i])
+		}
+	}
+	return out
+}
+
+// Hub is the in-process pub/sub every feed service embeds: subscribers
+// register a filter plus a callback, publishers hand it finished batches.
+// It supports both delivery granularities — batch subscribers get each
+// publication as one call, per-event subscribers get one call per matching
+// event — so legacy consumers keep working while batch consumers avoid the
+// per-event fan-out cost.
+//
+// A Hub is safe for concurrent use. Callbacks run on the publisher's
+// goroutine, outside the Hub's lock.
+type Hub struct {
+	mu     sync.Mutex
+	subs   map[int]*hubSub
+	nextID int
+}
+
+type hubSub struct {
+	filter Filter
+	fn     func([]Event)
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: make(map[int]*hubSub)}
+}
+
+// SubscribeBatch registers fn for batches containing at least one event
+// matching f. fn receives only the matching events.
+func (h *Hub) SubscribeBatch(f Filter, fn func([]Event)) (cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	id := h.nextID
+	h.nextID++
+	h.subs[id] = &hubSub{filter: f, fn: fn}
+	return func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		delete(h.subs, id)
+	}
+}
+
+// Subscribe registers fn for single events matching f. It is the
+// compatibility shim over SubscribeBatch for consumers that want one call
+// per event (network stream handlers, taps).
+func (h *Hub) Subscribe(f Filter, fn func(Event)) (cancel func()) {
+	return h.SubscribeBatch(f, func(batch []Event) {
+		for i := range batch {
+			fn(batch[i])
+		}
+	})
+}
+
+// Publish delivers one batch to every subscriber whose filter matches at
+// least one event. It may be called from any goroutine; subscribers see
+// batches in publication order only when publications themselves are
+// ordered (feeds publish from a single goroutine).
+func (h *Hub) Publish(batch []Event) {
+	if len(batch) == 0 {
+		return
+	}
+	h.mu.Lock()
+	subs := make([]*hubSub, 0, len(h.subs))
+	for _, sub := range h.subs {
+		subs = append(subs, sub)
+	}
+	h.mu.Unlock()
+	for _, sub := range subs {
+		if matched := FilterEvents(sub.filter, batch); len(matched) > 0 {
+			sub.fn(matched)
+		}
+	}
+}

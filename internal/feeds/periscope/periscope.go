@@ -109,10 +109,9 @@ type Service struct {
 	nw  *simnet.Network
 	cfg Config
 	lgs []*LookingGlass
+	hub *feedtypes.Hub
 
 	mu      sync.Mutex
-	subs    map[int]*subscriber
-	nextID  int
 	stopped bool
 
 	// last answer per (lg, watched prefix, answered prefix) to detect change
@@ -121,15 +120,10 @@ type Service struct {
 	queries int
 }
 
-type subscriber struct {
-	filter feedtypes.Filter
-	fn     func(feedtypes.Event)
-}
-
 // New builds the service and schedules the polling loops.
 func New(nw *simnet.Network, cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
-	svc := &Service{nw: nw, cfg: cfg, subs: make(map[int]*subscriber), state: make(map[string]string)}
+	svc := &Service{nw: nw, cfg: cfg, hub: feedtypes.NewHub(), state: make(map[string]string)}
 	for _, asn := range cfg.LGs {
 		lg, err := NewLookingGlass(nw, asn)
 		if err != nil {
@@ -168,16 +162,13 @@ func (s *Service) Queries() int {
 
 // Subscribe registers fn for events matching f.
 func (s *Service) Subscribe(f feedtypes.Filter, fn func(feedtypes.Event)) (cancel func()) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id := s.nextID
-	s.nextID++
-	s.subs[id] = &subscriber{filter: f, fn: fn}
-	return func() {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		delete(s.subs, id)
-	}
+	return s.hub.Subscribe(f, fn)
+}
+
+// SubscribeBatch registers fn for whole poll rounds: each LG poll that
+// observed changes yields one delivery.
+func (s *Service) SubscribeBatch(f feedtypes.Filter, fn func([]feedtypes.Event)) (cancel func()) {
+	return s.hub.SubscribeBatch(f, fn)
 }
 
 func (s *Service) poll(lg *LookingGlass) {
@@ -241,8 +232,8 @@ func (s *Service) poll(lg *LookingGlass) {
 			at := s.nw.Engine.Now()
 			for i := range changed {
 				changed[i].EmittedAt = at
-				s.publish(changed[i])
 			}
+			s.hub.Publish(changed)
 		})
 	}
 	s.nw.Engine.After(s.cfg.PollInterval, func() { s.poll(lg) })
@@ -256,18 +247,7 @@ func pathSig(path []bgp.ASN) string {
 	return string(sig)
 }
 
-func (s *Service) publish(ev feedtypes.Event) {
-	s.mu.Lock()
-	subs := make([]*subscriber, 0, len(s.subs))
-	for _, sub := range s.subs {
-		subs = append(subs, sub)
-	}
-	s.mu.Unlock()
-	for _, sub := range subs {
-		if sub.filter.Match(ev.Prefix) {
-			sub.fn(ev)
-		}
-	}
-}
-
-var _ feedtypes.Source = (*Service)(nil)
+var (
+	_ feedtypes.Source      = (*Service)(nil)
+	_ feedtypes.BatchSource = (*Service)(nil)
+)

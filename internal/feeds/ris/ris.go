@@ -8,7 +8,6 @@
 package ris
 
 import (
-	"sync"
 	"time"
 
 	"artemis/internal/bgp"
@@ -36,18 +35,10 @@ type CollectorConfig struct {
 
 // Service is the collector infrastructure plus its in-process pub/sub.
 type Service struct {
-	nw *simnet.Network
-
-	mu     sync.Mutex
-	subs   map[int]*subscriber
-	nextID int
+	nw  *simnet.Network
+	hub *feedtypes.Hub
 
 	collectors []*collector
-}
-
-type subscriber struct {
-	filter feedtypes.Filter
-	fn     func(feedtypes.Event)
 }
 
 type collector struct {
@@ -62,7 +53,7 @@ type collector struct {
 // New attaches collectors to the network. Each peer's best-route changes
 // are observed immediately and published after the collector's batch delay.
 func New(nw *simnet.Network, configs []CollectorConfig) *Service {
-	svc := &Service{nw: nw, subs: make(map[int]*subscriber)}
+	svc := &Service{nw: nw, hub: feedtypes.NewHub()}
 	for _, cfg := range configs {
 		c := &collector{svc: svc, name: cfg.Name, delay: cfg.BatchDelay}
 		if c.delay == 0 {
@@ -104,16 +95,14 @@ func (s *Service) VantagePoints() []bgp.ASN {
 // Subscribe registers fn for events matching f. It may be called from any
 // goroutine (the live servers subscribe from connection handlers).
 func (s *Service) Subscribe(f feedtypes.Filter, fn func(feedtypes.Event)) (cancel func()) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id := s.nextID
-	s.nextID++
-	s.subs[id] = &subscriber{filter: f, fn: fn}
-	return func() {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		delete(s.subs, id)
-	}
+	return s.hub.Subscribe(f, fn)
+}
+
+// SubscribeBatch registers fn for whole collector flushes: each collector's
+// batch-delay window yields one delivery, matching the real RIS pipeline's
+// burst shape.
+func (s *Service) SubscribeBatch(f feedtypes.Filter, fn func([]feedtypes.Event)) (cancel func()) {
+	return s.hub.SubscribeBatch(f, fn)
 }
 
 func (c *collector) observe(vp bgp.ASN, ev simnet.RouteChange) {
@@ -148,22 +137,11 @@ func (c *collector) flush() {
 	now := c.svc.nw.Engine.Now()
 	for i := range batch {
 		batch[i].EmittedAt = now
-		c.svc.publish(batch[i])
 	}
+	c.svc.hub.Publish(batch)
 }
 
-func (s *Service) publish(ev feedtypes.Event) {
-	s.mu.Lock()
-	subs := make([]*subscriber, 0, len(s.subs))
-	for _, sub := range s.subs {
-		subs = append(subs, sub)
-	}
-	s.mu.Unlock()
-	for _, sub := range subs {
-		if sub.filter.Match(ev.Prefix) {
-			sub.fn(ev)
-		}
-	}
-}
-
-var _ feedtypes.Source = (*Service)(nil)
+var (
+	_ feedtypes.Source      = (*Service)(nil)
+	_ feedtypes.BatchSource = (*Service)(nil)
+)

@@ -1,0 +1,48 @@
+package stats
+
+import "sync/atomic"
+
+// Counter is a concurrency-safe monotonic counter for hot-path
+// instrumentation (events processed, batches flushed). The zero value is
+// ready to use. Unlike the sampling helpers in this package, a Counter is
+// written on the data path itself, so it is a single atomic — no locks,
+// no allocation.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// ShardSnapshot is one detection-pipeline shard's counters at a point in
+// time: cumulative throughput plus instantaneous queue depth, the two
+// numbers needed to spot a hot shard (skewed prefix ownership) or a
+// backpressured one (queue pinned at capacity).
+type ShardSnapshot struct {
+	// Shard is the shard index.
+	Shard int
+	// Events is the cumulative number of events this shard classified.
+	Events int64
+	// Batches is the cumulative number of sub-batches it processed.
+	Batches int64
+	// QueueLen is the number of sub-batches currently waiting; QueueCap is
+	// the bound that triggers backpressure.
+	QueueLen, QueueCap int
+}
+
+// PipelineSnapshot aggregates a pipeline's observability counters.
+type PipelineSnapshot struct {
+	// Submitted and Applied count whole ingest batches: Submitted-Applied
+	// is the in-flight depth of the pipeline.
+	Submitted, Applied int64
+	// Events is the cumulative number of events ingested.
+	Events int64
+	// Shards holds the per-shard view.
+	Shards []ShardSnapshot
+}
