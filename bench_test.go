@@ -382,6 +382,66 @@ func BenchmarkDetectionBatchIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkSinkApply isolates the sink's per-event monitor cost at 64
+// vantage points: the pre-incremental design re-scored every VP against
+// every probe on each event (reproduced here as Process + Rescore, the
+// exported from-scratch fold), while the incremental monitor touches only
+// the probes the event's prefix covers. The incremental path must win by
+// ≥5x — it is what keeps the single ordered sink off the ingest critical
+// path.
+func BenchmarkSinkApply(b *testing.B) {
+	const nVPs = 64
+	mkConfig := func() *core.Config {
+		// A /20 probed as 16 /24s: wide enough that a full fold has real
+		// work per VP.
+		return &core.Config{
+			OwnedPrefixes: []prefix.Prefix{prefix.MustParse("10.0.0.0/20")},
+			LegitOrigins:  []bgp.ASN{61000},
+		}
+	}
+	mkEvents := func(n int) []feedtypes.Event {
+		rng := rand.New(rand.NewSource(9))
+		evs := make([]feedtypes.Event, n)
+		for i := range evs {
+			origin := bgp.ASN(61000)
+			if rng.Intn(10) == 0 {
+				origin = bgp.ASN(660 + rng.Intn(4))
+			}
+			base := prefix.Addr(10<<24) + prefix.Addr(rng.Intn(16)<<8)
+			evs[i] = feedtypes.Event{
+				Source: "ris", VantagePoint: bgp.ASN(100 + rng.Intn(nVPs)),
+				Kind: feedtypes.Announce, Prefix: prefix.New(base, 24),
+				Path:   []bgp.ASN{bgp.ASN(100 + rng.Intn(nVPs)), 2000, origin},
+				SeenAt: time.Duration(i) * time.Millisecond, EmittedAt: time.Duration(i) * time.Millisecond,
+			}
+		}
+		return evs
+	}
+	warm := mkEvents(4 * nVPs) // populate all VPs before measuring
+	evs := mkEvents(8192)
+
+	b.Run("full-fold", func(b *testing.B) {
+		m := core.NewMonitor(mkConfig())
+		m.ProcessBatch(warm)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev := evs[i%len(evs)]
+			m.Process(ev)
+			m.Rescore(ev.EmittedAt) // the pre-incremental per-event cost
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/event")
+	})
+	b.Run("incremental", func(b *testing.B) {
+		m := core.NewMonitor(mkConfig())
+		m.ProcessBatch(warm)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Process(evs[i%len(evs)])
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/event")
+	})
+}
+
 // BenchmarkBGPCodec measures the wire codec on a realistic UPDATE.
 func BenchmarkBGPCodec(b *testing.B) {
 	u := &bgp.Update{

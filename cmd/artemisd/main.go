@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"strconv"
 	"strings"
 	"time"
@@ -35,6 +36,8 @@ func main() {
 	ctrlURL := flag.String("controller", "", "controller REST base URL (enables auto-mitigation)")
 	cfgDelay := flag.Duration("config-delay", 15*time.Second, "controller configuration latency")
 	runFor := flag.Duration("run-for", 0, "exit after this wall time (0 = run forever)")
+	metricsAddr := flag.String("metrics", "", "listen address for the /metrics text endpoint (e.g. :9130; empty = disabled)")
+	mitQueue := flag.Int("mitigation-queue", 64, "async mitigation queue depth")
 	flag.Parse()
 
 	cfg := &core.Config{}
@@ -60,14 +63,39 @@ func main() {
 	}
 	start := time.Now()
 	ctrl := controller.NewReal(inj, controller.WithConfigDelay(*cfgDelay))
-	svc, err := core.NewService(cfg, ctrl, func() time.Duration { return time.Since(start) })
+	// Mitigation runs on its own bounded worker: a slow controller REST
+	// call must not stall the sink (and with it the whole ingest path).
+	svc, err := core.NewService(cfg, ctrl, func() time.Duration { return time.Since(start) },
+		core.WithAsyncMitigation(*mitQueue))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer svc.Close()
 	// All feeds funnel into the sharded detection pipeline; shards classify
 	// concurrently, the sink serializes alerts and the monitor fold.
 	pl := core.NewPipeline(svc.Detector, svc.Monitor, core.PipelineConfig{})
 	defer pl.Close()
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			pl.Snapshot().WriteProm(w)
+			svc.Mitigation.Snapshot().WriteProm(w)
+			fmt.Fprintf(w, "artemis_alerts_total %d\n", svc.Detector.AlertCount())
+			fmt.Fprintf(w, "artemis_controller_failed_actions_total %d\n", ctrl.Failures())
+			snap := svc.Monitor.Snapshot(time.Since(start))
+			fmt.Fprintf(w, "artemis_monitor_legit_vps %d\n", snap.LegitVPs)
+			fmt.Fprintf(w, "artemis_monitor_hijacked_vps %d\n", snap.HijackedVPs)
+			fmt.Fprintf(w, "artemis_monitor_unknown_vps %d\n", snap.UnknownVPs)
+		})
+		go func() {
+			log.Printf("metrics on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
 	svc.Detector.OnAlert(func(a core.Alert) {
 		log.Printf("ALERT %s: %s announced by AS%d (collides with owned %s, via %s/%s vp AS%d)",
 			a.Type, a.Prefix, a.Origin, a.Owned, a.Evidence.Source, a.Evidence.Collector, a.Evidence.VantagePoint)

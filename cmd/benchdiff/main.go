@@ -1,0 +1,104 @@
+// benchdiff compares two `go test -bench` outputs and prints a
+// benchstat-style table: one row per (benchmark, metric) pair present in
+// both files, with the old value, new value, and relative delta. CI runs
+// it against the PR base's bench.txt so sink-latency (or any other)
+// regressions are visible per PR without external tooling.
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./... > new.txt   # and old.txt
+//	go run ./cmd/benchdiff old.txt new.txt
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics maps "Benchmark/name metric" → value for one bench file.
+type metrics map[string]float64
+
+func parse(path string) (metrics, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	out := metrics{}
+	var order []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Layout: Name-GOMAXPROCS  N  value unit  value unit  …
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the -GOMAXPROCS suffix, but only when it is numeric
+			// ("SinkApply/full-fold-8" → keep "full-fold").
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			key := name + " " + fields[i+1]
+			if _, seen := out[key]; !seen {
+				order = append(order, key)
+			}
+			out[key] = v
+		}
+	}
+	return out, order, sc.Err()
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff <old.txt> <new.txt>")
+		os.Exit(2)
+	}
+	old, _, err := parse(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	new_, order, err := parse(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+
+	width := 0
+	rows := make([]string, 0, len(order))
+	for _, key := range order {
+		if _, ok := old[key]; !ok {
+			continue
+		}
+		rows = append(rows, key)
+		if len(key) > width {
+			width = len(key)
+		}
+	}
+	sort.Strings(rows)
+	fmt.Printf("%-*s  %14s  %14s  %8s\n", width, "benchmark metric", "old", "new", "delta")
+	for _, key := range rows {
+		o, n := old[key], new_[key]
+		delta := "~"
+		if o != 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(n-o)/o)
+		}
+		fmt.Printf("%-*s  %14.4g  %14.4g  %8s\n", width, key, o, n, delta)
+	}
+	// Benchmarks only on one side are still worth surfacing.
+	for _, key := range order {
+		if _, ok := old[key]; !ok {
+			fmt.Printf("%-*s  %14s  %14.4g  %8s\n", width, key, "-", new_[key], "new")
+		}
+	}
+}

@@ -144,11 +144,11 @@ func main() {
 	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {
 		time.Sleep(500 * time.Millisecond)
-		if len(ctrl.Actions()) >= 2 {
+		if len(ctrl.Applied()) >= 2 {
 			break
 		}
 	}
-	acts := ctrl.Actions()
+	acts := ctrl.Applied()
 	if len(acts) == 0 {
 		log.Fatal("controller never received the mitigation")
 	}

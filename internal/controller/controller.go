@@ -17,6 +17,7 @@ import (
 	"artemis/internal/bgpd"
 	"artemis/internal/prefix"
 	"artemis/internal/simnet"
+	"artemis/internal/stats"
 )
 
 // RouteInjector is the controller's southbound: something that can
@@ -40,14 +41,23 @@ const (
 	ActionWithdraw ActionKind = "withdraw"
 )
 
-// Action is one recorded controller operation.
+// Action is one recorded controller operation, successful or failed.
 type Action struct {
 	Kind ActionKind
 	// Prefix affected.
 	Prefix prefix.Prefix
-	// RequestedAt / AppliedAt bracket the configuration latency.
+	// RequestedAt / AppliedAt bracket the configuration latency. For a
+	// failed action AppliedAt is when the southbound rejected it.
 	RequestedAt, AppliedAt time.Duration
+	// Err is the southbound failure; nil when the route was applied. A
+	// failed action is recorded — not silently discarded — so operators
+	// and the mitigation service can see which announcements never left
+	// the routers.
+	Err error
 }
+
+// Failed reports whether the southbound rejected the operation.
+func (a Action) Failed() bool { return a.Err != nil }
 
 // Controller schedules route changes onto a southbound injector after a
 // configuration delay.
@@ -59,8 +69,10 @@ type Controller struct {
 	now   func() time.Duration
 	after func(time.Duration, func())
 
-	mu      sync.Mutex
-	actions []Action
+	mu       sync.Mutex
+	actions  []Action
+	onResult []func(Action)
+	failures stats.Counter
 }
 
 // Option configures a Controller.
@@ -116,21 +128,55 @@ func (c *Controller) apply(kind ActionKind, p prefix.Prefix) error {
 			err = c.inj.WithdrawRoute(p)
 		}
 		if err != nil {
-			return // injector failure: action never recorded as applied
+			c.failures.Inc()
 		}
+		act := Action{Kind: kind, Prefix: p, RequestedAt: req, AppliedAt: c.now(), Err: err}
 		c.mu.Lock()
-		c.actions = append(c.actions, Action{Kind: kind, Prefix: p, RequestedAt: req, AppliedAt: c.now()})
+		c.actions = append(c.actions, act)
+		listeners := make([]func(Action), len(c.onResult))
+		copy(listeners, c.onResult)
 		c.mu.Unlock()
+		for _, fn := range listeners {
+			fn(act)
+		}
 	})
 	return nil
 }
 
-// Actions returns the applied operations, oldest first.
+// OnResult registers a callback invoked after each action is attempted
+// (successful or failed). The southbound is asynchronous — Announce
+// returns before the injector runs — so this is the only way a caller
+// learns that an announcement it requested never left the routers; the
+// mitigation service uses it to mark incidents failed and retryable.
+func (c *Controller) OnResult(fn func(Action)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onResult = append(c.onResult, fn)
+}
+
+// Actions returns the recorded operations, oldest first, failed ones
+// included (check Action.Failed).
 func (c *Controller) Actions() []Action {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]Action(nil), c.actions...)
 }
+
+// Applied returns only the operations the southbound accepted.
+func (c *Controller) Applied() []Action {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Action, 0, len(c.actions))
+	for _, a := range c.actions {
+		if a.Err == nil {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Failures reports how many operations the southbound rejected.
+func (c *Controller) Failures() int64 { return c.failures.Load() }
 
 // SimInjector originates routes at one or more ASes of the simulated
 // network (the owner's border routers / PEERING sites).

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -87,6 +88,49 @@ func TestMultiSiteInjection(t *testing.T) {
 		if !ok || !r.Local() {
 			t.Fatalf("site +%d should originate locally: %v %v", off, r, ok)
 		}
+	}
+}
+
+// brokenInjector rejects everything — the southbound-down scenario.
+type brokenInjector struct{ calls int }
+
+func (b *brokenInjector) AnnounceRoute(prefix.Prefix) error {
+	b.calls++
+	return errors.New("session down")
+}
+func (b *brokenInjector) WithdrawRoute(prefix.Prefix) error {
+	b.calls++
+	return errors.New("session down")
+}
+
+// TestFailedActionsRecorded: injector failures must surface in Actions
+// (flagged, with the error) and in the failure counter — not vanish.
+func TestFailedActionsRecorded(t *testing.T) {
+	_, eng := simSetup(t)
+	inj := &brokenInjector{}
+	ctrl := New(inj, eng.Now, eng.After, WithConfigDelay(time.Second))
+	var results []Action
+	ctrl.OnResult(func(a Action) { results = append(results, a) })
+	p := prefix.MustParse("10.0.0.0/24")
+	if err := ctrl.Announce(p); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(results) != 1 || results[0].Err == nil {
+		t.Fatalf("OnResult not notified of the failure: %+v", results)
+	}
+	acts := ctrl.Actions()
+	if len(acts) != 1 || !acts[0].Failed() || acts[0].Err == nil {
+		t.Fatalf("failed action not recorded: %+v", acts)
+	}
+	if acts[0].AppliedAt != time.Second {
+		t.Fatalf("failure time = %v", acts[0].AppliedAt)
+	}
+	if got := ctrl.Failures(); got != 1 {
+		t.Fatalf("failures = %d, want 1", got)
+	}
+	if applied := ctrl.Applied(); len(applied) != 0 {
+		t.Fatalf("failed action leaked into Applied: %+v", applied)
 	}
 }
 

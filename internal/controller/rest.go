@@ -22,6 +22,7 @@ type wireAction struct {
 	Action      string  `json:"action"`
 	RequestedAt float64 `json:"requested_at,omitempty"`
 	AppliedAt   float64 `json:"applied_at,omitempty"`
+	Error       string  `json:"error,omitempty"`
 }
 
 // RESTServer exposes a Controller over HTTP.
@@ -66,12 +67,16 @@ func (s *RESTServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		actions := s.ctrl.Actions()
 		out := make([]wireAction, 0, len(actions))
 		for _, a := range actions {
-			out = append(out, wireAction{
+			wa := wireAction{
 				Prefix:      a.Prefix.String(),
 				Action:      string(a.Kind),
 				RequestedAt: a.RequestedAt.Seconds(),
 				AppliedAt:   a.AppliedAt.Seconds(),
-			})
+			}
+			if a.Err != nil {
+				wa.Error = a.Err.Error()
+			}
+			out = append(out, wa)
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(out)

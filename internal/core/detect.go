@@ -155,12 +155,20 @@ func (c *Config) classifyRouted(ev *feedtypes.Event, owned prefix.Prefix, rel Al
 	}
 	if c.originLegit(origin) {
 		// Origin fine; check the adjacent upstream when a policy exists.
-		// Path[len-1] is the origin; Path[len-2] its neighbor. A path of
-		// length 1 is the origin's own vantage point — nothing to check.
-		if len(ev.Path) < 2 {
+		// Path[len-1] is the origin, but origins routinely prepend
+		// themselves for traffic engineering (…, upstream, origin,
+		// origin), so the true upstream is the last hop before the run of
+		// origin copies — naively taking Path[len-2] would flag the origin
+		// as its own disallowed neighbor. A path that is only the origin
+		// (prepended or not) is its own vantage point — nothing to check.
+		up := len(ev.Path) - 2
+		for up >= 0 && ev.Path[up] == origin {
+			up--
+		}
+		if up < 0 {
 			return Alert{}, counted, false
 		}
-		upstream := ev.Path[len(ev.Path)-2]
+		upstream := ev.Path[up]
 		if c.upstreamAllowed(origin, upstream) {
 			return Alert{}, counted, false
 		}
@@ -233,6 +241,14 @@ func (d *Detector) Alerts() []Alert {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return append([]Alert(nil), d.alerts...)
+}
+
+// AlertCount reports the number of alerts raised so far without copying
+// them — the metrics-scrape path.
+func (d *Detector) AlertCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.alerts)
 }
 
 // EventsBySource reports how many matching events each source delivered.

@@ -151,6 +151,58 @@ func TestPathAnomalyDetection(t *testing.T) {
 	}
 }
 
+// TestPathAnomalyWithPrepending: a legitimately prepended path
+// (…, upstream, origin, origin, …) must resolve the upstream as the hop
+// before the run of origin copies — not flag the origin as its own
+// disallowed neighbor.
+func TestPathAnomalyWithPrepending(t *testing.T) {
+	cfg := testConfig()
+	cfg.AllowedUpstreams = map[bgp.ASN][]bgp.ASN{61000: {2000}}
+	cases := []struct {
+		name      string
+		path      []bgp.ASN
+		wantAlert bool
+		wantUp    bgp.ASN
+	}{
+		{"no-prepend-allowed", []bgp.ASN{1001, 2000, 61000}, false, 0},
+		{"prepend-1-allowed", []bgp.ASN{1001, 2000, 61000, 61000}, false, 0},
+		{"prepend-2-allowed", []bgp.ASN{1001, 2000, 61000, 61000, 61000}, false, 0},
+		{"prepend-3-allowed", []bgp.ASN{1001, 2000, 61000, 61000, 61000, 61000}, false, 0},
+		{"prepend-1-disallowed", []bgp.ASN{1001, 666, 61000, 61000}, true, 666},
+		{"prepend-2-disallowed", []bgp.ASN{1001, 666, 61000, 61000, 61000}, true, 666},
+		{"prepend-3-disallowed", []bgp.ASN{666, 61000, 61000, 61000, 61000}, true, 666},
+		{"origin-only-prepended", []bgp.ASN{61000, 61000, 61000}, false, 0},
+	}
+	for _, tc := range cases {
+		t.Run("serial/"+tc.name, func(t *testing.T) {
+			d := NewDetector(cfg)
+			d.Process(announceEvent("10.0.0.0/23", tc.path...))
+			alerts := d.Alerts()
+			if tc.wantAlert {
+				if len(alerts) != 1 || alerts[0].Type != AlertPathAnomaly || alerts[0].Origin != tc.wantUp {
+					t.Fatalf("alerts = %+v", alerts)
+				}
+			} else if len(alerts) != 0 {
+				t.Fatalf("spurious path-anomaly alert on prepended path: %+v", alerts)
+			}
+		})
+		t.Run("pipeline/"+tc.name, func(t *testing.T) {
+			d := NewDetector(cfg)
+			p := NewPipeline(d, nil, PipelineConfig{Shards: 2})
+			p.SubmitWait([]feedtypes.Event{announceEvent("10.0.0.0/23", tc.path...)})
+			p.Close()
+			alerts := d.Alerts()
+			if tc.wantAlert {
+				if len(alerts) != 1 || alerts[0].Type != AlertPathAnomaly || alerts[0].Origin != tc.wantUp {
+					t.Fatalf("alerts = %+v", alerts)
+				}
+			} else if len(alerts) != 0 {
+				t.Fatalf("spurious path-anomaly alert on prepended path: %+v", alerts)
+			}
+		})
+	}
+}
+
 func TestPathCheckDisabledWithoutPolicy(t *testing.T) {
 	d := NewDetector(testConfig()) // no AllowedUpstreams
 	d.Process(announceEvent("10.0.0.0/23", 1001, 666, 61000))

@@ -4,15 +4,20 @@ import (
 	"sync"
 	"time"
 
-	"artemis/internal/controller"
 	"artemis/internal/prefix"
+	"artemis/internal/stats"
 )
 
-// MitigationRecord documents one mitigation action.
+// MitigationRecord documents one mitigation action, successful or not.
 type MitigationRecord struct {
 	Alert Alert
 	// Prefixes are the de-aggregated announcements requested.
 	Prefixes []prefix.Prefix
+	// Announced are the prefixes the controller accepted; on success it
+	// equals Prefixes, on a mid-loop failure it is the partial set already
+	// requested (those announcements are in flight and tracked here even
+	// though the incident as a whole failed).
+	Announced []prefix.Prefix
 	// TriggeredAt is when the mitigator asked the controller.
 	TriggeredAt time.Duration
 	// Competitive marks mitigations that cannot strictly win LPM (the
@@ -20,24 +25,48 @@ type MitigationRecord struct {
 	// ARTEMIS re-announces the same prefix and competes on path length —
 	// "it might not work for /24 prefixes" (§2).
 	Competitive bool
+	// Err is the controller failure that aborted the action; nil on
+	// success. Failed incidents are cleared from the dedup set so a later
+	// alert (or an operator retry) runs mitigation again.
+	Err error
+}
+
+// Failed reports whether the mitigation aborted on a controller error.
+func (r MitigationRecord) Failed() bool { return r.Err != nil }
+
+// RouteAnnouncer is the slice of the controller the mitigator drives.
+// *controller.Controller implements it; tests substitute failing stubs.
+type RouteAnnouncer interface {
+	Announce(p prefix.Prefix) error
 }
 
 // Mitigator turns alerts into de-aggregated announcements via the
 // controller.
 type Mitigator struct {
 	cfg  *Config
-	ctrl *controller.Controller
+	ctrl RouteAnnouncer
 	now  func() time.Duration
 
 	mu      sync.Mutex
 	records []MitigationRecord
 	done    map[string]bool
+	// requested tracks, per incident, the prefixes the controller has
+	// accepted and that are not known to have failed downstream. A retry
+	// after a partial failure announces only what is missing instead of
+	// duplicating announcements already in flight.
+	requested map[string]map[prefix.Prefix]bool
+
+	failures stats.Counter
 }
 
 // NewMitigator builds the mitigation service. now supplies timestamps
 // (engine clock in simulation).
-func NewMitigator(cfg *Config, ctrl *controller.Controller, now func() time.Duration) *Mitigator {
-	return &Mitigator{cfg: cfg, ctrl: ctrl, now: now, done: make(map[string]bool)}
+func NewMitigator(cfg *Config, ctrl RouteAnnouncer, now func() time.Duration) *Mitigator {
+	return &Mitigator{
+		cfg: cfg, ctrl: ctrl, now: now,
+		done:      make(map[string]bool),
+		requested: make(map[string]map[prefix.Prefix]bool),
+	}
 }
 
 // MitigationPrefixes computes the response to an alert: the sub-prefixes
@@ -72,36 +101,106 @@ func (m *Mitigator) MitigationPrefixes(a Alert) (prefixes []prefix.Prefix, compe
 
 // HandleAlert runs mitigation for one alert (idempotent per incident).
 // It is the handler wired to the detector when AutoMitigate is on, and
-// the entry point an operator UI would call in manual mode.
+// the entry point an operator UI would call in manual mode. A controller
+// failure is recorded (with the partial set of announcements already in
+// flight) and the incident is released for retry instead of being
+// silently marked done.
 func (m *Mitigator) HandleAlert(a Alert) {
+	key := a.Key()
 	m.mu.Lock()
-	if m.done[a.Key()] {
+	if m.done[key] {
 		m.mu.Unlock()
 		return
 	}
-	m.done[a.Key()] = true
+	m.done[key] = true // claim the incident so concurrent retries don't race
 	m.mu.Unlock()
 
 	prefixes, competitive := m.MitigationPrefixes(a)
-	rec := MitigationRecord{
+	// Register the record before touching the controller: a failure
+	// callback (NoteAnnounceFailure) can fire on another goroutine as soon
+	// as the first Announce is scheduled, and it must find the incident.
+	m.mu.Lock()
+	m.records = append(m.records, MitigationRecord{
 		Alert:       a,
 		Prefixes:    prefixes,
 		TriggeredAt: m.now(),
 		Competitive: competitive,
-	}
-	for _, p := range prefixes {
-		if err := m.ctrl.Announce(p); err != nil {
-			return // controller rejected; leave incident unrecorded as mitigated
-		}
-	}
-	m.mu.Lock()
-	m.records = append(m.records, rec)
+	})
+	idx := len(m.records) - 1
 	m.mu.Unlock()
+
+	for _, p := range prefixes {
+		m.mu.Lock()
+		if m.requested[key] == nil {
+			m.requested[key] = make(map[prefix.Prefix]bool)
+		}
+		if m.requested[key][p] {
+			// A previous (partially failed) attempt already got this one
+			// accepted: a retry fills the gaps, it does not duplicate
+			// announcements already in flight.
+			m.mu.Unlock()
+			continue
+		}
+		m.requested[key][p] = true // claim before Announce: failure feedback matches on it
+		m.mu.Unlock()
+		if err := m.ctrl.Announce(p); err != nil {
+			m.mu.Lock()
+			delete(m.requested[key], p) // never accepted
+			if m.records[idx].Err == nil {
+				m.records[idx].Err = err
+			}
+			m.failures.Inc()
+			delete(m.done, key) // release: the incident may be retried
+			m.mu.Unlock()
+			return
+		}
+		m.mu.Lock()
+		m.records[idx].Announced = append(m.records[idx].Announced, p)
+		m.mu.Unlock()
+	}
 }
 
-// Records returns the mitigations performed so far.
+// NoteAnnounceFailure reports that an announcement the controller had
+// accepted failed downstream (the southbound is asynchronous, so
+// HandleAlert cannot see this itself — the Service wires it to
+// controller.OnResult). The announcement of p is one shared route, so
+// every incident that relies on it is unmitigated: each such incident's
+// latest record is marked failed, p is forgotten so a retry re-announces
+// it, and the incident's dedup claim is released. It returns the alerts
+// of the released incidents so the caller can schedule retries (the
+// detector's own dedup never re-delivers an alert for the same incident).
+func (m *Mitigator) NoteAnnounceFailure(p prefix.Prefix, err error) []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var released []Alert
+	for key, req := range m.requested {
+		if !req[p] {
+			continue
+		}
+		delete(req, p)
+		delete(m.done, key)
+		m.failures.Inc()
+		for i := len(m.records) - 1; i >= 0; i-- {
+			if m.records[i].Alert.Key() == key {
+				if m.records[i].Err == nil {
+					m.records[i].Err = err
+				}
+				released = append(released, m.records[i].Alert)
+				break
+			}
+		}
+	}
+	return released
+}
+
+// Records returns the mitigations attempted so far, including failed
+// ones (Err != nil).
 func (m *Mitigator) Records() []MitigationRecord {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return append([]MitigationRecord(nil), m.records...)
 }
+
+// Failures reports how many mitigation attempts aborted on a controller
+// error.
+func (m *Mitigator) Failures() int64 { return m.failures.Load() }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -88,6 +89,121 @@ func TestHandleAlertAnnouncesViaController(t *testing.T) {
 	recs := m.Records()
 	if len(recs) != 1 || len(recs[0].Prefixes) != 2 || recs[0].Competitive {
 		t.Fatalf("records = %+v", recs)
+	}
+}
+
+// failingAnnouncer rejects announcements after the first `okBefore`
+// calls — the shape of a mid-loop southbound failure.
+type failingAnnouncer struct {
+	calls     int
+	okBefore  int
+	announced []prefix.Prefix
+}
+
+func (f *failingAnnouncer) Announce(p prefix.Prefix) error {
+	f.calls++
+	if f.calls > f.okBefore {
+		return fmt.Errorf("southbound down (call %d)", f.calls)
+	}
+	f.announced = append(f.announced, p)
+	return nil
+}
+
+// TestHandleAlertFailureRecordedAndRetryable: a controller failure must
+// leave a failed record (with the partial set of announcements already in
+// flight), bump the failure counter, and release the incident so a retry
+// can succeed — not vanish silently with done[key] set.
+func TestHandleAlertFailureRecordedAndRetryable(t *testing.T) {
+	ann := &failingAnnouncer{okBefore: 1} // first /24 accepted, second fails
+	m := NewMitigator(testConfig(), ann, func() time.Duration { return 0 })
+	a := alertOf(AlertExactOrigin, "10.0.0.0/23", "10.0.0.0/23")
+
+	m.HandleAlert(a)
+	recs := m.Records()
+	if len(recs) != 1 || !recs[0].Failed() {
+		t.Fatalf("failed mitigation not recorded: %+v", recs)
+	}
+	if len(recs[0].Announced) != 1 || recs[0].Announced[0].String() != "10.0.0.0/24" {
+		t.Fatalf("partial announcements untracked: %+v", recs[0])
+	}
+	if m.Failures() != 1 {
+		t.Fatalf("failure counter = %d, want 1", m.Failures())
+	}
+
+	// The incident was released: a retry runs mitigation again and, with
+	// the southbound back, succeeds — announcing only the missing prefix,
+	// not duplicating the one already in flight.
+	ann.okBefore = 1 << 30
+	m.HandleAlert(a)
+	recs = m.Records()
+	if len(recs) != 2 || recs[1].Failed() {
+		t.Fatalf("retry did not run or failed: %+v", recs)
+	}
+	if len(recs[1].Announced) != 1 || recs[1].Announced[0].String() != "10.0.1.0/24" {
+		t.Fatalf("retry announced %v, want just the missing 10.0.1.0/24", recs[1].Announced)
+	}
+	if len(ann.announced) != 2 {
+		t.Fatalf("controller saw %v: duplicate or missing announcements", ann.announced)
+	}
+	// …and the incident is now done: a third call is a no-op.
+	m.HandleAlert(a)
+	if len(m.Records()) != 2 {
+		t.Fatalf("mitigation re-ran after success: %+v", m.Records())
+	}
+}
+
+// TestAsyncFailureFeedbackReleasesIncident exercises the path a real
+// (asynchronous) controller takes: Announce succeeds immediately, the
+// southbound fails later, and the failure comes back via
+// NoteAnnounceFailure (wired to controller.OnResult by the Service). The
+// incident must be marked failed, counted, and become retryable — with
+// the retry re-announcing exactly the failed prefix.
+func TestAsyncFailureFeedbackReleasesIncident(t *testing.T) {
+	ann := &failingAnnouncer{okBefore: 1 << 30} // controller accepts everything
+	m := NewMitigator(testConfig(), ann, func() time.Duration { return 0 })
+	a := alertOf(AlertExactOrigin, "10.0.0.0/23", "10.0.0.0/23")
+
+	m.HandleAlert(a)
+	if recs := m.Records(); len(recs) != 1 || recs[0].Failed() {
+		t.Fatalf("records = %+v", recs)
+	}
+	// The southbound later rejects BOTH /24s: the second failure must not
+	// be swallowed by the already-failed record.
+	m.NoteAnnounceFailure(prefix.MustParse("10.0.1.0/24"), fmt.Errorf("session down"))
+	m.NoteAnnounceFailure(prefix.MustParse("10.0.0.0/24"), fmt.Errorf("session down"))
+	recs := m.Records()
+	if !recs[0].Failed() {
+		t.Fatalf("async failure not reflected in record: %+v", recs[0])
+	}
+	if m.Failures() != 2 {
+		t.Fatalf("failures = %d, want 2", m.Failures())
+	}
+	// Retry (e.g. operator-triggered) re-announces both failed /24s.
+	m.HandleAlert(a)
+	recs = m.Records()
+	if len(recs) != 2 || len(recs[1].Announced) != 2 {
+		t.Fatalf("retry records = %+v", recs)
+	}
+	if len(ann.announced) != 4 { // two originals + two re-announces
+		t.Fatalf("controller saw %v", ann.announced)
+	}
+}
+
+// TestAsyncFailureSinglePrefix: when only one of two announcements fails
+// downstream, the retry re-announces exactly that one.
+func TestAsyncFailureSinglePrefix(t *testing.T) {
+	ann := &failingAnnouncer{okBefore: 1 << 30}
+	m := NewMitigator(testConfig(), ann, func() time.Duration { return 0 })
+	a := alertOf(AlertExactOrigin, "10.0.0.0/23", "10.0.0.0/23")
+	m.HandleAlert(a)
+	m.NoteAnnounceFailure(prefix.MustParse("10.0.1.0/24"), fmt.Errorf("session down"))
+	m.HandleAlert(a)
+	recs := m.Records()
+	if len(recs) != 2 || len(recs[1].Announced) != 1 || recs[1].Announced[0].String() != "10.0.1.0/24" {
+		t.Fatalf("retry records = %+v", recs)
+	}
+	if len(ann.announced) != 3 {
+		t.Fatalf("controller saw %v", ann.announced)
 	}
 }
 

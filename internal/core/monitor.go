@@ -14,6 +14,15 @@ import (
 // the detector and maintains, per vantage point, which origin AS currently
 // captures the owned address space — the real-time view of hijack spread
 // and mitigation progress that the demo visualizes (§4).
+//
+// The partition of vantage points (legit / hijacked / unknown) is
+// maintained incrementally: each VP caches a per-probe verdict plus its
+// informed/bad counts, and each event recomputes only the probes its
+// prefix can affect (an announce or withdraw of P changes a probe's
+// longest-prefix match only when P contains the probe address). Folding
+// an event is therefore O(affected probes × trie depth) instead of the
+// O(VPs × probes) full rescore the pre-incremental sink paid per event —
+// Rescore keeps that fold around as the verification oracle.
 type Monitor struct {
 	cfg *Config
 
@@ -22,13 +31,57 @@ type Monitor struct {
 	history []Sample
 	cancels []func()
 	probes  []prefix.Addr
+	// byAddr indexes probes in ascending address order so the probes a
+	// prefix covers resolve with one binary search.
+	byAddr []int
+	// tally is the running partition, updated as VP verdicts change.
+	tally Sample
+	// lastAt is the latest event time folded; History uses it to close
+	// the series with the final plateau even when the partition has not
+	// changed for a long quiet tail.
+	lastAt time.Duration
 }
+
+// vpVerdictKind is a vantage point's cached classification.
+type vpVerdictKind uint8
+
+const (
+	vpUnknown vpVerdictKind = iota
+	vpLegit
+	vpHijacked
+)
+
+// probeStatus is a VP's cached view of one probe address.
+type probeStatus uint8
+
+const (
+	probeUnmatched probeStatus = iota // no announced prefix covers it
+	probeLegit                        // covered, legitimate origin
+	probeBad                          // covered, illegitimate origin
+)
 
 type vpState struct {
 	// entries: announced prefix → (origin, last change time) as seen from
 	// this vantage point, across all feeds (freshest wins).
 	entries *prefix.Trie[vpEntry]
 	last    map[prefix.Prefix]time.Duration
+	// status caches the per-probe verdict; informed and bad are the counts
+	// of matched and illegitimately-originated probes, so the VP's verdict
+	// is O(1) to read after an O(affected) update.
+	status   []probeStatus
+	informed int
+	bad      int
+}
+
+func (st *vpState) verdict() vpVerdictKind {
+	switch {
+	case st.informed == 0:
+		return vpUnknown
+	case st.bad > 0:
+		return vpHijacked
+	default:
+		return vpLegit
+	}
 }
 
 type vpEntry struct {
@@ -42,6 +95,12 @@ type Sample struct {
 	// all probes legit / any probe captured by an illegitimate origin /
 	// no routing information yet.
 	LegitVPs, HijackedVPs, UnknownVPs int
+}
+
+// samePartition reports whether two samples carry the same VP partition
+// (ignoring time) — the history coalescing criterion.
+func (s Sample) samePartition(o Sample) bool {
+	return s.LegitVPs == o.LegitVPs && s.HijackedVPs == o.HijackedVPs && s.UnknownVPs == o.UnknownVPs
 }
 
 // FractionLegit is the share of informed vantage points that route every
@@ -58,6 +117,11 @@ func (s Sample) FractionLegit() float64 {
 func NewMonitor(cfg *Config) *Monitor {
 	m := &Monitor{cfg: cfg, vps: make(map[bgp.ASN]*vpState)}
 	m.probes = probeAddrs(cfg.OwnedPrefixes)
+	m.byAddr = make([]int, len(m.probes))
+	for i := range m.byAddr {
+		m.byAddr[i] = i
+	}
+	sort.Slice(m.byAddr, func(a, b int) bool { return m.probes[m.byAddr[a]] < m.probes[m.byAddr[b]] })
 	return m
 }
 
@@ -115,10 +179,30 @@ func (m *Monitor) Stop() {
 func (m *Monitor) Process(ev feedtypes.Event) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.processLocked(ev)
+}
+
+// ProcessBatch folds a batch of feed events in order under one lock
+// acquisition — the sink's fast path. Semantics are identical to calling
+// Process per event.
+func (m *Monitor) ProcessBatch(evs []feedtypes.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range evs {
+		m.processLocked(evs[i])
+	}
+}
+
+func (m *Monitor) processLocked(ev feedtypes.Event) {
 	st := m.vps[ev.VantagePoint]
 	if st == nil {
-		st = &vpState{entries: prefix.NewTrie[vpEntry](), last: make(map[prefix.Prefix]time.Duration)}
+		st = &vpState{
+			entries: prefix.NewTrie[vpEntry](),
+			last:    make(map[prefix.Prefix]time.Duration),
+			status:  make([]probeStatus, len(m.probes)),
+		}
 		m.vps[ev.VantagePoint] = st
+		m.tally.UnknownVPs++ // a fresh VP has no routing information yet
 	}
 	// Freshest observation wins across sources; a stale LG poll must not
 	// roll back a newer streamed update.
@@ -126,68 +210,156 @@ func (m *Monitor) Process(ev feedtypes.Event) {
 		return
 	}
 	st.last[ev.Prefix] = ev.SeenAt
+	old := st.verdict()
 	if ev.Kind == feedtypes.Withdraw {
 		st.entries.Delete(ev.Prefix)
 	} else if origin, ok := ev.Origin(); ok {
 		st.entries.Insert(ev.Prefix, vpEntry{origin: origin})
+	} else {
+		// Malformed announcement: no trie change, no verdict change.
+		m.coalesceLocked(ev.EmittedAt)
+		return
 	}
-	m.history = append(m.history, m.sampleLocked(ev.EmittedAt))
+	m.rescoreProbesLocked(st, ev.Prefix)
+	if now := st.verdict(); now != old {
+		m.tallySub(old)
+		m.tallyAdd(now)
+	}
+	m.coalesceLocked(ev.EmittedAt)
 }
 
-// ProcessBatch folds a batch of feed events in order. Semantics are
-// identical to calling Process per event (one history sample per event),
-// so the pipeline's sink and the serial path produce the same series.
-func (m *Monitor) ProcessBatch(evs []feedtypes.Event) {
-	for i := range evs {
-		m.Process(evs[i])
-	}
-}
-
-// vpVerdict classifies one vantage point right now.
-func (m *Monitor) vpVerdict(st *vpState) (legit, informed bool) {
-	informed = false
-	legit = true
-	for _, addr := range m.probes {
-		_, e, ok := st.entries.LongestMatch(addr)
-		if !ok {
+// rescoreProbesLocked recomputes the cached status of every probe the
+// prefix covers for one VP, maintaining the VP's informed/bad counts.
+func (m *Monitor) rescoreProbesLocked(st *vpState, p prefix.Prefix) {
+	lo, hi := p.Addr(), p.Last()
+	i := sort.Search(len(m.byAddr), func(i int) bool { return m.probes[m.byAddr[i]] >= lo })
+	for ; i < len(m.byAddr) && m.probes[m.byAddr[i]] <= hi; i++ {
+		idx := m.byAddr[i]
+		var now probeStatus
+		if _, e, ok := st.entries.LongestMatch(m.probes[idx]); ok {
+			if m.cfg.originLegit(e.origin) {
+				now = probeLegit
+			} else {
+				now = probeBad
+			}
+		}
+		was := st.status[idx]
+		if was == now {
 			continue
 		}
-		informed = true
-		if !m.cfg.originLegit(e.origin) {
-			legit = false
+		if was != probeUnmatched {
+			st.informed--
+			if was == probeBad {
+				st.bad--
+			}
 		}
+		if now != probeUnmatched {
+			st.informed++
+			if now == probeBad {
+				st.bad++
+			}
+		}
+		st.status[idx] = now
 	}
-	return legit && informed, informed
 }
 
-func (m *Monitor) sampleLocked(at time.Duration) Sample {
+func (m *Monitor) tallyAdd(v vpVerdictKind) {
+	switch v {
+	case vpUnknown:
+		m.tally.UnknownVPs++
+	case vpLegit:
+		m.tally.LegitVPs++
+	default:
+		m.tally.HijackedVPs++
+	}
+}
+
+func (m *Monitor) tallySub(v vpVerdictKind) {
+	switch v {
+	case vpUnknown:
+		m.tally.UnknownVPs--
+	case vpLegit:
+		m.tally.LegitVPs--
+	default:
+		m.tally.HijackedVPs--
+	}
+}
+
+// coalesceLocked appends a history sample only when the partition changed
+// since the previous sample, so repeated events with an unchanged VP
+// partition cost zero history growth (History is a change-point series).
+func (m *Monitor) coalesceLocked(at time.Duration) {
+	if at > m.lastAt {
+		m.lastAt = at
+	}
+	s := m.tally
+	s.Time = at
+	if n := len(m.history); n > 0 && m.history[n-1].samePartition(s) {
+		return
+	}
+	m.history = append(m.history, s)
+}
+
+// Snapshot returns the current partition of vantage points. It reads the
+// incrementally maintained tallies: O(1).
+func (m *Monitor) Snapshot(at time.Duration) Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.tally
+	s.Time = at
+	return s
+}
+
+// Rescore recomputes the partition from scratch — the O(VPs × probes)
+// fold the pre-incremental sink paid on every event. It is the
+// verification oracle for the incremental tallies (tests assert
+// Rescore == Snapshot) and the baseline side of BenchmarkSinkApply.
+func (m *Monitor) Rescore(at time.Duration) Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	s := Sample{Time: at}
 	for _, st := range m.vps {
-		legit, informed := m.vpVerdict(st)
+		informed, bad := 0, 0
+		for _, addr := range m.probes {
+			_, e, ok := st.entries.LongestMatch(addr)
+			if !ok {
+				continue
+			}
+			informed++
+			if !m.cfg.originLegit(e.origin) {
+				bad++
+			}
+		}
 		switch {
-		case !informed:
+		case informed == 0:
 			s.UnknownVPs++
-		case legit:
-			s.LegitVPs++
-		default:
+		case bad > 0:
 			s.HijackedVPs++
+		default:
+			s.LegitVPs++
 		}
 	}
 	return s
 }
 
-// Snapshot returns the current partition of vantage points.
-func (m *Monitor) Snapshot(at time.Duration) Sample {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.sampleLocked(at)
-}
-
-// History returns the full time series of samples.
+// History returns the time series of partition change-points: one sample
+// per event that changed the legit/hijacked/unknown partition (plus the
+// initial sample). Events that leave the partition unchanged are
+// coalesced into the preceding sample, so the series is bounded by the
+// number of state transitions, not the feed volume. When the feed ran
+// quietly past the last transition, a closing sample at the latest event
+// time repeats the final partition, so time-axis consumers (vis.Timeline,
+// E6 plots) keep spanning the whole observation window.
 func (m *Monitor) History() []Sample {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return append([]Sample(nil), m.history...)
+	out := append([]Sample(nil), m.history...)
+	if n := len(out); n > 0 && m.lastAt > out[n-1].Time {
+		closing := m.tally
+		closing.Time = m.lastAt
+		out = append(out, closing)
+	}
+	return out
 }
 
 // VPOrigins reports, per vantage point, the origin AS serving each probe

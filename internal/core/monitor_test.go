@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
@@ -91,6 +92,71 @@ func TestMonitorHistoryGrows(t *testing.T) {
 	}
 	if h[0].Time != time.Second || h[1].Time != 2*time.Second {
 		t.Fatalf("history times = %+v", h)
+	}
+}
+
+// TestMonitorHistoryCoalesced: events that leave the VP partition
+// unchanged must not append samples — History is a change-point series,
+// bounded by state transitions rather than feed volume.
+func TestMonitorHistoryCoalesced(t *testing.T) {
+	m := NewMonitor(testConfig())
+	m.Process(monEvent(1, "10.0.0.0/23", time.Second, 1, 61000))
+	// 100 re-announcements of the same legit route: partition unchanged,
+	// so history holds the change-point plus one closing sample at the
+	// latest event time (keeping time-axis plots spanning the quiet tail).
+	for i := 0; i < 100; i++ {
+		m.Process(monEvent(1, "10.0.0.0/23", time.Duration(i+2)*time.Second, 1, 61000))
+	}
+	h := m.History()
+	if len(h) != 2 {
+		t.Fatalf("history grew to %d samples for an unchanged partition", len(h))
+	}
+	if h[1].Time != 101*time.Second || !h[1].samePartition(h[0]) {
+		t.Fatalf("closing sample = %+v", h[1])
+	}
+	// A real transition appends exactly one more change-point (and, being
+	// the latest event, needs no separate closing sample).
+	m.Process(monEvent(1, "10.0.0.0/24", 200*time.Second, 1, 666))
+	h = m.History()
+	if len(h) != 2 || h[1].HijackedVPs != 1 || h[1].Time != 200*time.Second {
+		t.Fatalf("history = %+v", h)
+	}
+}
+
+// TestMonitorIncrementalMatchesRescore streams a randomized event mix and
+// checks, at every step, that the incrementally maintained tallies equal
+// the from-scratch Rescore fold — the invariant the O(1)-amortized sink
+// rests on.
+func TestMonitorIncrementalMatchesRescore(t *testing.T) {
+	cfg := &Config{
+		OwnedPrefixes: []prefix.Prefix{
+			prefix.MustParse("10.0.0.0/22"),
+			prefix.MustParse("192.0.2.0/24"),
+		},
+		LegitOrigins: []bgp.ASN{61000, 61001},
+	}
+	m := NewMonitor(cfg)
+	rng := rand.New(rand.NewSource(7))
+	prefixes := []string{
+		"10.0.0.0/22", "10.0.0.0/23", "10.0.2.0/23", "10.0.1.0/24",
+		"10.0.3.0/24", "10.0.0.0/16", "192.0.2.0/24", "192.0.2.128/25",
+		"192.0.0.0/20",
+	}
+	origins := []bgp.ASN{61000, 61001, 666, 667}
+	for i := 0; i < 2000; i++ {
+		vp := bgp.ASN(1 + rng.Intn(12))
+		ev := monEvent(vp, prefixes[rng.Intn(len(prefixes))],
+			time.Duration(rng.Intn(500))*time.Second, vp, origins[rng.Intn(len(origins))])
+		if rng.Intn(5) == 0 {
+			ev.Kind = feedtypes.Withdraw
+			ev.Path = nil
+		}
+		m.Process(ev)
+		at := time.Duration(i) * time.Second
+		got, want := m.Snapshot(at), m.Rescore(at)
+		if got != want {
+			t.Fatalf("step %d: incremental %+v != rescore %+v", i, got, want)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"artemis/internal/feeds/feedtypes"
 	"artemis/internal/prefix"
@@ -63,6 +64,9 @@ type Pipeline struct {
 	sinkDone chan struct{}
 
 	submitted, applied, events stats.Counter
+	// sinkApply is the distribution of the sink's per-batch apply time
+	// (alert commit + handler dispatch + monitor fold).
+	sinkApply *stats.Histogram
 }
 
 // PipelineConfig tunes the pipeline.
@@ -96,6 +100,8 @@ type shard struct {
 	in      chan shardTask
 	events  stats.Counter
 	batches stats.Counter
+	// service is the distribution of per-sub-batch classification time.
+	service *stats.Histogram
 }
 
 // shardTask is one shard's slice of a submitted batch: the indices of the
@@ -139,19 +145,20 @@ type indexedAlert struct {
 func NewPipeline(det *Detector, mon *Monitor, cfg PipelineConfig) *Pipeline {
 	cfg = cfg.withDefaults()
 	p := &Pipeline{
-		det:      det,
-		mon:      mon,
-		cfg:      cfg,
-		owned:    prefix.NewTrie[int](),
-		done:     make(chan *batchJob, 4*cfg.Shards+16),
-		sinkDone: make(chan struct{}),
+		det:       det,
+		mon:       mon,
+		cfg:       cfg,
+		owned:     prefix.NewTrie[int](),
+		done:      make(chan *batchJob, 4*cfg.Shards+16),
+		sinkDone:  make(chan struct{}),
+		sinkApply: stats.NewHistogram(),
 	}
 	p.applyCond = sync.NewCond(&p.applyMu)
 	for i, o := range det.cfg.OwnedPrefixes {
 		p.owned.Insert(o, i)
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		s := &shard{in: make(chan shardTask, cfg.QueueDepth)}
+		s := &shard{in: make(chan shardTask, cfg.QueueDepth), service: stats.NewHistogram()}
 		p.shards = append(p.shards, s)
 		p.workers.Add(1)
 		go p.work(i, s)
@@ -304,6 +311,7 @@ func (p *Pipeline) work(idx int, s *shard) {
 	defer p.workers.Done()
 	cfg := p.det.cfg
 	for t := range s.in {
+		start := time.Now()
 		var counts map[string]int
 		var alerts []indexedAlert
 		for _, i := range t.idxs {
@@ -327,6 +335,7 @@ func (p *Pipeline) work(idx int, s *shard) {
 		t.job.alerts[t.shard] = alerts
 		s.events.Add(int64(len(t.idxs)))
 		s.batches.Inc()
+		s.service.Observe(time.Since(start))
 		if t.job.remaining.Add(-1) == 0 {
 			p.done <- t.job
 		}
@@ -354,6 +363,7 @@ func (p *Pipeline) sink() {
 }
 
 func (p *Pipeline) apply(j *batchJob) {
+	start := time.Now()
 	for _, counts := range j.counts {
 		p.det.countSources(counts)
 	}
@@ -375,6 +385,7 @@ func (p *Pipeline) apply(j *batchJob) {
 	if p.mon != nil {
 		p.mon.ProcessBatch(j.events)
 	}
+	p.sinkApply.Observe(time.Since(start))
 	p.applyMu.Lock()
 	p.applied.Inc()
 	p.applyCond.Broadcast()
@@ -460,6 +471,7 @@ func (p *Pipeline) Snapshot() stats.PipelineSnapshot {
 		Submitted: p.submitted.Load(),
 		Applied:   p.applied.Load(),
 		Events:    p.events.Load(),
+		SinkApply: p.sinkApply.Snapshot(),
 	}
 	for i, s := range p.shards {
 		snap.Shards = append(snap.Shards, stats.ShardSnapshot{
@@ -468,6 +480,7 @@ func (p *Pipeline) Snapshot() stats.PipelineSnapshot {
 			Batches:  s.batches.Load(),
 			QueueLen: len(s.in),
 			QueueCap: cap(s.in),
+			Service:  s.service.Snapshot(),
 		})
 	}
 	return snap

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"artemis/internal/controller"
@@ -8,29 +9,92 @@ import (
 )
 
 // Service is the assembled ARTEMIS instance: detection, mitigation and
-// monitoring wired together per Fig. 1 of the paper.
+// monitoring wired together per Fig. 1 of the paper. Alerts flow from the
+// detector through the MitigationQueue to the Mitigator, so a slow
+// controller southbound never stalls whichever goroutine commits alerts
+// (the pipeline's sink in daemon mode).
 type Service struct {
 	Config    *Config
 	Detector  *Detector
 	Mitigator *Mitigator
 	Monitor   *Monitor
+	// Mitigation is the queue between alert commit and mitigation. It is
+	// synchronous by default (the virtual-time experiments' semantics);
+	// WithAsyncMitigation turns it into a bounded background worker.
+	Mitigation *MitigationQueue
+
+	// retries counts mitigation re-attempts per incident, bounding the
+	// southbound-failure retry loop.
+	retryMu sync.Mutex
+	retries map[string]int
+}
+
+// MaxMitigationRetries bounds how many times a failed mitigation is
+// automatically re-attempted before the incident is left to the operator.
+const MaxMitigationRetries = 5
+
+// ServiceOption configures NewService.
+type ServiceOption func(*serviceOptions)
+
+type serviceOptions struct {
+	queue MitigationQueueConfig
+}
+
+// WithAsyncMitigation runs alert handling on a bounded background worker
+// with the given queue depth (0 → default) instead of inline on the
+// alert-committing goroutine. Live daemons want this; virtual-time
+// experiments must not use it.
+func WithAsyncMitigation(depth int) ServiceOption {
+	return func(o *serviceOptions) {
+		o.queue = MitigationQueueConfig{Depth: depth, Synchronous: false}
+	}
 }
 
 // NewService validates the configuration and assembles the services.
 // now supplies timestamps (the simulation engine's clock, or a wall-clock
 // adapter in live mode).
-func NewService(cfg *Config, ctrl *controller.Controller, now func() time.Duration) (*Service, error) {
+func NewService(cfg *Config, ctrl *controller.Controller, now func() time.Duration, opts ...ServiceOption) (*Service, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	o := serviceOptions{queue: MitigationQueueConfig{Synchronous: true}}
+	for _, opt := range opts {
+		opt(&o)
 	}
 	s := &Service{
 		Config:    cfg,
 		Detector:  NewDetector(cfg),
 		Mitigator: NewMitigator(cfg, ctrl, now),
 		Monitor:   NewMonitor(cfg),
+		retries:   make(map[string]int),
 	}
+	s.Mitigation = NewMitigationQueue(s.Mitigator.HandleAlert, o.queue, s.Mitigator.Failures)
 	if !cfg.ManualMitigation {
-		s.Detector.OnAlert(s.Mitigator.HandleAlert)
+		s.Detector.OnAlert(s.Mitigation.Enqueue)
+	}
+	if ctrl != nil {
+		// The controller's southbound is asynchronous: Announce returns
+		// before the injector runs, so mitigation failures only surface
+		// through the action results. Feed them back so failed incidents
+		// are marked and released, then re-enqueue them: the detector's
+		// dedup never re-delivers an alert for an incident it has seen, so
+		// without this loop a transient southbound outage would leave the
+		// hijack unmitigated forever. Retries are bounded per incident;
+		// each cycle is naturally paced by the controller's config delay.
+		ctrl.OnResult(func(a controller.Action) {
+			if a.Err == nil || a.Kind != controller.ActionAnnounce {
+				return
+			}
+			for _, alert := range s.Mitigator.NoteAnnounceFailure(a.Prefix, a.Err) {
+				s.retryMu.Lock()
+				s.retries[alert.Key()]++
+				n := s.retries[alert.Key()]
+				s.retryMu.Unlock()
+				if n <= MaxMitigationRetries {
+					s.Mitigation.Enqueue(alert)
+				}
+			}
+		})
 	}
 	return s, nil
 }
@@ -41,8 +105,17 @@ func (s *Service) Start(sources ...feedtypes.Source) {
 	s.Monitor.Start(sources...)
 }
 
-// Stop detaches everything.
+// Stop detaches everything from the sources. The mitigation queue keeps
+// running (manual mitigation stays possible); Close releases it.
 func (s *Service) Stop() {
 	s.Detector.Stop()
 	s.Monitor.Stop()
+}
+
+// Close stops the service and drains the mitigation queue: every alert
+// already accepted is handled before Close returns. Safe to call more
+// than once.
+func (s *Service) Close() {
+	s.Stop()
+	s.Mitigation.Close()
 }

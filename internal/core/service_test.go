@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -136,6 +137,76 @@ func TestManualMitigationMode(t *testing.T) {
 		t.Fatal("manual mitigation did not run")
 	}
 	svc.Stop()
+}
+
+// flakyInjector fails every announce until the failure budget is spent —
+// a southbound outage that heals.
+type flakyInjector struct{ failures int }
+
+func (f *flakyInjector) AnnounceRoute(prefix.Prefix) error {
+	if f.failures > 0 {
+		f.failures--
+		return fmt.Errorf("southbound down")
+	}
+	return nil
+}
+func (f *flakyInjector) WithdrawRoute(prefix.Prefix) error { return nil }
+
+// TestServiceRetriesFailedMitigation: a transient southbound outage must
+// not leave the hijack unmitigated — the controller failure feedback
+// releases the incident and the service re-enqueues it (bounded by
+// MaxMitigationRetries), so the announcements eventually apply.
+func TestServiceRetriesFailedMitigation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	inj := &flakyInjector{failures: 3}
+	ctrl := controller.New(inj, eng.Now, eng.After, controller.WithConfigDelay(time.Second))
+	svc, err := NewService(&Config{
+		OwnedPrefixes: []prefix.Prefix{prefix.MustParse("10.0.0.0/23")},
+		LegitOrigins:  []bgp.ASN{topo.FirstASN},
+	}, ctrl, eng.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One hijack alert straight into the detector.
+	svc.Detector.Process(announceEvent("10.0.0.0/23", 1001, 666))
+	eng.Run() // drains announce → fail → release → retry cycles
+
+	if svc.Mitigator.Failures() == 0 {
+		t.Fatal("southbound failures not counted")
+	}
+	applied := map[string]bool{}
+	for _, a := range ctrl.Applied() {
+		applied[a.Prefix.String()] = true
+	}
+	if !applied["10.0.0.0/24"] || !applied["10.0.1.0/24"] {
+		t.Fatalf("mitigation never fully applied after retries: %v (failures=%d)", applied, svc.Mitigator.Failures())
+	}
+	svc.Close()
+}
+
+// TestServiceRetryBounded: a permanently dead southbound stops retrying
+// after MaxMitigationRetries instead of looping forever.
+func TestServiceRetryBounded(t *testing.T) {
+	eng := sim.NewEngine(1)
+	inj := &flakyInjector{failures: 1 << 30}
+	ctrl := controller.New(inj, eng.Now, eng.After, controller.WithConfigDelay(time.Second))
+	svc, err := NewService(&Config{
+		OwnedPrefixes: []prefix.Prefix{prefix.MustParse("10.0.0.0/23")},
+		LegitOrigins:  []bgp.ASN{topo.FirstASN},
+	}, ctrl, eng.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Detector.Process(announceEvent("10.0.0.0/23", 1001, 666))
+	eng.Run() // must terminate: the retry loop is bounded
+
+	if got := ctrl.Failures(); got == 0 {
+		t.Fatal("no controller failures recorded")
+	}
+	if len(ctrl.Applied()) != 0 {
+		t.Fatalf("dead southbound applied actions: %+v", ctrl.Applied())
+	}
+	svc.Close()
 }
 
 func TestServiceRejectsBadConfig(t *testing.T) {

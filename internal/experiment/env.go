@@ -260,11 +260,15 @@ func Build(opts Options) (*Env, error) {
 	return env, nil
 }
 
-// Close releases the testbed's concurrent machinery (pipeline workers and
-// sink). The Env's state remains readable. Safe to call more than once.
+// Close releases the testbed's concurrent machinery (pipeline workers,
+// sink, and the service's mitigation queue). The Env's state remains
+// readable. Safe to call more than once.
 func (env *Env) Close() {
 	if env.Pipeline != nil {
 		env.Pipeline.Close()
+	}
+	if env.Artemis != nil {
+		env.Artemis.Close()
 	}
 }
 

@@ -143,11 +143,13 @@ func (env *Env) runPhase3(hijackAt time.Duration) {
 			}
 			continue
 		}
+		// Count what was actually requested of the controller: failed
+		// records contribute only the partial set already announced.
 		want := 0
 		for _, r := range recs {
-			want += len(r.Prefixes)
+			want += len(r.Announced)
 		}
-		if len(env.Ctrl.Actions()) >= want {
+		if len(env.Ctrl.Applied()) >= want {
 			return // mitigation applied and network settled after it
 		}
 	}
@@ -209,7 +211,7 @@ func RunTrial(env *Env) (Trial, error) {
 	tr.DetectionDelay = alert.DetectedAt - tr.HijackAt
 	tr.DetectedBy = alert.Evidence.Source
 
-	actions := env.Ctrl.Actions()
+	actions := env.Ctrl.Applied()
 	if len(actions) == 0 {
 		return Trial{}, fmt.Errorf("experiment: mitigation never applied")
 	}

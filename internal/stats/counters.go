@@ -34,6 +34,9 @@ type ShardSnapshot struct {
 	// QueueLen is the number of sub-batches currently waiting; QueueCap is
 	// the bound that triggers backpressure.
 	QueueLen, QueueCap int
+	// Service is the distribution of this shard's per-sub-batch
+	// classification time.
+	Service HistogramSnapshot
 }
 
 // PipelineSnapshot aggregates a pipeline's observability counters.
@@ -43,6 +46,30 @@ type PipelineSnapshot struct {
 	Submitted, Applied int64
 	// Events is the cumulative number of events ingested.
 	Events int64
+	// SinkApply is the distribution of the sink's per-batch apply time
+	// (alert commit + handler dispatch + monitor fold).
+	SinkApply HistogramSnapshot
 	// Shards holds the per-shard view.
 	Shards []ShardSnapshot
+}
+
+// MitigationQueueSnapshot is the async mitigation stage's counters: how
+// many alerts entered and left the queue, how long they waited, and how
+// long the handler (mitigation computation + controller calls) took.
+type MitigationQueueSnapshot struct {
+	// Enqueued/Handled count alerts through the queue; Enqueued-Handled is
+	// the stage's in-flight depth. Dropped counts alerts rejected after
+	// Close. Blocked counts enqueues that hit a full queue (backpressure
+	// onto the sink).
+	Enqueued, Handled, Dropped, Blocked int64
+	// Failures counts mitigations that ended in a controller/injector
+	// error (the incident stays retryable).
+	Failures int64
+	// QueueLen/QueueCap describe the bounded queue right now.
+	QueueLen, QueueCap int
+	// Wait is time spent queued; Handle is handler execution time.
+	Wait, Handle HistogramSnapshot
+	// Synchronous reports the queue's mode (true = handler runs inline on
+	// the caller, the virtual-time experiments' semantics).
+	Synchronous bool
 }

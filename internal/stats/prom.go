@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+)
+
+// This file renders snapshots in the Prometheus text exposition shape
+// ("name{label="v"} value" lines) so cmd/artemisd can serve a /metrics
+// endpoint without pulling in a client library. Only the subset of the
+// format the snapshots need is implemented: untyped samples and classic
+// cumulative histograms.
+
+// WriteProm renders the pipeline's counters.
+func (s PipelineSnapshot) WriteProm(w io.Writer) {
+	fmt.Fprintf(w, "artemis_pipeline_batches_submitted_total %d\n", s.Submitted)
+	fmt.Fprintf(w, "artemis_pipeline_batches_applied_total %d\n", s.Applied)
+	fmt.Fprintf(w, "artemis_pipeline_events_total %d\n", s.Events)
+	fmt.Fprintf(w, "artemis_pipeline_inflight_batches %d\n", s.Submitted-s.Applied)
+	s.SinkApply.writeProm(w, "artemis_pipeline_sink_apply_seconds", "")
+	for _, sh := range s.Shards {
+		l := fmt.Sprintf(`shard="%d"`, sh.Shard)
+		fmt.Fprintf(w, "artemis_pipeline_shard_events_total{%s} %d\n", l, sh.Events)
+		fmt.Fprintf(w, "artemis_pipeline_shard_batches_total{%s} %d\n", l, sh.Batches)
+		fmt.Fprintf(w, "artemis_pipeline_shard_queue_depth{%s} %d\n", l, sh.QueueLen)
+		fmt.Fprintf(w, "artemis_pipeline_shard_queue_capacity{%s} %d\n", l, sh.QueueCap)
+		sh.Service.writeProm(w, "artemis_pipeline_shard_service_seconds", l)
+	}
+}
+
+// WriteProm renders the mitigation queue's counters.
+func (s MitigationQueueSnapshot) WriteProm(w io.Writer) {
+	fmt.Fprintf(w, "artemis_mitigation_enqueued_total %d\n", s.Enqueued)
+	fmt.Fprintf(w, "artemis_mitigation_handled_total %d\n", s.Handled)
+	fmt.Fprintf(w, "artemis_mitigation_dropped_total %d\n", s.Dropped)
+	fmt.Fprintf(w, "artemis_mitigation_blocked_total %d\n", s.Blocked)
+	fmt.Fprintf(w, "artemis_mitigation_failures_total %d\n", s.Failures)
+	fmt.Fprintf(w, "artemis_mitigation_queue_depth %d\n", s.QueueLen)
+	fmt.Fprintf(w, "artemis_mitigation_queue_capacity %d\n", s.QueueCap)
+	sync := 0
+	if s.Synchronous {
+		sync = 1
+	}
+	fmt.Fprintf(w, "artemis_mitigation_synchronous %d\n", sync)
+	s.Wait.writeProm(w, "artemis_mitigation_wait_seconds", "")
+	s.Handle.writeProm(w, "artemis_mitigation_handle_seconds", "")
+}
+
+// writeProm renders one histogram as cumulative _bucket/_sum/_count
+// samples, optionally merged with extra labels ("k=\"v\"" form, no braces).
+func (s HistogramSnapshot) writeProm(w io.Writer, name, labels string) {
+	cum := int64(0)
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = fmt.Sprintf("%g", s.Bounds[i].Seconds())
+		}
+		fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, joinLabels(labels, fmt.Sprintf(`le="%s"`, le)), cum)
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, braced(labels), s.Sum.Seconds())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, braced(labels), s.Count)
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
