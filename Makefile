@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench fmt vet ci
+.PHONY: build test race bench soak fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,12 @@ race:
 # BENCH_* data source).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | tee bench.txt
+
+# Soak the ingest supervisor against flapping in-process RIS/BGPmon
+# servers under the race detector (the short-mode version of this test
+# runs in every `make test`).
+soak:
+	ARTEMIS_SOAK=10s $(GO) test -race -run TestSoakFlappingFeeds -count=1 -v ./internal/ingest
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

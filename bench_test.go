@@ -16,6 +16,7 @@ import (
 	"artemis/internal/core"
 	"artemis/internal/experiment"
 	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/ingest"
 	"artemis/internal/prefix"
 	"artemis/internal/simnet"
 	"artemis/internal/topo"
@@ -378,6 +379,70 @@ func BenchmarkDetectionBatchIngest(b *testing.B) {
 				pl.Flush()
 			}
 			b.ReportMetric(float64(workload)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkIngestFanIn measures the supervised multi-source fan-in: the
+// same feed-scale workload delivered over 1, 4 or 8 supervised source
+// connections with overlapping vantage points — each route change has a
+// primary source (sticky per vantage point, like real collector peering)
+// and is re-observed by a second source for a quarter of the events, so
+// the cross-source dedup has real work. Unique-event throughput must stay
+// close to the single-connection number even as the connection count and
+// the duplicate volume grow — the property that makes adding monitoring
+// sources reduce detection delay instead of multiplying sink load.
+func BenchmarkIngestFanIn(b *testing.B) {
+	const (
+		workload  = 8192
+		batchSize = 256
+	)
+	base := pipelineWorkload(workload)
+	for _, nsrc := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("sources-%d", nsrc), func(b *testing.B) {
+			// Scatter the workload across the sources: primary by vantage
+			// point, plus a ~25% cross-source duplicate tail when more
+			// than one source exists.
+			rng := rand.New(rand.NewSource(7))
+			perSource := make([][]feedtypes.Event, nsrc)
+			ingested := 0
+			for i := range base {
+				ev := base[i]
+				s := int(ev.VantagePoint) % nsrc
+				ev.Source = fmt.Sprintf("src%d", s)
+				perSource[s] = append(perSource[s], ev)
+				ingested++
+				if nsrc > 1 && rng.Intn(4) == 0 {
+					dup := base[i]
+					d := (s + 1 + rng.Intn(nsrc-1)) % nsrc
+					dup.Source = fmt.Sprintf("src%d", d)
+					dup.EmittedAt += time.Millisecond // the slower feed's copy
+					perSource[d] = append(perSource[d], dup)
+					ingested++
+				}
+			}
+			streams := make([][][]feedtypes.Event, nsrc)
+			for s := range perSource {
+				for off := 0; off < len(perSource[s]); off += batchSize {
+					streams[s] = append(streams[s], perSource[s][off:min(off+batchSize, len(perSource[s]))])
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				det := core.NewDetector(pipelineBenchConfig(b))
+				pl := core.NewPipeline(det, nil, core.PipelineConfig{})
+				sup := ingest.New(pl.Submit, ingest.Config{QueueDepth: 256})
+				for s := range streams {
+					sup.AddDialer(fmt.Sprintf("src%d", s), ingest.ReplayDialer(streams[s]), ingest.Blocking())
+				}
+				sup.Wait() // replay sources end themselves (ErrDone)
+				sup.Close()
+				pl.Flush()
+				pl.Close()
+			}
+			elapsed := b.Elapsed().Seconds()
+			b.ReportMetric(float64(workload)*float64(b.N)/elapsed, "events/s")
+			b.ReportMetric(float64(ingested)*float64(b.N)/elapsed, "ingested/s")
 		})
 	}
 }

@@ -1,46 +1,74 @@
-// artemisd is the ARTEMIS daemon: it connects to live monitoring feeds
-// (a RIS-style WebSocket stream and/or a BGPmon-style XML stream), watches
-// the configured prefixes, and on detection mitigates through a
-// controller's REST API. It is the client side of cmd/simnet.
+// artemisd is the ARTEMIS daemon: it supervises any number of live
+// monitoring feed connections (RIS-style WebSocket streams, BGPmon-style
+// XML streams, MRT archive replays), fans them into the sharded detection
+// pipeline with cross-source dedup, watches the configured prefixes, and
+// on detection mitigates through a controller's REST API. It is the
+// client side of cmd/simnet.
 //
 //	go run ./cmd/artemisd \
 //	    -prefix 10.0.0.0/23 -origin 61000 \
-//	    -ris ws://127.0.0.1:PORT/v1/ws \
+//	    -ris ws://127.0.0.1:PORT/v1/ws -ris ws://127.0.0.1:PORT2/v1/ws \
 //	    -bgpmon 127.0.0.1:PORT \
 //	    -controller http://127.0.0.1:PORT
+//
+// -ris/-bgpmon/-mrt are repeatable: every occurrence adds one supervised
+// source. Dead connections are redialed with exponential backoff; a
+// flapping source sheds its own load without stalling its siblings. On
+// SIGINT/SIGTERM the daemon shuts down gracefully: sources stop, the
+// pipeline flushes, the mitigation queue drains, then it exits.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"artemis/internal/bgp"
 	"artemis/internal/controller"
 	"artemis/internal/core"
-	"artemis/internal/feeds/bgpmon"
 	"artemis/internal/feeds/feedtypes"
-	"artemis/internal/feeds/ris"
+	"artemis/internal/ingest"
 	"artemis/internal/prefix"
 )
+
+// listFlag collects repeated occurrences of a flag.
+type listFlag []string
+
+func (l *listFlag) String() string { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
 
 func main() {
 	prefixes := flag.String("prefix", "", "comma-separated owned prefixes (required)")
 	origins := flag.String("origin", "", "comma-separated legitimate origin ASNs (required)")
-	risURL := flag.String("ris", "", "RIS websocket URL (ws://host:port/v1/ws)")
-	bmonAddr := flag.String("bgpmon", "", "BGPmon TCP address (host:port)")
+	var risURLs, bmonAddrs, mrtFiles listFlag
+	flag.Var(&risURLs, "ris", "RIS websocket URL (ws://host:port/v1/ws); repeatable")
+	flag.Var(&bmonAddrs, "bgpmon", "BGPmon TCP address (host:port); repeatable")
+	flag.Var(&mrtFiles, "mrt", "MRT archive file to replay as a feed; repeatable")
 	ctrlURL := flag.String("controller", "", "controller REST base URL (enables auto-mitigation)")
 	cfgDelay := flag.Duration("config-delay", 15*time.Second, "controller configuration latency")
-	runFor := flag.Duration("run-for", 0, "exit after this wall time (0 = run forever)")
+	runFor := flag.Duration("run-for", 0, "exit after this wall time (0 = run until SIGINT/SIGTERM)")
 	metricsAddr := flag.String("metrics", "", "listen address for the /metrics text endpoint (e.g. :9130; empty = disabled)")
 	mitQueue := flag.Int("mitigation-queue", 64, "async mitigation queue depth")
+	srcQueue := flag.Int("source-queue", 64, "per-source pending-batch bound before the drop policy sheds load")
+	dedupTTL := flag.Duration("dedup-ttl", 10*time.Minute, "cross-source dedup window (negative disables dedup)")
+	alertTTL := flag.Duration("alert-ttl", 24*time.Hour, "incident dedup window; a hijack still live after it re-alerts (0 = dedup forever, unbounded memory)")
 	flag.Parse()
 
-	cfg := &core.Config{}
+	cfg := &core.Config{
+		AlertDedupTTL: *alertTTL,
+		AlertDedupMax: 1 << 16,
+	}
 	for _, s := range splitList(*prefixes) {
 		p, err := prefix.Parse(s)
 		if err != nil {
@@ -70,19 +98,46 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer svc.Close()
 	// All feeds funnel into the sharded detection pipeline; shards classify
 	// concurrently, the sink serializes alerts and the monitor fold.
 	pl := core.NewPipeline(svc.Detector, svc.Monitor, core.PipelineConfig{})
-	defer pl.Close()
+
+	// The ingest supervisor owns every feed connection: reconnect with
+	// backoff, cross-source dedup (first delivery wins), per-source
+	// queues and drop policy, per-source counters.
+	sup := ingest.New(pl.Submit, ingest.Config{
+		QueueDepth: *srcQueue,
+		DedupTTL:   *dedupTTL,
+	})
+	filter := feedtypes.Filter{Prefixes: cfg.OwnedPrefixes, MoreSpecific: true, LessSpecific: true}
+	connected := 0
+	for i, u := range risURLs {
+		sup.AddDialer(fmt.Sprintf("ris[%d]", i), ingest.RISDialer(u, filter))
+		connected++
+	}
+	for i, a := range bmonAddrs {
+		sup.AddDialer(fmt.Sprintf("bgpmon[%d]", i), ingest.BGPmonDialer(a, filter))
+		connected++
+	}
+	for i, f := range mrtFiles {
+		f := f
+		open := func() (io.ReadCloser, error) { return os.Open(f) }
+		sup.AddDialer(fmt.Sprintf("mrt[%d]", i), ingest.MRTReplayDialer(open, f), ingest.Blocking())
+		connected++
+	}
+	if connected == 0 {
+		log.Fatal("no feeds configured; pass -ris, -bgpmon and/or -mrt")
+	}
 
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			sup.Snapshot().WriteProm(w)
 			pl.Snapshot().WriteProm(w)
 			svc.Mitigation.Snapshot().WriteProm(w)
 			fmt.Fprintf(w, "artemis_alerts_total %d\n", svc.Detector.AlertCount())
+			fmt.Fprintf(w, "artemis_alert_dedup_size %d\n", svc.Detector.DedupSize())
 			fmt.Fprintf(w, "artemis_controller_failed_actions_total %d\n", ctrl.Failures())
 			snap := svc.Monitor.Snapshot(time.Since(start))
 			fmt.Fprintf(w, "artemis_monitor_legit_vps %d\n", snap.LegitVPs)
@@ -104,73 +159,36 @@ func main() {
 		}
 	})
 
-	filter := feedtypes.Filter{Prefixes: cfg.OwnedPrefixes, MoreSpecific: true, LessSpecific: true}
-	connected := 0
-	if *risURL != "" {
-		cli, err := ris.DialClient(*risURL, filter)
-		if err != nil {
-			log.Fatalf("ris: %v", err)
-		}
-		defer cli.Close()
-		go pump("ris", cli.Events(), pl)
-		connected++
-	}
-	if *bmonAddr != "" {
-		cli, err := bgpmon.DialClient(*bmonAddr, filter)
-		if err != nil {
-			log.Fatalf("bgpmon: %v", err)
-		}
-		defer cli.Close()
-		go pump("bgpmon", cli.Events(), pl)
-		connected++
-	}
-	if connected == 0 {
-		log.Fatal("no feeds configured; pass -ris and/or -bgpmon")
-	}
-	fmt.Printf("artemisd watching %v (origins %v) over %d feed(s)\n",
+	fmt.Printf("artemisd watching %v (origins %v) over %d supervised feed(s)\n",
 		cfg.OwnedPrefixes, cfg.LegitOrigins, connected)
 
+	// Run until a signal or the -run-for timer, then drain in dependency
+	// order: stop the sources (no new batches), flush and close the
+	// pipeline (classification + sink complete), drain the mitigation
+	// queue (every accepted alert handled), exit.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	var timer <-chan time.Time
 	if *runFor > 0 {
-		time.Sleep(*runFor)
-		pl.Flush()
-		snap := pl.Snapshot()
-		fmt.Printf("run-for elapsed; pipeline ingested %d events in %d batches\n", snap.Events, snap.Submitted)
-		for _, sh := range snap.Shards {
-			fmt.Printf("  shard %d: %d events, %d batches, queue %d/%d\n",
-				sh.Shard, sh.Events, sh.Batches, sh.QueueLen, sh.QueueCap)
-		}
-		return
+		timer = time.After(*runFor)
 	}
-	select {}
-}
-
-// maxPumpBatch caps how many stream events are coalesced into one
-// pipeline submission when the feed runs hot.
-const maxPumpBatch = 256
-
-// pump drains a feed's event stream into the pipeline, coalescing bursts
-// into batches: one event minimum, then whatever is already waiting on the
-// channel, so quiet feeds stay low-latency and busy feeds amortize the
-// per-submission cost.
-func pump(name string, events <-chan feedtypes.Event, pl *core.Pipeline) {
-	batch := make([]feedtypes.Event, 0, maxPumpBatch)
-	for ev := range events {
-		batch = append(batch[:0], ev)
-	coalesce:
-		for len(batch) < maxPumpBatch {
-			select {
-			case next, ok := <-events:
-				if !ok {
-					break coalesce
-				}
-				batch = append(batch, next)
-			default:
-				break coalesce
-			}
-		}
-		pl.Submit(batch) // Submit copies; the batch slice is reused
+	select {
+	case sig := <-sigc:
+		log.Printf("%v: shutting down", sig)
+	case <-timer:
+		log.Printf("run-for %v elapsed: shutting down", *runFor)
 	}
-	log.Printf("%s stream closed", name)
+	sup.Close()
+	pl.Flush()
+	pl.Close()
+	svc.Close()
+
+	snap := pl.Snapshot()
+	fmt.Printf("pipeline ingested %d events in %d batches\n", snap.Events, snap.Submitted)
+	for _, src := range sup.Snapshot().Sources {
+		fmt.Printf("  %-12s %-10s events=%d batches=%d dedup=%d drops=%d reconnects=%d\n",
+			src.Name, src.State, src.Events, src.Batches, src.DedupHits, src.Drops, src.Reconnects)
+	}
 }
 
 func splitList(s string) []string {

@@ -4,8 +4,10 @@
 // 60x) while real servers expose it: a RIS-style WebSocket stream, a
 // BGPmon-style XML TCP stream, and an ONOS-style REST controller. An
 // ARTEMIS instance connects to those servers as a *client* — exactly how
-// the daemon would run against external infrastructure — detects the
-// scripted hijack, and mitigates through the controller's REST API.
+// the daemon would run against external infrastructure: the ingest
+// supervisor owns both connections (reconnect, cross-source dedup,
+// per-source accounting), fans them into the sharded detection pipeline,
+// and mitigation flows back through the controller's REST API.
 //
 //	go run ./examples/live-feeds
 package main
@@ -24,6 +26,7 @@ import (
 	"artemis/internal/feeds/bgpmon"
 	"artemis/internal/feeds/feedtypes"
 	"artemis/internal/feeds/ris"
+	"artemis/internal/ingest"
 	"artemis/internal/peering"
 	"artemis/internal/prefix"
 	"artemis/internal/sim"
@@ -97,19 +100,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The supervised ingest tier dials both servers, redials them if they
+	// drop, dedups route changes the two feeds both observe, and fans
+	// everything into the sharded pipeline.
+	pl := core.NewPipeline(artemis.Detector, artemis.Monitor, core.PipelineConfig{})
+	defer pl.Close()
+	sup := ingest.New(pl.Submit, ingest.Config{})
+	defer sup.Close()
 	filter := feedtypes.Filter{Prefixes: []prefix.Prefix{owned}, MoreSpecific: true, LessSpecific: true}
-	risClient, err := ris.DialClient("ws://"+risLn.Addr().String()+"/v1/ws", filter)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer risClient.Close()
-	bmonClient, err := bgpmon.DialClient(bmonSrv.Addr(), filter)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer bmonClient.Close()
-	go pump(risClient.Events(), artemis)
-	go pump(bmonClient.Events(), artemis)
+	sup.AddDialer("ris[0]", ingest.RISDialer("ws://"+risLn.Addr().String()+"/v1/ws", filter))
+	sup.AddDialer("bgpmon[0]", ingest.BGPmonDialer(bmonSrv.Addr(), filter))
 
 	alerted := make(chan core.Alert, 1)
 	artemis.Detector.OnAlert(func(a core.Alert) {
@@ -158,14 +158,11 @@ func main() {
 	}
 	fmt.Printf("[sim ~%v] controller applied mitigation: %s\n", eng.Now().Round(time.Second), strings.Join(names, ", "))
 	eng.Stop()
-	fmt.Println("done — hijack detected and mitigated entirely over real sockets.")
-}
-
-func pump(events <-chan feedtypes.Event, svc *core.Service) {
-	for ev := range events {
-		svc.Detector.Process(ev)
-		svc.Monitor.Process(ev)
+	for _, src := range sup.Snapshot().Sources {
+		fmt.Printf("  ingest %-10s %-8s events=%d dedup=%d reconnects=%d\n",
+			src.Name, src.State, src.Events, src.DedupHits, src.Reconnects)
 	}
+	fmt.Println("done — hijack detected and mitigated entirely over real sockets.")
 }
 
 func listen() (net.Listener, error) {

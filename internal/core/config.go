@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"artemis/internal/bgp"
 	"artemis/internal/prefix"
@@ -46,6 +47,16 @@ type Config struct {
 	// the operator must call Mitigator.HandleAlert. The zero value is the
 	// paper's headline mode: fully automatic.
 	ManualMitigation bool
+	// AlertDedupTTL bounds how long a raised incident suppresses duplicate
+	// alerts; after it, a recurring hijack is re-raised (and re-mitigated).
+	// 0 keeps incidents forever — the virtual-time experiments' semantics.
+	// Long-running daemons should set it so the dedup set cannot grow
+	// without bound.
+	AlertDedupTTL time.Duration
+	// AlertDedupMax caps the incident dedup set; beyond it the oldest
+	// incident is evicted (and would re-alert if seen again). 0 =
+	// unbounded.
+	AlertDedupMax int
 }
 
 // Validate checks internal consistency.
@@ -58,6 +69,12 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxDeaggregationLen < 0 || c.MaxDeaggregationLen > 32 {
 		return fmt.Errorf("core: invalid MaxDeaggregationLen %d", c.MaxDeaggregationLen)
+	}
+	if c.AlertDedupTTL < 0 {
+		return fmt.Errorf("core: negative AlertDedupTTL %v", c.AlertDedupTTL)
+	}
+	if c.AlertDedupMax < 0 {
+		return fmt.Errorf("core: negative AlertDedupMax %d", c.AlertDedupMax)
 	}
 	for i, p := range c.OwnedPrefixes {
 		for j, q := range c.OwnedPrefixes {

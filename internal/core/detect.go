@@ -8,6 +8,7 @@ import (
 	"artemis/internal/bgp"
 	"artemis/internal/feeds/feedtypes"
 	"artemis/internal/prefix"
+	"artemis/internal/ttlset"
 )
 
 // AlertType classifies a detected hijack.
@@ -69,19 +70,36 @@ func (a Alert) Key() string {
 type Detector struct {
 	cfg *Config
 
-	mu       sync.Mutex
-	seen     map[string]bool
+	mu sync.Mutex
+	// seen deduplicates incidents. With the default config it keeps every
+	// incident forever (the experiments' semantics); Config.AlertDedupTTL
+	// and AlertDedupMax bound it for long-running daemons, at which point
+	// a recurring hijack re-alerts once per TTL window.
+	seen     *ttlset.Set[string]
 	alerts   []Alert
 	handlers []func(Alert)
 	cancels  []func()
 	// perSource counts matching events per source name (diagnostics and
-	// the E2 per-source experiment).
+	// the E2 per-source experiment). Cardinality is bounded: beyond
+	// maxTrackedSources distinct names, counts fold into "other".
 	perSource map[string]int
 }
 
+// maxTrackedSources caps the per-source diagnostics map so a daemon fed
+// by a misbehaving feed (unique source strings per event) cannot grow it
+// without bound.
+const maxTrackedSources = 64
+
+// otherSources is the overflow bucket once maxTrackedSources is reached.
+const otherSources = "other"
+
 // NewDetector builds the service; call Start to attach sources.
 func NewDetector(cfg *Config) *Detector {
-	return &Detector{cfg: cfg, seen: make(map[string]bool), perSource: make(map[string]int)}
+	return &Detector{
+		cfg:       cfg,
+		seen:      ttlset.New[string](cfg.AlertDedupTTL, cfg.AlertDedupMax),
+		perSource: make(map[string]int),
+	}
 }
 
 // OnAlert registers a handler invoked synchronously for each new alert.
@@ -186,11 +204,10 @@ func (c *Config) classifyRouted(ev *feedtypes.Event, owned prefix.Prefix, rel Al
 // the pipeline's sink) sees alerts in a single total order.
 func (d *Detector) commit(alert Alert) {
 	d.mu.Lock()
-	if d.seen[alert.Key()] {
+	if !d.seen.Add(alert.Key(), alert.DetectedAt) {
 		d.mu.Unlock()
 		return
 	}
-	d.seen[alert.Key()] = true
 	d.alerts = append(d.alerts, alert)
 	handlers := make([]func(Alert), len(d.handlers))
 	copy(handlers, d.handlers)
@@ -207,9 +224,18 @@ func (d *Detector) countSources(counts map[string]int) {
 	}
 	d.mu.Lock()
 	for src, n := range counts {
-		d.perSource[src] += n
+		d.perSource[d.sourceBucketLocked(src)] += n
 	}
 	d.mu.Unlock()
+}
+
+// sourceBucketLocked maps a source name to its counter key, folding new
+// names into the overflow bucket once the map is at capacity.
+func (d *Detector) sourceBucketLocked(src string) string {
+	if _, ok := d.perSource[src]; ok || len(d.perSource) < maxTrackedSources {
+		return src
+	}
+	return otherSources
 }
 
 // Process classifies one feed event. It is exported so network clients
@@ -219,7 +245,7 @@ func (d *Detector) Process(ev feedtypes.Event) {
 	alert, counted, isAlert := d.cfg.classify(&ev)
 	if counted {
 		d.mu.Lock()
-		d.perSource[ev.Source]++
+		d.perSource[d.sourceBucketLocked(ev.Source)]++
 		d.mu.Unlock()
 	}
 	if isAlert {
@@ -249,6 +275,15 @@ func (d *Detector) AlertCount() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.alerts)
+}
+
+// DedupSize reports how many incidents the dedup set currently holds —
+// with AlertDedupTTL/AlertDedupMax configured it is bounded, and the
+// metrics endpoint exposes it so operators can verify that.
+func (d *Detector) DedupSize() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seen.Len()
 }
 
 // EventsBySource reports how many matching events each source delivered.

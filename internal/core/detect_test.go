@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -219,5 +220,62 @@ func TestMultipleOwnedPrefixes(t *testing.T) {
 	alerts := d.Alerts()
 	if len(alerts) != 1 || alerts[0].Owned.String() != "192.0.2.0/24" {
 		t.Fatalf("alerts = %+v", alerts)
+	}
+}
+
+func TestAlertDedupTTLReRaisesExpiredIncidents(t *testing.T) {
+	cfg := testConfig()
+	cfg.AlertDedupTTL = time.Minute
+	d := NewDetector(cfg)
+	hijack := func(at time.Duration) feedtypes.Event {
+		ev := announceEvent("10.0.0.0/23", 1001, 666)
+		ev.SeenAt, ev.EmittedAt = at, at
+		return ev
+	}
+	d.Process(hijack(0))
+	d.Process(hijack(30 * time.Second)) // same incident, inside the TTL
+	if len(d.Alerts()) != 1 {
+		t.Fatalf("alerts = %+v", d.Alerts())
+	}
+	// Past the TTL the incident is forgotten and re-raised: the hijack is
+	// evidently still (or again) live, and a long-running daemon must not
+	// stay silent forever on the strength of a years-old dedup entry.
+	d.Process(hijack(2 * time.Minute))
+	if len(d.Alerts()) != 2 {
+		t.Fatalf("expired incident not re-raised: %+v", d.Alerts())
+	}
+	if d.DedupSize() != 1 {
+		t.Fatalf("dedup size = %d, want 1 (expired entry evicted)", d.DedupSize())
+	}
+}
+
+func TestAlertDedupMaxBoundsTheSet(t *testing.T) {
+	cfg := testConfig()
+	cfg.AlertDedupMax = 4
+	d := NewDetector(cfg)
+	for i := 0; i < 16; i++ {
+		d.Process(announceEvent("10.0.0.0/23", 1001, bgp.ASN(600+i)))
+	}
+	if len(d.Alerts()) != 16 {
+		t.Fatalf("alerts = %d, want 16 distinct incidents", len(d.Alerts()))
+	}
+	if d.DedupSize() != 4 {
+		t.Fatalf("dedup size = %d, want the configured cap 4", d.DedupSize())
+	}
+}
+
+func TestPerSourceCounterCardinalityBounded(t *testing.T) {
+	d := NewDetector(testConfig())
+	for i := 0; i < 3*maxTrackedSources; i++ {
+		ev := announceEvent("10.0.0.0/23", 1001, 61000)
+		ev.Source = fmt.Sprintf("feed-%d", i)
+		d.Process(ev)
+	}
+	got := d.EventsBySource()
+	if len(got) > maxTrackedSources+1 {
+		t.Fatalf("per-source map grew to %d entries", len(got))
+	}
+	if got[otherSources] != 2*maxTrackedSources {
+		t.Fatalf("overflow bucket = %d, want %d", got[otherSources], 2*maxTrackedSources)
 	}
 }

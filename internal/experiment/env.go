@@ -18,6 +18,7 @@ import (
 	"artemis/internal/feeds/periscope"
 	"artemis/internal/feeds/ris"
 	"artemis/internal/hijack"
+	"artemis/internal/ingest"
 	"artemis/internal/peering"
 	"artemis/internal/prefix"
 	"artemis/internal/sim"
@@ -127,6 +128,12 @@ type Env struct {
 	// virtual-time semantics: a feed's publish returns only once its
 	// consequences (alerts, mitigation scheduling) are in place.
 	Pipeline *core.Pipeline
+	// Ingest is the supervised fan-in tier between the feeds and the
+	// pipeline: cross-source dedup (the same route change seen by
+	// overlapping vantage points via several feeds is classified once,
+	// first delivery wins) and per-source accounting. Synchronous like
+	// the pipeline, so virtual-time semantics hold end to end.
+	Ingest *ingest.Supervisor
 
 	RIS       *ris.Service
 	BGPmon    *bgpmon.Service
@@ -255,15 +262,29 @@ func Build(opts Options) (*Env, error) {
 		Shards:      4,
 		Synchronous: true,
 	})
-	env.Pipeline.Start(env.Sources...)
+	env.Ingest = ingest.New(env.Pipeline.SubmitWait, ingest.Config{
+		Synchronous: true,
+		Seed:        opts.Seed,
+	})
+	feedFilter := feedtypes.Filter{
+		Prefixes:     []prefix.Prefix{opts.Owned},
+		MoreSpecific: true,
+		LessSpecific: true,
+	}
+	for _, src := range env.Sources {
+		env.Ingest.AddSource(src.Name(), src, feedFilter)
+	}
 	env.track = newCaptureTracker(env)
 	return env, nil
 }
 
-// Close releases the testbed's concurrent machinery (pipeline workers,
-// sink, and the service's mitigation queue). The Env's state remains
-// readable. Safe to call more than once.
+// Close releases the testbed's concurrent machinery (ingest supervisor,
+// pipeline workers, sink, and the service's mitigation queue). The Env's
+// state remains readable. Safe to call more than once.
 func (env *Env) Close() {
+	if env.Ingest != nil {
+		env.Ingest.Close()
+	}
 	if env.Pipeline != nil {
 		env.Pipeline.Close()
 	}

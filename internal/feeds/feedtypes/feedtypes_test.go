@@ -1,7 +1,10 @@
 package feedtypes
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
+	"time"
 
 	"artemis/internal/bgp"
 	"artemis/internal/prefix"
@@ -76,5 +79,66 @@ func TestFilterMultiplePrefixes(t *testing.T) {
 	}, MoreSpecific: true}
 	if !f.Match(prefix.MustParse("192.0.2.128/25")) {
 		t.Fatal("second watched prefix not honored")
+	}
+}
+
+// TestFilterEventsMatchesNaivePerEventFilter is the property test for the
+// batch filter: for randomized filters and batches, FilterEvents must
+// select exactly the events a per-event Match loop selects, in order, and
+// must take the shared-slice no-copy fast path when (and only when) every
+// event matches.
+func TestFilterEventsMatchesNaivePerEventFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pool := []prefix.Prefix{
+		prefix.MustParse("10.0.0.0/23"),
+		prefix.MustParse("10.0.0.0/24"),
+		prefix.MustParse("10.0.1.0/24"),
+		prefix.MustParse("10.0.0.0/16"),
+		prefix.MustParse("192.0.2.0/24"),
+		prefix.MustParse("192.0.2.0/25"),
+		prefix.MustParse("192.0.0.0/16"),
+		prefix.MustParse("203.0.113.0/24"),
+	}
+	for iter := 0; iter < 2000; iter++ {
+		f := Filter{MoreSpecific: rng.Intn(2) == 0, LessSpecific: rng.Intn(2) == 0}
+		for n := rng.Intn(4); n > 0; n-- {
+			f.Prefixes = append(f.Prefixes, pool[rng.Intn(len(pool))])
+		}
+		batch := make([]Event, rng.Intn(24))
+		for i := range batch {
+			batch[i] = Event{
+				Source:       "s",
+				VantagePoint: bgp.ASN(100 + rng.Intn(4)),
+				Kind:         Kind(rng.Intn(2)),
+				Prefix:       pool[rng.Intn(len(pool))],
+				SeenAt:       time.Duration(i),
+			}
+		}
+
+		var naive []Event
+		for i := range batch {
+			if f.Match(batch[i].Prefix) {
+				naive = append(naive, batch[i])
+			}
+		}
+		got := FilterEvents(f, batch)
+		if len(got) != len(naive) {
+			t.Fatalf("iter %d: %d events, naive %d (filter %+v)", iter, len(got), len(naive), f)
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], naive[i]) {
+				t.Fatalf("iter %d: event %d diverges:\n got  %+v\n want %+v", iter, i, got[i], naive[i])
+			}
+		}
+		if len(naive) == len(batch) && len(batch) > 0 {
+			// All-match: the contract is zero-copy — the returned slice
+			// shares the batch's backing array.
+			if &got[0] != &batch[0] {
+				t.Fatalf("iter %d: all-match batch was copied", iter)
+			}
+		} else if len(got) > 0 && &got[0] == &batch[0] && len(got) != len(batch) {
+			// Partial match must not alias the input: callers may append.
+			t.Fatalf("iter %d: partial result aliases the input batch", iter)
+		}
 	}
 }

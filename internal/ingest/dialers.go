@@ -1,0 +1,203 @@
+package ingest
+
+import (
+	"io"
+
+	"artemis/internal/bgp"
+	"artemis/internal/bgp/mrt"
+	"artemis/internal/feeds/bgpmon"
+	"artemis/internal/feeds/dumps"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/feeds/ris"
+)
+
+// maxRecvBatch caps how many buffered stream events are coalesced into
+// one batch when a feed runs hot — the same bound the daemon's old pump
+// loop used.
+const maxRecvBatch = 256
+
+// RISDialer returns a Dialer for a RIS-style websocket endpoint
+// (ws://host:port/v1/ws). The per-event stream is coalesced into batches:
+// one event minimum, then whatever the client has already buffered, so a
+// quiet feed stays low-latency and a busy one amortizes per-delivery
+// cost.
+func RISDialer(url string, f feedtypes.Filter) Dialer {
+	return DialFunc(func() (Conn, error) {
+		cli, err := ris.DialClient(url, f)
+		if err != nil {
+			return nil, err
+		}
+		return &chanConn{events: cli.Events(), close: cli.Close, err: cli.Err}, nil
+	})
+}
+
+// BGPmonDialer returns a Dialer for a BGPmon-style XML TCP stream
+// (host:port), batched like RISDialer.
+func BGPmonDialer(addr string, f feedtypes.Filter) Dialer {
+	return DialFunc(func() (Conn, error) {
+		cli, err := bgpmon.DialClient(addr, f)
+		if err != nil {
+			return nil, err
+		}
+		return &chanConn{events: cli.Events(), close: cli.Close, err: cli.Err}, nil
+	})
+}
+
+// chanConn adapts a per-event channel client (the RIS/BGPmon network
+// clients) to the batch Conn interface.
+type chanConn struct {
+	events <-chan feedtypes.Event
+	close  func() error
+	err    func() error
+}
+
+func (c *chanConn) Recv() ([]feedtypes.Event, error) {
+	ev, ok := <-c.events
+	if !ok {
+		if err := c.err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	batch := append(make([]feedtypes.Event, 0, 16), ev)
+	for len(batch) < maxRecvBatch {
+		select {
+		case next, ok := <-c.events:
+			if !ok {
+				// Deliver what we have; the next Recv reports why the
+				// stream ended.
+				return batch, nil
+			}
+			batch = append(batch, next)
+		default:
+			return batch, nil
+		}
+	}
+	return batch, nil
+}
+
+func (c *chanConn) Close() error { return c.close() }
+
+// ReplayDialer replays pre-chunked batches as one finite source ending in
+// ErrDone — deterministic ingest of captured feed data, and the workload
+// generator for BenchmarkIngestFanIn. Combine with the Blocking option so
+// the replay is flow-controlled instead of shed.
+func ReplayDialer(batches [][]feedtypes.Event) Dialer {
+	return DialFunc(func() (Conn, error) {
+		return &replayConn{batches: batches}, nil
+	})
+}
+
+type replayConn struct {
+	batches [][]feedtypes.Event
+	i       int
+}
+
+func (c *replayConn) Recv() ([]feedtypes.Event, error) {
+	if c.i >= len(c.batches) {
+		return nil, ErrDone
+	}
+	b := c.batches[c.i]
+	c.i++
+	return b, nil
+}
+
+func (c *replayConn) Close() error { return nil }
+
+// MRTReplayDialer replays an MRT archive (RFC 6396 update or RIB files,
+// as written by internal/feeds/dumps) as one finite source: each BGP4MP
+// record becomes the events of its UPDATE, each RIB entry one
+// announcement per peer route. open is called on every (re)dial, so a
+// replay interrupted by Remove can be restarted. The stream ends with
+// ErrDone. Combine with Blocking.
+func MRTReplayDialer(open func() (io.ReadCloser, error), collector string) Dialer {
+	return DialFunc(func() (Conn, error) {
+		rc, err := open()
+		if err != nil {
+			return nil, err
+		}
+		return &mrtConn{rc: rc, r: mrt.NewReader(rc), collector: collector}, nil
+	})
+}
+
+type mrtConn struct {
+	rc        io.ReadCloser
+	r         *mrt.Reader
+	collector string
+}
+
+func (c *mrtConn) Recv() ([]feedtypes.Event, error) {
+	for {
+		rec, err := c.r.Next()
+		if err == io.EOF {
+			return nil, ErrDone
+		}
+		if err != nil {
+			return nil, err
+		}
+		var batch []feedtypes.Event
+		switch m := rec.(type) {
+		case *mrt.BGP4MPMessage:
+			u, ok := m.Message.(*bgp.Update)
+			if !ok {
+				continue
+			}
+			at := dumps.SimTimeOf(m.Timestamp)
+			for _, p := range u.Withdrawn {
+				batch = append(batch, feedtypes.Event{
+					Source:       dumps.SourceName,
+					Collector:    c.collector,
+					VantagePoint: m.PeerAS,
+					Kind:         feedtypes.Withdraw,
+					Prefix:       p,
+					SeenAt:       at,
+					EmittedAt:    at,
+				})
+			}
+			if path, ok := u.ASPath(); ok {
+				for _, p := range u.NLRI {
+					batch = append(batch, feedtypes.Event{
+						Source:       dumps.SourceName,
+						Collector:    c.collector,
+						VantagePoint: m.PeerAS,
+						Kind:         feedtypes.Announce,
+						Prefix:       p,
+						Path:         path,
+						SeenAt:       at,
+						EmittedAt:    at,
+					})
+				}
+			}
+		case *mrt.RIBEntry:
+			at := dumps.SimTimeOf(m.Timestamp)
+			for _, rt := range m.Routes {
+				u := &bgp.Update{Attrs: rt.Attrs}
+				path, ok := u.ASPath()
+				if !ok {
+					continue
+				}
+				vp := bgp.ASN(0)
+				if len(path) > 0 {
+					vp = path[0] // dumps writes paths starting at the VP
+				}
+				batch = append(batch, feedtypes.Event{
+					Source:       dumps.SourceName,
+					Collector:    c.collector,
+					VantagePoint: vp,
+					Kind:         feedtypes.Announce,
+					Prefix:       m.Prefix,
+					Path:         path,
+					SeenAt:       dumps.SimTimeOf(rt.Originated),
+					EmittedAt:    at,
+				})
+			}
+		default:
+			continue
+		}
+		if len(batch) > 0 {
+			return batch, nil
+		}
+	}
+}
+
+func (c *mrtConn) Close() error { return c.rc.Close() }

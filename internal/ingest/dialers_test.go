@@ -1,0 +1,86 @@
+package ingest_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/bgp/mrt"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/ingest"
+	"artemis/internal/prefix"
+)
+
+// TestMRTReplayDialer replays a hand-built MRT update archive through the
+// supervisor and checks the decoded events: one announce per NLRI, one
+// withdraw per withdrawn prefix, vantage point from the peer AS, and a
+// dead source at EOF.
+func TestMRTReplayDialer(t *testing.T) {
+	epoch := time.Unix(1466000000, 0).UTC() // dumps' simEpoch
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	announce := &bgp.Update{
+		Attrs: []bgp.PathAttr{
+			&bgp.OriginAttr{Value: bgp.OriginIGP},
+			bgp.NewASPath([]bgp.ASN{100, 2000, 666}),
+			&bgp.NextHopAttr{Addr: prefix.MustParseAddr("192.0.2.1")},
+		},
+		NLRI: []prefix.Prefix{prefix.MustParse("10.0.0.0/24"), prefix.MustParse("10.0.1.0/24")},
+	}
+	if err := w.Write(&mrt.BGP4MPMessage{
+		Timestamp: epoch.Add(42 * time.Second),
+		PeerAS:    100,
+		PeerIP:    prefix.MustParseAddr("192.0.2.1"),
+		Message:   announce,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	withdraw := &bgp.Update{Withdrawn: []prefix.Prefix{prefix.MustParse("10.0.0.0/24")}}
+	if err := w.Write(&mrt.BGP4MPMessage{
+		Timestamp: epoch.Add(90 * time.Second),
+		PeerAS:    100,
+		PeerIP:    prefix.MustParseAddr("192.0.2.1"),
+		Message:   withdraw,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	var got collector
+	sup := ingest.New(got.deliver, ingest.Config{DedupTTL: -1})
+	defer sup.Close()
+	open := func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(data)), nil }
+	id := sup.AddDialer("mrt", ingest.MRTReplayDialer(open, "rv0"), ingest.Blocking())
+	sup.Wait()
+	if st := sup.SourceState(id); st != ingest.StateDead {
+		t.Fatalf("state = %v, want dead at EOF", st)
+	}
+
+	evs := got.all()
+	if len(evs) != 3 {
+		t.Fatalf("events = %+v, want 2 announces + 1 withdraw", evs)
+	}
+	for i, want := range []struct {
+		kind feedtypes.Kind
+		pfx  string
+		at   time.Duration
+	}{
+		{feedtypes.Announce, "10.0.0.0/24", 42 * time.Second},
+		{feedtypes.Announce, "10.0.1.0/24", 42 * time.Second},
+		{feedtypes.Withdraw, "10.0.0.0/24", 90 * time.Second},
+	} {
+		ev := evs[i]
+		if ev.Kind != want.kind || ev.Prefix != prefix.MustParse(want.pfx) || ev.SeenAt != want.at {
+			t.Fatalf("event %d = %+v, want %v %s at %v", i, ev, want.kind, want.pfx, want.at)
+		}
+		if ev.VantagePoint != 100 || ev.Collector != "rv0" {
+			t.Fatalf("event %d identity = %+v", i, ev)
+		}
+	}
+	origin, ok := evs[0].Origin()
+	if !ok || origin != 666 {
+		t.Fatalf("origin = %v,%v", origin, ok)
+	}
+}

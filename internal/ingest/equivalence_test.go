@@ -1,0 +1,308 @@
+package ingest_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/core"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/ingest"
+	"artemis/internal/prefix"
+)
+
+// recordingAnnouncer is a deterministic core.RouteAnnouncer.
+type recordingAnnouncer struct {
+	mu        sync.Mutex
+	announced []prefix.Prefix
+}
+
+func (r *recordingAnnouncer) Announce(p prefix.Prefix) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.announced = append(r.announced, p)
+	return nil
+}
+
+func (r *recordingAnnouncer) all() []prefix.Prefix {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]prefix.Prefix(nil), r.announced...)
+}
+
+func equivConfig() *core.Config {
+	return &core.Config{
+		OwnedPrefixes: []prefix.Prefix{
+			prefix.MustParse("10.0.0.0/23"),
+			prefix.MustParse("192.0.2.0/24"),
+		},
+		LegitOrigins:     []bgp.ASN{61000},
+		AllowedUpstreams: map[bgp.ASN][]bgp.ASN{61000: {2000, 2001}},
+	}
+}
+
+// sourcedCopy is one source's copy of a base route change.
+type sourcedCopy struct {
+	src int
+	ev  feedtypes.Event
+}
+
+// overlappingStreams builds a randomized multi-source workload: nBase
+// route changes at a small set of shared vantage points, each observed by
+// a random non-empty subset of the K sources with per-source delivery
+// latency. Returned in delivery order (ascending EmittedAt), the order a
+// live fan-in would see.
+func overlappingStreams(rng *rand.Rand, k, nBase int) []sourcedCopy {
+	var copies []sourcedCopy
+	for i := 0; i < nBase; i++ {
+		vp := bgp.ASN(100 + rng.Intn(8))
+		base := feedtypes.Event{
+			Collector:    "c0",
+			VantagePoint: vp,
+			Kind:         feedtypes.Announce,
+			SeenAt:       time.Duration(i) * time.Millisecond,
+		}
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // benign
+			base.Prefix = prefix.MustParse("10.0.0.0/23")
+			base.Path = []bgp.ASN{vp, 2000, 61000}
+		case 4: // exact-origin hijack from a small attacker pool
+			base.Prefix = prefix.MustParse("10.0.0.0/23")
+			base.Path = []bgp.ASN{vp, 2000, bgp.ASN(660 + rng.Intn(4))}
+		case 5: // sub-prefix hijack
+			base.Prefix = prefix.MustParse("10.0.1.0/24")
+			base.Path = []bgp.ASN{vp, 2000, bgp.ASN(660 + rng.Intn(4))}
+		case 6: // squat
+			base.Prefix = prefix.MustParse("192.0.0.0/16")
+			base.Path = []bgp.ASN{vp, 2000, bgp.ASN(660 + rng.Intn(4))}
+		case 7: // path anomaly candidate
+			base.Prefix = prefix.MustParse("10.0.0.0/23")
+			base.Path = []bgp.ASN{vp, bgp.ASN(2000 + rng.Intn(4)), 61000}
+		case 8: // withdrawal
+			base.Kind = feedtypes.Withdraw
+			base.Prefix = prefix.MustParse("10.0.0.0/23")
+		default: // unrelated prefix (filtered by the subscription)
+			base.Prefix = prefix.New(prefix.Addr(uint32(172<<24)|uint32(rng.Intn(256))<<8), 24)
+			base.Path = []bgp.ASN{vp, 2000, 3000}
+		}
+		// Observed by a random non-empty subset of sources — the
+		// cross-source overlap the dedup must collapse.
+		perm := rng.Perm(k)
+		observers := perm[:1+rng.Intn(k)]
+		for _, s := range observers {
+			cp := base
+			cp.Source = fmt.Sprintf("feed%d", s)
+			// Per-source pipeline latency, jittered per copy.
+			cp.EmittedAt = cp.SeenAt + time.Duration(s+1)*10*time.Second +
+				time.Duration(rng.Intn(5000))*time.Microsecond
+			copies = append(copies, sourcedCopy{src: s, ev: cp})
+		}
+	}
+	sort.SliceStable(copies, func(a, b int) bool { return copies[a].ev.EmittedAt < copies[b].ev.EmittedAt })
+	return copies
+}
+
+// identity mirrors the supervisor's dedup key exactly, but with the full
+// path instead of a hash — a collision here would be a test bug, not a
+// tolerated approximation.
+func identity(ev *feedtypes.Event) string {
+	return fmt.Sprintf("%d|%d|%s|%d|%v", uint32(ev.VantagePoint), ev.Kind, ev.Prefix, ev.SeenAt, ev.Path)
+}
+
+// TestMultiSourceFanInMatchesSerialDedupedUnion is the ingest tier's
+// oracle: K sources replaying overlapping event streams through the
+// supervisor and pipeline must produce exactly the alerts, mitigation
+// records, controller announcements, monitor history and final snapshot
+// of the deduped union of those streams replayed serially.
+func TestMultiSourceFanInMatchesSerialDedupedUnion(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, k := range []int{2, 4} {
+			t.Run(fmt.Sprintf("seed-%d-sources-%d", seed, k), func(t *testing.T) {
+				copies := overlappingStreams(rand.New(rand.NewSource(seed)), k, 1500)
+				now := func() time.Duration { return 0 }
+				filter := feedtypes.Filter{
+					Prefixes:     equivConfig().OwnedPrefixes,
+					MoreSpecific: true,
+					LessSpecific: true,
+				}
+
+				// Serial reference: the deduped union (first copy of each
+				// identity wins) of the subscription-filtered streams,
+				// processed in delivery order.
+				seen := map[string]bool{}
+				var union []feedtypes.Event
+				for i := range copies {
+					if !filter.Match(copies[i].ev.Prefix) {
+						continue
+					}
+					id := identity(&copies[i].ev)
+					if !seen[id] {
+						seen[id] = true
+						union = append(union, copies[i].ev)
+					}
+				}
+				serialAnn := &recordingAnnouncer{}
+				serialDet := core.NewDetector(equivConfig())
+				serialMon := core.NewMonitor(equivConfig())
+				serialMit := core.NewMitigator(equivConfig(), serialAnn, now)
+				serialQ := core.NewMitigationQueue(serialMit.HandleAlert, core.MitigationQueueConfig{Synchronous: true}, nil)
+				serialDet.OnAlert(serialQ.Enqueue)
+				for _, ev := range union {
+					serialDet.Process(ev)
+					serialMon.Process(ev)
+				}
+				serialQ.Close()
+
+				// Fan-in under test: K in-process sources through the
+				// supervisor (synchronous, so delivery order is the
+				// publish order) into the sharded pipeline.
+				fanAnn := &recordingAnnouncer{}
+				fanDet := core.NewDetector(equivConfig())
+				fanMon := core.NewMonitor(equivConfig())
+				fanMit := core.NewMitigator(equivConfig(), fanAnn, now)
+				fanQ := core.NewMitigationQueue(fanMit.HandleAlert, core.MitigationQueueConfig{Synchronous: true}, nil)
+				fanDet.OnAlert(fanQ.Enqueue)
+				pl := core.NewPipeline(fanDet, fanMon, core.PipelineConfig{Shards: 4, QueueDepth: 4})
+				sup := ingest.New(pl.SubmitWait, ingest.Config{Synchronous: true, DedupTTL: 24 * time.Hour})
+				hubs := make([]hubSource, k)
+				for s := 0; s < k; s++ {
+					hubs[s] = hubSource{feedtypes.NewHub(), fmt.Sprintf("feed%d", s)}
+					sup.AddSource(hubs[s].name, hubs[s], filter)
+				}
+				// Publish runs of consecutive same-source copies as one
+				// batch, exercising the batch dedup path.
+				for i := 0; i < len(copies); {
+					j := i
+					var batch []feedtypes.Event
+					for j < len(copies) && copies[j].src == copies[i].src && j-i < 7 {
+						batch = append(batch, copies[j].ev)
+						j++
+					}
+					hubs[copies[i].src].Publish(batch)
+					i = j
+				}
+				sup.Close()
+				pl.Close()
+				fanQ.Close()
+
+				if got, want := fanDet.Alerts(), serialDet.Alerts(); !reflect.DeepEqual(got, want) {
+					t.Fatalf("alerts diverge: fan-in %d, serial %d\n fan %+v\n ser %+v", len(got), len(want), got, want)
+				}
+				if got, want := fanMit.Records(), serialMit.Records(); !reflect.DeepEqual(got, want) {
+					t.Fatalf("mitigation records diverge:\n fan    %+v\n serial %+v", got, want)
+				}
+				if got, want := fanAnn.all(), serialAnn.all(); !reflect.DeepEqual(got, want) {
+					t.Fatalf("announcements diverge:\n fan    %v\n serial %v", got, want)
+				}
+				if got, want := fanMon.History(), serialMon.History(); !reflect.DeepEqual(got, want) {
+					t.Fatalf("monitor history diverges: %d vs %d change-points", len(got), len(want))
+				}
+				gotSnap, wantSnap := fanMon.Snapshot(0), serialMon.Snapshot(0)
+				if gotSnap != wantSnap {
+					t.Fatalf("final snapshot diverges: %+v vs %+v", gotSnap, wantSnap)
+				}
+				if re := fanMon.Rescore(0); re != gotSnap {
+					t.Fatalf("snapshot %+v != rescore oracle %+v", gotSnap, re)
+				}
+				// Dedup accounting: every suppressed copy is counted, and
+				// the delivered totals equal the union that matched the
+				// subscription filter.
+				var delivered, hits int64
+				for _, s := range sup.Snapshot().Sources {
+					delivered += s.Events
+					hits += s.DedupHits
+				}
+				if delivered != int64(len(union)) {
+					t.Fatalf("delivered %d events, filtered union has %d", delivered, len(union))
+				}
+				if hits == 0 {
+					t.Fatal("no dedup hits in an overlapping workload — overlap generator broken?")
+				}
+			})
+		}
+	}
+}
+
+// TestAsyncFanInConvergesToSameIncidents runs the same overlapping
+// workload through asynchronous dial sources — nondeterministic
+// interleaving — and checks the order-insensitive invariants: the set of
+// alerted incidents and the monitor's final rescored partition match the
+// serial union, and nothing is delivered twice.
+func TestAsyncFanInConvergesToSameIncidents(t *testing.T) {
+	const k = 4
+	copies := overlappingStreams(rand.New(rand.NewSource(42)), k, 2000)
+
+	// Serial reference for incident keys and final partition.
+	seen := map[string]bool{}
+	serialDet := core.NewDetector(equivConfig())
+	serialMon := core.NewMonitor(equivConfig())
+	for i := range copies {
+		id := identity(&copies[i].ev)
+		if !seen[id] {
+			seen[id] = true
+			serialDet.Process(copies[i].ev)
+			serialMon.Process(copies[i].ev)
+		}
+	}
+	wantKeys := map[string]bool{}
+	for _, a := range serialDet.Alerts() {
+		wantKeys[a.Key()] = true
+	}
+
+	fanDet := core.NewDetector(equivConfig())
+	fanMon := core.NewMonitor(equivConfig())
+	pl := core.NewPipeline(fanDet, fanMon, core.PipelineConfig{Shards: 4})
+	sup := ingest.New(pl.Submit, ingest.Config{QueueDepth: 1 << 10, DedupTTL: 24 * time.Hour})
+
+	// Pre-chunk each source's stream and replay all of them concurrently
+	// through blocking dial sources.
+	streams := make([][][]feedtypes.Event, k)
+	for i := range copies {
+		s := copies[i].src
+		n := len(streams[s])
+		if n == 0 || len(streams[s][n-1]) >= 32 {
+			streams[s] = append(streams[s], nil)
+			n++
+		}
+		streams[s][n-1] = append(streams[s][n-1], copies[i].ev)
+	}
+	for s := 0; s < k; s++ {
+		sup.AddDialer(fmt.Sprintf("feed%d", s), ingest.ReplayDialer(streams[s]), ingest.Blocking())
+	}
+	sup.Wait()
+	sup.Close()
+	pl.Close()
+
+	gotKeys := map[string]bool{}
+	for _, a := range fanDet.Alerts() {
+		gotKeys[a.Key()] = true
+	}
+	if !reflect.DeepEqual(gotKeys, wantKeys) {
+		t.Fatalf("incident sets diverge:\n fan    %v\n serial %v", gotKeys, wantKeys)
+	}
+	// With racing sources the *winning copy* of each change is timing-
+	// dependent, but the copies only differ in Source/EmittedAt, so the
+	// rescored partition (a function of entries and origins) must match.
+	if got, want := fanMon.Rescore(0), serialMon.Rescore(0); got.LegitVPs != want.LegitVPs ||
+		got.HijackedVPs != want.HijackedVPs || got.UnknownVPs != want.UnknownVPs {
+		t.Fatalf("partitions diverge: %+v vs %+v", got, want)
+	}
+	// First-wins really means exactly-once: delivered + suppressed copies
+	// account for every copy, with no double delivery.
+	var delivered, hits int64
+	for _, s := range sup.Snapshot().Sources {
+		delivered += s.Events
+		hits += s.DedupHits
+	}
+	if delivered+hits != int64(len(copies)) {
+		t.Fatalf("delivered %d + dedup hits %d != copies %d", delivered, hits, len(copies))
+	}
+	if delivered != int64(len(seen)) {
+		t.Fatalf("delivered %d != unique changes %d — something classified twice or never", delivered, len(seen))
+	}
+}

@@ -53,6 +53,48 @@ type PipelineSnapshot struct {
 	Shards []ShardSnapshot
 }
 
+// IngestSourceSnapshot is one supervised feed source's counters: health
+// state, cumulative throughput, how much of its traffic the cross-source
+// dedup absorbed, what its own drop policy shed, and the distribution of
+// its delivery latency (EmittedAt - SeenAt — the source's contribution to
+// detection delay).
+type IngestSourceSnapshot struct {
+	// ID is the supervisor-assigned source id; Name the operator-facing
+	// label ("ris[0]").
+	ID   int
+	Name string
+	// State is the lifecycle state ("connecting", "healthy", "degraded",
+	// "dead").
+	State string
+	// Events/Batches count deliveries into the pipeline after dedup.
+	Events, Batches int64
+	// DedupHits counts events suppressed because another source (or an
+	// earlier batch) already delivered the same route change.
+	DedupHits int64
+	// Drops counts events shed by this source's own queue bound — the
+	// drop policy that keeps a stalled source from wedging its siblings.
+	Drops int64
+	// Reconnects counts dial attempts beyond the first (redials after a
+	// connection loss plus retries of failed dials).
+	Reconnects int64
+	// QueueLen/QueueCap describe the per-source bounded queue right now
+	// (zero capacity for synchronous in-process sources, which have none).
+	QueueLen, QueueCap int
+	// Latency is the distribution of EmittedAt - SeenAt over delivered
+	// events.
+	Latency HistogramSnapshot
+}
+
+// IngestSnapshot aggregates the ingest supervisor's observability
+// counters.
+type IngestSnapshot struct {
+	// DedupSize is the current number of route-change identities in the
+	// shared TTL'd seen-set; -1 when dedup is disabled.
+	DedupSize int
+	// Sources holds the per-source view, in source-id order.
+	Sources []IngestSourceSnapshot
+}
+
 // MitigationQueueSnapshot is the async mitigation stage's counters: how
 // many alerts entered and left the queue, how long they waited, and how
 // long the handler (mitigation computation + controller calls) took.

@@ -28,6 +28,40 @@ func (s PipelineSnapshot) WriteProm(w io.Writer) {
 	}
 }
 
+// ingestStates are the lifecycle states a supervised source can be in,
+// rendered one-hot so dashboards can alert on "any source not healthy".
+var ingestStates = []string{"connecting", "healthy", "degraded", "dead"}
+
+// WriteProm renders the ingest supervisor's counters.
+func (s IngestSnapshot) WriteProm(w io.Writer) {
+	fmt.Fprintf(w, "artemis_ingest_sources %d\n", len(s.Sources))
+	if s.DedupSize >= 0 {
+		fmt.Fprintf(w, "artemis_ingest_dedup_size %d\n", s.DedupSize)
+	}
+	for _, src := range s.Sources {
+		l := fmt.Sprintf(`source="%s"`, src.Name)
+		fmt.Fprintf(w, "artemis_ingest_source_events_total{%s} %d\n", l, src.Events)
+		fmt.Fprintf(w, "artemis_ingest_source_batches_total{%s} %d\n", l, src.Batches)
+		fmt.Fprintf(w, "artemis_ingest_source_dedup_hits_total{%s} %d\n", l, src.DedupHits)
+		fmt.Fprintf(w, "artemis_ingest_source_dropped_events_total{%s} %d\n", l, src.Drops)
+		fmt.Fprintf(w, "artemis_ingest_source_reconnects_total{%s} %d\n", l, src.Reconnects)
+		fmt.Fprintf(w, "artemis_ingest_source_queue_depth{%s} %d\n", l, src.QueueLen)
+		fmt.Fprintf(w, "artemis_ingest_source_queue_capacity{%s} %d\n", l, src.QueueCap)
+		known := false
+		for _, st := range ingestStates {
+			v := 0
+			if src.State == st {
+				v, known = 1, true
+			}
+			fmt.Fprintf(w, "artemis_ingest_source_state{%s} %d\n", joinLabels(l, fmt.Sprintf(`state="%s"`, st)), v)
+		}
+		if !known {
+			fmt.Fprintf(w, "artemis_ingest_source_state{%s} 1\n", joinLabels(l, fmt.Sprintf(`state="%s"`, src.State)))
+		}
+		src.Latency.writeProm(w, "artemis_ingest_source_delivery_latency_seconds", l)
+	}
+}
+
 // WriteProm renders the mitigation queue's counters.
 func (s MitigationQueueSnapshot) WriteProm(w io.Writer) {
 	fmt.Fprintf(w, "artemis_mitigation_enqueued_total %d\n", s.Enqueued)

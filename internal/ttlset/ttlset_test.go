@@ -1,0 +1,132 @@
+package ttlset
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestUnboundedBehavesLikePlainSet(t *testing.T) {
+	s := New[string](0, 0)
+	if !s.Add("a", 0) {
+		t.Fatal("first add should report absent")
+	}
+	if s.Add("a", time.Hour) {
+		t.Fatal("re-add should report present, no TTL configured")
+	}
+	if !s.Contains("a", 24*time.Hour) {
+		t.Fatal("entry must never expire with ttl=0")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	s := New[string](10*time.Millisecond, 0)
+	if !s.Add("k", 0) {
+		t.Fatal("first add")
+	}
+	if s.Add("k", 5*time.Millisecond) {
+		t.Fatal("still live at 5ms")
+	}
+	if s.Add("k", 10*time.Millisecond) {
+		t.Fatal("still live exactly at the TTL boundary")
+	}
+	if !s.Add("k", 11*time.Millisecond) {
+		t.Fatal("expired after the TTL, add must succeed again")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after re-add", s.Len())
+	}
+}
+
+func TestNoRefreshOnReAdd(t *testing.T) {
+	s := New[string](10*time.Millisecond, 0)
+	s.Add("k", 0)
+	s.Add("k", 9*time.Millisecond) // duplicate must NOT refresh expiry
+	if s.Contains("k", 12*time.Millisecond) {
+		t.Fatal("entry should expire 10ms after FIRST sighting")
+	}
+}
+
+func TestCapacityEvictsOldest(t *testing.T) {
+	s := New[int](0, 2)
+	s.Add(1, 0)
+	s.Add(2, 1)
+	s.Add(3, 2) // evicts 1
+	if s.Contains(1, 2) {
+		t.Fatal("oldest entry should be evicted at capacity")
+	}
+	if !s.Contains(2, 2) || !s.Contains(3, 2) {
+		t.Fatal("newer entries must survive")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestOutOfOrderTimesClampToHighWater(t *testing.T) {
+	s := New[string](10*time.Millisecond, 0)
+	s.Add("a", 20*time.Millisecond)
+	// A stale-timestamped key is stamped at the high-water mark, so it
+	// expires relative to 20ms, not 1ms.
+	s.Add("b", time.Millisecond)
+	if !s.Contains("b", 25*time.Millisecond) {
+		t.Fatal("b stamped at high-water 20ms must survive until 30ms")
+	}
+	if s.Contains("b", 31*time.Millisecond) {
+		t.Fatal("b must expire after 30ms")
+	}
+}
+
+// TestAgainstNaiveModel cross-checks the queue/compaction implementation
+// against a naive map model under random operations.
+func TestAgainstNaiveModel(t *testing.T) {
+	const ttl = 50 * time.Millisecond
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := New[int](ttl, 0)
+		model := map[int]time.Duration{} // key -> inserted-at (high-water stamped)
+		var hw time.Duration
+		now := time.Duration(0)
+		for i := 0; i < 5000; i++ {
+			now += time.Duration(rng.Intn(4)) * time.Millisecond
+			// The model sees the same clamped clock.
+			if now > hw {
+				hw = now
+			}
+			for k, at := range model {
+				if hw-at > ttl {
+					delete(model, k)
+				}
+			}
+			k := rng.Intn(64)
+			_, present := model[k]
+			if got := s.Add(k, now); got != !present {
+				t.Fatalf("seed %d op %d: Add(%d) = %v, model says present=%v", seed, i, k, got, present)
+			}
+			if !present {
+				model[k] = hw
+			}
+			if s.Len() != len(model) {
+				t.Fatalf("seed %d op %d: Len = %d, model %d", seed, i, s.Len(), len(model))
+			}
+		}
+	}
+}
+
+func TestCompactionKeepsEntriesIntact(t *testing.T) {
+	s := New[string](time.Millisecond, 0)
+	// Push enough churn through to trigger compaction repeatedly.
+	for i := 0; i < 10000; i++ {
+		now := time.Duration(i) * time.Millisecond
+		if !s.Add(fmt.Sprintf("k%d", i), now) {
+			t.Fatalf("add %d failed", i)
+		}
+		if s.Len() > 2 {
+			t.Fatalf("at most 2 entries can be live with 1ms ttl and 1ms steps, got %d", s.Len())
+		}
+	}
+}
