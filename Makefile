@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench soak fmt vet ci
+.PHONY: build test race bench soak fuzz fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,14 @@ bench:
 # runs in every `make test`).
 soak:
 	ARTEMIS_SOAK=10s $(GO) test -race -run TestSoakFlappingFeeds -count=1 -v ./internal/ingest
+
+# Fuzz the dual-stack parse/format core. Each target runs for FUZZTIME
+# (default 30s); new inputs that fail land in internal/prefix/testdata/fuzz/.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParseAddr -fuzztime=$(FUZZTIME) ./internal/prefix
+	$(GO) test -run='^$$' -fuzz=FuzzParsePrefix -fuzztime=$(FUZZTIME) ./internal/prefix
+	$(GO) test -run='^$$' -fuzz=FuzzPrefixString -fuzztime=$(FUZZTIME) ./internal/prefix
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

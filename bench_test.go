@@ -263,13 +263,13 @@ func BenchmarkAblation_PrefixIndex(b *testing.B) {
 	prefixes := make([]prefix.Prefix, nPrefixes)
 	tr := prefix.NewTrie[int]()
 	for i := range prefixes {
-		p := prefix.New(prefix.Addr(rng.Uint32()), 8+rng.Intn(17))
+		p := prefix.New(prefix.AddrFrom4(rng.Uint32()), 8+rng.Intn(17))
 		prefixes[i] = p
 		tr.Insert(p, i)
 	}
 	addrs := make([]prefix.Addr, 1024)
 	for i := range addrs {
-		addrs[i] = prefix.Addr(rng.Uint32())
+		addrs[i] = prefix.AddrFrom4(rng.Uint32())
 	}
 	b.Run("trie", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -324,19 +324,19 @@ func pipelineWorkload(n int) []feedtypes.Event {
 		}
 		switch r := rng.Intn(100); {
 		case r < 80: // benign: a random owned /26 (or a /27 half), legit origin
-			base := prefix.Addr(10<<24) + prefix.Addr(rng.Intn(1024)<<6)
+			base := uint32(10<<24) + uint32(rng.Intn(1024)<<6)
 			if rng.Intn(2) == 0 {
-				ev.Prefix = prefix.New(base, 26)
+				ev.Prefix = prefix.New(prefix.AddrFrom4(base), 26)
 			} else {
-				ev.Prefix = prefix.New(base+prefix.Addr(rng.Intn(2)<<5), 27)
+				ev.Prefix = prefix.New(prefix.AddrFrom4(base+uint32(rng.Intn(2)<<5)), 27)
 			}
 			ev.Path = []bgp.ASN{vp, 1001, 61000}
 		case r < 95: // unrelated announcement
-			ev.Prefix = prefix.New(prefix.Addr(172<<24)|prefix.Addr(rng.Intn(1<<16))<<8, 24)
+			ev.Prefix = prefix.New(prefix.AddrFrom4(172<<24|uint32(rng.Intn(1<<16))<<8), 24)
 			ev.Path = []bgp.ASN{vp, 2001, bgp.ASN(3000 + rng.Intn(32))}
 		default: // hijack, drawn from a small set of repeating incidents
-			base := prefix.Addr(10<<24) + prefix.Addr(rng.Intn(16)<<6)
-			ev.Prefix = prefix.New(base, 26)
+			base := uint32(10<<24) + uint32(rng.Intn(16)<<6)
+			ev.Prefix = prefix.New(prefix.AddrFrom4(base), 26)
 			ev.Path = []bgp.ASN{vp, 2001, bgp.ASN(666 + rng.Intn(4))}
 		}
 		evs[i] = ev
@@ -472,7 +472,7 @@ func BenchmarkSinkApply(b *testing.B) {
 			if rng.Intn(10) == 0 {
 				origin = bgp.ASN(660 + rng.Intn(4))
 			}
-			base := prefix.Addr(10<<24) + prefix.Addr(rng.Intn(16)<<8)
+			base := prefix.AddrFrom4(uint32(10<<24) + uint32(rng.Intn(16)<<8))
 			evs[i] = feedtypes.Event{
 				Source: "ris", VantagePoint: bgp.ASN(100 + rng.Intn(nVPs)),
 				Kind: feedtypes.Announce, Prefix: prefix.New(base, 24),

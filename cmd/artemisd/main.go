@@ -6,10 +6,14 @@
 // client side of cmd/simnet.
 //
 //	go run ./cmd/artemisd \
-//	    -prefix 10.0.0.0/23 -origin 61000 \
+//	    -prefix 10.0.0.0/23,2001:db8::/32 -origin 61000 \
 //	    -ris ws://127.0.0.1:PORT/v1/ws -ris ws://127.0.0.1:PORT2/v1/ws \
 //	    -bgpmon 127.0.0.1:PORT \
 //	    -controller http://127.0.0.1:PORT
+//
+// The owned-prefix list is dual-stack: v4 and v6 prefixes mix freely, and
+// every feed, the detection pipeline, and mitigation handle both families
+// (v4 mitigation clamps de-aggregation at /24, v6 at /48).
 //
 // -ris/-bgpmon/-mrt are repeatable: every occurrence adds one supervised
 // source. Dead connections are redialed with exponential backoff; a
@@ -49,7 +53,7 @@ func (l *listFlag) Set(v string) error {
 }
 
 func main() {
-	prefixes := flag.String("prefix", "", "comma-separated owned prefixes (required)")
+	prefixes := flag.String("prefix", "", "comma-separated owned prefixes, v4 and/or v6 (required)")
 	origins := flag.String("origin", "", "comma-separated legitimate origin ASNs (required)")
 	var risURLs, bmonAddrs, mrtFiles listFlag
 	flag.Var(&risURLs, "ris", "RIS websocket URL (ws://host:port/v1/ws); repeatable")

@@ -1,0 +1,113 @@
+// v6-hijack: the dual-stack ARTEMIS loop — the v6 analogue of the paper's
+// /23 demo.
+//
+// The victim AS announces an owned IPv6 /32 (a typical LIR allocation).
+// The attacker announces a /48 slice of it — the most-specific length that
+// still propagates, since /49+ is filtered like v4's /25+ — and captures
+// that slice everywhere by longest-prefix match. ARTEMIS detects the
+// sub-prefix hijack from its feeds and mitigates. The twist the paper's §2
+// caveat predicts: a /48 hijack cannot be out-deaggregated (/49 is
+// filtered), so the mitigation is a *competitive* re-announcement of the
+// same /48, winning back only the ASes that prefer the victim's path.
+//
+//	go run ./examples/v6-hijack
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"artemis/internal/experiment"
+	"artemis/internal/hijack"
+	"artemis/internal/prefix"
+)
+
+func runUntilQuiet(env *experiment.Env, horizon time.Duration) {
+	deadline := env.Engine.Now() + horizon
+	for env.Engine.Now() < deadline {
+		env.Engine.RunUntil(env.Engine.Now() + 15*time.Second)
+		if env.Engine.Now()-env.Net.LastChange() >= 2*time.Minute {
+			return
+		}
+	}
+}
+
+func main() {
+	owned := prefix.MustParse("2001:db8::/32")
+	hijacked := prefix.MustParse("2001:db8:beef::/48")
+
+	env, err := experiment.Build(experiment.Options{
+		Seed:  2016,
+		Owned: owned,
+		Kind:  hijack.SubPrefix,
+	})
+	if err != nil {
+		log.Fatalf("build testbed: %v", err)
+	}
+	defer env.Close()
+	fmt.Printf("synthetic Internet: %d ASes; victim AS%d owns %s\n",
+		env.Topo.Len(), env.Victim.ASN, owned)
+	fmt.Printf("monitoring: %d vantage points across %d feeds\n\n",
+		len(env.MonitoredVPs), len(env.Sources))
+
+	// Phase 1 — the victim announces its v6 block and the Internet settles.
+	if err := env.Victim.Announce(env.Net, owned); err != nil {
+		log.Fatalf("announce %s: %v", owned, err)
+	}
+	runUntilQuiet(env, 15*time.Minute)
+	if n := len(env.Artemis.Detector.Alerts()); n != 0 {
+		log.Fatalf("false alert during setup: %+v", env.Artemis.Detector.Alerts())
+	}
+
+	// Phase 2 — the attacker announces the /48 sub-prefix.
+	hijackAt := env.Engine.Now()
+	if err := env.Attacker.Announce(env.Net, hijacked); err != nil {
+		log.Fatalf("hijack %s: %v", hijacked, err)
+	}
+
+	// Phase 3 — detection triggers mitigation automatically; run until the
+	// controller's announcements are applied and routing settles again.
+	deadline := env.Engine.Now() + 45*time.Minute
+	for env.Engine.Now() < deadline {
+		env.Engine.RunUntil(env.Engine.Now() + 15*time.Second)
+		if env.Engine.Now()-env.Net.LastChange() < 2*time.Minute {
+			continue
+		}
+		if recs := env.Artemis.Mitigator.Records(); len(recs) > 0 {
+			want := 0
+			for _, r := range recs {
+				want += len(r.Announced)
+			}
+			if len(env.Ctrl.Applied()) >= want {
+				break
+			}
+		}
+	}
+
+	alerts := env.Artemis.Detector.Alerts()
+	if len(alerts) == 0 {
+		log.Fatal("hijack went undetected — increase feed coverage")
+	}
+	alert := alerts[0]
+	fmt.Printf("hijack launched:  t=%v (AS%d announces %s)\n",
+		hijackAt.Round(time.Millisecond), env.Attacker.ASN, hijacked)
+	fmt.Printf("detected:         +%v via %s (%s alert, collides with owned %s)\n",
+		(alert.DetectedAt - hijackAt).Round(time.Millisecond), alert.Evidence.Source, alert.Type, alert.Owned)
+
+	recs := env.Artemis.Mitigator.Records()
+	if len(recs) == 0 {
+		log.Fatal("mitigation never ran")
+	}
+	rec := recs[0]
+	fmt.Printf("mitigation:       announced %v", rec.Prefixes)
+	if rec.Competitive {
+		fmt.Printf(" (competitive: /49 is filtered, so the victim re-announces the /48 and wins on path length — the v6 form of the paper's /24 caveat)")
+	}
+	fmt.Println()
+
+	snap := env.Artemis.Monitor.Snapshot(env.Engine.Now())
+	fmt.Printf("monitor:          %d VPs legit, %d hijacked, %d unknown (%.0f%% of informed VPs recovered)\n",
+		snap.LegitVPs, snap.HijackedVPs, snap.UnknownVPs, 100*snap.FractionLegit())
+	fmt.Printf("\nv4 demo for comparison: examples/quickstart (a /23 mitigated fully via its two /24s)\n")
+}

@@ -19,7 +19,18 @@ const (
 	AttrAtomicAggregate AttrCode = 6
 	AttrAggregator      AttrCode = 7
 	AttrCommunities     AttrCode = 8
+	AttrMPReachNLRI     AttrCode = 14
+	AttrMPUnreachNLRI   AttrCode = 15
 	AttrAS4Path         AttrCode = 17
+)
+
+// Address family identifiers (RFC 4760). The codec types AFI 2 (IPv6)
+// unicast; other AFI/SAFI pairs are preserved as RawAttr.
+const (
+	AFIIPv4 uint16 = 1
+	AFIIPv6 uint16 = 2
+
+	SAFIUnicast uint8 = 1
 )
 
 // Attribute flag bits.
@@ -145,13 +156,17 @@ func parseASPath(b []byte, as4 bool) (*ASPathAttr, error) {
 	return a, nil
 }
 
-// NextHopAttr is NEXT_HOP (type 3).
+// NextHopAttr is NEXT_HOP (type 3). It is IPv4-only by definition
+// (RFC 4271); a v6 next hop travels inside MP_REACH_NLRI.
 type NextHopAttr struct{ Addr prefix.Addr }
 
 func (*NextHopAttr) Code() AttrCode { return AttrNextHop }
 func (*NextHopAttr) flags() uint8   { return flagTransitive }
 func (n *NextHopAttr) appendValue(dst []byte, _ Options) ([]byte, error) {
-	return binary.BigEndian.AppendUint32(dst, uint32(n.Addr)), nil
+	if n.Addr.Is6() {
+		return nil, fmt.Errorf("bgp: NEXT_HOP cannot carry a v6 address (use MP_REACH_NLRI)")
+	}
+	return binary.BigEndian.AppendUint32(dst, n.Addr.V4()), nil
 }
 
 // MEDAttr is MULTI_EXIT_DISC (type 4).
@@ -199,7 +214,106 @@ func (a *AggregatorAttr) appendValue(dst []byte, opt Options) ([]byte, error) {
 		}
 		dst = binary.BigEndian.AppendUint16(dst, uint16(w))
 	}
-	return binary.BigEndian.AppendUint32(dst, uint32(a.Addr)), nil
+	if a.Addr.Is6() {
+		return nil, fmt.Errorf("bgp: AGGREGATOR address must be v4")
+	}
+	return binary.BigEndian.AppendUint32(dst, a.Addr.V4()), nil
+}
+
+// MPReachNLRIAttr is MP_REACH_NLRI (type 14, RFC 4760) for IPv6 unicast:
+// the reachable v6 prefixes with their v6 next hop. The codec synthesizes
+// it when an Update's NLRI contains v6 prefixes and folds it back into
+// Update.NLRI on parse, so consumers see one dual-stack prefix list.
+type MPReachNLRIAttr struct {
+	NextHop prefix.Addr // a v6 address; the zero v6 address (::) when unknown
+	NLRI    []prefix.Prefix
+}
+
+func (*MPReachNLRIAttr) Code() AttrCode { return AttrMPReachNLRI }
+func (*MPReachNLRIAttr) flags() uint8   { return flagOptional }
+func (m *MPReachNLRIAttr) appendValue(dst []byte, _ Options) ([]byte, error) {
+	nh := m.NextHop
+	if !nh.Is6() {
+		if nh != (prefix.Addr{}) {
+			return nil, fmt.Errorf("bgp: MP_REACH_NLRI next hop must be v6")
+		}
+		nh = prefix.AddrFrom16(0, 0) // unspecified ::
+	}
+	dst = binary.BigEndian.AppendUint16(dst, AFIIPv6)
+	dst = append(dst, SAFIUnicast, 16)
+	b := nh.As16()
+	dst = append(dst, b[:]...)
+	dst = append(dst, 0) // reserved
+	for _, p := range m.NLRI {
+		if !p.Is6() {
+			return nil, fmt.Errorf("bgp: v4 prefix %s in MP_REACH_NLRI", p)
+		}
+	}
+	return appendNLRI(dst, m.NLRI), nil
+}
+
+// MPUnreachNLRIAttr is MP_UNREACH_NLRI (type 15, RFC 4760) for IPv6
+// unicast: withdrawn v6 prefixes. Folded into Update.Withdrawn on parse.
+type MPUnreachNLRIAttr struct {
+	Withdrawn []prefix.Prefix
+}
+
+func (*MPUnreachNLRIAttr) Code() AttrCode { return AttrMPUnreachNLRI }
+func (*MPUnreachNLRIAttr) flags() uint8   { return flagOptional }
+func (m *MPUnreachNLRIAttr) appendValue(dst []byte, _ Options) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint16(dst, AFIIPv6)
+	dst = append(dst, SAFIUnicast)
+	for _, p := range m.Withdrawn {
+		if !p.Is6() {
+			return nil, fmt.Errorf("bgp: v4 prefix %s in MP_UNREACH_NLRI", p)
+		}
+	}
+	return appendNLRI(dst, m.Withdrawn), nil
+}
+
+func parseMPReach(fl uint8, val []byte) (PathAttr, error) {
+	if len(val) < 5 {
+		return nil, NewMessageError(ErrUpdateMessage, ErrSubAttributeLengthError, nil, "bgp: short MP_REACH_NLRI")
+	}
+	afi := binary.BigEndian.Uint16(val[:2])
+	safi := val[2]
+	if afi != AFIIPv6 || safi != SAFIUnicast {
+		// Not a family the codec models: preserve verbatim.
+		return &RawAttr{AttrFlags: fl, AttrCode: AttrMPReachNLRI, Value: append([]byte(nil), val...)}, nil
+	}
+	nhLen := int(val[3])
+	if len(val) < 4+nhLen+1 {
+		return nil, NewMessageError(ErrUpdateMessage, ErrSubAttributeLengthError, nil, "bgp: truncated MP_REACH_NLRI next hop")
+	}
+	a := &MPReachNLRIAttr{}
+	// RFC 4760 allows a global (16) or global+link-local (32) next hop; the
+	// link-local half carries no routing information here and is dropped.
+	if nhLen != 16 && nhLen != 32 {
+		return nil, NewMessageError(ErrUpdateMessage, ErrSubAttributeLengthError, nil, fmt.Sprintf("bgp: MP_REACH_NLRI next hop length %d", nhLen))
+	}
+	a.NextHop = prefix.AddrFrom16Bytes(val[4:])
+	nlri, err := parseNLRI(val[4+nhLen+1:], true)
+	if err != nil {
+		return nil, err
+	}
+	a.NLRI = nlri
+	return a, nil
+}
+
+func parseMPUnreach(fl uint8, val []byte) (PathAttr, error) {
+	if len(val) < 3 {
+		return nil, NewMessageError(ErrUpdateMessage, ErrSubAttributeLengthError, nil, "bgp: short MP_UNREACH_NLRI")
+	}
+	afi := binary.BigEndian.Uint16(val[:2])
+	safi := val[2]
+	if afi != AFIIPv6 || safi != SAFIUnicast {
+		return &RawAttr{AttrFlags: fl, AttrCode: AttrMPUnreachNLRI, Value: append([]byte(nil), val...)}, nil
+	}
+	wd, err := parseNLRI(val[3:], true)
+	if err != nil {
+		return nil, err
+	}
+	return &MPUnreachNLRIAttr{Withdrawn: wd}, nil
 }
 
 // Community is a BGP community value (RFC 1997).
@@ -318,7 +432,11 @@ func parseAttrValue(fl uint8, code AttrCode, val []byte, opt Options) (PathAttr,
 		if err := fixedLen(code, val, 4); err != nil {
 			return nil, err
 		}
-		return &NextHopAttr{Addr: prefix.Addr(binary.BigEndian.Uint32(val))}, nil
+		return &NextHopAttr{Addr: prefix.AddrFrom4(binary.BigEndian.Uint32(val))}, nil
+	case AttrMPReachNLRI:
+		return parseMPReach(fl, val)
+	case AttrMPUnreachNLRI:
+		return parseMPUnreach(fl, val)
 	case AttrMED:
 		if err := fixedLen(code, val, 4); err != nil {
 			return nil, err
@@ -343,9 +461,9 @@ func parseAttrValue(fl uint8, code AttrCode, val []byte, opt Options) (PathAttr,
 			return nil, err
 		}
 		if opt.AS4 {
-			return &AggregatorAttr{ASN: ASN(binary.BigEndian.Uint32(val[:4])), Addr: prefix.Addr(binary.BigEndian.Uint32(val[4:]))}, nil
+			return &AggregatorAttr{ASN: ASN(binary.BigEndian.Uint32(val[:4])), Addr: prefix.AddrFrom4(binary.BigEndian.Uint32(val[4:]))}, nil
 		}
-		return &AggregatorAttr{ASN: ASN(binary.BigEndian.Uint16(val[:2])), Addr: prefix.Addr(binary.BigEndian.Uint32(val[2:]))}, nil
+		return &AggregatorAttr{ASN: ASN(binary.BigEndian.Uint16(val[:2])), Addr: prefix.AddrFrom4(binary.BigEndian.Uint32(val[2:]))}, nil
 	case AttrCommunities:
 		if len(val)%4 != 0 {
 			return nil, NewMessageError(ErrUpdateMessage, ErrSubAttributeLengthError, nil, "bgp: COMMUNITIES length not a multiple of 4")

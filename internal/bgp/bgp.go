@@ -167,40 +167,63 @@ func parseBody(typ MessageType, body []byte, opt Options) (Message, error) {
 	return nil, NewMessageError(ErrMessageHeader, ErrSubBadMessageType, []byte{byte(typ)}, fmt.Sprintf("bgp: unknown message type %d", typ))
 }
 
-// --- NLRI encoding (RFC 4271 §4.3) ---
+// --- NLRI encoding (RFC 4271 §4.3, RFC 4760 §5) ---
 
+// appendNLRI encodes prefixes in the shared length-plus-truncated-bytes
+// form. The caller is responsible for family discipline: classic UPDATE
+// fields carry v4 only, MP attributes v6 only.
 func appendNLRI(dst []byte, prefixes []prefix.Prefix) []byte {
 	for _, p := range prefixes {
 		dst = append(dst, byte(p.Bits()))
-		n := (p.Bits() + 7) / 8
-		a := uint32(p.Addr())
-		for i := 0; i < n; i++ {
-			dst = append(dst, byte(a>>(24-8*uint(i))))
-		}
+		dst = p.AppendBytes(dst)
 	}
 	return dst
 }
 
-func parseNLRI(b []byte) ([]prefix.Prefix, error) {
+func parseNLRI(b []byte, is6 bool) ([]prefix.Prefix, error) {
+	max := 32
+	if is6 {
+		max = 128
+	}
 	var out []prefix.Prefix
 	for len(b) > 0 {
 		bits := int(b[0])
-		if bits > 32 {
+		if bits > max {
 			return nil, NewMessageError(ErrUpdateMessage, ErrSubInvalidNetworkField, nil, fmt.Sprintf("bgp: NLRI length %d", bits))
 		}
 		n := (bits + 7) / 8
 		if len(b) < 1+n {
 			return nil, NewMessageError(ErrUpdateMessage, ErrSubInvalidNetworkField, nil, "bgp: truncated NLRI")
 		}
-		var a uint32
-		for i := 0; i < n; i++ {
-			a |= uint32(b[1+i]) << (24 - 8*uint(i))
-		}
-		if prefix.Addr(a)&^prefix.Mask(bits) != 0 {
+		p, err := prefix.FromBytes(b[1:1+n], bits, is6)
+		if err != nil {
 			return nil, NewMessageError(ErrUpdateMessage, ErrSubInvalidNetworkField, nil, "bgp: NLRI trailing bits set")
 		}
-		out = append(out, prefix.New(prefix.Addr(a), bits))
+		out = append(out, p)
 		b = b[1+n:]
 	}
 	return out, nil
+}
+
+// splitFamily partitions prefixes into v4 and v6, preserving order. The
+// common all-v4 case returns the input slice unchanged.
+func splitFamily(prefixes []prefix.Prefix) (v4, v6 []prefix.Prefix) {
+	allV4 := true
+	for _, p := range prefixes {
+		if p.Is6() {
+			allV4 = false
+			break
+		}
+	}
+	if allV4 {
+		return prefixes, nil
+	}
+	for _, p := range prefixes {
+		if p.Is6() {
+			v6 = append(v6, p)
+		} else {
+			v4 = append(v4, p)
+		}
+	}
+	return v4, v6
 }

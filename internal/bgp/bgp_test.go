@@ -50,7 +50,7 @@ func TestOpenRoundTrip(t *testing.T) {
 }
 
 func TestOpenASTransInFixedField(t *testing.T) {
-	o := NewOpen(200000, 90, 1)
+	o := NewOpen(200000, 90, prefix.AddrFrom4(1))
 	b, err := Marshal(o, DefaultOptions)
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +63,7 @@ func TestOpenASTransInFixedField(t *testing.T) {
 }
 
 func TestOpenSmallASNKeptInFixedField(t *testing.T) {
-	o := NewOpen(64512, 180, 7)
+	o := NewOpen(64512, 180, prefix.AddrFrom4(7))
 	got := roundTrip(t, o, DefaultOptions).(*Open)
 	if got.ASN != 64512 {
 		t.Fatalf("ASN = %v", got.ASN)
@@ -125,7 +125,7 @@ func TestUpdateOriginAndPathHelpers(t *testing.T) {
 func TestUpdate2ByteASPathUsesASTrans(t *testing.T) {
 	u := &Update{
 		Attrs: []PathAttr{
-			&OriginAttr{}, NewASPath([]ASN{65001, 196615}), &NextHopAttr{Addr: 1},
+			&OriginAttr{}, NewASPath([]ASN{65001, 196615}), &NextHopAttr{Addr: prefix.AddrFrom4(1)},
 		},
 		NLRI: []prefix.Prefix{prefix.MustParse("10.0.0.0/24")},
 	}
@@ -165,8 +165,8 @@ func TestAggregatorBothWidths(t *testing.T) {
 	for _, opt := range []Options{{AS4: true}, {AS4: false}} {
 		u := &Update{
 			Attrs: []PathAttr{
-				&OriginAttr{}, NewASPath([]ASN{65001}), &NextHopAttr{Addr: 1},
-				&AggregatorAttr{ASN: 65010, Addr: 9},
+				&OriginAttr{}, NewASPath([]ASN{65001}), &NextHopAttr{Addr: prefix.AddrFrom4(1)},
+				&AggregatorAttr{ASN: 65010, Addr: prefix.AddrFrom4(9)},
 				&AtomicAggregateAttr{},
 			},
 			NLRI: []prefix.Prefix{prefix.MustParse("10.0.0.0/24")},
@@ -178,7 +178,7 @@ func TestAggregatorBothWidths(t *testing.T) {
 				agg = x
 			}
 		}
-		if agg == nil || agg.ASN != 65010 || agg.Addr != 9 {
+		if agg == nil || agg.ASN != 65010 || agg.Addr != prefix.AddrFrom4(9) {
 			t.Fatalf("AS4=%v: aggregator = %+v", opt.AS4, agg)
 		}
 	}
@@ -187,7 +187,7 @@ func TestAggregatorBothWidths(t *testing.T) {
 func TestUnknownOptionalAttrPreserved(t *testing.T) {
 	raw := &RawAttr{AttrFlags: flagOptional | flagTransitive, AttrCode: 99, Value: []byte{0xde, 0xad}}
 	u := &Update{
-		Attrs: []PathAttr{&OriginAttr{}, NewASPath([]ASN{65001}), &NextHopAttr{Addr: 1}, raw},
+		Attrs: []PathAttr{&OriginAttr{}, NewASPath([]ASN{65001}), &NextHopAttr{Addr: prefix.AddrFrom4(1)}, raw},
 		NLRI:  []prefix.Prefix{prefix.MustParse("10.0.0.0/24")},
 	}
 	got := roundTrip(t, u, DefaultOptions).(*Update)
@@ -205,7 +205,7 @@ func TestUnknownOptionalAttrPreserved(t *testing.T) {
 func TestUnknownWellKnownAttrRejected(t *testing.T) {
 	raw := &RawAttr{AttrFlags: 0 /* well-known */, AttrCode: 99, Value: []byte{1}}
 	u := &Update{
-		Attrs: []PathAttr{&OriginAttr{}, NewASPath([]ASN{65001}), &NextHopAttr{Addr: 1}, raw},
+		Attrs: []PathAttr{&OriginAttr{}, NewASPath([]ASN{65001}), &NextHopAttr{Addr: prefix.AddrFrom4(1)}, raw},
 		NLRI:  []prefix.Prefix{prefix.MustParse("10.0.0.0/24")},
 	}
 	b, err := Marshal(u, DefaultOptions)
@@ -219,7 +219,7 @@ func TestUnknownWellKnownAttrRejected(t *testing.T) {
 
 func TestDuplicateAttrRejected(t *testing.T) {
 	u := &Update{
-		Attrs: []PathAttr{&OriginAttr{}, &OriginAttr{}, NewASPath([]ASN{65001}), &NextHopAttr{Addr: 1}},
+		Attrs: []PathAttr{&OriginAttr{}, &OriginAttr{}, NewASPath([]ASN{65001}), &NextHopAttr{Addr: prefix.AddrFrom4(1)}},
 		NLRI:  []prefix.Prefix{prefix.MustParse("10.0.0.0/24")},
 	}
 	b, err := Marshal(u, DefaultOptions)
@@ -238,7 +238,7 @@ func TestLargeUpdateUsesExtendedLength(t *testing.T) {
 		comms[i] = Community(i)
 	}
 	u := &Update{
-		Attrs: []PathAttr{&OriginAttr{}, NewASPath([]ASN{65001}), &NextHopAttr{Addr: 1},
+		Attrs: []PathAttr{&OriginAttr{}, NewASPath([]ASN{65001}), &NextHopAttr{Addr: prefix.AddrFrom4(1)},
 			&CommunitiesAttr{Communities: comms}},
 		NLRI: []prefix.Prefix{prefix.MustParse("10.0.0.0/24")},
 	}
@@ -327,7 +327,7 @@ func TestFuzzedBytesNeverPanic(t *testing.T) {
 
 func TestReadMessageFromStream(t *testing.T) {
 	var buf bytes.Buffer
-	msgs := []Message{&Keepalive{}, makeUpdate(), NewOpen(65001, 90, 1)}
+	msgs := []Message{&Keepalive{}, makeUpdate(), NewOpen(65001, 90, prefix.AddrFrom4(1))}
 	for _, m := range msgs {
 		if err := WriteMessage(&buf, m, DefaultOptions); err != nil {
 			t.Fatal(err)
@@ -353,8 +353,14 @@ func TestQuickUpdateRoundTrip(t *testing.T) {
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		u := &Update{}
+		randPrefix := func() prefix.Prefix {
+			if rng.Intn(3) == 0 {
+				return prefix.New(prefix.AddrFrom16(rng.Uint64(), rng.Uint64()), rng.Intn(129))
+			}
+			return prefix.New(prefix.AddrFrom4(rng.Uint32()), rng.Intn(33))
+		}
 		for i, n := 0, rng.Intn(4); i < n; i++ {
-			u.Withdrawn = append(u.Withdrawn, prefix.New(prefix.Addr(rng.Uint32()), rng.Intn(33)))
+			u.Withdrawn = append(u.Withdrawn, randPrefix())
 		}
 		nNLRI := rng.Intn(4)
 		if nNLRI > 0 {
@@ -365,10 +371,10 @@ func TestQuickUpdateRoundTrip(t *testing.T) {
 			u.Attrs = []PathAttr{
 				&OriginAttr{Value: uint8(rng.Intn(3))},
 				NewASPath(path),
-				&NextHopAttr{Addr: prefix.Addr(rng.Uint32())},
+				&NextHopAttr{Addr: prefix.AddrFrom4(rng.Uint32())},
 			}
 			for i := 0; i < nNLRI; i++ {
-				u.NLRI = append(u.NLRI, prefix.New(prefix.Addr(rng.Uint32()), rng.Intn(33)))
+				u.NLRI = append(u.NLRI, randPrefix())
 			}
 		}
 		b1, err := Marshal(u, DefaultOptions)
@@ -387,5 +393,177 @@ func TestQuickUpdateRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestUpdateV6RoundTripViaMPAttrs(t *testing.T) {
+	// v6 prefixes travel in MP_REACH/MP_UNREACH and fold back into the
+	// dual-stack NLRI/Withdrawn lists on parse; consumers never see the MP
+	// attributes themselves.
+	u := &Update{
+		Withdrawn: []prefix.Prefix{
+			prefix.MustParse("192.0.2.0/24"),
+			prefix.MustParse("2001:db8:dead::/48"),
+		},
+		Attrs: []PathAttr{
+			&OriginAttr{Value: OriginIGP},
+			NewASPath([]ASN{65001, 196615}),
+			&NextHopAttr{Addr: prefix.AddrFrom4(1)},
+		},
+		NLRI: []prefix.Prefix{
+			prefix.MustParse("10.0.0.0/23"),
+			prefix.MustParse("2001:db8::/32"),
+			prefix.MustParse("2001:db8:42::/48"),
+		},
+	}
+	got := roundTrip(t, u, DefaultOptions).(*Update)
+	if !reflect.DeepEqual(got, u) {
+		t.Fatalf("v6 round trip mismatch:\n got %#v\nwant %#v", got, u)
+	}
+	for _, a := range got.Attrs {
+		switch a.(type) {
+		case *MPReachNLRIAttr, *MPUnreachNLRIAttr:
+			t.Fatalf("MP attribute leaked to the consumer: %T", a)
+		}
+	}
+}
+
+func TestUpdateV6OnlyOmitsNextHop(t *testing.T) {
+	// An MP-only UPDATE needs ORIGIN and AS_PATH but not NEXT_HOP
+	// (RFC 4760 §7): the next hop lives inside MP_REACH_NLRI.
+	u := &Update{
+		Attrs: []PathAttr{
+			&OriginAttr{Value: OriginIGP},
+			NewASPath([]ASN{65001}),
+		},
+		NLRI: []prefix.Prefix{prefix.MustParse("2001:db8::/32")},
+	}
+	got := roundTrip(t, u, DefaultOptions).(*Update)
+	if !reflect.DeepEqual(got, u) {
+		t.Fatalf("v6-only round trip mismatch:\n got %#v\nwant %#v", got, u)
+	}
+	// But advertising v6 NLRI without an AS_PATH is still an error.
+	bad := &Update{
+		Attrs: []PathAttr{&OriginAttr{Value: OriginIGP}},
+		NLRI:  []prefix.Prefix{prefix.MustParse("2001:db8::/32")},
+	}
+	b, err := Marshal(bad, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseMessage(b, DefaultOptions); err == nil {
+		t.Fatal("MP-only update without AS_PATH accepted")
+	}
+}
+
+func TestUnmodeledMPAttrNoDuplicateCode(t *testing.T) {
+	// An MP_REACH for an AFI/SAFI the codec does not model (here IPv4
+	// multicast) survives parse as a RawAttr with code 14. Re-marshaling
+	// that update together with v6 NLRI must fail rather than synthesize a
+	// second code-14 attribute — duplicate attribute codes are rejected by
+	// every conforming parser, including this codec's own.
+	rawMP := &RawAttr{
+		AttrFlags: flagOptional,
+		AttrCode:  AttrMPReachNLRI,
+		Value:     []byte{0, 1, 2, 4, 10, 0, 0, 1, 0, 24, 10, 1, 2},
+	}
+	base := []PathAttr{&OriginAttr{Value: OriginIGP}, NewASPath([]ASN{65001}), &NextHopAttr{Addr: prefix.AddrFrom4(1)}}
+
+	u := &Update{
+		Attrs: append(append([]PathAttr(nil), base...), rawMP),
+		NLRI:  []prefix.Prefix{prefix.MustParse("2001:db8:42::/48")},
+	}
+	if _, err := Marshal(u, DefaultOptions); err == nil {
+		t.Fatal("v6 NLRI alongside an unmodeled MP_REACH RawAttr marshaled; would emit duplicate attr code 14")
+	}
+
+	// With a typed MP_REACH also present the duplicate is caught directly.
+	dup := &Update{
+		Attrs: append(append([]PathAttr(nil), base...), rawMP, &MPReachNLRIAttr{}),
+		NLRI:  []prefix.Prefix{prefix.MustParse("10.0.0.0/24")},
+	}
+	if _, err := Marshal(dup, DefaultOptions); err == nil {
+		t.Fatal("typed MP_REACH alongside an unmodeled MP_REACH RawAttr marshaled; duplicate attr code 14")
+	}
+
+	// v4-only routes coexist fine: the RawAttr is the sole code-14
+	// attribute and round-trips verbatim.
+	ok := &Update{
+		Attrs: append(append([]PathAttr(nil), base...), rawMP),
+		NLRI:  []prefix.Prefix{prefix.MustParse("10.0.0.0/24")},
+	}
+	got := roundTrip(t, ok, DefaultOptions).(*Update)
+	found := false
+	for _, a := range got.Attrs {
+		if r, ok := a.(*RawAttr); ok && r.AttrCode == AttrMPReachNLRI && bytes.Equal(r.Value, rawMP.Value) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unmodeled MP_REACH RawAttr not preserved: %+v", got.Attrs)
+	}
+}
+
+func TestMPReachNextHopPreserved(t *testing.T) {
+	// A caller-supplied (or third-party) v6 next hop must survive
+	// marshal -> parse -> marshal instead of being rewritten to ::.
+	nh := prefix.MustParseAddr("2001:db8::1")
+	u := &Update{
+		Attrs: []PathAttr{
+			&OriginAttr{Value: OriginIGP},
+			NewASPath([]ASN{65001}),
+			&MPReachNLRIAttr{NextHop: nh},
+		},
+		NLRI: []prefix.Prefix{prefix.MustParse("2001:db8:42::/48")},
+	}
+	got := roundTrip(t, u, DefaultOptions).(*Update)
+	var kept *MPReachNLRIAttr
+	for _, a := range got.Attrs {
+		if mp, ok := a.(*MPReachNLRIAttr); ok {
+			kept = mp
+		}
+	}
+	if kept == nil || kept.NextHop != nh {
+		t.Fatalf("v6 next hop not preserved: %+v", got.Attrs)
+	}
+	if len(kept.NLRI) != 0 {
+		t.Fatalf("retained MP attr should carry only the next hop, got NLRI %v", kept.NLRI)
+	}
+	if len(got.NLRI) != 1 || got.NLRI[0] != u.NLRI[0] {
+		t.Fatalf("NLRI = %v, want %v", got.NLRI, u.NLRI)
+	}
+	// And a second marshal emits the same bytes (the retained attr merges
+	// back instead of duplicating).
+	b1, err := Marshal(u, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Marshal(got, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("re-marshal with preserved next hop is not byte-stable")
+	}
+}
+
+func TestOpenRejectsV6RouterID(t *testing.T) {
+	o := NewOpen(65001, 90, prefix.MustParseAddr("2001:db8::1"))
+	if _, err := Marshal(o, DefaultOptions); err == nil {
+		t.Fatal("OPEN with a v6 router ID must not marshal")
+	}
+}
+
+func TestNextHopRejectsV6(t *testing.T) {
+	u := &Update{
+		Attrs: []PathAttr{
+			&OriginAttr{Value: OriginIGP},
+			NewASPath([]ASN{65001}),
+			&NextHopAttr{Addr: prefix.MustParseAddr("2001:db8::1")},
+		},
+		NLRI: []prefix.Prefix{prefix.MustParse("10.0.0.0/24")},
+	}
+	if _, err := Marshal(u, DefaultOptions); err == nil {
+		t.Fatal("NEXT_HOP with a v6 address must not marshal")
 	}
 }

@@ -66,7 +66,12 @@ func (o *Open) marshalBody(dst []byte, _ Options) ([]byte, error) {
 	}
 	dst = binary.BigEndian.AppendUint16(dst, uint16(wireAS))
 	dst = binary.BigEndian.AppendUint16(dst, o.HoldTime)
-	dst = binary.BigEndian.AppendUint32(dst, uint32(o.RouterID))
+	// A router ID is a 32-bit value even on v6-only speakers (RFC 6286);
+	// reject a v6 address rather than silently truncating it.
+	if o.RouterID.Is6() {
+		return nil, fmt.Errorf("bgp: router ID must be a 32-bit (v4-form) identifier")
+	}
+	dst = binary.BigEndian.AppendUint32(dst, o.RouterID.V4())
 	// Optional parameters: each capability in its own parameter, the common
 	// layout emitted by real speakers.
 	var params []byte
@@ -92,7 +97,7 @@ func parseOpen(b []byte) (*Open, error) {
 		Version:  b[0],
 		ASN:      ASN(binary.BigEndian.Uint16(b[1:3])),
 		HoldTime: binary.BigEndian.Uint16(b[3:5]),
-		RouterID: prefix.Addr(binary.BigEndian.Uint32(b[5:9])),
+		RouterID: prefix.AddrFrom4(binary.BigEndian.Uint32(b[5:9])),
 	}
 	if o.Version != 4 {
 		return nil, NewMessageError(ErrOpenMessage, ErrSubUnsupportedVersionNumber, []byte{0, 4}, fmt.Sprintf("bgp: version %d", o.Version))
@@ -132,7 +137,11 @@ func parseOpen(b []byte) (*Open, error) {
 
 // --- UPDATE ---
 
-// Update is the BGP UPDATE message (RFC 4271 §4.3).
+// Update is the BGP UPDATE message (RFC 4271 §4.3), dual-stack: NLRI and
+// Withdrawn may mix v4 and v6 prefixes. On the wire, v4 prefixes travel in
+// the classic UPDATE fields and v6 prefixes in MP_REACH_NLRI /
+// MP_UNREACH_NLRI attributes (RFC 4760); Marshal splits by family and
+// parse folds the MP attributes back, so consumers never see the split.
 type Update struct {
 	Withdrawn []prefix.Prefix
 	Attrs     []PathAttr
@@ -142,15 +151,91 @@ type Update struct {
 func (*Update) Type() MessageType { return MsgUpdate }
 
 func (u *Update) marshalBody(dst []byte, opt Options) ([]byte, error) {
-	wd := appendNLRI(nil, u.Withdrawn)
+	nlri4, nlri6 := splitFamily(u.NLRI)
+	wd4, wd6 := splitFamily(u.Withdrawn)
+
+	wd := appendNLRI(nil, wd4)
 	if len(wd) > 0xffff {
 		return nil, fmt.Errorf("bgp: withdrawn routes too long")
 	}
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(wd)))
 	dst = append(dst, wd...)
 
-	var attrs []byte
+	// v6 prefixes ride in MP attributes after the caller's other attrs. An
+	// explicit MPReachNLRIAttr/MPUnreachNLRIAttr in u.Attrs (a caller
+	// supplying a real v6 next hop, or one retained by parse) is merged
+	// with the prefixes split from NLRI/Withdrawn so exactly one of each
+	// attribute is emitted. The caller's slices are not mutated.
+	var mpReach *MPReachNLRIAttr
+	var mpUnreach *MPUnreachNLRIAttr
+	// An MP attribute for an AFI/SAFI this codec does not model survives
+	// parse as a RawAttr with code 14/15; it cannot be merged with the
+	// typed form, and emitting both would put duplicate attribute codes on
+	// the wire, which every conforming parser rejects.
+	var rawMPReach, rawMPUnreach bool
+	allAttrs := make([]PathAttr, 0, len(u.Attrs)+2)
 	for _, a := range u.Attrs {
+		switch mp := a.(type) {
+		case *MPReachNLRIAttr:
+			if mpReach != nil || rawMPReach {
+				return nil, fmt.Errorf("bgp: duplicate MP_REACH_NLRI attribute")
+			}
+			cp := *mp
+			cp.NLRI = append([]prefix.Prefix(nil), mp.NLRI...)
+			mpReach = &cp
+		case *MPUnreachNLRIAttr:
+			if mpUnreach != nil || rawMPUnreach {
+				return nil, fmt.Errorf("bgp: duplicate MP_UNREACH_NLRI attribute")
+			}
+			cp := *mp
+			cp.Withdrawn = append([]prefix.Prefix(nil), mp.Withdrawn...)
+			mpUnreach = &cp
+		case *RawAttr:
+			switch mp.AttrCode {
+			case AttrMPReachNLRI:
+				if mpReach != nil || rawMPReach {
+					return nil, fmt.Errorf("bgp: duplicate MP_REACH_NLRI attribute")
+				}
+				rawMPReach = true
+			case AttrMPUnreachNLRI:
+				if mpUnreach != nil || rawMPUnreach {
+					return nil, fmt.Errorf("bgp: duplicate MP_UNREACH_NLRI attribute")
+				}
+				rawMPUnreach = true
+			}
+			allAttrs = append(allAttrs, a)
+		default:
+			allAttrs = append(allAttrs, a)
+		}
+	}
+	if len(wd6) > 0 {
+		if mpUnreach == nil {
+			mpUnreach = &MPUnreachNLRIAttr{}
+		}
+		mpUnreach.Withdrawn = append(mpUnreach.Withdrawn, wd6...)
+	}
+	if len(nlri6) > 0 {
+		if mpReach == nil {
+			mpReach = &MPReachNLRIAttr{}
+		}
+		mpReach.NLRI = append(mpReach.NLRI, nlri6...)
+	}
+	if mpUnreach != nil && len(mpUnreach.Withdrawn) > 0 {
+		if rawMPUnreach {
+			return nil, fmt.Errorf("bgp: v6 withdrawals cannot share an UPDATE with an unmodeled MP_UNREACH_NLRI attribute")
+		}
+		allAttrs = append(allAttrs, mpUnreach)
+	}
+	// An MP_REACH with no NLRI carries nothing (its next hop is meaningless
+	// without routes) and is dropped rather than emitted empty.
+	if mpReach != nil && len(mpReach.NLRI) > 0 {
+		if rawMPReach {
+			return nil, fmt.Errorf("bgp: v6 NLRI cannot share an UPDATE with an unmodeled MP_REACH_NLRI attribute")
+		}
+		allAttrs = append(allAttrs, mpReach)
+	}
+	var attrs []byte
+	for _, a := range allAttrs {
 		var err error
 		attrs, err = appendAttr(attrs, a, opt)
 		if err != nil {
@@ -162,7 +247,7 @@ func (u *Update) marshalBody(dst []byte, opt Options) ([]byte, error) {
 	}
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(attrs)))
 	dst = append(dst, attrs...)
-	return appendNLRI(dst, u.NLRI), nil
+	return appendNLRI(dst, nlri4), nil
 }
 
 func parseUpdate(b []byte, opt Options) (*Update, error) {
@@ -175,7 +260,7 @@ func parseUpdate(b []byte, opt Options) (*Update, error) {
 	}
 	u := &Update{}
 	var err error
-	if u.Withdrawn, err = parseNLRI(b[2 : 2+wdLen]); err != nil {
+	if u.Withdrawn, err = parseNLRI(b[2:2+wdLen], false); err != nil {
 		return nil, err
 	}
 	rest := b[2+wdLen:]
@@ -186,11 +271,36 @@ func parseUpdate(b []byte, opt Options) (*Update, error) {
 	if u.Attrs, err = parseAttrs(rest[2:2+attrLen], opt); err != nil {
 		return nil, err
 	}
-	if u.NLRI, err = parseNLRI(rest[2+attrLen:]); err != nil {
+	if u.NLRI, err = parseNLRI(rest[2+attrLen:], false); err != nil {
 		return nil, err
 	}
-	if len(u.NLRI) > 0 {
-		if err := u.checkMandatoryAttrs(); err != nil {
+	classicNLRI := len(u.NLRI) > 0
+	// Fold MP attributes into the dual-stack prefix lists; the duplicate-
+	// attribute check in parseAttrs guarantees at most one of each.
+	kept := u.Attrs[:0]
+	var mpNLRI bool
+	for _, a := range u.Attrs {
+		switch mp := a.(type) {
+		case *MPReachNLRIAttr:
+			u.NLRI = append(u.NLRI, mp.NLRI...)
+			mpNLRI = len(mp.NLRI) > 0
+			// A real (non-::) next hop is routing information third-party
+			// data carries; retain it so parse -> marshal round-trips it.
+			if mp.NextHop != prefix.AddrFrom16(0, 0) {
+				kept = append(kept, &MPReachNLRIAttr{NextHop: mp.NextHop})
+			}
+		case *MPUnreachNLRIAttr:
+			u.Withdrawn = append(u.Withdrawn, mp.Withdrawn...)
+		default:
+			kept = append(kept, a)
+		}
+	}
+	u.Attrs = kept
+	if len(u.Attrs) == 0 {
+		u.Attrs = nil
+	}
+	if classicNLRI || mpNLRI {
+		if err := u.checkMandatoryAttrs(classicNLRI); err != nil {
 			return nil, err
 		}
 	}
@@ -198,9 +308,14 @@ func parseUpdate(b []byte, opt Options) (*Update, error) {
 }
 
 // checkMandatoryAttrs enforces RFC 4271 §6.3: an UPDATE that advertises
-// NLRI must carry ORIGIN, AS_PATH and NEXT_HOP.
-func (u *Update) checkMandatoryAttrs() error {
-	need := map[AttrCode]bool{AttrOrigin: true, AttrASPath: true, AttrNextHop: true}
+// NLRI must carry ORIGIN and AS_PATH, plus NEXT_HOP when classic (v4)
+// NLRI is present — MP-only updates carry their next hop inside
+// MP_REACH_NLRI (RFC 4760 §7).
+func (u *Update) checkMandatoryAttrs(needNextHop bool) error {
+	need := map[AttrCode]bool{AttrOrigin: true, AttrASPath: true}
+	if needNextHop {
+		need[AttrNextHop] = true
+	}
 	for _, a := range u.Attrs {
 		delete(need, a.Code())
 	}

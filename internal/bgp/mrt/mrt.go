@@ -27,6 +27,7 @@ const (
 
 	SubtypePeerIndexTable   uint16 = 1
 	SubtypeRIBIPv4Unicast   uint16 = 2
+	SubtypeRIBIPv6Unicast   uint16 = 4
 	SubtypeBGP4MPMessageAS4 uint16 = 4
 )
 
@@ -54,15 +55,50 @@ type BGP4MPMessage struct {
 func (m *BGP4MPMessage) Time() time.Time               { return m.Timestamp }
 func (m *BGP4MPMessage) typeSubtype() (uint16, uint16) { return TypeBGP4MP, SubtypeBGP4MPMessageAS4 }
 
-const afiIPv4 uint16 = 1
+// appendAddr writes an address in the width its family dictates (4 or 16
+// bytes); parseAddrAt reads one back.
+func appendAddr(dst []byte, a prefix.Addr) []byte {
+	if a.Is6() {
+		b := a.As16()
+		return append(dst, b[:]...)
+	}
+	return binary.BigEndian.AppendUint32(dst, a.V4())
+}
+
+func parseAddrAt(b []byte, is6 bool) (prefix.Addr, int, error) {
+	if !is6 {
+		if len(b) < 4 {
+			return prefix.Addr{}, 0, fmt.Errorf("mrt: truncated v4 address")
+		}
+		return prefix.AddrFrom4(binary.BigEndian.Uint32(b[:4])), 4, nil
+	}
+	if len(b) < 16 {
+		return prefix.Addr{}, 0, fmt.Errorf("mrt: truncated v6 address")
+	}
+	return prefix.AddrFrom16Bytes(b), 16, nil
+}
 
 func (m *BGP4MPMessage) appendBody(dst []byte) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(m.PeerAS))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(m.LocalAS))
 	dst = binary.BigEndian.AppendUint16(dst, m.Interface)
-	dst = binary.BigEndian.AppendUint16(dst, afiIPv4)
-	dst = binary.BigEndian.AppendUint32(dst, uint32(m.PeerIP))
-	dst = binary.BigEndian.AppendUint32(dst, uint32(m.LocalIP))
+	// The AFI describes the peering session's transport addresses; the BGP
+	// message inside may still carry either family's NLRI (v6 via MP
+	// attributes), exactly as real collectors emit.
+	afi := bgp.AFIIPv4
+	if m.PeerIP.Is6() {
+		afi = bgp.AFIIPv6
+	}
+	if m.LocalIP.Is6() != m.PeerIP.Is6() && m.LocalIP != (prefix.Addr{}) {
+		return nil, fmt.Errorf("mrt: BGP4MP peer/local address families differ")
+	}
+	dst = binary.BigEndian.AppendUint16(dst, afi)
+	dst = appendAddr(dst, m.PeerIP)
+	if afi == bgp.AFIIPv6 && !m.LocalIP.Is6() {
+		dst = appendAddr(dst, prefix.AddrFrom16(0, 0)) // unset local on a v6 session
+	} else {
+		dst = appendAddr(dst, m.LocalIP)
+	}
 	msg, err := bgp.Marshal(m.Message, bgp.DefaultOptions)
 	if err != nil {
 		return nil, err
@@ -71,26 +107,39 @@ func (m *BGP4MPMessage) appendBody(dst []byte) ([]byte, error) {
 }
 
 func parseBGP4MP(ts time.Time, b []byte) (*BGP4MPMessage, error) {
-	if len(b) < 20 {
+	if len(b) < 12 {
 		return nil, fmt.Errorf("mrt: short BGP4MP body (%d bytes)", len(b))
 	}
 	afi := binary.BigEndian.Uint16(b[10:12])
-	if afi != afiIPv4 {
+	if afi != bgp.AFIIPv4 && afi != bgp.AFIIPv6 {
 		return nil, fmt.Errorf("mrt: unsupported AFI %d", afi)
 	}
-	msg, err := bgp.ParseMessage(b[20:], bgp.DefaultOptions)
-	if err != nil {
-		return nil, fmt.Errorf("mrt: embedded BGP message: %w", err)
-	}
-	return &BGP4MPMessage{
+	is6 := afi == bgp.AFIIPv6
+	rec := &BGP4MPMessage{
 		Timestamp: ts,
 		PeerAS:    bgp.ASN(binary.BigEndian.Uint32(b[0:4])),
 		LocalAS:   bgp.ASN(binary.BigEndian.Uint32(b[4:8])),
 		Interface: binary.BigEndian.Uint16(b[8:10]),
-		PeerIP:    prefix.Addr(binary.BigEndian.Uint32(b[12:16])),
-		LocalIP:   prefix.Addr(binary.BigEndian.Uint32(b[16:20])),
-		Message:   msg,
-	}, nil
+	}
+	rest := b[12:]
+	peer, n, err := parseAddrAt(rest, is6)
+	if err != nil {
+		return nil, err
+	}
+	rec.PeerIP = peer
+	rest = rest[n:]
+	local, n, err := parseAddrAt(rest, is6)
+	if err != nil {
+		return nil, err
+	}
+	rec.LocalIP = local
+	rest = rest[n:]
+	msg, err := bgp.ParseMessage(rest, bgp.DefaultOptions)
+	if err != nil {
+		return nil, fmt.Errorf("mrt: embedded BGP message: %w", err)
+	}
+	rec.Message = msg
+	return rec, nil
 }
 
 // Peer describes one collector peer in a PEER_INDEX_TABLE.
@@ -115,7 +164,11 @@ func (p *PeerIndexTable) typeSubtype() (uint16, uint16) {
 }
 
 func (p *PeerIndexTable) appendBody(dst []byte) ([]byte, error) {
-	dst = binary.BigEndian.AppendUint32(dst, uint32(p.CollectorID))
+	// A collector ID is a BGP identifier: 32-bit even on v6 collectors.
+	if p.CollectorID.Is6() {
+		return nil, fmt.Errorf("mrt: collector ID must be a 32-bit (v4-form) identifier")
+	}
+	dst = binary.BigEndian.AppendUint32(dst, p.CollectorID.V4())
 	if len(p.ViewName) > 0xffff {
 		return nil, fmt.Errorf("mrt: view name too long")
 	}
@@ -126,9 +179,16 @@ func (p *PeerIndexTable) appendBody(dst []byte) ([]byte, error) {
 	}
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(p.Peers)))
 	for _, pe := range p.Peers {
-		dst = append(dst, 0x02) // IPv4 address, 4-octet AS
-		dst = binary.BigEndian.AppendUint32(dst, uint32(pe.BGPID))
-		dst = binary.BigEndian.AppendUint32(dst, uint32(pe.IP))
+		typ := byte(0x02) // 4-octet AS
+		if pe.IP.Is6() {
+			typ |= 0x01 // 16-byte peer address
+		}
+		dst = append(dst, typ)
+		if pe.BGPID.Is6() {
+			return nil, fmt.Errorf("mrt: peer BGP ID must be a 32-bit (v4-form) identifier")
+		}
+		dst = binary.BigEndian.AppendUint32(dst, pe.BGPID.V4())
+		dst = appendAddr(dst, pe.IP)
 		dst = binary.BigEndian.AppendUint32(dst, uint32(pe.AS))
 	}
 	return dst, nil
@@ -138,7 +198,7 @@ func parsePeerIndexTable(ts time.Time, b []byte) (*PeerIndexTable, error) {
 	if len(b) < 8 {
 		return nil, fmt.Errorf("mrt: short PEER_INDEX_TABLE")
 	}
-	p := &PeerIndexTable{Timestamp: ts, CollectorID: prefix.Addr(binary.BigEndian.Uint32(b[:4]))}
+	p := &PeerIndexTable{Timestamp: ts, CollectorID: prefix.AddrFrom4(binary.BigEndian.Uint32(b[:4]))}
 	nameLen := int(binary.BigEndian.Uint16(b[4:6]))
 	if len(b) < 6+nameLen+2 {
 		return nil, fmt.Errorf("mrt: truncated view name")
@@ -148,32 +208,33 @@ func parsePeerIndexTable(ts time.Time, b []byte) (*PeerIndexTable, error) {
 	count := int(binary.BigEndian.Uint16(b[:2]))
 	b = b[2:]
 	for i := 0; i < count; i++ {
-		if len(b) < 1 {
+		if len(b) < 5 {
 			return nil, fmt.Errorf("mrt: truncated peer entry")
 		}
 		typ := b[0]
-		if typ&0x01 != 0 {
-			return nil, fmt.Errorf("mrt: IPv6 peer not supported")
-		}
-		ipLen, asLen := 4, 2
+		is6 := typ&0x01 != 0
+		asLen := 2
 		if typ&0x02 != 0 {
 			asLen = 4
 		}
-		need := 1 + 4 + ipLen + asLen
-		if len(b) < need {
+		pe := Peer{BGPID: prefix.AddrFrom4(binary.BigEndian.Uint32(b[1:5]))}
+		rest := b[5:]
+		ip, n, err := parseAddrAt(rest, is6)
+		if err != nil {
 			return nil, fmt.Errorf("mrt: truncated peer entry")
 		}
-		pe := Peer{
-			BGPID: prefix.Addr(binary.BigEndian.Uint32(b[1:5])),
-			IP:    prefix.Addr(binary.BigEndian.Uint32(b[5:9])),
+		pe.IP = ip
+		rest = rest[n:]
+		if len(rest) < asLen {
+			return nil, fmt.Errorf("mrt: truncated peer entry")
 		}
 		if asLen == 4 {
-			pe.AS = bgp.ASN(binary.BigEndian.Uint32(b[9:13]))
+			pe.AS = bgp.ASN(binary.BigEndian.Uint32(rest[:4]))
 		} else {
-			pe.AS = bgp.ASN(binary.BigEndian.Uint16(b[9:11]))
+			pe.AS = bgp.ASN(binary.BigEndian.Uint16(rest[:2]))
 		}
 		p.Peers = append(p.Peers, pe)
-		b = b[need:]
+		b = b[5+n+asLen:]
 	}
 	return p, nil
 }
@@ -185,8 +246,9 @@ type RIBPeerRoute struct {
 	Attrs      []bgp.PathAttr
 }
 
-// RIBEntry is a TABLE_DUMP_V2 RIB_IPV4_UNICAST record: every peer's route
-// for one prefix at snapshot time.
+// RIBEntry is a TABLE_DUMP_V2 RIB_IPV4_UNICAST or RIB_IPV6_UNICAST record
+// (the subtype follows the prefix's family): every peer's route for one
+// prefix at snapshot time.
 type RIBEntry struct {
 	Timestamp time.Time
 	Sequence  uint32
@@ -194,17 +256,18 @@ type RIBEntry struct {
 	Routes    []RIBPeerRoute
 }
 
-func (r *RIBEntry) Time() time.Time               { return r.Timestamp }
-func (r *RIBEntry) typeSubtype() (uint16, uint16) { return TypeTableDumpV2, SubtypeRIBIPv4Unicast }
+func (r *RIBEntry) Time() time.Time { return r.Timestamp }
+func (r *RIBEntry) typeSubtype() (uint16, uint16) {
+	if r.Prefix.Is6() {
+		return TypeTableDumpV2, SubtypeRIBIPv6Unicast
+	}
+	return TypeTableDumpV2, SubtypeRIBIPv4Unicast
+}
 
 func (r *RIBEntry) appendBody(dst []byte) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint32(dst, r.Sequence)
 	dst = append(dst, byte(r.Prefix.Bits()))
-	n := (r.Prefix.Bits() + 7) / 8
-	a := uint32(r.Prefix.Addr())
-	for i := 0; i < n; i++ {
-		dst = append(dst, byte(a>>(24-8*uint(i))))
-	}
+	dst = r.Prefix.AppendBytes(dst)
 	if len(r.Routes) > 0xffff {
 		return nil, fmt.Errorf("mrt: too many RIB routes")
 	}
@@ -225,24 +288,28 @@ func (r *RIBEntry) appendBody(dst []byte) ([]byte, error) {
 	return dst, nil
 }
 
-func parseRIBEntry(ts time.Time, b []byte) (*RIBEntry, error) {
+func parseRIBEntry(ts time.Time, b []byte, is6 bool) (*RIBEntry, error) {
 	if len(b) < 5 {
 		return nil, fmt.Errorf("mrt: short RIB entry")
 	}
 	r := &RIBEntry{Timestamp: ts, Sequence: binary.BigEndian.Uint32(b[:4])}
 	bits := int(b[4])
-	if bits > 32 {
+	max := 32
+	if is6 {
+		max = 128
+	}
+	if bits > max {
 		return nil, fmt.Errorf("mrt: RIB prefix length %d", bits)
 	}
 	n := (bits + 7) / 8
 	if len(b) < 5+n+2 {
 		return nil, fmt.Errorf("mrt: truncated RIB prefix")
 	}
-	var a uint32
-	for i := 0; i < n; i++ {
-		a |= uint32(b[5+i]) << (24 - 8*uint(i))
+	p, err := prefix.FromBytes(b[5:5+n], bits, is6)
+	if err != nil {
+		return nil, fmt.Errorf("mrt: RIB prefix: %w", err)
 	}
-	r.Prefix = prefix.New(prefix.Addr(a), bits)
+	r.Prefix = p
 	b = b[5+n:]
 	count := int(binary.BigEndian.Uint16(b[:2]))
 	b = b[2:]
@@ -369,7 +436,9 @@ func (r *Reader) Next() (Record, error) {
 	case typ == TypeTableDumpV2 && sub == SubtypePeerIndexTable:
 		return parsePeerIndexTable(ts, body)
 	case typ == TypeTableDumpV2 && sub == SubtypeRIBIPv4Unicast:
-		return parseRIBEntry(ts, body)
+		return parseRIBEntry(ts, body, false)
+	case typ == TypeTableDumpV2 && sub == SubtypeRIBIPv6Unicast:
+		return parseRIBEntry(ts, body, true)
 	}
 	return nil, fmt.Errorf("mrt: unsupported record type %d subtype %d", typ, sub)
 }

@@ -58,8 +58,8 @@ func TestPeerIndexTableRoundTrip(t *testing.T) {
 		CollectorID: prefix.MustParseAddr("198.51.100.1"),
 		ViewName:    "rrc00",
 		Peers: []Peer{
-			{BGPID: 1, IP: prefix.MustParseAddr("192.0.2.1"), AS: 65001},
-			{BGPID: 2, IP: prefix.MustParseAddr("192.0.2.9"), AS: 4200000000},
+			{BGPID: prefix.AddrFrom4(1), IP: prefix.MustParseAddr("192.0.2.1"), AS: 65001},
+			{BGPID: prefix.AddrFrom4(2), IP: prefix.MustParseAddr("192.0.2.9"), AS: 4200000000},
 		},
 	}
 	var buf bytes.Buffer
@@ -91,7 +91,7 @@ func TestRIBEntryRoundTrip(t *testing.T) {
 				Attrs: []bgp.PathAttr{
 					&bgp.OriginAttr{Value: bgp.OriginIGP},
 					bgp.NewASPath([]bgp.ASN{65001, 196615}),
-					&bgp.NextHopAttr{Addr: 42},
+					&bgp.NextHopAttr{Addr: prefix.AddrFrom4(42)},
 				},
 			},
 			{
@@ -100,7 +100,7 @@ func TestRIBEntryRoundTrip(t *testing.T) {
 				Attrs: []bgp.PathAttr{
 					&bgp.OriginAttr{Value: bgp.OriginIncomplete},
 					bgp.NewASPath([]bgp.ASN{65002, 65003, 196615}),
-					&bgp.NextHopAttr{Addr: 43},
+					&bgp.NextHopAttr{Addr: prefix.AddrFrom4(43)},
 				},
 			},
 		},
@@ -213,5 +213,94 @@ func TestFuzzedRecordsNeverPanic(t *testing.T) {
 		b[8], b[9] = 0, 0
 		b[10], b[11] = byte(n>>8), byte(n)
 		NewReader(bytes.NewReader(b)).Next() // must not panic
+	}
+}
+
+func TestBGP4MPv6RoundTrip(t *testing.T) {
+	// A v6 peering session (AFI 2, 16-byte addresses) carrying a v6
+	// announcement via MP_REACH_NLRI.
+	rec := &BGP4MPMessage{
+		Timestamp: t0,
+		PeerAS:    65001,
+		LocalAS:   196615,
+		PeerIP:    prefix.MustParseAddr("2001:db8::1"),
+		LocalIP:   prefix.MustParseAddr("2001:db8::2"),
+		Message: &bgp.Update{
+			Attrs: []bgp.PathAttr{
+				&bgp.OriginAttr{Value: bgp.OriginIGP},
+				bgp.NewASPath([]bgp.ASN{65001, 196615}),
+			},
+			NLRI: []prefix.Prefix{prefix.MustParse("2001:db8:42::/48")},
+		},
+	}
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := got.(*BGP4MPMessage)
+	if g.PeerIP != rec.PeerIP || g.LocalIP != rec.LocalIP || g.PeerAS != rec.PeerAS {
+		t.Fatalf("v6 session header mismatch: %+v", g)
+	}
+	if !reflect.DeepEqual(g.Message, rec.Message) {
+		t.Fatalf("embedded v6 update mismatch:\n got %#v\nwant %#v", g.Message, rec.Message)
+	}
+}
+
+func TestPeerIndexTableV6Peers(t *testing.T) {
+	rec := &PeerIndexTable{
+		Timestamp:   t0,
+		CollectorID: prefix.MustParseAddr("198.51.100.1"),
+		ViewName:    "rrc00",
+		Peers: []Peer{
+			{BGPID: prefix.AddrFrom4(1), IP: prefix.MustParseAddr("192.0.2.1"), AS: 65001},
+			{BGPID: prefix.AddrFrom4(2), IP: prefix.MustParseAddr("2001:db8::9"), AS: 4200000000},
+		},
+	}
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.(*PeerIndexTable).Peers, rec.Peers) {
+		t.Fatalf("mixed-family peers mismatch:\n got %+v\nwant %+v", got.(*PeerIndexTable).Peers, rec.Peers)
+	}
+}
+
+func TestRIBEntryV6RoundTrip(t *testing.T) {
+	rec := &RIBEntry{
+		Timestamp: t0,
+		Sequence:  7,
+		Prefix:    prefix.MustParse("2001:db8::/32"),
+		Routes: []RIBPeerRoute{{
+			PeerIndex:  0,
+			Originated: t0.Add(-time.Hour),
+			Attrs: []bgp.PathAttr{
+				&bgp.OriginAttr{Value: bgp.OriginIGP},
+				bgp.NewASPath([]bgp.ASN{65001, 196615}),
+			},
+		}},
+	}
+	// The subtype must follow the family.
+	if _, sub := rec.typeSubtype(); sub != SubtypeRIBIPv6Unicast {
+		t.Fatalf("v6 RIB entry subtype = %d", sub)
+	}
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := got.(*RIBEntry)
+	if g.Prefix != rec.Prefix || g.Sequence != rec.Sequence || !reflect.DeepEqual(g.Routes, rec.Routes) {
+		t.Fatalf("v6 RIB round trip mismatch:\n got %#v\nwant %#v", g, rec)
 	}
 }

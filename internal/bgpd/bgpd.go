@@ -157,19 +157,33 @@ func (s *Session) SendUpdate(u *bgp.Update) error {
 }
 
 // Announce is a convenience: originate prefixes with the given AS path
-// (LocalAS is prepended automatically when path is empty).
+// (LocalAS is prepended automatically when path is empty). The next hop
+// may be either family: a v4 next hop goes in the classic NEXT_HOP
+// attribute (v6 prefixes then ride MP_REACH_NLRI with the unspecified
+// next hop, as the codec synthesizes); a v6 next hop goes in
+// MP_REACH_NLRI, in which case every announced prefix must be v6 —
+// classic v4 NLRI cannot be forwarded through a v6-only next hop.
 func (s *Session) Announce(path []bgp.ASN, nextHop prefix.Addr, prefixes ...prefix.Prefix) error {
 	if len(path) == 0 {
 		path = []bgp.ASN{s.cfg.LocalAS}
 	}
-	return s.SendUpdate(&bgp.Update{
-		Attrs: []bgp.PathAttr{
-			&bgp.OriginAttr{Value: bgp.OriginIGP},
-			bgp.NewASPath(path),
-			&bgp.NextHopAttr{Addr: nextHop},
-		},
-		NLRI: prefixes,
-	})
+	attrs := []bgp.PathAttr{
+		&bgp.OriginAttr{Value: bgp.OriginIGP},
+		bgp.NewASPath(path),
+	}
+	if nextHop.Is6() {
+		for _, p := range prefixes {
+			if !p.Is6() {
+				return fmt.Errorf("bgpd: cannot announce v4 prefix %s with v6 next hop %s", p, nextHop)
+			}
+		}
+		// Marshal merges the v6 NLRI into this attribute, preserving the
+		// real next hop.
+		attrs = append(attrs, &bgp.MPReachNLRIAttr{NextHop: nextHop})
+	} else {
+		attrs = append(attrs, &bgp.NextHopAttr{Addr: nextHop})
+	}
+	return s.SendUpdate(&bgp.Update{Attrs: attrs, NLRI: prefixes})
 }
 
 // WithdrawPrefixes sends a withdrawal for the given prefixes.

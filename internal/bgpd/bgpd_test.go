@@ -33,8 +33,8 @@ func pair(t *testing.T, serverCfg, clientCfg Config) (server, client *Session) {
 
 func TestEstablishAndExchangeUpdates(t *testing.T) {
 	srv, cli := pair(t,
-		Config{LocalAS: 65001, RouterID: 1},
-		Config{LocalAS: 196615, RouterID: 2, PeerAS: 65001},
+		Config{LocalAS: 65001, RouterID: prefix.AddrFrom4(1)},
+		Config{LocalAS: 196615, RouterID: prefix.AddrFrom4(2), PeerAS: 65001},
 	)
 	if srv.PeerAS() != 196615 || cli.PeerAS() != 65001 {
 		t.Fatalf("negotiated ASes: %v / %v", srv.PeerAS(), cli.PeerAS())
@@ -58,7 +58,7 @@ func TestEstablishAndExchangeUpdates(t *testing.T) {
 }
 
 func TestWithdraw(t *testing.T) {
-	srv, cli := pair(t, Config{LocalAS: 65001, RouterID: 1}, Config{LocalAS: 65002, RouterID: 2})
+	srv, cli := pair(t, Config{LocalAS: 65001, RouterID: prefix.AddrFrom4(1)}, Config{LocalAS: 65002, RouterID: prefix.AddrFrom4(2)})
 	if err := cli.WithdrawPrefixes(prefix.MustParse("10.0.0.0/23")); err != nil {
 		t.Fatal(err)
 	}
@@ -73,18 +73,18 @@ func TestWithdraw(t *testing.T) {
 }
 
 func TestPeerASEnforced(t *testing.T) {
-	l, err := Listen("127.0.0.1:0", Config{LocalAS: 65001, RouterID: 1}, func(s *Session) { s.Close() })
+	l, err := Listen("127.0.0.1:0", Config{LocalAS: 65001, RouterID: prefix.AddrFrom4(1)}, func(s *Session) { s.Close() })
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	if _, err := Dial(l.Addr(), Config{LocalAS: 65002, RouterID: 2, PeerAS: 9999}); err == nil {
+	if _, err := Dial(l.Addr(), Config{LocalAS: 65002, RouterID: prefix.AddrFrom4(2), PeerAS: 9999}); err == nil {
 		t.Fatal("wrong peer AS accepted")
 	}
 }
 
 func TestCloseSendsCeaseAndEndsPeer(t *testing.T) {
-	srv, cli := pair(t, Config{LocalAS: 65001, RouterID: 1}, Config{LocalAS: 65002, RouterID: 2})
+	srv, cli := pair(t, Config{LocalAS: 65001, RouterID: prefix.AddrFrom4(1)}, Config{LocalAS: 65002, RouterID: prefix.AddrFrom4(2)})
 	cli.Close()
 	select {
 	case _, ok := <-srv.Updates():
@@ -105,11 +105,11 @@ func TestCloseSendsCeaseAndEndsPeer(t *testing.T) {
 func TestKeepalivesMaintainSession(t *testing.T) {
 	// Hold time 3s → keepalives every 1s; session must survive 4s idle.
 	srv, cli := pair(t,
-		Config{LocalAS: 65001, RouterID: 1, HoldTime: 3},
-		Config{LocalAS: 65002, RouterID: 2, HoldTime: 3},
+		Config{LocalAS: 65001, RouterID: prefix.AddrFrom4(1), HoldTime: 3},
+		Config{LocalAS: 65002, RouterID: prefix.AddrFrom4(2), HoldTime: 3},
 	)
 	time.Sleep(4 * time.Second)
-	if err := cli.Announce(nil, 1, prefix.MustParse("10.0.0.0/24")); err != nil {
+	if err := cli.Announce(nil, prefix.AddrFrom4(1), prefix.MustParse("10.0.0.0/24")); err != nil {
 		t.Fatalf("session died despite keepalives: %v", err)
 	}
 	select {
@@ -120,7 +120,38 @@ func TestKeepalivesMaintainSession(t *testing.T) {
 }
 
 func TestDialUnreachable(t *testing.T) {
-	if _, err := Dial("127.0.0.1:1", Config{LocalAS: 65001, RouterID: 1}); err == nil {
+	if _, err := Dial("127.0.0.1:1", Config{LocalAS: 65001, RouterID: prefix.AddrFrom4(1)}); err == nil {
 		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestAnnounceV6NextHop(t *testing.T) {
+	srv, cli := pair(t, Config{LocalAS: 65001, RouterID: prefix.AddrFrom4(1)}, Config{LocalAS: 65002, RouterID: prefix.AddrFrom4(2)})
+	defer srv.Close()
+	defer cli.Close()
+	nh := prefix.MustParseAddr("2001:db8::1")
+	// v4 prefixes cannot be forwarded through a v6-only next hop.
+	if err := cli.Announce(nil, nh, prefix.MustParse("10.0.0.0/24")); err == nil {
+		t.Fatal("v4 prefix with v6 next hop accepted")
+	}
+	if err := cli.Announce(nil, nh, prefix.MustParse("2001:db8:42::/48")); err != nil {
+		t.Fatalf("v6 announce: %v", err)
+	}
+	select {
+	case u := <-srv.Updates():
+		if len(u.NLRI) != 1 || u.NLRI[0] != prefix.MustParse("2001:db8:42::/48") {
+			t.Fatalf("NLRI = %v", u.NLRI)
+		}
+		var mp *bgp.MPReachNLRIAttr
+		for _, a := range u.Attrs {
+			if m, ok := a.(*bgp.MPReachNLRIAttr); ok {
+				mp = m
+			}
+		}
+		if mp == nil || mp.NextHop != nh {
+			t.Fatalf("v6 next hop not delivered: %+v", u.Attrs)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for v6 update")
 	}
 }

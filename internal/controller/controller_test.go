@@ -180,7 +180,7 @@ func TestRESTServerRejectsGarbage(t *testing.T) {
 
 func TestBGPInjectorSendsUpdates(t *testing.T) {
 	got := make(chan int, 4)
-	l, err := bgpd.Listen("127.0.0.1:0", bgpd.Config{LocalAS: 65001, RouterID: 1}, func(s *bgpd.Session) {
+	l, err := bgpd.Listen("127.0.0.1:0", bgpd.Config{LocalAS: 65001, RouterID: prefix.AddrFrom4(1)}, func(s *bgpd.Session) {
 		go func() {
 			for u := range s.Updates() {
 				got <- len(u.NLRI) + len(u.Withdrawn)
@@ -191,7 +191,7 @@ func TestBGPInjectorSendsUpdates(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	sess, err := bgpd.Dial(l.Addr(), bgpd.Config{LocalAS: 196615, RouterID: 2})
+	sess, err := bgpd.Dial(l.Addr(), bgpd.Config{LocalAS: 196615, RouterID: prefix.AddrFrom4(2)})
 	if err != nil {
 		t.Fatal(err)
 	}

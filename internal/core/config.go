@@ -40,9 +40,12 @@ type Config struct {
 	// may appear adjacent to it in an AS path. An attacker that fakes the
 	// origin but splices itself in as the upstream is caught here.
 	AllowedUpstreams map[bgp.ASN][]bgp.ASN
-	// MaxDeaggregationLen clamps mitigation sub-prefixes (default 24: more
-	// specific prefixes are filtered by ISPs, §2).
+	// MaxDeaggregationLen clamps mitigation sub-prefixes for IPv4 owned
+	// space (default 24: more specific prefixes are filtered by ISPs, §2).
 	MaxDeaggregationLen int
+	// MaxDeaggregationLen6 is the IPv6 clamp (default 48, the v6 analogue
+	// of the /24 filtering convention).
+	MaxDeaggregationLen6 int
 	// ManualMitigation disables the automatic alert→mitigation wiring;
 	// the operator must call Mitigator.HandleAlert. The zero value is the
 	// paper's headline mode: fully automatic.
@@ -70,6 +73,9 @@ func (c *Config) Validate() error {
 	if c.MaxDeaggregationLen < 0 || c.MaxDeaggregationLen > 32 {
 		return fmt.Errorf("core: invalid MaxDeaggregationLen %d", c.MaxDeaggregationLen)
 	}
+	if c.MaxDeaggregationLen6 < 0 || c.MaxDeaggregationLen6 > 128 {
+		return fmt.Errorf("core: invalid MaxDeaggregationLen6 %d", c.MaxDeaggregationLen6)
+	}
 	if c.AlertDedupTTL < 0 {
 		return fmt.Errorf("core: negative AlertDedupTTL %v", c.AlertDedupTTL)
 	}
@@ -86,7 +92,14 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-func (c *Config) maxLen() int {
+// maxLenFor returns the de-aggregation clamp for p's family.
+func (c *Config) maxLenFor(p prefix.Prefix) int {
+	if p.Is6() {
+		if c.MaxDeaggregationLen6 == 0 {
+			return 48
+		}
+		return c.MaxDeaggregationLen6
+	}
 	if c.MaxDeaggregationLen == 0 {
 		return 24
 	}

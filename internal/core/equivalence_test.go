@@ -75,7 +75,7 @@ func randomEvents(rng *rand.Rand, n int) []feedtypes.Event {
 			ev.Kind = feedtypes.Withdraw
 			ev.Prefix = prefix.MustParse(owned[rng.Intn(len(owned))])
 		default: // unrelated
-			ev.Prefix = prefix.New(prefix.Addr(uint32(172<<24)|uint32(rng.Intn(1<<12))<<8), 24)
+			ev.Prefix = prefix.New(prefix.AddrFrom4(uint32(172<<24)|uint32(rng.Intn(1<<12))<<8), 24)
 			ev.Path = []bgp.ASN{vp, 2000, bgp.ASN(3000 + rng.Intn(16))}
 		}
 		evs = append(evs, ev)

@@ -77,11 +77,11 @@ func NewMitigator(cfg *Config, ctrl RouteAnnouncer, now func() time.Duration) *M
 // the owned prefix itself is (re-)announced: it is already more specific
 // than the attacker's.
 func (m *Mitigator) MitigationPrefixes(a Alert) (prefixes []prefix.Prefix, competitive bool) {
-	maxLen := m.cfg.maxLen()
 	scope := a.Prefix
 	if a.Type == AlertSquat {
 		scope = a.Owned
 	}
+	maxLen := m.cfg.maxLenFor(scope)
 	target := scope.Bits() + 1
 	if a.Type == AlertSquat {
 		// The owned prefix already beats the squatter's covering prefix.

@@ -121,35 +121,44 @@ func NewMonitor(cfg *Config) *Monitor {
 	for i := range m.byAddr {
 		m.byAddr[i] = i
 	}
-	sort.Slice(m.byAddr, func(a, b int) bool { return m.probes[m.byAddr[a]] < m.probes[m.byAddr[b]] })
+	sort.Slice(m.byAddr, func(a, b int) bool {
+		return m.probes[m.byAddr[a]].Less(m.probes[m.byAddr[b]])
+	})
 	return m
 }
 
 // probeAddrs picks representative addresses inside the owned space: the
-// first address of each /24 (capped at 8 per owned prefix) so sub-prefix
-// hijacks of any half are noticed.
+// first address of each /24 (v4) or /48 (v6) — the filtering granularities
+// — capped at 8 per owned prefix, so sub-prefix hijacks of any slice are
+// noticed. Larger owned blocks probe 8 evenly spaced sub-prefix starts.
 func probeAddrs(owned []prefix.Prefix) []prefix.Addr {
-	var out []prefix.Addr
+	var out []prefix.Prefix // reuse Deaggregate; addresses extracted below
 	for _, p := range owned {
+		probeLen := 24
+		if p.Is6() {
+			probeLen = 48
+		}
 		bits := p.Bits()
-		if bits > 24 {
-			out = append(out, p.Addr())
+		if bits > probeLen {
+			out = append(out, p)
 			continue
 		}
-		subs, err := p.Deaggregate(24)
-		if err != nil || len(subs) > 8 {
-			// Very large owned block: probe 8 evenly spaced /24s.
-			step := (uint64(p.Last()-p.Addr()) + 1) / 8
-			for i := 0; i < 8; i++ {
-				out = append(out, p.Addr()+prefix.Addr(uint64(i)*step))
-			}
+		target := probeLen
+		if target > bits+3 {
+			target = bits + 3 // 8 evenly spaced sub-prefixes
+		}
+		subs, err := p.Deaggregate(target)
+		if err != nil {
+			out = append(out, p)
 			continue
 		}
-		for _, s := range subs {
-			out = append(out, s.Addr())
-		}
+		out = append(out, subs...)
 	}
-	return out
+	addrs := make([]prefix.Addr, len(out))
+	for i, s := range out {
+		addrs[i] = s.Addr()
+	}
+	return addrs
 }
 
 // Start subscribes the monitor to the sources.
@@ -231,9 +240,11 @@ func (m *Monitor) processLocked(ev feedtypes.Event) {
 // rescoreProbesLocked recomputes the cached status of every probe the
 // prefix covers for one VP, maintaining the VP's informed/bad counts.
 func (m *Monitor) rescoreProbesLocked(st *vpState, p prefix.Prefix) {
+	// Probes sort family-first (v4 before v6), so the [lo, hi] window of a
+	// prefix only spans probes of its own family.
 	lo, hi := p.Addr(), p.Last()
-	i := sort.Search(len(m.byAddr), func(i int) bool { return m.probes[m.byAddr[i]] >= lo })
-	for ; i < len(m.byAddr) && m.probes[m.byAddr[i]] <= hi; i++ {
+	i := sort.Search(len(m.byAddr), func(i int) bool { return m.probes[m.byAddr[i]].Compare(lo) >= 0 })
+	for ; i < len(m.byAddr) && m.probes[m.byAddr[i]].Compare(hi) <= 0; i++ {
 		idx := m.byAddr[i]
 		var now probeStatus
 		if _, e, ok := st.entries.LongestMatch(m.probes[idx]); ok {

@@ -207,12 +207,15 @@ func (p *Pipeline) shardFor(pfx prefix.Prefix) int {
 	return hashPrefix(pfx) % len(p.shards)
 }
 
-// hashPrefix is FNV-1a over the prefix identity.
+// hashPrefix is FNV-1a over the full dual-stack prefix identity (128
+// address bits, family, length).
 func hashPrefix(pfx prefix.Prefix) int {
-	h := uint32(2166136261)
-	for _, b := range [5]byte{byte(pfx.Addr() >> 24), byte(pfx.Addr() >> 16), byte(pfx.Addr() >> 8), byte(pfx.Addr()), byte(pfx.Bits())} {
-		h = (h ^ uint32(b)) * 16777619
-	}
+	const offset = 1469598103934665603
+	h := prefix.FoldIdentity(offset, pfx)
+	// Finalize so the low bits depend on every field.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
 	return int(h & 0x7fffffff)
 }
 

@@ -91,7 +91,7 @@ func mixedEvents(n int) []feedtypes.Event {
 			ev.Kind = feedtypes.Withdraw
 			ev.Prefix = prefix.MustParse("10.0.0.0/23")
 		default: // unrelated prefixes
-			ev.Prefix = prefix.New(prefix.Addr(uint32(172<<24)|uint32(i)<<8), 24)
+			ev.Prefix = prefix.New(prefix.AddrFrom4(uint32(172<<24)|uint32(i)<<8), 24)
 			ev.Path = []bgp.ASN{vp, 2000, bgp.ASN(3000 + i%17)}
 		}
 		evs = append(evs, ev)

@@ -33,7 +33,11 @@ func newCaptureTracker(env *Env) *captureTracker {
 		everCaptured: make(map[bgp.ASN]bool),
 	}
 	owned := env.Opts.Owned
-	if subs, err := owned.Deaggregate(min(owned.Bits()+1, 24)); err == nil {
+	probeLen := 24
+	if owned.Is6() {
+		probeLen = 48
+	}
+	if subs, err := owned.Deaggregate(min(owned.Bits()+1, probeLen)); err == nil {
 		for _, s := range subs {
 			t.probes = append(t.probes, s.Addr())
 		}

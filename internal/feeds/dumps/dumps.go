@@ -132,7 +132,7 @@ func (a *Archive) observe(vp bgp.ASN, ev simnet.RouteChange) {
 		u.Attrs = []bgp.PathAttr{
 			&bgp.OriginAttr{Value: bgp.OriginIGP},
 			bgp.NewASPath(path),
-			&bgp.NextHopAttr{Addr: prefix.Addr(vp)},
+			&bgp.NextHopAttr{Addr: prefix.AddrFrom4(uint32(vp))},
 		}
 		u.NLRI = []prefix.Prefix{ev.Prefix}
 	} else {
@@ -156,7 +156,7 @@ func (a *Archive) publishUpdates() {
 			Timestamp: simEpoch.Add(p.at),
 			PeerAS:    p.vp,
 			LocalAS:   0,
-			PeerIP:    prefix.Addr(p.vp),
+			PeerIP:    prefix.AddrFrom4(uint32(p.vp)),
 			Message:   p.msg,
 		}
 		if err := w.Write(rec); err != nil {
@@ -189,7 +189,7 @@ func (a *Archive) publishRIB() {
 	peerIdx := map[bgp.ASN]uint16{}
 	for i, vp := range a.cfg.Peers {
 		peerIdx[vp] = uint16(i)
-		pit.Peers = append(pit.Peers, mrt.Peer{BGPID: prefix.Addr(vp), IP: prefix.Addr(vp), AS: vp})
+		pit.Peers = append(pit.Peers, mrt.Peer{BGPID: prefix.AddrFrom4(uint32(vp)), IP: prefix.AddrFrom4(uint32(vp)), AS: vp})
 	}
 	if err := w.Write(pit); err != nil {
 		panic(fmt.Sprintf("dumps: encode peer index: %v", err))
@@ -209,7 +209,7 @@ func (a *Archive) publishRIB() {
 			attrs := []bgp.PathAttr{
 				&bgp.OriginAttr{Value: bgp.OriginIGP},
 				bgp.NewASPath(path),
-				&bgp.NextHopAttr{Addr: prefix.Addr(vp)},
+				&bgp.NextHopAttr{Addr: prefix.AddrFrom4(uint32(vp))},
 			}
 			if _, seen := byPrefix[r.Prefix]; !seen {
 				order = append(order, r.Prefix)

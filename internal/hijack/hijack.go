@@ -54,8 +54,8 @@ func AttackPrefix(k Kind, owned prefix.Prefix) (prefix.Prefix, error) {
 	case ExactOrigin, PathFake:
 		return owned, nil
 	case SubPrefix:
-		if owned.Bits() >= 32 {
-			return prefix.Prefix{}, fmt.Errorf("hijack: cannot sub-prefix a /32")
+		if owned.Bits() >= owned.MaxBits() {
+			return prefix.Prefix{}, fmt.Errorf("hijack: cannot sub-prefix a /%d", owned.Bits())
 		}
 		lo, _ := owned.Split()
 		return lo, nil

@@ -37,9 +37,12 @@ func (r *recordingAnnouncer) all() []prefix.Prefix {
 
 func equivConfig() *core.Config {
 	return &core.Config{
+		// A dual-stack owned portfolio: the paper's v4 shape plus a v6 /32,
+		// the ISSUE's v6 analogue (a real AS announces both).
 		OwnedPrefixes: []prefix.Prefix{
 			prefix.MustParse("10.0.0.0/23"),
 			prefix.MustParse("192.0.2.0/24"),
+			prefix.MustParse("2001:db8::/32"),
 		},
 		LegitOrigins:     []bgp.ASN{61000},
 		AllowedUpstreams: map[bgp.ASN][]bgp.ASN{61000: {2000, 2001}},
@@ -67,27 +70,39 @@ func overlappingStreams(rng *rand.Rand, k, nBase int) []sourcedCopy {
 			Kind:         feedtypes.Announce,
 			SeenAt:       time.Duration(i) * time.Millisecond,
 		}
-		switch rng.Intn(10) {
-		case 0, 1, 2, 3: // benign
+		switch rng.Intn(14) {
+		case 0, 1, 2: // benign v4
 			base.Prefix = prefix.MustParse("10.0.0.0/23")
 			base.Path = []bgp.ASN{vp, 2000, 61000}
-		case 4: // exact-origin hijack from a small attacker pool
+		case 3: // exact-origin hijack from a small attacker pool
 			base.Prefix = prefix.MustParse("10.0.0.0/23")
 			base.Path = []bgp.ASN{vp, 2000, bgp.ASN(660 + rng.Intn(4))}
-		case 5: // sub-prefix hijack
+		case 4: // sub-prefix hijack
 			base.Prefix = prefix.MustParse("10.0.1.0/24")
 			base.Path = []bgp.ASN{vp, 2000, bgp.ASN(660 + rng.Intn(4))}
-		case 6: // squat
+		case 5: // squat
 			base.Prefix = prefix.MustParse("192.0.0.0/16")
 			base.Path = []bgp.ASN{vp, 2000, bgp.ASN(660 + rng.Intn(4))}
-		case 7: // path anomaly candidate
+		case 6: // path anomaly candidate
 			base.Prefix = prefix.MustParse("10.0.0.0/23")
 			base.Path = []bgp.ASN{vp, bgp.ASN(2000 + rng.Intn(4)), 61000}
-		case 8: // withdrawal
+		case 7: // withdrawal
 			base.Kind = feedtypes.Withdraw
 			base.Prefix = prefix.MustParse("10.0.0.0/23")
-		default: // unrelated prefix (filtered by the subscription)
-			base.Prefix = prefix.New(prefix.Addr(uint32(172<<24)|uint32(rng.Intn(256))<<8), 24)
+		case 8, 9: // benign v6: the owned /32 from the legit origin
+			base.Prefix = prefix.MustParse("2001:db8::/32")
+			base.Path = []bgp.ASN{vp, 2000, 61000}
+		case 10: // v6 sub-prefix hijack: a /48 slice of the owned /32
+			base.Prefix = prefix.MustParse("2001:db8:beef::/48")
+			base.Path = []bgp.ASN{vp, 2000, bgp.ASN(660 + rng.Intn(4))}
+		case 11: // v6 squat: a covering /24
+			base.Prefix = prefix.MustParse("2001:d00::/24")
+			base.Path = []bgp.ASN{vp, 2000, bgp.ASN(660 + rng.Intn(4))}
+		case 12: // unrelated v6 prefix (filtered by the subscription)
+			base.Prefix = prefix.New(prefix.AddrFrom16(0x2400000000000000|uint64(rng.Intn(256))<<32, 0), 48)
+			base.Path = []bgp.ASN{vp, 2000, 3000}
+		default: // unrelated v4 prefix (filtered by the subscription)
+			base.Prefix = prefix.New(prefix.AddrFrom4(uint32(172<<24)|uint32(rng.Intn(256))<<8), 24)
 			base.Path = []bgp.ASN{vp, 2000, 3000}
 		}
 		// Observed by a random non-empty subset of sources — the
@@ -208,6 +223,50 @@ func TestMultiSourceFanInMatchesSerialDedupedUnion(t *testing.T) {
 				}
 				if re := fanMon.Rescore(0); re != gotSnap {
 					t.Fatalf("snapshot %+v != rescore oracle %+v", gotSnap, re)
+				}
+				// The ISSUE's acceptance scenario, end to end: the v6 /48
+				// sub-prefix hijack of the owned /32 must have been detected
+				// through ingest -> pipeline and mitigated through the queue
+				// (at the /48 filtering limit the response is a competitive
+				// re-announcement of the hijacked prefix, the v6 analogue of
+				// the paper's /24 caveat).
+				v6Hijack := prefix.MustParse("2001:db8:beef::/48")
+				var v6Alert *core.Alert
+				for i := range fanDet.Alerts() {
+					a := fanDet.Alerts()[i]
+					if a.Type == core.AlertSubPrefix && a.Prefix == v6Hijack {
+						v6Alert = &a
+						break
+					}
+				}
+				if v6Alert == nil {
+					t.Fatal("v6 sub-prefix hijack not alerted")
+				}
+				if want := prefix.MustParse("2001:db8::/32"); v6Alert.Owned != want {
+					t.Fatalf("v6 alert owned = %s, want %s", v6Alert.Owned, want)
+				}
+				var v6Rec *core.MitigationRecord
+				for i := range fanMit.Records() {
+					r := fanMit.Records()[i]
+					if r.Alert.Type == core.AlertSubPrefix && r.Alert.Prefix == v6Hijack {
+						v6Rec = &r
+						break
+					}
+				}
+				if v6Rec == nil {
+					t.Fatal("v6 sub-prefix hijack not mitigated")
+				}
+				if !v6Rec.Competitive || len(v6Rec.Announced) != 1 || v6Rec.Announced[0] != v6Hijack {
+					t.Fatalf("v6 mitigation = %+v, want competitive re-announcement of %s", v6Rec, v6Hijack)
+				}
+				foundAnn := false
+				for _, p := range fanAnn.all() {
+					if p == v6Hijack {
+						foundAnn = true
+					}
+				}
+				if !foundAnn {
+					t.Fatal("v6 mitigation never reached the controller")
 				}
 				// Dedup accounting: every suppressed copy is counted, and
 				// the delivered totals equal the union that matched the

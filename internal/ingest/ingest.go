@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/prefix"
 	"artemis/internal/stats"
 	"artemis/internal/ttlset"
 )
@@ -653,8 +654,11 @@ func keyOf(ev *feedtypes.Event) uint64 {
 	h := uint64(offset)
 	h = (h ^ uint64(ev.VantagePoint)) * prime
 	h = (h ^ uint64(ev.Kind)) * prime
-	h = (h ^ uint64(ev.Prefix.Addr())) * prime
-	h = (h ^ uint64(ev.Prefix.Bits())) * prime
+	// The prefix folds in as its full dual-stack identity: 128 address bits
+	// plus a family tag packed beside the length (prefix.FoldIdentity), so
+	// a v4 prefix and the numerically identical v4-mapped v6 prefix
+	// fingerprint differently.
+	h = prefix.FoldIdentity(h, ev.Prefix)
 	h = (h ^ uint64(ev.SeenAt)) * prime
 	for _, as := range ev.Path {
 		h = (h ^ uint64(as)) * prime

@@ -1,0 +1,46 @@
+package prefix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkTrieLPM measures longest-prefix match on the routing hot path:
+// the v4-only case (the pre-dual-stack workload, which the 128-bit widening
+// must not regress) against a mixed v4+v6 table, and the pure-v6 walk whose
+// keys are four times deeper. CI's benchdiff job compares these against the
+// PR base.
+func BenchmarkTrieLPM(b *testing.B) {
+	const tableSize = 4096
+	build := func(rng *rand.Rand, v6Every int) (*Trie[int], []Addr) {
+		tr := NewTrie[int]()
+		for i := 0; i < tableSize; i++ {
+			if v6Every > 0 && i%v6Every == 0 {
+				hi := uint64(0x20010db800000000) | uint64(rng.Uint32())<<8
+				tr.Insert(New(AddrFrom16(hi, 0), 32+rng.Intn(17)), i)
+			} else {
+				tr.Insert(New(AddrFrom4(rng.Uint32()), 8+rng.Intn(17)), i)
+			}
+		}
+		addrs := make([]Addr, 1024)
+		for i := range addrs {
+			if v6Every > 0 && i%v6Every == 0 {
+				addrs[i] = AddrFrom16(uint64(0x20010db800000000)|uint64(rng.Uint32())<<8, rng.Uint64())
+			} else {
+				addrs[i] = AddrFrom4(rng.Uint32())
+			}
+		}
+		return tr, addrs
+	}
+	run := func(b *testing.B, v6Every int) {
+		tr, addrs := build(rand.New(rand.NewSource(1)), v6Every)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.LongestMatch(addrs[i%len(addrs)])
+		}
+	}
+	b.Run("v4-only", func(b *testing.B) { run(b, 0) })
+	b.Run("dual-stack", func(b *testing.B) { run(b, 4) })
+	b.Run("v6-only", func(b *testing.B) { run(b, 1) })
+}

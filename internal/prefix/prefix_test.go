@@ -12,17 +12,20 @@ func TestParseAddr(t *testing.T) {
 		want Addr
 		ok   bool
 	}{
-		{"0.0.0.0", 0, true},
-		{"255.255.255.255", 0xffffffff, true},
-		{"10.0.0.1", 0x0a000001, true},
-		{"192.168.1.200", 0xc0a801c8, true},
-		{"1.2.3", 0, false},
-		{"1.2.3.4.5", 0, false},
-		{"256.0.0.1", 0, false},
-		{"-1.0.0.1", 0, false},
-		{"a.b.c.d", 0, false},
-		{"", 0, false},
-		{"1..2.3", 0, false},
+		{"0.0.0.0", AddrFrom4(0), true},
+		{"255.255.255.255", AddrFrom4(0xffffffff), true},
+		{"10.0.0.1", AddrFrom4(0x0a000001), true},
+		{"192.168.1.200", AddrFrom4(0xc0a801c8), true},
+		{"1.2.3", Addr{}, false},
+		{"1.2.3.4.5", Addr{}, false},
+		{"256.0.0.1", Addr{}, false},
+		{"-1.0.0.1", Addr{}, false},
+		{"a.b.c.d", Addr{}, false},
+		{"", Addr{}, false},
+		{"1..2.3", Addr{}, false},
+		{"010.0.0.1", Addr{}, false}, // leading zero: octal ambiguity
+		{"10.0.0.01", Addr{}, false},
+		{"0.0.0.0", AddrFrom4(0), true}, // but a bare zero octet is fine
 	}
 	for _, c := range cases {
 		got, err := ParseAddr(c.in)
@@ -31,7 +34,75 @@ func TestParseAddr(t *testing.T) {
 			continue
 		}
 		if c.ok && got != c.want {
-			t.Errorf("ParseAddr(%q) = %#x, want %#x", c.in, got, c.want)
+			t.Errorf("ParseAddr(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseAddr6(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"::", AddrFrom16(0, 0), true},
+		{"::1", AddrFrom16(0, 1), true},
+		{"1::", AddrFrom16(0x0001000000000000, 0), true},
+		{"2001:db8::", AddrFrom16(0x20010db800000000, 0), true},
+		{"2001:db8::1", AddrFrom16(0x20010db800000000, 1), true},
+		{"1:2:3:4:5:6:7:8", AddrFrom16(0x0001000200030004, 0x0005000600070008), true},
+		{"1:2:3:4:5:6:7::", AddrFrom16(0x0001000200030004, 0x0005000600070000), true},
+		{"::2:3:4:5:6:7:8", AddrFrom16(0x0000000200030004, 0x0005000600070008), true},
+		{"ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff", AddrFrom16(^uint64(0), ^uint64(0)), true},
+		{"::ffff:10.0.0.1", AddrFrom16(0, 0x0000ffff0a000001), true},
+		{"64:ff9b::1.2.3.4", AddrFrom16(0x0064ff9b00000000, 0x0000000001020304), true},
+		{"1:2:3:4:5:6:1.2.3.4", AddrFrom16(0x0001000200030004, 0x0005000601020304), true},
+		{"1:2:3:4:5:6:7:8:9", Addr{}, false}, // too many groups
+		{"1:2:3:4:5:6:7", Addr{}, false},     // too few without ::
+		{"1:2:3:4::5:6:7:8", Addr{}, false},  // :: must cover >= 1 group
+		{"1:::2", Addr{}, false},
+		{"::1::", Addr{}, false},
+		{":", Addr{}, false},
+		{":1::", Addr{}, false},
+		{"12345::", Addr{}, false}, // group too long
+		{"g::", Addr{}, false},
+		{"1.2.3.4::", Addr{}, false},   // v4 tail before ::
+		{"::1.2.3.4:5", Addr{}, false}, // v4 tail not last
+		{"::1.2.3", Addr{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseAddr(%q) err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", c.in, got, c.want)
+		}
+		if c.ok && !got.Is6() {
+			t.Errorf("ParseAddr(%q).Is6() = false", c.in)
+		}
+	}
+}
+
+func TestAddrString6Canonical(t *testing.T) {
+	// RFC 5952: lowercase, longest zero run compressed, leftmost tie,
+	// single zero groups never compressed.
+	cases := []struct{ in, want string }{
+		{"::", "::"},
+		{"::1", "::1"},
+		{"1::", "1::"},
+		{"2001:DB8::1", "2001:db8::1"},
+		{"2001:db8:0:0:1:0:0:1", "2001:db8::1:0:0:1"}, // leftmost of two equal runs
+		{"1:0:2:0:0:0:3:4", "1:0:2::3:4"},             // longest run wins
+		{"1:2:3:4:5:6:7:0", "1:2:3:4:5:6:7:0"},        // single zero not compressed
+		{"0:1:2:3:4:5:6:7", "0:1:2:3:4:5:6:7"},
+		{"::ffff:10.0.0.1", "::ffff:a00:1"}, // pure-hex canonical form
+	}
+	for _, c := range cases {
+		a := MustParseAddr(c.in)
+		if got := a.String(); got != c.want {
+			t.Errorf("String(%q) = %q, want %q", c.in, got, c.want)
 		}
 	}
 }
@@ -39,14 +110,42 @@ func TestParseAddr(t *testing.T) {
 func TestAddrStringRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 1000; i++ {
-		a := Addr(rng.Uint32())
+		a := AddrFrom4(rng.Uint32())
 		got, err := ParseAddr(a.String())
 		if err != nil {
 			t.Fatalf("ParseAddr(%q): %v", a.String(), err)
 		}
 		if got != a {
-			t.Fatalf("round trip %#x -> %q -> %#x", a, a.String(), got)
+			t.Fatalf("round trip %v -> %q -> %v", a, a.String(), got)
 		}
+	}
+	for i := 0; i < 1000; i++ {
+		a := AddrFrom16(rng.Uint64(), rng.Uint64())
+		if i%4 == 0 {
+			// Bias toward sparse addresses so :: compression is exercised.
+			a = AddrFrom16(rng.Uint64()&0xffff, rng.Uint64()&0xffff0000ffff)
+		}
+		got, err := ParseAddr(a.String())
+		if err != nil {
+			t.Fatalf("ParseAddr(%q): %v", a.String(), err)
+		}
+		if got != a {
+			t.Fatalf("round trip %v -> %q -> %v", a, a.String(), got)
+		}
+	}
+}
+
+func TestAddrFamilies(t *testing.T) {
+	v4 := MustParseAddr("10.0.0.1")
+	mapped := MustParseAddr("::ffff:10.0.0.1")
+	if v4 == mapped {
+		t.Fatal("v4 and v4-mapped v6 must be distinct addresses")
+	}
+	if v4.Compare(mapped) != -1 || mapped.Compare(v4) != 1 {
+		t.Fatal("v4 addresses must order before v6")
+	}
+	if v4.MaxBits() != 32 || mapped.MaxBits() != 128 {
+		t.Fatal("MaxBits wrong")
 	}
 }
 
@@ -64,6 +163,15 @@ func TestParse(t *testing.T) {
 		{"10.0.0.1/23", false}, // host bits set
 		{"10.0.1.0/23", false}, // host bits set
 		{"10.0.0.0/x", false},
+		{"10.0.0.0/08", false}, // zero-padded length
+		{"10.0.0.0/+8", false}, // signed length
+		{"0.0.0.0/00", false},
+		{"2001:db8::/32", true},
+		{"::/0", true},
+		{"::1/128", true},
+		{"2001:db8::/129", false},
+		{"2001:db8::1/32", false}, // host bits set
+		{"2001:db8::/24", false},  // host bits set (db8 beyond /24)
 	}
 	for _, c := range cases {
 		p, err := Parse(c.in)
@@ -82,15 +190,28 @@ func TestNewMasksHostBits(t *testing.T) {
 	if got := p.String(); got != "10.0.0.0/23" {
 		t.Errorf("New masked = %q, want 10.0.0.0/23", got)
 	}
+	p = New(MustParseAddr("2001:db8:dead:beef::1"), 48)
+	if got := p.String(); got != "2001:db8:dead::/48" {
+		t.Errorf("New masked = %q, want 2001:db8:dead::/48", got)
+	}
 }
 
 func TestNewPanicsOnBadLength(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("New(_, 33) did not panic")
+			t.Fatal("New(v4, 33) did not panic")
 		}
 	}()
-	New(0, 33)
+	New(Addr{}, 33)
+}
+
+func TestNewPanicsOnBadLength6(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(v6, 129) did not panic")
+		}
+	}()
+	New(MustParseAddr("::"), 129)
 }
 
 func TestContains(t *testing.T) {
@@ -105,6 +226,13 @@ func TestContains(t *testing.T) {
 		{"10.0.0.0/24", "10.0.0.0/23", false},
 		{"0.0.0.0/0", "203.0.113.0/24", true},
 		{"10.0.0.0/8", "11.0.0.0/8", false},
+		{"2001:db8::/32", "2001:db8:1::/48", true},
+		{"2001:db8::/32", "2001:db9::/48", false},
+		{"2001:db8::/48", "2001:db8::/32", false},
+		{"::/0", "2001:db8::/32", true},
+		// Families never contain each other, even the default routes.
+		{"0.0.0.0/0", "2001:db8::/32", false},
+		{"::/0", "10.0.0.0/8", false},
 	}
 	for _, c := range cases {
 		p, q := MustParse(c.p), MustParse(c.q)
@@ -122,6 +250,16 @@ func TestContainsAddr(t *testing.T) {
 	if p.ContainsAddr(MustParseAddr("10.0.2.0")) {
 		t.Error("10.0.2.0 should be outside 10.0.0.0/23")
 	}
+	p6 := MustParse("2001:db8::/32")
+	if !p6.ContainsAddr(MustParseAddr("2001:db8:ffff::1")) {
+		t.Error("2001:db8:ffff::1 should be inside 2001:db8::/32")
+	}
+	if p6.ContainsAddr(MustParseAddr("2001:db9::")) {
+		t.Error("2001:db9:: should be outside 2001:db8::/32")
+	}
+	if p6.ContainsAddr(MustParseAddr("10.0.0.1")) {
+		t.Error("a v4 address is never inside a v6 prefix")
+	}
 }
 
 func TestOverlaps(t *testing.T) {
@@ -134,6 +272,13 @@ func TestOverlaps(t *testing.T) {
 	if a.Overlaps(c) {
 		t.Error("a and c should not overlap")
 	}
+	v6 := MustParse("2001:db8::/32")
+	if v6.Overlaps(a) || a.Overlaps(v6) {
+		t.Error("families never overlap")
+	}
+	if !v6.Overlaps(MustParse("2001:db8:42::/48")) {
+		t.Error("v6 super/sub should overlap")
+	}
 }
 
 func TestSplit(t *testing.T) {
@@ -141,20 +286,36 @@ func TestSplit(t *testing.T) {
 	if lo.String() != "10.0.0.0/24" || hi.String() != "10.0.1.0/24" {
 		t.Errorf("Split = %s, %s", lo, hi)
 	}
+	lo, hi = MustParse("2001:db8::/32").Split()
+	if lo.String() != "2001:db8::/33" || hi.String() != "2001:db8:8000::/33" {
+		t.Errorf("Split v6 = %s, %s", lo, hi)
+	}
+	// Splitting across the hi/lo word boundary.
+	lo, hi = MustParse("2001:db8::/64").Split()
+	if lo.String() != "2001:db8::/65" || hi.String() != "2001:db8:0:0:8000::/65" {
+		t.Errorf("Split /64 = %s, %s", lo, hi)
+	}
 }
 
-func TestSplitPanicsOn32(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Split of /32 did not panic")
-		}
-	}()
-	MustParse("10.0.0.1/32").Split()
+func TestSplitPanicsOnFullLength(t *testing.T) {
+	for _, s := range []string{"10.0.0.1/32", "::1/128"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Split of %s did not panic", s)
+				}
+			}()
+			MustParse(s).Split()
+		}()
+	}
 }
 
 func TestParent(t *testing.T) {
 	if got := MustParse("10.0.1.0/24").Parent(); got.String() != "10.0.0.0/23" {
 		t.Errorf("Parent = %s", got)
+	}
+	if got := MustParse("2001:db8:8000::/33").Parent(); got.String() != "2001:db8::/32" {
+		t.Errorf("Parent v6 = %s", got)
 	}
 }
 
@@ -184,6 +345,35 @@ func TestDeaggregate(t *testing.T) {
 	}
 }
 
+func TestDeaggregate6(t *testing.T) {
+	p := MustParse("2001:db8::/46")
+	subs, err := p.Deaggregate(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"2001:db8::/48", "2001:db8:1::/48", "2001:db8:2::/48", "2001:db8:3::/48"}
+	if len(subs) != len(want) {
+		t.Fatalf("got %d sub-prefixes, want %d", len(subs), len(want))
+	}
+	for i, s := range subs {
+		if s.String() != want[i] {
+			t.Errorf("sub[%d] = %s, want %s", i, s, want[i])
+		}
+	}
+	// Stepping that carries across the hi/lo word boundary.
+	p = MustParse("2001:db8::/63")
+	subs, err = p.Deaggregate(65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []string{"2001:db8::/65", "2001:db8:0:0:8000::/65", "2001:db8:0:1::/65", "2001:db8:0:1:8000::/65"}
+	for i, s := range subs {
+		if s.String() != want[i] {
+			t.Errorf("sub[%d] = %s, want %s", i, s, want[i])
+		}
+	}
+}
+
 func TestDeaggregateIdentity(t *testing.T) {
 	p := MustParse("10.0.0.0/24")
 	subs, err := p.Deaggregate(24)
@@ -203,6 +393,12 @@ func TestDeaggregateRefusesExplosion(t *testing.T) {
 	if _, err := MustParse("10.0.0.0/8").Deaggregate(33); err == nil {
 		t.Fatal("expected error for invalid target length")
 	}
+	if _, err := MustParse("2001:db8::/32").Deaggregate(64); err == nil {
+		t.Fatal("expected error de-aggregating v6 /32 to /64s")
+	}
+	if _, err := MustParse("2001:db8::/32").Deaggregate(129); err == nil {
+		t.Fatal("expected error for invalid v6 target length")
+	}
 }
 
 func TestDeaggregateCoversExactly(t *testing.T) {
@@ -213,7 +409,7 @@ func TestDeaggregateCoversExactly(t *testing.T) {
 		if tlen > 32 {
 			tlen = 32
 		}
-		p := New(Addr(raw), plen)
+		p := New(AddrFrom4(raw), plen)
 		subs, err := p.Deaggregate(tlen)
 		if err != nil {
 			return false
@@ -226,7 +422,39 @@ func TestDeaggregateCoversExactly(t *testing.T) {
 			if !p.Contains(s) {
 				return false
 			}
-			if i > 0 && s.Addr() != subs[i-1].Last()+1 {
+			if i > 0 && s.Addr() != subs[i-1].Last().Next() {
+				return false
+			}
+		}
+		return subs[len(subs)-1].Last() == p.Last()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeaggregateCoversExactly6(t *testing.T) {
+	// Same partition property over the full 128-bit space, with lengths
+	// straddling the hi/lo word boundary.
+	prop := func(hi, lo uint64, plen8, tlen8 uint8) bool {
+		plen := int(plen8 % 121) // 0..120
+		tlen := plen + int(tlen8%8)
+		if tlen > 128 {
+			tlen = 128
+		}
+		p := New(AddrFrom16(hi, lo), plen)
+		subs, err := p.Deaggregate(tlen)
+		if err != nil {
+			return false
+		}
+		if subs[0].Addr() != p.Addr() {
+			return false
+		}
+		for i, s := range subs {
+			if !p.Contains(s) {
+				return false
+			}
+			if i > 0 && s.Addr() != subs[i-1].Last().Next() {
 				return false
 			}
 		}
@@ -250,6 +478,10 @@ func TestCompare(t *testing.T) {
 	if a.Compare(a) != 0 {
 		t.Error("equal prefixes should compare 0")
 	}
+	v6 := MustParse("::/0")
+	if a.Compare(v6) != -1 || v6.Compare(a) != 1 {
+		t.Error("v4 prefixes should order before v6")
+	}
 }
 
 func TestLast(t *testing.T) {
@@ -259,17 +491,68 @@ func TestLast(t *testing.T) {
 	if got := MustParse("10.0.0.4/32").Last(); got != MustParseAddr("10.0.0.4") {
 		t.Errorf("Last /32 = %s", got)
 	}
+	if got := MustParse("2001:db8::/32").Last(); got != MustParseAddr("2001:db8:ffff:ffff:ffff:ffff:ffff:ffff") {
+		t.Errorf("Last v6 = %s", got)
+	}
 }
 
 func TestContainmentProperty(t *testing.T) {
 	// Property: p.Contains(q) iff every address formed inside q is inside p.
 	prop := func(raw1, raw2 uint32, l1, l2 uint8) bool {
-		p := New(Addr(raw1), int(l1%33))
-		q := New(Addr(raw2), int(l2%33))
+		p := New(AddrFrom4(raw1), int(l1%33))
+		q := New(AddrFrom4(raw2), int(l2%33))
 		want := p.ContainsAddr(q.Addr()) && p.ContainsAddr(q.Last()) && p.Bits() <= q.Bits()
 		return p.Contains(q) == want
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestContainmentProperty6(t *testing.T) {
+	prop := func(hi1, lo1, hi2, lo2 uint64, l1, l2 uint8) bool {
+		p := New(AddrFrom16(hi1, lo1), int(l1%129))
+		q := New(AddrFrom16(hi2, lo2), int(l2%129))
+		want := p.ContainsAddr(q.Addr()) && p.ContainsAddr(q.Last()) && p.Bits() <= q.Bits()
+		return p.Contains(q) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireBytesRoundTrip(t *testing.T) {
+	prop := func(hi, lo uint64, raw uint32, len4, len6 uint8, pick bool) bool {
+		var p Prefix
+		if pick {
+			p = New(AddrFrom4(raw), int(len4%33))
+		} else {
+			p = New(AddrFrom16(hi, lo), int(len6%129))
+		}
+		b := p.AppendBytes(nil)
+		if len(b) != (p.Bits()+7)/8 {
+			return false
+		}
+		got, err := FromBytes(b, p.Bits(), p.Is6())
+		return err == nil && got == p
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromBytesRejectsTrailingBits(t *testing.T) {
+	if _, err := FromBytes([]byte{10, 0, 1}, 23, false); err == nil {
+		t.Fatal("trailing v4 bits accepted")
+	}
+	// Bit 32 (0x80 in the fifth byte) is inside a /33; bit 33 (0x40) is not.
+	if _, err := FromBytes([]byte{0x20, 0x01, 0x0d, 0xb8, 0x80}, 33, true); err != nil {
+		t.Fatalf("in-range bit rejected: %v", err)
+	}
+	if _, err := FromBytes([]byte{0x20, 0x01, 0x0d, 0xb8, 0x40}, 33, true); err == nil {
+		t.Fatal("trailing v6 bits accepted")
+	}
+	if _, err := FromBytes([]byte{10}, 16, false); err == nil {
+		t.Fatal("short buffer accepted")
 	}
 }

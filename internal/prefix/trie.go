@@ -5,11 +5,16 @@ package prefix
 // forwarding rule that makes de-aggregation an effective mitigation), and
 // subtree enumeration ("all announced prefixes covered by my /22").
 //
+// The trie is dual-stack: one radix tree per address family, selected by
+// the key's family, so v4 and v6 prefixes never shadow each other and the
+// v4 path pays nothing for the wider keys. Walk order is all v4 prefixes
+// (trie order) followed by all v6 prefixes.
+//
 // The trie is not safe for concurrent mutation; routers in the simulator
 // are single-goroutine actors, and ARTEMIS guards its own trie with a mutex.
 type Trie[V any] struct {
-	root *node[V]
-	size int
+	root4, root6 *node[V]
+	size         int
 }
 
 type node[V any] struct {
@@ -19,15 +24,24 @@ type node[V any] struct {
 }
 
 // NewTrie returns an empty trie.
-func NewTrie[V any]() *Trie[V] { return &Trie[V]{root: &node[V]{}} }
+func NewTrie[V any]() *Trie[V] {
+	return &Trie[V]{root4: &node[V]{}, root6: &node[V]{}}
+}
 
-// Len returns the number of prefixes stored.
+func (t *Trie[V]) root(is6 bool) *node[V] {
+	if is6 {
+		return t.root6
+	}
+	return t.root4
+}
+
+// Len returns the number of prefixes stored (both families).
 func (t *Trie[V]) Len() int { return t.size }
 
 // Insert stores val under p, replacing any existing value.
 // It reports whether the prefix was newly added.
 func (t *Trie[V]) Insert(p Prefix, val V) bool {
-	n := t.root
+	n := t.root(p.Is6())
 	for i := 0; i < p.Bits(); i++ {
 		b := p.bit(i)
 		if n.child[b] == nil {
@@ -45,7 +59,7 @@ func (t *Trie[V]) Insert(p Prefix, val V) bool {
 
 // Get returns the value stored exactly at p.
 func (t *Trie[V]) Get(p Prefix) (V, bool) {
-	n := t.root
+	n := t.root(p.Is6())
 	for i := 0; i < p.Bits(); i++ {
 		n = n.child[p.bit(i)]
 		if n == nil {
@@ -65,7 +79,7 @@ func (t *Trie[V]) Get(p Prefix) (V, bool) {
 func (t *Trie[V]) Delete(p Prefix) bool {
 	// Record the path so we can prune bottom-up.
 	path := make([]*node[V], 0, p.Bits()+1)
-	n := t.root
+	n := t.root(p.Is6())
 	path = append(path, n)
 	for i := 0; i < p.Bits(); i++ {
 		n = n.child[p.bit(i)]
@@ -91,55 +105,77 @@ func (t *Trie[V]) Delete(p Prefix) bool {
 }
 
 // LongestMatch returns the most specific stored prefix containing addr,
-// with its value. ok is false when nothing covers addr.
+// with its value. ok is false when nothing in addr's family covers addr.
+//
+// The descent is specialized per family — a word-shift walk instead of
+// per-bit index arithmetic — so the v4 hot path pays nothing for the
+// 128-bit widening (BenchmarkTrieLPM).
 func (t *Trie[V]) LongestMatch(addr Addr) (p Prefix, val V, ok bool) {
-	n := t.root
-	var (
-		bestLen  = -1
-		bestVal  V
-		bestBits int
-	)
-	if n.set {
-		bestLen, bestVal, bestBits = 0, n.val, 0
-	}
-	for i := 0; i < 32 && n != nil; i++ {
-		b := int(addr >> (31 - uint(i)) & 1)
-		n = n.child[b]
-		if n != nil && n.set {
-			bestLen, bestVal, bestBits = i+1, n.val, i+1
-		}
-	}
+	bestLen, bestVal := t.descend(addr, addr.MaxBits())
 	if bestLen < 0 {
 		return Prefix{}, bestVal, false
 	}
-	return New(addr, bestBits), bestVal, true
+	return New(addr, bestLen), bestVal, true
 }
 
 // LongestMatchPrefix returns the most specific stored prefix that contains q
 // (including q itself when stored).
 func (t *Trie[V]) LongestMatchPrefix(q Prefix) (p Prefix, val V, ok bool) {
-	n := t.root
-	bestLen := -1
-	var bestVal V
-	if n.set {
-		bestLen, bestVal = 0, n.val
-	}
-	for i := 0; i < q.Bits() && n != nil; i++ {
-		n = n.child[q.bit(i)]
-		if n != nil && n.set {
-			bestLen, bestVal = i+1, n.val
-		}
-	}
+	bestLen, bestVal := t.descend(q.addr, q.Bits())
 	if bestLen < 0 {
 		return Prefix{}, bestVal, false
 	}
 	return New(q.Addr(), bestLen), bestVal, true
 }
 
+// descend walks at most maxDepth bits of addr's tree and returns the
+// length and value of the deepest stored prefix on the path (-1 when the
+// path holds none).
+func (t *Trie[V]) descend(addr Addr, maxDepth int) (bestLen int, bestVal V) {
+	bestLen = -1
+	if !addr.is6 {
+		n := t.root4
+		if n.set {
+			bestLen, bestVal = 0, n.val
+		}
+		w := uint32(addr.lo)
+		for i := 0; i < maxDepth; i++ {
+			n = n.child[w>>31]
+			if n == nil {
+				return bestLen, bestVal
+			}
+			w <<= 1
+			if n.set {
+				bestLen, bestVal = i+1, n.val
+			}
+		}
+		return bestLen, bestVal
+	}
+	n := t.root6
+	if n.set {
+		bestLen, bestVal = 0, n.val
+	}
+	w := addr.hi
+	for i := 0; i < maxDepth; i++ {
+		if i == 64 {
+			w = addr.lo
+		}
+		n = n.child[w>>63]
+		if n == nil {
+			return bestLen, bestVal
+		}
+		w <<= 1
+		if n.set {
+			bestLen, bestVal = i+1, n.val
+		}
+	}
+	return bestLen, bestVal
+}
+
 // CoveredBy calls fn for every stored prefix contained in p (including p
 // itself when stored), in trie order. Returning false stops the walk.
 func (t *Trie[V]) CoveredBy(p Prefix, fn func(Prefix, V) bool) {
-	n := t.root
+	n := t.root(p.Is6())
 	for i := 0; i < p.Bits(); i++ {
 		n = n.child[p.bit(i)]
 		if n == nil {
@@ -149,10 +185,14 @@ func (t *Trie[V]) CoveredBy(p Prefix, fn func(Prefix, V) bool) {
 	walk(n, p, fn)
 }
 
-// Walk calls fn for every stored prefix, in trie order (address order,
-// shorter prefixes before their sub-prefixes). Returning false stops.
+// Walk calls fn for every stored prefix: all v4 prefixes in trie order
+// (address order, shorter prefixes before their sub-prefixes), then all v6
+// prefixes likewise. Returning false stops.
 func (t *Trie[V]) Walk(fn func(Prefix, V) bool) {
-	walk(t.root, Prefix{}, fn)
+	if !walk(t.root4, Prefix{}, fn) {
+		return
+	}
+	walk(t.root6, Prefix{addr: Addr{is6: true}}, fn)
 }
 
 func walk[V any](n *node[V], at Prefix, fn func(Prefix, V) bool) bool {
@@ -162,7 +202,7 @@ func walk[V any](n *node[V], at Prefix, fn func(Prefix, V) bool) bool {
 	if n.set && !fn(at, n.val) {
 		return false
 	}
-	if at.Bits() == 32 {
+	if at.Bits() == at.MaxBits() {
 		return true
 	}
 	lo, hi := at.Split()

@@ -1,0 +1,169 @@
+package prefix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// oracle is the naive reference the trie is checked against: a flat set of
+// prefixes with linear-scan longest-prefix match.
+type oracle struct {
+	set map[Prefix]int
+}
+
+func newOracle() *oracle { return &oracle{set: map[Prefix]int{}} }
+
+func (o *oracle) insert(p Prefix, v int) bool {
+	_, had := o.set[p]
+	o.set[p] = v
+	return !had
+}
+
+func (o *oracle) delete(p Prefix) bool {
+	_, had := o.set[p]
+	delete(o.set, p)
+	return had
+}
+
+func (o *oracle) longestMatch(a Addr) (Prefix, int, bool) {
+	best, bestV, ok := Prefix{}, 0, false
+	for p, v := range o.set {
+		if p.ContainsAddr(a) && (!ok || p.Bits() > best.Bits()) {
+			best, bestV, ok = p, v, true
+		}
+	}
+	return best, bestV, ok
+}
+
+func (o *oracle) longestMatchPrefix(q Prefix) (Prefix, int, bool) {
+	best, bestV, ok := Prefix{}, 0, false
+	for p, v := range o.set {
+		if p.Contains(q) && (!ok || p.Bits() > best.Bits()) {
+			best, bestV, ok = p, v, true
+		}
+	}
+	return best, bestV, ok
+}
+
+// randPrefix draws a mixed-family prefix from a deliberately collision-happy
+// space (few distinct address bits, all lengths) so inserts, replacements,
+// deletes, and nested prefixes all occur.
+func randPrefix(rng *rand.Rand) Prefix {
+	if rng.Intn(2) == 0 {
+		return New(AddrFrom4(rng.Uint32()&0xfff00000), rng.Intn(13))
+	}
+	hi := uint64(0x20010db800000000) | uint64(rng.Intn(1<<12))<<20
+	lo := uint64(rng.Intn(4)) << 62
+	bits := rng.Intn(67) // 0..66 straddles the hi/lo word boundary
+	return New(AddrFrom16(hi, lo), bits)
+}
+
+func randAddr(rng *rand.Rand) Addr {
+	if rng.Intn(2) == 0 {
+		return AddrFrom4(rng.Uint32() & 0xffff0000)
+	}
+	return AddrFrom16(uint64(0x20010db800000000)|uint64(rng.Intn(1<<12))<<20, uint64(rng.Uint32())<<32)
+}
+
+// TestTrieMatchesOracleDualStack drives randomized insert/delete/lookup
+// interleavings over mixed v4+v6 prefix sets and checks every operation's
+// result — and, periodically, full LPM agreement — against the linear-scan
+// oracle. This is the property wall around the dual-stack generalization:
+// any divergence between the 128-bit radix walk and first-principles
+// containment fails here.
+func TestTrieMatchesOracleDualStack(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTrie[int]()
+		ref := newOracle()
+		for op := 0; op < 4000; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // insert
+				p := randPrefix(rng)
+				if got, want := tr.Insert(p, op), ref.insert(p, op); got != want {
+					t.Fatalf("seed %d op %d: Insert(%s) added=%v, oracle %v", seed, op, p, got, want)
+				}
+			case 4, 5: // delete
+				p := randPrefix(rng)
+				if got, want := tr.Delete(p), ref.delete(p); got != want {
+					t.Fatalf("seed %d op %d: Delete(%s) = %v, oracle %v", seed, op, p, got, want)
+				}
+			case 6, 7: // address LPM
+				a := randAddr(rng)
+				gotP, gotV, gotOK := tr.LongestMatch(a)
+				wantP, wantV, wantOK := ref.longestMatch(a)
+				if gotOK != wantOK || (gotOK && (gotP != wantP || gotV != wantV)) {
+					t.Fatalf("seed %d op %d: LongestMatch(%s) = %s,%d,%v; oracle %s,%d,%v",
+						seed, op, a, gotP, gotV, gotOK, wantP, wantV, wantOK)
+				}
+			case 8: // prefix LPM
+				q := randPrefix(rng)
+				gotP, gotV, gotOK := tr.LongestMatchPrefix(q)
+				wantP, wantV, wantOK := ref.longestMatchPrefix(q)
+				if gotOK != wantOK || (gotOK && (gotP != wantP || gotV != wantV)) {
+					t.Fatalf("seed %d op %d: LongestMatchPrefix(%s) = %s,%d,%v; oracle %s,%d,%v",
+						seed, op, q, gotP, gotV, gotOK, wantP, wantV, wantOK)
+				}
+			case 9: // exact get
+				p := randPrefix(rng)
+				gotV, gotOK := tr.Get(p)
+				wantV, wantOK := ref.set[p]
+				if gotOK != wantOK || (gotOK && gotV != wantV) {
+					t.Fatalf("seed %d op %d: Get(%s) = %d,%v; oracle %d,%v", seed, op, p, gotV, gotOK, wantV, wantOK)
+				}
+			}
+			if tr.Len() != len(ref.set) {
+				t.Fatalf("seed %d op %d: Len = %d, oracle %d", seed, op, tr.Len(), len(ref.set))
+			}
+		}
+		// Final sweep: the walk enumerates exactly the oracle's set.
+		walked := map[Prefix]int{}
+		tr.Walk(func(p Prefix, v int) bool {
+			walked[p] = v
+			return true
+		})
+		if len(walked) != len(ref.set) {
+			t.Fatalf("seed %d: Walk saw %d prefixes, oracle has %d", seed, len(walked), len(ref.set))
+		}
+		for p, v := range ref.set {
+			if walked[p] != v {
+				t.Fatalf("seed %d: Walk missed %s=%d", seed, p, v)
+			}
+		}
+	}
+}
+
+// TestTrieCoveredByMatchesOracleDualStack checks subtree enumeration (the
+// squat-detection path) against the oracle.
+func TestTrieCoveredByMatchesOracleDualStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := NewTrie[int]()
+	ref := newOracle()
+	for i := 0; i < 2000; i++ {
+		p := randPrefix(rng)
+		tr.Insert(p, i)
+		ref.insert(p, i)
+	}
+	for i := 0; i < 500; i++ {
+		q := randPrefix(rng)
+		got := map[Prefix]bool{}
+		tr.CoveredBy(q, func(p Prefix, _ int) bool {
+			got[p] = true
+			return true
+		})
+		want := map[Prefix]bool{}
+		for p := range ref.set {
+			if q.Contains(p) {
+				want[p] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("CoveredBy(%s): %d prefixes, oracle %d", q, len(got), len(want))
+		}
+		for p := range want {
+			if !got[p] {
+				t.Fatalf("CoveredBy(%s) missed %s", q, p)
+			}
+		}
+	}
+}

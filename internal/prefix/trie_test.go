@@ -118,8 +118,13 @@ func TestTrieDeletePrunes(t *testing.T) {
 	tr.Insert(MustParse("10.0.0.0/24"), 1)
 	tr.Delete(MustParse("10.0.0.0/24"))
 	// After pruning, the root must have no children.
-	if tr.root.child[0] != nil || tr.root.child[1] != nil {
+	if tr.root4.child[0] != nil || tr.root4.child[1] != nil {
 		t.Fatal("trie not pruned after delete")
+	}
+	tr.Insert(MustParse("2001:db8::/48"), 1)
+	tr.Delete(MustParse("2001:db8::/48"))
+	if tr.root6.child[0] != nil || tr.root6.child[1] != nil {
+		t.Fatal("v6 trie not pruned after delete")
 	}
 }
 
@@ -146,7 +151,8 @@ func TestTrieCoveredBy(t *testing.T) {
 
 func TestTrieWalkOrderAndStop(t *testing.T) {
 	tr := NewTrie[int]()
-	ins := []string{"192.168.0.0/16", "10.0.0.0/8", "10.0.0.0/24", "172.16.0.0/12"}
+	ins := []string{"192.168.0.0/16", "10.0.0.0/8", "10.0.0.0/24", "172.16.0.0/12",
+		"2001:db8::/32", "2001:db8::/48", "::/0"}
 	for i, s := range ins {
 		tr.Insert(MustParse(s), i)
 	}
@@ -178,7 +184,7 @@ func TestTrieAgainstLinearScan(t *testing.T) {
 	tr := NewTrie[int]()
 	var stored []Prefix
 	for i := 0; i < 500; i++ {
-		p := New(Addr(rng.Uint32()), 8+rng.Intn(25))
+		p := New(AddrFrom4(rng.Uint32()), 8+rng.Intn(25))
 		if tr.Insert(p, i) {
 			stored = append(stored, p)
 		}
@@ -193,7 +199,7 @@ func TestTrieAgainstLinearScan(t *testing.T) {
 		return best, ok
 	}
 	for i := 0; i < 5000; i++ {
-		a := Addr(rng.Uint32())
+		a := AddrFrom4(rng.Uint32())
 		wantP, wantOK := linear(a)
 		gotP, _, gotOK := tr.LongestMatch(a)
 		if gotOK != wantOK || (gotOK && gotP != wantP) {
@@ -209,7 +215,7 @@ func TestTrieQuickInsertDeleteInvariant(t *testing.T) {
 		tr := NewTrie[bool]()
 		ref := map[Prefix]bool{}
 		for _, op := range ops {
-			p := New(Addr(op&^0xff), 16+int(op%9)) // /16../24
+			p := New(AddrFrom4(op&^0xff), 16+int(op%9)) // /16../24
 			if op&0x80 != 0 {
 				tr.Delete(p)
 				delete(ref, p)

@@ -35,7 +35,7 @@ func convergedInternet(t *testing.T, seed int64) (*topo.Topology, *Network) {
 		topo.FirstASN + bgp.ASN(cfg.Tier1+cfg.Transit+50), // another stub
 	}
 	for i, o := range origins {
-		nw.Announce(o, prefix.New(prefix.Addr(uint32(10+i)<<24), 23))
+		nw.Announce(o, prefix.New(prefix.AddrFrom4(uint32(10+i)<<24), 23))
 	}
 	eng.Run()
 	return tp, nw

@@ -41,10 +41,14 @@ type Config struct {
 	// ProcMin/ProcMax bound the per-message processing delay a router adds
 	// before its updates become visible. Defaults 10ms–100ms.
 	ProcMin, ProcMax time.Duration
-	// FilterMoreSpecificThan drops announcements of prefixes more specific
-	// than this length at ingress. Default 24 — "BGP advertisements of
-	// prefixes smaller than /24 are filtered" (§2). Set to 32 to disable.
+	// FilterMoreSpecificThan drops announcements of IPv4 prefixes more
+	// specific than this length at ingress. Default 24 — "BGP
+	// advertisements of prefixes smaller than /24 are filtered" (§2). Set
+	// to 32 to disable.
 	FilterMoreSpecificThan int
+	// FilterMoreSpecificThan6 is the IPv6 ingress filter length. Default
+	// 48, the v6 analogue of the /24 convention. Set to 128 to disable.
+	FilterMoreSpecificThan6 int
 	// FilterFraction is the fraction of ASes that apply the ingress
 	// filter. Default 1.0 (conservative: /25+ effectively never
 	// propagates); lower it for the E4 ablation.
@@ -66,6 +70,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FilterMoreSpecificThan == 0 {
 		c.FilterMoreSpecificThan = 24
+	}
+	if c.FilterMoreSpecificThan6 == 0 {
+		c.FilterMoreSpecificThan6 = 48
 	}
 	if c.FilterFraction == 0 {
 		c.FilterFraction = 1.0
@@ -272,7 +279,11 @@ func (n *Node) receive(msg updateMsg) {
 		}
 	}
 	for _, a := range msg.announce {
-		if n.filters && a.prefix.Bits() > n.nw.cfg.FilterMoreSpecificThan {
+		limit := n.nw.cfg.FilterMoreSpecificThan
+		if a.prefix.Is6() {
+			limit = n.nw.cfg.FilterMoreSpecificThan6
+		}
+		if n.filters && a.prefix.Bits() > limit {
 			n.nw.prefixesDropped++
 			continue
 		}
