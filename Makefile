@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench soak fuzz fmt vet ci
+.PHONY: build test race bench soak fuzz fmt vet examples ci
 
 build:
 	$(GO) build ./...
@@ -37,4 +37,10 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt build vet race
+# Build every example/command and run the public-API Example tests —
+# the same gate CI's examples job applies to the pkg/ surface.
+examples:
+	$(GO) build ./examples/... ./cmd/...
+	$(GO) test -run Example -v ./pkg/...
+
+ci: fmt build vet race examples

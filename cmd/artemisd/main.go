@@ -1,31 +1,30 @@
-// artemisd is the ARTEMIS daemon: it supervises any number of live
-// monitoring feed connections (RIS-style WebSocket streams, BGPmon-style
-// XML streams, MRT archive replays), fans them into the sharded detection
-// pipeline with cross-source dedup, watches the configured prefixes, and
-// on detection mitigates through a controller's REST API. It is the
-// client side of cmd/simnet.
+// artemisd is the ARTEMIS daemon: a thin shell over the embeddable
+// pkg/artemis API. It loads a declarative config file, applies flag
+// overrides, assembles a node (supervised multi-source ingest, sharded
+// detection pipeline, incremental monitor, bounded async mitigation) and
+// serves the versioned HTTP control plane — including /metrics and live
+// reconfiguration — until SIGINT/SIGTERM, then drains gracefully.
+//
+//	go run ./cmd/artemisd -config artemis.yaml
+//
+// or flag-only, as earlier versions were driven:
 //
 //	go run ./cmd/artemisd \
 //	    -prefix 10.0.0.0/23,2001:db8::/32 -origin 61000 \
-//	    -ris ws://127.0.0.1:PORT/v1/ws -ris ws://127.0.0.1:PORT2/v1/ws \
-//	    -bgpmon 127.0.0.1:PORT \
-//	    -controller http://127.0.0.1:PORT
+//	    -ris ws://127.0.0.1:PORT/v1/ws -bgpmon 127.0.0.1:PORT \
+//	    -controller http://127.0.0.1:PORT -listen :9130
 //
-// The owned-prefix list is dual-stack: v4 and v6 prefixes mix freely, and
-// every feed, the detection pipeline, and mitigation handle both families
-// (v4 mitigation clamps de-aggregation at /24, v6 at /48).
-//
-// -ris/-bgpmon/-mrt are repeatable: every occurrence adds one supervised
-// source. Dead connections are redialed with exponential backoff; a
-// flapping source sheds its own load without stalling its siblings. On
-// SIGINT/SIGTERM the daemon shuts down gracefully: sources stop, the
-// pipeline flushes, the mitigation queue drains, then it exits.
+// Flags override the config file where both are given. While running,
+// owned prefixes, origins and feed sources are all hot-reconfigurable
+// over HTTP (POST/DELETE /v1/prefixes, /v1/sources) with no restart; the
+// /v1/alerts/stream endpoint serves alerts, mitigation outcomes and
+// source-health transitions as server-sent events.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"os"
@@ -35,12 +34,8 @@ import (
 	"syscall"
 	"time"
 
-	"artemis/internal/bgp"
-	"artemis/internal/controller"
-	"artemis/internal/core"
-	"artemis/internal/feeds/feedtypes"
-	"artemis/internal/ingest"
-	"artemis/internal/prefix"
+	"artemis/pkg/artemis"
+	"artemis/pkg/artemis/control"
 )
 
 // listFlag collects repeated occurrences of a flag.
@@ -53,152 +48,146 @@ func (l *listFlag) Set(v string) error {
 }
 
 func main() {
-	prefixes := flag.String("prefix", "", "comma-separated owned prefixes, v4 and/or v6 (required)")
-	origins := flag.String("origin", "", "comma-separated legitimate origin ASNs (required)")
-	var risURLs, bmonAddrs, mrtFiles listFlag
+	configPath := flag.String("config", "", "declarative config file (artemis.yaml); flags override it")
+	prefixes := flag.String("prefix", "", "comma-separated owned prefixes, v4 and/or v6")
+	origins := flag.String("origin", "", "comma-separated legitimate origin ASNs")
+	var risURLs, bmonAddrs, mrtFiles, periURLs listFlag
 	flag.Var(&risURLs, "ris", "RIS websocket URL (ws://host:port/v1/ws); repeatable")
 	flag.Var(&bmonAddrs, "bgpmon", "BGPmon TCP address (host:port); repeatable")
 	flag.Var(&mrtFiles, "mrt", "MRT archive file to replay as a feed; repeatable")
+	flag.Var(&periURLs, "periscope", "Periscope looking-glass REST base URL (http://host:port); repeatable")
 	ctrlURL := flag.String("controller", "", "controller REST base URL (enables auto-mitigation)")
-	cfgDelay := flag.Duration("config-delay", 15*time.Second, "controller configuration latency")
+	cfgDelay := flag.Duration("config-delay", 0, "controller configuration latency (default 15s; 0 = no delay)")
 	runFor := flag.Duration("run-for", 0, "exit after this wall time (0 = run until SIGINT/SIGTERM)")
-	metricsAddr := flag.String("metrics", "", "listen address for the /metrics text endpoint (e.g. :9130; empty = disabled)")
-	mitQueue := flag.Int("mitigation-queue", 64, "async mitigation queue depth")
-	srcQueue := flag.Int("source-queue", 64, "per-source pending-batch bound before the drop policy sheds load")
-	dedupTTL := flag.Duration("dedup-ttl", 10*time.Minute, "cross-source dedup window (negative disables dedup)")
-	alertTTL := flag.Duration("alert-ttl", 24*time.Hour, "incident dedup window; a hijack still live after it re-alerts (0 = dedup forever, unbounded memory)")
+	listen := flag.String("listen", "", "control plane + /metrics listen address (e.g. :9130)")
+	metricsAddr := flag.String("metrics", "", "deprecated alias for -listen")
+	mitQueue := flag.Int("mitigation-queue", 0, "async mitigation queue depth (default 64)")
+	srcQueue := flag.Int("source-queue", 0, "per-source pending-batch bound (default 64)")
+	dedupTTL := flag.Duration("dedup-ttl", 0, "cross-source dedup window (default 10m; negative disables)")
+	alertTTL := flag.Duration("alert-ttl", 0, "incident dedup window (default 24h; 0 = dedup forever, unbounded suppression)")
 	flag.Parse()
+	// Flags whose zero value is meaningful need set-detection: an
+	// explicit 0 maps to the config schema's negative sentinel ("really
+	// zero / forever") instead of reading as unset.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
-	cfg := &core.Config{
-		AlertDedupTTL: *alertTTL,
-		AlertDedupMax: 1 << 16,
-	}
-	for _, s := range splitList(*prefixes) {
-		p, err := prefix.Parse(s)
+	cfg := &artemis.Config{}
+	if *configPath != "" {
+		var err error
+		cfg, err = artemis.LoadConfig(*configPath)
 		if err != nil {
-			log.Fatalf("bad -prefix %q: %v", s, err)
+			log.Fatal(err)
 		}
-		cfg.OwnedPrefixes = append(cfg.OwnedPrefixes, p)
 	}
-	for _, s := range splitList(*origins) {
-		v, err := strconv.ParseUint(s, 10, 32)
-		if err != nil {
-			log.Fatalf("bad -origin %q: %v", s, err)
-		}
-		cfg.LegitOrigins = append(cfg.LegitOrigins, bgp.ASN(v))
-	}
-	cfg.ManualMitigation = *ctrlURL == ""
 
-	var inj controller.RouteInjector = noopInjector{}
+	// Flag overrides on top of the file.
+	if *prefixes != "" {
+		cfg.Prefixes = splitList(*prefixes)
+	}
+	if *origins != "" {
+		cfg.Origins = nil
+		for _, s := range splitList(*origins) {
+			v, err := strconv.ParseUint(s, 10, 32)
+			if err != nil {
+				log.Fatalf("bad -origin %q: %v", s, err)
+			}
+			cfg.Origins = append(cfg.Origins, uint32(v))
+		}
+	}
+	for _, u := range risURLs {
+		cfg.Sources = append(cfg.Sources, artemis.SourceSpec{Type: artemis.SourceRIS, URL: u})
+	}
+	for _, a := range bmonAddrs {
+		cfg.Sources = append(cfg.Sources, artemis.SourceSpec{Type: artemis.SourceBGPmon, Addr: a})
+	}
+	for _, f := range mrtFiles {
+		cfg.Sources = append(cfg.Sources, artemis.SourceSpec{Type: artemis.SourceMRT, Path: f})
+	}
+	for _, u := range periURLs {
+		cfg.Sources = append(cfg.Sources, artemis.SourceSpec{Type: artemis.SourcePeriscope, URL: u})
+	}
 	if *ctrlURL != "" {
-		inj = controller.NewRESTClient(*ctrlURL)
+		cfg.Mitigation.Controller = *ctrlURL
 	}
-	start := time.Now()
-	ctrl := controller.NewReal(inj, controller.WithConfigDelay(*cfgDelay))
-	// Mitigation runs on its own bounded worker: a slow controller REST
-	// call must not stall the sink (and with it the whole ingest path).
-	svc, err := core.NewService(cfg, ctrl, func() time.Duration { return time.Since(start) },
-		core.WithAsyncMitigation(*mitQueue))
+	if explicit["config-delay"] {
+		cfg.Mitigation.ConfigDelay = artemis.Duration(*cfgDelay)
+		if *cfgDelay == 0 {
+			cfg.Mitigation.ConfigDelay = -1 // explicit zero-latency controller
+		}
+	}
+	if *mitQueue > 0 {
+		cfg.Mitigation.QueueDepth = *mitQueue
+	}
+	if *srcQueue > 0 {
+		cfg.Tuning.SourceQueue = *srcQueue
+	}
+	if *dedupTTL != 0 {
+		cfg.Tuning.DedupTTL = artemis.Duration(*dedupTTL)
+	}
+	if explicit["alert-ttl"] {
+		cfg.Tuning.AlertTTL = artemis.Duration(*alertTTL)
+		if *alertTTL == 0 {
+			cfg.Tuning.AlertTTL = -1 // explicit dedup-forever
+		}
+	}
+	if *listen != "" {
+		cfg.Control.Listen = *listen
+	} else if *metricsAddr != "" {
+		cfg.Control.Listen = *metricsAddr
+	}
+	if len(cfg.Sources) == 0 {
+		log.Fatal("no feeds configured; declare sources in -config or pass -ris/-bgpmon/-mrt/-periscope")
+	}
+
+	node, err := artemis.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	// All feeds funnel into the sharded detection pipeline; shards classify
-	// concurrently, the sink serializes alerts and the monitor fold.
-	pl := core.NewPipeline(svc.Detector, svc.Monitor, core.PipelineConfig{})
 
-	// The ingest supervisor owns every feed connection: reconnect with
-	// backoff, cross-source dedup (first delivery wins), per-source
-	// queues and drop policy, per-source counters.
-	sup := ingest.New(pl.Submit, ingest.Config{
-		QueueDepth: *srcQueue,
-		DedupTTL:   *dedupTTL,
-	})
-	filter := feedtypes.Filter{Prefixes: cfg.OwnedPrefixes, MoreSpecific: true, LessSpecific: true}
-	connected := 0
-	for i, u := range risURLs {
-		sup.AddDialer(fmt.Sprintf("ris[%d]", i), ingest.RISDialer(u, filter))
-		connected++
-	}
-	for i, a := range bmonAddrs {
-		sup.AddDialer(fmt.Sprintf("bgpmon[%d]", i), ingest.BGPmonDialer(a, filter))
-		connected++
-	}
-	for i, f := range mrtFiles {
-		f := f
-		open := func() (io.ReadCloser, error) { return os.Open(f) }
-		sup.AddDialer(fmt.Sprintf("mrt[%d]", i), ingest.MRTReplayDialer(open, f), ingest.Blocking())
-		connected++
-	}
-	if connected == 0 {
-		log.Fatal("no feeds configured; pass -ris, -bgpmon and/or -mrt")
-	}
-
-	if *metricsAddr != "" {
-		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-			sup.Snapshot().WriteProm(w)
-			pl.Snapshot().WriteProm(w)
-			svc.Mitigation.Snapshot().WriteProm(w)
-			fmt.Fprintf(w, "artemis_alerts_total %d\n", svc.Detector.AlertCount())
-			fmt.Fprintf(w, "artemis_alert_dedup_size %d\n", svc.Detector.DedupSize())
-			fmt.Fprintf(w, "artemis_controller_failed_actions_total %d\n", ctrl.Failures())
-			snap := svc.Monitor.Snapshot(time.Since(start))
-			fmt.Fprintf(w, "artemis_monitor_legit_vps %d\n", snap.LegitVPs)
-			fmt.Fprintf(w, "artemis_monitor_hijacked_vps %d\n", snap.HijackedVPs)
-			fmt.Fprintf(w, "artemis_monitor_unknown_vps %d\n", snap.UnknownVPs)
-		})
+	// The control plane (REST + SSE + /metrics) shares one server, shut
+	// down gracefully with the node in the drain path below.
+	var srv *control.Server
+	if cfg.Control.Listen != "" {
+		srv = control.NewServer(node)
 		go func() {
-			log.Printf("metrics on http://%s/metrics", *metricsAddr)
-			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
-				log.Printf("metrics server: %v", err)
+			log.Printf("control plane on http://%s (metrics at /metrics)", cfg.Control.Listen)
+			if err := srv.ListenAndServe(cfg.Control.Listen); err != nil && err != http.ErrServerClosed {
+				log.Printf("control plane: %v", err)
 			}
 		}()
 	}
-	svc.Detector.OnAlert(func(a core.Alert) {
-		log.Printf("ALERT %s: %s announced by AS%d (collides with owned %s, via %s/%s vp AS%d)",
-			a.Type, a.Prefix, a.Origin, a.Owned, a.Evidence.Source, a.Evidence.Collector, a.Evidence.VantagePoint)
-		if cfg.ManualMitigation {
-			log.Printf("  no -controller configured: mitigation left to the operator")
-		}
-	})
 
 	fmt.Printf("artemisd watching %v (origins %v) over %d supervised feed(s)\n",
-		cfg.OwnedPrefixes, cfg.LegitOrigins, connected)
+		cfg.Prefixes, cfg.Origins, len(cfg.Sources))
 
 	// Run until a signal or the -run-for timer, then drain in dependency
-	// order: stop the sources (no new batches), flush and close the
-	// pipeline (classification + sink complete), drain the mitigation
-	// queue (every accepted alert handled), exit.
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	var timer <-chan time.Time
+	// order: sources -> pipeline flush -> mitigation queue -> control plane.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *runFor > 0 {
-		timer = time.After(*runFor)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *runFor)
+		defer cancel()
 	}
-	select {
-	case sig := <-sigc:
-		log.Printf("%v: shutting down", sig)
-	case <-timer:
-		log.Printf("run-for %v elapsed: shutting down", *runFor)
+	if err := node.Run(ctx); err != nil {
+		log.Fatal(err)
 	}
-	sup.Close()
-	pl.Flush()
-	pl.Close()
-	svc.Close()
+	if srv != nil {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("control plane shutdown: %v", err)
+		}
+	}
 
-	snap := pl.Snapshot()
-	fmt.Printf("pipeline ingested %d events in %d batches\n", snap.Events, snap.Submitted)
-	for _, src := range sup.Snapshot().Sources {
-		fmt.Printf("  %-12s %-10s events=%d batches=%d dedup=%d drops=%d reconnects=%d\n",
+	for _, src := range node.Health().Sources {
+		fmt.Printf("  %-14s %-10s events=%d batches=%d dedup=%d drops=%d reconnects=%d\n",
 			src.Name, src.State, src.Events, src.Batches, src.DedupHits, src.Drops, src.Reconnects)
 	}
 }
 
 func splitList(s string) []string {
-	if s == "" {
-		log.Fatal("missing required flag (see -h)")
-	}
 	var out []string
 	for _, part := range strings.Split(s, ",") {
 		if p := strings.TrimSpace(part); p != "" {
@@ -207,9 +196,3 @@ func splitList(s string) []string {
 	}
 	return out
 }
-
-// noopInjector is used when no controller is configured: detection-only.
-type noopInjector struct{}
-
-func (noopInjector) AnnounceRoute(prefix.Prefix) error { return nil }
-func (noopInjector) WithdrawRoute(prefix.Prefix) error { return nil }

@@ -62,6 +62,22 @@ type Config struct {
 	AlertDedupMax int
 }
 
+// Clone returns a deep copy of the configuration. Reconfiguration treats
+// installed configs as immutable snapshots, so callers that want to derive
+// a new config from the current one clone first and mutate the copy.
+func (c *Config) Clone() *Config {
+	next := *c
+	next.OwnedPrefixes = append([]prefix.Prefix(nil), c.OwnedPrefixes...)
+	next.LegitOrigins = append([]bgp.ASN(nil), c.LegitOrigins...)
+	if c.AllowedUpstreams != nil {
+		next.AllowedUpstreams = make(map[bgp.ASN][]bgp.ASN, len(c.AllowedUpstreams))
+		for k, v := range c.AllowedUpstreams {
+			next.AllowedUpstreams[k] = append([]bgp.ASN(nil), v...)
+		}
+	}
+	return &next
+}
+
 // Validate checks internal consistency.
 func (c *Config) Validate() error {
 	if len(c.OwnedPrefixes) == 0 {

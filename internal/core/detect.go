@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"artemis/internal/bgp"
@@ -68,7 +69,12 @@ func (a Alert) Key() string {
 // Detector is the detection service: it subscribes to every configured
 // source and raises deduplicated alerts.
 type Detector struct {
-	cfg *Config
+	// cfg is the active configuration. It is an atomic pointer so the
+	// serial Process path can be reconfigured at runtime without locking
+	// the classification hot path; the pipeline instead stamps each batch
+	// with the config it was routed under (see Pipeline.Reconfigure for
+	// the serial-equivalence argument).
+	cfg atomic.Pointer[Config]
 
 	mu sync.Mutex
 	// seen deduplicates incidents. With the default config it keeps every
@@ -95,12 +101,23 @@ const otherSources = "other"
 
 // NewDetector builds the service; call Start to attach sources.
 func NewDetector(cfg *Config) *Detector {
-	return &Detector{
-		cfg:       cfg,
+	d := &Detector{
 		seen:      ttlset.New[string](cfg.AlertDedupTTL, cfg.AlertDedupMax),
 		perSource: make(map[string]int),
 	}
+	d.cfg.Store(cfg)
+	return d
 }
+
+// Config returns the active configuration snapshot. Treat it as
+// immutable: reconfiguration installs a new snapshot instead of mutating
+// the current one.
+func (d *Detector) Config() *Config { return d.cfg.Load() }
+
+// setConfig installs a new configuration snapshot. The alert dedup set
+// carries over (an incident seen under the old config stays deduplicated),
+// and its TTL/size bounds keep their construction-time values.
+func (d *Detector) setConfig(next *Config) { d.cfg.Store(next) }
 
 // OnAlert registers a handler invoked synchronously for each new alert.
 func (d *Detector) OnAlert(fn func(Alert)) {
@@ -113,7 +130,7 @@ func (d *Detector) OnAlert(fn func(Alert)) {
 // in both directions (sub- and super-prefixes).
 func (d *Detector) Start(sources ...feedtypes.Source) {
 	filter := feedtypes.Filter{
-		Prefixes:     d.cfg.OwnedPrefixes,
+		Prefixes:     d.Config().OwnedPrefixes,
 		MoreSpecific: true,
 		LessSpecific: true,
 	}
@@ -242,7 +259,7 @@ func (d *Detector) sourceBucketLocked(src string) string {
 // (which deliver events on their own goroutines) can push into the
 // detector directly.
 func (d *Detector) Process(ev feedtypes.Event) {
-	alert, counted, isAlert := d.cfg.classify(&ev)
+	alert, counted, isAlert := d.Config().classify(&ev)
 	if counted {
 		d.mu.Lock()
 		d.perSource[d.sourceBucketLocked(ev.Source)]++

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"artemis/internal/prefix"
@@ -43,13 +44,18 @@ type RouteAnnouncer interface {
 // Mitigator turns alerts into de-aggregated announcements via the
 // controller.
 type Mitigator struct {
-	cfg  *Config
+	// cfg is the active configuration snapshot; reconfiguration swaps it
+	// atomically. A pending alert picks up whatever snapshot is active
+	// when its mitigation is handled — the same semantics as an operator
+	// changing the de-aggregation clamp between two incidents.
+	cfg  atomic.Pointer[Config]
 	ctrl RouteAnnouncer
 	now  func() time.Duration
 
-	mu      sync.Mutex
-	records []MitigationRecord
-	done    map[string]bool
+	mu       sync.Mutex
+	records  []MitigationRecord
+	onRecord []func(MitigationRecord)
+	done     map[string]bool
 	// requested tracks, per incident, the prefixes the controller has
 	// accepted and that are not known to have failed downstream. A retry
 	// after a partial failure announces only what is missing instead of
@@ -62,10 +68,41 @@ type Mitigator struct {
 // NewMitigator builds the mitigation service. now supplies timestamps
 // (engine clock in simulation).
 func NewMitigator(cfg *Config, ctrl RouteAnnouncer, now func() time.Duration) *Mitigator {
-	return &Mitigator{
-		cfg: cfg, ctrl: ctrl, now: now,
+	m := &Mitigator{
+		ctrl: ctrl, now: now,
 		done:      make(map[string]bool),
 		requested: make(map[string]map[prefix.Prefix]bool),
+	}
+	m.cfg.Store(cfg)
+	return m
+}
+
+// setConfig installs a new configuration snapshot. In-flight incidents
+// keep their dedup claims and requested-prefix tracking.
+func (m *Mitigator) setConfig(next *Config) { m.cfg.Store(next) }
+
+// OnRecord registers a callback invoked after each mitigation attempt
+// completes (successfully or not), and again when an announcement the
+// controller had accepted later fails downstream. The record passed is a
+// snapshot; callbacks run on the goroutine that handled the alert (or the
+// controller's result callback) and must not block.
+func (m *Mitigator) OnRecord(fn func(MitigationRecord)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onRecord = append(m.onRecord, fn)
+}
+
+// notifyRecord snapshots record idx and dispatches the callbacks.
+func (m *Mitigator) notifyRecord(idx int) {
+	m.mu.Lock()
+	rec := m.records[idx]
+	rec.Prefixes = append([]prefix.Prefix(nil), rec.Prefixes...)
+	rec.Announced = append([]prefix.Prefix(nil), rec.Announced...)
+	fns := make([]func(MitigationRecord), len(m.onRecord))
+	copy(fns, m.onRecord)
+	m.mu.Unlock()
+	for _, fn := range fns {
+		fn(rec)
 	}
 }
 
@@ -81,7 +118,7 @@ func (m *Mitigator) MitigationPrefixes(a Alert) (prefixes []prefix.Prefix, compe
 	if a.Type == AlertSquat {
 		scope = a.Owned
 	}
-	maxLen := m.cfg.maxLenFor(scope)
+	maxLen := m.cfg.Load().maxLenFor(scope)
 	target := scope.Bits() + 1
 	if a.Type == AlertSquat {
 		// The owned prefix already beats the squatter's covering prefix.
@@ -152,12 +189,14 @@ func (m *Mitigator) HandleAlert(a Alert) {
 			m.failures.Inc()
 			delete(m.done, key) // release: the incident may be retried
 			m.mu.Unlock()
+			m.notifyRecord(idx)
 			return
 		}
 		m.mu.Lock()
 		m.records[idx].Announced = append(m.records[idx].Announced, p)
 		m.mu.Unlock()
 	}
+	m.notifyRecord(idx)
 }
 
 // NoteAnnounceFailure reports that an announcement the controller had
@@ -171,8 +210,8 @@ func (m *Mitigator) HandleAlert(a Alert) {
 // detector's own dedup never re-delivers an alert for the same incident).
 func (m *Mitigator) NoteAnnounceFailure(p prefix.Prefix, err error) []Alert {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	var released []Alert
+	var failedIdx []int
 	for key, req := range m.requested {
 		if !req[p] {
 			continue
@@ -186,9 +225,14 @@ func (m *Mitigator) NoteAnnounceFailure(p prefix.Prefix, err error) []Alert {
 					m.records[i].Err = err
 				}
 				released = append(released, m.records[i].Alert)
+				failedIdx = append(failedIdx, i)
 				break
 			}
 		}
+	}
+	m.mu.Unlock()
+	for _, idx := range failedIdx {
+		m.notifyRecord(idx)
 	}
 	return released
 }

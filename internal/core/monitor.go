@@ -161,9 +161,54 @@ func probeAddrs(owned []prefix.Prefix) []prefix.Addr {
 	return addrs
 }
 
+// SetConfig swaps the monitor to a new configuration snapshot: the probe
+// set is rebuilt for the new owned space, every vantage point's cached
+// per-probe verdicts are recomputed from its (preserved) routing view, and
+// the partition tallies are re-derived. If the partition changes — a VP
+// hijacked only on a removed prefix becomes legit, a VP already routing a
+// newly added prefix to an attacker becomes hijacked — the history gains a
+// change-point at the latest folded event time. Called by the service's
+// reconfiguration barrier, i.e. at a fixed serial position in the event
+// stream.
+func (m *Monitor) SetConfig(next *Config) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cfg = next
+	m.probes = probeAddrs(next.OwnedPrefixes)
+	m.byAddr = make([]int, len(m.probes))
+	for i := range m.byAddr {
+		m.byAddr[i] = i
+	}
+	sort.Slice(m.byAddr, func(a, b int) bool {
+		return m.probes[m.byAddr[a]].Less(m.probes[m.byAddr[b]])
+	})
+	m.tally = Sample{}
+	for _, st := range m.vps {
+		st.status = make([]probeStatus, len(m.probes))
+		st.informed, st.bad = 0, 0
+		for idx, addr := range m.probes {
+			if _, e, ok := st.entries.LongestMatch(addr); ok {
+				st.informed++
+				if m.cfg.originLegit(e.origin) {
+					st.status[idx] = probeLegit
+				} else {
+					st.status[idx] = probeBad
+					st.bad++
+				}
+			}
+		}
+		m.tallyAdd(st.verdict())
+	}
+	if len(m.history) > 0 {
+		m.coalesceLocked(m.lastAt)
+	}
+}
+
 // Start subscribes the monitor to the sources.
 func (m *Monitor) Start(sources ...feedtypes.Source) {
+	m.mu.Lock()
 	filter := feedtypes.Filter{Prefixes: m.cfg.OwnedPrefixes, MoreSpecific: true, LessSpecific: true}
+	m.mu.Unlock()
 	for _, src := range sources {
 		cancel := src.Subscribe(filter, m.Process)
 		m.mu.Lock()

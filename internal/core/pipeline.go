@@ -35,10 +35,16 @@ type Pipeline struct {
 	mon *Monitor
 	cfg PipelineConfig
 
-	// owned maps each owned prefix to its position in cfg.OwnedPrefixes;
-	// shardFor reduces that position mod the shard count, so events for the
-	// same owned prefix always route identically.
-	owned *prefix.Trie[int]
+	// routeCfg is the config snapshot the router currently routes under;
+	// owned maps each of its owned prefixes to its position in
+	// routeCfg.OwnedPrefixes, and shardFor reduces that position mod the
+	// shard count, so events for the same owned prefix always route
+	// identically. Both are written only under life held exclusively
+	// (Reconfigure) and read under life held shared (submit), so every job
+	// is routed against exactly one snapshot, which the job then carries
+	// to the shards.
+	routeCfg *Config
+	owned    *prefix.Trie[int]
 
 	shards []*shard
 	done   chan *batchJob
@@ -63,7 +69,7 @@ type Pipeline struct {
 	workers  sync.WaitGroup
 	sinkDone chan struct{}
 
-	submitted, applied, events stats.Counter
+	submitted, applied, events, reconfigs stats.Counter
 	// sinkApply is the distribution of the sink's per-batch apply time
 	// (alert commit + handler dispatch + monitor fold).
 	sinkApply *stats.Histogram
@@ -117,7 +123,15 @@ type shardTask struct {
 // slices, and per-shard output slots keep everything single-writer — no
 // locks anywhere on the classification path.
 type batchJob struct {
-	seq    uint64
+	seq uint64
+	// cfg is the config snapshot the job was routed under; shards classify
+	// with it (not with the detector's live config), so a reconfiguration
+	// concurrent with in-flight batches cannot mix two configs within one
+	// batch.
+	cfg *Config
+	// swap, when non-nil, marks a reconfiguration barrier: the job carries
+	// no events and the sink runs swap() at the job's sequence position.
+	swap   func()
 	events []feedtypes.Event
 	// rel[i] is event i's relation to the owned space (an AlertType, or 0
 	// for no collision); ownedIdx[i] indexes Config.OwnedPrefixes.
@@ -154,7 +168,8 @@ func NewPipeline(det *Detector, mon *Monitor, cfg PipelineConfig) *Pipeline {
 		sinkApply: stats.NewHistogram(),
 	}
 	p.applyCond = sync.NewCond(&p.applyMu)
-	for i, o := range det.cfg.OwnedPrefixes {
+	p.routeCfg = det.Config()
+	for i, o := range p.routeCfg.OwnedPrefixes {
 		p.owned.Insert(o, i)
 	}
 	for i := 0; i < cfg.Shards; i++ {
@@ -198,8 +213,10 @@ func (p *Pipeline) route(pfx prefix.Prefix) (ownedIdx int32, rel AlertType) {
 // shardFor routes a prefix to its shard: events matching the same owned
 // prefix always land on the same shard; events matching nothing hash over
 // all shards (classification drops them; any shard may do it). Routing is
-// a pure function of the prefix.
+// a pure function of the prefix and the active config snapshot.
 func (p *Pipeline) shardFor(pfx prefix.Prefix) int {
+	p.life.RLock()
+	defer p.life.RUnlock()
 	idx, rel := p.route(pfx)
 	if rel != 0 {
 		return int(idx) % len(p.shards)
@@ -248,6 +265,16 @@ func (p *Pipeline) submit(batch []feedtypes.Event, wait bool) {
 	if wait {
 		job.wait = make(chan struct{})
 	}
+	// Routing, sequencing and shard enqueue all happen under the shared
+	// life lock: a Reconfigure (which holds it exclusively) therefore
+	// observes every job either fully routed-and-sequenced under the old
+	// snapshot or not started — no batch straddles a config swap.
+	p.life.RLock()
+	if p.closed {
+		p.life.RUnlock()
+		return // shut down: the batch is dropped, as a detached source's would be
+	}
+	job.cfg = p.routeCfg
 	// Route every event once, then scatter index slices to shards with a
 	// counting sort over one backing array (no per-shard growth).
 	shardOf := make([]uint8, len(batch))
@@ -284,11 +311,6 @@ func (p *Pipeline) submit(batch []feedtypes.Event, wait bool) {
 	}
 	job.remaining.Store(int32(tasks))
 
-	p.life.RLock()
-	if p.closed {
-		p.life.RUnlock()
-		return // shut down: the batch is dropped, as a detached source's would be
-	}
 	job.seq = p.nextSeq.Add(1) - 1
 	p.submitted.Inc()
 	p.events.Add(int64(len(batch)))
@@ -312,9 +334,12 @@ func (p *Pipeline) submit(batch []feedtypes.Event, wait bool) {
 // once the last shard finishes it.
 func (p *Pipeline) work(idx int, s *shard) {
 	defer p.workers.Done()
-	cfg := p.det.cfg
 	for t := range s.in {
 		start := time.Now()
+		// Classify with the job's config snapshot — the one the router
+		// resolved rel/ownedIdx against — not the detector's live config,
+		// which a concurrent Reconfigure may already have advanced.
+		cfg := t.job.cfg
 		var counts map[string]int
 		var alerts []indexedAlert
 		for _, i := range t.idxs {
@@ -366,6 +391,20 @@ func (p *Pipeline) sink() {
 }
 
 func (p *Pipeline) apply(j *batchJob) {
+	if j.swap != nil {
+		// Reconfiguration barrier: runs at its sequence position, so every
+		// batch sequenced before it has been fully applied (alerts
+		// committed, monitor folded) and none sequenced after it has.
+		j.swap()
+		p.applyMu.Lock()
+		p.applied.Inc()
+		p.applyCond.Broadcast()
+		p.applyMu.Unlock()
+		if j.wait != nil {
+			close(j.wait)
+		}
+		return
+	}
 	start := time.Now()
 	for _, counts := range j.counts {
 		p.det.countSources(counts)
@@ -403,11 +442,13 @@ func (p *Pipeline) apply(j *batchJob) {
 // feedtypes.BatchSource deliver whole batches; others are adapted
 // per event.
 func (p *Pipeline) Start(sources ...feedtypes.Source) {
+	p.life.RLock()
 	filter := feedtypes.Filter{
-		Prefixes:     p.det.cfg.OwnedPrefixes,
+		Prefixes:     p.routeCfg.OwnedPrefixes,
 		MoreSpecific: true,
 		LessSpecific: true,
 	}
+	p.life.RUnlock()
 	deliver := p.Submit
 	if p.cfg.Synchronous {
 		deliver = p.SubmitWait
@@ -425,6 +466,60 @@ func (p *Pipeline) Start(sources ...feedtypes.Source) {
 		p.cancels = append(p.cancels, cancel)
 		p.cancelMu.Unlock()
 	}
+}
+
+// Reconfigure atomically swaps the pipeline's routing state to next and
+// runs onApply at the swap's serial position, returning once the swap has
+// been applied. The serial-equivalence argument for events in flight:
+//
+//   - Routing, sequencing and shard enqueue happen under the life lock
+//     held shared; Reconfigure holds it exclusively while swapping the
+//     trie and enqueueing a barrier job at the next sequence number. Every
+//     batch therefore routes entirely under one config snapshot, carries
+//     that snapshot to the shards (classification never consults live
+//     state), and is sequenced strictly before or after the barrier.
+//   - The sink applies jobs in sequence order, so onApply — which should
+//     swap the detector/monitor/mitigator to the same snapshot — observes
+//     exactly the state the serial path would have after processing every
+//     pre-swap event and none of the post-swap ones.
+//
+// The observable behavior is therefore identical to a serial execution in
+// which the reconfiguration happens between the last batch submitted
+// before Reconfigure and the first batch submitted after it. Reconfigure
+// must not be called from an alert handler or monitor fold (both run on
+// the sink goroutine, which the barrier waits on). If the pipeline is
+// already closed, the swap (and onApply) still runs, inline.
+func (p *Pipeline) Reconfigure(next *Config, onApply func()) {
+	trie := prefix.NewTrie[int]()
+	for i, o := range next.OwnedPrefixes {
+		trie.Insert(o, i)
+	}
+	p.life.Lock()
+	if p.closed {
+		p.life.Unlock()
+		if onApply != nil {
+			onApply()
+		}
+		return
+	}
+	p.routeCfg = next
+	p.owned = trie
+	job := &batchJob{
+		cfg:  next,
+		swap: func() {},
+		wait: make(chan struct{}),
+	}
+	if onApply != nil {
+		job.swap = onApply
+	}
+	job.seq = p.nextSeq.Add(1) - 1
+	p.submitted.Inc()
+	p.reconfigs.Inc()
+	// The barrier skips the shards (it has no events) and goes straight to
+	// the sink's reorder stage.
+	p.done <- job
+	p.life.Unlock()
+	<-job.wait
 }
 
 // Flush blocks until every batch submitted before the call has been
@@ -474,6 +569,7 @@ func (p *Pipeline) Snapshot() stats.PipelineSnapshot {
 		Submitted: p.submitted.Load(),
 		Applied:   p.applied.Load(),
 		Events:    p.events.Load(),
+		Reconfigs: p.reconfigs.Load(),
 		SinkApply: p.sinkApply.Snapshot(),
 	}
 	for i, s := range p.shards {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"artemis/internal/controller"
@@ -14,6 +15,9 @@ import (
 // controller southbound never stalls whichever goroutine commits alerts
 // (the pipeline's sink in daemon mode).
 type Service struct {
+	// Config is the configuration the service was constructed with. Live
+	// reconfiguration installs new snapshots without touching it; use
+	// CurrentConfig for the active one.
 	Config    *Config
 	Detector  *Detector
 	Mitigator *Mitigator
@@ -27,6 +31,14 @@ type Service struct {
 	// southbound-failure retry loop.
 	retryMu sync.Mutex
 	retries map[string]int
+
+	// cur is the active configuration snapshot; Reconfigure swaps it.
+	cur atomic.Pointer[Config]
+	// reconfigMu serializes Reconfigure calls; pl is the bound pipeline
+	// whose barrier mechanism gives reconfiguration its serial position.
+	reconfigMu sync.Mutex
+	plMu       sync.Mutex
+	pl         *Pipeline
 }
 
 // MaxMitigationRetries bounds how many times a failed mitigation is
@@ -68,6 +80,7 @@ func NewService(cfg *Config, ctrl *controller.Controller, now func() time.Durati
 		Monitor:   NewMonitor(cfg),
 		retries:   make(map[string]int),
 	}
+	s.cur.Store(cfg)
 	s.Mitigation = NewMitigationQueue(s.Mitigator.HandleAlert, o.queue, s.Mitigator.Failures)
 	if !cfg.ManualMitigation {
 		s.Detector.OnAlert(s.Mitigation.Enqueue)
@@ -97,6 +110,63 @@ func NewService(cfg *Config, ctrl *controller.Controller, now func() time.Durati
 		})
 	}
 	return s, nil
+}
+
+// BindPipeline registers the pipeline the service's feeds flow through.
+// Reconfigure then routes config swaps through the pipeline's barrier so
+// they land at a well-defined serial position in the event stream. A
+// service without a bound pipeline (the serial trial path) reconfigures
+// immediately.
+func (s *Service) BindPipeline(pl *Pipeline) {
+	s.plMu.Lock()
+	s.pl = pl
+	s.plMu.Unlock()
+}
+
+func (s *Service) boundPipeline() *Pipeline {
+	s.plMu.Lock()
+	defer s.plMu.Unlock()
+	return s.pl
+}
+
+// CurrentConfig returns the active configuration snapshot. Treat it as
+// immutable: derive changes with Clone and apply them via Reconfigure.
+func (s *Service) CurrentConfig() *Config { return s.cur.Load() }
+
+// Reconfigure validates next and atomically swaps the whole service —
+// detector classification, pipeline shard routing, monitor probe set and
+// mitigation clamps — to it. With a bound pipeline the swap happens at a
+// barrier in the sink's serial order (see Pipeline.Reconfigure for the
+// equivalence argument) and Reconfigure returns once it has been applied;
+// without one it happens immediately. next is cloned, so the caller may
+// keep mutating its copy. Reconfigure must not be called from an alert
+// handler or another callback running on the pipeline's sink goroutine.
+//
+// Not hot-swappable (construction-time choices that keep their original
+// values): AlertDedupTTL/AlertDedupMax bounds and ManualMitigation wiring.
+func (s *Service) Reconfigure(next *Config) error {
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	next = next.Clone()
+	s.reconfigMu.Lock()
+	defer s.reconfigMu.Unlock()
+	if pl := s.boundPipeline(); pl != nil {
+		pl.Reconfigure(next, func() { s.swapConfig(next) })
+		return nil
+	}
+	s.swapConfig(next)
+	return nil
+}
+
+// swapConfig applies a validated snapshot to every subsystem. It runs
+// either inline (serial mode) or on the pipeline's sink goroutine (at the
+// reconfiguration barrier's sequence position).
+func (s *Service) swapConfig(next *Config) {
+	s.Detector.setConfig(next)
+	s.Monitor.SetConfig(next)
+	s.Mitigator.setConfig(next)
+	s.cur.Store(next)
 }
 
 // Start attaches both the detector and the monitor to the sources.

@@ -16,14 +16,33 @@ import (
 // loop used.
 const maxRecvBatch = 256
 
+// FilterFunc supplies a subscription filter. Dialers call it on every
+// (re)dial, so a provider backed by live configuration makes a reconnect
+// — including a deliberate Supervisor.Bounce — pick up filter changes
+// (hot-added owned prefixes) without restarting the source.
+type FilterFunc func() feedtypes.Filter
+
+// StaticFilter adapts a fixed filter to FilterFunc.
+func StaticFilter(f feedtypes.Filter) FilterFunc {
+	return func() feedtypes.Filter { return f }
+}
+
 // RISDialer returns a Dialer for a RIS-style websocket endpoint
 // (ws://host:port/v1/ws). The per-event stream is coalesced into batches:
 // one event minimum, then whatever the client has already buffered, so a
 // quiet feed stays low-latency and a busy one amortizes per-delivery
 // cost.
 func RISDialer(url string, f feedtypes.Filter) Dialer {
+	return RISDialerDynamic(url, StaticFilter(f))
+}
+
+// RISDialerDynamic is RISDialer with the subscription filter resolved at
+// every (re)dial. RIS filtering is server-side (the filter travels in the
+// subscribe message), so filter changes take effect on the next dial;
+// Supervisor.Bounce forces one.
+func RISDialerDynamic(url string, f FilterFunc) Dialer {
 	return DialFunc(func() (Conn, error) {
-		cli, err := ris.DialClient(url, f)
+		cli, err := ris.DialClient(url, f())
 		if err != nil {
 			return nil, err
 		}
@@ -34,8 +53,15 @@ func RISDialer(url string, f feedtypes.Filter) Dialer {
 // BGPmonDialer returns a Dialer for a BGPmon-style XML TCP stream
 // (host:port), batched like RISDialer.
 func BGPmonDialer(addr string, f feedtypes.Filter) Dialer {
+	return BGPmonDialerDynamic(addr, StaticFilter(f))
+}
+
+// BGPmonDialerDynamic is BGPmonDialer with the filter resolved at every
+// (re)dial (the BGPmon client filters client-side, but binds the filter
+// per connection).
+func BGPmonDialerDynamic(addr string, f FilterFunc) Dialer {
 	return DialFunc(func() (Conn, error) {
-		cli, err := bgpmon.DialClient(addr, f)
+		cli, err := bgpmon.DialClient(addr, f())
 		if err != nil {
 			return nil, err
 		}

@@ -119,6 +119,21 @@ type Config struct {
 	// Seed seeds the backoff jitter (0 → 1); tests pin it for
 	// reproducible schedules.
 	Seed int64
+	// OnHealth, when non-nil, is invoked on every source lifecycle
+	// transition (connecting→healthy, healthy→degraded, …). It runs on
+	// the source's own goroutine and must not block or call back into the
+	// supervisor; operators use it to surface degraded/dead sources as
+	// alerts rather than just metrics.
+	OnHealth func(HealthTransition)
+}
+
+// HealthTransition is one source lifecycle state change.
+type HealthTransition struct {
+	// ID and Name identify the source.
+	ID   SourceID
+	Name string
+	// From and To are the states before and after the transition.
+	From, To State
 }
 
 func (c Config) withDefaults() Config {
@@ -197,6 +212,14 @@ type source struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 
+	// kick, when signalled, makes the dial loop skip its next backoff:
+	// Bounce uses it so a deliberate redial (filter change) does not pay
+	// an outage's penalty.
+	kick chan struct{}
+
+	// onHealth mirrors Config.OnHealth; setState dispatches transitions.
+	onHealth func(HealthTransition)
+
 	// blocking switches the enqueue policy from drop-newest to blocking —
 	// for replay sources, whose "transport" can be flow-controlled.
 	blocking bool
@@ -219,7 +242,12 @@ type source struct {
 	latency                                       *stats.Histogram
 }
 
-func (src *source) setState(st State) { src.state.Store(uint32(st)) }
+func (src *source) setState(st State) {
+	was := State(src.state.Swap(uint32(st)))
+	if was != st && src.onHealth != nil {
+		src.onHealth(HealthTransition{ID: src.id, Name: src.name, From: was, To: st})
+	}
+}
 
 // State reports the source's current lifecycle state.
 func (src *source) getState() State { return State(src.state.Load()) }
@@ -239,10 +267,12 @@ func Blocking() SourceOption {
 
 func (s *Supervisor) newSource(name string) *source {
 	return &source{
-		name:    name,
-		stop:    make(chan struct{}),
-		queue:   make(chan []feedtypes.Event, s.cfg.QueueDepth),
-		latency: stats.NewHistogram(),
+		name:     name,
+		stop:     make(chan struct{}),
+		kick:     make(chan struct{}, 1),
+		queue:    make(chan []feedtypes.Event, s.cfg.QueueDepth),
+		latency:  stats.NewHistogram(),
+		onHealth: s.cfg.OnHealth,
 	}
 }
 
@@ -322,6 +352,35 @@ func subscribeBatches(feed feedtypes.Source, f feedtypes.Filter, fn func([]feedt
 		return bs.SubscribeBatch(f, fn)
 	}
 	return feed.Subscribe(f, func(ev feedtypes.Event) { fn([]feedtypes.Event{ev}) })
+}
+
+// Bounce forces a dial source to drop its connection and redial
+// immediately, skipping the backoff schedule. Live reconfiguration uses
+// it: a dialer that captures its filter at Dial time (server-side
+// subscriptions like RIS, or client-side filters bound per connection
+// like BGPmon) picks up the new filter on the redial. Already-queued
+// batches still drain; events the remote emits during the redial window
+// are missed from this source exactly as they would be across any
+// reconnect — the cross-source dedup's first-wins semantics mean a
+// sibling source covering the same vantage points fills the gap.
+// In-process and unknown sources are no-ops.
+func (s *Supervisor) Bounce(id SourceID) {
+	s.mu.Lock()
+	src, ok := s.sources[id]
+	s.mu.Unlock()
+	if !ok || src.cancel != nil {
+		return
+	}
+	select {
+	case src.kick <- struct{}{}:
+	default: // a kick is already pending
+	}
+	src.connMu.Lock()
+	c := src.conn
+	src.connMu.Unlock()
+	if c != nil {
+		c.Close()
+	}
 }
 
 // Remove hot-removes a source: its connection is closed (or subscription
@@ -420,6 +479,18 @@ func (s *Supervisor) runDial(src *source, d Dialer) {
 				return
 			default:
 			}
+			select {
+			case <-src.kick:
+				// A bounce arrived while this dial was in flight, so the
+				// connection may have been established with a stale filter.
+				// Drop it and redial: Dial reads its filter provider per
+				// call, so the retry is guaranteed to see post-bounce state.
+				src.connMu.Unlock()
+				conn.Close()
+				fails, backoff = 0, s.cfg.BackoffBase
+				continue
+			default:
+			}
 			src.conn = conn
 			src.connMu.Unlock()
 			src.setState(StateHealthy)
@@ -444,6 +515,14 @@ func (s *Supervisor) runDial(src *source, d Dialer) {
 		case <-src.stop:
 			src.setState(StateDead)
 			return
+		default:
+		}
+		select {
+		case <-src.kick:
+			// Deliberate bounce (filter change): redial immediately and
+			// don't let it count against the retry budget.
+			fails, backoff = 0, s.cfg.BackoffBase
+			continue
 		default:
 		}
 		fails++
@@ -523,13 +602,19 @@ func (src *source) closeQueue() {
 	src.qmu.Unlock()
 }
 
-// sleep waits d unless the source is stopped first.
+// sleep waits d unless the source is stopped first. A Bounce during the
+// wait (kick) ends it early: the backoff is deliberately skipped so a
+// filter change reaches a degraded source as fast as a healthy one, and
+// consuming the kick here keeps it from later dropping the fresh
+// connection at install time.
 func (src *source) sleep(d time.Duration) bool {
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-src.stop:
 		return false
+	case <-src.kick:
+		return true
 	case <-t.C:
 		return true
 	}

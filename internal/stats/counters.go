@@ -46,6 +46,9 @@ type PipelineSnapshot struct {
 	Submitted, Applied int64
 	// Events is the cumulative number of events ingested.
 	Events int64
+	// Reconfigs counts applied live-reconfiguration barriers (each also
+	// counts as one submitted and applied batch).
+	Reconfigs int64
 	// SinkApply is the distribution of the sink's per-batch apply time
 	// (alert commit + handler dispatch + monitor fold).
 	SinkApply HistogramSnapshot

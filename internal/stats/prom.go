@@ -16,6 +16,7 @@ func (s PipelineSnapshot) WriteProm(w io.Writer) {
 	fmt.Fprintf(w, "artemis_pipeline_batches_submitted_total %d\n", s.Submitted)
 	fmt.Fprintf(w, "artemis_pipeline_batches_applied_total %d\n", s.Applied)
 	fmt.Fprintf(w, "artemis_pipeline_events_total %d\n", s.Events)
+	fmt.Fprintf(w, "artemis_pipeline_reconfigs_total %d\n", s.Reconfigs)
 	fmt.Fprintf(w, "artemis_pipeline_inflight_batches %d\n", s.Submitted-s.Applied)
 	s.SinkApply.writeProm(w, "artemis_pipeline_sink_apply_seconds", "")
 	for _, sh := range s.Shards {

@@ -1,0 +1,483 @@
+package artemis
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"artemis/internal/prefix"
+)
+
+// Duration is time.Duration with Go duration-string JSON/YAML encoding
+// ("15s", "10m"), so the declarative config and the control plane's JSON
+// speak the same dialect.
+type Duration time.Duration
+
+// Std returns the standard-library value.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(d.String())), nil
+}
+
+// UnmarshalJSON accepts a Go duration string.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	s, err := strconv.Unquote(string(b))
+	if err != nil {
+		return fmt.Errorf("duration must be a string like \"15s\"")
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// Source transport types accepted in SourceSpec.Type.
+const (
+	SourceRIS       = "ris"       // RIS Live-style websocket stream
+	SourceBGPmon    = "bgpmon"    // BGPmon-style XML TCP stream
+	SourceMRT       = "mrt"       // MRT archive replay from a file
+	SourcePeriscope = "periscope" // Periscope-style looking-glass REST polling
+)
+
+// SourceSpec declares one monitoring feed. Which fields apply depends on
+// Type: URL for ris (ws://…) and periscope (http://…), Addr for bgpmon
+// (host:port), Path for mrt; Interval and LGs tune periscope polling.
+type SourceSpec struct {
+	Type string `json:"type"`
+	// Name labels the source in metrics, health and events. Defaults to
+	// "type[N]".
+	Name     string   `json:"name,omitempty"`
+	URL      string   `json:"url,omitempty"`
+	Addr     string   `json:"addr,omitempty"`
+	Path     string   `json:"path,omitempty"`
+	Interval Duration `json:"interval,omitempty"`
+	LGs      []string `json:"lgs,omitempty"`
+}
+
+// MitigationConfig declares how alerts are mitigated.
+type MitigationConfig struct {
+	// Controller is the REST base URL of the route-injecting controller.
+	// Empty (and no WithRouteInjector option) leaves mitigation manual.
+	Controller string `json:"controller,omitempty"`
+	// ConfigDelay models the controller's configuration latency
+	// (default 15s, the paper's measurement; negative = no delay).
+	ConfigDelay Duration `json:"config_delay,omitempty"`
+	// QueueDepth bounds the async mitigation queue (default 64).
+	QueueDepth int `json:"queue_depth,omitempty"`
+	// MaxDeaggLen/MaxDeaggLen6 clamp de-aggregated announcements
+	// (defaults 24 and 48).
+	MaxDeaggLen  int `json:"max_deagg_len,omitempty"`
+	MaxDeaggLen6 int `json:"max_deagg_len6,omitempty"`
+	// Manual disables automatic alert→mitigation wiring even when a
+	// controller or injector is configured.
+	Manual bool `json:"manual,omitempty"`
+}
+
+// TuningConfig bounds the daemon's state and concurrency.
+type TuningConfig struct {
+	// Shards is the detection pipeline's worker count (default: GOMAXPROCS).
+	Shards int `json:"shards,omitempty"`
+	// SourceQueue bounds each feed source's pending-batch queue (default 64).
+	SourceQueue int `json:"source_queue,omitempty"`
+	// DedupTTL is the cross-source dedup window (default 10m; negative
+	// disables).
+	DedupTTL Duration `json:"dedup_ttl,omitempty"`
+	// AlertTTL is the incident dedup window: after it, a hijack still
+	// live re-alerts (default 24h; negative dedups forever — unbounded
+	// suppression, the virtual-time experiments' semantics).
+	AlertTTL Duration `json:"alert_ttl,omitempty"`
+	// AlertDedupMax caps the incident dedup set (default 65536).
+	AlertDedupMax int `json:"alert_dedup_max,omitempty"`
+}
+
+// ControlConfig declares the HTTP control plane.
+type ControlConfig struct {
+	// Listen is the address the control plane (REST API + /metrics)
+	// serves on, e.g. ":9130". Empty disables serving (the API is still
+	// available via control.NewServer for embedders).
+	Listen string `json:"listen,omitempty"`
+}
+
+// Config is the declarative description of an ARTEMIS instance: the
+// operator's ground truth (owned prefixes, legitimate origins, neighbor
+// policy), the monitoring sources, and the runtime tuning. It is what
+// artemis.yaml deserializes into, what GET /v1/config serializes out of,
+// and the argument to New.
+type Config struct {
+	// Prefixes is the owned address space, v4 and v6 freely mixed.
+	Prefixes []string `json:"prefixes"`
+	// Origins are the ASNs allowed to originate the owned prefixes.
+	Origins []uint32 `json:"origins"`
+	// Upstreams, when non-empty, enables path-anomaly detection: per
+	// legitimate origin, the neighbor ASes allowed next to it in a path.
+	Upstreams map[uint32][]uint32 `json:"upstreams,omitempty"`
+	// Sources are the monitoring feeds to supervise.
+	Sources []SourceSpec `json:"sources,omitempty"`
+
+	Mitigation MitigationConfig `json:"mitigation,omitempty"`
+	Tuning     TuningConfig     `json:"tuning,omitempty"`
+	Control    ControlConfig    `json:"control,omitempty"`
+}
+
+// Clone returns a deep copy.
+func (c *Config) Clone() *Config {
+	next := *c
+	next.Prefixes = append([]string(nil), c.Prefixes...)
+	next.Origins = append([]uint32(nil), c.Origins...)
+	if c.Upstreams != nil {
+		next.Upstreams = make(map[uint32][]uint32, len(c.Upstreams))
+		for k, v := range c.Upstreams {
+			next.Upstreams[k] = append([]uint32(nil), v...)
+		}
+	}
+	next.Sources = make([]SourceSpec, len(c.Sources))
+	for i, s := range c.Sources {
+		next.Sources[i] = s
+		next.Sources[i].LGs = append([]string(nil), s.LGs...)
+	}
+	return &next
+}
+
+// Validate checks a programmatically built config. Configs loaded via
+// LoadConfig/ParseConfig are already validated with line positions.
+func (c *Config) Validate() error {
+	if len(c.Prefixes) == 0 {
+		return fmt.Errorf("artemis: no owned prefixes configured")
+	}
+	seen := map[prefix.Prefix]bool{}
+	for _, s := range c.Prefixes {
+		p, err := prefix.Parse(s)
+		if err != nil {
+			return fmt.Errorf("artemis: bad prefix %q: %v", s, err)
+		}
+		if seen[p] {
+			return fmt.Errorf("artemis: duplicate prefix %q", s)
+		}
+		seen[p] = true
+	}
+	if len(c.Origins) == 0 {
+		return fmt.Errorf("artemis: no legitimate origins configured")
+	}
+	names := map[string]bool{}
+	for i := range c.Sources {
+		if err := c.Sources[i].validate(); err != nil {
+			return err
+		}
+		if n := c.Sources[i].Name; n != "" {
+			if names[n] {
+				return fmt.Errorf("artemis: duplicate source name %q", n)
+			}
+			names[n] = true
+		}
+	}
+	return nil
+}
+
+func (s *SourceSpec) validate() error {
+	switch s.Type {
+	case SourceRIS, SourcePeriscope:
+		if s.URL == "" {
+			return fmt.Errorf("artemis: %s source needs url", s.Type)
+		}
+	case SourceBGPmon:
+		if s.Addr == "" {
+			return fmt.Errorf("artemis: bgpmon source needs addr")
+		}
+	case SourceMRT:
+		if s.Path == "" {
+			return fmt.Errorf("artemis: mrt source needs path")
+		}
+	case "":
+		return fmt.Errorf("artemis: source missing type")
+	default:
+		return fmt.Errorf("artemis: unknown source type %q", s.Type)
+	}
+	return nil
+}
+
+// LoadConfig reads and parses a declarative config file. Errors point at
+// file:line.
+func LoadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseConfig(data, path)
+}
+
+// ParseConfig parses config data; name labels error positions (usually
+// the file path). Every syntactic and semantic error is positioned:
+// unknown keys, malformed prefixes, bad durations, incomplete sources.
+func ParseConfig(data []byte, name string) (*Config, error) {
+	root, err := parseYamlite(data, name)
+	if err != nil {
+		return nil, err
+	}
+	d := &configDecoder{name: name}
+	cfg := d.decode(root)
+	if d.err != nil {
+		return nil, d.err
+	}
+	return cfg, nil
+}
+
+// configDecoder walks the node tree, remembering the first error.
+type configDecoder struct {
+	name string
+	err  error
+}
+
+func (d *configDecoder) fail(line int, format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%s:%d: %s", d.name, line, fmt.Sprintf(format, args...))
+	}
+}
+
+// checkKeys rejects unknown keys so typos fail loudly, with the line.
+func (d *configDecoder) checkKeys(n *yamlNode, allowed ...string) {
+	for _, k := range n.keys {
+		ok := false
+		for _, a := range allowed {
+			if k == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			d.fail(n.vals[k].line, "unknown key %q", k)
+		}
+	}
+}
+
+func (d *configDecoder) decode(root *yamlNode) *Config {
+	cfg := &Config{}
+	if root.kind != yMap {
+		d.fail(root.line, "config must be a mapping")
+		return cfg
+	}
+	d.checkKeys(root, "prefixes", "origins", "upstreams", "sources", "mitigation", "tuning", "control")
+
+	if n := root.child("prefixes"); n != nil {
+		for _, item := range d.scalarList(n) {
+			if _, err := prefix.Parse(item.scalar); err != nil {
+				d.fail(item.line, "bad prefix %q: %v", item.scalar, err)
+			}
+			cfg.Prefixes = append(cfg.Prefixes, item.scalar)
+		}
+	} else {
+		d.fail(root.line, "missing required key \"prefixes\"")
+	}
+	if n := root.child("origins"); n != nil {
+		for _, item := range d.scalarList(n) {
+			cfg.Origins = append(cfg.Origins, d.asASN(item))
+		}
+	} else {
+		d.fail(root.line, "missing required key \"origins\"")
+	}
+	if n := root.child("upstreams"); n != nil {
+		if n.kind != yMap {
+			d.fail(n.line, "upstreams must map origin ASN to a list of neighbor ASNs")
+		} else {
+			cfg.Upstreams = make(map[uint32][]uint32, len(n.keys))
+			for _, k := range n.keys {
+				origin, err := strconv.ParseUint(k, 10, 32)
+				if err != nil {
+					d.fail(n.vals[k].line, "bad origin ASN %q", k)
+					continue
+				}
+				var ups []uint32
+				for _, item := range d.scalarList(n.vals[k]) {
+					ups = append(ups, d.asASN(item))
+				}
+				cfg.Upstreams[uint32(origin)] = ups
+			}
+		}
+	}
+	if n := root.child("sources"); n != nil {
+		if n.kind != yList {
+			d.fail(n.line, "sources must be a sequence")
+		} else {
+			for _, item := range n.items {
+				cfg.Sources = append(cfg.Sources, d.decodeSource(item))
+			}
+		}
+	}
+	if n := root.child("mitigation"); n != nil && d.isMap(n, "mitigation") {
+		d.checkKeys(n, "controller", "config-delay", "queue-depth", "max-deagg-len", "max-deagg-len6", "manual")
+		cfg.Mitigation.Controller = d.optScalar(n, "controller")
+		cfg.Mitigation.ConfigDelay = d.optDuration(n, "config-delay")
+		cfg.Mitigation.QueueDepth = d.optInt(n, "queue-depth")
+		cfg.Mitigation.MaxDeaggLen = d.optInt(n, "max-deagg-len")
+		cfg.Mitigation.MaxDeaggLen6 = d.optInt(n, "max-deagg-len6")
+		cfg.Mitigation.Manual = d.optBool(n, "manual")
+	}
+	if n := root.child("tuning"); n != nil && d.isMap(n, "tuning") {
+		d.checkKeys(n, "shards", "source-queue", "dedup-ttl", "alert-ttl", "alert-dedup-max")
+		cfg.Tuning.Shards = d.optInt(n, "shards")
+		cfg.Tuning.SourceQueue = d.optInt(n, "source-queue")
+		cfg.Tuning.DedupTTL = d.optDuration(n, "dedup-ttl")
+		cfg.Tuning.AlertTTL = d.optDuration(n, "alert-ttl")
+		cfg.Tuning.AlertDedupMax = d.optInt(n, "alert-dedup-max")
+	}
+	if n := root.child("control"); n != nil && d.isMap(n, "control") {
+		d.checkKeys(n, "listen")
+		cfg.Control.Listen = d.optScalar(n, "listen")
+	}
+
+	// Cross-field validation that has no better position than the list
+	// items themselves.
+	if d.err == nil {
+		seen := map[string]bool{}
+		for _, item := range d.scalarList(root.child("prefixes")) {
+			p, _ := prefix.Parse(item.scalar)
+			key := p.String()
+			if seen[key] {
+				d.fail(item.line, "duplicate prefix %q", item.scalar)
+			}
+			seen[key] = true
+		}
+		names := map[string]bool{}
+		if n := root.child("sources"); n != nil && n.kind == yList {
+			for i, item := range n.items {
+				name := cfg.Sources[i].Name
+				if name == "" {
+					continue
+				}
+				if names[name] {
+					d.fail(item.line, "duplicate source name %q", name)
+				}
+				names[name] = true
+			}
+		}
+	}
+	return cfg
+}
+
+func (d *configDecoder) decodeSource(n *yamlNode) SourceSpec {
+	spec := SourceSpec{}
+	if n.kind != yMap {
+		d.fail(n.line, "each source must be a mapping with a \"type\"")
+		return spec
+	}
+	d.checkKeys(n, "type", "name", "url", "addr", "path", "interval", "lgs")
+	spec.Type = d.optScalar(n, "type")
+	spec.Name = d.optScalar(n, "name")
+	spec.URL = d.optScalar(n, "url")
+	spec.Addr = d.optScalar(n, "addr")
+	spec.Path = d.optScalar(n, "path")
+	spec.Interval = d.optDuration(n, "interval")
+	if lg := n.child("lgs"); lg != nil {
+		for _, item := range d.scalarList(lg) {
+			spec.LGs = append(spec.LGs, item.scalar)
+		}
+	}
+	if err := spec.validate(); err != nil {
+		d.fail(n.line, "%v", err)
+	}
+	return spec
+}
+
+func (d *configDecoder) isMap(n *yamlNode, what string) bool {
+	if n.kind != yMap {
+		d.fail(n.line, "%s must be a mapping", what)
+		return false
+	}
+	return true
+}
+
+// scalarList returns a node's items as scalars, accepting both block and
+// inline sequences (and a bare scalar as a one-element list).
+func (d *configDecoder) scalarList(n *yamlNode) []*yamlNode {
+	if n == nil {
+		return nil
+	}
+	switch n.kind {
+	case yScalar:
+		if n.scalar == "" {
+			return nil
+		}
+		return []*yamlNode{n}
+	case yList:
+		out := make([]*yamlNode, 0, len(n.items))
+		for _, item := range n.items {
+			if item.kind != yScalar {
+				d.fail(item.line, "expected a scalar list item")
+				continue
+			}
+			out = append(out, item)
+		}
+		return out
+	default:
+		d.fail(n.line, "expected a sequence")
+		return nil
+	}
+}
+
+func (d *configDecoder) asASN(n *yamlNode) uint32 {
+	v, err := strconv.ParseUint(n.scalar, 10, 32)
+	if err != nil {
+		d.fail(n.line, "bad ASN %q", n.scalar)
+		return 0
+	}
+	return uint32(v)
+}
+
+func (d *configDecoder) optScalar(n *yamlNode, key string) string {
+	c := n.child(key)
+	if c == nil {
+		return ""
+	}
+	if c.kind != yScalar {
+		d.fail(c.line, "%s must be a scalar", key)
+		return ""
+	}
+	return c.scalar
+}
+
+func (d *configDecoder) optInt(n *yamlNode, key string) int {
+	c := n.child(key)
+	if c == nil {
+		return 0
+	}
+	v, err := strconv.Atoi(c.scalar)
+	if err != nil || c.kind != yScalar {
+		d.fail(c.line, "%s must be an integer", key)
+		return 0
+	}
+	return v
+}
+
+func (d *configDecoder) optBool(n *yamlNode, key string) bool {
+	c := n.child(key)
+	if c == nil {
+		return false
+	}
+	switch c.scalar {
+	case "true":
+		return true
+	case "false":
+		return false
+	}
+	d.fail(c.line, "%s must be true or false", key)
+	return false
+}
+
+func (d *configDecoder) optDuration(n *yamlNode, key string) Duration {
+	c := n.child(key)
+	if c == nil {
+		return 0
+	}
+	v, err := time.ParseDuration(c.scalar)
+	if err != nil || c.kind != yScalar {
+		d.fail(c.line, "%s must be a duration like \"15s\"", key)
+		return 0
+	}
+	return Duration(v)
+}

@@ -1,0 +1,230 @@
+package artemis
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const fullConfig = `# ARTEMIS declarative configuration
+prefixes:
+  - 10.0.0.0/23
+  - 2001:db8::/32
+
+origins: [61000, 61001]
+
+upstreams:
+  61000:
+    - 2000
+    - 2001
+
+sources:
+  - type: ris
+    url: ws://127.0.0.1:9000/v1/ws
+    name: ris-main
+  - type: bgpmon
+    addr: 127.0.0.1:9001
+  - type: mrt
+    path: archive.mrt
+  - type: periscope
+    url: http://127.0.0.1:9002
+    interval: 45s
+    lgs: [lg-1001, lg-1002]
+
+mitigation:
+  controller: http://127.0.0.1:9003
+  config-delay: 15s
+  queue-depth: 32
+  max-deagg-len: 24
+  max-deagg-len6: 48
+
+tuning:
+  shards: 4
+  source-queue: 128
+  dedup-ttl: 10m
+  alert-ttl: 24h
+  alert-dedup-max: 65536
+
+control:
+  listen: 127.0.0.1:9130
+`
+
+func TestParseConfigFull(t *testing.T) {
+	cfg, err := ParseConfig([]byte(fullConfig), "artemis.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Prefixes; len(got) != 2 || got[0] != "10.0.0.0/23" || got[1] != "2001:db8::/32" {
+		t.Fatalf("prefixes: %v", got)
+	}
+	if got := cfg.Origins; len(got) != 2 || got[0] != 61000 || got[1] != 61001 {
+		t.Fatalf("origins: %v", got)
+	}
+	if got := cfg.Upstreams[61000]; len(got) != 2 || got[0] != 2000 || got[1] != 2001 {
+		t.Fatalf("upstreams: %v", cfg.Upstreams)
+	}
+	if len(cfg.Sources) != 4 {
+		t.Fatalf("sources: %+v", cfg.Sources)
+	}
+	if s := cfg.Sources[0]; s.Type != "ris" || s.Name != "ris-main" || s.URL != "ws://127.0.0.1:9000/v1/ws" {
+		t.Fatalf("ris source: %+v", s)
+	}
+	if s := cfg.Sources[3]; s.Type != "periscope" || s.Interval.Std() != 45*time.Second ||
+		len(s.LGs) != 2 || s.LGs[0] != "lg-1001" {
+		t.Fatalf("periscope source: %+v", s)
+	}
+	if cfg.Mitigation.Controller != "http://127.0.0.1:9003" ||
+		cfg.Mitigation.ConfigDelay.Std() != 15*time.Second ||
+		cfg.Mitigation.QueueDepth != 32 {
+		t.Fatalf("mitigation: %+v", cfg.Mitigation)
+	}
+	if cfg.Tuning.Shards != 4 || cfg.Tuning.DedupTTL.Std() != 10*time.Minute ||
+		cfg.Tuning.AlertTTL.Std() != 24*time.Hour || cfg.Tuning.AlertDedupMax != 65536 {
+		t.Fatalf("tuning: %+v", cfg.Tuning)
+	}
+	if cfg.Control.Listen != "127.0.0.1:9130" {
+		t.Fatalf("control: %+v", cfg.Control)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("parsed config fails Validate: %v", err)
+	}
+	// Clone round-trip: a deep copy is independent.
+	clone := cfg.Clone()
+	clone.Prefixes[0] = "changed"
+	clone.Sources[3].LGs[0] = "changed"
+	clone.Upstreams[61000][0] = 9
+	if cfg.Prefixes[0] == "changed" || cfg.Sources[3].LGs[0] == "changed" || cfg.Upstreams[61000][0] == 9 {
+		t.Fatal("Clone is shallow")
+	}
+}
+
+// TestParseConfigErrorPositions asserts that every class of config
+// mistake is reported with the file name and the offending line.
+func TestParseConfigErrorPositions(t *testing.T) {
+	cases := []struct {
+		name    string
+		yaml    string
+		wantPos string // "file:line" prefix
+		wantMsg string // substring of the message
+	}{
+		{
+			name:    "bad prefix",
+			yaml:    "prefixes:\n  - 10.0.0.0/23\n  - not-a-prefix\norigins: [1]\n",
+			wantPos: "t.yaml:3:",
+			wantMsg: "bad prefix",
+		},
+		{
+			name:    "bad origin",
+			yaml:    "prefixes:\n  - 10.0.0.0/23\norigins:\n  - sixty\n",
+			wantPos: "t.yaml:4:",
+			wantMsg: "bad ASN",
+		},
+		{
+			name:    "unknown top-level key",
+			yaml:    "prefixes: [10.0.0.0/23]\norigins: [1]\nprefixxes: [10.0.0.0/24]\n",
+			wantPos: "t.yaml:3:",
+			wantMsg: `unknown key "prefixxes"`,
+		},
+		{
+			name:    "missing prefixes",
+			yaml:    "origins: [1]\n",
+			wantPos: "t.yaml:1:",
+			wantMsg: "missing required key",
+		},
+		{
+			name:    "source missing field",
+			yaml:    "prefixes: [10.0.0.0/23]\norigins: [1]\nsources:\n  - type: ris\n",
+			wantPos: "t.yaml:4:",
+			wantMsg: "ris source needs url",
+		},
+		{
+			name:    "unknown source type",
+			yaml:    "prefixes: [10.0.0.0/23]\norigins: [1]\nsources:\n  - type: carrier-pigeon\n",
+			wantPos: "t.yaml:4:",
+			wantMsg: "unknown source type",
+		},
+		{
+			name:    "bad duration",
+			yaml:    "prefixes: [10.0.0.0/23]\norigins: [1]\ntuning:\n  dedup-ttl: fortnight\n",
+			wantPos: "t.yaml:4:",
+			wantMsg: "duration",
+		},
+		{
+			name:    "duplicate key",
+			yaml:    "prefixes: [10.0.0.0/23]\nprefixes: [10.0.0.0/24]\n",
+			wantPos: "t.yaml:2:",
+			wantMsg: "duplicate key",
+		},
+		{
+			name:    "duplicate prefix",
+			yaml:    "prefixes:\n  - 10.0.0.0/23\n  - 10.0.0.0/23\norigins: [1]\n",
+			wantPos: "t.yaml:3:",
+			wantMsg: "duplicate prefix",
+		},
+		{
+			name:    "tab indentation",
+			yaml:    "prefixes:\n\t- 10.0.0.0/23\n",
+			wantPos: "t.yaml:2:",
+			wantMsg: "tab",
+		},
+		{
+			name:    "bad upstream key",
+			yaml:    "prefixes: [10.0.0.0/23]\norigins: [1]\nupstreams:\n  not-an-asn:\n    - 2000\n",
+			wantPos: "t.yaml:5:",
+			wantMsg: "bad origin ASN",
+		},
+		{
+			name:    "duplicate source name",
+			yaml:    "prefixes: [10.0.0.0/23]\norigins: [1]\nsources:\n  - type: mrt\n    path: a.mrt\n    name: x\n  - type: mrt\n    path: b.mrt\n    name: x\n",
+			wantPos: "t.yaml:7:",
+			wantMsg: "duplicate source name",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseConfig([]byte(tc.yaml), "t.yaml")
+			if err == nil {
+				t.Fatalf("config accepted:\n%s", tc.yaml)
+			}
+			if !strings.HasPrefix(err.Error(), tc.wantPos) {
+				t.Fatalf("error %q does not point at %q", err, tc.wantPos)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestParseConfigQuotedHash: '#' inside a quoted scalar is content, not
+// a comment; an unquoted '#' glued to a value survives too.
+func TestParseConfigQuotedHash(t *testing.T) {
+	yaml := "prefixes: [10.0.0.0/23]\norigins: [1]\nsources:\n" +
+		"  - type: mrt\n    path: \"dir #1/x.mrt\" # a real comment\n    name: 'feed #1'\n" +
+		"control:\n  listen: host:9130#frag\n"
+	cfg, err := ParseConfig([]byte(yaml), "t.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Sources[0].Path != "dir #1/x.mrt" || cfg.Sources[0].Name != "feed #1" {
+		t.Fatalf("quoted # mangled: %+v", cfg.Sources[0])
+	}
+	if cfg.Control.Listen != "host:9130#frag" {
+		t.Fatalf("glued # mangled: %q", cfg.Control.Listen)
+	}
+}
+
+func TestDurationJSON(t *testing.T) {
+	d := Duration(15 * time.Second)
+	b, err := d.MarshalJSON()
+	if err != nil || string(b) != `"15s"` {
+		t.Fatalf("marshal: %s %v", b, err)
+	}
+	var back Duration
+	if err := back.UnmarshalJSON([]byte(`"10m"`)); err != nil || back.Std() != 10*time.Minute {
+		t.Fatalf("unmarshal: %v %v", back, err)
+	}
+	if err := back.UnmarshalJSON([]byte(`42`)); err == nil {
+		t.Fatal("numeric duration accepted")
+	}
+}

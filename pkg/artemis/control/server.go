@@ -1,0 +1,309 @@
+// Package control serves an artemis.Node's operator API over versioned
+// HTTP: configuration introspection, live reconfiguration (owned-prefix
+// and source CRUD), health, alert history, a server-sent-event stream of
+// the node's typed events, and the Prometheus-style /metrics endpoint —
+// all on one gracefully-shut-down server.
+//
+//	GET    /v1/config         current declarative config (JSON)
+//	GET    /v1/prefixes       owned prefixes
+//	POST   /v1/prefixes       {"prefixes": ["10.9.0.0/24"]} — hot-add
+//	DELETE /v1/prefixes       {"prefixes": ["10.9.0.0/24"]} — hot-remove
+//	GET    /v1/sources        supervised sources with health
+//	POST   /v1/sources        SourceSpec JSON — hot-add, returns {"name"}
+//	DELETE /v1/sources        {"name": "ris[0]"} — hot-remove
+//	GET    /v1/health         overall + per-source health summary
+//	GET    /v1/alerts         alert history
+//	GET    /v1/mitigations    mitigation attempt history
+//	GET    /v1/alerts/stream  SSE stream (?kinds=alert,mitigation,health)
+//	GET    /metrics           Prometheus text exposition
+package control
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"artemis/pkg/artemis"
+)
+
+// Server is the control plane over one node.
+type Server struct {
+	node *artemis.Node
+	mux  *http.ServeMux
+	http *http.Server
+
+	// done ends live streams (SSE) so Shutdown's handler-drain completes.
+	done     chan struct{}
+	doneOnce sync.Once
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// NewServer builds the control plane for node.
+func NewServer(node *artemis.Node) *Server {
+	s := &Server{node: node, mux: http.NewServeMux(), done: make(chan struct{})}
+	s.mux.HandleFunc("GET /v1/config", s.getConfig)
+	s.mux.HandleFunc("GET /v1/prefixes", s.getPrefixes)
+	s.mux.HandleFunc("POST /v1/prefixes", s.postPrefixes)
+	s.mux.HandleFunc("DELETE /v1/prefixes", s.deletePrefixes)
+	s.mux.HandleFunc("GET /v1/sources", s.getSources)
+	s.mux.HandleFunc("POST /v1/sources", s.postSources)
+	s.mux.HandleFunc("DELETE /v1/sources", s.deleteSources)
+	s.mux.HandleFunc("GET /v1/health", s.getHealth)
+	s.mux.HandleFunc("GET /v1/alerts", s.getAlerts)
+	s.mux.HandleFunc("GET /v1/mitigations", s.getMitigations)
+	s.mux.HandleFunc("GET /v1/alerts/stream", s.streamEvents)
+	s.mux.HandleFunc("GET /metrics", s.getMetrics)
+	s.http = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Handler exposes the API for embedders that mount it on their own
+// server (httptest, an existing mux). Streams served this way still end
+// on Shutdown.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves on addr until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves on an existing listener until Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	return s.http.Serve(ln)
+}
+
+// Addr reports the bound listen address, once serving.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown stops the server gracefully: live event streams end, in-flight
+// requests complete, then the listener closes. Part of the daemon's
+// SIGINT/SIGTERM drain path.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.doneOnce.Do(func() { close(s.done) })
+	return s.http.Shutdown(ctx)
+}
+
+// --- handlers ---
+
+func (s *Server) getConfig(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.node.Config())
+}
+
+func (s *Server) getPrefixes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"prefixes": s.node.Config().Prefixes})
+}
+
+// prefixesBody is the POST/DELETE /v1/prefixes payload.
+type prefixesBody struct {
+	Prefixes []string `json:"prefixes"`
+}
+
+func (s *Server) postPrefixes(w http.ResponseWriter, r *http.Request) {
+	var body prefixesBody
+	if !readJSON(w, r, &body) {
+		return
+	}
+	if len(body.Prefixes) == 0 {
+		writeError(w, http.StatusBadRequest, "no prefixes given")
+		return
+	}
+	if err := s.node.AddPrefixes(body.Prefixes...); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"prefixes": s.node.Config().Prefixes})
+}
+
+func (s *Server) deletePrefixes(w http.ResponseWriter, r *http.Request) {
+	var body prefixesBody
+	if !readJSON(w, r, &body) {
+		return
+	}
+	if len(body.Prefixes) == 0 {
+		writeError(w, http.StatusBadRequest, "no prefixes given")
+		return
+	}
+	if err := s.node.RemovePrefixes(body.Prefixes...); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"prefixes": s.node.Config().Prefixes})
+}
+
+func (s *Server) getSources(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"sources": s.node.Health().Sources})
+}
+
+func (s *Server) postSources(w http.ResponseWriter, r *http.Request) {
+	var spec artemis.SourceSpec
+	if !readJSON(w, r, &spec) {
+		return
+	}
+	name, err := s.node.AddSource(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"name": name})
+}
+
+func (s *Server) deleteSources(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Name string `json:"name"`
+	}
+	if !readJSON(w, r, &body) {
+		return
+	}
+	if body.Name == "" {
+		writeError(w, http.StatusBadRequest, "no source name given")
+		return
+	}
+	if err := s.node.RemoveSource(body.Name); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": body.Name})
+}
+
+func (s *Server) getHealth(w http.ResponseWriter, r *http.Request) {
+	h := s.node.Health()
+	status := http.StatusOK
+	if h.Status == "critical" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (s *Server) getAlerts(w http.ResponseWriter, r *http.Request) {
+	alerts := s.node.Alerts()
+	if alerts == nil {
+		alerts = []artemis.Alert{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"alerts": alerts})
+}
+
+func (s *Server) getMitigations(w http.ResponseWriter, r *http.Request) {
+	mits := s.node.Mitigations()
+	if mits == nil {
+		mits = []artemis.Mitigation{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"mitigations": mits})
+}
+
+func (s *Server) getMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.node.WriteMetrics(w)
+}
+
+// streamEvents serves the node's typed events as server-sent events:
+// "event: <kind>" + "data: <json>" frames, with comment heartbeats to
+// keep intermediaries from timing the stream out. ?kinds=alert,mitigation
+// filters; default all.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	kinds, err := parseKinds(r.URL.Query().Get("kinds"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sub := s.node.Subscribe(kinds, 256)
+	defer sub.Cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": artemis event stream\n\n")
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev, ok := <-sub.C:
+			if !ok {
+				return // node drained
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data)
+			flusher.Flush()
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": ping\n\n")
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return
+		}
+	}
+}
+
+func parseKinds(q string) (artemis.EventKind, error) {
+	if q == "" {
+		return artemis.KindAll, nil
+	}
+	var kinds artemis.EventKind
+	for _, part := range strings.Split(q, ",") {
+		switch strings.TrimSpace(part) {
+		case "alert":
+			kinds |= artemis.KindAlert
+		case "mitigation":
+			kinds |= artemis.KindMitigation
+		case "health":
+			kinds |= artemis.KindHealth
+		default:
+			return 0, fmt.Errorf("unknown event kind %q", part)
+		}
+	}
+	return kinds, nil
+}
+
+// --- JSON helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}

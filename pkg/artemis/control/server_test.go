@@ -1,0 +1,475 @@
+package control_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/feeds/bgpmon"
+	"artemis/internal/feeds/ris"
+	"artemis/internal/prefix"
+	"artemis/internal/sim"
+	"artemis/internal/simnet"
+	"artemis/internal/topo"
+	"artemis/pkg/artemis"
+	"artemis/pkg/artemis/control"
+)
+
+// testInjector records mitigation announcements.
+type testInjector struct {
+	mu        sync.Mutex
+	announced []string
+}
+
+func (t *testInjector) AnnounceRoute(p string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.announced = append(t.announced, p)
+	return nil
+}
+func (t *testInjector) WithdrawRoute(string) error { return nil }
+func (t *testInjector) all() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.announced...)
+}
+
+// controlHarness is a full live stack: a simulated Internet exposing a
+// real RIS websocket server and a real BGPmon TCP server, an embedded
+// node consuming them as network clients, and the control plane over
+// httptest.
+type controlHarness struct {
+	t        *testing.T
+	eng      *sim.Engine
+	nw       *simnet.Network
+	risAddr  string
+	bmonAddr string
+	node     *artemis.Node
+	srv      *control.Server
+	api      *httptest.Server
+	inj      *testInjector
+	cancel   context.CancelFunc
+	runDone  chan error
+
+	pumpStop chan struct{}
+	pumpDone chan struct{}
+
+	mu sync.Mutex
+	on map[string]bool // churning announcements currently up
+}
+
+func newControlHarness(t *testing.T) *controlHarness {
+	t.Helper()
+	h := &controlHarness{t: t, runDone: make(chan error, 1),
+		pumpStop: make(chan struct{}), pumpDone: make(chan struct{}), on: map[string]bool{}}
+	tp := topo.Line(6, 5*time.Millisecond)
+	h.eng = sim.NewEngine(1)
+	h.nw = simnet.New(tp, h.eng, simnet.Config{MRAI: simnet.Disabled, ProcMin: time.Millisecond, ProcMax: 2 * time.Millisecond})
+
+	// Real RIS websocket server over the sim.
+	risSvc := ris.New(h.nw, []ris.CollectorConfig{
+		{Name: "rrc00", Peers: []bgp.ASN{topo.FirstASN + 3, topo.FirstASN + 4}, BatchDelay: 50 * time.Millisecond},
+	})
+	risLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	risHTTP := &http.Server{Handler: ris.NewServer(risSvc)}
+	go risHTTP.Serve(risLn)
+	t.Cleanup(func() { risHTTP.Close() })
+	h.risAddr = risLn.Addr().String()
+
+	// Real BGPmon XML server — hot-added as the second feed mid-test.
+	bmonSvc := bgpmon.New(h.nw, bgpmon.Config{
+		Peers: []bgp.ASN{topo.FirstASN + 5}, MinDelay: 50 * time.Millisecond, MaxDelay: 100 * time.Millisecond,
+	})
+	bmonSrv, err := bgpmon.NewServer(bmonSvc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bmonSrv.Close() })
+	h.bmonAddr = bmonSrv.Addr()
+
+	// Engine pump: the sim advances continuously, like a paced run.
+	go func() {
+		defer close(h.pumpDone)
+		for {
+			select {
+			case <-h.pumpStop:
+				return
+			default:
+				h.eng.Run()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	t.Cleanup(func() { close(h.pumpStop); <-h.pumpDone })
+	return h
+}
+
+// start builds the node from a declarative config and serves the control
+// plane.
+func (h *controlHarness) start(cfg *artemis.Config) {
+	h.t.Helper()
+	h.inj = &testInjector{}
+	node, err := artemis.New(cfg,
+		artemis.WithRouteInjector(h.inj),
+		artemis.WithLogf(func(string, ...any) {}))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.node = node
+	ctx, cancel := context.WithCancel(context.Background())
+	h.cancel = cancel
+	go func() { h.runDone <- node.Run(ctx) }()
+	h.srv = control.NewServer(node)
+	h.api = httptest.NewServer(h.srv.Handler())
+	h.t.Cleanup(func() {
+		h.api.Close()
+		h.srv.Shutdown(context.Background())
+		cancel()
+		select {
+		case <-h.runDone:
+		case <-time.After(10 * time.Second):
+			h.t.Error("node did not drain")
+		}
+	})
+}
+
+// churn toggles an announcement so feed subscribers always have fresh
+// route changes to observe regardless of when they (re)connected.
+func (h *controlHarness) churn(asn bgp.ASN, p prefix.Prefix) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := fmt.Sprintf("%d|%s", asn, p)
+	var err error
+	if h.on[key] {
+		err = h.nw.Withdraw(asn, p)
+	} else {
+		err = h.nw.Announce(asn, p)
+	}
+	if err != nil {
+		h.t.Fatalf("churn %s: %v", key, err)
+	}
+	h.on[key] = !h.on[key]
+}
+
+// api helpers
+
+func (h *controlHarness) get(path string, out any) int {
+	h.t.Helper()
+	resp, err := http.Get(h.api.URL + path)
+	if err != nil {
+		h.t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			h.t.Fatalf("GET %s: decode: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func (h *controlHarness) send(method, path string, body any, out any) int {
+	h.t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	req, err := http.NewRequest(method, h.api.URL+path, bytes.NewReader(b))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		h.t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			h.t.Fatalf("%s %s: decode: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func (h *controlHarness) waitAPI(what string, cond func() bool) {
+	h.t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	h.t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestControlPlaneHotReconfiguration is the end-to-end acceptance path:
+// start from a config file with one live feed, then — over HTTP, while
+// traffic flows — hot-add an owned prefix and a second feed, hijack the
+// new prefix, and verify it is detected and mitigated with no restart.
+func TestControlPlaneHotReconfiguration(t *testing.T) {
+	h := newControlHarness(t)
+	victim := topo.FirstASN
+	attacker := topo.FirstASN + 1
+	owned1 := prefix.MustParse("10.0.0.0/23")
+	owned2 := prefix.MustParse("172.16.0.0/22")
+
+	// The declarative config an artemis.yaml would hold.
+	yaml := fmt.Sprintf(`
+prefixes:
+  - 10.0.0.0/23
+origins: [%d]
+sources:
+  - type: ris
+    url: ws://%s/v1/ws
+mitigation:
+  config-delay: 1ms
+tuning:
+  dedup-ttl: 1h
+`, uint32(victim), h.risAddr)
+	cfg, err := artemis.ParseConfig([]byte(yaml), "artemis.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.start(cfg)
+
+	// Live SSE stream of everything, collected in the background.
+	var sseMu sync.Mutex
+	var sseFrames []string
+	sseResp, err := http.Get(h.api.URL + "/v1/alerts/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sseResp.Body.Close() })
+	go func() {
+		scanner := bufio.NewScanner(sseResp.Body)
+		for scanner.Scan() {
+			sseMu.Lock()
+			sseFrames = append(sseFrames, scanner.Text())
+			sseMu.Unlock()
+		}
+	}()
+	sseHas := func(substr string) bool {
+		sseMu.Lock()
+		defer sseMu.Unlock()
+		for _, l := range sseFrames {
+			if strings.Contains(l, substr) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// The RIS feed connects and the victim's legitimate announcement
+	// flows through: events visible in /v1/sources, no alerts.
+	h.waitAPI("ris healthy", func() bool {
+		var out struct {
+			Sources []artemis.SourceStatus `json:"sources"`
+		}
+		h.get("/v1/sources", &out)
+		return len(out.Sources) == 1 && out.Sources[0].State == "healthy"
+	})
+	h.waitAPI("legit traffic observed", func() bool {
+		h.churn(victim, owned1)
+		var out struct {
+			Sources []artemis.SourceStatus `json:"sources"`
+		}
+		h.get("/v1/sources", &out)
+		return len(out.Sources) == 1 && out.Sources[0].Events > 0
+	})
+	var alerts struct {
+		Alerts []artemis.Alert `json:"alerts"`
+	}
+	h.get("/v1/alerts", &alerts)
+	if len(alerts.Alerts) != 0 {
+		t.Fatalf("spurious alerts: %+v", alerts.Alerts)
+	}
+
+	// --- Hot-add an owned prefix over HTTP. ---
+	if code := h.send("POST", "/v1/prefixes", map[string]any{"prefixes": []string{owned2.String()}}, nil); code != http.StatusOK {
+		t.Fatalf("POST /v1/prefixes: %d", code)
+	}
+	var gotCfg artemis.Config
+	h.get("/v1/config", &gotCfg)
+	if len(gotCfg.Prefixes) != 2 || gotCfg.Prefixes[1] != owned2.String() {
+		t.Fatalf("config after hot-add: %+v", gotCfg.Prefixes)
+	}
+	// Adding the same prefix again must fail.
+	if code := h.send("POST", "/v1/prefixes", map[string]any{"prefixes": []string{owned2.String()}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("duplicate prefix add: %d", code)
+	}
+
+	// --- Hot-add a second feed (the BGPmon server) over HTTP. ---
+	var added struct {
+		Name string `json:"name"`
+	}
+	if code := h.send("POST", "/v1/sources", artemis.SourceSpec{Type: "bgpmon", Addr: h.bmonAddr}, &added); code != http.StatusCreated {
+		t.Fatalf("POST /v1/sources: %d", code)
+	}
+	if added.Name != "bgpmon[0]" {
+		t.Fatalf("source name: %q", added.Name)
+	}
+	h.waitAPI("both feeds healthy", func() bool {
+		var out struct {
+			Sources []artemis.SourceStatus `json:"sources"`
+		}
+		h.get("/v1/sources", &out)
+		healthy := 0
+		for _, s := range out.Sources {
+			if s.State == "healthy" {
+				healthy++
+			}
+		}
+		return healthy == 2
+	})
+
+	// --- Hijack the hot-added prefix: detection + mitigation, no restart. ---
+	h.waitAPI("hijack of hot-added prefix detected", func() bool {
+		h.churn(attacker, owned2)
+		h.get("/v1/alerts", &alerts)
+		for _, a := range alerts.Alerts {
+			if a.Type == "exact-origin" && a.Prefix == owned2.String() && a.Origin == uint32(attacker) {
+				return true
+			}
+		}
+		return false
+	})
+	// Mitigation: the /22 de-aggregates into two /23s through the injector.
+	h.waitAPI("mitigation announced", func() bool { return len(h.inj.all()) >= 2 })
+	want := map[string]bool{"172.16.0.0/23": true, "172.16.2.0/23": true}
+	for _, p := range h.inj.all() {
+		if !want[p] {
+			t.Fatalf("unexpected mitigation announcement %q (all: %v)", p, h.inj.all())
+		}
+	}
+	var mits struct {
+		Mitigations []artemis.Mitigation `json:"mitigations"`
+	}
+	h.get("/v1/mitigations", &mits)
+	if len(mits.Mitigations) == 0 || mits.Mitigations[0].Alert.Prefix != owned2.String() {
+		t.Fatalf("mitigation history: %+v", mits.Mitigations)
+	}
+
+	// The SSE stream carried the alert and the mitigation outcome.
+	h.waitAPI("SSE alert frame", func() bool { return sseHas("event: alert") && sseHas(owned2.String()) })
+	h.waitAPI("SSE mitigation frame", func() bool { return sseHas("event: mitigation") })
+
+	// --- Health + metrics reflect the reconfigured, two-feed state. ---
+	var health artemis.Health
+	if code := h.get("/v1/health", &health); code != http.StatusOK {
+		t.Fatalf("health status code: %d", code)
+	}
+	if health.Status != "ok" || len(health.Sources) != 2 {
+		t.Fatalf("health: %+v", health)
+	}
+	metricsResp, err := http.Get(h.api.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(metricsResp.Body)
+	metricsResp.Body.Close()
+	for _, want := range []string{
+		"artemis_pipeline_reconfigs_total 1",
+		"artemis_alerts_total 1",
+		`artemis_ingest_source_events_total{source="bgpmon[0]"}`,
+		"artemis_mitigation_handled_total 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// --- Hot-remove the first feed; the node keeps running on the second. ---
+	if code := h.send("DELETE", "/v1/sources", map[string]string{"name": "ris[0]"}, nil); code != http.StatusOK {
+		t.Fatalf("DELETE /v1/sources: %d", code)
+	}
+	if code := h.send("DELETE", "/v1/sources", map[string]string{"name": "ris[0]"}, nil); code != http.StatusNotFound {
+		t.Fatal("double source delete accepted")
+	}
+	var cfgAfter artemis.Config
+	h.get("/v1/config", &cfgAfter)
+	if len(cfgAfter.Sources) != 1 || cfgAfter.Sources[0].Type != "bgpmon" {
+		t.Fatalf("sources after delete: %+v", cfgAfter.Sources)
+	}
+
+	// --- Prefix hot-remove: the detached space stops alerting. ---
+	if code := h.send("DELETE", "/v1/prefixes", map[string]any{"prefixes": []string{owned1.String()}}, nil); code != http.StatusOK {
+		t.Fatal("DELETE /v1/prefixes failed")
+	}
+	var prefixes struct {
+		Prefixes []string `json:"prefixes"`
+	}
+	h.get("/v1/prefixes", &prefixes)
+	if len(prefixes.Prefixes) != 1 || prefixes.Prefixes[0] != owned2.String() {
+		t.Fatalf("prefixes after delete: %+v", prefixes.Prefixes)
+	}
+}
+
+// TestControlServerGracefulShutdown: Shutdown ends SSE streams and
+// in-flight serving, the daemon drain-path contract for the merged
+// metrics+control server.
+func TestControlServerGracefulShutdown(t *testing.T) {
+	cfg := &artemis.Config{Prefixes: []string{"10.0.0.0/24"}, Origins: []uint32{1}}
+	node, err := artemis.New(cfg, artemis.WithLogf(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Drain()
+	srv := control.NewServer(node)
+	go srv.ListenAndServe("127.0.0.1:0")
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Addr() == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("server never bound")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	base := "http://" + srv.Addr()
+
+	resp, err := http.Get(base + "/v1/alerts/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	streamEnded := make(chan struct{})
+	go func() {
+		io.ReadAll(resp.Body) // blocks until the server ends the stream
+		close(streamEnded)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.Shutdown(ctx) }()
+	select {
+	case err := <-shutdownDone:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown hung (SSE stream not released)")
+	}
+	select {
+	case <-streamEnded:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream still open after shutdown")
+	}
+	if _, err := http.Get(base + "/v1/health"); err == nil {
+		t.Fatal("server still accepting after shutdown")
+	}
+}

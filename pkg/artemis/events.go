@@ -1,0 +1,241 @@
+package artemis
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"artemis/internal/core"
+	"artemis/internal/ingest"
+	"artemis/internal/prefix"
+)
+
+// EventKind selects event categories for Subscribe; kinds OR together.
+type EventKind uint8
+
+const (
+	// KindAlert: a hijack was detected.
+	KindAlert EventKind = 1 << iota
+	// KindMitigation: a mitigation attempt completed (or an accepted
+	// announcement later failed downstream).
+	KindMitigation
+	// KindHealth: a monitoring source changed lifecycle state.
+	KindHealth
+
+	// KindAll subscribes to everything.
+	KindAll = KindAlert | KindMitigation | KindHealth
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case KindAlert:
+		return "alert"
+	case KindMitigation:
+		return "mitigation"
+	case KindHealth:
+		return "health"
+	}
+	return "mixed"
+}
+
+// Alert is one detected hijack incident, in embeddable (string-typed,
+// JSON-ready) form.
+type Alert struct {
+	// Type is the classification: "exact-origin", "sub-prefix", "squat"
+	// or "path-anomaly".
+	Type string `json:"type"`
+	// Prefix is the offending announcement; Owned the protected prefix it
+	// collides with.
+	Prefix string `json:"prefix"`
+	Owned  string `json:"owned"`
+	// Origin is the offending AS (for path anomalies, the AS spliced next
+	// to the legitimate origin).
+	Origin uint32 `json:"origin"`
+	// Source/Collector/VantagePoint locate the evidence: which feed saw
+	// the announcement from where.
+	Source       string `json:"source"`
+	Collector    string `json:"collector"`
+	VantagePoint uint32 `json:"vantage_point"`
+	// DetectedAt is the node-clock time of detection.
+	DetectedAt Duration `json:"detected_at"`
+}
+
+// Mitigation is one mitigation attempt's outcome.
+type Mitigation struct {
+	Alert Alert `json:"alert"`
+	// Prefixes are the de-aggregated announcements requested; Announced
+	// the subset the controller accepted.
+	Prefixes  []string `json:"prefixes"`
+	Announced []string `json:"announced"`
+	// Competitive marks same-prefix re-announcements that compete on path
+	// length instead of winning longest-prefix match.
+	Competitive bool     `json:"competitive"`
+	TriggeredAt Duration `json:"triggered_at"`
+	// Error is the controller failure that aborted (or later undid) the
+	// attempt; empty on success.
+	Error string `json:"error,omitempty"`
+}
+
+// SourceHealth is one monitoring-source lifecycle transition.
+type SourceHealth struct {
+	Source string `json:"source"`
+	// From/To are lifecycle states: "connecting", "healthy", "degraded",
+	// "dead".
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// Event is one occurrence delivered through a Subscription; exactly one
+// of Alert, Mitigation and SourceHealth is set, per Kind.
+type Event struct {
+	Kind         EventKind     `json:"-"`
+	Alert        *Alert        `json:"alert,omitempty"`
+	Mitigation   *Mitigation   `json:"mitigation,omitempty"`
+	SourceHealth *SourceHealth `json:"source_health,omitempty"`
+}
+
+// Subscription is one subscriber's bounded event feed. Receive from C;
+// Cancel when done. A subscriber that falls behind loses the oldest
+// undelivered events (counted by Dropped) instead of stalling detection:
+// publishers run on the detection sink and source goroutines and never
+// block on subscribers.
+type Subscription struct {
+	// C delivers events. It is closed when the subscription is cancelled
+	// or the node drains.
+	C <-chan Event
+
+	ch      chan Event
+	kinds   EventKind
+	dropped atomic.Int64
+	bus     *eventBus
+	id      int
+}
+
+// Dropped reports how many events this subscriber lost to its buffer
+// bound.
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
+
+// Cancel detaches the subscription and closes C. Idempotent.
+func (s *Subscription) Cancel() { s.bus.cancel(s) }
+
+// eventBus fans events out to subscribers.
+type eventBus struct {
+	mu     sync.Mutex
+	subs   map[int]*Subscription
+	nextID int
+	closed bool
+}
+
+func newEventBus() *eventBus {
+	return &eventBus{subs: make(map[int]*Subscription)}
+}
+
+func (b *eventBus) subscribe(kinds EventKind, buffer int) *Subscription {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	if kinds == 0 {
+		kinds = KindAll
+	}
+	sub := &Subscription{ch: make(chan Event, buffer), kinds: kinds, bus: b}
+	sub.C = sub.ch
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		close(sub.ch)
+		return sub
+	}
+	sub.id = b.nextID
+	b.nextID++
+	b.subs[sub.id] = sub
+	return sub
+}
+
+func (b *eventBus) cancel(s *Subscription) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[s.id]; ok {
+		delete(b.subs, s.id)
+		close(s.ch)
+	}
+}
+
+// publish delivers to every matching subscriber without blocking: when a
+// subscriber's buffer is full, the oldest undelivered event is evicted to
+// make room (and counted), so slow consumers see the freshest tail.
+func (b *eventBus) publish(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, sub := range b.subs {
+		if sub.kinds&ev.Kind == 0 {
+			continue
+		}
+		for {
+			select {
+			case sub.ch <- ev:
+			default:
+				select {
+				case <-sub.ch:
+					sub.dropped.Add(1)
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}
+
+// close ends every subscription.
+func (b *eventBus) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, sub := range b.subs {
+		delete(b.subs, id)
+		close(sub.ch)
+	}
+}
+
+// --- conversions from internal types ---
+
+func alertFromCore(a core.Alert) Alert {
+	return Alert{
+		Type:         a.Type.String(),
+		Prefix:       a.Prefix.String(),
+		Owned:        a.Owned.String(),
+		Origin:       uint32(a.Origin),
+		Source:       a.Evidence.Source,
+		Collector:    a.Evidence.Collector,
+		VantagePoint: uint32(a.Evidence.VantagePoint),
+		DetectedAt:   Duration(a.DetectedAt),
+	}
+}
+
+func mitigationFromCore(r core.MitigationRecord) Mitigation {
+	m := Mitigation{
+		Alert:       alertFromCore(r.Alert),
+		Prefixes:    prefixStrings(r.Prefixes),
+		Announced:   prefixStrings(r.Announced),
+		Competitive: r.Competitive,
+		TriggeredAt: Duration(r.TriggeredAt),
+	}
+	if r.Err != nil {
+		m.Error = r.Err.Error()
+	}
+	return m
+}
+
+func healthFromIngest(tr ingest.HealthTransition) SourceHealth {
+	return SourceHealth{Source: tr.Name, From: tr.From.String(), To: tr.To.String()}
+}
+
+func prefixStrings(ps []prefix.Prefix) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.String()
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package artemis_test
+
+import (
+	"fmt"
+
+	"artemis/pkg/artemis"
+)
+
+// Example embeds ARTEMIS in-process: declare the owned space, subscribe
+// to typed alert events, feed an observed routing change in (here via
+// Inject — production embedders declare network sources in the config or
+// bring their own feed), and react to the detection. Mitigation is left
+// manual, so the embedding application decides the response.
+func Example() {
+	cfg := &artemis.Config{
+		Prefixes:   []string{"192.0.2.0/24"},
+		Origins:    []uint32{64496},
+		Mitigation: artemis.MitigationConfig{Manual: true},
+	}
+	node, err := artemis.New(cfg, artemis.WithLogf(func(string, ...any) {}))
+	if err != nil {
+		panic(err)
+	}
+	defer node.Drain()
+
+	alerts := node.Subscribe(artemis.KindAlert, 8)
+
+	// A vantage point sees a more-specific slice of the owned space
+	// announced by AS 64666 — a sub-prefix hijack.
+	node.Inject(artemis.RouteObservation{
+		VantagePoint: 64512,
+		Prefix:       "192.0.2.128/25",
+		Path:         []uint32{64512, 64500, 64666},
+	})
+
+	ev := <-alerts.C
+	fmt.Printf("%s hijack of %s (owned %s) by AS%d\n",
+		ev.Alert.Type, ev.Alert.Prefix, ev.Alert.Owned, ev.Alert.Origin)
+	// Output: sub-prefix hijack of 192.0.2.128/25 (owned 192.0.2.0/24) by AS64666
+}

@@ -1,0 +1,654 @@
+// Package artemis is the embeddable public facade over the ARTEMIS
+// reproduction (conf_sigcomm_ChaviarasGSD16): self-operated BGP hijack
+// detection and mitigation for the network that owns the prefixes.
+//
+// A Node assembles the whole stack — sharded detection pipeline,
+// incremental monitor, bounded async mitigation, supervised multi-source
+// ingest — behind one declarative Config and a Run(ctx)/Drain lifecycle:
+//
+//	cfg, err := artemis.LoadConfig("artemis.yaml")
+//	node, err := artemis.New(cfg)
+//	sub := node.Subscribe(artemis.KindAll, 64)
+//	go consume(sub.C)
+//	err = node.Run(ctx) // blocks; drains gracefully on ctx cancel
+//
+// Everything is live-reconfigurable while traffic flows: owned prefixes
+// and origins (AddPrefixes/RemovePrefixes/SetOrigins swap the detector's
+// routing trie, the pipeline's shard routing, the monitor's probe set and
+// the mitigation clamps atomically, at a well-defined serial position in
+// the event stream) and monitoring sources (AddSource/RemoveSource ride
+// the ingest supervisor's hot add/remove). The sibling package
+// pkg/artemis/control serves this API over versioned HTTP.
+package artemis
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"slices"
+	"sync"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/controller"
+	"artemis/internal/core"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/ingest"
+	"artemis/internal/prefix"
+)
+
+// Node is one embedded ARTEMIS instance.
+type Node struct {
+	opts options
+	now  func() time.Duration
+
+	svc  *core.Service
+	pl   *core.Pipeline
+	sup  *ingest.Supervisor
+	ctrl *controller.Controller
+	bus  *eventBus
+
+	mu      sync.Mutex
+	cfg     *Config // current declarative config, kept in sync with CRUD
+	sources map[string]sourceEntry
+	srcSeq  map[string]int
+	running bool
+
+	drainOnce sync.Once
+	drained   chan struct{}
+	runExited chan struct{}
+}
+
+type sourceEntry struct {
+	id   ingest.SourceID
+	spec SourceSpec
+}
+
+// New validates cfg and assembles a node. Monitoring sources start
+// dialing when Run is called; configuration CRUD and Subscribe work
+// immediately. cfg is deep-copied.
+func New(cfg *Config, opts ...Option) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.Clone()
+	n := &Node{
+		cfg:       cfg,
+		bus:       newEventBus(),
+		sources:   make(map[string]sourceEntry),
+		srcSeq:    make(map[string]int),
+		drained:   make(chan struct{}),
+		runExited: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(&n.opts)
+	}
+	n.now = n.opts.now
+	if n.now == nil {
+		start := time.Now()
+		n.now = func() time.Duration { return time.Since(start) }
+	}
+	if n.opts.logf == nil {
+		n.opts.logf = log.Printf
+	}
+
+	ccfg, err := coreConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	inj, manual := n.southbound(cfg)
+	ccfg.ManualMitigation = manual
+	delay := cfg.Mitigation.ConfigDelay.Std()
+	switch {
+	case delay < 0:
+		delay = 0 // explicit "no controller latency"
+	case delay == 0:
+		delay = controller.DefaultConfigDelay
+	}
+	n.ctrl = controller.New(inj, n.now,
+		func(d time.Duration, fn func()) { time.AfterFunc(d, fn) },
+		controller.WithConfigDelay(delay))
+	n.svc, err = core.NewService(ccfg, n.ctrl, n.now, core.WithAsyncMitigation(cfg.Mitigation.QueueDepth))
+	if err != nil {
+		return nil, err
+	}
+	n.pl = core.NewPipeline(n.svc.Detector, n.svc.Monitor, core.PipelineConfig{Shards: cfg.Tuning.Shards})
+	n.svc.BindPipeline(n.pl)
+	n.sup = ingest.New(n.pl.Submit, ingest.Config{
+		QueueDepth: cfg.Tuning.SourceQueue,
+		DedupTTL:   cfg.Tuning.DedupTTL.Std(),
+		OnHealth: func(tr ingest.HealthTransition) {
+			h := healthFromIngest(tr)
+			n.opts.logf("artemis: source %s: %s -> %s", h.Source, h.From, h.To)
+			n.bus.publish(Event{Kind: KindHealth, SourceHealth: &h})
+		},
+	})
+	n.svc.Detector.OnAlert(func(a core.Alert) {
+		pub := alertFromCore(a)
+		n.opts.logf("artemis: ALERT %s: %s announced by AS%d (collides with owned %s, via %s/%s vp AS%d)",
+			pub.Type, pub.Prefix, pub.Origin, pub.Owned, pub.Source, pub.Collector, pub.VantagePoint)
+		n.bus.publish(Event{Kind: KindAlert, Alert: &pub})
+	})
+	n.svc.Mitigator.OnRecord(func(r core.MitigationRecord) {
+		pub := mitigationFromCore(r)
+		n.bus.publish(Event{Kind: KindMitigation, Mitigation: &pub})
+	})
+	// Normalize configured sources now (default names, duplicate checks);
+	// they start dialing when Run attaches them.
+	specs := n.cfg.Sources
+	n.cfg.Sources = nil
+	for _, spec := range specs {
+		if _, err := n.AddSource(spec); err != nil {
+			n.shutdown()
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// southbound resolves the mitigation injector: explicit option, REST
+// controller URL, or detection-only (manual).
+func (n *Node) southbound(cfg *Config) (controller.RouteInjector, bool) {
+	manual := cfg.Mitigation.Manual
+	switch {
+	case n.opts.inject != nil:
+		return injectorAdapter{n.opts.inject}, manual
+	case cfg.Mitigation.Controller != "":
+		return controller.NewRESTClient(cfg.Mitigation.Controller), manual
+	default:
+		return noopInjector{}, true
+	}
+}
+
+// coreConfig lowers the declarative config to the core's typed one.
+func coreConfig(cfg *Config) (*core.Config, error) {
+	ccfg := &core.Config{
+		MaxDeaggregationLen:  cfg.Mitigation.MaxDeaggLen,
+		MaxDeaggregationLen6: cfg.Mitigation.MaxDeaggLen6,
+		AlertDedupTTL:        cfg.Tuning.AlertTTL.Std(),
+		AlertDedupMax:        cfg.Tuning.AlertDedupMax,
+	}
+	switch {
+	case ccfg.AlertDedupTTL < 0:
+		ccfg.AlertDedupTTL = 0 // explicit "dedup forever" (core's 0)
+	case ccfg.AlertDedupTTL == 0:
+		ccfg.AlertDedupTTL = 24 * time.Hour // unset → daemon default
+	}
+	if ccfg.AlertDedupMax == 0 {
+		ccfg.AlertDedupMax = 1 << 16
+	}
+	for _, s := range cfg.Prefixes {
+		p, err := prefix.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("artemis: bad prefix %q: %v", s, err)
+		}
+		ccfg.OwnedPrefixes = append(ccfg.OwnedPrefixes, p)
+	}
+	for _, o := range cfg.Origins {
+		ccfg.LegitOrigins = append(ccfg.LegitOrigins, bgp.ASN(o))
+	}
+	if len(cfg.Upstreams) > 0 {
+		ccfg.AllowedUpstreams = make(map[bgp.ASN][]bgp.ASN, len(cfg.Upstreams))
+		for origin, ups := range cfg.Upstreams {
+			list := make([]bgp.ASN, len(ups))
+			for i, u := range ups {
+				list[i] = bgp.ASN(u)
+			}
+			ccfg.AllowedUpstreams[bgp.ASN(origin)] = list
+		}
+	}
+	return ccfg, nil
+}
+
+// filterProvider returns the live subscription filter: the active owned
+// space, both directions. Dialers resolve it per (re)dial, the periscope
+// poller per round.
+func (n *Node) filterProvider() feedtypes.Filter {
+	return feedtypes.Filter{
+		Prefixes:     n.svc.CurrentConfig().OwnedPrefixes,
+		MoreSpecific: true,
+		LessSpecific: true,
+	}
+}
+
+// Run starts the configured monitoring sources and blocks until ctx is
+// cancelled or Drain is called, then shuts down gracefully in dependency
+// order: sources stop (no new batches), the pipeline flushes and closes
+// (classification and alert commit complete), the mitigation queue drains
+// (every accepted alert handled), and event subscriptions close. Run may
+// be called at most once; the node cannot be restarted after it returns.
+func (n *Node) Run(ctx context.Context) error {
+	n.mu.Lock()
+	if n.running {
+		n.mu.Unlock()
+		return fmt.Errorf("artemis: Run called twice")
+	}
+	n.running = true
+	err := n.attachDeferredLocked()
+	n.mu.Unlock()
+	defer close(n.runExited)
+	if err != nil {
+		n.shutdown()
+		return err
+	}
+	select {
+	case <-ctx.Done():
+	case <-n.drained:
+	}
+	n.shutdown()
+	return nil
+}
+
+// attachDeferredLocked dials every source registered before Run.
+func (n *Node) attachDeferredLocked() error {
+	for _, spec := range n.cfg.Sources {
+		e := n.sources[spec.Name]
+		if e.id >= 0 {
+			continue
+		}
+		dialer, opts, err := n.dialerFor(spec)
+		if err != nil {
+			return err
+		}
+		id := n.sup.AddDialer(spec.Name, dialer, opts...)
+		if id < 0 {
+			return fmt.Errorf("artemis: node already drained")
+		}
+		e.id = id
+		n.sources[spec.Name] = e
+	}
+	return nil
+}
+
+// Drain triggers the same graceful shutdown Run performs on context
+// cancellation and waits for it to complete. Safe to call concurrently
+// and more than once; also usable on a node that was never Run (it then
+// releases the assembled goroutines).
+func (n *Node) Drain() {
+	n.drainOnce.Do(func() { close(n.drained) })
+	n.mu.Lock()
+	ran := n.running
+	n.mu.Unlock()
+	if ran {
+		<-n.runExited
+		return
+	}
+	n.shutdown()
+}
+
+func (n *Node) shutdown() {
+	n.opts.logf("artemis: draining (sources -> pipeline -> mitigation queue)")
+	n.sup.Close()
+	n.pl.Flush()
+	n.pl.Close()
+	n.svc.Close()
+	n.bus.close()
+}
+
+// --- live reconfiguration ---
+
+// AddPrefixes hot-adds owned prefixes (canonical or parseable text form).
+// The detector, pipeline routing, monitor probes, mitigation clamps and
+// ingest filters all swap atomically; server-side-filtered sources are
+// bounced so their subscriptions cover the new space. No-op prefixes
+// (already owned) are rejected.
+func (n *Node) AddPrefixes(prefixes ...string) error {
+	return n.reconfigure(func(cfg *Config) error {
+		for _, s := range prefixes {
+			p, err := prefix.Parse(s)
+			if err != nil {
+				return fmt.Errorf("artemis: bad prefix %q: %v", s, err)
+			}
+			for _, have := range cfg.Prefixes {
+				if q, _ := prefix.Parse(have); q == p {
+					return fmt.Errorf("artemis: prefix %q already owned", s)
+				}
+			}
+			cfg.Prefixes = append(cfg.Prefixes, p.String())
+		}
+		return nil
+	})
+}
+
+// RemovePrefixes hot-removes owned prefixes. Incidents already raised for
+// them keep their history; new announcements of the removed space stop
+// alerting.
+func (n *Node) RemovePrefixes(prefixes ...string) error {
+	return n.reconfigure(func(cfg *Config) error {
+		for _, s := range prefixes {
+			p, err := prefix.Parse(s)
+			if err != nil {
+				return fmt.Errorf("artemis: bad prefix %q: %v", s, err)
+			}
+			found := -1
+			for i, have := range cfg.Prefixes {
+				if q, _ := prefix.Parse(have); q == p {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				return fmt.Errorf("artemis: prefix %q not owned", s)
+			}
+			cfg.Prefixes = append(cfg.Prefixes[:found], cfg.Prefixes[found+1:]...)
+		}
+		return nil
+	})
+}
+
+// SetOrigins replaces the legitimate-origin set.
+func (n *Node) SetOrigins(origins ...uint32) error {
+	return n.reconfigure(func(cfg *Config) error {
+		if len(origins) == 0 {
+			return fmt.Errorf("artemis: at least one origin required")
+		}
+		cfg.Origins = append([]uint32(nil), origins...)
+		return nil
+	})
+}
+
+// reconfigure mutates a clone of the declarative config, validates it,
+// swaps the core atomically at a pipeline barrier, and bounces the
+// sources whose subscription filters are bound per connection.
+func (n *Node) reconfigure(mutate func(*Config) error) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	next := n.cfg.Clone()
+	if err := mutate(next); err != nil {
+		return err
+	}
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	ccfg, err := coreConfig(next)
+	if err != nil {
+		return err
+	}
+	cur := n.svc.CurrentConfig()
+	ccfg.ManualMitigation = cur.ManualMitigation
+	ccfg.AlertDedupTTL = cur.AlertDedupTTL
+	ccfg.AlertDedupMax = cur.AlertDedupMax
+	if err := n.svc.Reconfigure(ccfg); err != nil {
+		return err
+	}
+	prefixesChanged := !slices.Equal(n.cfg.Prefixes, next.Prefixes)
+	n.cfg = next
+	if prefixesChanged {
+		for _, e := range n.sources {
+			switch e.spec.Type {
+			case SourceRIS, SourceBGPmon:
+				// Subscription filters are bound per connection for these
+				// transports; a bounce redials with the new owned space.
+				n.sup.Bounce(e.id)
+			}
+		}
+		n.opts.logf("artemis: reconfigured: now watching %v", next.Prefixes)
+	}
+	return nil
+}
+
+// AddSource hot-adds a monitoring source and returns its name. Before
+// Run, the source is recorded and dialed once Run starts; during Run it
+// starts dialing immediately.
+func (n *Node) AddSource(spec SourceSpec) (string, error) {
+	if err := spec.validate(); err != nil {
+		return "", err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if spec.Name == "" {
+		spec.Name = fmt.Sprintf("%s[%d]", spec.Type, n.srcSeq[spec.Type])
+	}
+	if _, dup := n.sources[spec.Name]; dup {
+		return "", fmt.Errorf("artemis: source %q already exists", spec.Name)
+	}
+	if !n.running {
+		// Deferred: Run attaches it.
+		n.srcSeq[spec.Type]++
+		n.cfg.Sources = append(n.cfg.Sources, spec)
+		n.sources[spec.Name] = sourceEntry{id: -1, spec: spec}
+		return spec.Name, nil
+	}
+	dialer, opts, err := n.dialerFor(spec)
+	if err != nil {
+		return "", err
+	}
+	id := n.sup.AddDialer(spec.Name, dialer, opts...)
+	if id < 0 {
+		return "", fmt.Errorf("artemis: node already drained")
+	}
+	n.srcSeq[spec.Type]++
+	n.cfg.Sources = append(n.cfg.Sources, spec)
+	n.sources[spec.Name] = sourceEntry{id: id, spec: spec}
+	n.opts.logf("artemis: source %s added (%s)", spec.Name, spec.Type)
+	return spec.Name, nil
+}
+
+// dialerFor builds the transport dialer for a source spec. Every dialer
+// resolves the subscription filter live (dial time or poll time), which
+// is what makes prefix hot-adds reach running sources.
+func (n *Node) dialerFor(spec SourceSpec) (ingest.Dialer, []ingest.SourceOption, error) {
+	switch spec.Type {
+	case SourceRIS:
+		return ingest.RISDialerDynamic(spec.URL, n.filterProvider), nil, nil
+	case SourceBGPmon:
+		return ingest.BGPmonDialerDynamic(spec.Addr, n.filterProvider), nil, nil
+	case SourceMRT:
+		path := spec.Path
+		open := func() (io.ReadCloser, error) { return os.Open(path) }
+		return ingest.MRTReplayDialer(open, path), []ingest.SourceOption{ingest.Blocking()}, nil
+	case SourcePeriscope:
+		return ingest.PeriscopeDialer(spec.URL, ingest.PeriscopeConfig{
+			LGs:          spec.LGs,
+			Filter:       n.filterProvider,
+			PollInterval: spec.Interval.Std(),
+			Now:          n.now,
+		}), nil, nil
+	}
+	return nil, nil, fmt.Errorf("artemis: unknown source type %q", spec.Type)
+}
+
+// RemoveSource hot-removes a source by name: its connection closes,
+// already-queued batches still drain.
+func (n *Node) RemoveSource(name string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e, ok := n.sources[name]
+	if !ok {
+		return fmt.Errorf("artemis: unknown source %q", name)
+	}
+	delete(n.sources, name)
+	for i := range n.cfg.Sources {
+		if n.cfg.Sources[i].Name == name {
+			n.cfg.Sources = append(n.cfg.Sources[:i], n.cfg.Sources[i+1:]...)
+			break
+		}
+	}
+	if e.id >= 0 {
+		n.sup.Remove(e.id)
+	}
+	n.opts.logf("artemis: source %s removed", name)
+	return nil
+}
+
+// --- introspection ---
+
+// Config returns a deep copy of the current declarative configuration,
+// reflecting all live reconfiguration so far.
+func (n *Node) Config() *Config {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg.Clone()
+}
+
+// Subscribe returns a bounded subscription to the node's typed events.
+// kinds OR together (0 means KindAll); buffer <= 0 selects 64.
+func (n *Node) Subscribe(kinds EventKind, buffer int) *Subscription {
+	return n.bus.subscribe(kinds, buffer)
+}
+
+// Alerts returns every alert raised so far, oldest first.
+func (n *Node) Alerts() []Alert {
+	core := n.svc.Detector.Alerts()
+	out := make([]Alert, len(core))
+	for i, a := range core {
+		out[i] = alertFromCore(a)
+	}
+	return out
+}
+
+// Mitigations returns every mitigation attempt so far, oldest first.
+func (n *Node) Mitigations() []Mitigation {
+	recs := n.svc.Mitigator.Records()
+	out := make([]Mitigation, len(recs))
+	for i, r := range recs {
+		out[i] = mitigationFromCore(r)
+	}
+	return out
+}
+
+// SourceStatus is one supervised source's health and throughput.
+type SourceStatus struct {
+	Name  string `json:"name"`
+	Type  string `json:"type,omitempty"`
+	State string `json:"state"`
+	// Events/Batches count deliveries into the pipeline after dedup.
+	Events  int64 `json:"events"`
+	Batches int64 `json:"batches"`
+	// DedupHits were suppressed as cross-source duplicates; Drops shed by
+	// the source's own queue bound; Reconnects counts redials.
+	DedupHits  int64 `json:"dedup_hits"`
+	Drops      int64 `json:"drops"`
+	Reconnects int64 `json:"reconnects"`
+}
+
+// Health summarizes the node for operators: overall status plus
+// per-source detail. Status is "ok" when every source is connecting or
+// healthy, "degraded" when any source is backing off, and "critical"
+// when a live source is dead. A dead MRT replay does not escalate: a
+// finite archive ending is its normal completion, not an outage.
+type Health struct {
+	Status  string         `json:"status"`
+	Sources []SourceStatus `json:"sources"`
+}
+
+// Health reports the current health summary.
+func (n *Node) Health() Health {
+	n.mu.Lock()
+	types := make(map[string]string, len(n.sources))
+	for name, e := range n.sources {
+		types[name] = e.spec.Type
+	}
+	n.mu.Unlock()
+	h := Health{Status: "ok"}
+	for _, src := range n.sup.Snapshot().Sources {
+		h.Sources = append(h.Sources, SourceStatus{
+			Name:       src.Name,
+			Type:       types[src.Name],
+			State:      src.State,
+			Events:     src.Events,
+			Batches:    src.Batches,
+			DedupHits:  src.DedupHits,
+			Drops:      src.Drops,
+			Reconnects: src.Reconnects,
+		})
+		switch src.State {
+		case ingest.StateDegraded.String():
+			if h.Status == "ok" {
+				h.Status = "degraded"
+			}
+		case ingest.StateDead.String():
+			if types[src.Name] != SourceMRT {
+				h.Status = "critical"
+			}
+		}
+	}
+	return h
+}
+
+// WriteMetrics renders the node's Prometheus-style text metrics — the
+// same body GET /metrics serves.
+func (n *Node) WriteMetrics(w io.Writer) {
+	n.sup.Snapshot().WriteProm(w)
+	n.pl.Snapshot().WriteProm(w)
+	n.svc.Mitigation.Snapshot().WriteProm(w)
+	fmt.Fprintf(w, "artemis_alerts_total %d\n", n.svc.Detector.AlertCount())
+	fmt.Fprintf(w, "artemis_alert_dedup_size %d\n", n.svc.Detector.DedupSize())
+	fmt.Fprintf(w, "artemis_controller_failed_actions_total %d\n", n.ctrl.Failures())
+	snap := n.svc.Monitor.Snapshot(n.now())
+	fmt.Fprintf(w, "artemis_monitor_legit_vps %d\n", snap.LegitVPs)
+	fmt.Fprintf(w, "artemis_monitor_hijacked_vps %d\n", snap.HijackedVPs)
+	fmt.Fprintf(w, "artemis_monitor_unknown_vps %d\n", snap.UnknownVPs)
+}
+
+// RouteObservation is one observed routing change for Inject — the
+// bring-your-own-feed path for embedders whose monitoring infrastructure
+// is not one of the built-in transports.
+type RouteObservation struct {
+	// Source/Collector label the observation's origin (defaults:
+	// "embedded"/"embedded").
+	Source    string `json:"source,omitempty"`
+	Collector string `json:"collector,omitempty"`
+	// VantagePoint is the AS whose routing view changed.
+	VantagePoint uint32 `json:"vantage_point"`
+	// Withdraw marks a route removal; otherwise an announcement.
+	Withdraw bool   `json:"withdraw,omitempty"`
+	Prefix   string `json:"prefix"`
+	// Path is the AS path as seen from the vantage point (first element
+	// the vantage point, last the origin). Empty for withdrawals.
+	Path []uint32 `json:"path,omitempty"`
+}
+
+// Inject feeds observations straight into the detection pipeline,
+// bypassing the ingest supervisor (no cross-source dedup). Observations
+// are stamped with the node clock.
+func (n *Node) Inject(obs ...RouteObservation) error {
+	batch := make([]feedtypes.Event, len(obs))
+	for i, o := range obs {
+		p, err := prefix.Parse(o.Prefix)
+		if err != nil {
+			return fmt.Errorf("artemis: bad prefix %q: %v", o.Prefix, err)
+		}
+		ev := feedtypes.Event{
+			Source:       o.Source,
+			Collector:    o.Collector,
+			VantagePoint: bgp.ASN(o.VantagePoint),
+			Prefix:       p,
+			SeenAt:       n.now(),
+			EmittedAt:    n.now(),
+		}
+		if ev.Source == "" {
+			ev.Source = "embedded"
+		}
+		if ev.Collector == "" {
+			ev.Collector = "embedded"
+		}
+		if o.Withdraw {
+			ev.Kind = feedtypes.Withdraw
+		} else {
+			ev.Kind = feedtypes.Announce
+			ev.Path = make([]bgp.ASN, len(o.Path))
+			for j, a := range o.Path {
+				ev.Path[j] = bgp.ASN(a)
+			}
+		}
+		batch[i] = ev
+	}
+	n.pl.Submit(batch)
+	return nil
+}
+
+// injectorAdapter lowers the public string-typed RouteInjector to the
+// controller's typed southbound.
+type injectorAdapter struct{ inj RouteInjector }
+
+func (a injectorAdapter) AnnounceRoute(p prefix.Prefix) error { return a.inj.AnnounceRoute(p.String()) }
+func (a injectorAdapter) WithdrawRoute(p prefix.Prefix) error { return a.inj.WithdrawRoute(p.String()) }
+
+// noopInjector is the detection-only southbound.
+type noopInjector struct{}
+
+func (noopInjector) AnnounceRoute(prefix.Prefix) error { return nil }
+func (noopInjector) WithdrawRoute(prefix.Prefix) error { return nil }

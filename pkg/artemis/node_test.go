@@ -1,0 +1,233 @@
+package artemis_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"artemis/pkg/artemis"
+)
+
+func quiet() artemis.Option {
+	return artemis.WithLogf(func(string, ...any) {})
+}
+
+// stringInjector records mitigation southbound calls in the public
+// string-typed form.
+type stringInjector struct {
+	mu        sync.Mutex
+	announced []string
+}
+
+func (s *stringInjector) AnnounceRoute(p string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.announced = append(s.announced, p)
+	return nil
+}
+
+func (s *stringInjector) WithdrawRoute(string) error { return nil }
+
+func (s *stringInjector) all() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.announced...)
+}
+
+// TestNodeEndToEnd drives the embeddable facade without any network:
+// inject a hijack, watch typed alert and mitigation events, reconfigure
+// live, and drain.
+func TestNodeEndToEnd(t *testing.T) {
+	inj := &stringInjector{}
+	cfg := &artemis.Config{
+		Prefixes:   []string{"10.0.0.0/23"},
+		Origins:    []uint32{61000},
+		Mitigation: artemis.MitigationConfig{ConfigDelay: artemis.Duration(time.Millisecond)},
+	}
+	node, err := artemis.New(cfg, quiet(), artemis.WithRouteInjector(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- node.Run(ctx) }()
+
+	sub := node.Subscribe(artemis.KindAlert|artemis.KindMitigation, 16)
+	defer sub.Cancel()
+
+	// Benign announcement: no alert.
+	if err := node.Inject(artemis.RouteObservation{
+		VantagePoint: 100, Prefix: "10.0.0.0/23", Path: []uint32{100, 2000, 61000},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Exact-origin hijack: alert + de-aggregated mitigation.
+	if err := node.Inject(artemis.RouteObservation{
+		VantagePoint: 100, Prefix: "10.0.0.0/23", Path: []uint32{100, 2000, 666},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var alert, mitigation *artemis.Event
+	deadline := time.After(5 * time.Second)
+	for alert == nil || mitigation == nil {
+		select {
+		case ev := <-sub.C:
+			switch ev.Kind {
+			case artemis.KindAlert:
+				alert = &ev
+			case artemis.KindMitigation:
+				mitigation = &ev
+			}
+		case <-deadline:
+			t.Fatalf("no alert+mitigation events (alert=%v mitigation=%v)", alert, mitigation)
+		}
+	}
+	if alert.Alert.Type != "exact-origin" || alert.Alert.Prefix != "10.0.0.0/23" || alert.Alert.Origin != 666 {
+		t.Fatalf("alert: %+v", alert.Alert)
+	}
+	if len(mitigation.Mitigation.Prefixes) != 2 || mitigation.Mitigation.Competitive ||
+		mitigation.Mitigation.Error != "" {
+		t.Fatalf("mitigation: %+v", mitigation.Mitigation)
+	}
+	waitCond(t, "injector announcements", func() bool { return len(inj.all()) == 2 })
+	for _, p := range inj.all() {
+		if !strings.HasPrefix(p, "10.0.") || !strings.HasSuffix(p, "/24") {
+			t.Fatalf("unexpected announcement %q", p)
+		}
+	}
+
+	// Live reconfiguration via the facade: a prefix that was not owned
+	// starts alerting after AddPrefixes.
+	if err := node.Inject(artemis.RouteObservation{
+		VantagePoint: 101, Prefix: "192.0.2.0/24", Path: []uint32{101, 2000, 666},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.AddPrefixes("192.0.2.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	if got := node.Config().Prefixes; len(got) != 2 {
+		t.Fatalf("config not updated: %v", got)
+	}
+	if err := node.Inject(artemis.RouteObservation{
+		VantagePoint: 101, Prefix: "192.0.2.0/24", Path: []uint32{101, 2000, 666},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "exact-origin alert on hot-added prefix", func() bool {
+		for _, a := range node.Alerts() {
+			if a.Type == "exact-origin" && a.Prefix == "192.0.2.0/24" {
+				return true
+			}
+		}
+		return false
+	})
+	// Errors are surfaced, not swallowed.
+	if err := node.AddPrefixes("192.0.2.0/24"); err == nil {
+		t.Fatal("duplicate prefix accepted")
+	}
+	if err := node.RemovePrefixes("203.0.113.0/24"); err == nil {
+		t.Fatal("removing unowned prefix accepted")
+	}
+	if err := node.SetOrigins(); err == nil {
+		t.Fatal("empty origin set accepted")
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not drain")
+	}
+	// Drain after Run is a no-op; the subscription channel is closed.
+	node.Drain()
+	select {
+	case _, ok := <-sub.C:
+		if ok {
+			// Buffered events may remain; drain to close.
+			for range sub.C {
+			}
+		}
+	case <-time.After(time.Second):
+		t.Fatal("subscription not closed on drain")
+	}
+}
+
+// TestNodeDrainWithoutRun: a node that never Runs still releases its
+// goroutines on Drain.
+func TestNodeDrainWithoutRun(t *testing.T) {
+	cfg := &artemis.Config{Prefixes: []string{"10.0.0.0/24"}, Origins: []uint32{1}}
+	node, err := artemis.New(cfg, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Drain()
+	node.Drain() // idempotent
+	// Run after Drain returns promptly (the drained signal is already set).
+	done := make(chan error, 1)
+	go func() { done <- node.Run(context.Background()) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run after Drain did not return")
+	}
+}
+
+// TestNodeSourceCRUDBeforeRun: sources declared in config and added via
+// AddSource before Run get default names and appear in Config.
+func TestNodeSourceCRUDBeforeRun(t *testing.T) {
+	cfg := &artemis.Config{
+		Prefixes: []string{"10.0.0.0/24"},
+		Origins:  []uint32{1},
+		Sources: []artemis.SourceSpec{
+			{Type: "mrt", Path: "a.mrt"},
+			{Type: "mrt", Path: "b.mrt"},
+		},
+	}
+	node, err := artemis.New(cfg, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Drain()
+	got := node.Config().Sources
+	if len(got) != 2 || got[0].Name != "mrt[0]" || got[1].Name != "mrt[1]" {
+		t.Fatalf("default names: %+v", got)
+	}
+	name, err := node.AddSource(artemis.SourceSpec{Type: "mrt", Path: "c.mrt"})
+	if err != nil || name != "mrt[2]" {
+		t.Fatalf("AddSource: %q %v", name, err)
+	}
+	if _, err := node.AddSource(artemis.SourceSpec{Type: "mrt", Path: "c.mrt", Name: "mrt[2]"}); err == nil {
+		t.Fatal("duplicate source name accepted")
+	}
+	if err := node.RemoveSource("mrt[1]"); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.RemoveSource("mrt[1]"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if got := node.Config().Sources; len(got) != 2 {
+		t.Fatalf("config sources after CRUD: %+v", got)
+	}
+	h := node.Health()
+	if h.Status != "ok" || len(h.Sources) != 0 {
+		t.Fatalf("health before Run: %+v", h)
+	}
+}
+
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -1,0 +1,43 @@
+package artemis
+
+import (
+	"time"
+)
+
+// RouteInjector is the mitigation southbound for embedders that originate
+// routes themselves (their own BGP speakers, an SDN controller SDK, a
+// provider API) instead of the built-in REST controller client. Prefixes
+// arrive in canonical text form ("10.0.0.0/24", "2001:db8::/48").
+type RouteInjector interface {
+	AnnounceRoute(prefix string) error
+	WithdrawRoute(prefix string) error
+}
+
+// Option customizes New beyond what the declarative config expresses.
+type Option func(*options)
+
+type options struct {
+	now    func() time.Duration
+	logf   func(format string, args ...any)
+	inject RouteInjector
+}
+
+// WithNow overrides the node's clock (timestamps on alerts, mitigation
+// records and metrics). The default is wall time since New. Paced
+// simulations pass their scaled clock.
+func WithNow(now func() time.Duration) Option {
+	return func(o *options) { o.now = now }
+}
+
+// WithLogf routes the node's operational log lines (alerts raised,
+// sources added, drain progress). Default: the standard library logger.
+// Pass a no-op to silence.
+func WithLogf(logf func(format string, args ...any)) Option {
+	return func(o *options) { o.logf = logf }
+}
+
+// WithRouteInjector supplies a custom mitigation southbound. It takes
+// precedence over Mitigation.Controller in the config.
+func WithRouteInjector(inj RouteInjector) Option {
+	return func(o *options) { o.inject = inj }
+}

@@ -1,0 +1,288 @@
+package artemis
+
+// yamlite is a deliberately small YAML-subset parser for the declarative
+// config file. It exists so the embeddable package stays dependency-free
+// while config errors still point at file:line. Supported grammar:
+//
+//   - mappings: "key: value" scalars and "key:" followed by an indented
+//     block (two or more spaces deeper)
+//   - sequences: "- value" items, or "- key: value" starting an inline
+//     mapping whose further keys sit two columns past the dash
+//   - inline sequences of scalars: "[a, b, c]"
+//   - comments ("# ..." to end of line) and blank lines anywhere
+//
+// Anchors, multi-document streams, flow mappings, multi-line strings and
+// tabs are not supported and fail with a positioned error.
+
+import (
+	"fmt"
+	"strings"
+)
+
+type yamlKind uint8
+
+const (
+	yScalar yamlKind = iota
+	yList
+	yMap
+)
+
+func (k yamlKind) String() string {
+	switch k {
+	case yScalar:
+		return "scalar"
+	case yList:
+		return "sequence"
+	default:
+		return "mapping"
+	}
+}
+
+// yamlNode is one parsed value, tagged with the 1-based line it started
+// on so decoding and validation errors can point at the source.
+type yamlNode struct {
+	line   int
+	kind   yamlKind
+	scalar string
+	items  []*yamlNode          // yList
+	keys   []string             // yMap, in file order
+	vals   map[string]*yamlNode // yMap
+}
+
+func (n *yamlNode) child(key string) *yamlNode {
+	if n == nil || n.kind != yMap {
+		return nil
+	}
+	return n.vals[key]
+}
+
+// srcLine is one significant (non-blank, non-comment) input line.
+type srcLine struct {
+	indent int
+	text   string
+	line   int
+}
+
+type yamlParser struct {
+	name  string
+	lines []srcLine
+	pos   int
+}
+
+// errAt builds a positioned error.
+func (p *yamlParser) errAt(line int, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", p.name, line, fmt.Sprintf(format, args...))
+}
+
+// parseYamlite parses data into a root node (an empty document yields an
+// empty mapping). name labels error positions — usually the file path.
+func parseYamlite(data []byte, name string) (*yamlNode, error) {
+	p := &yamlParser{name: name}
+	for i, raw := range strings.Split(string(data), "\n") {
+		lineNo := i + 1
+		indent := 0
+		for indent < len(raw) && raw[indent] == ' ' {
+			indent++
+		}
+		if indent < len(raw) && raw[indent] == '\t' {
+			return nil, p.errAt(lineNo, "tab in indentation (use spaces)")
+		}
+		text := strings.TrimRight(stripComment(raw[indent:]), " \r")
+		if text == "" {
+			continue
+		}
+		p.lines = append(p.lines, srcLine{indent: indent, text: text, line: lineNo})
+	}
+	if len(p.lines) == 0 {
+		return &yamlNode{kind: yMap, vals: map[string]*yamlNode{}, line: 1}, nil
+	}
+	if p.lines[0].indent != 0 {
+		return nil, p.errAt(p.lines[0].line, "unexpected indentation at document start")
+	}
+	node, err := p.parseBlock(-1)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, p.errAt(p.lines[p.pos].line, "unexpected de-indented content")
+	}
+	return node, nil
+}
+
+// stripComment removes a trailing "# ..." comment: a '#' at the start of
+// the content or preceded by a space, outside quotes — so both
+// "ws://host#frag" style values and quoted values containing " #"
+// survive.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch {
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// parseBlock parses one block: the run of lines indented deeper than
+// parentIndent, all at the indentation of the block's first line.
+func (p *yamlParser) parseBlock(parentIndent int) (*yamlNode, error) {
+	first := p.lines[p.pos]
+	if first.indent <= parentIndent {
+		return nil, p.errAt(first.line, "expected indented block")
+	}
+	if first.text == "-" || strings.HasPrefix(first.text, "- ") {
+		return p.parseList(first.indent)
+	}
+	if key, _, ok := splitKey(first.text); ok && key != "" {
+		return p.parseMap(first.indent)
+	}
+	// Single-line scalar block.
+	p.pos++
+	return p.scalarNode(first.text, first.line)
+}
+
+func (p *yamlParser) parseList(indent int) (*yamlNode, error) {
+	node := &yamlNode{kind: yList, line: p.lines[p.pos].line}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, p.errAt(ln.line, "unexpected indentation inside sequence")
+		}
+		if ln.text != "-" && !strings.HasPrefix(ln.text, "- ") {
+			break
+		}
+		if ln.text == "-" {
+			// Item body on the following indented lines.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, p.errAt(ln.line, "empty sequence item")
+			}
+			item, err := p.parseBlock(indent)
+			if err != nil {
+				return nil, err
+			}
+			node.items = append(node.items, item)
+			continue
+		}
+		// "- content": rewrite the dash line as the first line of the item
+		// block, two columns in (where its continuation lines sit).
+		p.lines[p.pos] = srcLine{indent: indent + 2, text: ln.text[2:], line: ln.line}
+		item, err := p.parseBlock(indent)
+		if err != nil {
+			return nil, err
+		}
+		node.items = append(node.items, item)
+	}
+	return node, nil
+}
+
+func (p *yamlParser) parseMap(indent int) (*yamlNode, error) {
+	node := &yamlNode{kind: yMap, line: p.lines[p.pos].line, vals: map[string]*yamlNode{}}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, p.errAt(ln.line, "unexpected indentation")
+		}
+		if ln.text == "-" || strings.HasPrefix(ln.text, "- ") {
+			break // a sibling sequence ends the mapping (caller will reject)
+		}
+		key, rest, ok := splitKey(ln.text)
+		if !ok || key == "" {
+			return nil, p.errAt(ln.line, "expected \"key: value\"")
+		}
+		if _, dup := node.vals[key]; dup {
+			return nil, p.errAt(ln.line, "duplicate key %q", key)
+		}
+		var val *yamlNode
+		var err error
+		if rest == "" {
+			// Block value on the following lines — or an empty scalar when
+			// the next line is not indented deeper.
+			p.pos++
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				val, err = p.parseBlock(indent)
+			} else {
+				val = &yamlNode{kind: yScalar, scalar: "", line: ln.line}
+			}
+		} else {
+			p.pos++
+			val, err = p.scalarNode(rest, ln.line)
+		}
+		if err != nil {
+			return nil, err
+		}
+		node.keys = append(node.keys, key)
+		node.vals[key] = val
+	}
+	return node, nil
+}
+
+// scalarNode interprets one scalar value: an inline "[a, b]" sequence or
+// a plain (possibly quoted) string.
+func (p *yamlParser) scalarNode(text string, line int) (*yamlNode, error) {
+	if strings.HasPrefix(text, "[") {
+		if !strings.HasSuffix(text, "]") {
+			return nil, p.errAt(line, "unterminated inline sequence")
+		}
+		node := &yamlNode{kind: yList, line: line}
+		inner := strings.TrimSpace(text[1 : len(text)-1])
+		if inner == "" {
+			return node, nil
+		}
+		for _, part := range strings.Split(inner, ",") {
+			node.items = append(node.items, &yamlNode{
+				kind: yScalar, scalar: unquote(strings.TrimSpace(part)), line: line,
+			})
+		}
+		return node, nil
+	}
+	if strings.HasPrefix(text, "{") {
+		return nil, p.errAt(line, "flow mappings are not supported")
+	}
+	return &yamlNode{kind: yScalar, scalar: unquote(text), line: line}, nil
+}
+
+// splitKey splits "key: value" / "key:"; reports ok=false for lines
+// without a key separator. The separator is the first ": " or a trailing
+// ":", so URL values ("url: ws://h:1/ws") keep their colons.
+func splitKey(text string) (key, rest string, ok bool) {
+	for i := 0; i < len(text); i++ {
+		if text[i] != ':' {
+			continue
+		}
+		if i == len(text)-1 {
+			return strings.TrimSpace(text[:i]), "", true
+		}
+		if text[i+1] == ' ' {
+			return strings.TrimSpace(text[:i]), strings.TrimSpace(text[i+1:]), true
+		}
+		return "", "", false // "ws://..." style scalar, not a key
+	}
+	return "", "", false
+}
+
+// unquote strips one level of matched single or double quotes.
+func unquote(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}
