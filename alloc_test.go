@@ -1,0 +1,93 @@
+//go:build !race
+
+// The steady-state allocation gate: the tier-1 assertion behind the
+// benchdiff CI gate (docs/PERFORMANCE.md). Excluded under the race
+// detector, whose instrumentation allocates on its own schedule.
+package artemis_test
+
+import (
+	"testing"
+
+	"artemis/internal/core"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/ingest"
+)
+
+// TestSubmitSteadyStateAllocationFree asserts the tentpole contract
+// directly: once the pipeline's job pool and arenas have grown to the
+// workload's high-water mark, submitting a batch — deep copy, routing,
+// shard classification, sink apply — performs (amortized) at most one
+// allocation per batch. The slack of 1 absorbs sync.Pool's GC-driven
+// refills; the structural claim is that nothing on the path allocates
+// per event or per batch.
+func TestSubmitSteadyStateAllocationFree(t *testing.T) {
+	const batchSize = 256
+	evs := pipelineWorkload(8192)
+	det := core.NewDetector(pipelineBenchConfig(t))
+	pl := core.NewPipeline(det, nil, core.PipelineConfig{Shards: 4})
+	defer pl.Close()
+
+	// Warm up: grow every pooled arena (and raise every alert the dedup
+	// will suppress from then on).
+	for off := 0; off+batchSize <= len(evs); off += batchSize {
+		pl.Submit(evs[off : off+batchSize])
+	}
+	pl.Flush()
+
+	off := 0
+	avg := testing.AllocsPerRun(100, func() {
+		pl.Submit(evs[off : off+batchSize])
+		off = (off + batchSize) % len(evs)
+		pl.Flush()
+	})
+	if avg > 1 {
+		t.Errorf("steady-state Submit averaged %.2f allocs per batch, want <= 1 (see docs/PERFORMANCE.md)", avg)
+	}
+}
+
+// TestIngestSteadyStateAllocationFree asserts the same contract for the
+// supervised fan-in path: hub publish → pooled queue copy → ring →
+// dedup → pipeline. The in-process source delivers synchronously here so
+// AllocsPerRun observes the whole path on one goroutine.
+func TestIngestSteadyStateAllocationFree(t *testing.T) {
+	const batchSize = 256
+	evs := pipelineWorkload(8192)
+	det := core.NewDetector(pipelineBenchConfig(t))
+	pl := core.NewPipeline(det, nil, core.PipelineConfig{Shards: 4})
+	defer pl.Close()
+	sup := ingest.New(pl.Submit, ingest.Config{Synchronous: true, DedupTTL: -1})
+	defer sup.Close()
+	hub := feedtypes.NewHub()
+	sup.AddSource("bench", hubSource{Hub: hub, name: "bench"}, feedtypes.Filter{})
+
+	pool := feedtypes.NewBatchPool()
+	publish := func(off int) {
+		b := pool.Get()
+		b.AppendEvents(evs[off : off+batchSize])
+		hub.Publish(b.Events)
+		b.Release()
+	}
+	for off := 0; off+batchSize <= len(evs); off += batchSize {
+		publish(off)
+	}
+	pl.Flush()
+
+	off := 0
+	avg := testing.AllocsPerRun(100, func() {
+		publish(off)
+		off = (off + batchSize) % len(evs)
+		pl.Flush()
+	})
+	if avg > 1 {
+		t.Errorf("steady-state ingest averaged %.2f allocs per batch, want <= 1 (see docs/PERFORMANCE.md)", avg)
+	}
+}
+
+// hubSource adapts a Hub to feedtypes.Source for the supervisor (the
+// test-local twin of the ingest tests' helper).
+type hubSource struct {
+	*feedtypes.Hub
+	name string
+}
+
+func (h hubSource) Name() string { return h.name }

@@ -297,10 +297,10 @@ func BenchmarkAblation_PrefixIndex(b *testing.B) {
 // customer allocation — so the owned-space match has real work to do. The
 // serial path scans this list per event; the pipeline resolves it with one
 // trie LPM walk during shard routing and reuses the answer.
-func pipelineBenchConfig(b *testing.B) *core.Config {
+func pipelineBenchConfig(tb testing.TB) *core.Config {
 	owned, err := prefix.MustParse("10.0.0.0/16").Deaggregate(26)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return &core.Config{OwnedPrefixes: owned, LegitOrigins: []bgp.ASN{61000}}
 }
@@ -358,6 +358,7 @@ func BenchmarkDetectionBatchIngest(b *testing.B) {
 
 	b.Run("serial", func(b *testing.B) {
 		det := core.NewDetector(pipelineBenchConfig(b))
+		b.ReportAllocs() // the allocation-free-hot-path contract (docs/PERFORMANCE.md)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for off := 0; off < len(evs); off += batchSize {
@@ -371,6 +372,7 @@ func BenchmarkDetectionBatchIngest(b *testing.B) {
 			det := core.NewDetector(pipelineBenchConfig(b))
 			pl := core.NewPipeline(det, nil, core.PipelineConfig{Shards: shards})
 			defer pl.Close()
+			b.ReportAllocs() // the allocation-free-hot-path contract (docs/PERFORMANCE.md)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for off := 0; off < len(evs); off += batchSize {
@@ -427,6 +429,10 @@ func BenchmarkIngestFanIn(b *testing.B) {
 					streams[s] = append(streams[s], perSource[s][off:min(off+batchSize, len(perSource[s]))])
 				}
 			}
+			// allocs/op here includes building a detector, pipeline and
+			// supervisor per iteration; the steady-state per-event path is
+			// gated by BenchmarkDetectionBatchIngest instead.
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				det := core.NewDetector(pipelineBenchConfig(b))

@@ -61,9 +61,25 @@ type Alert struct {
 	DetectedAt time.Duration
 }
 
-// Key identifies the incident for deduplication.
+// Key identifies the incident as a string, for consumers that key
+// external state by incident (mitigation retries, REST clients). The hot
+// path's dedup uses the comparable incidentKey instead — building this
+// string per event was once the single largest allocation source in the
+// whole pipeline.
 func (a Alert) Key() string {
 	return fmt.Sprintf("%d|%s|%d", a.Type, a.Prefix, uint32(a.Origin))
+}
+
+// incidentKey is Alert.Key as a comparable struct: same identity
+// (type, prefix, origin), zero allocations to construct or look up.
+type incidentKey struct {
+	typ    AlertType
+	prefix prefix.Prefix
+	origin bgp.ASN
+}
+
+func (a *Alert) incident() incidentKey {
+	return incidentKey{typ: a.Type, prefix: a.Prefix, origin: a.Origin}
 }
 
 // Detector is the detection service: it subscribes to every configured
@@ -81,7 +97,7 @@ type Detector struct {
 	// incident forever (the experiments' semantics); Config.AlertDedupTTL
 	// and AlertDedupMax bound it for long-running daemons, at which point
 	// a recurring hijack re-alerts once per TTL window.
-	seen     *ttlset.Set[string]
+	seen     *ttlset.Set[incidentKey]
 	alerts   []Alert
 	handlers []func(Alert)
 	cancels  []func()
@@ -102,7 +118,7 @@ const otherSources = "other"
 // NewDetector builds the service; call Start to attach sources.
 func NewDetector(cfg *Config) *Detector {
 	d := &Detector{
-		seen:      ttlset.New[string](cfg.AlertDedupTTL, cfg.AlertDedupMax),
+		seen:      ttlset.New[incidentKey](cfg.AlertDedupTTL, cfg.AlertDedupMax),
 		perSource: make(map[string]int),
 	}
 	d.cfg.Store(cfg)
@@ -221,9 +237,14 @@ func (c *Config) classifyRouted(ev *feedtypes.Event, owned prefix.Prefix, rel Al
 // the pipeline's sink) sees alerts in a single total order.
 func (d *Detector) commit(alert Alert) {
 	d.mu.Lock()
-	if !d.seen.Add(alert.Key(), alert.DetectedAt) {
+	if !d.seen.Add(alert.incident(), alert.DetectedAt) {
 		d.mu.Unlock()
 		return
+	}
+	// Fresh incident (rare): the evidence's Path still aliases the
+	// submitting batch's pooled arena, and the alert log outlives it.
+	if len(alert.Evidence.Path) > 0 {
+		alert.Evidence.Path = append([]bgp.ASN(nil), alert.Evidence.Path...)
 	}
 	d.alerts = append(d.alerts, alert)
 	handlers := make([]func(Alert), len(d.handlers))
@@ -242,6 +263,42 @@ func (d *Detector) countSources(counts map[string]int) {
 	d.mu.Lock()
 	for src, n := range counts {
 		d.perSource[d.sourceBucketLocked(src)] += n
+	}
+	d.mu.Unlock()
+}
+
+// sourceTally is one source's event count within a batch — the
+// allocation-free alternative to a map[string]int for the pipeline's
+// per-shard tallies. Batches carry a handful of distinct sources, so the
+// linear scan in tallySource beats a map by a wide margin and reuses the
+// job's backing array.
+type sourceTally struct {
+	src string
+	n   int
+}
+
+// tallySource bumps src's count in tallies, appending a new entry (into
+// the slice's reused capacity, at steady state) for a source not yet
+// seen in this batch.
+func tallySource(tallies []sourceTally, src string) []sourceTally {
+	for i := range tallies {
+		if tallies[i].src == src {
+			tallies[i].n++
+			return tallies
+		}
+	}
+	return append(tallies, sourceTally{src: src, n: 1})
+}
+
+// countSourceTallies folds a per-shard tally slice into the diagnostics
+// counter — countSources for the pipeline's allocation-free path.
+func (d *Detector) countSourceTallies(tallies []sourceTally) {
+	if len(tallies) == 0 {
+		return
+	}
+	d.mu.Lock()
+	for _, t := range tallies {
+		d.perSource[d.sourceBucketLocked(t.src)] += t.n
 	}
 	d.mu.Unlock()
 }

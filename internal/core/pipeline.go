@@ -2,12 +2,15 @@ package core
 
 import (
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"artemis/internal/bgp"
 	"artemis/internal/feeds/feedtypes"
 	"artemis/internal/prefix"
+	"artemis/internal/ring"
 	"artemis/internal/stats"
 )
 
@@ -21,7 +24,16 @@ import (
 // identical to the serial Detector/Monitor path — only the per-event
 // classification work is parallel.
 //
-// Backpressure is explicit end to end: shard queues and the completion
+// The steady-state path is allocation-free (docs/PERFORMANCE.md): jobs
+// are recycled through a sync.Pool, each job deep-copies the submitted
+// batch (events and AS paths) into its own reused backing arrays, the
+// per-shard queues are fixed-size SPSC rings (internal/ring), and the
+// router amortizes trie lookups over runs of equal prefixes by sorting
+// each batch by identity hash. The submitted batch is therefore owned by
+// the caller again the moment Submit returns — feeds recycle theirs
+// through a feedtypes.BatchPool.
+//
+// Backpressure is explicit end to end: shard rings and the completion
 // channel are bounded, so when the sink (or a slow alert handler) falls
 // behind, Submit blocks instead of buffering without limit — the feed's
 // transport is the buffer, as in any line-rate ingest design.
@@ -48,6 +60,10 @@ type Pipeline struct {
 
 	shards []*shard
 	done   chan *batchJob
+
+	// jobs recycles batchJobs (and all their backing arrays) between
+	// submissions; the sink releases each job after applying it.
+	jobs sync.Pool
 
 	// life guards the submit/close race: submitters hold it shared while
 	// assigning a sequence number and enqueueing, Close takes it exclusive
@@ -80,7 +96,8 @@ type PipelineConfig struct {
 	// Shards is the number of classification workers (default GOMAXPROCS).
 	Shards int
 	// QueueDepth is the per-shard bound on waiting sub-batches before
-	// Submit blocks (default 128).
+	// Submit blocks (default 128; rounded up to a power of two by the
+	// ring buffer).
 	QueueDepth int
 	// Synchronous makes Start subscribe with SubmitWait, so a feed's
 	// publish call returns only after its batch is fully applied. The
@@ -102,8 +119,13 @@ func (c PipelineConfig) withDefaults() PipelineConfig {
 	return c
 }
 
+// shard is one classification worker's queue and counters. The task
+// queue is a fixed-size ring: the worker is its single consumer, and
+// submitters serialize on pushMu to form its single logical producer
+// (ring.Ring's SPSC contract).
 type shard struct {
-	in      chan shardTask
+	pushMu  sync.Mutex
+	in      *ring.Ring[shardTask]
 	events  stats.Counter
 	batches stats.Counter
 	// service is the distribution of per-sub-batch classification time.
@@ -121,7 +143,9 @@ type shardTask struct {
 // batchJob is one submitted batch in flight. The router pre-resolves each
 // event's owned-space match (rel/ownedIdx), shards classify their index
 // slices, and per-shard output slots keep everything single-writer — no
-// locks anywhere on the classification path.
+// locks anywhere on the classification path. Every slice below is a
+// reused backing array: jobs cycle through Pipeline.jobs, so at steady
+// state a submission allocates nothing.
 type batchJob struct {
 	seq uint64
 	// cfg is the config snapshot the job was routed under; shards classify
@@ -131,20 +155,87 @@ type batchJob struct {
 	cfg *Config
 	// swap, when non-nil, marks a reconfiguration barrier: the job carries
 	// no events and the sink runs swap() at the job's sequence position.
-	swap   func()
+	swap func()
+	// events is the job's own deep copy of the submitted batch; paths is
+	// the flat arena its events' Path slices alias, so the caller's batch
+	// (typically a pooled feed batch) is released the moment submit
+	// returns.
 	events []feedtypes.Event
+	paths  []bgp.ASN
 	// rel[i] is event i's relation to the owned space (an AlertType, or 0
 	// for no collision); ownedIdx[i] indexes Config.OwnedPrefixes.
 	rel      []uint8
 	ownedIdx []int32
+	// keys/shardOf/sizes/offsets/fill/backing are the router's scratch:
+	// keys sorts the batch by prefix identity for run-amortized trie
+	// walks, and the rest is the counting-sort scatter of event indices
+	// to shards.
+	keys    []uint64
+	shardOf []uint8
+	sizes   []int32
+	offsets []int32
+	fill    []int32
+	backing []int32
 	// counts[s] is shard s's per-source event tally; alerts[s] its hijack
 	// candidates in index order. At most one task per shard per job, so
-	// slots are single-writer.
-	counts    []map[string]int
+	// slots are single-writer. alertPos[s] is the sink's merge cursor.
+	counts    [][]sourceTally
 	alerts    [][]indexedAlert
+	alertPos  []int32
 	remaining atomic.Int32
 	// wait, when non-nil, is closed by the sink once the job is applied.
+	// Waiters capture the channel before handing the job over — after
+	// close, the sink recycles the job immediately.
 	wait chan struct{}
+}
+
+// reset prepares a pooled job for reuse, keeping every backing array.
+func (j *batchJob) reset(nshards int) {
+	j.seq = 0
+	j.cfg = nil
+	j.swap = nil
+	j.wait = nil
+	// Drop references held by the previous batch's events so the pool
+	// does not pin source strings; the arena itself is reused.
+	clear(j.events)
+	j.events = j.events[:0]
+	j.paths = j.paths[:0]
+	j.rel = j.rel[:0]
+	j.ownedIdx = j.ownedIdx[:0]
+	j.keys = j.keys[:0]
+	j.shardOf = j.shardOf[:0]
+	j.remaining.Store(0)
+	j.sizes = resizeInt32(j.sizes, nshards)
+	j.offsets = resizeInt32(j.offsets, nshards)
+	j.fill = resizeInt32(j.fill, nshards)
+	j.alertPos = resizeInt32(j.alertPos, nshards)
+	for len(j.counts) < nshards {
+		j.counts = append(j.counts, nil)
+	}
+	j.counts = j.counts[:nshards]
+	for i := range j.counts {
+		// Truncate, keep capacity: a shard with no task this job must not
+		// contribute its previous job's tallies.
+		j.counts[i] = j.counts[i][:0]
+	}
+	for len(j.alerts) < nshards {
+		j.alerts = append(j.alerts, nil)
+	}
+	j.alerts = j.alerts[:nshards]
+	for i := range j.alerts {
+		clear(j.alerts[i]) // drop Alert references (source strings, paths)
+		j.alerts[i] = j.alerts[i][:0]
+	}
+}
+
+// resizeInt32 returns s with length n and every element zeroed.
+func resizeInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // indexedAlert tags a candidate alert with its event's position in the
@@ -167,13 +258,14 @@ func NewPipeline(det *Detector, mon *Monitor, cfg PipelineConfig) *Pipeline {
 		sinkDone:  make(chan struct{}),
 		sinkApply: stats.NewHistogram(),
 	}
+	p.jobs.New = func() any { return new(batchJob) }
 	p.applyCond = sync.NewCond(&p.applyMu)
 	p.routeCfg = det.Config()
 	for i, o := range p.routeCfg.OwnedPrefixes {
 		p.owned.Insert(o, i)
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		s := &shard{in: make(chan shardTask, cfg.QueueDepth), service: stats.NewHistogram()}
+		s := &shard{in: ring.New[shardTask](cfg.QueueDepth), service: stats.NewHistogram()}
 		p.shards = append(p.shards, s)
 		p.workers.Add(1)
 		go p.work(i, s)
@@ -187,7 +279,7 @@ func NewPipeline(det *Detector, mon *Monitor, cfg PipelineConfig) *Pipeline {
 // super-prefix (squat) events. It returns the matched owned prefix's
 // config index and the relation (0 = no collision). Shards reuse this
 // answer, so the owned-space match — the expensive half of classification
-// — is computed exactly once per event.
+// — is computed exactly once per distinct prefix per batch.
 func (p *Pipeline) route(pfx prefix.Prefix) (ownedIdx int32, rel AlertType) {
 	if owned, idx, ok := p.owned.LongestMatchPrefix(pfx); ok {
 		if owned == pfx {
@@ -227,8 +319,7 @@ func (p *Pipeline) shardFor(pfx prefix.Prefix) int {
 // hashPrefix is FNV-1a over the full dual-stack prefix identity (128
 // address bits, family, length).
 func hashPrefix(pfx prefix.Prefix) int {
-	const offset = 1469598103934665603
-	h := prefix.FoldIdentity(offset, pfx)
+	h := prefix.FoldIdentity(fnvOffset, pfx)
 	// Finalize so the low bits depend on every field.
 	h ^= h >> 33
 	h *= 0xff51afd7ed558ccd
@@ -236,16 +327,93 @@ func hashPrefix(pfx prefix.Prefix) int {
 	return int(h & 0x7fffffff)
 }
 
-// Submit ingests one batch asynchronously. The batch is copied, so the
-// caller may reuse its slice. Submit blocks only for backpressure (a full
-// shard queue). Batches submitted from one goroutine are applied in
-// submission order; no order is defined across goroutines.
+const fnvOffset = 1469598103934665603
+
+// routeKeyIdxBits is how many low bits of a routing sort key carry the
+// event's batch index; the identity hash keeps the top 44 bits. A hash
+// collision between distinct prefixes only merges their sort runs — the
+// run walk re-checks actual prefix equality before reusing a result.
+const routeKeyIdxBits = 20
+
+// routeBatch fills job.rel/ownedIdx/shardOf for every event, amortizing
+// the trie over runs of equal prefixes: the batch is sorted by prefix
+// identity hash (one uint64 sort key per event, index packed in the low
+// bits), and each run of equal prefixes costs a single route() walk.
+// Real feed batches repeat prefixes heavily — a path-hunting burst or a
+// flap emits many updates for one prefix in the same flush — so the
+// per-batch trie work shrinks from O(events) to O(distinct prefixes).
+// Called under p.life held shared.
+func (p *Pipeline) routeBatch(job *batchJob, nshards int) {
+	n := len(job.events)
+	job.rel = append(job.rel[:0], make([]uint8, n)...)
+	job.ownedIdx = append(job.ownedIdx[:0], make([]int32, n)...)
+	job.shardOf = append(job.shardOf[:0], make([]uint8, n)...)
+	if n >= 1<<routeKeyIdxBits {
+		// A batch too large to pack indices into the sort key routes
+		// event-by-event (never hit by real feeds: flushes are bounded at
+		// a few hundred events).
+		for i := range job.events {
+			p.routeOne(job, i, nshards)
+		}
+		return
+	}
+	job.keys = job.keys[:0]
+	for i := range job.events {
+		k := prefix.FoldIdentity(fnvOffset, job.events[i].Prefix)
+		job.keys = append(job.keys, k&^uint64(1<<routeKeyIdxBits-1)|uint64(i))
+	}
+	slices.Sort(job.keys)
+	for a := 0; a < n; {
+		bEnd := a + 1
+		for bEnd < n && job.keys[bEnd]&^uint64(1<<routeKeyIdxBits-1) == job.keys[a]&^uint64(1<<routeKeyIdxBits-1) {
+			bEnd++
+		}
+		head := int(job.keys[a] & (1<<routeKeyIdxBits - 1))
+		p.routeOne(job, head, nshards)
+		headPfx := job.events[head].Prefix
+		for k := a + 1; k < bEnd; k++ {
+			i := int(job.keys[k] & (1<<routeKeyIdxBits - 1))
+			if job.events[i].Prefix == headPfx {
+				job.rel[i] = job.rel[head]
+				job.ownedIdx[i] = job.ownedIdx[head]
+				job.shardOf[i] = job.shardOf[head]
+			} else {
+				// 44-bit hash collision between distinct prefixes: route
+				// this event on its own.
+				p.routeOne(job, i, nshards)
+			}
+		}
+		a = bEnd
+	}
+}
+
+// routeOne routes a single event and records the result in the job.
+func (p *Pipeline) routeOne(job *batchJob, i, nshards int) {
+	idx, rel := p.route(job.events[i].Prefix)
+	var s int
+	if rel != 0 {
+		s = int(idx) % nshards
+	} else {
+		s = hashPrefix(job.events[i].Prefix) % nshards
+	}
+	job.rel[i] = uint8(rel)
+	job.ownedIdx[i] = idx
+	job.shardOf[i] = uint8(s)
+}
+
+// Submit ingests one batch asynchronously. The batch is deep-copied
+// (events and AS paths), so the caller owns it again — and may release
+// it to its pool — the moment Submit returns. Submit blocks only for
+// backpressure (a full shard ring). Batches submitted from one goroutine
+// are applied in submission order; no order is defined across
+// goroutines.
 func (p *Pipeline) Submit(batch []feedtypes.Event) {
 	p.submit(batch, false)
 }
 
 // SubmitWait ingests one batch and returns after the sink has fully
-// applied it — alerts committed, handlers run, monitor folded.
+// applied it — alerts committed, handlers run, monitor folded. The batch
+// ownership contract matches Submit's.
 func (p *Pipeline) SubmitWait(batch []feedtypes.Event) {
 	p.submit(batch, true)
 }
@@ -255,15 +423,23 @@ func (p *Pipeline) submit(batch []feedtypes.Event, wait bool) {
 		return
 	}
 	nshards := len(p.shards)
-	job := &batchJob{
-		events:   append([]feedtypes.Event(nil), batch...),
-		rel:      make([]uint8, len(batch)),
-		ownedIdx: make([]int32, len(batch)),
-		counts:   make([]map[string]int, nshards),
-		alerts:   make([][]indexedAlert, nshards),
+	job := p.jobs.Get().(*batchJob)
+	job.reset(nshards)
+	// Deep-copy the batch: events into the job's reused slice, each AS
+	// path into the job's flat arena. From here on nothing references the
+	// caller's storage.
+	job.events = append(job.events, batch...)
+	for i := range job.events {
+		if path := job.events[i].Path; len(path) > 0 {
+			start := len(job.paths)
+			job.paths = append(job.paths, path...)
+			job.events[i].Path = job.paths[start:len(job.paths):len(job.paths)]
+		}
 	}
+	var waitCh chan struct{}
 	if wait {
-		job.wait = make(chan struct{})
+		waitCh = make(chan struct{})
+		job.wait = waitCh
 	}
 	// Routing, sequencing and shard enqueue all happen under the shared
 	// life lock: a Reconfigure (which holds it exclusively) therefore
@@ -275,57 +451,60 @@ func (p *Pipeline) submit(batch []feedtypes.Event, wait bool) {
 		return // shut down: the batch is dropped, as a detached source's would be
 	}
 	job.cfg = p.routeCfg
-	// Route every event once, then scatter index slices to shards with a
-	// counting sort over one backing array (no per-shard growth).
-	shardOf := make([]uint8, len(batch))
-	sizes := make([]int32, nshards)
-	for i := range job.events {
-		idx, rel := p.route(job.events[i].Prefix)
-		var s int
-		if rel != 0 {
-			s = int(idx) % nshards
-		} else {
-			s = hashPrefix(job.events[i].Prefix) % nshards
-		}
-		job.rel[i] = uint8(rel)
-		job.ownedIdx[i] = idx
-		shardOf[i] = uint8(s)
-		sizes[s]++
+	// Route every event once per distinct prefix (routeBatch), then
+	// scatter index slices to shards with a counting sort over one
+	// backing array (no per-shard growth).
+	p.routeBatch(job, nshards)
+	for _, s := range job.shardOf {
+		job.sizes[s]++
 	}
-	backing := make([]int32, len(batch))
-	offsets := make([]int32, nshards)
+	job.backing = append(job.backing[:0], make([]int32, len(batch))...)
 	tasks := 0
 	var off int32
 	for s := 0; s < nshards; s++ {
-		offsets[s] = off
-		off += sizes[s]
-		if sizes[s] > 0 {
+		job.offsets[s] = off
+		job.fill[s] = off
+		off += job.sizes[s]
+		if job.sizes[s] > 0 {
 			tasks++
 		}
 	}
-	fill := append([]int32(nil), offsets...)
-	for i := range shardOf {
-		s := shardOf[i]
-		backing[fill[s]] = int32(i)
-		fill[s]++
+	for i := range job.shardOf {
+		s := job.shardOf[i]
+		job.backing[job.fill[s]] = int32(i)
+		job.fill[s]++
 	}
-	job.remaining.Store(int32(tasks))
+	// The +1 is the submitter's own hold: without it, a shard could finish
+	// the job — and the sink recycle it — while this loop still reads
+	// job.sizes for the remaining shards.
+	job.remaining.Store(int32(tasks) + 1)
 
 	job.seq = p.nextSeq.Add(1) - 1
 	p.submitted.Inc()
 	p.events.Add(int64(len(batch)))
 	for s := 0; s < nshards; s++ {
-		if sizes[s] > 0 {
-			p.shards[s].in <- shardTask{
+		if job.sizes[s] > 0 {
+			t := shardTask{
 				job:   job,
 				shard: s,
-				idxs:  backing[offsets[s] : offsets[s]+sizes[s]],
+				idxs:  job.backing[job.offsets[s] : job.offsets[s]+job.sizes[s]],
 			}
+			sh := p.shards[s]
+			// Serialize concurrent submitters into the ring's single
+			// logical producer. Push blocks for backpressure; the ring is
+			// only closed under the exclusive life lock, which no pusher
+			// holds, so a blocked push always drains.
+			sh.pushMu.Lock()
+			sh.in.Push(t)
+			sh.pushMu.Unlock()
 		}
+	}
+	if job.remaining.Add(-1) == 0 {
+		p.done <- job
 	}
 	p.life.RUnlock()
 	if wait {
-		<-job.wait
+		<-waitCh
 	}
 }
 
@@ -334,14 +513,18 @@ func (p *Pipeline) submit(batch []feedtypes.Event, wait bool) {
 // once the last shard finishes it.
 func (p *Pipeline) work(idx int, s *shard) {
 	defer p.workers.Done()
-	for t := range s.in {
+	for {
+		t, ok := s.in.Pop()
+		if !ok {
+			return
+		}
 		start := time.Now()
 		// Classify with the job's config snapshot — the one the router
 		// resolved rel/ownedIdx against — not the detector's live config,
 		// which a concurrent Reconfigure may already have advanced.
 		cfg := t.job.cfg
-		var counts map[string]int
-		var alerts []indexedAlert
+		counts := t.job.counts[t.shard][:0]
+		alerts := t.job.alerts[t.shard][:0]
 		for _, i := range t.idxs {
 			ev := &t.job.events[i]
 			var owned prefix.Prefix
@@ -350,10 +533,7 @@ func (p *Pipeline) work(idx int, s *shard) {
 			}
 			alert, counted, isAlert := cfg.classifyRouted(ev, owned, AlertType(t.job.rel[i]))
 			if counted {
-				if counts == nil {
-					counts = make(map[string]int, 4)
-				}
-				counts[ev.Source]++
+				counts = tallySource(counts, ev.Source)
 			}
 			if isAlert {
 				alerts = append(alerts, indexedAlert{idx: i, alert: alert})
@@ -396,45 +576,53 @@ func (p *Pipeline) apply(j *batchJob) {
 		// batch sequenced before it has been fully applied (alerts
 		// committed, monitor folded) and none sequenced after it has.
 		j.swap()
-		p.applyMu.Lock()
-		p.applied.Inc()
-		p.applyCond.Broadcast()
-		p.applyMu.Unlock()
-		if j.wait != nil {
-			close(j.wait)
-		}
+		p.finish(j)
 		return
 	}
 	start := time.Now()
 	for _, counts := range j.counts {
-		p.det.countSources(counts)
+		p.det.countSourceTallies(counts)
 	}
 	// Commit alerts in event order: each shard's list is ascending, so an
-	// N-way min-merge restores the batch's submission order.
+	// N-way min-merge (cursors in j.alertPos, no reslicing) restores the
+	// batch's submission order.
 	for {
 		best, bestShard := int32(-1), -1
 		for s := range j.alerts {
-			if len(j.alerts[s]) > 0 && (best < 0 || j.alerts[s][0].idx < best) {
-				best, bestShard = j.alerts[s][0].idx, s
+			if pos := j.alertPos[s]; int(pos) < len(j.alerts[s]) {
+				if idx := j.alerts[s][pos].idx; best < 0 || idx < best {
+					best, bestShard = idx, s
+				}
 			}
 		}
 		if bestShard < 0 {
 			break
 		}
-		p.det.commit(j.alerts[bestShard][0].alert)
-		j.alerts[bestShard] = j.alerts[bestShard][1:]
+		p.det.commit(j.alerts[bestShard][j.alertPos[bestShard]].alert)
+		j.alertPos[bestShard]++
 	}
 	if p.mon != nil {
 		p.mon.ProcessBatch(j.events)
 	}
 	p.sinkApply.Observe(time.Since(start))
+	p.finish(j)
+}
+
+// finish publishes the job's completion to Flush and SubmitWait waiters,
+// then recycles it. The wait channel is closed before the job is pooled;
+// waiters captured the channel at submit time and never touch the job
+// itself.
+func (p *Pipeline) finish(j *batchJob) {
+	wait := j.wait
 	p.applyMu.Lock()
 	p.applied.Inc()
 	p.applyCond.Broadcast()
 	p.applyMu.Unlock()
-	if j.wait != nil {
-		close(j.wait)
+	if wait != nil {
+		close(wait)
 	}
+	j.reset(len(p.shards))
+	p.jobs.Put(j)
 }
 
 // Start subscribes the pipeline to sources with the detector's filter
@@ -504,14 +692,15 @@ func (p *Pipeline) Reconfigure(next *Config, onApply func()) {
 	}
 	p.routeCfg = next
 	p.owned = trie
-	job := &batchJob{
-		cfg:  next,
-		swap: func() {},
-		wait: make(chan struct{}),
-	}
+	job := p.jobs.Get().(*batchJob)
+	job.reset(len(p.shards))
+	job.cfg = next
+	job.swap = func() {}
 	if onApply != nil {
 		job.swap = onApply
 	}
+	waitCh := make(chan struct{})
+	job.wait = waitCh
 	job.seq = p.nextSeq.Add(1) - 1
 	p.submitted.Inc()
 	p.reconfigs.Inc()
@@ -519,7 +708,7 @@ func (p *Pipeline) Reconfigure(next *Config, onApply func()) {
 	// the sink's reorder stage.
 	p.done <- job
 	p.life.Unlock()
-	<-job.wait
+	<-waitCh
 }
 
 // Flush blocks until every batch submitted before the call has been
@@ -553,7 +742,7 @@ func (p *Pipeline) Close() {
 	}
 	p.closed = true
 	for _, s := range p.shards {
-		close(s.in)
+		s.in.Close()
 	}
 	p.life.Unlock()
 
@@ -577,8 +766,8 @@ func (p *Pipeline) Snapshot() stats.PipelineSnapshot {
 			Shard:    i,
 			Events:   s.events.Load(),
 			Batches:  s.batches.Load(),
-			QueueLen: len(s.in),
-			QueueCap: cap(s.in),
+			QueueLen: s.in.Len(),
+			QueueCap: s.in.Cap(),
 			Service:  s.service.Snapshot(),
 		})
 	}

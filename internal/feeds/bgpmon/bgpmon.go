@@ -48,12 +48,17 @@ type Service struct {
 	nw  *simnet.Network
 	cfg Config
 	hub *feedtypes.Hub
+	// pool recycles the per-event publish batches: each observed change
+	// snapshots its path into a pooled batch's arena, holds the batch
+	// through the processing delay, and releases it right after the
+	// publish.
+	pool *feedtypes.BatchPool
 }
 
 // New attaches the feed to the network's vantage points.
 func New(nw *simnet.Network, cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	svc := &Service{nw: nw, cfg: cfg, hub: feedtypes.NewHub()}
+	svc := &Service{nw: nw, cfg: cfg, hub: feedtypes.NewHub(), pool: feedtypes.NewBatchPool()}
 	for _, asn := range cfg.Peers {
 		node := nw.Node(asn)
 		if node == nil {
@@ -89,19 +94,27 @@ func (s *Service) observe(vp bgp.ASN, ev simnet.RouteChange) {
 		Prefix:       ev.Prefix,
 		SeenAt:       now,
 	}
+	// Snapshot into a pooled batch now — the route's path may change
+	// during the processing delay — and carry the batch to the emit.
+	b := s.pool.Get()
 	if ev.New != nil {
 		out.Kind = feedtypes.Announce
-		out.Path = append([]bgp.ASN{vp}, ev.New.Path...)
+		path := b.NewPath(1 + len(ev.New.Path))
+		path[0] = vp
+		copy(path[1:], ev.New.Path)
+		out.Path = path
 	} else {
 		out.Kind = feedtypes.Withdraw
 	}
+	b.Append(out)
 	delay := s.cfg.MinDelay
 	if s.cfg.MaxDelay > s.cfg.MinDelay {
 		delay += time.Duration(s.nw.Engine.Rand().Int63n(int64(s.cfg.MaxDelay - s.cfg.MinDelay)))
 	}
 	s.nw.Engine.After(delay, func() {
-		out.EmittedAt = s.nw.Engine.Now()
-		s.hub.Publish([]feedtypes.Event{out})
+		b.Events[0].EmittedAt = s.nw.Engine.Now()
+		s.hub.Publish(b.Events)
+		b.Release()
 	})
 }
 

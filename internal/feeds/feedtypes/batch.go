@@ -97,6 +97,13 @@ func (h *Hub) Subscribe(f Filter, fn func(Event)) (cancel func()) {
 // least one event. It may be called from any goroutine; subscribers see
 // batches in publication order only when publications themselves are
 // ordered (feeds publish from a single goroutine).
+//
+// Ownership: the batch — the slice and its events' Path slices — remains
+// the publisher's. It is valid only for the duration of Publish;
+// publishers recycle batches through a BatchPool as soon as Publish
+// returns. A subscriber that retains events past its callback must
+// deep-copy them (CopyEvents, or Batch.AppendEvents into its own pooled
+// batch), Path included.
 func (h *Hub) Publish(batch []Event) {
 	if len(batch) == 0 {
 		return

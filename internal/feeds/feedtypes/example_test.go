@@ -1,0 +1,47 @@
+package feedtypes_test
+
+import (
+	"fmt"
+
+	"artemis/internal/bgp"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/prefix"
+)
+
+// ExampleBatchPool shows the batch lifecycle every feed follows: take a
+// batch from the pool, build events whose AS paths live in the batch's
+// arena, publish, release. After Publish returns the batch belongs to
+// the pool again — subscribers saw it synchronously inside Publish and
+// must have copied anything they keep (feedtypes.CopyEvents, or
+// Batch.AppendEvents into a pooled batch of their own). At steady state
+// the loop below allocates nothing per batch.
+func ExampleBatchPool() {
+	pool := feedtypes.NewBatchPool()
+	hub := feedtypes.NewHub()
+	hub.SubscribeBatch(feedtypes.Filter{}, func(batch []feedtypes.Event) {
+		for i := range batch {
+			fmt.Println(batch[i].Prefix, batch[i].Path)
+		}
+	})
+
+	b := pool.Get()
+	path := b.NewPath(3) // arena-backed: no per-event allocation
+	path[0], path[1], path[2] = 64500, 64501, 64502
+	b.Append(feedtypes.Event{
+		Kind:   feedtypes.Announce,
+		Prefix: prefix.MustParse("203.0.113.0/24"),
+		Path:   path,
+	})
+	b.AppendCopy(feedtypes.Event{ // copies the path into the arena
+		Kind:   feedtypes.Announce,
+		Prefix: prefix.MustParse("198.51.100.0/24"),
+		Path:   []bgp.ASN{64500, 64510},
+	})
+
+	hub.Publish(b.Events)
+	b.Release() // ownership returns to the pool; b is now invalid
+
+	// Output:
+	// 203.0.113.0/24 [AS64500 AS64501 AS64502]
+	// 198.51.100.0/24 [AS64500 AS64510]
+}

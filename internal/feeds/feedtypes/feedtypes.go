@@ -8,6 +8,20 @@
 // when the route change happened at the vantage point and when the source
 // actually made it visible to clients. The difference is the source's
 // contribution to detection delay.
+//
+// # Batch ownership and pooling
+//
+// Events travel in batches, and batches are pooled: feeds build each
+// flush in a Batch from a BatchPool (event storage plus a flat AS-path
+// arena), publish it through a Hub, and release it immediately after —
+// so the steady-state event path allocates nothing per batch. The
+// ownership rule every consumer must follow: a published batch and its
+// events' Path slices are valid only for the duration of the
+// subscriber callback. Retaining events past the callback requires a
+// deep copy — CopyEvents, or Batch.AppendEvents into a pooled batch of
+// the consumer's own. BatchPool.SetPoison turns violations of this
+// rule into deterministic test failures. See docs/PERFORMANCE.md for
+// the full contract and the measured effect.
 package feedtypes
 
 import (

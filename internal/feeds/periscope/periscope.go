@@ -110,6 +110,10 @@ type Service struct {
 	cfg Config
 	lgs []*LookingGlass
 	hub *feedtypes.Hub
+	// pool recycles the per-round publish batches: each poll round that
+	// observed changes carries them in a pooled batch (paths copied into
+	// its arena) through the RTT delay and releases it after the publish.
+	pool *feedtypes.BatchPool
 
 	mu      sync.Mutex
 	stopped bool
@@ -123,7 +127,10 @@ type Service struct {
 // New builds the service and schedules the polling loops.
 func New(nw *simnet.Network, cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
-	svc := &Service{nw: nw, cfg: cfg, hub: feedtypes.NewHub(), state: make(map[string]string)}
+	svc := &Service{
+		nw: nw, cfg: cfg, hub: feedtypes.NewHub(),
+		pool: feedtypes.NewBatchPool(), state: make(map[string]string),
+	}
 	for _, asn := range cfg.LGs {
 		lg, err := NewLookingGlass(nw, asn)
 		if err != nil {
@@ -185,7 +192,7 @@ func (s *Service) poll(lg *LookingGlass) {
 	if s.cfg.RTTMax > s.cfg.RTTMin {
 		rtt += time.Duration(s.nw.Engine.Rand().Int63n(int64(s.cfg.RTTMax - s.cfg.RTTMin)))
 	}
-	var changed []feedtypes.Event
+	changed := s.pool.Get()
 	for _, watched := range s.cfg.Prefixes {
 		answers := lg.Query(watched)
 		current := map[string]bool{}
@@ -197,7 +204,7 @@ func (s *Service) poll(lg *LookingGlass) {
 				continue
 			}
 			s.state[key] = sig
-			changed = append(changed, feedtypes.Event{
+			changed.AppendCopy(feedtypes.Event{
 				Source:       SourceName,
 				Collector:    lg.ID,
 				VantagePoint: lg.ASN,
@@ -216,7 +223,7 @@ func (s *Service) poll(lg *LookingGlass) {
 				if err != nil {
 					continue
 				}
-				changed = append(changed, feedtypes.Event{
+				changed.Append(feedtypes.Event{
 					Source:       SourceName,
 					Collector:    lg.ID,
 					VantagePoint: lg.ASN,
@@ -227,14 +234,17 @@ func (s *Service) poll(lg *LookingGlass) {
 			}
 		}
 	}
-	if len(changed) > 0 {
+	if len(changed.Events) > 0 {
 		s.nw.Engine.After(rtt, func() {
 			at := s.nw.Engine.Now()
-			for i := range changed {
-				changed[i].EmittedAt = at
+			for i := range changed.Events {
+				changed.Events[i].EmittedAt = at
 			}
-			s.hub.Publish(changed)
+			s.hub.Publish(changed.Events)
+			changed.Release()
 		})
+	} else {
+		changed.Release()
 	}
 	s.nw.Engine.After(s.cfg.PollInterval, func() { s.poll(lg) })
 }

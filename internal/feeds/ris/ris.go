@@ -37,6 +37,11 @@ type CollectorConfig struct {
 type Service struct {
 	nw  *simnet.Network
 	hub *feedtypes.Hub
+	// pool recycles the collectors' flush batches: each batch-delay window
+	// accumulates into a pooled batch (AS paths in its arena) that is
+	// published and released in flush, so a steady stream of route changes
+	// allocates nothing per flush.
+	pool *feedtypes.BatchPool
 
 	collectors []*collector
 }
@@ -46,14 +51,14 @@ type collector struct {
 	name    string
 	peers   []bgp.ASN
 	delay   time.Duration
-	pending []feedtypes.Event
+	pending *feedtypes.Batch // nil between windows
 	armed   bool
 }
 
 // New attaches collectors to the network. Each peer's best-route changes
 // are observed immediately and published after the collector's batch delay.
 func New(nw *simnet.Network, configs []CollectorConfig) *Service {
-	svc := &Service{nw: nw, hub: feedtypes.NewHub()}
+	svc := &Service{nw: nw, hub: feedtypes.NewHub(), pool: feedtypes.NewBatchPool()}
 	for _, cfg := range configs {
 		c := &collector{svc: svc, name: cfg.Name, delay: cfg.BatchDelay}
 		if c.delay == 0 {
@@ -107,6 +112,9 @@ func (s *Service) SubscribeBatch(f feedtypes.Filter, fn func([]feedtypes.Event))
 
 func (c *collector) observe(vp bgp.ASN, ev simnet.RouteChange) {
 	now := c.svc.nw.Engine.Now()
+	if c.pending == nil {
+		c.pending = c.svc.pool.Get()
+	}
 	out := feedtypes.Event{
 		Source:       SourceName,
 		Collector:    c.name,
@@ -116,11 +124,16 @@ func (c *collector) observe(vp bgp.ASN, ev simnet.RouteChange) {
 	}
 	if ev.New != nil {
 		out.Kind = feedtypes.Announce
-		out.Path = append([]bgp.ASN{vp}, ev.New.Path...)
+		// The vantage point prepends itself to its best route's path;
+		// build the combined path directly in the batch's arena.
+		path := c.pending.NewPath(1 + len(ev.New.Path))
+		path[0] = vp
+		copy(path[1:], ev.New.Path)
+		out.Path = path
 	} else {
 		out.Kind = feedtypes.Withdraw
 	}
-	c.pending = append(c.pending, out)
+	c.pending.Append(out)
 	if !c.armed {
 		c.armed = true
 		c.svc.nw.Engine.After(c.delay, c.flush)
@@ -129,16 +142,17 @@ func (c *collector) observe(vp bgp.ASN, ev simnet.RouteChange) {
 
 func (c *collector) flush() {
 	c.armed = false
-	if len(c.pending) == 0 {
+	if c.pending == nil || len(c.pending.Events) == 0 {
 		return
 	}
 	batch := c.pending
 	c.pending = nil
 	now := c.svc.nw.Engine.Now()
-	for i := range batch {
-		batch[i].EmittedAt = now
+	for i := range batch.Events {
+		batch.Events[i].EmittedAt = now
 	}
-	c.svc.hub.Publish(batch)
+	c.svc.hub.Publish(batch.Events)
+	batch.Release()
 }
 
 var (

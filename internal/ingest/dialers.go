@@ -70,11 +70,15 @@ func BGPmonDialerDynamic(addr string, f FilterFunc) Dialer {
 }
 
 // chanConn adapts a per-event channel client (the RIS/BGPmon network
-// clients) to the batch Conn interface.
+// clients) to the batch Conn interface. The batch buffer is reused
+// across Recv calls — allowed by Conn's contract, since the supervisor
+// copies each batch into pooled storage before queueing — so a hot feed
+// coalesces events with zero allocations per delivery.
 type chanConn struct {
 	events <-chan feedtypes.Event
 	close  func() error
 	err    func() error
+	buf    []feedtypes.Event
 }
 
 func (c *chanConn) Recv() ([]feedtypes.Event, error) {
@@ -85,7 +89,8 @@ func (c *chanConn) Recv() ([]feedtypes.Event, error) {
 		}
 		return nil, io.EOF
 	}
-	batch := append(make([]feedtypes.Event, 0, 16), ev)
+	batch := append(c.buf[:0], ev)
+	defer func() { c.buf = batch }()
 	for len(batch) < maxRecvBatch {
 		select {
 		case next, ok := <-c.events:
@@ -150,6 +155,9 @@ type mrtConn struct {
 	rc        io.ReadCloser
 	r         *mrt.Reader
 	collector string
+	// buf is the reused per-Recv batch (Conn contract: valid until the
+	// next Recv).
+	buf []feedtypes.Event
 }
 
 func (c *mrtConn) Recv() ([]feedtypes.Event, error) {
@@ -161,7 +169,7 @@ func (c *mrtConn) Recv() ([]feedtypes.Event, error) {
 		if err != nil {
 			return nil, err
 		}
-		var batch []feedtypes.Event
+		batch := c.buf[:0]
 		switch m := rec.(type) {
 		case *mrt.BGP4MPMessage:
 			u, ok := m.Message.(*bgp.Update)
@@ -220,6 +228,7 @@ func (c *mrtConn) Recv() ([]feedtypes.Event, error) {
 		default:
 			continue
 		}
+		c.buf = batch
 		if len(batch) > 0 {
 			return batch, nil
 		}

@@ -32,6 +32,7 @@ import (
 
 	"artemis/internal/feeds/feedtypes"
 	"artemis/internal/prefix"
+	"artemis/internal/ring"
 	"artemis/internal/stats"
 	"artemis/internal/ttlset"
 )
@@ -75,6 +76,13 @@ var ErrDone = errors.New("ingest: source stream complete")
 // Conn is one live feed connection: Recv blocks for the next batch of
 // events (emission order within the batch). A Recv may return both a
 // final batch and an error. Close must unblock a pending Recv.
+//
+// The returned slice (and its events' Path slices) is only valid until
+// the next Recv or Close call: connections are free to reuse one
+// backing buffer across calls, and the built-in dialers do. The
+// supervisor honors this by copying each batch into its own pooled
+// storage before queueing (see Supervisor's pool), so a Conn never has
+// a batch retained behind its back.
 type Conn interface {
 	Recv() ([]feedtypes.Event, error)
 	Close() error
@@ -170,6 +178,14 @@ type Supervisor struct {
 
 	dedup *dedupCache // nil when disabled
 
+	// pool recycles the queued copies: every batch accepted into a source
+	// queue is first deep-copied (events and AS paths) into a pooled
+	// batch, because the producer's storage — a feed's pooled publish
+	// batch, or a Conn's reused Recv buffer — is only valid for the
+	// duration of the callback. The forwarder releases each copy after
+	// delivery, so at steady state the fan-in path allocates nothing.
+	pool *feedtypes.BatchPool
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
@@ -191,6 +207,7 @@ func New(deliver func([]feedtypes.Event), cfg Config) *Supervisor {
 	s := &Supervisor{
 		deliver: deliver,
 		cfg:     cfg,
+		pool:    feedtypes.NewBatchPool(),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		sources: make(map[SourceID]*source),
 	}
@@ -233,10 +250,13 @@ type source struct {
 	cancel func()
 
 	// qmu guards qclosed for producers that outlive their cancel call
-	// (hub callbacks may still be in flight when Remove returns).
+	// (hub callbacks may still be in flight when Remove returns), and
+	// serializes those callbacks into the ring's single logical producer.
 	qmu     sync.Mutex
 	qclosed bool
-	queue   chan []feedtypes.Event
+	// queue is an SPSC ring of pooled batch copies; the forwarder is its
+	// only consumer and releases each batch after delivery.
+	queue *ring.Ring[*feedtypes.Batch]
 
 	events, batches, dedupHits, drops, reconnects stats.Counter
 	latency                                       *stats.Histogram
@@ -270,7 +290,7 @@ func (s *Supervisor) newSource(name string) *source {
 		name:     name,
 		stop:     make(chan struct{}),
 		kick:     make(chan struct{}, 1),
-		queue:    make(chan []feedtypes.Event, s.cfg.QueueDepth),
+		queue:    ring.New[*feedtypes.Batch](s.cfg.QueueDepth),
 		latency:  stats.NewHistogram(),
 		onHealth: s.cfg.OnHealth,
 	}
@@ -339,7 +359,9 @@ func (s *Supervisor) AddSource(name string, feed feedtypes.Source, f feedtypes.F
 		return -1
 	}
 	src.setState(StateHealthy)
-	src.cancel = subscribeBatches(feed, f, src.enqueueGuarded)
+	src.cancel = subscribeBatches(feed, f, func(batch []feedtypes.Event) {
+		s.enqueueGuarded(src, batch)
+	})
 	s.mu.Unlock()
 	go s.forward(src)
 	return src.id
@@ -548,7 +570,7 @@ func (s *Supervisor) stream(src *source, conn Conn) (delivered bool, err error) 
 		batch, err := conn.Recv()
 		if len(batch) > 0 {
 			delivered = true
-			src.enqueue(batch)
+			s.enqueue(src, batch)
 		}
 		if err != nil {
 			return delivered, err
@@ -556,40 +578,57 @@ func (s *Supervisor) stream(src *source, conn Conn) (delivered bool, err error) 
 	}
 }
 
+// copyIn snapshots batch into a pooled batch the queue can own: the
+// producer's storage (a Conn's reused Recv buffer, a feed's pooled
+// publish batch) is only valid for the duration of the callback, and the
+// queue outlives it. This copy is what fixes the old retained-batch bug:
+// the queue used to hold the producer's slice itself, which a pooling
+// producer would overwrite before the forwarder delivered it.
+func (s *Supervisor) copyIn(batch []feedtypes.Event) *feedtypes.Batch {
+	b := s.pool.Get()
+	b.AppendEvents(batch)
+	return b
+}
+
 // enqueue applies the source's queue policy. Only the dial reader calls
 // it, so it never races with the reader's own closeQueue.
-func (src *source) enqueue(batch []feedtypes.Event) {
+func (s *Supervisor) enqueue(src *source, batch []feedtypes.Event) {
+	b := s.copyIn(batch)
 	if src.blocking {
-		select {
-		case src.queue <- batch:
-		case <-src.stop:
+		// Push blocks for backpressure and only fails once the ring is
+		// closed. The forwarder drains the ring until it is closed, and for
+		// a dial source the ring is closed by this same goroutine (runDial's
+		// defer), so a blocked Push always completes — a flow-controlled
+		// replay loses nothing even across Remove/Close.
+		if !src.queue.Push(b) {
 			src.drops.Add(int64(len(batch)))
+			b.Release()
 		}
 		return
 	}
-	select {
-	case src.queue <- batch:
-	default:
+	if !src.queue.TryPush(b) {
 		// Queue full: this source sheds its own load. Siblings and the
 		// pipeline are unaffected.
 		src.drops.Add(int64(len(batch)))
+		b.Release()
 	}
 }
 
 // enqueueGuarded is the in-process variant: hub callbacks may run
-// concurrently with Remove, so the closed check and the send are under
-// one lock.
-func (src *source) enqueueGuarded(batch []feedtypes.Event) {
+// concurrently with Remove (and with each other, when several publishers
+// share a hub), so the closed check and the push are under one lock —
+// which also makes the callbacks the ring's single logical producer.
+func (s *Supervisor) enqueueGuarded(src *source, batch []feedtypes.Event) {
 	src.qmu.Lock()
 	defer src.qmu.Unlock()
 	if src.qclosed {
 		src.drops.Add(int64(len(batch)))
 		return
 	}
-	select {
-	case src.queue <- batch:
-	default:
+	b := s.copyIn(batch)
+	if !src.queue.TryPush(b) {
 		src.drops.Add(int64(len(batch)))
+		b.Release()
 	}
 }
 
@@ -597,7 +636,7 @@ func (src *source) closeQueue() {
 	src.qmu.Lock()
 	if !src.qclosed {
 		src.qclosed = true
-		close(src.queue)
+		src.queue.Close()
 	}
 	src.qmu.Unlock()
 }
@@ -637,8 +676,15 @@ func (s *Supervisor) jitter(d time.Duration) time.Duration {
 func (s *Supervisor) forward(src *source) {
 	defer s.wg.Done()
 	var scratch []feedtypes.Event
-	for batch := range src.queue {
-		scratch = s.deliverBatchBuf(src, batch, scratch)
+	for {
+		b, ok := src.queue.Pop()
+		if !ok {
+			return
+		}
+		scratch = s.deliverBatchBuf(src, b.Events, scratch)
+		// The delivered slice must not be retained by deliver (the
+		// pipeline deep-copies), so the pooled copy can be recycled now.
+		b.Release()
 	}
 }
 
@@ -700,8 +746,8 @@ func (s *Supervisor) Snapshot() stats.IngestSnapshot {
 			DedupHits:  src.dedupHits.Load(),
 			Drops:      src.drops.Load(),
 			Reconnects: src.reconnects.Load(),
-			QueueLen:   len(src.queue),
-			QueueCap:   cap(src.queue),
+			QueueLen:   src.queue.Len(),
+			QueueCap:   src.queue.Cap(),
 			Latency:    src.latency.Snapshot(),
 		})
 	}

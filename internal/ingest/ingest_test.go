@@ -111,7 +111,14 @@ type collector struct {
 
 func (c *collector) deliver(batch []feedtypes.Event) {
 	c.mu.Lock()
-	c.evs = append(c.evs, batch...)
+	// Deep-copy: the supervisor recycles the delivered batch (and its
+	// events' Path arenas) as soon as deliver returns.
+	for _, e := range batch {
+		if len(e.Path) > 0 {
+			e.Path = append([]bgp.ASN(nil), e.Path...)
+		}
+		c.evs = append(c.evs, e)
+	}
 	c.mu.Unlock()
 }
 

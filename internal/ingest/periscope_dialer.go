@@ -93,6 +93,9 @@ type periscopeConn struct {
 	first    bool
 	stop     chan struct{}
 	stopOnce sync.Once
+	// buf is the reused per-round change batch (Conn contract: the batch
+	// a Recv returns is valid only until the next Recv).
+	buf []feedtypes.Event
 }
 
 // errPeriscopeClosed reports a Recv interrupted by Close.
@@ -131,7 +134,8 @@ func (c *periscopeConn) Recv() ([]feedtypes.Event, error) {
 func (c *periscopeConn) poll() ([]feedtypes.Event, error) {
 	watch := c.cfg.Filter().Prefixes
 	now := c.cfg.Now()
-	var changed []feedtypes.Event
+	changed := c.buf[:0]
+	defer func() { c.buf = changed }()
 	for _, lgID := range c.lgs {
 		for _, watched := range watch {
 			answers, err := periscope.HTTPQuery(c.base, lgID, watched)

@@ -1,0 +1,138 @@
+package ingest_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/ingest"
+	"artemis/internal/prefix"
+)
+
+// These are the regression tests for the queued-batch retention bug: the
+// supervisor's per-source queue used to hold the producer's own slice,
+// so a producer that recycles its batch storage — a feed releasing its
+// pooled publish batch, a Conn reusing its Recv buffer — would overwrite
+// events the forwarder had not yet delivered. Poisoning released batches
+// turns that corruption deterministic: if the queue retains producer
+// storage, the collector observes PoisonPrefix/PoisonASN sentinels
+// instead of the published events.
+
+// checkNotPoisoned fails the test if any collected event carries poison
+// sentinels or diverges from the expected per-index identity.
+func checkNotPoisoned(t *testing.T, evs []feedtypes.Event) {
+	t.Helper()
+	for i := range evs {
+		if evs[i].Prefix == feedtypes.PoisonPrefix || evs[i].Source == "poisoned" {
+			t.Fatalf("event %d is poisoned — the queue retained released producer storage: %+v", i, evs[i])
+		}
+		for _, as := range evs[i].Path {
+			if as == feedtypes.PoisonASN {
+				t.Fatalf("event %d path holds the poison ASN — its arena was recycled while queued: %v", i, evs[i].Path)
+			}
+		}
+	}
+}
+
+// TestQueuedBatchSurvivesPublisherRelease publishes pooled, poisoned
+// batches through a hub into an asynchronous in-process source, releasing
+// each batch the moment Publish returns — exactly the feed lifecycle. The
+// supervisor's queue must deliver intact copies, not the recycled storage.
+func TestQueuedBatchSurvivesPublisherRelease(t *testing.T) {
+	var got collector
+	sup := ingest.New(got.deliver, ingest.Config{QueueDepth: 64, DedupTTL: -1})
+	defer sup.Close()
+
+	hub := hubSource{Hub: feedtypes.NewHub(), name: "pooled"}
+	sup.AddSource("pooled", hub, feedtypes.Filter{})
+
+	pool := feedtypes.NewBatchPool()
+	pool.SetPoison(true)
+	const rounds, perBatch = 50, 8
+	for r := 0; r < rounds; r++ {
+		b := pool.Get()
+		for i := 0; i < perBatch; i++ {
+			path := b.NewPath(3)
+			path[0], path[1], path[2] = 100, 2000, bgp.ASN(61000+r)
+			b.Append(feedtypes.Event{
+				Source:       "pooled",
+				Collector:    fmt.Sprintf("c%d", r),
+				VantagePoint: 100,
+				Kind:         feedtypes.Announce,
+				Prefix:       prefix.MustParse(fmt.Sprintf("10.%d.%d.0/24", r, i)),
+				Path:         path,
+				SeenAt:       time.Duration(r) * time.Millisecond,
+				EmittedAt:    time.Duration(r) * time.Millisecond,
+			})
+		}
+		hub.Publish(b.Events)
+		b.Release() // storage is poisoned and recycled here
+	}
+
+	waitFor(t, "all batches delivered", func() bool { return got.count() == rounds*perBatch })
+	evs := got.all()
+	checkNotPoisoned(t, evs)
+	for i, e := range evs {
+		r, j := i/perBatch, i%perBatch
+		want := prefix.MustParse(fmt.Sprintf("10.%d.%d.0/24", r, j))
+		if e.Prefix != want || e.Path[2] != bgp.ASN(61000+r) {
+			t.Fatalf("event %d corrupted: got %s origin %v, want %s origin %d", i, e.Prefix, e.Path[2], want, 61000+r)
+		}
+	}
+}
+
+// reuseConn is a finite Conn that rebuilds every batch in ONE reused
+// buffer — the strongest form of the "batch valid only until the next
+// Recv" contract. Before handing out batch i it first smashes the buffer
+// with poison, so a supervisor that queued the previous return value by
+// reference delivers garbage.
+type reuseConn struct {
+	i   int
+	n   int
+	buf []feedtypes.Event
+}
+
+func (c *reuseConn) Recv() ([]feedtypes.Event, error) {
+	if c.i >= c.n {
+		return nil, ingest.ErrDone
+	}
+	for j := range c.buf { // poison the previous batch in place
+		c.buf[j] = feedtypes.Event{Source: "poisoned", Prefix: feedtypes.PoisonPrefix}
+	}
+	c.buf = c.buf[:0]
+	for j := 0; j < 4; j++ {
+		c.buf = append(c.buf, ev(100, fmt.Sprintf("10.%d.%d.0/24", c.i, j), time.Duration(c.i)*time.Millisecond, 666))
+	}
+	c.i++
+	return c.buf, nil
+}
+
+func (c *reuseConn) Close() error { return nil }
+
+// TestDialConnMayReuseRecvBuffer verifies the dial path honors the Conn
+// contract: batches queued from a connection that overwrites its Recv
+// buffer must still be delivered intact and in order.
+func TestDialConnMayReuseRecvBuffer(t *testing.T) {
+	var got collector
+	sup := ingest.New(got.deliver, ingest.Config{QueueDepth: 2, DedupTTL: -1})
+	const n = 64
+	sup.AddDialer("reuse", ingest.DialFunc(func() (ingest.Conn, error) {
+		return &reuseConn{n: n}, nil
+	}), ingest.Blocking())
+	sup.Wait()
+	sup.Close()
+
+	evs := got.all()
+	if len(evs) != n*4 {
+		t.Fatalf("delivered %d events, want %d", len(evs), n*4)
+	}
+	checkNotPoisoned(t, evs)
+	for i, e := range evs {
+		want := prefix.MustParse(fmt.Sprintf("10.%d.%d.0/24", i/4, i%4))
+		if e.Prefix != want {
+			t.Fatalf("event %d out of order or corrupted: got %s want %s", i, e.Prefix, want)
+		}
+	}
+}

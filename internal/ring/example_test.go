@@ -1,0 +1,37 @@
+package ring_test
+
+import (
+	"fmt"
+
+	"artemis/internal/ring"
+)
+
+// A Ring hands values from one producer goroutine to one consumer
+// goroutine without allocating after construction. The producer owns
+// Push and Close; the consumer drains with Pop until it reports
+// ok=false, which happens only after the ring is both closed and empty
+// — values accepted before Close are never lost.
+func Example() {
+	r := ring.New[string](4)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			v, ok := r.Pop() // blocks until a value or close+drained
+			if !ok {
+				return
+			}
+			fmt.Println("got", v)
+		}
+	}()
+
+	r.Push("announce 10.0.0.0/24")
+	r.Push("withdraw 10.0.1.0/24")
+	r.Close() // producer side: no more values; consumer still drains both
+
+	<-done
+	// Output:
+	// got announce 10.0.0.0/24
+	// got withdraw 10.0.1.0/24
+}

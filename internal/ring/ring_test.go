@@ -1,0 +1,287 @@
+package ring
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWraparound pushes and pops far more values than the capacity so
+// every slot is reused many times, verifying cursor arithmetic across
+// the wrap.
+func TestWraparound(t *testing.T) {
+	r := New[int](4)
+	if r.Cap() != 4 {
+		t.Fatalf("Cap() = %d, want 4", r.Cap())
+	}
+	next := 0
+	for round := 0; round < 100; round++ {
+		// Vary the resident occupancy so the wrap point moves.
+		fill := 1 + round%r.Cap()
+		for i := 0; i < fill; i++ {
+			if !r.Push(next + i) {
+				t.Fatalf("Push(%d) refused on open ring", next+i)
+			}
+		}
+		if got := r.Len(); got != fill {
+			t.Fatalf("Len() = %d after %d pushes", got, fill)
+		}
+		for i := 0; i < fill; i++ {
+			v, ok := r.Pop()
+			if !ok || v != next+i {
+				t.Fatalf("Pop() = %d,%v, want %d,true", v, ok, next+i)
+			}
+		}
+		next += fill
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("TryPop() on empty ring reported a value")
+	}
+}
+
+// TestCapacityRounding checks the power-of-two rounding contract.
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {100, 128},
+	} {
+		if got := New[int](tc.ask).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+// TestTryPushFull verifies the non-blocking producer sees full and
+// closed distinctly from success.
+func TestTryPushFull(t *testing.T) {
+	r := New[int](2)
+	if !r.TryPush(1) || !r.TryPush(2) {
+		t.Fatal("TryPush refused with space available")
+	}
+	if r.TryPush(3) {
+		t.Fatal("TryPush succeeded on a full ring")
+	}
+	if v, ok := r.TryPop(); !ok || v != 1 {
+		t.Fatalf("TryPop() = %d,%v, want 1,true", v, ok)
+	}
+	if !r.TryPush(3) {
+		t.Fatal("TryPush refused after a pop freed a slot")
+	}
+	r.Close()
+	if r.TryPush(4) {
+		t.Fatal("TryPush succeeded on a closed ring")
+	}
+}
+
+// TestCloseDrainsInFlight closes the ring with values still buffered:
+// the consumer must receive every accepted value before seeing
+// ok=false.
+func TestCloseDrainsInFlight(t *testing.T) {
+	r := New[int](8)
+	for i := 0; i < 5; i++ {
+		r.Push(i)
+	}
+	r.Close()
+	if r.Push(99) {
+		t.Fatal("Push succeeded after Close")
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("drain Pop() = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop() after drain reported a value")
+	}
+	// And again: closed-and-drained is stable.
+	if _, ok := r.Pop(); ok {
+		t.Fatal("second Pop() after drain reported a value")
+	}
+}
+
+// TestBlockedProducerUnblocksOnPop fills the ring, blocks the producer,
+// and verifies a consumer pop unblocks it. Run with -race: the value
+// handoff across the full/not-full edge is the contested path.
+func TestBlockedProducerUnblocksOnPop(t *testing.T) {
+	r := New[int](2)
+	r.Push(0)
+	r.Push(1)
+	pushed := make(chan bool)
+	go func() {
+		pushed <- r.Push(2) // blocks: ring is full
+	}()
+	select {
+	case <-pushed:
+		t.Fatal("Push returned while the ring was full")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if v, ok := r.Pop(); !ok || v != 0 {
+		t.Fatalf("Pop() = %d,%v, want 0,true", v, ok)
+	}
+	if ok := <-pushed; !ok {
+		t.Fatal("blocked Push reported closed after space was freed")
+	}
+	for want := 1; want <= 2; want++ {
+		if v, ok := r.Pop(); !ok || v != want {
+			t.Fatalf("Pop() = %d,%v, want %d,true", v, ok, want)
+		}
+	}
+}
+
+// TestBlockedProducerUnblocksOnClose verifies Close wakes a producer
+// blocked on a full ring and that the refused value is not enqueued.
+func TestBlockedProducerUnblocksOnClose(t *testing.T) {
+	r := New[int](2)
+	r.Push(0)
+	r.Push(1)
+	pushed := make(chan bool)
+	go func() {
+		pushed <- r.Push(2)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	if ok := <-pushed; ok {
+		t.Fatal("Push on a closed ring reported success")
+	}
+	// The two accepted values drain; the refused one never appears.
+	for want := 0; want <= 1; want++ {
+		if v, ok := r.Pop(); !ok || v != want {
+			t.Fatalf("Pop() = %d,%v, want %d,true", v, ok, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("refused value appeared after close")
+	}
+}
+
+// TestBlockedConsumerUnblocksOnClose verifies Close wakes a consumer
+// blocked on an empty ring.
+func TestBlockedConsumerUnblocksOnClose(t *testing.T) {
+	r := New[int](2)
+	done := make(chan bool)
+	go func() {
+		_, ok := r.Pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	if ok := <-done; ok {
+		t.Fatal("Pop on closed empty ring reported a value")
+	}
+}
+
+// TestOrderEqualsChannel is the property test for the bounded-queue
+// replacement: a producer/consumer pair running the same randomized
+// push schedule through a Ring and through a Go channel (the replaced
+// queue) must deliver identical sequences — same values, same order,
+// nothing lost or duplicated — including when the producer closes
+// mid-stream with values in flight.
+func TestOrderEqualsChannel(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 1 << (1 + rng.Intn(5)) // 2..32
+		n := 200 + rng.Intn(800)
+
+		run := func(push func(int) bool, closeQ func(), pop func() (int, bool)) []int {
+			var got []int
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					v, ok := pop()
+					if !ok {
+						return
+					}
+					got = append(got, v)
+				}
+			}()
+			prng := rand.New(rand.NewSource(seed * 7))
+			for i := 0; i < n; i++ {
+				if !push(i) {
+					t.Fatalf("seed %d: push %d refused", seed, i)
+				}
+				if prng.Intn(16) == 0 {
+					time.Sleep(time.Microsecond) // let the consumer drain sometimes
+				}
+			}
+			closeQ()
+			wg.Wait()
+			return got
+		}
+
+		r := New[int](capacity)
+		fromRing := run(r.Push, r.Close, r.Pop)
+
+		ch := make(chan int, r.Cap())
+		fromChan := run(
+			func(v int) bool { ch <- v; return true },
+			func() { close(ch) },
+			func() (int, bool) { v, ok := <-ch; return v, ok },
+		)
+
+		if len(fromRing) != n || len(fromChan) != n {
+			t.Fatalf("seed %d: delivered ring=%d chan=%d, want %d", seed, len(fromRing), len(fromChan), n)
+		}
+		for i := range fromRing {
+			if fromRing[i] != fromChan[i] {
+				t.Fatalf("seed %d: delivery order diverges at %d: ring=%d chan=%d",
+					seed, i, fromRing[i], fromChan[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentThroughput hammers one producer against one consumer
+// across the full API (mixed blocking and Try variants) under -race.
+func TestConcurrentThroughput(t *testing.T) {
+	r := New[uint64](16)
+	const n = 100_000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var sum, count uint64
+	go func() {
+		defer wg.Done()
+		for {
+			v, ok := r.Pop()
+			if !ok {
+				return
+			}
+			sum += v
+			count++
+			// Opportunistically drain with the non-blocking variant too.
+			if v, ok := r.TryPop(); ok {
+				sum += v
+				count++
+			}
+		}
+	}()
+	var want uint64
+	for i := uint64(1); i <= n; i++ {
+		want += i
+		if !r.TryPush(i) {
+			if !r.Push(i) {
+				t.Fatal("Push refused on open ring")
+			}
+		}
+	}
+	r.Close()
+	wg.Wait()
+	if count != n || sum != want {
+		t.Fatalf("consumer saw %d values sum %d, want %d values sum %d", count, sum, n, want)
+	}
+}
+
+// TestPushAfterCloseRefuses pins the producer-side close contract.
+func TestPushAfterCloseRefuses(t *testing.T) {
+	r := New[int](4)
+	r.Close()
+	r.Close() // idempotent
+	if r.Push(1) || r.TryPush(1) {
+		t.Fatal("push on closed ring accepted a value")
+	}
+	if !r.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+}

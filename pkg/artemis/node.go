@@ -49,6 +49,11 @@ type Node struct {
 	sup  *ingest.Supervisor
 	ctrl *controller.Controller
 	bus  *eventBus
+	// injectPool recycles Inject's submission batches: the pipeline copies
+	// every batch during Submit, so Inject can build observations in
+	// pooled storage and release it immediately — a caller-side inject
+	// loop allocates nothing per call at steady state.
+	injectPool *feedtypes.BatchPool
 
 	mu      sync.Mutex
 	cfg     *Config // current declarative config, kept in sync with CRUD
@@ -75,12 +80,13 @@ func New(cfg *Config, opts ...Option) (*Node, error) {
 	}
 	cfg = cfg.Clone()
 	n := &Node{
-		cfg:       cfg,
-		bus:       newEventBus(),
-		sources:   make(map[string]sourceEntry),
-		srcSeq:    make(map[string]int),
-		drained:   make(chan struct{}),
-		runExited: make(chan struct{}),
+		cfg:        cfg,
+		bus:        newEventBus(),
+		sources:    make(map[string]sourceEntry),
+		srcSeq:     make(map[string]int),
+		drained:    make(chan struct{}),
+		runExited:  make(chan struct{}),
+		injectPool: feedtypes.NewBatchPool(),
 	}
 	for _, o := range opts {
 		o(&n.opts)
@@ -603,10 +609,14 @@ type RouteObservation struct {
 
 // Inject feeds observations straight into the detection pipeline,
 // bypassing the ingest supervisor (no cross-source dedup). Observations
-// are stamped with the node clock.
+// are stamped with the node clock. The pipeline copies the batch during
+// Submit, so Inject builds it in pooled storage and recycles it before
+// returning — a steady inject loop performs no per-call allocations
+// (docs/PERFORMANCE.md).
 func (n *Node) Inject(obs ...RouteObservation) error {
-	batch := make([]feedtypes.Event, len(obs))
-	for i, o := range obs {
+	batch := n.injectPool.Get()
+	defer batch.Release()
+	for _, o := range obs {
 		p, err := prefix.Parse(o.Prefix)
 		if err != nil {
 			return fmt.Errorf("artemis: bad prefix %q: %v", o.Prefix, err)
@@ -629,14 +639,15 @@ func (n *Node) Inject(obs ...RouteObservation) error {
 			ev.Kind = feedtypes.Withdraw
 		} else {
 			ev.Kind = feedtypes.Announce
-			ev.Path = make([]bgp.ASN, len(o.Path))
+			path := batch.NewPath(len(o.Path))
 			for j, a := range o.Path {
-				ev.Path[j] = bgp.ASN(a)
+				path[j] = bgp.ASN(a)
 			}
+			ev.Path = path
 		}
-		batch[i] = ev
+		batch.Append(ev)
 	}
-	n.pl.Submit(batch)
+	n.pl.Submit(batch.Events)
 	return nil
 }
 
