@@ -45,6 +45,47 @@ func TestSubmitSteadyStateAllocationFree(t *testing.T) {
 	}
 }
 
+// TestSubmitSteadyStateAllocationFreeMultiTenant asserts the contract
+// holds for the shared multi-tenant pipeline: two tenants own the same
+// /26 space, so every matched event fans out to (and is classified by)
+// both — the route-per-owner path must stay as allocation-free as the
+// single-tenant one.
+func TestSubmitSteadyStateAllocationFreeMultiTenant(t *testing.T) {
+	const batchSize = 256
+	evs := pipelineWorkload(8192)
+	policies := make([]core.TenantPolicy, 2)
+	for i, name := range []string{"a", "b"} {
+		cfg := pipelineBenchConfig(t)
+		policies[i] = core.TenantPolicy{Name: name, Config: cfg, Detector: core.NewDetector(cfg)}
+	}
+	table, err := core.NewPolicyTable(policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := core.NewPipelineTable(table, core.PipelineConfig{Shards: 4})
+	defer pl.Close()
+
+	for off := 0; off+batchSize <= len(evs); off += batchSize {
+		pl.Submit(evs[off : off+batchSize])
+	}
+	pl.Flush()
+
+	off := 0
+	avg := testing.AllocsPerRun(100, func() {
+		pl.Submit(evs[off : off+batchSize])
+		off = (off + batchSize) % len(evs)
+		pl.Flush()
+	})
+	if avg > 1 {
+		t.Errorf("steady-state multi-tenant Submit averaged %.2f allocs per batch, want <= 1 (see docs/PERFORMANCE.md)", avg)
+	}
+	for _, name := range []string{"a", "b"} {
+		if n := table.Runtime(name).Events(); n == 0 {
+			t.Errorf("tenant %q saw no events; fan-out not exercised", name)
+		}
+	}
+}
+
 // TestIngestSteadyStateAllocationFree asserts the same contract for the
 // supervised fan-in path: hub publish → pooled queue copy → ring →
 // dedup → pipeline. The in-process source delivers synchronously here so

@@ -385,6 +385,96 @@ func BenchmarkDetectionBatchIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkTenantFanOut measures the hosted multi-tenant shape: 1000
+// tenants, 10 owned /26s each, one shared pipeline. fanout-1 gives every
+// tenant a disjoint block (each event classifies under exactly one
+// policy) and isolates the routing cost of a 10k-prefix, 1000-way table;
+// fanout-4 makes groups of four tenants co-own each block, so every
+// matched event classifies four times — the events/s vs classified/s gap
+// is the fan-out multiplier. Both sub-benchmarks carry the allocs/op
+// gate: tenant fan-out must not reintroduce per-event allocation.
+func BenchmarkTenantFanOut(b *testing.B) {
+	const (
+		tenants   = 1000
+		perTenant = 10
+		workload  = 8192
+		batchSize = 256
+	)
+	space, err := prefix.MustParse("10.0.0.0/12").Deaggregate(26)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, fanout := range []int{1, 4} {
+		b.Run(fmt.Sprintf("fanout-%d", fanout), func(b *testing.B) {
+			policies := make([]core.TenantPolicy, tenants)
+			for i := range policies {
+				block := i / fanout
+				cfg := &core.Config{
+					OwnedPrefixes: space[block*perTenant : (block+1)*perTenant],
+					LegitOrigins:  []bgp.ASN{61000},
+				}
+				policies[i] = core.TenantPolicy{
+					Name: fmt.Sprintf("t%04d", i), Config: cfg, Detector: core.NewDetector(cfg),
+				}
+			}
+			table, err := core.NewPolicyTable(policies)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pl := core.NewPipelineTable(table, core.PipelineConfig{Shards: 4})
+			defer pl.Close()
+
+			owned := space[:tenants/fanout*perTenant]
+			evs := tenantFanOutWorkload(workload, owned)
+			for off := 0; off+batchSize <= len(evs); off += batchSize {
+				pl.Submit(evs[off : off+batchSize])
+			}
+			pl.Flush()
+
+			b.ReportAllocs() // the allocation-free-hot-path contract (docs/PERFORMANCE.md)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for off := 0; off < len(evs); off += batchSize {
+					pl.Submit(evs[off : off+batchSize])
+				}
+				pl.Flush()
+			}
+			elapsed := b.Elapsed().Seconds()
+			b.ReportMetric(float64(workload)*float64(b.N)/elapsed, "events/s")
+			b.ReportMetric(float64(workload*fanout)*float64(b.N)/elapsed, "classified/s")
+		})
+	}
+}
+
+// tenantFanOutWorkload is pipelineWorkload's multi-tenant twin: benign
+// announcements spread uniformly over the given owned space, with the
+// same pinch of repeating hijack incidents (dedup bounds alert volume).
+func tenantFanOutWorkload(n int, owned []prefix.Prefix) []feedtypes.Event {
+	rng := rand.New(rand.NewSource(43))
+	evs := make([]feedtypes.Event, n)
+	for i := range evs {
+		vp := bgp.ASN(100 + rng.Intn(64))
+		ev := feedtypes.Event{
+			Source:       []string{"ris", "bgpmon", "periscope"}[rng.Intn(3)],
+			Collector:    "c0",
+			VantagePoint: vp,
+			Kind:         feedtypes.Announce,
+			SeenAt:       time.Duration(i) * time.Millisecond,
+			EmittedAt:    time.Duration(i) * time.Millisecond,
+		}
+		switch r := rng.Intn(100); {
+		case r < 95: // benign announcement of a random tenant's prefix
+			ev.Prefix = owned[rng.Intn(len(owned))]
+			ev.Path = []bgp.ASN{vp, 1001, 61000}
+		default: // hijack, drawn from a small set of repeating incidents
+			ev.Prefix = owned[rng.Intn(16)]
+			ev.Path = []bgp.ASN{vp, 2001, bgp.ASN(666 + rng.Intn(4))}
+		}
+		evs[i] = ev
+	}
+	return evs
+}
+
 // BenchmarkIngestFanIn measures the supervised multi-source fan-in: the
 // same feed-scale workload delivered over 1, 4 or 8 supervised source
 // connections with overlapping vantage points — each route change has a

@@ -61,6 +61,8 @@ func main() {
 	runFor := flag.Duration("run-for", 0, "exit after this wall time (0 = run until SIGINT/SIGTERM)")
 	listen := flag.String("listen", "", "control plane + /metrics listen address (e.g. :9130)")
 	metricsAddr := flag.String("metrics", "", "deprecated alias for -listen")
+	adminToken := flag.String("admin-token", "", "control-plane admin bearer token (unset + no tenant tokens = open API)")
+	statePath := flag.String("state", "", "persisted config store; preferred over -config when it exists, written back on every live change")
 	mitQueue := flag.Int("mitigation-queue", 0, "async mitigation queue depth (default 64)")
 	srcQueue := flag.Int("source-queue", 0, "per-source pending-batch bound (default 64)")
 	dedupTTL := flag.Duration("dedup-ttl", 0, "cross-source dedup window (default 10m; negative disables)")
@@ -72,13 +74,30 @@ func main() {
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
+	// The persisted state store (written back on every live change) wins
+	// over the declarative file: tenants and prefixes added over HTTP in a
+	// prior run survive a restart even if artemis.yaml predates them.
 	cfg := &artemis.Config{}
-	if *configPath != "" {
+	switch {
+	case *statePath != "" && fileExists(*statePath):
+		var err error
+		cfg, err = artemis.LoadState(*statePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("resuming from state store %s (%d tenants)", *statePath, len(cfg.Tenants))
+	case *configPath != "":
 		var err error
 		cfg, err = artemis.LoadConfig(*configPath)
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *statePath != "" {
+		cfg.Control.StateFile = *statePath
+	}
+	if *adminToken != "" {
+		cfg.Control.AdminToken = *adminToken
 	}
 
 	// Flag overrides on top of the file.
@@ -158,8 +177,8 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("artemisd watching %v (origins %v) over %d supervised feed(s)\n",
-		cfg.Prefixes, cfg.Origins, len(cfg.Sources))
+	fmt.Printf("artemisd watching %v (origins %v, %d tenant(s)) over %d supervised feed(s)\n",
+		cfg.Prefixes, cfg.Origins, len(node.TenantNames()), len(cfg.Sources))
 
 	// Run until a signal or the -run-for timer, then drain in dependency
 	// order: sources -> pipeline flush -> mitigation queue -> control plane.
@@ -185,6 +204,11 @@ func main() {
 		fmt.Printf("  %-14s %-10s events=%d batches=%d dedup=%d drops=%d reconnects=%d\n",
 			src.Name, src.State, src.Events, src.Batches, src.DedupHits, src.Drops, src.Reconnects)
 	}
+}
+
+func fileExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && !st.IsDir()
 }
 
 func splitList(s string) []string {

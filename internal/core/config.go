@@ -60,6 +60,25 @@ type Config struct {
 	// incident is evicted (and would re-alert if seen again). 0 =
 	// unbounded.
 	AlertDedupMax int
+	// MaxMitigationRetries bounds how many times a failed mitigation is
+	// automatically re-attempted before the incident is left to the
+	// operator. 0 selects DefaultMaxMitigationRetries. Hot-tunable: the
+	// retry loop reads the active snapshot on every failure.
+	MaxMitigationRetries int
+	// MaxEventsPerSecond, when positive, is this config scope's fair-share
+	// classification quota: matched events beyond the budget (token bucket
+	// clocked by event time, burst of one second) are dropped for this
+	// scope only — counted, not classified, not folded into the monitor.
+	// In a multi-tenant pipeline this is what keeps one tenant under a
+	// hijack storm from starving the others' classification capacity. 0
+	// disables the quota (and keeps classification exactly deterministic).
+	MaxEventsPerSecond int
+	// MitigationRatePerMin, when positive, bounds automatic
+	// alert→mitigation dispatches per minute (wall clock, token bucket,
+	// burst of one minute's allowance). Excess alerts are dropped from
+	// auto-mitigation (counted and reported); retries of already-dispatched
+	// incidents are exempt. 0 disables the limit.
+	MitigationRatePerMin int
 }
 
 // Clone returns a deep copy of the configuration. Reconfiguration treats
@@ -97,6 +116,15 @@ func (c *Config) Validate() error {
 	}
 	if c.AlertDedupMax < 0 {
 		return fmt.Errorf("core: negative AlertDedupMax %d", c.AlertDedupMax)
+	}
+	if c.MaxMitigationRetries < 0 {
+		return fmt.Errorf("core: negative MaxMitigationRetries %d", c.MaxMitigationRetries)
+	}
+	if c.MaxEventsPerSecond < 0 {
+		return fmt.Errorf("core: negative MaxEventsPerSecond %d", c.MaxEventsPerSecond)
+	}
+	if c.MitigationRatePerMin < 0 {
+		return fmt.Errorf("core: negative MitigationRatePerMin %d", c.MitigationRatePerMin)
 	}
 	for i, p := range c.OwnedPrefixes {
 		for j, q := range c.OwnedPrefixes {

@@ -131,9 +131,16 @@ func NewDetector(cfg *Config) *Detector {
 func (d *Detector) Config() *Config { return d.cfg.Load() }
 
 // setConfig installs a new configuration snapshot. The alert dedup set
-// carries over (an incident seen under the old config stays deduplicated),
-// and its TTL/size bounds keep their construction-time values.
-func (d *Detector) setConfig(next *Config) { d.cfg.Store(next) }
+// carries over (an incident seen under the old config stays deduplicated)
+// and is retuned to the snapshot's TTL/size bounds: a shrunk window
+// expires or evicts immediately, a grown one extends the life of what is
+// already in the set.
+func (d *Detector) setConfig(next *Config) {
+	d.cfg.Store(next)
+	d.mu.Lock()
+	d.seen.SetBounds(next.AlertDedupTTL, next.AlertDedupMax)
+	d.mu.Unlock()
+}
 
 // OnAlert registers a handler invoked synchronously for each new alert.
 func (d *Detector) OnAlert(fn func(Alert)) {
@@ -255,51 +262,12 @@ func (d *Detector) commit(alert Alert) {
 	}
 }
 
-// countSources folds a per-source event tally into the diagnostics counter.
-func (d *Detector) countSources(counts map[string]int) {
-	if len(counts) == 0 {
-		return
-	}
+// addSourceCount folds one source's event count into the diagnostics
+// counter — the pipeline's sink calls it per (tenant, source) tally entry,
+// so the allocation-free path needs no maps.
+func (d *Detector) addSourceCount(src string, n int) {
 	d.mu.Lock()
-	for src, n := range counts {
-		d.perSource[d.sourceBucketLocked(src)] += n
-	}
-	d.mu.Unlock()
-}
-
-// sourceTally is one source's event count within a batch — the
-// allocation-free alternative to a map[string]int for the pipeline's
-// per-shard tallies. Batches carry a handful of distinct sources, so the
-// linear scan in tallySource beats a map by a wide margin and reuses the
-// job's backing array.
-type sourceTally struct {
-	src string
-	n   int
-}
-
-// tallySource bumps src's count in tallies, appending a new entry (into
-// the slice's reused capacity, at steady state) for a source not yet
-// seen in this batch.
-func tallySource(tallies []sourceTally, src string) []sourceTally {
-	for i := range tallies {
-		if tallies[i].src == src {
-			tallies[i].n++
-			return tallies
-		}
-	}
-	return append(tallies, sourceTally{src: src, n: 1})
-}
-
-// countSourceTallies folds a per-shard tally slice into the diagnostics
-// counter — countSources for the pipeline's allocation-free path.
-func (d *Detector) countSourceTallies(tallies []sourceTally) {
-	if len(tallies) == 0 {
-		return
-	}
-	d.mu.Lock()
-	for _, t := range tallies {
-		d.perSource[d.sourceBucketLocked(t.src)] += t.n
-	}
+	d.perSource[d.sourceBucketLocked(src)] += n
 	d.mu.Unlock()
 }
 

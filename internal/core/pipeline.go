@@ -24,6 +24,13 @@ import (
 // identical to the serial Detector/Monitor path — only the per-event
 // classification work is parallel.
 //
+// The pipeline is natively multi-tenant (NewPipelineTable): one shared
+// hot path classifies each event once per matched tenant, under that
+// tenant's own config snapshot, committing to that tenant's detector and
+// monitor. Per-event tenant matches live in pooled job arenas, so tenant
+// fan-out adds no allocations. NewPipeline is the single-tenant special
+// case; its observable behavior is unchanged.
+//
 // The steady-state path is allocation-free (docs/PERFORMANCE.md): jobs
 // are recycled through a sync.Pool, each job deep-copies the submitted
 // batch (events and AS paths) into its own reused backing arrays, the
@@ -43,20 +50,15 @@ import (
 // runs on); schedule follow-up work instead, as the mitigation controller
 // does.
 type Pipeline struct {
-	det *Detector
-	mon *Monitor
 	cfg PipelineConfig
 
-	// routeCfg is the config snapshot the router currently routes under;
-	// owned maps each of its owned prefixes to its position in
-	// routeCfg.OwnedPrefixes, and shardFor reduces that position mod the
-	// shard count, so events for the same owned prefix always route
-	// identically. Both are written only under life held exclusively
-	// (Reconfigure) and read under life held shared (submit), so every job
-	// is routed against exactly one snapshot, which the job then carries
-	// to the shards.
-	routeCfg *Config
-	owned    *prefix.Trie[int]
+	// table is the policy snapshot the router currently routes under: the
+	// shared owned-prefix trie (prefix → owning tenants) plus each
+	// tenant's config/detector/monitor. It is written only under life held
+	// exclusively (Reconfigure/ReconfigureTable) and read under life held
+	// shared (submit), so every job is routed against exactly one
+	// snapshot, which the job then carries to the shards.
+	table *PolicyTable
 
 	shards []*shard
 	done   chan *batchJob
@@ -141,18 +143,19 @@ type shardTask struct {
 }
 
 // batchJob is one submitted batch in flight. The router pre-resolves each
-// event's owned-space match (rel/ownedIdx), shards classify their index
-// slices, and per-shard output slots keep everything single-writer — no
-// locks anywhere on the classification path. Every slice below is a
-// reused backing array: jobs cycle through Pipeline.jobs, so at steady
-// state a submission allocates nothing.
+// event's per-tenant owned-space matches into a flat match arena, shards
+// classify their index slices once per match, and per-shard output slots
+// keep everything single-writer — no locks anywhere on the classification
+// path. Every slice below is a reused backing array: jobs cycle through
+// Pipeline.jobs, so at steady state a submission allocates nothing, no
+// matter how many tenants each event fans out to.
 type batchJob struct {
 	seq uint64
-	// cfg is the config snapshot the job was routed under; shards classify
-	// with it (not with the detector's live config), so a reconfiguration
-	// concurrent with in-flight batches cannot mix two configs within one
-	// batch.
-	cfg *Config
+	// table is the policy snapshot the job was routed under; shards
+	// classify with it (not with live state), so a reconfiguration
+	// concurrent with in-flight batches cannot mix two snapshots within
+	// one batch.
+	table *PolicyTable
 	// swap, when non-nil, marks a reconfiguration barrier: the job carries
 	// no events and the sink runs swap() at the job's sequence position.
 	swap func()
@@ -162,10 +165,18 @@ type batchJob struct {
 	// returns.
 	events []feedtypes.Event
 	paths  []bgp.ASN
-	// rel[i] is event i's relation to the owned space (an AlertType, or 0
-	// for no collision); ownedIdx[i] indexes Config.OwnedPrefixes.
-	rel      []uint8
-	ownedIdx []int32
+	// matches is the flat arena of per-event tenant matches: event i's
+	// matches are matches[matchOff[i] : matchOff[i]+matchN[i]], at most
+	// one per tenant (that tenant's LPM, or its config-order squat).
+	// Events with equal prefixes share one arena range.
+	matches  []eventMatch
+	matchOff []int32
+	matchN   []int32
+	// drops is the batch's per-tenant classification-quota drop tally.
+	drops []tenantDrop
+	// mc holds the router's reusable trie-walk callbacks (closures are
+	// created once per pooled job, never per event).
+	mc matchCollector
 	// keys/shardOf/sizes/offsets/fill/backing are the router's scratch:
 	// keys sorts the batch by prefix identity for run-amortized trie
 	// walks, and the rest is the counting-sort scatter of event indices
@@ -176,10 +187,11 @@ type batchJob struct {
 	offsets []int32
 	fill    []int32
 	backing []int32
-	// counts[s] is shard s's per-source event tally; alerts[s] its hijack
-	// candidates in index order. At most one task per shard per job, so
-	// slots are single-writer. alertPos[s] is the sink's merge cursor.
-	counts    [][]sourceTally
+	// counts[s] is shard s's per-(tenant, source) event tally; alerts[s]
+	// its hijack candidates in index order. At most one task per shard per
+	// job, so slots are single-writer. alertPos[s] is the sink's merge
+	// cursor.
+	counts    [][]tenantTally
 	alerts    [][]indexedAlert
 	alertPos  []int32
 	remaining atomic.Int32
@@ -189,10 +201,131 @@ type batchJob struct {
 	wait chan struct{}
 }
 
+// eventMatch is one (event, tenant) routing result: which tenant matched,
+// which of its owned prefixes (index into that tenant's
+// Config.OwnedPrefixes), and the relation (always non-zero in the arena).
+type eventMatch struct {
+	tenant   int32
+	ownedIdx int32
+	rel      uint8
+}
+
+// tenantTally is one (tenant, source) event count within a batch — the
+// allocation-free alternative to nested maps for the pipeline's per-shard
+// tallies. Batches carry a handful of distinct (tenant, source) pairs, so
+// the linear scan beats a map and reuses the job's backing array.
+type tenantTally struct {
+	tenant int32
+	src    string
+	n      int
+}
+
+// tallyTenant bumps (tenant, src)'s count, appending a new entry (into
+// reused capacity, at steady state) for a pair not yet seen in this batch.
+func tallyTenant(tallies []tenantTally, tenant int32, src string) []tenantTally {
+	for i := range tallies {
+		if tallies[i].tenant == tenant && tallies[i].src == src {
+			tallies[i].n++
+			return tallies
+		}
+	}
+	return append(tallies, tenantTally{tenant: tenant, src: src, n: 1})
+}
+
+// tenantDrop is one tenant's quota-drop count within a batch.
+type tenantDrop struct {
+	tenant int32
+	n      int64
+}
+
+func tallyDrop(drops []tenantDrop, tenant int32) []tenantDrop {
+	for i := range drops {
+		if drops[i].tenant == tenant {
+			drops[i].n++
+			return drops
+		}
+	}
+	return append(drops, tenantDrop{tenant: tenant, n: 1})
+}
+
+// matchCollector is the router's reusable trie-walk state. Its callback
+// closures are created once per pooled job (init), never per event —
+// closure creation allocates, and the router runs for every event of
+// every batch.
+type matchCollector struct {
+	job    *batchJob
+	pfx    prefix.Prefix
+	base   int32
+	lpmEnd int32
+	supFn  func(prefix.Prefix, []ownedRef) bool
+	covFn  func(prefix.Prefix, []ownedRef) bool
+}
+
+func (c *matchCollector) init(j *batchJob) {
+	if c.supFn == nil {
+		c.job = j
+		c.supFn = c.visitSupernet
+		c.covFn = c.visitCovered
+	}
+}
+
+// visitSupernet records q's owners as exact/sub-prefix matches. Supernets
+// arrive shortest-first, so replacing a tenant's earlier entry implements
+// per-tenant LPM over the shared trie: the last supernet a tenant owns on
+// the event prefix's descent path is that tenant's longest match.
+func (c *matchCollector) visitSupernet(q prefix.Prefix, refs []ownedRef) bool {
+	j := c.job
+	rel := uint8(AlertSubPrefix)
+	if q == c.pfx {
+		rel = uint8(AlertExactOrigin)
+	}
+refs:
+	for _, r := range refs {
+		for i := c.base; i < int32(len(j.matches)); i++ {
+			if j.matches[i].tenant == r.tenant {
+				j.matches[i] = eventMatch{tenant: r.tenant, ownedIdx: r.ownedIdx, rel: rel}
+				continue refs
+			}
+		}
+		j.matches = append(j.matches, eventMatch{tenant: r.tenant, ownedIdx: r.ownedIdx, rel: rel})
+	}
+	return true
+}
+
+// visitCovered records q's owners as squat candidates (the event prefix
+// covers q). A tenant already holding an exact/sub entry keeps it — LPM
+// beats squat, as in the single-tenant router. Among a tenant's several
+// covered prefixes the lowest config index wins, matching the serial
+// config-order scan.
+func (c *matchCollector) visitCovered(q prefix.Prefix, refs []ownedRef) bool {
+	if q == c.pfx {
+		return true // exact ownership was already handled by the supernet pass
+	}
+	j := c.job
+refs:
+	for _, r := range refs {
+		for i := c.base; i < c.lpmEnd; i++ {
+			if j.matches[i].tenant == r.tenant {
+				continue refs
+			}
+		}
+		for i := c.lpmEnd; i < int32(len(j.matches)); i++ {
+			if j.matches[i].tenant == r.tenant {
+				if r.ownedIdx < j.matches[i].ownedIdx {
+					j.matches[i].ownedIdx = r.ownedIdx
+				}
+				continue refs
+			}
+		}
+		j.matches = append(j.matches, eventMatch{tenant: r.tenant, ownedIdx: r.ownedIdx, rel: uint8(AlertSquat)})
+	}
+	return true
+}
+
 // reset prepares a pooled job for reuse, keeping every backing array.
 func (j *batchJob) reset(nshards int) {
 	j.seq = 0
-	j.cfg = nil
+	j.table = nil
 	j.swap = nil
 	j.wait = nil
 	// Drop references held by the previous batch's events so the pool
@@ -200,8 +333,10 @@ func (j *batchJob) reset(nshards int) {
 	clear(j.events)
 	j.events = j.events[:0]
 	j.paths = j.paths[:0]
-	j.rel = j.rel[:0]
-	j.ownedIdx = j.ownedIdx[:0]
+	j.matches = j.matches[:0]
+	j.matchOff = j.matchOff[:0]
+	j.matchN = j.matchN[:0]
+	j.drops = j.drops[:0]
 	j.keys = j.keys[:0]
 	j.shardOf = j.shardOf[:0]
 	j.remaining.Store(0)
@@ -215,7 +350,9 @@ func (j *batchJob) reset(nshards int) {
 	j.counts = j.counts[:nshards]
 	for i := range j.counts {
 		// Truncate, keep capacity: a shard with no task this job must not
-		// contribute its previous job's tallies.
+		// contribute its previous job's tallies. Clear first so the pool
+		// does not pin the tallies' source strings.
+		clear(j.counts[i])
 		j.counts[i] = j.counts[i][:0]
 	}
 	for len(j.alerts) < nshards {
@@ -239,31 +376,36 @@ func resizeInt32(s []int32, n int) []int32 {
 }
 
 // indexedAlert tags a candidate alert with its event's position in the
-// batch so the sink can restore submission order across shards.
+// batch (so the sink can restore submission order across shards) and the
+// tenant whose detector it commits to.
 type indexedAlert struct {
-	idx   int32
-	alert Alert
+	idx    int32
+	tenant int32
+	alert  Alert
 }
 
-// NewPipeline builds and starts the pipeline's workers and sink. mon may
-// be nil for a detection-only pipeline. Close releases the goroutines.
+// NewPipeline builds and starts a single-tenant pipeline: the classic
+// shape, one (detector, monitor, config) triple. mon may be nil for a
+// detection-only pipeline. Close releases the goroutines.
 func NewPipeline(det *Detector, mon *Monitor, cfg PipelineConfig) *Pipeline {
+	return NewPipelineTable(newSingleTable(det.Config(), det, mon, nil), cfg)
+}
+
+// NewPipelineTable builds and starts a pipeline routing under a
+// multi-tenant policy table: one shared hot path, each event classified
+// once per matched tenant under that tenant's own config, committing to
+// that tenant's detector and monitor. Close releases the goroutines.
+func NewPipelineTable(table *PolicyTable, cfg PipelineConfig) *Pipeline {
 	cfg = cfg.withDefaults()
 	p := &Pipeline{
-		det:       det,
-		mon:       mon,
+		table:     table,
 		cfg:       cfg,
-		owned:     prefix.NewTrie[int](),
 		done:      make(chan *batchJob, 4*cfg.Shards+16),
 		sinkDone:  make(chan struct{}),
 		sinkApply: stats.NewHistogram(),
 	}
 	p.jobs.New = func() any { return new(batchJob) }
 	p.applyCond = sync.NewCond(&p.applyMu)
-	p.routeCfg = det.Config()
-	for i, o := range p.routeCfg.OwnedPrefixes {
-		p.owned.Insert(o, i)
-	}
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{in: ring.New[shardTask](cfg.QueueDepth), service: stats.NewHistogram()}
 		p.shards = append(p.shards, s)
@@ -274,46 +416,38 @@ func NewPipeline(det *Detector, mon *Monitor, cfg PipelineConfig) *Pipeline {
 	return p
 }
 
-// route resolves an event prefix against the owned space in one trie
-// pass: LPM for exact and sub-prefix events, covering walk for
-// super-prefix (squat) events. It returns the matched owned prefix's
-// config index and the relation (0 = no collision). Shards reuse this
-// answer, so the owned-space match — the expensive half of classification
-// — is computed exactly once per distinct prefix per batch.
-func (p *Pipeline) route(pfx prefix.Prefix) (ownedIdx int32, rel AlertType) {
-	if owned, idx, ok := p.owned.LongestMatchPrefix(pfx); ok {
-		if owned == pfx {
-			return int32(idx), AlertExactOrigin
-		}
-		return int32(idx), AlertSubPrefix
-	}
-	covered := -1
-	p.owned.CoveredBy(pfx, func(_ prefix.Prefix, idx int) bool {
-		// Config order decides when a squat covers several owned prefixes,
-		// matching the serial scan.
-		if covered < 0 || idx < covered {
-			covered = idx
-		}
-		return true
-	})
-	if covered >= 0 {
-		return int32(covered), AlertSquat
-	}
-	return -1, 0
+// Table returns the active policy snapshot. Treat it as immutable: derive
+// the next table from it and install it with ReconfigureTable.
+func (p *Pipeline) Table() *PolicyTable {
+	p.life.RLock()
+	defer p.life.RUnlock()
+	return p.table
 }
 
 // shardFor routes a prefix to its shard: events matching the same owned
 // prefix always land on the same shard; events matching nothing hash over
 // all shards (classification drops them; any shard may do it). Routing is
-// a pure function of the prefix and the active config snapshot.
+// a pure function of the prefix and the active policy snapshot — the
+// quota filter runs after shard choice and never moves an event.
 func (p *Pipeline) shardFor(pfx prefix.Prefix) int {
 	p.life.RLock()
 	defer p.life.RUnlock()
-	idx, rel := p.route(pfx)
-	if rel != 0 {
-		return int(idx) % len(p.shards)
+	job := p.jobs.Get().(*batchJob)
+	job.reset(len(p.shards))
+	job.table = p.table
+	mc := &job.mc
+	mc.init(job)
+	mc.pfx, mc.base = pfx, 0
+	p.table.trie.Supernets(pfx, mc.supFn)
+	mc.lpmEnd = int32(len(job.matches))
+	p.table.trie.CoveredBy(pfx, mc.covFn)
+	s := hashPrefix(pfx) % len(p.shards)
+	if len(job.matches) > 0 {
+		s = int(job.matches[0].ownedIdx) % len(p.shards)
 	}
-	return hashPrefix(pfx) % len(p.shards)
+	job.reset(len(p.shards))
+	p.jobs.Put(job)
+	return s
 }
 
 // hashPrefix is FNV-1a over the full dual-stack prefix identity (128
@@ -335,23 +469,25 @@ const fnvOffset = 1469598103934665603
 // run walk re-checks actual prefix equality before reusing a result.
 const routeKeyIdxBits = 20
 
-// routeBatch fills job.rel/ownedIdx/shardOf for every event, amortizing
-// the trie over runs of equal prefixes: the batch is sorted by prefix
-// identity hash (one uint64 sort key per event, index packed in the low
-// bits), and each run of equal prefixes costs a single route() walk.
+// routeBatch fills job.matches/matchOff/matchN/shardOf for every event,
+// amortizing the trie over runs of equal prefixes: the batch is sorted by
+// prefix identity hash (one uint64 sort key per event, index packed in
+// the low bits), and each run of equal prefixes costs a single pair of
+// trie walks — the later events of a run alias the head's arena range.
 // Real feed batches repeat prefixes heavily — a path-hunting burst or a
 // flap emits many updates for one prefix in the same flush — so the
 // per-batch trie work shrinks from O(events) to O(distinct prefixes).
 // Called under p.life held shared.
 func (p *Pipeline) routeBatch(job *batchJob, nshards int) {
 	n := len(job.events)
-	job.rel = append(job.rel[:0], make([]uint8, n)...)
-	job.ownedIdx = append(job.ownedIdx[:0], make([]int32, n)...)
+	job.matchOff = append(job.matchOff[:0], make([]int32, n)...)
+	job.matchN = append(job.matchN[:0], make([]int32, n)...)
 	job.shardOf = append(job.shardOf[:0], make([]uint8, n)...)
-	if n >= 1<<routeKeyIdxBits {
-		// A batch too large to pack indices into the sort key routes
-		// event-by-event (never hit by real feeds: flushes are bounded at
-		// a few hundred events).
+	if n >= 1<<routeKeyIdxBits || job.table.quotas {
+		// Quota enforcement spends one token per (event, tenant), so equal
+		// prefixes cannot share a routing result; batches too large to pack
+		// indices into the sort key (never hit by real feeds: flushes are
+		// bounded at a few hundred events) route event-by-event too.
 		for i := range job.events {
 			p.routeOne(job, i, nshards)
 		}
@@ -374,8 +510,8 @@ func (p *Pipeline) routeBatch(job *batchJob, nshards int) {
 		for k := a + 1; k < bEnd; k++ {
 			i := int(job.keys[k] & (1<<routeKeyIdxBits - 1))
 			if job.events[i].Prefix == headPfx {
-				job.rel[i] = job.rel[head]
-				job.ownedIdx[i] = job.ownedIdx[head]
+				job.matchOff[i] = job.matchOff[head]
+				job.matchN[i] = job.matchN[head]
 				job.shardOf[i] = job.shardOf[head]
 			} else {
 				// 44-bit hash collision between distinct prefixes: route
@@ -387,18 +523,47 @@ func (p *Pipeline) routeBatch(job *batchJob, nshards int) {
 	}
 }
 
-// routeOne routes a single event and records the result in the job.
+// routeOne resolves one event's per-tenant matches (one supernet walk for
+// exact/sub relations with per-tenant LPM, one covered walk for squats)
+// and its shard, recording everything in the job's arenas. With quotas
+// active it also spends each matched tenant's token — at route time,
+// under the submit lock, so drops are deterministic in submission order.
 func (p *Pipeline) routeOne(job *batchJob, i, nshards int) {
-	idx, rel := p.route(job.events[i].Prefix)
-	var s int
-	if rel != 0 {
-		s = int(idx) % nshards
+	mc := &job.mc
+	mc.init(job)
+	mc.pfx = job.events[i].Prefix
+	mc.base = int32(len(job.matches))
+	t := job.table
+	t.trie.Supernets(mc.pfx, mc.supFn)
+	mc.lpmEnd = int32(len(job.matches))
+	t.trie.CoveredBy(mc.pfx, mc.covFn)
+	// Shard choice: the first matched owner's prefix index, so every event
+	// for the same slice of owned space lands on the same shard (and the
+	// single-tenant assignment is exactly the classic ownedIdx%shards);
+	// unmatched events hash over all shards. Decided before the quota
+	// filter, so routing stays a pure function of prefix and snapshot.
+	if int32(len(job.matches)) > mc.base {
+		job.shardOf[i] = uint8(int(job.matches[mc.base].ownedIdx) % nshards)
 	} else {
-		s = hashPrefix(job.events[i].Prefix) % nshards
+		job.shardOf[i] = uint8(hashPrefix(mc.pfx) % nshards)
 	}
-	job.rel[i] = uint8(rel)
-	job.ownedIdx[i] = idx
-	job.shardOf[i] = uint8(s)
+	if t.quotas {
+		kept := mc.base
+		now := job.events[i].EmittedAt
+		for k := mc.base; k < int32(len(job.matches)); k++ {
+			m := job.matches[k]
+			e := &t.entries[m.tenant]
+			if perSec := e.cfg.MaxEventsPerSecond; perSec > 0 && !e.rt.allow(now, perSec) {
+				job.drops = tallyDrop(job.drops, m.tenant)
+				continue
+			}
+			job.matches[kept] = m
+			kept++
+		}
+		job.matches = job.matches[:kept]
+	}
+	job.matchOff[i] = mc.base
+	job.matchN[i] = int32(len(job.matches)) - mc.base
 }
 
 // Submit ingests one batch asynchronously. The batch is deep-copied
@@ -450,7 +615,7 @@ func (p *Pipeline) submit(batch []feedtypes.Event, wait bool) {
 		p.life.RUnlock()
 		return // shut down: the batch is dropped, as a detached source's would be
 	}
-	job.cfg = p.routeCfg
+	job.table = p.table
 	// Route every event once per distinct prefix (routeBatch), then
 	// scatter index slices to shards with a counting sort over one
 	// backing array (no per-shard growth).
@@ -519,24 +684,37 @@ func (p *Pipeline) work(idx int, s *shard) {
 			return
 		}
 		start := time.Now()
-		// Classify with the job's config snapshot — the one the router
-		// resolved rel/ownedIdx against — not the detector's live config,
-		// which a concurrent Reconfigure may already have advanced.
-		cfg := t.job.cfg
+		// Classify with the job's policy snapshot — the one the router
+		// resolved the matches against — not live state, which a concurrent
+		// Reconfigure may already have advanced. Each event is classified
+		// once per matched tenant, under that tenant's own config.
+		table := t.job.table
+		single := table.single()
 		counts := t.job.counts[t.shard][:0]
 		alerts := t.job.alerts[t.shard][:0]
 		for _, i := range t.idxs {
 			ev := &t.job.events[i]
-			var owned prefix.Prefix
-			if oi := t.job.ownedIdx[i]; oi >= 0 {
-				owned = cfg.OwnedPrefixes[oi]
+			off, n := t.job.matchOff[i], t.job.matchN[i]
+			if n == 0 {
+				if single {
+					// Single-tenant compat: an unmatched well-formed
+					// announcement still tallies per source, exactly as the
+					// serial detector counts every event it is shown.
+					if _, counted, _ := table.entries[0].cfg.classifyRouted(ev, prefix.Prefix{}, 0); counted {
+						counts = tallyTenant(counts, 0, ev.Source)
+					}
+				}
+				continue
 			}
-			alert, counted, isAlert := cfg.classifyRouted(ev, owned, AlertType(t.job.rel[i]))
-			if counted {
-				counts = tallySource(counts, ev.Source)
-			}
-			if isAlert {
-				alerts = append(alerts, indexedAlert{idx: i, alert: alert})
+			for _, m := range t.job.matches[off : off+n] {
+				e := &table.entries[m.tenant]
+				alert, counted, isAlert := e.cfg.classifyRouted(ev, e.cfg.OwnedPrefixes[m.ownedIdx], AlertType(m.rel))
+				if counted {
+					counts = tallyTenant(counts, m.tenant, ev.Source)
+				}
+				if isAlert {
+					alerts = append(alerts, indexedAlert{idx: i, tenant: m.tenant, alert: alert})
+				}
 			}
 		}
 		t.job.counts[t.shard] = counts
@@ -580,12 +758,16 @@ func (p *Pipeline) apply(j *batchJob) {
 		return
 	}
 	start := time.Now()
+	table := j.table
 	for _, counts := range j.counts {
-		p.det.countSourceTallies(counts)
+		for _, t := range counts {
+			table.entries[t.tenant].det.addSourceCount(t.src, t.n)
+		}
 	}
 	// Commit alerts in event order: each shard's list is ascending, so an
 	// N-way min-merge (cursors in j.alertPos, no reslicing) restores the
-	// batch's submission order.
+	// batch's submission order. One event's alerts live on one shard, in
+	// match order, so a multi-tenant fan-out commits adjacently.
 	for {
 		best, bestShard := int32(-1), -1
 		for s := range j.alerts {
@@ -598,11 +780,46 @@ func (p *Pipeline) apply(j *batchJob) {
 		if bestShard < 0 {
 			break
 		}
-		p.det.commit(j.alerts[bestShard][j.alertPos[bestShard]].alert)
+		ia := &j.alerts[bestShard][j.alertPos[bestShard]]
+		table.entries[ia.tenant].det.commit(ia.alert)
 		j.alertPos[bestShard]++
 	}
-	if p.mon != nil {
-		p.mon.ProcessBatch(j.events)
+	if table.single() {
+		// The classic shape: the monitor folds every submitted event (an
+		// unmatched event still creates vantage-point state), and the
+		// tenant counter tracks matched events.
+		e := &table.entries[0]
+		matched := 0
+		for i := range j.events {
+			if j.matchN[i] > 0 {
+				matched++
+			}
+		}
+		e.rt.events.Add(int64(matched))
+		if e.mon != nil {
+			e.mon.ProcessBatch(j.events)
+		}
+	} else {
+		// Multi-tenant: each tenant's monitor folds exactly the events that
+		// matched that tenant — the stream an independent per-tenant
+		// instance would have received from its own feed filter.
+		for i := range j.events {
+			off, n := j.matchOff[i], j.matchN[i]
+			for _, m := range j.matches[off : off+n] {
+				e := &table.entries[m.tenant]
+				e.rt.events.Inc()
+				if e.mon != nil {
+					e.mon.Process(j.events[i])
+				}
+			}
+		}
+	}
+	for _, d := range j.drops {
+		e := &table.entries[d.tenant]
+		e.rt.quotaDrops.Add(d.n)
+		if table.onQuotaDrop != nil {
+			table.onQuotaDrop(e.name, d.n)
+		}
 	}
 	p.sinkApply.Observe(time.Since(start))
 	p.finish(j)
@@ -632,7 +849,7 @@ func (p *Pipeline) finish(j *batchJob) {
 func (p *Pipeline) Start(sources ...feedtypes.Source) {
 	p.life.RLock()
 	filter := feedtypes.Filter{
-		Prefixes:     p.routeCfg.OwnedPrefixes,
+		Prefixes:     p.table.UnionFilter(),
 		MoreSpecific: true,
 		LessSpecific: true,
 	}
@@ -677,12 +894,29 @@ func (p *Pipeline) Start(sources ...feedtypes.Source) {
 // must not be called from an alert handler or monitor fold (both run on
 // the sink goroutine, which the barrier waits on). If the pipeline is
 // already closed, the swap (and onApply) still runs, inline.
+//
+// Reconfigure replaces the first (on a single-tenant pipeline: the only)
+// tenant's config; every other tenant's policy, and all per-tenant
+// runtime state, carries over. ReconfigureTable swaps the whole table.
 func (p *Pipeline) Reconfigure(next *Config, onApply func()) {
-	trie := prefix.NewTrie[int]()
-	for i, o := range next.OwnedPrefixes {
-		trie.Insert(o, i)
-	}
 	p.life.Lock()
+	p.swapTableLocked(p.table.WithConfig(0, next), onApply)
+}
+
+// ReconfigureTable atomically swaps the whole policy table — tenants
+// added, removed or retuned in one barrier — with the same serial
+// position guarantees as Reconfigure. Tenants surviving the swap should
+// carry their Runtime (and usually Detector/Monitor) into the next table,
+// or their counters and quota state restart from zero.
+func (p *Pipeline) ReconfigureTable(next *PolicyTable, onApply func()) {
+	p.life.Lock()
+	p.swapTableLocked(next, onApply)
+}
+
+// swapTableLocked installs next and enqueues the reconfiguration barrier.
+// Called with p.life held exclusively; releases it, and blocks until the
+// sink has run the barrier.
+func (p *Pipeline) swapTableLocked(next *PolicyTable, onApply func()) {
 	if p.closed {
 		p.life.Unlock()
 		if onApply != nil {
@@ -690,11 +924,10 @@ func (p *Pipeline) Reconfigure(next *Config, onApply func()) {
 		}
 		return
 	}
-	p.routeCfg = next
-	p.owned = trie
+	p.table = next
 	job := p.jobs.Get().(*batchJob)
 	job.reset(len(p.shards))
-	job.cfg = next
+	job.table = next
 	job.swap = func() {}
 	if onApply != nil {
 		job.swap = onApply

@@ -7,6 +7,7 @@ import (
 
 	"artemis/internal/controller"
 	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/stats"
 )
 
 // Service is the assembled ARTEMIS instance: detection, mitigation and
@@ -35,15 +36,31 @@ type Service struct {
 	// cur is the active configuration snapshot; Reconfigure swaps it.
 	cur atomic.Pointer[Config]
 	// reconfigMu serializes Reconfigure calls; pl is the bound pipeline
-	// whose barrier mechanism gives reconfiguration its serial position.
-	reconfigMu sync.Mutex
-	plMu       sync.Mutex
-	pl         *Pipeline
+	// whose barrier mechanism gives reconfiguration its serial position
+	// (or reconfigureVia, when a host owns a shared multi-tenant pipeline).
+	reconfigMu     sync.Mutex
+	plMu           sync.Mutex
+	pl             *Pipeline
+	reconfigureVia func(next *Config, onApply func())
+
+	// now clocks the mitigation rate limiter (wall clock in daemons, the
+	// engine clock in experiments).
+	now func() time.Duration
+	// mitMu guards the MitigationRatePerMin token bucket.
+	mitMu     sync.Mutex
+	mitTokens float64
+	mitLast   time.Duration
+	mitSeeded bool
+	// mitRateDrops counts alerts the rate limit kept out of auto-mitigation.
+	mitRateDrops stats.Counter
+	// onMitigationDrop, when set, observes each rate-limited alert.
+	onMitigationDrop func(Alert)
 }
 
-// MaxMitigationRetries bounds how many times a failed mitigation is
-// automatically re-attempted before the incident is left to the operator.
-const MaxMitigationRetries = 5
+// DefaultMaxMitigationRetries bounds how many times a failed mitigation is
+// automatically re-attempted before the incident is left to the operator,
+// when Config.MaxMitigationRetries does not say otherwise.
+const DefaultMaxMitigationRetries = 5
 
 // ServiceOption configures NewService.
 type ServiceOption func(*serviceOptions)
@@ -79,11 +96,24 @@ func NewService(cfg *Config, ctrl *controller.Controller, now func() time.Durati
 		Mitigator: NewMitigator(cfg, ctrl, now),
 		Monitor:   NewMonitor(cfg),
 		retries:   make(map[string]int),
+		now:       now,
 	}
 	s.cur.Store(cfg)
 	s.Mitigation = NewMitigationQueue(s.Mitigator.HandleAlert, o.queue, s.Mitigator.Failures)
 	if !cfg.ManualMitigation {
-		s.Detector.OnAlert(s.Mitigation.Enqueue)
+		s.Detector.OnAlert(func(a Alert) {
+			if !s.allowMitigation() {
+				s.mitRateDrops.Inc()
+				s.mitMu.Lock()
+				fn := s.onMitigationDrop
+				s.mitMu.Unlock()
+				if fn != nil {
+					fn(a)
+				}
+				return
+			}
+			s.Mitigation.Enqueue(a)
+		})
 	}
 	if ctrl != nil {
 		// The controller's southbound is asynchronous: Announce returns
@@ -98,12 +128,20 @@ func NewService(cfg *Config, ctrl *controller.Controller, now func() time.Durati
 			if a.Err == nil || a.Kind != controller.ActionAnnounce {
 				return
 			}
+			// The bound is read from the active snapshot on every failure,
+			// so retuning Config.MaxMitigationRetries applies to incidents
+			// already in the retry loop. Retries bypass the mitigation rate
+			// limit: the incident was already admitted once.
+			max := s.CurrentConfig().MaxMitigationRetries
+			if max == 0 {
+				max = DefaultMaxMitigationRetries
+			}
 			for _, alert := range s.Mitigator.NoteAnnounceFailure(a.Prefix, a.Err) {
 				s.retryMu.Lock()
 				s.retries[alert.Key()]++
 				n := s.retries[alert.Key()]
 				s.retryMu.Unlock()
-				if n <= MaxMitigationRetries {
+				if n <= max {
 					s.Mitigation.Enqueue(alert)
 				}
 			}
@@ -123,10 +161,65 @@ func (s *Service) BindPipeline(pl *Pipeline) {
 	s.plMu.Unlock()
 }
 
+// BindReconfigureVia registers a custom barrier executor: fn must install
+// next at a well-defined serial position and run onApply there (the
+// multi-tenant host does this by rebuilding the shared policy table and
+// calling Pipeline.ReconfigureTable). It takes precedence over a bound
+// pipeline.
+func (s *Service) BindReconfigureVia(fn func(next *Config, onApply func())) {
+	s.plMu.Lock()
+	s.reconfigureVia = fn
+	s.plMu.Unlock()
+}
+
 func (s *Service) boundPipeline() *Pipeline {
 	s.plMu.Lock()
 	defer s.plMu.Unlock()
 	return s.pl
+}
+
+// allowMitigation spends one token from the MitigationRatePerMin bucket
+// (burst = one minute's allowance, clocked by s.now). Unlimited when the
+// active config does not set a rate.
+func (s *Service) allowMitigation() bool {
+	perMin := s.CurrentConfig().MitigationRatePerMin
+	if perMin <= 0 {
+		return true
+	}
+	now := s.now()
+	s.mitMu.Lock()
+	defer s.mitMu.Unlock()
+	if !s.mitSeeded {
+		s.mitSeeded = true
+		s.mitLast = now
+		s.mitTokens = float64(perMin)
+	}
+	if now > s.mitLast {
+		s.mitTokens += (now - s.mitLast).Minutes() * float64(perMin)
+		if max := float64(perMin); s.mitTokens > max {
+			s.mitTokens = max
+		}
+		s.mitLast = now
+	}
+	if s.mitTokens >= 1 {
+		s.mitTokens--
+		return true
+	}
+	return false
+}
+
+// MitigationRateDrops reports how many alerts the MitigationRatePerMin
+// limit kept out of auto-mitigation (they remain visible as alerts, and
+// the operator can still mitigate manually).
+func (s *Service) MitigationRateDrops() int64 { return s.mitRateDrops.Load() }
+
+// OnMitigationDrop registers fn to observe each rate-limited alert.
+// Register before events flow; fn runs on the alert-committing goroutine
+// and must not block.
+func (s *Service) OnMitigationDrop(fn func(Alert)) {
+	s.mitMu.Lock()
+	s.onMitigationDrop = fn
+	s.mitMu.Unlock()
 }
 
 // CurrentConfig returns the active configuration snapshot. Treat it as
@@ -142,8 +235,11 @@ func (s *Service) CurrentConfig() *Config { return s.cur.Load() }
 // keep mutating its copy. Reconfigure must not be called from an alert
 // handler or another callback running on the pipeline's sink goroutine.
 //
-// Not hot-swappable (construction-time choices that keep their original
-// values): AlertDedupTTL/AlertDedupMax bounds and ManualMitigation wiring.
+// Hot-tunable alongside the prefix/origin/upstream sets: the
+// AlertDedupTTL/AlertDedupMax dedup bounds (the live set is retuned in
+// place), MaxMitigationRetries (read on every failure) and the
+// MaxEventsPerSecond / MitigationRatePerMin limits. Not hot-swappable:
+// the ManualMitigation wiring, fixed at construction.
 func (s *Service) Reconfigure(next *Config) error {
 	if err := next.Validate(); err != nil {
 		return err
@@ -151,7 +247,14 @@ func (s *Service) Reconfigure(next *Config) error {
 	next = next.Clone()
 	s.reconfigMu.Lock()
 	defer s.reconfigMu.Unlock()
-	if pl := s.boundPipeline(); pl != nil {
+	s.plMu.Lock()
+	via, pl := s.reconfigureVia, s.pl
+	s.plMu.Unlock()
+	if via != nil {
+		via(next, func() { s.swapConfig(next) })
+		return nil
+	}
+	if pl != nil {
 		pl.Reconfigure(next, func() { s.swapConfig(next) })
 		return nil
 	}

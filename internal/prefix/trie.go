@@ -172,6 +172,30 @@ func (t *Trie[V]) descend(addr Addr, maxDepth int) (bestLen int, bestVal V) {
 	return bestLen, bestVal
 }
 
+// Supernets calls fn for every stored prefix that contains q (including q
+// itself when stored), shortest first — the root-to-leaf order of q's
+// descent path. Together with CoveredBy it gives a caller every stored
+// prefix related to q in one direction or the other; visiting supernets
+// shortest-first means the last call per interested party is its longest
+// match, which is how the multi-tenant router computes a per-tenant LPM
+// over one shared trie. Returning false stops the walk. The walk performs
+// no allocations.
+func (t *Trie[V]) Supernets(q Prefix, fn func(Prefix, V) bool) {
+	n := t.root(q.Is6())
+	if n.set && !fn(New(q.Addr(), 0), n.val) {
+		return
+	}
+	for i := 0; i < q.Bits(); i++ {
+		n = n.child[q.bit(i)]
+		if n == nil {
+			return
+		}
+		if n.set && !fn(New(q.Addr(), i+1), n.val) {
+			return
+		}
+	}
+}
+
 // CoveredBy calls fn for every stored prefix contained in p (including p
 // itself when stored), in trie order. Returning false stops the walk.
 func (t *Trie[V]) CoveredBy(p Prefix, fn func(Prefix, V) bool) {

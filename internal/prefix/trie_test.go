@@ -2,6 +2,7 @@ package prefix
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -236,5 +237,89 @@ func TestTrieQuickInsertDeleteInvariant(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestTrieSupernets(t *testing.T) {
+	tr := NewTrie[string]()
+	for _, s := range []string{"0.0.0.0/0", "10.0.0.0/8", "10.0.0.0/23", "10.0.0.0/24", "10.0.1.0/24", "192.0.2.0/24"} {
+		tr.Insert(MustParse(s), s)
+	}
+
+	collect := func(q string) []string {
+		var got []string
+		tr.Supernets(MustParse(q), func(_ Prefix, v string) bool {
+			got = append(got, v)
+			return true
+		})
+		return got
+	}
+
+	// Shortest-first along the descent path, including q itself when stored.
+	if got, want := collect("10.0.0.0/24"), []string{"0.0.0.0/0", "10.0.0.0/8", "10.0.0.0/23", "10.0.0.0/24"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Supernets(10.0.0.0/24) = %v, want %v", got, want)
+	}
+	// Sibling branches never leak in: 10.0.1.0/24 is not a supernet of
+	// 10.0.0.0/25.
+	if got, want := collect("10.0.0.0/25"), []string{"0.0.0.0/0", "10.0.0.0/8", "10.0.0.0/23", "10.0.0.0/24"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Supernets(10.0.0.0/25) = %v, want %v", got, want)
+	}
+	// A prefix shorter than everything stored (except the default) sees
+	// only the default route.
+	if got, want := collect("10.0.0.0/7"), []string{"0.0.0.0/0"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Supernets(10.0.0.0/7) = %v, want %v", got, want)
+	}
+	// Returning false stops the walk.
+	var first []string
+	tr.Supernets(MustParse("10.0.0.0/24"), func(_ Prefix, v string) bool {
+		first = append(first, v)
+		return false
+	})
+	if !reflect.DeepEqual(first, []string{"0.0.0.0/0"}) {
+		t.Fatalf("early stop visited %v", first)
+	}
+	// Families are disjoint: a v6 query never sees v4 prefixes.
+	tr.Insert(MustParse("2001:db8::/32"), "v6/32")
+	var got6 []string
+	tr.Supernets(MustParse("2001:db8::/48"), func(_ Prefix, v string) bool {
+		got6 = append(got6, v)
+		return true
+	})
+	if !reflect.DeepEqual(got6, []string{"v6/32"}) {
+		t.Fatalf("v6 Supernets = %v", got6)
+	}
+}
+
+// TestTrieSupernetsAgainstLinearScan cross-checks Supernets against a
+// brute-force contains scan on random prefix sets.
+func TestTrieSupernetsAgainstLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := NewTrie[string]()
+	var stored []Prefix
+	for i := 0; i < 300; i++ {
+		p := New(AddrFrom4(rng.Uint32()&0xffffff00), 8+rng.Intn(17))
+		if tr.Insert(p, p.String()) {
+			stored = append(stored, p)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		q := New(AddrFrom4(rng.Uint32()&0xffffff00), 8+rng.Intn(25))
+		var got []string
+		tr.Supernets(q, func(_ Prefix, v string) bool {
+			got = append(got, v)
+			return true
+		})
+		var want []string
+		for _, p := range stored {
+			if p == q || p.Contains(q) {
+				want = append(want, p.String())
+			}
+		}
+		sort.Slice(want, func(a, b int) bool {
+			return MustParse(want[a]).Bits() < MustParse(want[b]).Bits()
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Supernets(%s): got %v want %v", q, got, want)
+		}
 	}
 }

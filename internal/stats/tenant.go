@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+)
+
+// TenantSnapshot is one tenant's share of a hosted node's work: how many
+// matched events were routed to it, how many its isolation limits shed,
+// and what its policy raised. The node's /metrics endpoint renders one
+// per tenant so a hosting operator can see per-customer load and verify
+// that drops are counted, never silent.
+type TenantSnapshot struct {
+	Name string
+	// Events counts matched events routed to the tenant's classification.
+	Events int64
+	// QuotaDrops counts classifications shed by the tenant's
+	// MaxEventsPerSec fair-share quota.
+	QuotaDrops int64
+	// Alerts counts incidents the tenant's policy raised.
+	Alerts int64
+	// MitigationRateDrops counts alerts the tenant's mitigation rate
+	// limit kept out of auto-mitigation.
+	MitigationRateDrops int64
+}
+
+// WriteProm renders the tenant's counters with a tenant label.
+func (s TenantSnapshot) WriteProm(w io.Writer) {
+	l := fmt.Sprintf(`tenant="%s"`, s.Name)
+	fmt.Fprintf(w, "artemis_tenant_events_total{%s} %d\n", l, s.Events)
+	fmt.Fprintf(w, "artemis_tenant_quota_drops_total{%s} %d\n", l, s.QuotaDrops)
+	fmt.Fprintf(w, "artemis_tenant_alerts_total{%s} %d\n", l, s.Alerts)
+	fmt.Fprintf(w, "artemis_tenant_mitigation_rate_drops_total{%s} %d\n", l, s.MitigationRateDrops)
+}
+
+// Merge folds other into s field-wise — the multi-tenant node sums its
+// per-tenant mitigation queues into the one unlabeled queue family the
+// single-tenant daemon always exported. Histograms merge bucket-wise
+// (every queue uses the default bounds); QueueCap sums so depth/capacity
+// ratios stay meaningful.
+func (s MitigationQueueSnapshot) Merge(other MitigationQueueSnapshot) MitigationQueueSnapshot {
+	s.Enqueued += other.Enqueued
+	s.Handled += other.Handled
+	s.Dropped += other.Dropped
+	s.Blocked += other.Blocked
+	s.Failures += other.Failures
+	s.QueueLen += other.QueueLen
+	s.QueueCap += other.QueueCap
+	s.Synchronous = s.Synchronous && other.Synchronous
+	s.Wait = s.Wait.merge(other.Wait)
+	s.Handle = s.Handle.merge(other.Handle)
+	return s
+}
+
+// merge folds two histogram snapshots with identical bounds; on a bounds
+// mismatch the larger-count side wins (never happens for the default
+// bounds every queue shares).
+func (s HistogramSnapshot) merge(other HistogramSnapshot) HistogramSnapshot {
+	if len(s.Counts) != len(other.Counts) {
+		if other.Count > s.Count {
+			return other
+		}
+		return s
+	}
+	out := HistogramSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]int64, len(s.Counts)),
+		Sum:    s.Sum + other.Sum,
+		Count:  s.Count + other.Count,
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] + other.Counts[i]
+	}
+	return out
+}

@@ -44,6 +44,20 @@ func New[K comparable](ttl time.Duration, max int) *Set[K] {
 	return &Set[K]{ttl: ttl, max: max, m: make(map[K]time.Duration)}
 }
 
+// SetBounds retunes the TTL and size bound of a live set. A shrunk TTL
+// expires over-age entries immediately (against the current high-water
+// mark); a shrunk max evicts oldest entries down to the new bound. Entries
+// keep their original insertion stamps, so a grown TTL extends the life of
+// everything still in the set. This is what makes the dedup windows
+// hot-tunable on Reconfigure instead of construction-time-only.
+func (s *Set[K]) SetBounds(ttl time.Duration, max int) {
+	s.ttl, s.max = ttl, max
+	s.advance(s.now)
+	for s.max > 0 && len(s.m) > s.max {
+		s.evictOldest()
+	}
+}
+
 // Add inserts key at the given time and reports whether it was absent
 // (true = first sighting within the current window). Re-adding a live key
 // returns false without refreshing its expiry.

@@ -130,3 +130,61 @@ func TestCompactionKeepsEntriesIntact(t *testing.T) {
 		}
 	}
 }
+
+func TestSetBoundsShrinkTTLExpires(t *testing.T) {
+	s := New[string](0, 0) // unbounded: the detector's historical semantics
+	s.Add("old", 0)
+	s.Add("mid", 30*time.Second)
+	s.Add("new", 90*time.Second)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Shrinking the TTL expires against the current high-water mark (90s):
+	// "old" (age 90s) is over-age; "mid" sits exactly at the new TTL (ages
+	// must exceed it to expire) and "new" survive.
+	s.SetBounds(time.Minute, 0)
+	if s.Len() != 2 || !s.Contains("new", 90*time.Second) || !s.Contains("mid", 90*time.Second) {
+		t.Fatalf("after TTL shrink: Len=%d", s.Len())
+	}
+	if s.Contains("old", 90*time.Second) {
+		t.Fatal("over-age entry survived the shrink")
+	}
+	// The retuned TTL governs future adds too.
+	if !s.Add("old", 91*time.Second) {
+		t.Fatal("expired entry should re-add")
+	}
+}
+
+func TestSetBoundsShrinkMaxEvicts(t *testing.T) {
+	s := New[int](0, 0)
+	for i := 0; i < 6; i++ {
+		s.Add(i, time.Duration(i)*time.Second)
+	}
+	s.SetBounds(0, 2)
+	if s.Len() != 2 {
+		t.Fatalf("Len after max shrink = %d, want 2", s.Len())
+	}
+	// Oldest went first; the two newest remain.
+	if !s.Contains(4, 6*time.Second) || !s.Contains(5, 6*time.Second) {
+		t.Fatal("eviction did not keep the newest entries")
+	}
+	// And the cap keeps applying: a new add evicts the now-oldest.
+	s.Add(6, 7*time.Second)
+	if s.Len() != 2 || s.Contains(4, 7*time.Second) {
+		t.Fatalf("cap not enforced after retune: Len=%d", s.Len())
+	}
+}
+
+func TestSetBoundsGrowTTLExtends(t *testing.T) {
+	s := New[string](time.Minute, 0)
+	s.Add("k", 0)
+	// Entries keep their insertion stamps, so growing the TTL extends the
+	// life of what is already in the set.
+	s.SetBounds(time.Hour, 0)
+	if !s.Contains("k", 30*time.Minute) {
+		t.Fatal("grown TTL did not extend a live entry")
+	}
+	if s.Contains("k", 2*time.Hour) {
+		t.Fatal("entry outlived even the grown TTL")
+	}
+}

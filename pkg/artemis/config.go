@@ -91,10 +91,16 @@ type TuningConfig struct {
 	DedupTTL Duration `json:"dedup_ttl,omitempty"`
 	// AlertTTL is the incident dedup window: after it, a hijack still
 	// live re-alerts (default 24h; negative dedups forever — unbounded
-	// suppression, the virtual-time experiments' semantics).
+	// suppression, the virtual-time experiments' semantics). Hot-tunable:
+	// POST /v1/config retunes the live dedup sets without a restart.
 	AlertTTL Duration `json:"alert_ttl,omitempty"`
-	// AlertDedupMax caps the incident dedup set (default 65536).
+	// AlertDedupMax caps the incident dedup set (default 65536). Hot-tunable.
 	AlertDedupMax int `json:"alert_dedup_max,omitempty"`
+	// MaxMitigationRetries bounds automatic re-attempts after a southbound
+	// mitigation failure (default 5). Hot-tunable: the bound is read from
+	// the active snapshot on every failure, so retuning applies to
+	// incidents already in the retry loop.
+	MaxMitigationRetries int `json:"max_mitigation_retries,omitempty"`
 }
 
 // ControlConfig declares the HTTP control plane.
@@ -103,6 +109,59 @@ type ControlConfig struct {
 	// serves on, e.g. ":9130". Empty disables serving (the API is still
 	// available via control.NewServer for embedders).
 	Listen string `json:"listen,omitempty"`
+	// AdminToken, when set, gates the control plane: admin endpoints
+	// (tenant CRUD, sources, full config) require this bearer token, and
+	// tenant endpoints require it or the tenant's own token. When neither
+	// an admin token nor any tenant token is configured the control plane
+	// is open (the single-operator deployment).
+	AdminToken string `json:"admin_token,omitempty"`
+	// StateFile, when set, persists the declarative config (tenants
+	// included) as JSON after every successful mutation — atomic
+	// write-to-temp + rename — so hot tenant/prefix/source changes
+	// survive a restart. The daemon prefers the state file over the
+	// original config file when both exist.
+	StateFile string `json:"state_file,omitempty"`
+}
+
+// TenantLimits bounds one tenant's share of a hosted node, isolating
+// noisy tenants from the rest of the shared pipeline.
+type TenantLimits struct {
+	// MaxEventsPerSec caps classification work per tenant (an event-time
+	// token bucket; 0 = unlimited). Dropped classifications are counted
+	// and surfaced as KindLimit events, never silently discarded.
+	MaxEventsPerSec int `json:"max_events_per_sec,omitempty"`
+	// MitigationRatePerMin caps automatic mitigations per minute
+	// (0 = unlimited). Rate-limited alerts stay visible as alerts and in
+	// KindLimit events; operators can still mitigate manually.
+	MitigationRatePerMin int `json:"mitigation_rate_per_min,omitempty"`
+	// StreamBuffer caps the tenant's per-subscription event buffer
+	// (0 = default 64). A tenant subscriber that falls behind loses its
+	// oldest events instead of growing shared memory.
+	StreamBuffer int `json:"stream_buffer,omitempty"`
+}
+
+// TenantSpec declares one tenant of a hosted (multi-tenant) node: a
+// named config scope — owned prefixes, legitimate origins, neighbor
+// policy — classified on the shared pipeline under its own policy.
+// Tenants may own overlapping or even identical prefixes; a matching
+// announcement is evaluated once per owning tenant.
+type TenantSpec struct {
+	// Name identifies the tenant in alerts, events, metrics and the
+	// control plane. Required, unique, and not "default" (reserved for
+	// the implicit tenant formed by the top-level prefixes/origins).
+	Name string `json:"name"`
+	// Prefixes is the tenant's owned address space, v4 and v6 mixed.
+	Prefixes []string `json:"prefixes"`
+	// Origins are the ASNs allowed to originate the tenant's prefixes.
+	Origins []uint32 `json:"origins"`
+	// Upstreams enables per-tenant path-anomaly detection (per origin,
+	// the neighbor ASes allowed next to it in a path).
+	Upstreams map[uint32][]uint32 `json:"upstreams,omitempty"`
+	// Token is the tenant's bearer token for the control plane. Empty
+	// means the tenant is reachable only with the admin token.
+	Token string `json:"token,omitempty"`
+	// Limits bound the tenant's share of the shared pipeline.
+	Limits TenantLimits `json:"limits,omitempty"`
 }
 
 // Config is the declarative description of an ARTEMIS instance: the
@@ -118,7 +177,13 @@ type Config struct {
 	// Upstreams, when non-empty, enables path-anomaly detection: per
 	// legitimate origin, the neighbor ASes allowed next to it in a path.
 	Upstreams map[uint32][]uint32 `json:"upstreams,omitempty"`
-	// Sources are the monitoring feeds to supervise.
+	// Tenants declares additional config scopes for hosted (multi-tenant)
+	// deployments: one shared pipeline and feed union, per-tenant policy.
+	// The top-level Prefixes/Origins/Upstreams, when present, form the
+	// implicit "default" tenant; a config may also be tenants-only.
+	Tenants []TenantSpec `json:"tenants,omitempty"`
+	// Sources are the monitoring feeds to supervise. They are shared:
+	// every tenant's detection is fed from the same supervised union.
 	Sources []SourceSpec `json:"sources,omitempty"`
 
 	Mitigation MitigationConfig `json:"mitigation,omitempty"`
@@ -131,10 +196,11 @@ func (c *Config) Clone() *Config {
 	next := *c
 	next.Prefixes = append([]string(nil), c.Prefixes...)
 	next.Origins = append([]uint32(nil), c.Origins...)
-	if c.Upstreams != nil {
-		next.Upstreams = make(map[uint32][]uint32, len(c.Upstreams))
-		for k, v := range c.Upstreams {
-			next.Upstreams[k] = append([]uint32(nil), v...)
+	next.Upstreams = cloneUpstreams(c.Upstreams)
+	if c.Tenants != nil {
+		next.Tenants = make([]TenantSpec, len(c.Tenants))
+		for i, t := range c.Tenants {
+			next.Tenants[i] = t.Clone()
 		}
 	}
 	next.Sources = make([]SourceSpec, len(c.Sources))
@@ -145,25 +211,51 @@ func (c *Config) Clone() *Config {
 	return &next
 }
 
+// Clone returns a deep copy of the tenant spec.
+func (t TenantSpec) Clone() TenantSpec {
+	t.Prefixes = append([]string(nil), t.Prefixes...)
+	t.Origins = append([]uint32(nil), t.Origins...)
+	t.Upstreams = cloneUpstreams(t.Upstreams)
+	return t
+}
+
+func cloneUpstreams(u map[uint32][]uint32) map[uint32][]uint32 {
+	if u == nil {
+		return nil
+	}
+	out := make(map[uint32][]uint32, len(u))
+	for k, v := range u {
+		out[k] = append([]uint32(nil), v...)
+	}
+	return out
+}
+
+// DefaultTenant names the implicit tenant formed by a config's top-level
+// Prefixes/Origins/Upstreams — the single-operator deployment, and the
+// scope un-scoped control-plane calls act on.
+const DefaultTenant = "default"
+
 // Validate checks a programmatically built config. Configs loaded via
 // LoadConfig/ParseConfig are already validated with line positions.
 func (c *Config) Validate() error {
-	if len(c.Prefixes) == 0 {
-		return fmt.Errorf("artemis: no owned prefixes configured")
+	if len(c.Prefixes) == 0 && len(c.Tenants) == 0 {
+		return fmt.Errorf("artemis: no owned prefixes or tenants configured")
 	}
-	seen := map[prefix.Prefix]bool{}
-	for _, s := range c.Prefixes {
-		p, err := prefix.Parse(s)
-		if err != nil {
-			return fmt.Errorf("artemis: bad prefix %q: %v", s, err)
+	if len(c.Prefixes) > 0 {
+		if err := validateScope(c.Prefixes, c.Origins); err != nil {
+			return err
 		}
-		if seen[p] {
-			return fmt.Errorf("artemis: duplicate prefix %q", s)
-		}
-		seen[p] = true
 	}
-	if len(c.Origins) == 0 {
-		return fmt.Errorf("artemis: no legitimate origins configured")
+	tnames := map[string]bool{}
+	for i := range c.Tenants {
+		t := &c.Tenants[i]
+		if err := t.validate(); err != nil {
+			return err
+		}
+		if tnames[t.Name] {
+			return fmt.Errorf("artemis: duplicate tenant name %q", t.Name)
+		}
+		tnames[t.Name] = true
 	}
 	names := map[string]bool{}
 	for i := range c.Sources {
@@ -176,6 +268,44 @@ func (c *Config) Validate() error {
 			}
 			names[n] = true
 		}
+	}
+	return nil
+}
+
+// validateScope checks one tenant scope's prefix/origin lists.
+func validateScope(prefixes []string, origins []uint32) error {
+	seen := map[prefix.Prefix]bool{}
+	for _, s := range prefixes {
+		p, err := prefix.Parse(s)
+		if err != nil {
+			return fmt.Errorf("artemis: bad prefix %q: %v", s, err)
+		}
+		if seen[p] {
+			return fmt.Errorf("artemis: duplicate prefix %q", s)
+		}
+		seen[p] = true
+	}
+	if len(origins) == 0 {
+		return fmt.Errorf("artemis: no legitimate origins configured")
+	}
+	return nil
+}
+
+func (t *TenantSpec) validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("artemis: tenant missing name")
+	}
+	if t.Name == DefaultTenant {
+		return fmt.Errorf("artemis: tenant name %q is reserved for the top-level prefixes", DefaultTenant)
+	}
+	if len(t.Prefixes) == 0 {
+		return fmt.Errorf("artemis: tenant %q has no prefixes", t.Name)
+	}
+	if err := validateScope(t.Prefixes, t.Origins); err != nil {
+		return fmt.Errorf("%v (tenant %q)", err, t.Name)
+	}
+	if t.Limits.MaxEventsPerSec < 0 || t.Limits.MitigationRatePerMin < 0 || t.Limits.StreamBuffer < 0 {
+		return fmt.Errorf("artemis: tenant %q has negative limits", t.Name)
 	}
 	return nil
 }
@@ -262,7 +392,7 @@ func (d *configDecoder) decode(root *yamlNode) *Config {
 		d.fail(root.line, "config must be a mapping")
 		return cfg
 	}
-	d.checkKeys(root, "prefixes", "origins", "upstreams", "sources", "mitigation", "tuning", "control")
+	d.checkKeys(root, "prefixes", "origins", "upstreams", "tenants", "sources", "mitigation", "tuning", "control")
 
 	if n := root.child("prefixes"); n != nil {
 		for _, item := range d.scalarList(n) {
@@ -271,32 +401,23 @@ func (d *configDecoder) decode(root *yamlNode) *Config {
 			}
 			cfg.Prefixes = append(cfg.Prefixes, item.scalar)
 		}
-	} else {
-		d.fail(root.line, "missing required key \"prefixes\"")
+	} else if root.child("tenants") == nil {
+		d.fail(root.line, "missing required key \"prefixes\" (or \"tenants\")")
 	}
 	if n := root.child("origins"); n != nil {
 		for _, item := range d.scalarList(n) {
 			cfg.Origins = append(cfg.Origins, d.asASN(item))
 		}
-	} else {
+	} else if root.child("prefixes") != nil {
 		d.fail(root.line, "missing required key \"origins\"")
 	}
-	if n := root.child("upstreams"); n != nil {
-		if n.kind != yMap {
-			d.fail(n.line, "upstreams must map origin ASN to a list of neighbor ASNs")
+	cfg.Upstreams = d.decodeUpstreams(root.child("upstreams"))
+	if n := root.child("tenants"); n != nil {
+		if n.kind != yList {
+			d.fail(n.line, "tenants must be a sequence")
 		} else {
-			cfg.Upstreams = make(map[uint32][]uint32, len(n.keys))
-			for _, k := range n.keys {
-				origin, err := strconv.ParseUint(k, 10, 32)
-				if err != nil {
-					d.fail(n.vals[k].line, "bad origin ASN %q", k)
-					continue
-				}
-				var ups []uint32
-				for _, item := range d.scalarList(n.vals[k]) {
-					ups = append(ups, d.asASN(item))
-				}
-				cfg.Upstreams[uint32(origin)] = ups
+			for _, item := range n.items {
+				cfg.Tenants = append(cfg.Tenants, d.decodeTenant(item))
 			}
 		}
 	}
@@ -319,16 +440,19 @@ func (d *configDecoder) decode(root *yamlNode) *Config {
 		cfg.Mitigation.Manual = d.optBool(n, "manual")
 	}
 	if n := root.child("tuning"); n != nil && d.isMap(n, "tuning") {
-		d.checkKeys(n, "shards", "source-queue", "dedup-ttl", "alert-ttl", "alert-dedup-max")
+		d.checkKeys(n, "shards", "source-queue", "dedup-ttl", "alert-ttl", "alert-dedup-max", "max-mitigation-retries")
 		cfg.Tuning.Shards = d.optInt(n, "shards")
 		cfg.Tuning.SourceQueue = d.optInt(n, "source-queue")
 		cfg.Tuning.DedupTTL = d.optDuration(n, "dedup-ttl")
 		cfg.Tuning.AlertTTL = d.optDuration(n, "alert-ttl")
 		cfg.Tuning.AlertDedupMax = d.optInt(n, "alert-dedup-max")
+		cfg.Tuning.MaxMitigationRetries = d.optInt(n, "max-mitigation-retries")
 	}
 	if n := root.child("control"); n != nil && d.isMap(n, "control") {
-		d.checkKeys(n, "listen")
+		d.checkKeys(n, "listen", "admin-token", "state-file")
 		cfg.Control.Listen = d.optScalar(n, "listen")
+		cfg.Control.AdminToken = d.optScalar(n, "admin-token")
+		cfg.Control.StateFile = d.optScalar(n, "state-file")
 	}
 
 	// Cross-field validation that has no better position than the list
@@ -342,6 +466,22 @@ func (d *configDecoder) decode(root *yamlNode) *Config {
 				d.fail(item.line, "duplicate prefix %q", item.scalar)
 			}
 			seen[key] = true
+		}
+		if len(cfg.Prefixes) > 0 && len(cfg.Origins) == 0 {
+			d.fail(root.line, "missing required key \"origins\"")
+		}
+		tnames := map[string]bool{}
+		if n := root.child("tenants"); n != nil && n.kind == yList {
+			for i, item := range n.items {
+				t := &cfg.Tenants[i]
+				if err := t.validate(); err != nil {
+					d.fail(item.line, "%v", err)
+				}
+				if tnames[t.Name] {
+					d.fail(item.line, "duplicate tenant name %q", t.Name)
+				}
+				tnames[t.Name] = true
+			}
 		}
 		names := map[string]bool{}
 		if n := root.child("sources"); n != nil && n.kind == yList {
@@ -358,6 +498,60 @@ func (d *configDecoder) decode(root *yamlNode) *Config {
 		}
 	}
 	return cfg
+}
+
+// decodeUpstreams decodes an origin→neighbors mapping (nil node → nil map).
+func (d *configDecoder) decodeUpstreams(n *yamlNode) map[uint32][]uint32 {
+	if n == nil {
+		return nil
+	}
+	if n.kind != yMap {
+		d.fail(n.line, "upstreams must map origin ASN to a list of neighbor ASNs")
+		return nil
+	}
+	out := make(map[uint32][]uint32, len(n.keys))
+	for _, k := range n.keys {
+		origin, err := strconv.ParseUint(k, 10, 32)
+		if err != nil {
+			d.fail(n.vals[k].line, "bad origin ASN %q", k)
+			continue
+		}
+		var ups []uint32
+		for _, item := range d.scalarList(n.vals[k]) {
+			ups = append(ups, d.asASN(item))
+		}
+		out[uint32(origin)] = ups
+	}
+	return out
+}
+
+// decodeTenant decodes one tenants: list item.
+func (d *configDecoder) decodeTenant(n *yamlNode) TenantSpec {
+	spec := TenantSpec{}
+	if n.kind != yMap {
+		d.fail(n.line, "each tenant must be a mapping with a \"name\"")
+		return spec
+	}
+	d.checkKeys(n, "name", "prefixes", "origins", "upstreams", "token", "limits")
+	spec.Name = d.optScalar(n, "name")
+	for _, item := range d.scalarList(n.child("prefixes")) {
+		if _, err := prefix.Parse(item.scalar); err != nil {
+			d.fail(item.line, "bad prefix %q: %v", item.scalar, err)
+		}
+		spec.Prefixes = append(spec.Prefixes, item.scalar)
+	}
+	for _, item := range d.scalarList(n.child("origins")) {
+		spec.Origins = append(spec.Origins, d.asASN(item))
+	}
+	spec.Upstreams = d.decodeUpstreams(n.child("upstreams"))
+	spec.Token = d.optScalar(n, "token")
+	if l := n.child("limits"); l != nil && d.isMap(l, "limits") {
+		d.checkKeys(l, "max-events-per-sec", "mitigation-rate-per-min", "stream-buffer")
+		spec.Limits.MaxEventsPerSec = d.optInt(l, "max-events-per-sec")
+		spec.Limits.MitigationRatePerMin = d.optInt(l, "mitigation-rate-per-min")
+		spec.Limits.StreamBuffer = d.optInt(l, "stream-buffer")
+	}
+	return spec
 }
 
 func (d *configDecoder) decodeSource(n *yamlNode) SourceSpec {

@@ -1,21 +1,42 @@
 // Package control serves an artemis.Node's operator API over versioned
-// HTTP: configuration introspection, live reconfiguration (owned-prefix
-// and source CRUD), health, alert history, a server-sent-event stream of
-// the node's typed events, and the Prometheus-style /metrics endpoint —
-// all on one gracefully-shut-down server.
+// HTTP: configuration introspection, live reconfiguration (tenant,
+// owned-prefix, upstream-policy and source CRUD), health, alert history,
+// a server-sent-event stream of the node's typed events, and the
+// Prometheus-style /metrics endpoint — all on one gracefully-shut-down
+// server.
 //
-//	GET    /v1/config         current declarative config (JSON)
-//	GET    /v1/prefixes       owned prefixes
-//	POST   /v1/prefixes       {"prefixes": ["10.9.0.0/24"]} — hot-add
-//	DELETE /v1/prefixes       {"prefixes": ["10.9.0.0/24"]} — hot-remove
-//	GET    /v1/sources        supervised sources with health
-//	POST   /v1/sources        SourceSpec JSON — hot-add, returns {"name"}
-//	DELETE /v1/sources        {"name": "ris[0]"} — hot-remove
-//	GET    /v1/health         overall + per-source health summary
-//	GET    /v1/alerts         alert history
-//	GET    /v1/mitigations    mitigation attempt history
-//	GET    /v1/alerts/stream  SSE stream (?kinds=alert,mitigation,health)
-//	GET    /metrics           Prometheus text exposition
+//	GET    /v1/config         current declarative config (JSON)    [admin]
+//	POST   /v1/config         atomic full-config replace           [admin]
+//	GET    /v1/tenants        tenant statuses                      [admin]
+//	POST   /v1/tenants        TenantSpec JSON — hot-add            [admin]
+//	DELETE /v1/tenants        {"name": "acme"} — hot-remove        [admin]
+//	GET    /v1/prefixes       owned prefixes           [tenant-scoped]
+//	POST   /v1/prefixes       {"prefixes": [...]} — hot-add        [tenant-scoped]
+//	DELETE /v1/prefixes       {"prefixes": [...]} — hot-remove     [tenant-scoped]
+//	GET    /v1/upstreams      path-anomaly neighbor policy         [tenant-scoped]
+//	PUT    /v1/upstreams      {"upstreams": {"64500": [3356]}}     [tenant-scoped]
+//	DELETE /v1/upstreams      clear the policy                     [tenant-scoped]
+//	GET    /v1/sources        supervised sources with health       [admin]
+//	POST   /v1/sources        SourceSpec JSON — hot-add            [admin]
+//	DELETE /v1/sources        {"name": "ris[0]"} — hot-remove      [admin]
+//	GET    /v1/health         overall + per-source health summary  [admin]
+//	GET    /v1/alerts         alert history                        [tenant-scoped]
+//	GET    /v1/mitigations    mitigation attempt history           [tenant-scoped]
+//	GET    /v1/alerts/stream  SSE stream (?kinds=..., ?tenant=...) [tenant-scoped]
+//	GET    /metrics           Prometheus text exposition           [admin]
+//
+// # Authentication
+//
+// With no tokens configured the API is open (the single-operator
+// back-compat mode). Once Control.AdminToken or any tenant Token is set,
+// every request needs "Authorization: Bearer <token>": the admin token
+// grants everything, a tenant token grants that tenant's [tenant-scoped]
+// endpoints only. Tenant-scoped endpoints take ?tenant=<name> (admin
+// default: the "default" tenant for CRUD, all tenants for read-outs); a
+// tenant token is pinned to its own tenant and cannot name another.
+// Failures are observable — counted in artemis_auth_failures_total and
+// published as auth events — and return 401 (bad or missing token) or
+// 403 (authenticated but out of scope).
 package control
 
 import (
@@ -45,23 +66,102 @@ type Server struct {
 	ln net.Listener
 }
 
+// authedHandler is a handler that runs with a resolved credential scope.
+type authedHandler func(w http.ResponseWriter, r *http.Request, scope artemis.AuthScope)
+
 // NewServer builds the control plane for node.
 func NewServer(node *artemis.Node) *Server {
 	s := &Server{node: node, mux: http.NewServeMux(), done: make(chan struct{})}
-	s.mux.HandleFunc("GET /v1/config", s.getConfig)
-	s.mux.HandleFunc("GET /v1/prefixes", s.getPrefixes)
-	s.mux.HandleFunc("POST /v1/prefixes", s.postPrefixes)
-	s.mux.HandleFunc("DELETE /v1/prefixes", s.deletePrefixes)
-	s.mux.HandleFunc("GET /v1/sources", s.getSources)
-	s.mux.HandleFunc("POST /v1/sources", s.postSources)
-	s.mux.HandleFunc("DELETE /v1/sources", s.deleteSources)
-	s.mux.HandleFunc("GET /v1/health", s.getHealth)
-	s.mux.HandleFunc("GET /v1/alerts", s.getAlerts)
-	s.mux.HandleFunc("GET /v1/mitigations", s.getMitigations)
-	s.mux.HandleFunc("GET /v1/alerts/stream", s.streamEvents)
-	s.mux.HandleFunc("GET /metrics", s.getMetrics)
+	admin := s.admin
+	scoped := s.scoped
+	s.mux.HandleFunc("GET /v1/config", admin(s.getConfig))
+	s.mux.HandleFunc("POST /v1/config", admin(s.postConfig))
+	s.mux.HandleFunc("GET /v1/tenants", admin(s.getTenants))
+	s.mux.HandleFunc("POST /v1/tenants", admin(s.postTenants))
+	s.mux.HandleFunc("DELETE /v1/tenants", admin(s.deleteTenants))
+	s.mux.HandleFunc("GET /v1/prefixes", scoped(s.getPrefixes))
+	s.mux.HandleFunc("POST /v1/prefixes", scoped(s.postPrefixes))
+	s.mux.HandleFunc("DELETE /v1/prefixes", scoped(s.deletePrefixes))
+	s.mux.HandleFunc("GET /v1/upstreams", scoped(s.getUpstreams))
+	s.mux.HandleFunc("PUT /v1/upstreams", scoped(s.putUpstreams))
+	s.mux.HandleFunc("DELETE /v1/upstreams", scoped(s.deleteUpstreams))
+	s.mux.HandleFunc("GET /v1/sources", admin(s.getSources))
+	s.mux.HandleFunc("POST /v1/sources", admin(s.postSources))
+	s.mux.HandleFunc("DELETE /v1/sources", admin(s.deleteSources))
+	s.mux.HandleFunc("GET /v1/health", admin(s.getHealth))
+	s.mux.HandleFunc("GET /v1/alerts", scoped(s.getAlerts))
+	s.mux.HandleFunc("GET /v1/mitigations", scoped(s.getMitigations))
+	s.mux.HandleFunc("GET /v1/alerts/stream", scoped(s.streamEvents))
+	s.mux.HandleFunc("GET /metrics", admin(s.getMetrics))
 	s.http = &http.Server{Handler: s.mux}
 	return s
+}
+
+// authenticate resolves the request's bearer token, rejecting (401 +
+// reported failure) when it does not resolve.
+func (s *Server) authenticate(w http.ResponseWriter, r *http.Request) (artemis.AuthScope, bool) {
+	token, reason := "", "missing-token"
+	if h := r.Header.Get("Authorization"); h != "" {
+		if t, ok := strings.CutPrefix(h, "Bearer "); ok {
+			token, reason = t, "bad-token"
+		}
+	}
+	scope, ok := s.node.Authenticate(token)
+	if !ok {
+		s.node.ReportAuthFailure(r.URL.Path, "", reason)
+		writeError(w, http.StatusUnauthorized, "unauthorized")
+		return artemis.AuthScope{}, false
+	}
+	return scope, true
+}
+
+// admin wraps a handler that requires the admin scope.
+func (s *Server) admin(h authedHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		scope, ok := s.authenticate(w, r)
+		if !ok {
+			return
+		}
+		if !scope.Admin {
+			s.node.ReportAuthFailure(r.URL.Path, scope.Tenant, "forbidden")
+			writeError(w, http.StatusForbidden, "admin scope required")
+			return
+		}
+		h(w, r, scope)
+	}
+}
+
+// scoped wraps a tenant-scoped handler: admin or tenant tokens pass; the
+// handler resolves which tenant the request targets via tenantParam.
+func (s *Server) scoped(h authedHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		scope, ok := s.authenticate(w, r)
+		if !ok {
+			return
+		}
+		h(w, r, scope)
+	}
+}
+
+// tenantParam resolves which tenant a tenant-scoped request targets:
+// the ?tenant= query parameter, or the token's own tenant, or — for an
+// admin with no parameter — fallback ("" means "all"/"default" per
+// endpoint). A tenant token naming another tenant is rejected (403 +
+// reported failure).
+func (s *Server) tenantParam(w http.ResponseWriter, r *http.Request, scope artemis.AuthScope, fallback string) (string, bool) {
+	tenant := r.URL.Query().Get("tenant")
+	if tenant == "" {
+		if scope.Tenant != "" {
+			return scope.Tenant, true
+		}
+		return fallback, true
+	}
+	if !scope.Allows(tenant) {
+		s.node.ReportAuthFailure(r.URL.Path, tenant, "forbidden")
+		writeError(w, http.StatusForbidden, "token not valid for tenant %q", tenant)
+		return "", false
+	}
+	return tenant, true
 }
 
 // Handler exposes the API for embedders that mount it on their own
@@ -107,12 +207,86 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // --- handlers ---
 
-func (s *Server) getConfig(w http.ResponseWriter, r *http.Request) {
+func (s *Server) getConfig(w http.ResponseWriter, r *http.Request, _ artemis.AuthScope) {
 	writeJSON(w, http.StatusOK, s.node.Config())
 }
 
-func (s *Server) getPrefixes(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"prefixes": s.node.Config().Prefixes})
+// postConfig atomically replaces the whole declarative config — the
+// hosted deployment's tenant-store replace. Hot-tunable fields apply
+// live; construction-time fields persist and apply on restart.
+func (s *Server) postConfig(w http.ResponseWriter, r *http.Request, _ artemis.AuthScope) {
+	var cfg artemis.Config
+	if !readJSON(w, r, &cfg) {
+		return
+	}
+	if err := s.node.ReplaceConfig(&cfg); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.node.Config())
+}
+
+func (s *Server) getTenants(w http.ResponseWriter, r *http.Request, _ artemis.AuthScope) {
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": s.node.Tenants()})
+}
+
+func (s *Server) postTenants(w http.ResponseWriter, r *http.Request, _ artemis.AuthScope) {
+	var spec artemis.TenantSpec
+	if !readJSON(w, r, &spec) {
+		return
+	}
+	if err := s.node.AddTenant(spec); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st, _ := s.node.TenantStatus(spec.Name)
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Server) deleteTenants(w http.ResponseWriter, r *http.Request, _ artemis.AuthScope) {
+	var body struct {
+		Name string `json:"name"`
+	}
+	if !readJSON(w, r, &body) {
+		return
+	}
+	if body.Name == "" {
+		writeError(w, http.StatusBadRequest, "no tenant name given")
+		return
+	}
+	if err := s.node.RemoveTenant(body.Name); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": body.Name})
+}
+
+// scopePrefixes reads the named tenant's owned prefixes from the current
+// config (the default tenant is the top-level list).
+func (s *Server) scopePrefixes(tenant string) ([]string, bool) {
+	cfg := s.node.Config()
+	if tenant == artemis.DefaultTenant {
+		return cfg.Prefixes, len(cfg.Prefixes) > 0
+	}
+	for _, t := range cfg.Tenants {
+		if t.Name == tenant {
+			return t.Prefixes, true
+		}
+	}
+	return nil, false
+}
+
+func (s *Server) getPrefixes(w http.ResponseWriter, r *http.Request, scope artemis.AuthScope) {
+	tenant, ok := s.tenantParam(w, r, scope, artemis.DefaultTenant)
+	if !ok {
+		return
+	}
+	prefixes, found := s.scopePrefixes(tenant)
+	if !found {
+		writeError(w, http.StatusNotFound, "unknown tenant %q", tenant)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenant": tenant, "prefixes": prefixes})
 }
 
 // prefixesBody is the POST/DELETE /v1/prefixes payload.
@@ -120,7 +294,11 @@ type prefixesBody struct {
 	Prefixes []string `json:"prefixes"`
 }
 
-func (s *Server) postPrefixes(w http.ResponseWriter, r *http.Request) {
+func (s *Server) postPrefixes(w http.ResponseWriter, r *http.Request, scope artemis.AuthScope) {
+	tenant, ok := s.tenantParam(w, r, scope, artemis.DefaultTenant)
+	if !ok {
+		return
+	}
 	var body prefixesBody
 	if !readJSON(w, r, &body) {
 		return
@@ -129,14 +307,19 @@ func (s *Server) postPrefixes(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no prefixes given")
 		return
 	}
-	if err := s.node.AddPrefixes(body.Prefixes...); err != nil {
+	if err := s.node.AddTenantPrefixes(tenant, body.Prefixes...); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"prefixes": s.node.Config().Prefixes})
+	prefixes, _ := s.scopePrefixes(tenant)
+	writeJSON(w, http.StatusOK, map[string]any{"tenant": tenant, "prefixes": prefixes})
 }
 
-func (s *Server) deletePrefixes(w http.ResponseWriter, r *http.Request) {
+func (s *Server) deletePrefixes(w http.ResponseWriter, r *http.Request, scope artemis.AuthScope) {
+	tenant, ok := s.tenantParam(w, r, scope, artemis.DefaultTenant)
+	if !ok {
+		return
+	}
 	var body prefixesBody
 	if !readJSON(w, r, &body) {
 		return
@@ -145,18 +328,73 @@ func (s *Server) deletePrefixes(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no prefixes given")
 		return
 	}
-	if err := s.node.RemovePrefixes(body.Prefixes...); err != nil {
+	if err := s.node.RemoveTenantPrefixes(tenant, body.Prefixes...); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"prefixes": s.node.Config().Prefixes})
+	prefixes, _ := s.scopePrefixes(tenant)
+	writeJSON(w, http.StatusOK, map[string]any{"tenant": tenant, "prefixes": prefixes})
 }
 
-func (s *Server) getSources(w http.ResponseWriter, r *http.Request) {
+// upstreamsBody is the PUT /v1/upstreams payload. JSON object keys are
+// strings, so origin ASNs arrive as decimal strings.
+type upstreamsBody struct {
+	Upstreams map[uint32][]uint32 `json:"upstreams"`
+}
+
+func (s *Server) getUpstreams(w http.ResponseWriter, r *http.Request, scope artemis.AuthScope) {
+	tenant, ok := s.tenantParam(w, r, scope, artemis.DefaultTenant)
+	if !ok {
+		return
+	}
+	ups, err := s.node.Upstreams(tenant)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if ups == nil {
+		ups = map[uint32][]uint32{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenant": tenant, "upstreams": ups})
+}
+
+func (s *Server) putUpstreams(w http.ResponseWriter, r *http.Request, scope artemis.AuthScope) {
+	tenant, ok := s.tenantParam(w, r, scope, artemis.DefaultTenant)
+	if !ok {
+		return
+	}
+	var body upstreamsBody
+	if !readJSON(w, r, &body) {
+		return
+	}
+	if err := s.node.SetUpstreams(tenant, body.Upstreams); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ups, _ := s.node.Upstreams(tenant)
+	if ups == nil {
+		ups = map[uint32][]uint32{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenant": tenant, "upstreams": ups})
+}
+
+func (s *Server) deleteUpstreams(w http.ResponseWriter, r *http.Request, scope artemis.AuthScope) {
+	tenant, ok := s.tenantParam(w, r, scope, artemis.DefaultTenant)
+	if !ok {
+		return
+	}
+	if err := s.node.SetUpstreams(tenant, nil); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenant": tenant, "upstreams": map[uint32][]uint32{}})
+}
+
+func (s *Server) getSources(w http.ResponseWriter, r *http.Request, _ artemis.AuthScope) {
 	writeJSON(w, http.StatusOK, map[string]any{"sources": s.node.Health().Sources})
 }
 
-func (s *Server) postSources(w http.ResponseWriter, r *http.Request) {
+func (s *Server) postSources(w http.ResponseWriter, r *http.Request, _ artemis.AuthScope) {
 	var spec artemis.SourceSpec
 	if !readJSON(w, r, &spec) {
 		return
@@ -169,7 +407,7 @@ func (s *Server) postSources(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, map[string]any{"name": name})
 }
 
-func (s *Server) deleteSources(w http.ResponseWriter, r *http.Request) {
+func (s *Server) deleteSources(w http.ResponseWriter, r *http.Request, _ artemis.AuthScope) {
 	var body struct {
 		Name string `json:"name"`
 	}
@@ -187,7 +425,7 @@ func (s *Server) deleteSources(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"removed": body.Name})
 }
 
-func (s *Server) getHealth(w http.ResponseWriter, r *http.Request) {
+func (s *Server) getHealth(w http.ResponseWriter, r *http.Request, _ artemis.AuthScope) {
 	h := s.node.Health()
 	status := http.StatusOK
 	if h.Status == "critical" {
@@ -196,23 +434,49 @@ func (s *Server) getHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, h)
 }
 
-func (s *Server) getAlerts(w http.ResponseWriter, r *http.Request) {
-	alerts := s.node.Alerts()
+func (s *Server) getAlerts(w http.ResponseWriter, r *http.Request, scope artemis.AuthScope) {
+	tenant, ok := s.tenantParam(w, r, scope, "")
+	if !ok {
+		return
+	}
+	var alerts []artemis.Alert
+	if tenant == "" {
+		alerts = s.node.Alerts() // admin, no parameter: all tenants
+	} else {
+		var err error
+		if alerts, err = s.node.TenantAlerts(tenant); err != nil {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+	}
 	if alerts == nil {
 		alerts = []artemis.Alert{}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"alerts": alerts})
 }
 
-func (s *Server) getMitigations(w http.ResponseWriter, r *http.Request) {
-	mits := s.node.Mitigations()
+func (s *Server) getMitigations(w http.ResponseWriter, r *http.Request, scope artemis.AuthScope) {
+	tenant, ok := s.tenantParam(w, r, scope, "")
+	if !ok {
+		return
+	}
+	var mits []artemis.Mitigation
+	if tenant == "" {
+		mits = s.node.Mitigations()
+	} else {
+		var err error
+		if mits, err = s.node.TenantMitigations(tenant); err != nil {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+	}
 	if mits == nil {
 		mits = []artemis.Mitigation{}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"mitigations": mits})
 }
 
-func (s *Server) getMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) getMetrics(w http.ResponseWriter, r *http.Request, _ artemis.AuthScope) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.node.WriteMetrics(w)
 }
@@ -220,8 +484,9 @@ func (s *Server) getMetrics(w http.ResponseWriter, r *http.Request) {
 // streamEvents serves the node's typed events as server-sent events:
 // "event: <kind>" + "data: <json>" frames, with comment heartbeats to
 // keep intermediaries from timing the stream out. ?kinds=alert,mitigation
-// filters; default all.
-func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request) {
+// filters (default all); ?tenant= (or a tenant token) scopes the stream
+// to one tenant's events behind its bounded per-tenant buffer.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, scope artemis.AuthScope) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported")
@@ -232,7 +497,19 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sub := s.node.Subscribe(kinds, 256)
+	tenant, ok := s.tenantParam(w, r, scope, "")
+	if !ok {
+		return
+	}
+	var sub *artemis.Subscription
+	if tenant == "" {
+		sub = s.node.Subscribe(kinds, 256) // admin, no parameter: everything
+	} else {
+		if sub, err = s.node.SubscribeTenant(tenant, kinds, 256); err != nil {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+	}
 	defer sub.Cancel()
 
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -279,6 +556,10 @@ func parseKinds(q string) (artemis.EventKind, error) {
 			kinds |= artemis.KindMitigation
 		case "health":
 			kinds |= artemis.KindHealth
+		case "limit":
+			kinds |= artemis.KindLimit
+		case "auth":
+			kinds |= artemis.KindAuth
 		default:
 			return 0, fmt.Errorf("unknown event kind %q", part)
 		}

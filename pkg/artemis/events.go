@@ -20,9 +20,16 @@ const (
 	KindMitigation
 	// KindHealth: a monitoring source changed lifecycle state.
 	KindHealth
+	// KindLimit: a per-tenant isolation limit shed work — classification
+	// quota drops or mitigation rate-limit drops. Drops are never silent:
+	// each batch of them is both counted (/metrics) and published here.
+	KindLimit
+	// KindAuth: a control-plane request failed authentication or tried to
+	// cross a tenant boundary. Counted and published, never just a 401.
+	KindAuth
 
 	// KindAll subscribes to everything.
-	KindAll = KindAlert | KindMitigation | KindHealth
+	KindAll = KindAlert | KindMitigation | KindHealth | KindLimit | KindAuth
 )
 
 func (k EventKind) String() string {
@@ -33,6 +40,10 @@ func (k EventKind) String() string {
 		return "mitigation"
 	case KindHealth:
 		return "health"
+	case KindLimit:
+		return "limit"
+	case KindAuth:
+		return "auth"
 	}
 	return "mixed"
 }
@@ -40,6 +51,9 @@ func (k EventKind) String() string {
 // Alert is one detected hijack incident, in embeddable (string-typed,
 // JSON-ready) form.
 type Alert struct {
+	// Tenant is the config scope whose policy raised the alert ("default"
+	// for the top-level prefixes).
+	Tenant string `json:"tenant,omitempty"`
 	// Type is the classification: "exact-origin", "sub-prefix", "squat"
 	// or "path-anomaly".
 	Type string `json:"type"`
@@ -84,13 +98,41 @@ type SourceHealth struct {
 	To   string `json:"to"`
 }
 
+// LimitEvent reports work shed by a per-tenant isolation limit.
+type LimitEvent struct {
+	Tenant string `json:"tenant"`
+	// Limit names the bound that fired: "classification-quota"
+	// (TenantLimits.MaxEventsPerSec) or "mitigation-rate"
+	// (TenantLimits.MitigationRatePerMin).
+	Limit string `json:"limit"`
+	// Count is how many classifications (or mitigations) were shed in
+	// this report — quota drops are tallied per submitted batch.
+	Count int64 `json:"count"`
+}
+
+// AuthFailure reports one rejected control-plane request.
+type AuthFailure struct {
+	// Path is the request path that was rejected.
+	Path string `json:"path"`
+	// Tenant is the tenant scope the request targeted, when one was
+	// identifiable (cross-tenant rejections).
+	Tenant string `json:"tenant,omitempty"`
+	// Reason is "missing-token", "bad-token" or "forbidden".
+	Reason string `json:"reason"`
+}
+
 // Event is one occurrence delivered through a Subscription; exactly one
-// of Alert, Mitigation and SourceHealth is set, per Kind.
+// of Alert, Mitigation, SourceHealth, Limit and Auth is set, per Kind.
 type Event struct {
-	Kind         EventKind     `json:"-"`
+	Kind EventKind `json:"-"`
+	// Tenant scopes the event to one config scope; empty for node-global
+	// events (source health, auth failures).
+	Tenant       string        `json:"tenant,omitempty"`
 	Alert        *Alert        `json:"alert,omitempty"`
 	Mitigation   *Mitigation   `json:"mitigation,omitempty"`
 	SourceHealth *SourceHealth `json:"source_health,omitempty"`
+	Limit        *LimitEvent   `json:"limit,omitempty"`
+	Auth         *AuthFailure  `json:"auth,omitempty"`
 }
 
 // Subscription is one subscriber's bounded event feed. Receive from C;
@@ -103,11 +145,16 @@ type Subscription struct {
 	// or the node drains.
 	C <-chan Event
 
-	ch      chan Event
-	kinds   EventKind
-	dropped atomic.Int64
-	bus     *eventBus
-	id      int
+	ch    chan Event
+	kinds EventKind
+	// tenant, when tenantOnly is set, restricts delivery to that tenant's
+	// events plus node-global (tenant-less) ones — the tenant-scoped SSE
+	// stream's isolation boundary.
+	tenant     string
+	tenantOnly bool
+	dropped    atomic.Int64
+	bus        *eventBus
+	id         int
 }
 
 // Dropped reports how many events this subscriber lost to its buffer
@@ -130,13 +177,20 @@ func newEventBus() *eventBus {
 }
 
 func (b *eventBus) subscribe(kinds EventKind, buffer int) *Subscription {
+	return b.subscribeTenant("", false, kinds, buffer)
+}
+
+func (b *eventBus) subscribeTenant(tenant string, tenantOnly bool, kinds EventKind, buffer int) *Subscription {
 	if buffer <= 0 {
 		buffer = 64
 	}
 	if kinds == 0 {
 		kinds = KindAll
 	}
-	sub := &Subscription{ch: make(chan Event, buffer), kinds: kinds, bus: b}
+	sub := &Subscription{
+		ch: make(chan Event, buffer), kinds: kinds,
+		tenant: tenant, tenantOnly: tenantOnly, bus: b,
+	}
 	sub.C = sub.ch
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -167,6 +221,9 @@ func (b *eventBus) publish(ev Event) {
 	defer b.mu.Unlock()
 	for _, sub := range b.subs {
 		if sub.kinds&ev.Kind == 0 {
+			continue
+		}
+		if sub.tenantOnly && ev.Tenant != "" && ev.Tenant != sub.tenant {
 			continue
 		}
 		for {

@@ -19,16 +19,33 @@
 // the event stream) and monitoring sources (AddSource/RemoveSource ride
 // the ingest supervisor's hot add/remove). The sibling package
 // pkg/artemis/control serves this API over versioned HTTP.
+//
+// # Multi-tenancy
+//
+// A hosted node protects many networks at once: Config.Tenants declares
+// additional named config scopes (prefixes, origins, neighbor policy,
+// limits) beyond the implicit "default" tenant formed by the top-level
+// fields. All tenants share ONE pipeline and one feed union — the ingest
+// subscription covers every tenant's space, and each matched event is
+// classified once per owning tenant under that tenant's own policy.
+// Alerts, mitigations, events and metrics are tenant-scoped; per-tenant
+// limits (classification quota, mitigation rate, stream buffers) isolate
+// a tenant under a hijack storm from the rest. AddTenant/RemoveTenant
+// are hot, and with Control.StateFile set every change survives a
+// restart.
 package artemis
 
 import (
 	"context"
+	"crypto/subtle"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
 	"os"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"artemis/internal/bgp"
@@ -37,26 +54,43 @@ import (
 	"artemis/internal/feeds/feedtypes"
 	"artemis/internal/ingest"
 	"artemis/internal/prefix"
+	"artemis/internal/stats"
 )
 
-// Node is one embedded ARTEMIS instance.
+// Node is one embedded ARTEMIS instance — single-tenant by default, a
+// hosted multi-tenant deployment when Config.Tenants is set.
 type Node struct {
 	opts options
 	now  func() time.Duration
 
-	svc  *core.Service
-	pl   *core.Pipeline
-	sup  *ingest.Supervisor
-	ctrl *controller.Controller
-	bus  *eventBus
+	pl  *core.Pipeline
+	sup *ingest.Supervisor
+	bus *eventBus
 	// injectPool recycles Inject's submission batches: the pipeline copies
 	// every batch during Submit, so Inject can build observations in
 	// pooled storage and release it immediately — a caller-side inject
 	// loop allocates nothing per call at steady state.
 	injectPool *feedtypes.BatchPool
 
+	// union is the current feed-filter prefix union across all tenants,
+	// stored atomically so dialer goroutines resolve it without taking the
+	// node lock (a bounce during reconfiguration holds that lock).
+	union atomic.Value // []prefix.Prefix
+	// authFailures counts rejected control-plane requests (also published
+	// as KindAuth events).
+	authFailures atomic.Int64
+
+	// Southbound wiring, fixed at construction and reused when tenants
+	// are added later.
+	inj       controller.RouteInjector
+	manual    bool
+	ctrlDelay time.Duration
+
 	mu      sync.Mutex
 	cfg     *Config // current declarative config, kept in sync with CRUD
+	tenants map[string]*tenantState
+	order   []string // table order; order[i] owns policy-table entry i
+	table   *core.PolicyTable
 	sources map[string]sourceEntry
 	srcSeq  map[string]int
 	running bool
@@ -64,6 +98,14 @@ type Node struct {
 	drainOnce sync.Once
 	drained   chan struct{}
 	runExited chan struct{}
+}
+
+// tenantState is one tenant's service stack: its own detector, monitor,
+// mitigation queue and controller client over the shared pipeline.
+type tenantState struct {
+	name string
+	svc  *core.Service
+	ctrl *controller.Controller
 }
 
 type sourceEntry struct {
@@ -82,6 +124,7 @@ func New(cfg *Config, opts ...Option) (*Node, error) {
 	n := &Node{
 		cfg:        cfg,
 		bus:        newEventBus(),
+		tenants:    make(map[string]*tenantState),
 		sources:    make(map[string]sourceEntry),
 		srcSeq:     make(map[string]int),
 		drained:    make(chan struct{}),
@@ -100,28 +143,45 @@ func New(cfg *Config, opts ...Option) (*Node, error) {
 		n.opts.logf = log.Printf
 	}
 
-	ccfg, err := coreConfig(cfg)
-	if err != nil {
-		return nil, err
-	}
-	inj, manual := n.southbound(cfg)
-	ccfg.ManualMitigation = manual
-	delay := cfg.Mitigation.ConfigDelay.Std()
+	n.inj, n.manual = n.southbound(cfg)
+	n.ctrlDelay = cfg.Mitigation.ConfigDelay.Std()
 	switch {
-	case delay < 0:
-		delay = 0 // explicit "no controller latency"
-	case delay == 0:
-		delay = controller.DefaultConfigDelay
+	case n.ctrlDelay < 0:
+		n.ctrlDelay = 0 // explicit "no controller latency"
+	case n.ctrlDelay == 0:
+		n.ctrlDelay = controller.DefaultConfigDelay
 	}
-	n.ctrl = controller.New(inj, n.now,
-		func(d time.Duration, fn func()) { time.AfterFunc(d, fn) },
-		controller.WithConfigDelay(delay))
-	n.svc, err = core.NewService(ccfg, n.ctrl, n.now, core.WithAsyncMitigation(cfg.Mitigation.QueueDepth))
+
+	// One service stack per tenant, all classifying on one shared
+	// pipeline under one policy table.
+	policies := make([]core.TenantPolicy, 0, 1+len(cfg.Tenants))
+	closeTenants := func() {
+		for _, ts := range n.tenants {
+			ts.svc.Close()
+		}
+	}
+	for _, sc := range cfg.scopes() {
+		ts, pol, err := n.newTenant(sc, cfg)
+		if err != nil {
+			closeTenants()
+			return nil, err
+		}
+		n.tenants[sc.Name] = ts
+		n.order = append(n.order, sc.Name)
+		policies = append(policies, pol)
+	}
+	table, err := core.NewPolicyTable(policies)
 	if err != nil {
+		closeTenants()
 		return nil, err
 	}
-	n.pl = core.NewPipeline(n.svc.Detector, n.svc.Monitor, core.PipelineConfig{Shards: cfg.Tuning.Shards})
-	n.svc.BindPipeline(n.pl)
+	table.OnQuotaDrop(n.publishQuotaDrop)
+	n.table = table
+	n.union.Store(table.UnionFilter())
+	n.pl = core.NewPipelineTable(table, core.PipelineConfig{Shards: cfg.Tuning.Shards})
+	for name, ts := range n.tenants {
+		ts.svc.BindReconfigureVia(n.tenantBarrier(name))
+	}
 	n.sup = ingest.New(n.pl.Submit, ingest.Config{
 		QueueDepth: cfg.Tuning.SourceQueue,
 		DedupTTL:   cfg.Tuning.DedupTTL.Std(),
@@ -130,16 +190,6 @@ func New(cfg *Config, opts ...Option) (*Node, error) {
 			n.opts.logf("artemis: source %s: %s -> %s", h.Source, h.From, h.To)
 			n.bus.publish(Event{Kind: KindHealth, SourceHealth: &h})
 		},
-	})
-	n.svc.Detector.OnAlert(func(a core.Alert) {
-		pub := alertFromCore(a)
-		n.opts.logf("artemis: ALERT %s: %s announced by AS%d (collides with owned %s, via %s/%s vp AS%d)",
-			pub.Type, pub.Prefix, pub.Origin, pub.Owned, pub.Source, pub.Collector, pub.VantagePoint)
-		n.bus.publish(Event{Kind: KindAlert, Alert: &pub})
-	})
-	n.svc.Mitigator.OnRecord(func(r core.MitigationRecord) {
-		pub := mitigationFromCore(r)
-		n.bus.publish(Event{Kind: KindMitigation, Mitigation: &pub})
 	})
 	// Normalize configured sources now (default names, duplicate checks);
 	// they start dialing when Run attaches them.
@@ -152,6 +202,69 @@ func New(cfg *Config, opts ...Option) (*Node, error) {
 		}
 	}
 	return n, nil
+}
+
+// newTenant builds one tenant's service stack and its policy-table entry.
+func (n *Node) newTenant(sc TenantSpec, cfg *Config) (*tenantState, core.TenantPolicy, error) {
+	ccfg, err := lowerScope(sc, cfg)
+	if err != nil {
+		return nil, core.TenantPolicy{}, err
+	}
+	ccfg.ManualMitigation = n.manual
+	ctrl := controller.New(n.inj, n.now,
+		func(d time.Duration, fn func()) { time.AfterFunc(d, fn) },
+		controller.WithConfigDelay(n.ctrlDelay))
+	svc, err := core.NewService(ccfg, ctrl, n.now, core.WithAsyncMitigation(cfg.Mitigation.QueueDepth))
+	if err != nil {
+		return nil, core.TenantPolicy{}, err
+	}
+	name := sc.Name
+	svc.Detector.OnAlert(func(a core.Alert) {
+		pub := alertFromCore(a)
+		pub.Tenant = name
+		n.opts.logf("artemis: ALERT [%s] %s: %s announced by AS%d (collides with owned %s, via %s/%s vp AS%d)",
+			name, pub.Type, pub.Prefix, pub.Origin, pub.Owned, pub.Source, pub.Collector, pub.VantagePoint)
+		n.bus.publish(Event{Kind: KindAlert, Tenant: name, Alert: &pub})
+	})
+	svc.Mitigator.OnRecord(func(r core.MitigationRecord) {
+		pub := mitigationFromCore(r)
+		pub.Alert.Tenant = name
+		n.bus.publish(Event{Kind: KindMitigation, Tenant: name, Mitigation: &pub})
+	})
+	svc.OnMitigationDrop(func(core.Alert) {
+		n.bus.publish(Event{Kind: KindLimit, Tenant: name,
+			Limit: &LimitEvent{Tenant: name, Limit: "mitigation-rate", Count: 1}})
+	})
+	ts := &tenantState{name: name, svc: svc, ctrl: ctrl}
+	pol := core.TenantPolicy{Name: name, Config: ccfg, Detector: svc.Detector, Monitor: svc.Monitor}
+	return ts, pol, nil
+}
+
+// tenantBarrier is the reconfiguration executor bound to one tenant's
+// service: derive the next shared policy table (this tenant's config
+// replaced, everything else carried over) and swap it at the pipeline's
+// sink barrier. It always runs with n.mu held — every tenant Reconfigure
+// call comes from a node mutation path.
+func (n *Node) tenantBarrier(name string) func(next *core.Config, onApply func()) {
+	return func(next *core.Config, onApply func()) {
+		i := slices.Index(n.order, name)
+		if i < 0 {
+			onApply() // tenant was removed; nothing routes to it anymore
+			return
+		}
+		nt := n.table.WithConfig(i, next)
+		n.table = nt
+		n.union.Store(nt.UnionFilter())
+		n.pl.ReconfigureTable(nt, onApply)
+	}
+}
+
+// publishQuotaDrop surfaces a batch's per-tenant classification-quota
+// drops as a KindLimit event (the drops are already counted in the
+// tenant's runtime). Runs on the pipeline's sink goroutine.
+func (n *Node) publishQuotaDrop(tenant string, dropped int64) {
+	n.bus.publish(Event{Kind: KindLimit, Tenant: tenant,
+		Limit: &LimitEvent{Tenant: tenant, Limit: "classification-quota", Count: dropped}})
 }
 
 // southbound resolves the mitigation injector: explicit option, REST
@@ -168,13 +281,62 @@ func (n *Node) southbound(cfg *Config) (controller.RouteInjector, bool) {
 	}
 }
 
-// coreConfig lowers the declarative config to the core's typed one.
-func coreConfig(cfg *Config) (*core.Config, error) {
+// scopes lists the config's tenant scopes in policy-table order: the
+// implicit default tenant (top-level prefixes) first when present, then
+// Tenants in declaration order.
+func (c *Config) scopes() []TenantSpec {
+	out := make([]TenantSpec, 0, 1+len(c.Tenants))
+	if len(c.Prefixes) > 0 {
+		out = append(out, TenantSpec{
+			Name: DefaultTenant, Prefixes: c.Prefixes, Origins: c.Origins, Upstreams: c.Upstreams,
+		})
+	}
+	return append(out, c.Tenants...)
+}
+
+// scope returns the named tenant scope.
+func (c *Config) scope(name string) (TenantSpec, bool) {
+	for _, sc := range c.scopes() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return TenantSpec{}, false
+}
+
+// mutateScope applies mutate to the named scope inside cfg, writing the
+// default tenant's fields back to the top level.
+func mutateScope(cfg *Config, tenant string, mutate func(*TenantSpec) error) error {
+	if tenant == DefaultTenant {
+		if len(cfg.Prefixes) == 0 {
+			return fmt.Errorf("artemis: unknown tenant %q", tenant)
+		}
+		sc := TenantSpec{Name: DefaultTenant, Prefixes: cfg.Prefixes, Origins: cfg.Origins, Upstreams: cfg.Upstreams}
+		if err := mutate(&sc); err != nil {
+			return err
+		}
+		cfg.Prefixes, cfg.Origins, cfg.Upstreams = sc.Prefixes, sc.Origins, sc.Upstreams
+		return nil
+	}
+	for i := range cfg.Tenants {
+		if cfg.Tenants[i].Name == tenant {
+			return mutate(&cfg.Tenants[i])
+		}
+	}
+	return fmt.Errorf("artemis: unknown tenant %q", tenant)
+}
+
+// lowerScope lowers one tenant scope plus the shared tuning to the
+// core's typed config.
+func lowerScope(sc TenantSpec, cfg *Config) (*core.Config, error) {
 	ccfg := &core.Config{
 		MaxDeaggregationLen:  cfg.Mitigation.MaxDeaggLen,
 		MaxDeaggregationLen6: cfg.Mitigation.MaxDeaggLen6,
 		AlertDedupTTL:        cfg.Tuning.AlertTTL.Std(),
 		AlertDedupMax:        cfg.Tuning.AlertDedupMax,
+		MaxMitigationRetries: cfg.Tuning.MaxMitigationRetries,
+		MaxEventsPerSecond:   sc.Limits.MaxEventsPerSec,
+		MitigationRatePerMin: sc.Limits.MitigationRatePerMin,
 	}
 	switch {
 	case ccfg.AlertDedupTTL < 0:
@@ -185,19 +347,19 @@ func coreConfig(cfg *Config) (*core.Config, error) {
 	if ccfg.AlertDedupMax == 0 {
 		ccfg.AlertDedupMax = 1 << 16
 	}
-	for _, s := range cfg.Prefixes {
+	for _, s := range sc.Prefixes {
 		p, err := prefix.Parse(s)
 		if err != nil {
 			return nil, fmt.Errorf("artemis: bad prefix %q: %v", s, err)
 		}
 		ccfg.OwnedPrefixes = append(ccfg.OwnedPrefixes, p)
 	}
-	for _, o := range cfg.Origins {
+	for _, o := range sc.Origins {
 		ccfg.LegitOrigins = append(ccfg.LegitOrigins, bgp.ASN(o))
 	}
-	if len(cfg.Upstreams) > 0 {
-		ccfg.AllowedUpstreams = make(map[bgp.ASN][]bgp.ASN, len(cfg.Upstreams))
-		for origin, ups := range cfg.Upstreams {
+	if len(sc.Upstreams) > 0 {
+		ccfg.AllowedUpstreams = make(map[bgp.ASN][]bgp.ASN, len(sc.Upstreams))
+		for origin, ups := range sc.Upstreams {
 			list := make([]bgp.ASN, len(ups))
 			for i, u := range ups {
 				list[i] = bgp.ASN(u)
@@ -208,12 +370,13 @@ func coreConfig(cfg *Config) (*core.Config, error) {
 	return ccfg, nil
 }
 
-// filterProvider returns the live subscription filter: the active owned
-// space, both directions. Dialers resolve it per (re)dial, the periscope
-// poller per round.
+// filterProvider returns the live subscription filter: the union of
+// every tenant's owned space, both directions. Dialers resolve it per
+// (re)dial, the periscope poller per round.
 func (n *Node) filterProvider() feedtypes.Filter {
+	pfx, _ := n.union.Load().([]prefix.Prefix)
 	return feedtypes.Filter{
-		Prefixes:     n.svc.CurrentConfig().OwnedPrefixes,
+		Prefixes:     pfx,
 		MoreSpecific: true,
 		LessSpecific: true,
 	}
@@ -222,7 +385,7 @@ func (n *Node) filterProvider() feedtypes.Filter {
 // Run starts the configured monitoring sources and blocks until ctx is
 // cancelled or Drain is called, then shuts down gracefully in dependency
 // order: sources stop (no new batches), the pipeline flushes and closes
-// (classification and alert commit complete), the mitigation queue drains
+// (classification and alert commit complete), the mitigation queues drain
 // (every accepted alert handled), and event subscriptions close. Run may
 // be called at most once; the node cannot be restarted after it returns.
 func (n *Node) Run(ctx context.Context) error {
@@ -285,51 +448,69 @@ func (n *Node) Drain() {
 }
 
 func (n *Node) shutdown() {
-	n.opts.logf("artemis: draining (sources -> pipeline -> mitigation queue)")
+	n.opts.logf("artemis: draining (sources -> pipeline -> mitigation queues)")
 	n.sup.Close()
 	n.pl.Flush()
 	n.pl.Close()
-	n.svc.Close()
+	n.mu.Lock()
+	tenants := make([]*tenantState, 0, len(n.tenants))
+	for _, ts := range n.tenants {
+		tenants = append(tenants, ts)
+	}
+	n.mu.Unlock()
+	for _, ts := range tenants {
+		ts.svc.Close()
+	}
 	n.bus.close()
 }
 
 // --- live reconfiguration ---
 
-// AddPrefixes hot-adds owned prefixes (canonical or parseable text form).
-// The detector, pipeline routing, monitor probes, mitigation clamps and
-// ingest filters all swap atomically; server-side-filtered sources are
-// bounced so their subscriptions cover the new space. No-op prefixes
-// (already owned) are rejected.
+// AddPrefixes hot-adds owned prefixes (canonical or parseable text form)
+// to the default tenant. The detector, pipeline routing, monitor probes,
+// mitigation clamps and ingest filters all swap atomically;
+// server-side-filtered sources are bounced so their subscriptions cover
+// the new space. No-op prefixes (already owned) are rejected.
 func (n *Node) AddPrefixes(prefixes ...string) error {
-	return n.reconfigure(func(cfg *Config) error {
+	return n.AddTenantPrefixes(DefaultTenant, prefixes...)
+}
+
+// AddTenantPrefixes is AddPrefixes scoped to one tenant.
+func (n *Node) AddTenantPrefixes(tenant string, prefixes ...string) error {
+	return n.reconfigureTenant(tenant, func(sc *TenantSpec) error {
 		for _, s := range prefixes {
 			p, err := prefix.Parse(s)
 			if err != nil {
 				return fmt.Errorf("artemis: bad prefix %q: %v", s, err)
 			}
-			for _, have := range cfg.Prefixes {
+			for _, have := range sc.Prefixes {
 				if q, _ := prefix.Parse(have); q == p {
 					return fmt.Errorf("artemis: prefix %q already owned", s)
 				}
 			}
-			cfg.Prefixes = append(cfg.Prefixes, p.String())
+			sc.Prefixes = append(sc.Prefixes, p.String())
 		}
 		return nil
 	})
 }
 
-// RemovePrefixes hot-removes owned prefixes. Incidents already raised for
-// them keep their history; new announcements of the removed space stop
-// alerting.
+// RemovePrefixes hot-removes owned prefixes from the default tenant.
+// Incidents already raised for them keep their history; new announcements
+// of the removed space stop alerting.
 func (n *Node) RemovePrefixes(prefixes ...string) error {
-	return n.reconfigure(func(cfg *Config) error {
+	return n.RemoveTenantPrefixes(DefaultTenant, prefixes...)
+}
+
+// RemoveTenantPrefixes is RemovePrefixes scoped to one tenant.
+func (n *Node) RemoveTenantPrefixes(tenant string, prefixes ...string) error {
+	return n.reconfigureTenant(tenant, func(sc *TenantSpec) error {
 		for _, s := range prefixes {
 			p, err := prefix.Parse(s)
 			if err != nil {
 				return fmt.Errorf("artemis: bad prefix %q: %v", s, err)
 			}
 			found := -1
-			for i, have := range cfg.Prefixes {
+			for i, have := range sc.Prefixes {
 				if q, _ := prefix.Parse(have); q == p {
 					found = i
 					break
@@ -338,72 +519,503 @@ func (n *Node) RemovePrefixes(prefixes ...string) error {
 			if found < 0 {
 				return fmt.Errorf("artemis: prefix %q not owned", s)
 			}
-			cfg.Prefixes = append(cfg.Prefixes[:found], cfg.Prefixes[found+1:]...)
+			sc.Prefixes = append(sc.Prefixes[:found], sc.Prefixes[found+1:]...)
 		}
 		return nil
 	})
 }
 
-// SetOrigins replaces the legitimate-origin set.
+// SetOrigins replaces the default tenant's legitimate-origin set.
 func (n *Node) SetOrigins(origins ...uint32) error {
-	return n.reconfigure(func(cfg *Config) error {
+	return n.SetTenantOrigins(DefaultTenant, origins...)
+}
+
+// SetTenantOrigins replaces one tenant's legitimate-origin set.
+func (n *Node) SetTenantOrigins(tenant string, origins ...uint32) error {
+	return n.reconfigureTenant(tenant, func(sc *TenantSpec) error {
 		if len(origins) == 0 {
 			return fmt.Errorf("artemis: at least one origin required")
 		}
-		cfg.Origins = append([]uint32(nil), origins...)
+		sc.Origins = append([]uint32(nil), origins...)
 		return nil
 	})
 }
 
-// reconfigure mutates a clone of the declarative config, validates it,
-// swaps the core atomically at a pipeline barrier, and bounces the
-// sources whose subscription filters are bound per connection.
-func (n *Node) reconfigure(mutate func(*Config) error) error {
+// Upstreams returns a tenant's path-anomaly neighbor policy (origin →
+// allowed adjacent ASes), nil when the tenant has none.
+func (n *Node) Upstreams(tenant string) (map[uint32][]uint32, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	sc, ok := n.cfg.scope(tenant)
+	if !ok {
+		return nil, fmt.Errorf("artemis: unknown tenant %q", tenant)
+	}
+	return cloneUpstreams(sc.Upstreams), nil
+}
+
+// SetUpstreams replaces a tenant's path-anomaly neighbor policy and
+// swaps it live; nil/empty disables path-anomaly detection for the
+// tenant. Persists like every other mutation.
+func (n *Node) SetUpstreams(tenant string, upstreams map[uint32][]uint32) error {
+	return n.reconfigureTenant(tenant, func(sc *TenantSpec) error {
+		if len(upstreams) == 0 {
+			sc.Upstreams = nil
+			return nil
+		}
+		sc.Upstreams = cloneUpstreams(upstreams)
+		return nil
+	})
+}
+
+// SetTenantLimits replaces a tenant's isolation limits live. The default
+// tenant (the operator's own prefixes) has no limits.
+func (n *Node) SetTenantLimits(tenant string, limits TenantLimits) error {
+	if tenant == DefaultTenant {
+		return fmt.Errorf("artemis: the default tenant has no limits")
+	}
+	if limits.MaxEventsPerSec < 0 || limits.MitigationRatePerMin < 0 || limits.StreamBuffer < 0 {
+		return fmt.Errorf("artemis: tenant limits must be non-negative")
+	}
+	return n.reconfigureTenant(tenant, func(sc *TenantSpec) error {
+		sc.Limits = limits
+		return nil
+	})
+}
+
+// reconfigureTenant mutates one tenant's scope on a clone of the
+// declarative config, validates it, swaps that tenant's core config
+// atomically at a pipeline barrier (the shared policy table is rebuilt;
+// other tenants are untouched), bounces sources whose subscription
+// filters are bound per connection, and persists the result.
+func (n *Node) reconfigureTenant(tenant string, mutate func(*TenantSpec) error) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ts, ok := n.tenants[tenant]
+	if !ok {
+		return fmt.Errorf("artemis: unknown tenant %q", tenant)
+	}
 	next := n.cfg.Clone()
-	if err := mutate(next); err != nil {
+	if err := mutateScope(next, tenant, mutate); err != nil {
 		return err
 	}
 	if err := next.Validate(); err != nil {
 		return err
 	}
-	ccfg, err := coreConfig(next)
+	sc, _ := next.scope(tenant)
+	ccfg, err := lowerScope(sc, next)
 	if err != nil {
 		return err
 	}
-	cur := n.svc.CurrentConfig()
-	ccfg.ManualMitigation = cur.ManualMitigation
-	ccfg.AlertDedupTTL = cur.AlertDedupTTL
-	ccfg.AlertDedupMax = cur.AlertDedupMax
-	if err := n.svc.Reconfigure(ccfg); err != nil {
+	ccfg.ManualMitigation = ts.svc.CurrentConfig().ManualMitigation
+	if err := ts.svc.Reconfigure(ccfg); err != nil {
 		return err
 	}
-	prefixesChanged := !slices.Equal(n.cfg.Prefixes, next.Prefixes)
+	old, _ := n.cfg.scope(tenant)
+	prefixesChanged := !slices.Equal(old.Prefixes, sc.Prefixes)
 	n.cfg = next
 	if prefixesChanged {
-		for _, e := range n.sources {
-			switch e.spec.Type {
-			case SourceRIS, SourceBGPmon:
-				// Subscription filters are bound per connection for these
-				// transports; a bounce redials with the new owned space.
-				n.sup.Bounce(e.id)
+		n.bounceFilteredSourcesLocked()
+		n.opts.logf("artemis: reconfigured tenant %s: now watching %v", tenant, sc.Prefixes)
+	}
+	n.persistLocked()
+	return nil
+}
+
+// bounceFilteredSourcesLocked redials the sources whose subscription
+// filters are bound per connection, so they cover the new owned union.
+func (n *Node) bounceFilteredSourcesLocked() {
+	for _, e := range n.sources {
+		switch e.spec.Type {
+		case SourceRIS, SourceBGPmon:
+			n.sup.Bounce(e.id)
+		}
+	}
+}
+
+// --- tenant CRUD ---
+
+// AddTenant hot-adds a tenant: its own detector, monitor and mitigation
+// stack attach to the shared pipeline at a sink barrier, and the feed
+// union widens to cover its prefixes. Persists via the state file.
+func (n *Node) AddTenant(spec TenantSpec) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.tenants[spec.Name]; dup {
+		return fmt.Errorf("artemis: tenant %q already exists", spec.Name)
+	}
+	next := n.cfg.Clone()
+	next.Tenants = append(next.Tenants, spec.Clone())
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	ts, _, err := n.newTenant(spec, next)
+	if err != nil {
+		return err
+	}
+	ts.svc.BindReconfigureVia(n.tenantBarrier(spec.Name))
+	tenants := make(map[string]*tenantState, len(n.tenants)+1)
+	for k, v := range n.tenants {
+		tenants[k] = v
+	}
+	tenants[spec.Name] = ts
+	if err := n.retableLocked(append(append([]string(nil), n.order...), spec.Name), tenants); err != nil {
+		ts.svc.Close()
+		return err
+	}
+	n.cfg = next
+	n.bounceFilteredSourcesLocked()
+	n.persistLocked()
+	n.opts.logf("artemis: tenant %s added (%d prefixes)", spec.Name, len(spec.Prefixes))
+	return nil
+}
+
+// RemoveTenant hot-removes a tenant: the shared table stops routing to
+// it at a sink barrier, then its service stack drains. Its alert history
+// is discarded with it. The default tenant cannot be removed this way —
+// it is the top-level prefixes; remove those instead.
+func (n *Node) RemoveTenant(name string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if name == DefaultTenant {
+		return fmt.Errorf("artemis: tenant %q is the top-level prefixes; remove those instead", name)
+	}
+	ts, ok := n.tenants[name]
+	if !ok {
+		return fmt.Errorf("artemis: unknown tenant %q", name)
+	}
+	if len(n.order) == 1 {
+		return fmt.Errorf("artemis: cannot remove the last tenant")
+	}
+	next := n.cfg.Clone()
+	for i := range next.Tenants {
+		if next.Tenants[i].Name == name {
+			next.Tenants = append(next.Tenants[:i], next.Tenants[i+1:]...)
+			break
+		}
+	}
+	order := make([]string, 0, len(n.order)-1)
+	for _, o := range n.order {
+		if o != name {
+			order = append(order, o)
+		}
+	}
+	tenants := make(map[string]*tenantState, len(n.tenants)-1)
+	for k, v := range n.tenants {
+		if k != name {
+			tenants[k] = v
+		}
+	}
+	if err := n.retableLocked(order, tenants); err != nil {
+		return err
+	}
+	n.cfg = next
+	// The barrier has applied: no in-flight batch references this
+	// tenant's detector anymore, so its stack can drain.
+	ts.svc.Close()
+	n.bounceFilteredSourcesLocked()
+	n.persistLocked()
+	n.opts.logf("artemis: tenant %s removed", name)
+	return nil
+}
+
+// retableLocked installs a policy table for the given tenant order at
+// the pipeline's sink barrier, carrying each retained tenant's runtime
+// counters (quota buckets, event counts) across the swap.
+func (n *Node) retableLocked(order []string, tenants map[string]*tenantState) error {
+	policies := make([]core.TenantPolicy, len(order))
+	for i, name := range order {
+		ts := tenants[name]
+		policies[i] = core.TenantPolicy{
+			Name:     name,
+			Config:   ts.svc.CurrentConfig(),
+			Detector: ts.svc.Detector,
+			Monitor:  ts.svc.Monitor,
+			Runtime:  n.table.Runtime(name), // nil for new tenants → fresh
+		}
+	}
+	table, err := core.NewPolicyTable(policies)
+	if err != nil {
+		return err
+	}
+	table.OnQuotaDrop(n.publishQuotaDrop)
+	n.pl.ReconfigureTable(table, func() {})
+	n.table = table
+	n.order = order
+	n.tenants = tenants
+	n.union.Store(table.UnionFilter())
+	return nil
+}
+
+// ReplaceConfig atomically replaces the whole declarative configuration:
+// tenant membership and scopes, sources, and the hot-tunable bounds
+// (alert dedup TTL/size, mitigation retries, per-tenant limits) all
+// swap live; construction-time fields (mitigation southbound, shard
+// count, source queues) are stored and persisted but only take effect on
+// restart. This is POST /v1/config — and, with a state file, how a
+// hosted deployment's whole tenant store is replaced and survives
+// restarts.
+func (n *Node) ReplaceConfig(next *Config) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	next = next.Clone()
+	// The state file and listen address identify THIS node; a config
+	// replace must not silently re-point persistence or auth elsewhere.
+	next.Control = n.cfg.Control
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	want := next.scopes()
+	wantNames := make(map[string]bool, len(want))
+	for _, sc := range want {
+		wantNames[sc.Name] = true
+	}
+	// Build the next tenant set: retained stacks carry over (history,
+	// counters, quota state), new scopes get fresh stacks.
+	order := make([]string, 0, len(want))
+	tenants := make(map[string]*tenantState, len(want))
+	var added []*tenantState
+	for _, sc := range want {
+		if ts, ok := n.tenants[sc.Name]; ok {
+			tenants[sc.Name] = ts
+		} else {
+			ts, _, err := n.newTenant(sc, next)
+			if err != nil {
+				for _, a := range added {
+					a.svc.Close()
+				}
+				return err
+			}
+			ts.svc.BindReconfigureVia(n.tenantBarrier(sc.Name))
+			tenants[sc.Name] = ts
+			added = append(added, ts)
+		}
+		order = append(order, sc.Name)
+	}
+	var removed []*tenantState
+	for name, ts := range n.tenants {
+		if !wantNames[name] {
+			removed = append(removed, ts)
+		}
+	}
+	if err := n.retableLocked(order, tenants); err != nil {
+		for _, a := range added {
+			a.svc.Close()
+		}
+		return err
+	}
+	n.cfg = next
+	// Retained tenants now reconfigure to their new scopes: each swap is
+	// its own barrier under the new table order.
+	for _, sc := range want {
+		ts := tenants[sc.Name]
+		if slices.Contains(added, ts) {
+			continue
+		}
+		ccfg, err := lowerScope(sc, next)
+		if err != nil {
+			return err
+		}
+		ccfg.ManualMitigation = ts.svc.CurrentConfig().ManualMitigation
+		if err := ts.svc.Reconfigure(ccfg); err != nil {
+			return err
+		}
+	}
+	for _, ts := range removed {
+		ts.svc.Close()
+	}
+	if err := n.replaceSourcesLocked(next.Sources); err != nil {
+		return err
+	}
+	n.bounceFilteredSourcesLocked()
+	n.persistLocked()
+	n.opts.logf("artemis: configuration replaced (%d tenants, %d sources)", len(order), len(n.cfg.Sources))
+	return nil
+}
+
+// replaceSourcesLocked diffs the supervised sources against specs:
+// named sources with an unchanged spec keep their connection, everything
+// else is removed and (re-)added.
+func (n *Node) replaceSourcesLocked(specs []SourceSpec) error {
+	keep := make(map[string]bool, len(specs))
+	var toAdd []SourceSpec
+	for _, spec := range specs {
+		if spec.Name != "" {
+			if e, ok := n.sources[spec.Name]; ok && sourceSpecEqual(e.spec, spec) {
+				keep[spec.Name] = true
+				continue
 			}
 		}
-		n.opts.logf("artemis: reconfigured: now watching %v", next.Prefixes)
+		toAdd = append(toAdd, spec)
+	}
+	n.cfg.Sources = nil
+	for name, e := range n.sources {
+		if keep[name] {
+			n.cfg.Sources = append(n.cfg.Sources, e.spec)
+			continue
+		}
+		delete(n.sources, name)
+		if e.id >= 0 {
+			n.sup.Remove(e.id)
+		}
+	}
+	for _, spec := range toAdd {
+		if _, err := n.addSourceLocked(spec); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
+func sourceSpecEqual(a, b SourceSpec) bool {
+	return a.Type == b.Type && a.Name == b.Name && a.URL == b.URL &&
+		a.Addr == b.Addr && a.Path == b.Path && a.Interval == b.Interval &&
+		slices.Equal(a.LGs, b.LGs)
+}
+
+// --- persistence ---
+
+// persistLocked writes the current declarative config to the state file
+// (write-to-temp + rename, so a crash never leaves a torn file), when
+// one is configured. Persistence failures are logged, not returned: the
+// in-memory reconfiguration already succeeded.
+func (n *Node) persistLocked() {
+	path := n.cfg.Control.StateFile
+	if path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(n.cfg, "", "  ")
+	if err != nil {
+		n.opts.logf("artemis: state persist: %v", err)
+		return
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o600); err != nil {
+		n.opts.logf("artemis: state persist: %v", err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		n.opts.logf("artemis: state persist: %v", err)
+	}
+}
+
+// LoadState reads a config persisted by a node with Control.StateFile
+// set — the JSON twin of LoadConfig, used by the daemon to prefer the
+// durable tenant store over the original config file across restarts.
+func LoadState(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &Config{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+// --- authentication ---
+
+// AuthScope is a resolved control-plane credential.
+type AuthScope struct {
+	// Admin grants every endpoint across all tenants.
+	Admin bool
+	// Tenant, when non-empty, restricts the caller to that tenant's
+	// resources.
+	Tenant string
+}
+
+// Allows reports whether the scope may act on the named tenant.
+func (s AuthScope) Allows(tenant string) bool {
+	return s.Admin || (s.Tenant != "" && s.Tenant == tenant)
+}
+
+// Secured reports whether any control-plane token is configured. An
+// unsecured node (no admin token, no tenant tokens) serves its API open
+// — the single-operator back-compat mode.
+func (n *Node) Secured() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.securedLocked()
+}
+
+func (n *Node) securedLocked() bool {
+	if n.cfg.Control.AdminToken != "" {
+		return true
+	}
+	for i := range n.cfg.Tenants {
+		if n.cfg.Tenants[i].Token != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Authenticate resolves a bearer token to its scope. On an unsecured
+// node every token (including none) resolves to admin. Comparison is
+// constant-time per candidate, and every candidate is always examined —
+// a miss costs the same as a late hit.
+func (n *Node) Authenticate(token string) (AuthScope, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.securedLocked() {
+		return AuthScope{Admin: true}, true
+	}
+	scope, found := AuthScope{}, false
+	if a := n.cfg.Control.AdminToken; a != "" && tokenEqual(token, a) {
+		scope, found = AuthScope{Admin: true}, true
+	}
+	for i := range n.cfg.Tenants {
+		t := &n.cfg.Tenants[i]
+		if t.Token != "" && tokenEqual(token, t.Token) && !found {
+			scope, found = AuthScope{Tenant: t.Name}, true
+		}
+	}
+	return scope, found
+}
+
+func tokenEqual(a, b string) bool {
+	return subtle.ConstantTimeCompare([]byte(a), []byte(b)) == 1
+}
+
+// ReportAuthFailure records one rejected control-plane request: counted
+// in /metrics (artemis_auth_failures_total) and published as a KindAuth
+// event, so failed auth is observable rather than a silent 401. The
+// control package calls it; embedders fronting the node with their own
+// auth may too.
+func (n *Node) ReportAuthFailure(path, tenant, reason string) {
+	n.authFailures.Add(1)
+	f := AuthFailure{Path: path, Tenant: tenant, Reason: reason}
+	n.bus.publish(Event{Kind: KindAuth, Auth: &f})
+}
+
+// AuthFailures reports how many control-plane requests were rejected.
+func (n *Node) AuthFailures() int64 { return n.authFailures.Load() }
+
+// --- source CRUD ---
+
 // AddSource hot-adds a monitoring source and returns its name. Before
 // Run, the source is recorded and dialed once Run starts; during Run it
-// starts dialing immediately.
+// starts dialing immediately. Sources are shared across tenants.
 func (n *Node) AddSource(spec SourceSpec) (string, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	name, err := n.addSourceLocked(spec)
+	if err == nil {
+		n.persistLocked()
+	}
+	return name, err
+}
+
+func (n *Node) addSourceLocked(spec SourceSpec) (string, error) {
 	if err := spec.validate(); err != nil {
 		return "", err
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	if spec.Name == "" {
 		spec.Name = fmt.Sprintf("%s[%d]", spec.Type, n.srcSeq[spec.Type])
 	}
@@ -461,6 +1073,14 @@ func (n *Node) dialerFor(spec SourceSpec) (ingest.Dialer, []ingest.SourceOption,
 func (n *Node) RemoveSource(name string) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if err := n.removeSourceLocked(name); err != nil {
+		return err
+	}
+	n.persistLocked()
+	return nil
+}
+
+func (n *Node) removeSourceLocked(name string) error {
 	e, ok := n.sources[name]
 	if !ok {
 		return fmt.Errorf("artemis: unknown source %q", name)
@@ -489,28 +1109,179 @@ func (n *Node) Config() *Config {
 	return n.cfg.Clone()
 }
 
-// Subscribe returns a bounded subscription to the node's typed events.
-// kinds OR together (0 means KindAll); buffer <= 0 selects 64.
+// Subscribe returns a bounded subscription to the node's typed events
+// across all tenants. kinds OR together (0 means KindAll); buffer <= 0
+// selects 64.
 func (n *Node) Subscribe(kinds EventKind, buffer int) *Subscription {
 	return n.bus.subscribe(kinds, buffer)
 }
 
-// Alerts returns every alert raised so far, oldest first.
-func (n *Node) Alerts() []Alert {
-	core := n.svc.Detector.Alerts()
-	out := make([]Alert, len(core))
-	for i, a := range core {
-		out[i] = alertFromCore(a)
+// SubscribeTenant returns a bounded subscription scoped to one tenant:
+// it delivers that tenant's events plus node-global ones (source
+// health). The tenant's Limits.StreamBuffer caps the buffer, bounding
+// what one tenant's subscribers can pin in shared memory.
+func (n *Node) SubscribeTenant(tenant string, kinds EventKind, buffer int) (*Subscription, error) {
+	n.mu.Lock()
+	_, known := n.tenants[tenant]
+	maxBuf := 0
+	if sc, found := n.cfg.scope(tenant); found {
+		maxBuf = sc.Limits.StreamBuffer
+	}
+	n.mu.Unlock()
+	if !known {
+		return nil, fmt.Errorf("artemis: unknown tenant %q", tenant)
+	}
+	if buffer <= 0 {
+		buffer = 64
+	}
+	if maxBuf > 0 && buffer > maxBuf {
+		buffer = maxBuf
+	}
+	return n.bus.subscribeTenant(tenant, true, kinds, buffer), nil
+}
+
+// TenantNames returns the tenants in policy-table order.
+func (n *Node) TenantNames() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]string(nil), n.order...)
+}
+
+// TenantStatus summarizes one tenant for operators: its scope plus the
+// isolation counters (matched events, quota drops, mitigation-rate
+// drops) that show whether its limits are biting.
+type TenantStatus struct {
+	Name     string   `json:"name"`
+	Prefixes []string `json:"prefixes"`
+	Origins  []uint32 `json:"origins"`
+	// Alerts counts incidents the tenant's policy has raised.
+	Alerts int `json:"alerts"`
+	// Events counts matched events routed to the tenant; QuotaDrops and
+	// MitigationRateDrops count work its limits shed.
+	Events              int64        `json:"events"`
+	QuotaDrops          int64        `json:"quota_drops"`
+	MitigationRateDrops int64        `json:"mitigation_rate_drops"`
+	Limits              TenantLimits `json:"limits,omitzero"`
+	// HasToken reports whether the tenant has its own bearer token (the
+	// token itself is never serialized here).
+	HasToken bool `json:"has_token,omitempty"`
+}
+
+// Tenants summarizes every tenant, in policy-table order.
+func (n *Node) Tenants() []TenantStatus {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]TenantStatus, 0, len(n.order))
+	for _, name := range n.order {
+		st, _ := n.tenantStatusLocked(name)
+		out = append(out, st)
 	}
 	return out
 }
 
-// Mitigations returns every mitigation attempt so far, oldest first.
+// TenantStatus summarizes one tenant by name.
+func (n *Node) TenantStatus(name string) (TenantStatus, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.tenantStatusLocked(name)
+}
+
+func (n *Node) tenantStatusLocked(name string) (TenantStatus, error) {
+	ts, ok := n.tenants[name]
+	if !ok {
+		return TenantStatus{}, fmt.Errorf("artemis: unknown tenant %q", name)
+	}
+	sc, _ := n.cfg.scope(name)
+	st := TenantStatus{
+		Name:                name,
+		Prefixes:            append([]string(nil), sc.Prefixes...),
+		Origins:             append([]uint32(nil), sc.Origins...),
+		Alerts:              ts.svc.Detector.AlertCount(),
+		MitigationRateDrops: ts.svc.MitigationRateDrops(),
+		Limits:              sc.Limits,
+		HasToken:            sc.Token != "",
+	}
+	if rt := n.table.Runtime(name); rt != nil {
+		st.Events = rt.Events()
+		st.QuotaDrops = rt.QuotaDrops()
+	}
+	return st, nil
+}
+
+// Alerts returns every alert raised so far across all tenants, grouped
+// by tenant in policy-table order (oldest first within a tenant).
+func (n *Node) Alerts() []Alert {
+	n.mu.Lock()
+	tenants := n.orderedTenantsLocked()
+	n.mu.Unlock()
+	var out []Alert
+	for _, ts := range tenants {
+		for _, a := range ts.svc.Detector.Alerts() {
+			pub := alertFromCore(a)
+			pub.Tenant = ts.name
+			out = append(out, pub)
+		}
+	}
+	return out
+}
+
+// TenantAlerts returns one tenant's alerts, oldest first.
+func (n *Node) TenantAlerts(tenant string) ([]Alert, error) {
+	n.mu.Lock()
+	ts, ok := n.tenants[tenant]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("artemis: unknown tenant %q", tenant)
+	}
+	alerts := ts.svc.Detector.Alerts()
+	out := make([]Alert, len(alerts))
+	for i, a := range alerts {
+		out[i] = alertFromCore(a)
+		out[i].Tenant = tenant
+	}
+	return out, nil
+}
+
+// Mitigations returns every mitigation attempt so far across all
+// tenants, grouped by tenant in policy-table order.
 func (n *Node) Mitigations() []Mitigation {
-	recs := n.svc.Mitigator.Records()
+	n.mu.Lock()
+	tenants := n.orderedTenantsLocked()
+	n.mu.Unlock()
+	var out []Mitigation
+	for _, ts := range tenants {
+		for _, r := range ts.svc.Mitigator.Records() {
+			pub := mitigationFromCore(r)
+			pub.Alert.Tenant = ts.name
+			out = append(out, pub)
+		}
+	}
+	return out
+}
+
+// TenantMitigations returns one tenant's mitigation attempts, oldest
+// first.
+func (n *Node) TenantMitigations(tenant string) ([]Mitigation, error) {
+	n.mu.Lock()
+	ts, ok := n.tenants[tenant]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("artemis: unknown tenant %q", tenant)
+	}
+	recs := ts.svc.Mitigator.Records()
 	out := make([]Mitigation, len(recs))
 	for i, r := range recs {
 		out[i] = mitigationFromCore(r)
+		out[i].Alert.Tenant = tenant
+	}
+	return out, nil
+}
+
+// orderedTenantsLocked snapshots the tenant stacks in table order.
+func (n *Node) orderedTenantsLocked() []*tenantState {
+	out := make([]*tenantState, 0, len(n.order))
+	for _, name := range n.order {
+		out = append(out, n.tenants[name])
 	}
 	return out
 }
@@ -575,18 +1346,57 @@ func (n *Node) Health() Health {
 }
 
 // WriteMetrics renders the node's Prometheus-style text metrics — the
-// same body GET /metrics serves.
+// same body GET /metrics serves. Node-wide families keep their
+// single-tenant names (per-tenant mitigation queues merge into the one
+// unlabeled family); each tenant additionally gets artemis_tenant_*
+// counters labeled with its name.
 func (n *Node) WriteMetrics(w io.Writer) {
+	n.mu.Lock()
+	tenants := n.orderedTenantsLocked()
+	table := n.table
+	n.mu.Unlock()
+
 	n.sup.Snapshot().WriteProm(w)
 	n.pl.Snapshot().WriteProm(w)
-	n.svc.Mitigation.Snapshot().WriteProm(w)
-	fmt.Fprintf(w, "artemis_alerts_total %d\n", n.svc.Detector.AlertCount())
-	fmt.Fprintf(w, "artemis_alert_dedup_size %d\n", n.svc.Detector.DedupSize())
-	fmt.Fprintf(w, "artemis_controller_failed_actions_total %d\n", n.ctrl.Failures())
-	snap := n.svc.Monitor.Snapshot(n.now())
-	fmt.Fprintf(w, "artemis_monitor_legit_vps %d\n", snap.LegitVPs)
-	fmt.Fprintf(w, "artemis_monitor_hijacked_vps %d\n", snap.HijackedVPs)
-	fmt.Fprintf(w, "artemis_monitor_unknown_vps %d\n", snap.UnknownVPs)
+	var mq stats.MitigationQueueSnapshot
+	alerts, dedup := 0, 0
+	var failures int64
+	var legit, hijacked, unknown int
+	now := n.now()
+	for i, ts := range tenants {
+		if i == 0 {
+			mq = ts.svc.Mitigation.Snapshot()
+		} else {
+			mq = mq.Merge(ts.svc.Mitigation.Snapshot())
+		}
+		alerts += ts.svc.Detector.AlertCount()
+		dedup += ts.svc.Detector.DedupSize()
+		failures += int64(ts.ctrl.Failures())
+		snap := ts.svc.Monitor.Snapshot(now)
+		legit += snap.LegitVPs
+		hijacked += snap.HijackedVPs
+		unknown += snap.UnknownVPs
+	}
+	mq.WriteProm(w)
+	fmt.Fprintf(w, "artemis_alerts_total %d\n", alerts)
+	fmt.Fprintf(w, "artemis_alert_dedup_size %d\n", dedup)
+	fmt.Fprintf(w, "artemis_controller_failed_actions_total %d\n", failures)
+	fmt.Fprintf(w, "artemis_monitor_legit_vps %d\n", legit)
+	fmt.Fprintf(w, "artemis_monitor_hijacked_vps %d\n", hijacked)
+	fmt.Fprintf(w, "artemis_monitor_unknown_vps %d\n", unknown)
+	fmt.Fprintf(w, "artemis_auth_failures_total %d\n", n.authFailures.Load())
+	for _, ts := range tenants {
+		tsn := stats.TenantSnapshot{
+			Name:                ts.name,
+			Alerts:              int64(ts.svc.Detector.AlertCount()),
+			MitigationRateDrops: ts.svc.MitigationRateDrops(),
+		}
+		if rt := table.Runtime(ts.name); rt != nil {
+			tsn.Events = rt.Events()
+			tsn.QuotaDrops = rt.QuotaDrops()
+		}
+		tsn.WriteProm(w)
+	}
 }
 
 // RouteObservation is one observed routing change for Inject — the
@@ -609,9 +1419,10 @@ type RouteObservation struct {
 
 // Inject feeds observations straight into the detection pipeline,
 // bypassing the ingest supervisor (no cross-source dedup). Observations
-// are stamped with the node clock. The pipeline copies the batch during
-// Submit, so Inject builds it in pooled storage and recycles it before
-// returning — a steady inject loop performs no per-call allocations
+// are stamped with the node clock and fan out to every tenant whose
+// space they match. The pipeline copies the batch during Submit, so
+// Inject builds it in pooled storage and recycles it before returning —
+// a steady inject loop performs no per-call allocations
 // (docs/PERFORMANCE.md).
 func (n *Node) Inject(obs ...RouteObservation) error {
 	batch := n.injectPool.Get()

@@ -1,0 +1,353 @@
+package artemis_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"artemis/pkg/artemis"
+)
+
+// tenantTestConfig is a hosted node: the operator's own prefixes plus
+// two customer tenants, one of them overlapping the operator's space.
+func tenantTestConfig() *artemis.Config {
+	return &artemis.Config{
+		Prefixes:   []string{"10.0.0.0/23"},
+		Origins:    []uint32{61000},
+		Mitigation: artemis.MitigationConfig{ConfigDelay: artemis.Duration(time.Millisecond)},
+		Tenants: []artemis.TenantSpec{
+			{Name: "acme", Prefixes: []string{"192.0.2.0/24"}, Origins: []uint32{64500}},
+			{Name: "globex", Prefixes: []string{"198.51.100.0/24"}, Origins: []uint32{64501}},
+		},
+	}
+}
+
+// TestNodeMultiTenant drives a hosted node end to end: events fan out to
+// the owning tenant only, alerts and subscriptions are tenant-scoped,
+// and per-tenant CRUD retunes one tenant without touching the others.
+func TestNodeMultiTenant(t *testing.T) {
+	node, err := artemis.New(tenantTestConfig(), quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- node.Run(ctx) }()
+	defer func() {
+		cancel()
+		<-runErr
+	}()
+
+	if got := node.TenantNames(); len(got) != 3 || got[0] != artemis.DefaultTenant || got[1] != "acme" || got[2] != "globex" {
+		t.Fatalf("tenant names: %v", got)
+	}
+
+	acmeSub, err := node.SubscribeTenant("acme", artemis.KindAlert, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer acmeSub.Cancel()
+	if _, err := node.SubscribeTenant("nosuch", artemis.KindAll, 4); err == nil {
+		t.Fatal("SubscribeTenant accepted an unknown tenant")
+	}
+
+	// Hijack acme's prefix: only acme alerts.
+	if err := node.Inject(artemis.RouteObservation{
+		VantagePoint: 64499, Prefix: "192.0.2.0/24", Path: []uint32{64499, 666},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-acmeSub.C:
+		if ev.Tenant != "acme" || ev.Alert == nil || ev.Alert.Tenant != "acme" || ev.Alert.Type != "exact-origin" {
+			t.Fatalf("acme alert event: %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no alert for acme's hijacked prefix")
+	}
+
+	// Hijack the operator's prefix: the default tenant alerts; acme's
+	// scoped subscription must not see it.
+	if err := node.Inject(artemis.RouteObservation{
+		VantagePoint: 64499, Prefix: "10.0.0.0/24", Path: []uint32{64499, 666},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "default-tenant alert", func() bool {
+		alerts, err := node.TenantAlerts(artemis.DefaultTenant)
+		return err == nil && len(alerts) == 1
+	})
+	select {
+	case ev := <-acmeSub.C:
+		t.Fatalf("acme subscription leaked another tenant's event: %+v", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Tenant-scoped introspection.
+	if alerts, err := node.TenantAlerts("acme"); err != nil || len(alerts) != 1 || alerts[0].Tenant != "acme" {
+		t.Fatalf("acme alerts: %v %v", alerts, err)
+	}
+	if alerts, err := node.TenantAlerts("globex"); err != nil || len(alerts) != 0 {
+		t.Fatalf("globex alerts: %v %v", alerts, err)
+	}
+	if all := node.Alerts(); len(all) != 2 {
+		t.Fatalf("merged alerts: %+v", all)
+	}
+	sts := node.Tenants()
+	if len(sts) != 3 || sts[1].Name != "acme" || sts[1].Alerts != 1 || sts[2].Alerts != 0 {
+		t.Fatalf("tenant statuses: %+v", sts)
+	}
+	if sts[1].Events == 0 {
+		t.Fatalf("acme status counted no matched events: %+v", sts[1])
+	}
+
+	// Retune one tenant live: globex gains a prefix, acme keeps alerting.
+	if err := node.AddTenantPrefixes("globex", "203.0.113.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Inject(artemis.RouteObservation{
+		VantagePoint: 64499, Prefix: "203.0.113.0/24", Path: []uint32{64499, 666},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "globex alert on hot-added prefix", func() bool {
+		alerts, err := node.TenantAlerts("globex")
+		return err == nil && len(alerts) == 1
+	})
+	if err := node.SetTenantOrigins("acme", 64500, 64510); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.SetTenantOrigins("acme"); err == nil {
+		t.Fatal("SetTenantOrigins accepted an empty set")
+	}
+
+	// Upstream (path-anomaly) policy round trip.
+	if err := node.SetUpstreams("acme", map[uint32][]uint32{64500: {3356}}); err != nil {
+		t.Fatal(err)
+	}
+	ups, err := node.Upstreams("acme")
+	if err != nil || len(ups[64500]) != 1 || ups[64500][0] != 3356 {
+		t.Fatalf("upstreams round trip: %v %v", ups, err)
+	}
+	if err := node.Inject(artemis.RouteObservation{
+		VantagePoint: 64499, Prefix: "192.0.2.0/24", Path: []uint32{64499, 174, 64500},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "acme path-anomaly alert", func() bool {
+		alerts, _ := node.TenantAlerts("acme")
+		for _, a := range alerts {
+			if a.Type == "path-anomaly" {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Metrics carry the per-tenant families and the merged legacy ones.
+	var sb strings.Builder
+	node.WriteMetrics(&sb)
+	body := sb.String()
+	for _, want := range []string{
+		`artemis_tenant_events_total{tenant="acme"}`,
+		`artemis_tenant_alerts_total{tenant="globex"} 1`,
+		"artemis_alerts_total ",
+		"artemis_auth_failures_total 0",
+		"artemis_mitigation_enqueued_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestNodeTenantCRUDAndPersistence hot-adds and hot-removes tenants and
+// verifies every mutation lands in the state file, from which a new node
+// resumes with the same tenant set.
+func TestNodeTenantCRUDAndPersistence(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "state.json")
+	cfg := tenantTestConfig()
+	cfg.Control.StateFile = state
+	node, err := artemis.New(cfg, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- node.Run(ctx) }()
+
+	if err := node.AddTenant(artemis.TenantSpec{
+		Name: "initech", Prefixes: []string{"203.0.113.0/24"}, Origins: []uint32{64502},
+		Limits: artemis.TenantLimits{MaxEventsPerSec: 100},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.AddTenant(artemis.TenantSpec{Name: "initech", Prefixes: []string{"203.0.113.0/25"}, Origins: []uint32{1}}); err == nil {
+		t.Fatal("duplicate AddTenant accepted")
+	}
+	if err := node.RemoveTenant("globex"); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.RemoveTenant(artemis.DefaultTenant); err == nil {
+		t.Fatal("RemoveTenant accepted the default tenant")
+	}
+	if err := node.RemoveTenant("nosuch"); err == nil {
+		t.Fatal("RemoveTenant accepted an unknown tenant")
+	}
+
+	// The new tenant classifies immediately.
+	if err := node.Inject(artemis.RouteObservation{
+		VantagePoint: 64499, Prefix: "203.0.113.0/24", Path: []uint32{64499, 666},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "initech alert", func() bool {
+		alerts, err := node.TenantAlerts("initech")
+		return err == nil && len(alerts) == 1
+	})
+	if _, err := node.TenantAlerts("globex"); err == nil {
+		t.Fatal("removed tenant still resolves")
+	}
+
+	cancel()
+	<-runErr
+
+	// Restart from the persisted store: membership and limits survive.
+	persisted, err := artemis.LoadState(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node2, err := artemis.New(persisted, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node2.Drain()
+	names := node2.TenantNames()
+	if len(names) != 3 || names[0] != artemis.DefaultTenant || names[1] != "acme" || names[2] != "initech" {
+		t.Fatalf("tenants after restart: %v", names)
+	}
+	st, err := node2.TenantStatus("initech")
+	if err != nil || st.Limits.MaxEventsPerSec != 100 {
+		t.Fatalf("initech limits after restart: %+v %v", st, err)
+	}
+}
+
+// TestNodeReplaceConfig swaps the whole declarative config atomically:
+// tenant membership diffs, retained tenants retune, and hot-tunables
+// (dedup bounds, retry limits) apply live.
+func TestNodeReplaceConfig(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "state.json")
+	cfg := tenantTestConfig()
+	cfg.Control.StateFile = state
+	node, err := artemis.New(cfg, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Drain()
+
+	next := tenantTestConfig()
+	next.Tenants = []artemis.TenantSpec{
+		{Name: "acme", Prefixes: []string{"192.0.2.0/24", "203.0.113.0/24"}, Origins: []uint32{64500}}, // retained, retuned
+		{Name: "hooli", Prefixes: []string{"198.18.0.0/15"}, Origins: []uint32{64503}},                 // added
+		// globex removed
+	}
+	next.Tuning.AlertDedupMax = 128
+	if err := node.ReplaceConfig(next); err != nil {
+		t.Fatal(err)
+	}
+	names := node.TenantNames()
+	if len(names) != 3 || names[1] != "acme" || names[2] != "hooli" {
+		t.Fatalf("tenants after replace: %v", names)
+	}
+	st, err := node.TenantStatus("acme")
+	if err != nil || len(st.Prefixes) != 2 {
+		t.Fatalf("acme scope after replace: %+v %v", st, err)
+	}
+	got := node.Config()
+	if got.Tuning.AlertDedupMax != 128 {
+		t.Fatalf("tuning not replaced: %+v", got.Tuning)
+	}
+	// Invalid replacements are rejected whole.
+	bad := tenantTestConfig()
+	bad.Tenants[0].Origins = nil
+	if err := node.ReplaceConfig(bad); err == nil {
+		t.Fatal("ReplaceConfig accepted an invalid config")
+	}
+	// State file reflects the applied config.
+	data, err := os.ReadFile(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"hooli"`) || strings.Contains(string(data), `"globex"`) {
+		t.Fatalf("state file not updated:\n%s", data)
+	}
+}
+
+// TestNodeAuth covers the token model: open mode without tokens, admin
+// and tenant scopes with them, and observable failures.
+func TestNodeAuth(t *testing.T) {
+	cfg := tenantTestConfig()
+	node, err := artemis.New(cfg, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Drain()
+	if node.Secured() {
+		t.Fatal("node with no tokens reports secured")
+	}
+	if sc, ok := node.Authenticate(""); !ok || !sc.Admin {
+		t.Fatalf("open mode should grant admin: %+v %v", sc, ok)
+	}
+
+	cfg2 := tenantTestConfig()
+	cfg2.Control.AdminToken = "root-secret"
+	cfg2.Tenants[0].Token = "acme-secret"
+	node2, err := artemis.New(cfg2, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node2.Drain()
+	if !node2.Secured() {
+		t.Fatal("node with tokens reports unsecured")
+	}
+	if sc, ok := node2.Authenticate("root-secret"); !ok || !sc.Admin {
+		t.Fatalf("admin token: %+v %v", sc, ok)
+	}
+	sc, ok := node2.Authenticate("acme-secret")
+	if !ok || sc.Admin || sc.Tenant != "acme" {
+		t.Fatalf("tenant token: %+v %v", sc, ok)
+	}
+	if !sc.Allows("acme") || sc.Allows("globex") {
+		t.Fatal("tenant scope crosses tenant boundary")
+	}
+	if _, ok := node2.Authenticate("wrong"); ok {
+		t.Fatal("bad token accepted")
+	}
+	if _, ok := node2.Authenticate(""); ok {
+		t.Fatal("missing token accepted on a secured node")
+	}
+
+	// Auth failures are counted and published, never silent.
+	authSub := node2.Subscribe(artemis.KindAuth, 4)
+	defer authSub.Cancel()
+	node2.ReportAuthFailure("/v1/alerts", "", "bad-token")
+	if node2.AuthFailures() != 1 {
+		t.Fatalf("auth failures = %d", node2.AuthFailures())
+	}
+	select {
+	case ev := <-authSub.C:
+		if ev.Kind != artemis.KindAuth || ev.Auth == nil || ev.Auth.Reason != "bad-token" {
+			t.Fatalf("auth event: %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("auth failure not published")
+	}
+	var sb strings.Builder
+	node2.WriteMetrics(&sb)
+	if !strings.Contains(sb.String(), "artemis_auth_failures_total 1") {
+		t.Fatal("auth failures missing from metrics")
+	}
+}
