@@ -22,13 +22,17 @@ bench:
 soak:
 	ARTEMIS_SOAK=10s $(GO) test -race -run TestSoakFlappingFeeds -count=1 -v ./internal/ingest
 
-# Fuzz the dual-stack parse/format core. Each target runs for FUZZTIME
-# (default 30s); new inputs that fail land in internal/prefix/testdata/fuzz/.
+# Fuzz the wire-facing parsers: the dual-stack parse/format core, the
+# BMP message layer, and the event-envelope codec. Each target runs for
+# FUZZTIME (default 30s); new inputs that fail land in the package's
+# testdata/fuzz/ directory.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseAddr -fuzztime=$(FUZZTIME) ./internal/prefix
 	$(GO) test -run='^$$' -fuzz=FuzzParsePrefix -fuzztime=$(FUZZTIME) ./internal/prefix
 	$(GO) test -run='^$$' -fuzz=FuzzPrefixString -fuzztime=$(FUZZTIME) ./internal/prefix
+	$(GO) test -run='^$$' -fuzz=FuzzBMPMessage -fuzztime=$(FUZZTIME) ./internal/bgp/bmp
+	$(GO) test -run='^$$' -fuzz=FuzzEventJSON -fuzztime=$(FUZZTIME) ./internal/feeds/eventlog
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -6,9 +6,11 @@
 package artemis_test
 
 import (
+	"path/filepath"
 	"testing"
 
 	"artemis/internal/core"
+	"artemis/internal/feeds/eventlog"
 	"artemis/internal/feeds/feedtypes"
 	"artemis/internal/ingest"
 )
@@ -121,6 +123,63 @@ func TestIngestSteadyStateAllocationFree(t *testing.T) {
 	})
 	if avg > 1 {
 		t.Errorf("steady-state ingest averaged %.2f allocs per batch, want <= 1 (see docs/PERFORMANCE.md)", avg)
+	}
+}
+
+// TestRecordSteadyStateAllocationFree asserts the -record contract:
+// archiving the post-dedup stream rides the ingest path for at most one
+// extra (amortized) allocation per batch — the recorder deep-copies
+// into pooled storage and does all I/O on its own goroutine, so with
+// the baseline path at <= 1 alloc per 256-event batch the recorded
+// path stays <= 2. (AllocsPerRun counts mallocs across all goroutines,
+// so the writer goroutine's work is included.)
+func TestRecordSteadyStateAllocationFree(t *testing.T) {
+	const batchSize = 256
+	evs := pipelineWorkload(8192)
+	det := core.NewDetector(pipelineBenchConfig(t))
+	pl := core.NewPipeline(det, nil, core.PipelineConfig{Shards: 4})
+	defer pl.Close()
+	rec, err := eventlog.NewRecorder(eventlog.RecorderConfig{
+		Prefix:       filepath.Join(t.TempDir(), "cap"),
+		MaxFileBytes: 1 << 30, // no rotation inside the measured loop
+		QueueDepth:   1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	deliver := func(evs []feedtypes.Event) {
+		pl.Submit(evs)
+		rec.Record(evs)
+	}
+	sup := ingest.New(deliver, ingest.Config{Synchronous: true, DedupTTL: -1})
+	defer sup.Close()
+	hub := feedtypes.NewHub()
+	sup.AddSource("bench", hubSource{Hub: hub, name: "bench"}, feedtypes.Filter{})
+
+	pool := feedtypes.NewBatchPool()
+	publish := func(off int) {
+		b := pool.Get()
+		b.AppendEvents(evs[off : off+batchSize])
+		hub.Publish(b.Events)
+		b.Release()
+	}
+	for off := 0; off+batchSize <= len(evs); off += batchSize {
+		publish(off)
+	}
+	pl.Flush()
+
+	off := 0
+	avg := testing.AllocsPerRun(100, func() {
+		publish(off)
+		off = (off + batchSize) % len(evs)
+		pl.Flush()
+	})
+	if avg > 2 {
+		t.Errorf("steady-state recorded ingest averaged %.2f allocs per batch, want <= 2 (recording adds at most 1)", avg)
+	}
+	if s := rec.Snapshot(); s.Dropped != 0 {
+		t.Errorf("recorder shed %d events during the measured loop", s.Dropped)
 	}
 }
 

@@ -18,7 +18,15 @@
 // owned prefixes, origins and feed sources are all hot-reconfigurable
 // over HTTP (POST/DELETE /v1/prefixes, /v1/sources) with no restart; the
 // /v1/alerts/stream endpoint serves alerts, mitigation outcomes and
-// source-health transitions as server-sent events.
+// source-health transitions as server-sent events, and /v1/events/stream
+// is the raw feed-event firehose in the event-log envelope form.
+//
+// -record archives the post-dedup event stream to rotated .evlog
+// segments; -replay feeds such an archive back through the full
+// pipeline at -replay-speed (N x recorded pacing, 0 = as fast as
+// possible) with event time preserved, so a replayed incident
+// reproduces the live run's alerts exactly (docs/INTERCHANGE.md).
+// -bmp dials a router's BMP port in station mode (RFC 7854).
 package main
 
 import (
@@ -51,11 +59,15 @@ func main() {
 	configPath := flag.String("config", "", "declarative config file (artemis.yaml); flags override it")
 	prefixes := flag.String("prefix", "", "comma-separated owned prefixes, v4 and/or v6")
 	origins := flag.String("origin", "", "comma-separated legitimate origin ASNs")
-	var risURLs, bmonAddrs, mrtFiles, periURLs listFlag
+	var risURLs, bmonAddrs, mrtFiles, periURLs, bmpAddrs, replayGlobs listFlag
 	flag.Var(&risURLs, "ris", "RIS websocket URL (ws://host:port/v1/ws); repeatable")
 	flag.Var(&bmonAddrs, "bgpmon", "BGPmon TCP address (host:port); repeatable")
 	flag.Var(&mrtFiles, "mrt", "MRT archive file to replay as a feed; repeatable")
 	flag.Var(&periURLs, "periscope", "Periscope looking-glass REST base URL (http://host:port); repeatable")
+	flag.Var(&bmpAddrs, "bmp", "BMP exporter TCP address to dial in station mode (host:port); repeatable")
+	flag.Var(&replayGlobs, "replay", "event-log archive file or glob to replay as a feed; repeatable")
+	replaySpeed := flag.Float64("replay-speed", 0, "replay pacing: 1 = recorded speed, N = N x faster, 0 = as fast as possible")
+	recordPath := flag.String("record", "", "archive the post-dedup event stream to <path>-NNNNNN.evlog segments")
 	ctrlURL := flag.String("controller", "", "controller REST base URL (enables auto-mitigation)")
 	cfgDelay := flag.Duration("config-delay", 0, "controller configuration latency (default 15s; 0 = no delay)")
 	runFor := flag.Duration("run-for", 0, "exit after this wall time (0 = run until SIGINT/SIGTERM)")
@@ -126,6 +138,15 @@ func main() {
 	for _, u := range periURLs {
 		cfg.Sources = append(cfg.Sources, artemis.SourceSpec{Type: artemis.SourcePeriscope, URL: u})
 	}
+	for _, a := range bmpAddrs {
+		cfg.Sources = append(cfg.Sources, artemis.SourceSpec{Type: artemis.SourceBMP, Addr: a})
+	}
+	for _, g := range replayGlobs {
+		cfg.Sources = append(cfg.Sources, artemis.SourceSpec{Type: artemis.SourceReplay, Path: g, Speed: *replaySpeed})
+	}
+	if *recordPath != "" {
+		cfg.Record.Path = *recordPath
+	}
 	if *ctrlURL != "" {
 		cfg.Mitigation.Controller = *ctrlURL
 	}
@@ -156,7 +177,7 @@ func main() {
 		cfg.Control.Listen = *metricsAddr
 	}
 	if len(cfg.Sources) == 0 {
-		log.Fatal("no feeds configured; declare sources in -config or pass -ris/-bgpmon/-mrt/-periscope")
+		log.Fatal("no feeds configured; declare sources in -config or pass -ris/-bgpmon/-mrt/-periscope/-bmp/-replay")
 	}
 
 	node, err := artemis.New(cfg)

@@ -1,0 +1,32 @@
+package bmp
+
+import (
+	"bytes"
+	"testing"
+
+	"artemis/internal/bgp"
+)
+
+// BenchmarkBMPDecode measures the station's per-message cost on the
+// Route Monitoring fast path: stream-read one framed message (reused
+// buffer) and fully parse the embedded UPDATE. The allocs/op gate in
+// bench.gates bounds the parse allocations — the Reader itself
+// contributes zero at steady state.
+func BenchmarkBMPDecode(b *testing.B) {
+	m := &RouteMonitoring{Peer: testPeer(false), Update: testUpdate()}
+	wire, err := Marshal(m, bgp.DefaultOptions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := bytes.NewReader(nil)
+	rd := NewReader(stream, bgp.DefaultOptions)
+	b.SetBytes(int64(len(wire)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stream.Reset(wire)
+		if _, err := rd.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,632 @@
+// Package bmp implements the BGP Monitoring Protocol (RFC 7854): the
+// wire form real routers use to export their BGP sessions to a
+// monitoring station. A BMP stream is a sequence of framed messages —
+// an Initiation handshake, then Peer Up / Peer Down session events and
+// Route Monitoring messages, each Route Monitoring message carrying one
+// verbatim BGP UPDATE for one monitored peer.
+//
+// The codec mirrors internal/bgp: Marshal/ParseMessage operate on full
+// framed messages, ReadMessage/WriteMessage speak to streams, and the
+// embedded BGP messages (the UPDATE in Route Monitoring, the OPEN pair
+// in Peer Up, the NOTIFICATION in Peer Down) reuse the internal/bgp
+// parser — including its MP_REACH/MP_UNREACH v6 path, so a v6 hijack
+// seen via BMP decodes exactly like one seen via RIS.
+//
+// The station side of a live session is internal/ingest.BMPDialer; the
+// router side used by tests and simulations is Exporter (exporter.go).
+package bmp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/prefix"
+)
+
+// Version is the only BMP version this package speaks (RFC 7854 §4.1).
+const Version = 3
+
+// Message sizes. The common header is version(1) + length(4) + type(1);
+// the per-peer header is fixed 42 bytes. MaxMessageLen bounds what the
+// reader will buffer: a Route Monitoring message is one BGP UPDATE
+// (≤4096 bytes) plus headers, and even a Peer Up with two full OPENs
+// stays far below this, so the cap exists only to keep a malicious
+// length field from ballooning the reader.
+const (
+	HeaderLen        = 6
+	PerPeerHeaderLen = 42
+	MaxMessageLen    = 1 << 16
+)
+
+// MessageType identifies a BMP message (RFC 7854 §4.1).
+type MessageType uint8
+
+const (
+	MsgRouteMonitoring MessageType = 0
+	MsgStatsReport     MessageType = 1
+	MsgPeerDown        MessageType = 2
+	MsgPeerUp          MessageType = 3
+	MsgInitiation      MessageType = 4
+	MsgTermination     MessageType = 5
+)
+
+func (t MessageType) String() string {
+	switch t {
+	case MsgRouteMonitoring:
+		return "ROUTE_MONITORING"
+	case MsgStatsReport:
+		return "STATS_REPORT"
+	case MsgPeerDown:
+		return "PEER_DOWN"
+	case MsgPeerUp:
+		return "PEER_UP"
+	case MsgInitiation:
+		return "INITIATION"
+	case MsgTermination:
+		return "TERMINATION"
+	}
+	return fmt.Sprintf("BMP(%d)", uint8(t))
+}
+
+// Peer flags (RFC 7854 §4.2). V selects the 16-byte v6 form of the peer
+// address; the codec sets it from the address family automatically.
+const (
+	PeerFlagV uint8 = 0x80
+	PeerFlagL uint8 = 0x40
+	PeerFlagA uint8 = 0x20
+)
+
+// PerPeerHeader identifies the monitored BGP session a message is about
+// (RFC 7854 §4.2).
+type PerPeerHeader struct {
+	PeerType      uint8 // 0 = global instance peer
+	Flags         uint8 // PeerFlagL/PeerFlagA; PeerFlagV is derived from Addr
+	Distinguisher uint64
+	Addr          prefix.Addr
+	AS            bgp.ASN
+	BGPID         uint32
+	Timestamp     time.Time // time the encapsulated data was received; zero if unknown
+}
+
+func (p PerPeerHeader) append(dst []byte) []byte {
+	flags := p.Flags &^ PeerFlagV
+	if p.Addr.Is6() {
+		flags |= PeerFlagV
+	}
+	dst = append(dst, p.PeerType, flags)
+	dst = binary.BigEndian.AppendUint64(dst, p.Distinguisher)
+	if p.Addr.Is6() {
+		a16 := p.Addr.As16()
+		dst = append(dst, a16[:]...)
+	} else {
+		var a16 [16]byte
+		binary.BigEndian.PutUint32(a16[12:], p.Addr.V4())
+		dst = append(dst, a16[:]...)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(p.AS))
+	dst = binary.BigEndian.AppendUint32(dst, p.BGPID)
+	var sec, usec uint32
+	if !p.Timestamp.IsZero() {
+		sec = uint32(p.Timestamp.Unix())
+		usec = uint32(p.Timestamp.Nanosecond() / 1e3)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, sec)
+	dst = binary.BigEndian.AppendUint32(dst, usec)
+	return dst
+}
+
+func parsePerPeerHeader(b []byte) (PerPeerHeader, []byte, error) {
+	if len(b) < PerPeerHeaderLen {
+		return PerPeerHeader{}, nil, fmt.Errorf("bmp: truncated per-peer header (%d bytes)", len(b))
+	}
+	p := PerPeerHeader{
+		PeerType:      b[0],
+		Flags:         b[1] &^ PeerFlagV,
+		Distinguisher: binary.BigEndian.Uint64(b[2:10]),
+		AS:            bgp.ASN(binary.BigEndian.Uint32(b[26:30])),
+		BGPID:         binary.BigEndian.Uint32(b[30:34]),
+	}
+	if b[1]&PeerFlagV != 0 {
+		p.Addr = prefix.AddrFrom16Bytes(b[10:26])
+	} else {
+		p.Addr = prefix.AddrFrom4(binary.BigEndian.Uint32(b[22:26]))
+	}
+	sec := binary.BigEndian.Uint32(b[34:38])
+	usec := binary.BigEndian.Uint32(b[38:42])
+	if sec != 0 || usec != 0 {
+		if usec > 999_999 {
+			return PerPeerHeader{}, nil, fmt.Errorf("bmp: per-peer timestamp with %d microseconds", usec)
+		}
+		p.Timestamp = time.Unix(int64(sec), int64(usec)*1e3).UTC()
+	}
+	return p, b[PerPeerHeaderLen:], nil
+}
+
+// Message is one of *RouteMonitoring, *StatsReport, *PeerDown, *PeerUp,
+// *Initiation, *Termination.
+type Message interface {
+	Type() MessageType
+	// marshalBody appends everything after the 6-byte common header.
+	marshalBody(dst []byte, opt bgp.Options) ([]byte, error)
+}
+
+// --- Route Monitoring (§4.6) ---
+
+// RouteMonitoring carries one BGP UPDATE exactly as received from the
+// monitored peer. This is the message type that makes BMP a feed: every
+// route the router learns (or loses) from the peer arrives here.
+type RouteMonitoring struct {
+	Peer   PerPeerHeader
+	Update *bgp.Update
+}
+
+func (*RouteMonitoring) Type() MessageType { return MsgRouteMonitoring }
+
+func (m *RouteMonitoring) marshalBody(dst []byte, opt bgp.Options) ([]byte, error) {
+	dst = m.Peer.append(dst)
+	if m.Update == nil {
+		return nil, fmt.Errorf("bmp: Route Monitoring without UPDATE")
+	}
+	wire, err := bgp.Marshal(m.Update, opt)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, wire...), nil
+}
+
+func parseRouteMonitoring(b []byte, opt bgp.Options) (*RouteMonitoring, error) {
+	peer, rest, err := parsePerPeerHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := bgp.ParseMessage(rest, opt)
+	if err != nil {
+		return nil, fmt.Errorf("bmp: Route Monitoring payload: %w", err)
+	}
+	upd, ok := inner.(*bgp.Update)
+	if !ok {
+		return nil, fmt.Errorf("bmp: Route Monitoring carrying %s, want UPDATE", inner.Type())
+	}
+	return &RouteMonitoring{Peer: peer, Update: upd}, nil
+}
+
+// --- Statistics Report (§4.8) ---
+
+// Stat is one statistics TLV. Values are kept raw: the counters a
+// router exports vary by vendor, and the station treats them as opaque
+// gauges keyed by type.
+type Stat struct {
+	StatType uint16
+	Value    []byte
+}
+
+// StatsReport is a periodic counter dump for one monitored peer.
+type StatsReport struct {
+	Peer  PerPeerHeader
+	Stats []Stat
+}
+
+func (*StatsReport) Type() MessageType { return MsgStatsReport }
+
+func (m *StatsReport) marshalBody(dst []byte, _ bgp.Options) ([]byte, error) {
+	dst = m.Peer.append(dst)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Stats)))
+	for _, s := range m.Stats {
+		if len(s.Value) > 0xffff {
+			return nil, fmt.Errorf("bmp: stat value of %d bytes", len(s.Value))
+		}
+		dst = binary.BigEndian.AppendUint16(dst, s.StatType)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(s.Value)))
+		dst = append(dst, s.Value...)
+	}
+	return dst, nil
+}
+
+func parseStatsReport(b []byte) (*StatsReport, error) {
+	peer, rest, err := parsePerPeerHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("bmp: truncated stats count")
+	}
+	count := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	m := &StatsReport{Peer: peer}
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("bmp: truncated stat TLV header")
+		}
+		typ := binary.BigEndian.Uint16(rest)
+		n := int(binary.BigEndian.Uint16(rest[2:]))
+		if len(rest) < 4+n {
+			return nil, fmt.Errorf("bmp: truncated stat TLV value")
+		}
+		m.Stats = append(m.Stats, Stat{StatType: typ, Value: append([]byte(nil), rest[4:4+n]...)})
+		rest = rest[4+n:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("bmp: %d trailing bytes after stats", len(rest))
+	}
+	return m, nil
+}
+
+// --- Peer Down (§4.9) ---
+
+// Peer Down reason codes.
+const (
+	PeerDownLocalNotification  uint8 = 1 // local close, NOTIFICATION sent
+	PeerDownLocalNoNotify      uint8 = 2 // local close, FSM event code
+	PeerDownRemoteNotification uint8 = 3 // remote close, NOTIFICATION received
+	PeerDownRemoteNoNotify     uint8 = 4 // remote close, no data
+	PeerDownDeconfigured       uint8 = 5 // peer monitoring de-configured
+)
+
+// PeerDown announces the loss of a monitored session. Which auxiliary
+// field is set depends on Reason: a NOTIFICATION for reasons 1 and 3,
+// an FSM event code for reason 2, nothing for 4 and 5; unknown reasons
+// keep their payload raw in Data.
+type PeerDown struct {
+	Peer         PerPeerHeader
+	Reason       uint8
+	Notification *bgp.Notification
+	FSMCode      uint16
+	Data         []byte
+}
+
+func (*PeerDown) Type() MessageType { return MsgPeerDown }
+
+func (m *PeerDown) marshalBody(dst []byte, opt bgp.Options) ([]byte, error) {
+	dst = m.Peer.append(dst)
+	dst = append(dst, m.Reason)
+	switch m.Reason {
+	case PeerDownLocalNotification, PeerDownRemoteNotification:
+		if m.Notification == nil {
+			return nil, fmt.Errorf("bmp: Peer Down reason %d without NOTIFICATION", m.Reason)
+		}
+		wire, err := bgp.Marshal(m.Notification, opt)
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, wire...)
+	case PeerDownLocalNoNotify:
+		dst = binary.BigEndian.AppendUint16(dst, m.FSMCode)
+	case PeerDownRemoteNoNotify, PeerDownDeconfigured:
+		// no data
+	default:
+		dst = append(dst, m.Data...)
+	}
+	return dst, nil
+}
+
+func parsePeerDown(b []byte, opt bgp.Options) (*PeerDown, error) {
+	peer, rest, err := parsePerPeerHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 1 {
+		return nil, fmt.Errorf("bmp: Peer Down without reason")
+	}
+	m := &PeerDown{Peer: peer, Reason: rest[0]}
+	rest = rest[1:]
+	switch m.Reason {
+	case PeerDownLocalNotification, PeerDownRemoteNotification:
+		inner, err := bgp.ParseMessage(rest, opt)
+		if err != nil {
+			return nil, fmt.Errorf("bmp: Peer Down payload: %w", err)
+		}
+		notif, ok := inner.(*bgp.Notification)
+		if !ok {
+			return nil, fmt.Errorf("bmp: Peer Down carrying %s, want NOTIFICATION", inner.Type())
+		}
+		m.Notification = notif
+	case PeerDownLocalNoNotify:
+		if len(rest) != 2 {
+			return nil, fmt.Errorf("bmp: Peer Down FSM code of %d bytes", len(rest))
+		}
+		m.FSMCode = binary.BigEndian.Uint16(rest)
+	case PeerDownRemoteNoNotify, PeerDownDeconfigured:
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("bmp: Peer Down reason %d with %d data bytes", m.Reason, len(rest))
+		}
+	default:
+		if len(rest) > 0 {
+			m.Data = append([]byte(nil), rest...)
+		}
+	}
+	return m, nil
+}
+
+// --- Peer Up (§4.10) ---
+
+// PeerUp announces a newly established (or pre-existing, at session
+// start) monitored session, carrying both OPENs so the station can
+// recover the negotiated capabilities.
+type PeerUp struct {
+	Peer       PerPeerHeader
+	LocalAddr  prefix.Addr
+	LocalPort  uint16
+	RemotePort uint16
+	SentOpen   *bgp.Open
+	RecvOpen   *bgp.Open
+	Info       []TLV
+}
+
+func (*PeerUp) Type() MessageType { return MsgPeerUp }
+
+func (m *PeerUp) marshalBody(dst []byte, opt bgp.Options) ([]byte, error) {
+	dst = m.Peer.append(dst)
+	if m.LocalAddr.Is6() {
+		a16 := m.LocalAddr.As16()
+		dst = append(dst, a16[:]...)
+	} else {
+		var a16 [16]byte
+		binary.BigEndian.PutUint32(a16[12:], m.LocalAddr.V4())
+		dst = append(dst, a16[:]...)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, m.LocalPort)
+	dst = binary.BigEndian.AppendUint16(dst, m.RemotePort)
+	if m.SentOpen == nil || m.RecvOpen == nil {
+		return nil, fmt.Errorf("bmp: Peer Up without both OPENs")
+	}
+	for _, o := range []*bgp.Open{m.SentOpen, m.RecvOpen} {
+		wire, err := bgp.Marshal(o, opt)
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, wire...)
+	}
+	return appendTLVs(dst, m.Info)
+}
+
+func parsePeerUp(b []byte, opt bgp.Options) (*PeerUp, error) {
+	peer, rest, err := parsePerPeerHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 20 {
+		return nil, fmt.Errorf("bmp: truncated Peer Up")
+	}
+	m := &PeerUp{Peer: peer}
+	// The local address shares the peer address family (same session).
+	if peer.Addr.Is6() {
+		m.LocalAddr = prefix.AddrFrom16Bytes(rest[:16])
+	} else {
+		m.LocalAddr = prefix.AddrFrom4(binary.BigEndian.Uint32(rest[12:16]))
+	}
+	m.LocalPort = binary.BigEndian.Uint16(rest[16:18])
+	m.RemotePort = binary.BigEndian.Uint16(rest[18:20])
+	rest = rest[20:]
+	for _, slot := range []**bgp.Open{&m.SentOpen, &m.RecvOpen} {
+		if len(rest) < bgp.HeaderLen {
+			return nil, fmt.Errorf("bmp: truncated Peer Up OPEN")
+		}
+		n := int(binary.BigEndian.Uint16(rest[16:18]))
+		if n < bgp.HeaderLen || n > len(rest) {
+			return nil, fmt.Errorf("bmp: bad Peer Up OPEN length %d", n)
+		}
+		inner, err := bgp.ParseMessage(rest[:n], opt)
+		if err != nil {
+			return nil, fmt.Errorf("bmp: Peer Up OPEN: %w", err)
+		}
+		open, ok := inner.(*bgp.Open)
+		if !ok {
+			return nil, fmt.Errorf("bmp: Peer Up carrying %s, want OPEN", inner.Type())
+		}
+		*slot = open
+		rest = rest[n:]
+	}
+	if m.Info, err = parseTLVs(rest); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// --- Initiation / Termination (§4.3, §4.5) ---
+
+// Information TLV types (Initiation).
+const (
+	InfoString   uint16 = 0
+	InfoSysDescr uint16 = 1
+	InfoSysName  uint16 = 2
+)
+
+// Termination TLV types.
+const (
+	TermString uint16 = 0
+	TermReason uint16 = 1
+)
+
+// TLV is a type-length-value element used by Initiation, Termination,
+// and Peer Up information sections.
+type TLV struct {
+	TLVType uint16
+	Value   []byte
+}
+
+func appendTLVs(dst []byte, tlvs []TLV) ([]byte, error) {
+	for _, t := range tlvs {
+		if len(t.Value) > 0xffff {
+			return nil, fmt.Errorf("bmp: TLV value of %d bytes", len(t.Value))
+		}
+		dst = binary.BigEndian.AppendUint16(dst, t.TLVType)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(t.Value)))
+		dst = append(dst, t.Value...)
+	}
+	return dst, nil
+}
+
+func parseTLVs(b []byte) ([]TLV, error) {
+	var out []TLV
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("bmp: truncated TLV header")
+		}
+		typ := binary.BigEndian.Uint16(b)
+		n := int(binary.BigEndian.Uint16(b[2:]))
+		if len(b) < 4+n {
+			return nil, fmt.Errorf("bmp: truncated TLV value")
+		}
+		out = append(out, TLV{TLVType: typ, Value: append([]byte(nil), b[4:4+n]...)})
+		b = b[4+n:]
+	}
+	return out, nil
+}
+
+// Initiation opens a BMP stream; routers send sysName/sysDescr here.
+type Initiation struct{ Info []TLV }
+
+func (*Initiation) Type() MessageType { return MsgInitiation }
+
+func (m *Initiation) marshalBody(dst []byte, _ bgp.Options) ([]byte, error) {
+	return appendTLVs(dst, m.Info)
+}
+
+// SysName returns the sysName information string, if present. The
+// station uses it as the collector label on events from this stream.
+func (m *Initiation) SysName() (string, bool) {
+	for _, t := range m.Info {
+		if t.TLVType == InfoSysName {
+			return string(t.Value), true
+		}
+	}
+	return "", false
+}
+
+// NewInitiation builds the minimal Initiation a sim router sends.
+func NewInitiation(sysName, sysDescr string) *Initiation {
+	return &Initiation{Info: []TLV{
+		{TLVType: InfoSysName, Value: []byte(sysName)},
+		{TLVType: InfoSysDescr, Value: []byte(sysDescr)},
+	}}
+}
+
+// Termination closes a BMP stream.
+type Termination struct{ Info []TLV }
+
+func (*Termination) Type() MessageType { return MsgTermination }
+
+func (m *Termination) marshalBody(dst []byte, _ bgp.Options) ([]byte, error) {
+	return appendTLVs(dst, m.Info)
+}
+
+// --- Framing ---
+
+// Marshal encodes a full BMP message including the 6-byte common header.
+func Marshal(m Message, opt bgp.Options) ([]byte, error) {
+	buf := make([]byte, HeaderLen, 128)
+	buf[0] = Version
+	buf[5] = byte(m.Type())
+	buf, err := m.marshalBody(buf, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) > MaxMessageLen {
+		return nil, fmt.Errorf("bmp: %s message length %d exceeds %d", m.Type(), len(buf), MaxMessageLen)
+	}
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(buf)))
+	return buf, nil
+}
+
+// ParseMessage decodes a full BMP message (common header included).
+func ParseMessage(b []byte, opt bgp.Options) (Message, error) {
+	if len(b) < HeaderLen {
+		return nil, fmt.Errorf("bmp: short header (%d bytes)", len(b))
+	}
+	if b[0] != Version {
+		return nil, fmt.Errorf("bmp: version %d, want %d", b[0], Version)
+	}
+	length := int(binary.BigEndian.Uint32(b[1:5]))
+	if length != len(b) || length > MaxMessageLen {
+		return nil, fmt.Errorf("bmp: bad message length %d (have %d bytes)", length, len(b))
+	}
+	typ := MessageType(b[5])
+	body := b[HeaderLen:]
+	switch typ {
+	case MsgRouteMonitoring:
+		return parseRouteMonitoring(body, opt)
+	case MsgStatsReport:
+		return parseStatsReport(body)
+	case MsgPeerDown:
+		return parsePeerDown(body, opt)
+	case MsgPeerUp:
+		return parsePeerUp(body, opt)
+	case MsgInitiation:
+		m := &Initiation{}
+		var err error
+		if m.Info, err = parseTLVs(body); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case MsgTermination:
+		m := &Termination{}
+		var err error
+		if m.Info, err = parseTLVs(body); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	return nil, fmt.Errorf("bmp: unknown message type %d", typ)
+}
+
+// WriteMessage marshals m and writes it to w.
+func WriteMessage(w io.Writer, m Message, opt bgp.Options) error {
+	b, err := Marshal(m, opt)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadMessage reads exactly one framed BMP message from r. Use a Reader
+// for streams: it reuses its buffer across messages.
+func ReadMessage(r io.Reader, opt bgp.Options) (Message, error) {
+	rd := Reader{r: r, opt: opt}
+	return rd.Next()
+}
+
+// Reader decodes a BMP stream, reusing one internal buffer across
+// messages so steady-state reads allocate only the parsed message
+// structures, not the wire bytes.
+type Reader struct {
+	r   io.Reader
+	opt bgp.Options
+	buf []byte
+}
+
+// NewReader wraps r with a reusable-buffer BMP stream decoder.
+func NewReader(r io.Reader, opt bgp.Options) *Reader {
+	return &Reader{r: r, opt: opt}
+}
+
+// Next reads and parses the next message. io.EOF is returned unchanged
+// at a clean message boundary.
+func (rd *Reader) Next() (Message, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(rd.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != Version {
+		return nil, fmt.Errorf("bmp: version %d, want %d", hdr[0], Version)
+	}
+	length := int(binary.BigEndian.Uint32(hdr[1:5]))
+	if length < HeaderLen || length > MaxMessageLen {
+		return nil, fmt.Errorf("bmp: bad message length %d", length)
+	}
+	if cap(rd.buf) < length {
+		rd.buf = make([]byte, length)
+	}
+	full := rd.buf[:length]
+	copy(full, hdr[:])
+	if _, err := io.ReadFull(rd.r, full[HeaderLen:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return ParseMessage(full, rd.opt)
+}

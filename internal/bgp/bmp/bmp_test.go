@@ -1,0 +1,185 @@
+package bmp
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/prefix"
+)
+
+func roundTrip(t *testing.T, m Message, opt bgp.Options) Message {
+	t.Helper()
+	wire, err := Marshal(m, opt)
+	if err != nil {
+		t.Fatalf("marshal %s: %v", m.Type(), err)
+	}
+	got, err := ParseMessage(wire, opt)
+	if err != nil {
+		t.Fatalf("parse %s: %v", m.Type(), err)
+	}
+	return got
+}
+
+func testPeer(v6 bool) PerPeerHeader {
+	p := PerPeerHeader{
+		AS:        65010,
+		BGPID:     0x0a000001,
+		Timestamp: time.Unix(1466000123, 250_000_000).UTC(),
+		Addr:      prefix.MustParseAddr("192.0.2.10"),
+	}
+	if v6 {
+		p.Addr = prefix.MustParseAddr("2001:db8::10")
+	}
+	return p
+}
+
+func testUpdate() *bgp.Update {
+	return &bgp.Update{
+		Attrs: []bgp.PathAttr{
+			&bgp.OriginAttr{Value: bgp.OriginIGP},
+			bgp.NewASPath([]bgp.ASN{65010, 65002, 64666}),
+			&bgp.NextHopAttr{Addr: prefix.MustParseAddr("192.0.2.1")},
+		},
+		NLRI: []prefix.Prefix{
+			prefix.MustParse("208.65.153.0/24"),
+			prefix.MustParse("2001:db8:beef::/48"),
+		},
+	}
+}
+
+func TestRouteMonitoringRoundTrip(t *testing.T) {
+	for _, v6 := range []bool{false, true} {
+		m := &RouteMonitoring{Peer: testPeer(v6), Update: testUpdate()}
+		got := roundTrip(t, m, bgp.DefaultOptions).(*RouteMonitoring)
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("v6=%v round trip mismatch:\n got %#v\nwant %#v", v6, got, m)
+		}
+	}
+}
+
+func TestPeerUpDownRoundTrip(t *testing.T) {
+	up := &PeerUp{
+		Peer:       testPeer(false),
+		LocalAddr:  prefix.MustParseAddr("192.0.2.1"),
+		LocalPort:  179,
+		RemotePort: 30012,
+		SentOpen:   bgp.NewOpen(64512, 90, prefix.MustParseAddr("192.0.2.1")),
+		RecvOpen:   bgp.NewOpen(65010, 90, prefix.MustParseAddr("192.0.2.10")),
+		Info:       []TLV{{TLVType: InfoString, Value: []byte("session up")}},
+	}
+	if got := roundTrip(t, up, bgp.DefaultOptions).(*PeerUp); !reflect.DeepEqual(got, up) {
+		t.Fatalf("Peer Up mismatch:\n got %#v\nwant %#v", got, up)
+	}
+
+	for _, down := range []*PeerDown{
+		{Peer: testPeer(false), Reason: PeerDownRemoteNotification,
+			Notification: &bgp.Notification{Code: 6, Subcode: 2, Data: []byte{1}}},
+		{Peer: testPeer(true), Reason: PeerDownLocalNoNotify, FSMCode: 17},
+		{Peer: testPeer(false), Reason: PeerDownRemoteNoNotify},
+		{Peer: testPeer(false), Reason: PeerDownDeconfigured},
+		{Peer: testPeer(false), Reason: 99, Data: []byte{0xde, 0xad}},
+	} {
+		got := roundTrip(t, down, bgp.DefaultOptions).(*PeerDown)
+		if !reflect.DeepEqual(got, down) {
+			t.Fatalf("Peer Down reason %d mismatch:\n got %#v\nwant %#v", down.Reason, got, down)
+		}
+	}
+}
+
+func TestInitiationTerminationStatsRoundTrip(t *testing.T) {
+	init := NewInitiation("rrc-sim", "unit test")
+	got := roundTrip(t, init, bgp.DefaultOptions).(*Initiation)
+	if name, ok := got.SysName(); !ok || name != "rrc-sim" {
+		t.Fatalf("SysName = %q, %v", name, ok)
+	}
+	if !reflect.DeepEqual(got, init) {
+		t.Fatalf("Initiation mismatch: %#v", got)
+	}
+
+	term := &Termination{Info: []TLV{{TLVType: TermReason, Value: []byte{0, 0}}}}
+	if got := roundTrip(t, term, bgp.DefaultOptions).(*Termination); !reflect.DeepEqual(got, term) {
+		t.Fatalf("Termination mismatch: %#v", got)
+	}
+
+	stats := &StatsReport{Peer: testPeer(true), Stats: []Stat{
+		{StatType: 0, Value: []byte{0, 0, 0, 7}},
+		{StatType: 7, Value: []byte{0, 0, 0, 0, 0, 0, 1, 0}},
+	}}
+	if got := roundTrip(t, stats, bgp.DefaultOptions).(*StatsReport); !reflect.DeepEqual(got, stats) {
+		t.Fatalf("StatsReport mismatch: %#v", got)
+	}
+}
+
+// TestZeroTimestamp: an all-zero timestamp field means "not available"
+// and must decode back to the zero time, not the Unix epoch.
+func TestZeroTimestamp(t *testing.T) {
+	p := testPeer(false)
+	p.Timestamp = time.Time{}
+	m := &RouteMonitoring{Peer: p, Update: testUpdate()}
+	got := roundTrip(t, m, bgp.DefaultOptions).(*RouteMonitoring)
+	if !got.Peer.Timestamp.IsZero() {
+		t.Fatalf("zero timestamp decoded as %v", got.Peer.Timestamp)
+	}
+}
+
+// TestReaderStream: a Reader must deliver a full session stream in
+// order from one buffer, and report clean EOF at a message boundary.
+func TestReaderStream(t *testing.T) {
+	msgs := []Message{
+		NewInitiation("rtr1", "stream test"),
+		&PeerUp{Peer: testPeer(false), LocalAddr: prefix.MustParseAddr("192.0.2.1"),
+			SentOpen: bgp.NewOpen(64512, 90, prefix.MustParseAddr("192.0.2.1")),
+			RecvOpen: bgp.NewOpen(65010, 90, prefix.MustParseAddr("192.0.2.10"))},
+		&RouteMonitoring{Peer: testPeer(false), Update: testUpdate()},
+		&PeerDown{Peer: testPeer(false), Reason: PeerDownRemoteNoNotify},
+		&Termination{Info: []TLV{{TLVType: TermString, Value: []byte("bye")}}},
+	}
+	var stream bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteMessage(&stream, m, bgp.DefaultOptions); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := NewReader(&stream, bgp.DefaultOptions)
+	for i, want := range msgs {
+		got, err := rd.Next()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("message %d mismatch:\n got %#v\nwant %#v", i, got, want)
+		}
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("after stream: err = %v, want io.EOF", err)
+	}
+}
+
+// TestParseRejects: structurally broken frames must error, not panic.
+func TestParseRejects(t *testing.T) {
+	good, err := Marshal(&RouteMonitoring{Peer: testPeer(false), Update: testUpdate()}, bgp.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"short header":    good[:4],
+		"bad version":     append([]byte{9}, good[1:]...),
+		"length mismatch": good[:len(good)-1],
+		"unknown type":    func() []byte { b := append([]byte(nil), good...); b[5] = 42; return b }(),
+		"truncated peer":  good[:HeaderLen+10],
+	}
+	for name, b := range cases {
+		if name == "truncated peer" {
+			// Re-frame so the length field matches the truncated body.
+			b = append([]byte(nil), b...)
+			b[1], b[2], b[3], b[4] = 0, 0, 0, byte(len(b))
+		}
+		if _, err := ParseMessage(b, bgp.DefaultOptions); err == nil {
+			t.Errorf("%s: parse accepted corrupt input", name)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package bmp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"artemis/internal/bgp"
+)
+
+// Exporter is the router side of a BMP session for tests and
+// simulations: a TCP listener (the "passive" monitored router) that
+// speaks the stream a real router would — Initiation on connect, a
+// Peer Up replay of every session currently established, then whatever
+// the caller publishes. The station side (internal/ingest.BMPDialer)
+// dials in, exactly as a monitoring station dials a passive router.
+//
+// Slow consumers are disconnected rather than allowed to backpressure
+// the router, mirroring how BMP implementations shed stations that
+// cannot keep up.
+type Exporter struct {
+	ln  net.Listener
+	opt bgp.Options
+
+	mu     sync.Mutex
+	conns  map[net.Conn]chan []byte
+	peers  map[peerKey]*PeerUp // sessions currently up, replayed to new stations
+	closed bool
+	init   *Initiation
+}
+
+type peerKey struct {
+	hi, lo uint64
+	as     bgp.ASN
+}
+
+func keyOfPeer(p PerPeerHeader) peerKey {
+	hi, lo := p.Addr.Uint128()
+	return peerKey{hi: hi, lo: lo, as: p.AS}
+}
+
+// NewExporter starts a BMP exporter listening on addr ("127.0.0.1:0"
+// for an ephemeral test port). sysName becomes the Initiation sysName,
+// which stations use as the collector label.
+func NewExporter(addr, sysName string, opt bgp.Options) (*Exporter, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	e := &Exporter{
+		ln:    ln,
+		opt:   opt,
+		conns: make(map[net.Conn]chan []byte),
+		peers: make(map[peerKey]*PeerUp),
+		init:  NewInitiation(sysName, "artemis sim BMP exporter"),
+	}
+	go e.accept()
+	return e, nil
+}
+
+// Addr returns the listen address to dial.
+func (e *Exporter) Addr() string { return e.ln.Addr().String() }
+
+func (e *Exporter) accept() {
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			c.Close()
+			return
+		}
+		// Greeting: Initiation plus the current session table, queued
+		// before the conn joins the broadcast set so ordering holds.
+		out := make(chan []byte, 256)
+		greeting := [][]byte{mustMarshal(e.init, e.opt)}
+		for _, p := range e.peers {
+			greeting = append(greeting, mustMarshal(p, e.opt))
+		}
+		for _, b := range greeting {
+			out <- b
+		}
+		e.conns[c] = out
+		e.mu.Unlock()
+		go e.serve(c, out)
+	}
+}
+
+func (e *Exporter) serve(c net.Conn, out chan []byte) {
+	defer func() {
+		e.mu.Lock()
+		delete(e.conns, c)
+		e.mu.Unlock()
+		c.Close()
+	}()
+	for b := range out {
+		if _, err := c.Write(b); err != nil {
+			return
+		}
+	}
+}
+
+func mustMarshal(m Message, opt bgp.Options) []byte {
+	b, err := Marshal(m, opt)
+	if err != nil {
+		panic(fmt.Sprintf("bmp: exporter marshal: %v", err))
+	}
+	return b
+}
+
+// PeerUp records the session as established and broadcasts the Peer Up
+// to every connected station.
+func (e *Exporter) PeerUp(p *PeerUp) {
+	wire := mustMarshal(p, e.opt) // before the lock: a marshal panic must not wedge Close
+	e.mu.Lock()
+	e.peers[keyOfPeer(p.Peer)] = p
+	e.broadcastLocked(wire)
+	e.mu.Unlock()
+}
+
+// PeerDown removes the session and broadcasts the Peer Down.
+func (e *Exporter) PeerDown(p *PeerDown) {
+	wire := mustMarshal(p, e.opt)
+	e.mu.Lock()
+	delete(e.peers, keyOfPeer(p.Peer))
+	e.broadcastLocked(wire)
+	e.mu.Unlock()
+}
+
+// Publish broadcasts any message (typically Route Monitoring) verbatim.
+func (e *Exporter) Publish(m Message) {
+	wire := mustMarshal(m, e.opt)
+	e.mu.Lock()
+	e.broadcastLocked(wire)
+	e.mu.Unlock()
+}
+
+func (e *Exporter) broadcastLocked(wire []byte) {
+	for c, out := range e.conns {
+		select {
+		case out <- wire:
+		default:
+			// Station too slow: shed it. serve() cleans up on close.
+			delete(e.conns, c)
+			close(out)
+		}
+	}
+}
+
+// Close tears down the listener and every station connection.
+func (e *Exporter) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	for c, out := range e.conns {
+		delete(e.conns, c)
+		close(out)
+		c.Close()
+	}
+	e.mu.Unlock()
+	e.ln.Close()
+}

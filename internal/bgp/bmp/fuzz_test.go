@@ -1,0 +1,69 @@
+package bmp
+
+import (
+	"reflect"
+	"testing"
+
+	"artemis/internal/bgp"
+	"artemis/internal/prefix"
+)
+
+// FuzzBMPMessage: any frame ParseMessage accepts must marshal back
+// without error, and the re-marshaled form must be a parse fixed point
+// (parse→marshal→parse is the identity on parsed messages). This wall
+// covers the common header, the per-peer header, every message body,
+// and — through Route Monitoring and Peer Up/Down — the embedded
+// internal/bgp UPDATE/OPEN/NOTIFICATION parsers.
+func FuzzBMPMessage(f *testing.F) {
+	peer := PerPeerHeader{AS: 65010, BGPID: 0x0a000001, Addr: prefix.MustParseAddr("192.0.2.10")}
+	peer6 := peer
+	peer6.Addr = prefix.MustParseAddr("2001:db8::10")
+	upd := &bgp.Update{
+		Attrs: []bgp.PathAttr{
+			&bgp.OriginAttr{Value: bgp.OriginIGP},
+			bgp.NewASPath([]bgp.ASN{65010, 64666}),
+			&bgp.NextHopAttr{Addr: prefix.MustParseAddr("192.0.2.1")},
+		},
+		NLRI: []prefix.Prefix{prefix.MustParse("208.65.153.0/24"), prefix.MustParse("2001:db8::/32")},
+	}
+	seeds := []Message{
+		NewInitiation("rtr", "fuzz seed"),
+		&Termination{Info: []TLV{{TLVType: TermReason, Value: []byte{0, 1}}}},
+		&RouteMonitoring{Peer: peer, Update: upd},
+		&RouteMonitoring{Peer: peer6, Update: &bgp.Update{Withdrawn: upd.NLRI}},
+		&PeerUp{Peer: peer, LocalAddr: prefix.MustParseAddr("192.0.2.1"), LocalPort: 179,
+			SentOpen: bgp.NewOpen(64512, 90, prefix.MustParseAddr("192.0.2.1")),
+			RecvOpen: bgp.NewOpen(65010, 90, prefix.MustParseAddr("192.0.2.10"))},
+		&PeerDown{Peer: peer, Reason: PeerDownLocalNoNotify, FSMCode: 17},
+		&PeerDown{Peer: peer6, Reason: PeerDownRemoteNotification,
+			Notification: &bgp.Notification{Code: 6, Subcode: 4}},
+		&StatsReport{Peer: peer, Stats: []Stat{{StatType: 7, Value: []byte{0, 0, 0, 1}}}},
+	}
+	for _, m := range seeds {
+		wire, err := Marshal(m, bgp.DefaultOptions)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(wire)
+	}
+	f.Add([]byte{Version, 0, 0, 0, 6, byte(MsgInitiation)})
+	f.Add([]byte{Version, 0xff, 0xff, 0xff, 0xff, 0})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := ParseMessage(b, bgp.DefaultOptions)
+		if err != nil {
+			return
+		}
+		wire, err := Marshal(m, bgp.DefaultOptions)
+		if err != nil {
+			t.Fatalf("parsed message does not re-marshal: %v\n%#v", err, m)
+		}
+		m2, err := ParseMessage(wire, bgp.DefaultOptions)
+		if err != nil {
+			t.Fatalf("re-marshaled message does not re-parse: %v", err)
+		}
+		if !reflect.DeepEqual(m2, m) {
+			t.Fatalf("parse not a fixed point:\n first %#v\nsecond %#v", m, m2)
+		}
+	})
+}

@@ -1,0 +1,32 @@
+package eventlog
+
+import (
+	"testing"
+)
+
+// BenchmarkEventJSONRoundTrip measures the interchange cost per event:
+// one AppendRecord into a reused buffer (the recorder's hot path —
+// gated at zero-and-a-bit allocs) plus one ParseRecord (the replay
+// path, which allocates the decoded path slice and strings).
+func BenchmarkEventJSONRoundTrip(b *testing.B) {
+	evs := sampleEvents()
+	rec := Record{Seq: 42, Event: evs[0]}
+	buf := AppendRecord(nil, rec)
+
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(len(buf)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = AppendRecord(buf[:0], rec)
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(len(buf)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ParseRecord(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

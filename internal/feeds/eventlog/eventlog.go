@@ -1,0 +1,253 @@
+// Package eventlog defines the canonical interchange form for
+// feedtypes.Event — a bgpipe-style JSON envelope, one event per line —
+// and the machinery built on it: an allocation-free encoder, a stream
+// decoder, and a rotating file Recorder that archives the post-dedup
+// event stream off the hot path (recorder.go).
+//
+// # The envelope
+//
+// Each line is a six-element JSON array, in the style of bgpipe's
+// message form (see docs/INTERCHANGE.md for the field-by-field table):
+//
+//	["R", seq, time, type, data, meta]
+//
+//	[0] dir   "R" — received from monitoring (reserved for future use)
+//	[1] seq   monotonic uint64, assigned per stream
+//	[2] time  event time: EmittedAt as integer nanoseconds of sim time
+//	[3] type  "announce" | "withdraw"
+//	[4] data  {"prefix": "...", "vp": asn, "path": [asn, ...]}
+//	[5] meta  {"src": "...", "col": "...", "seen": nanoseconds}
+//
+// Integer nanoseconds (not wall-clock strings) keep the encoder
+// allocation-free and the event-time clocks exact across record→replay:
+// dedup TTLs and tenant quotas run on event time, so a replayed
+// incident reproduces the live run bit for bit.
+package eventlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+	"unicode/utf8"
+
+	"artemis/internal/bgp"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/prefix"
+)
+
+// MaxLineLen bounds one encoded event line; a line is one prefix plus
+// one AS path, so even pathological paths stay far below this.
+const MaxLineLen = 1 << 20
+
+// Record is one sequenced event: what one envelope line carries.
+type Record struct {
+	Seq   uint64
+	Event feedtypes.Event
+}
+
+// AppendRecord appends r's envelope line (including the trailing
+// newline) to dst and returns the extended slice. It performs no
+// allocations when dst has capacity.
+func AppendRecord(dst []byte, r Record) []byte {
+	ev := &r.Event
+	dst = append(dst, `["R",`...)
+	dst = strconv.AppendUint(dst, r.Seq, 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, int64(ev.EmittedAt), 10)
+	if ev.Kind == feedtypes.Withdraw {
+		dst = append(dst, `,"withdraw",`...)
+	} else {
+		dst = append(dst, `,"announce",`...)
+	}
+	dst = append(dst, `{"prefix":"`...)
+	dst = ev.Prefix.AppendText(dst)
+	dst = append(dst, `","vp":`...)
+	dst = strconv.AppendUint(dst, uint64(ev.VantagePoint), 10)
+	dst = append(dst, `,"path":[`...)
+	for i, asn := range ev.Path {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendUint(dst, uint64(asn), 10)
+	}
+	dst = append(dst, `]},{"src":`...)
+	dst = appendJSONString(dst, ev.Source)
+	dst = append(dst, `,"col":`...)
+	dst = appendJSONString(dst, ev.Collector)
+	dst = append(dst, `,"seen":`...)
+	dst = strconv.AppendInt(dst, int64(ev.SeenAt), 10)
+	dst = append(dst, '}', ']', '\n')
+	return dst
+}
+
+// appendJSONString appends s as a JSON string literal. Only the
+// characters JSON requires escaped ('"', '\\', controls) are escaped;
+// invalid UTF-8 is replaced with U+FFFD, matching encoding/json, so
+// the encoder's output is always what its own decoder returns.
+func appendJSONString(dst []byte, s string) []byte {
+	const hex = "0123456789abcdef"
+	dst = append(dst, '"')
+	for i := 0; i < len(s); {
+		b := s[i]
+		if b < utf8.RuneSelf {
+			switch {
+			case b == '"' || b == '\\':
+				dst = append(dst, '\\', b)
+			case b >= 0x20:
+				dst = append(dst, b)
+			case b == '\n':
+				dst = append(dst, '\\', 'n')
+			case b == '\r':
+				dst = append(dst, '\\', 'r')
+			case b == '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hex[b>>4], hex[b&0xf])
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, "�"...)
+			i++
+			continue
+		}
+		dst = append(dst, s[i:i+size]...)
+		i += size
+	}
+	return append(dst, '"')
+}
+
+// envelope mirrors the wire array for decoding; the heterogeneous
+// fields arrive as raw JSON and are typed individually.
+type wireData struct {
+	Prefix string   `json:"prefix"`
+	VP     uint32   `json:"vp"`
+	Path   []uint32 `json:"path"`
+}
+
+type wireMeta struct {
+	Src  string `json:"src"`
+	Col  string `json:"col"`
+	Seen int64  `json:"seen"`
+}
+
+// ParseRecord decodes one envelope line (with or without the trailing
+// newline).
+func ParseRecord(line []byte) (Record, error) {
+	var arr [6]json.RawMessage
+	elems := arr[:0]
+	if err := json.Unmarshal(line, &elems); err != nil {
+		return Record{}, fmt.Errorf("eventlog: %w", err)
+	}
+	if len(elems) != 6 {
+		return Record{}, fmt.Errorf("eventlog: envelope has %d elements, want 6", len(elems))
+	}
+	var dir, typ string
+	var r Record
+	var emitted int64
+	var data wireData
+	var meta wireMeta
+	for i, dst := range []any{&dir, &r.Seq, &emitted, &typ, &data, &meta} {
+		if err := json.Unmarshal(elems[i], dst); err != nil {
+			return Record{}, fmt.Errorf("eventlog: envelope[%d]: %w", i, err)
+		}
+	}
+	if dir != "R" {
+		return Record{}, fmt.Errorf("eventlog: unknown direction %q", dir)
+	}
+	ev := &r.Event
+	switch typ {
+	case "announce":
+		ev.Kind = feedtypes.Announce
+	case "withdraw":
+		ev.Kind = feedtypes.Withdraw
+	default:
+		return Record{}, fmt.Errorf("eventlog: unknown event type %q", typ)
+	}
+	p, err := prefix.Parse(data.Prefix)
+	if err != nil {
+		return Record{}, fmt.Errorf("eventlog: %w", err)
+	}
+	ev.Prefix = p
+	ev.VantagePoint = bgp.ASN(data.VP)
+	if len(data.Path) > 0 {
+		ev.Path = make([]bgp.ASN, len(data.Path))
+		for i, asn := range data.Path {
+			ev.Path[i] = bgp.ASN(asn)
+		}
+	}
+	ev.Source = meta.Src
+	ev.Collector = meta.Col
+	ev.SeenAt = time.Duration(meta.Seen)
+	ev.EmittedAt = time.Duration(emitted)
+	return r, nil
+}
+
+// Writer encodes events to an io.Writer, assigning a monotonic
+// sequence. It buffers one batch at a time in a reused scratch buffer,
+// so a WriteBatch is one underlying Write call and zero allocations at
+// steady state.
+type Writer struct {
+	w   io.Writer
+	seq uint64
+	buf []byte
+}
+
+// NewWriter returns a Writer whose first record has sequence 0.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Seq returns the sequence number the next record will be assigned.
+func (w *Writer) Seq() uint64 { return w.seq }
+
+// WriteBatch encodes evs as consecutive records and writes them with a
+// single underlying Write.
+func (w *Writer) WriteBatch(evs []feedtypes.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	w.buf = w.buf[:0]
+	for i := range evs {
+		w.buf = AppendRecord(w.buf, Record{Seq: w.seq, Event: evs[i]})
+		w.seq++
+	}
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
+// WriteEvent encodes one event.
+func (w *Writer) WriteEvent(ev feedtypes.Event) error {
+	return w.WriteBatch([]feedtypes.Event{ev})
+}
+
+// Reader decodes an envelope stream line by line.
+type Reader struct {
+	s *bufio.Scanner
+}
+
+// NewReader wraps r. Lines beyond MaxLineLen are an error.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 64<<10), MaxLineLen)
+	return &Reader{s: s}
+}
+
+// Next returns the next record, or io.EOF at a clean end of stream.
+// Blank lines are skipped so concatenated segment files read cleanly.
+func (r *Reader) Next() (Record, error) {
+	for r.s.Scan() {
+		line := r.s.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		return ParseRecord(line)
+	}
+	if err := r.s.Err(); err != nil {
+		return Record{}, err
+	}
+	return Record{}, io.EOF
+}

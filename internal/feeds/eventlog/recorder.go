@@ -1,0 +1,215 @@
+package eventlog
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/ring"
+)
+
+// RecorderConfig configures a rotating event archive.
+type RecorderConfig struct {
+	// Prefix is the segment path prefix: segments are written as
+	// <Prefix>-NNNNNN.evlog, numbered from 000001 in write order, so a
+	// shell glob replays an archive in sequence.
+	Prefix string
+	// MaxFileBytes rotates the active segment when its size reaches
+	// this. Default 64 MiB.
+	MaxFileBytes int64
+	// MaxFileAge rotates the active segment after this wall-clock age
+	// even if small, so quiet periods still produce bounded files.
+	// 0 disables age rotation.
+	MaxFileAge time.Duration
+	// QueueDepth bounds the batch queue between the hot path and the
+	// writer goroutine. Default 64 batches. When the queue is full the
+	// batch is dropped and counted — recording never stalls ingest.
+	QueueDepth int
+}
+
+// RecorderSnapshot is a point-in-time view of recorder counters.
+type RecorderSnapshot struct {
+	Events    int64 // events written to segments
+	Dropped   int64 // events shed because the queue was full
+	Bytes     int64 // bytes written across all segments
+	Rotations int64 // completed segment rotations
+	Queue     int   // batches queued right now
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format,
+// matching the artemis_* families in internal/stats.
+func (s RecorderSnapshot) WriteProm(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE artemis_record_events_total counter\nartemis_record_events_total %d\n", s.Events)
+	fmt.Fprintf(w, "# TYPE artemis_record_dropped_total counter\nartemis_record_dropped_total %d\n", s.Dropped)
+	fmt.Fprintf(w, "# TYPE artemis_record_bytes_total counter\nartemis_record_bytes_total %d\n", s.Bytes)
+	fmt.Fprintf(w, "# TYPE artemis_record_rotations_total counter\nartemis_record_rotations_total %d\n", s.Rotations)
+	fmt.Fprintf(w, "# TYPE artemis_record_queue_depth gauge\nartemis_record_queue_depth %d\n", s.Queue)
+}
+
+// Recorder archives an event stream to size/time-rotated segment
+// files. Record is the hot-path half: it deep-copies the batch into a
+// pooled buffer and hands it to a single writer goroutine over a
+// bounded SPSC ring, so the caller never blocks on the filesystem —
+// if the writer cannot keep up the batch is shed and counted, never
+// queued unboundedly.
+type Recorder struct {
+	cfg  RecorderConfig
+	pool *feedtypes.BatchPool
+	q    *ring.Ring[*feedtypes.Batch]
+
+	mu sync.Mutex // serializes Record (ring producer side) and Close
+
+	events    atomic.Int64
+	dropped   atomic.Int64
+	bytes     atomic.Int64
+	rotations atomic.Int64
+
+	done   chan struct{}
+	closed bool
+
+	// writer-goroutine state
+	w       *Writer
+	file    *os.File
+	fileLen int64
+	fileAt  time.Time // wall time the active segment was opened
+	seg     int
+}
+
+// NewRecorder opens the first segment and starts the writer.
+func NewRecorder(cfg RecorderConfig) (*Recorder, error) {
+	if cfg.Prefix == "" {
+		return nil, fmt.Errorf("eventlog: recorder needs a path prefix")
+	}
+	if cfg.MaxFileBytes <= 0 {
+		cfg.MaxFileBytes = 64 << 20
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	r := &Recorder{
+		cfg:  cfg,
+		pool: feedtypes.NewBatchPool(),
+		q:    ring.New[*feedtypes.Batch](cfg.QueueDepth),
+		done: make(chan struct{}),
+	}
+	if err := r.rotate(); err != nil {
+		return nil, err
+	}
+	go r.run()
+	return r, nil
+}
+
+// SegmentName returns the path of segment n (1-based), the scheme
+// documented on RecorderConfig.Prefix.
+func SegmentName(prefix string, n int) string {
+	return fmt.Sprintf("%s-%06d.evlog", prefix, n)
+}
+
+// rotate opens the next segment (writer goroutine only, and once
+// during construction).
+func (r *Recorder) rotate() error {
+	if r.file != nil {
+		if err := r.file.Close(); err != nil {
+			return err
+		}
+		r.rotations.Add(1)
+	}
+	r.seg++
+	f, err := os.Create(SegmentName(r.cfg.Prefix, r.seg))
+	if err != nil {
+		return err
+	}
+	r.file = f
+	r.fileLen = 0
+	r.fileAt = time.Now()
+	if r.w == nil {
+		r.w = &Writer{}
+	}
+	r.w.w = f // sequence continues across segments
+	return nil
+}
+
+// Record archives a copy of evs. It is safe for concurrent callers and
+// never blocks on I/O; on a full queue the batch is dropped and
+// counted in the Dropped counter.
+func (r *Recorder) Record(evs []feedtypes.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	b := r.pool.Get()
+	b.AppendEvents(evs)
+	r.mu.Lock()
+	if r.closed || !r.q.TryPush(b) {
+		r.mu.Unlock()
+		b.Release()
+		r.dropped.Add(int64(len(evs)))
+		return
+	}
+	r.mu.Unlock()
+}
+
+func (r *Recorder) run() {
+	defer close(r.done)
+	for {
+		b, ok := r.q.Pop()
+		if !ok {
+			break
+		}
+		r.write(b.Events)
+		b.Release()
+	}
+	r.file.Close()
+}
+
+func (r *Recorder) write(evs []feedtypes.Event) {
+	if r.cfg.MaxFileAge > 0 && time.Since(r.fileAt) >= r.cfg.MaxFileAge {
+		if err := r.rotate(); err != nil {
+			r.dropped.Add(int64(len(evs)))
+			return
+		}
+	}
+	if err := r.w.WriteBatch(evs); err != nil {
+		r.dropped.Add(int64(len(evs)))
+		return
+	}
+	n := int64(len(r.w.buf))
+	r.fileLen += n
+	r.bytes.Add(n)
+	r.events.Add(int64(len(evs)))
+	if r.fileLen >= r.cfg.MaxFileBytes {
+		if err := r.rotate(); err != nil {
+			// Keep writing to the oversized segment rather than lose data.
+			r.fileLen = 0
+		}
+	}
+}
+
+// Snapshot returns current counters.
+func (r *Recorder) Snapshot() RecorderSnapshot {
+	return RecorderSnapshot{
+		Events:    r.events.Load(),
+		Dropped:   r.dropped.Load(),
+		Bytes:     r.bytes.Load(),
+		Rotations: r.rotations.Load(),
+		Queue:     r.q.Len(),
+	}
+}
+
+// Close drains the queue, flushes, and closes the active segment.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		<-r.done
+		return nil
+	}
+	r.closed = true
+	r.q.Close()
+	r.mu.Unlock()
+	<-r.done
+	return nil
+}

@@ -1,0 +1,179 @@
+package ingest_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/bgp/bmp"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/ingest"
+	"artemis/internal/prefix"
+)
+
+func bmpTestPeer(addr string, as bgp.ASN, ts time.Time) bmp.PerPeerHeader {
+	return bmp.PerPeerHeader{
+		Addr:      prefix.MustParseAddr(addr),
+		AS:        as,
+		BGPID:     0x0a000001,
+		Timestamp: ts,
+	}
+}
+
+func bmpPeerUp(peer bmp.PerPeerHeader) *bmp.PeerUp {
+	return &bmp.PeerUp{
+		Peer:       peer,
+		LocalAddr:  prefix.MustParseAddr("192.0.2.1"),
+		LocalPort:  179,
+		RemotePort: 30000,
+		SentOpen:   bgp.NewOpen(64512, 90, prefix.MustParseAddr("192.0.2.1")),
+		RecvOpen:   bgp.NewOpen(peer.AS, 90, prefix.MustParseAddr("192.0.2.99")),
+	}
+}
+
+func bmpAnnounce(peer bmp.PerPeerHeader, path []bgp.ASN, prefixes ...string) *bmp.RouteMonitoring {
+	u := &bgp.Update{
+		Attrs: []bgp.PathAttr{
+			&bgp.OriginAttr{Value: bgp.OriginIGP},
+			bgp.NewASPath(path),
+			&bgp.NextHopAttr{Addr: prefix.MustParseAddr("192.0.2.1")},
+		},
+	}
+	for _, p := range prefixes {
+		u.NLRI = append(u.NLRI, prefix.MustParse(p))
+	}
+	return &bmp.RouteMonitoring{Peer: peer, Update: u}
+}
+
+// peerLog records BMPPeerEvent callbacks.
+type peerLog struct {
+	mu  sync.Mutex
+	evs []ingest.BMPPeerEvent
+}
+
+func (l *peerLog) observe(ev ingest.BMPPeerEvent) {
+	l.mu.Lock()
+	l.evs = append(l.evs, ev)
+	l.mu.Unlock()
+}
+
+func (l *peerLog) all() []ingest.BMPPeerEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]ingest.BMPPeerEvent(nil), l.evs...)
+}
+
+// TestBMPDialerEndToEnd drives a full station session against the sim
+// exporter: Initiation names the collector, Peer Up replay precedes
+// route monitoring, the client-side filter discards unwatched prefixes,
+// and losing the last monitored peer degrades the source (which then
+// redials and finds the session again).
+func TestBMPDialerEndToEnd(t *testing.T) {
+	exp, err := bmp.NewExporter("127.0.0.1:0", "rtr-test", bgp.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+
+	ts := time.Unix(1466000100, 0).UTC() // 100s after the sim epoch
+	peer := bmpTestPeer("192.0.2.10", 65010, ts)
+	exp.PeerUp(bmpPeerUp(peer))
+
+	var got collector
+	var peers peerLog
+	sup := ingest.New(got.deliver, ingest.Config{DedupTTL: -1, BackoffBase: 5 * time.Millisecond, Seed: 3})
+	defer sup.Close()
+	watch := feedtypes.Filter{Prefixes: []prefix.Prefix{prefix.MustParse("10.0.0.0/23")}, MoreSpecific: true}
+	id := sup.AddDialer("bmp", ingest.BMPDialerConfig(exp.Addr(), ingest.BMPConfig{
+		Filter: ingest.StaticFilter(watch),
+		OnPeer: peers.observe,
+	}))
+
+	waitFor(t, "peer up observed", func() bool {
+		evs := peers.all()
+		return len(evs) >= 1 && evs[0].Up
+	})
+	if up := peers.all()[0]; up.Collector != "rtr-test" || up.AS != 65010 {
+		t.Fatalf("peer up = %+v", up)
+	}
+
+	// One update carrying a watched sub-prefix and an unwatched prefix:
+	// only the watched one passes the station's filter.
+	exp.Publish(bmpAnnounce(peer, []bgp.ASN{65010, 65002, 64666}, "10.0.0.0/24", "172.16.0.0/16"))
+	waitFor(t, "filtered delivery", func() bool { return got.count() == 1 })
+	ev := got.all()[0]
+	if ev.Source != ingest.BMPSourceName || ev.Collector != "rtr-test" {
+		t.Fatalf("identity: %+v", ev)
+	}
+	if ev.VantagePoint != 65010 || ev.Prefix != prefix.MustParse("10.0.0.0/24") {
+		t.Fatalf("content: %+v", ev)
+	}
+	if len(ev.Path) != 3 || ev.Path[0] != 65010 || ev.Path[2] != 64666 {
+		t.Fatalf("path: %+v", ev.Path)
+	}
+	// The router's timestamp maps onto the sim clock like MRT replay.
+	if ev.SeenAt != 100*time.Second || ev.EmittedAt != 100*time.Second {
+		t.Fatalf("times: seen=%v emitted=%v", ev.SeenAt, ev.EmittedAt)
+	}
+	if st := sup.SourceState(id); st != ingest.StateHealthy {
+		t.Fatalf("state = %v, want healthy", st)
+	}
+
+	// Last monitored peer drops: the station is blind, so the source
+	// must leave healthy (degraded + redial), then recover — the session
+	// table replay on reconnect finds the peer up again.
+	exp.PeerDown(&bmp.PeerDown{Peer: peer, Reason: bmp.PeerDownRemoteNoNotify})
+	waitFor(t, "peer down observed", func() bool {
+		for _, ev := range peers.all() {
+			if !ev.Up && ev.Reason == bmp.PeerDownRemoteNoNotify {
+				return true
+			}
+		}
+		return false
+	})
+	exp.PeerUp(bmpPeerUp(peer)) // session re-established on the router
+	waitFor(t, "redial after peers down", func() bool {
+		return sup.Snapshot().Sources[0].Reconnects >= 1 && sup.SourceState(id) == ingest.StateHealthy
+	})
+
+	// The redialed session still delivers.
+	exp.Publish(bmpAnnounce(peer, []bgp.ASN{65010, 64666}, "10.0.1.0/24"))
+	waitFor(t, "post-redial delivery", func() bool { return got.count() == 2 })
+}
+
+// TestBMPDialerV6AndWithdraw: a v6 session's MP_REACH/MP_UNREACH
+// updates decode through the same path, and withdrawals map to Withdraw
+// events.
+func TestBMPDialerV6AndWithdraw(t *testing.T) {
+	exp, err := bmp.NewExporter("127.0.0.1:0", "rtr6", bgp.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+
+	peer := bmpTestPeer("2001:db8::10", 65020, time.Unix(1466000200, 0).UTC())
+	exp.PeerUp(bmpPeerUp(peer))
+
+	var got collector
+	var peers peerLog
+	sup := ingest.New(got.deliver, ingest.Config{DedupTTL: -1, BackoffBase: 5 * time.Millisecond, Seed: 4})
+	defer sup.Close()
+	sup.AddDialer("bmp6", ingest.BMPDialerConfig(exp.Addr(), ingest.BMPConfig{OnPeer: peers.observe}))
+
+	// The greeting's Peer Up replay proves the station is connected and
+	// will see subsequent broadcasts.
+	waitFor(t, "peer up", func() bool { return len(peers.all()) >= 1 })
+	exp.Publish(bmpAnnounce(peer, []bgp.ASN{65020, 64666}, "2001:db8:beef::/48"))
+	exp.Publish(&bmp.RouteMonitoring{Peer: peer, Update: &bgp.Update{
+		Withdrawn: []prefix.Prefix{prefix.MustParse("2001:db8:beef::/48")},
+	}})
+	waitFor(t, "v6 announce + withdraw", func() bool { return got.count() == 2 })
+	evs := got.all()
+	if evs[0].Kind != feedtypes.Announce || evs[0].Prefix != prefix.MustParse("2001:db8:beef::/48") {
+		t.Fatalf("announce: %+v", evs[0])
+	}
+	if evs[1].Kind != feedtypes.Withdraw || evs[1].VantagePoint != 65020 {
+		t.Fatalf("withdraw: %+v", evs[1])
+	}
+}

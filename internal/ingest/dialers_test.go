@@ -54,8 +54,8 @@ func TestMRTReplayDialer(t *testing.T) {
 	open := func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(data)), nil }
 	id := sup.AddDialer("mrt", ingest.MRTReplayDialer(open, "rv0"), ingest.Blocking())
 	sup.Wait()
-	if st := sup.SourceState(id); st != ingest.StateDead {
-		t.Fatalf("state = %v, want dead at EOF", st)
+	if st := sup.SourceState(id); st != ingest.StateFinished {
+		t.Fatalf("state = %v, want finished at EOF", st)
 	}
 
 	evs := got.all()

@@ -1,0 +1,249 @@
+package ingest_test
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"artemis/internal/feeds/eventlog"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/ingest"
+)
+
+// evlogArchive encodes events as one eventlog stream.
+func evlogArchive(t *testing.T, evs []feedtypes.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := eventlog.NewWriter(&buf)
+	if err := w.WriteBatch(evs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestEventLogReplayFinishesHealthy(t *testing.T) {
+	evs := []feedtypes.Event{
+		ev(100, "10.0.0.0/24", 10*time.Millisecond, 666),
+		ev(101, "10.0.1.0/24", 20*time.Millisecond, 666),
+		ev(102, "10.0.0.0/23", 30*time.Millisecond, 667),
+	}
+	data := evlogArchive(t, evs)
+
+	var got collector
+	sup := ingest.New(got.deliver, ingest.Config{DedupTTL: -1})
+	defer sup.Close()
+	open := func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(data)), nil }
+	id := sup.AddDialer("replay", ingest.EventLogReplayDialer(open, ingest.EventLogReplay{}), ingest.Blocking())
+	sup.Wait()
+
+	// A completed replay is finished — terminal but healthy. This is the
+	// regression pin for the old behavior, where ErrDone parked the
+	// source in "dead" and /v1/health reported a successful replay as a
+	// critical outage (with operators expected to ignore it).
+	if st := sup.SourceState(id); st != ingest.StateFinished {
+		t.Fatalf("state = %v, want finished", st)
+	} else if !st.Terminal() {
+		t.Fatalf("finished must be terminal")
+	}
+	all := got.all()
+	if len(all) != len(evs) {
+		t.Fatalf("delivered %d events, want %d", len(all), len(evs))
+	}
+	for i := range all {
+		if all[i].Prefix != evs[i].Prefix || all[i].EmittedAt != evs[i].EmittedAt {
+			t.Fatalf("event %d: got %+v want %+v", i, all[i], evs[i])
+		}
+	}
+	if snap := sup.Snapshot().Sources[0]; snap.State != "finished" {
+		t.Fatalf("snapshot state = %q", snap.State)
+	}
+}
+
+// TestEventLogReplayPacing: at Speed 1 a recorded gap is reproduced in
+// wall time; as-fast-as-possible replay ignores it. The events keep
+// their recorded clocks either way.
+func TestEventLogReplayPacing(t *testing.T) {
+	const gap = 120 * time.Millisecond
+	evs := []feedtypes.Event{
+		ev(100, "10.0.0.0/24", 0, 666),
+		ev(100, "10.0.1.0/24", gap, 666),
+	}
+	data := evlogArchive(t, evs)
+	open := func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(data)), nil }
+
+	run := func(speed float64) time.Duration {
+		var got collector
+		sup := ingest.New(got.deliver, ingest.Config{DedupTTL: -1})
+		defer sup.Close()
+		start := time.Now()
+		sup.AddDialer("replay", ingest.EventLogReplayDialer(open, ingest.EventLogReplay{Speed: speed}), ingest.Blocking())
+		sup.Wait()
+		elapsed := time.Since(start)
+		all := got.all()
+		if len(all) != 2 || all[1].EmittedAt != gap {
+			t.Fatalf("speed %v: events %+v", speed, all)
+		}
+		return elapsed
+	}
+
+	if elapsed := run(1); elapsed < gap {
+		t.Fatalf("1x replay took %v, want >= recorded gap %v", elapsed, gap)
+	}
+	if elapsed := run(0); elapsed > gap {
+		t.Fatalf("AFAP replay took %v, want well under %v", elapsed, gap)
+	}
+	// 4x compresses the gap fourfold (lower bound only: a loaded CI
+	// machine may stretch wall time, never shrink it).
+	if elapsed := run(4); elapsed < gap/4 {
+		t.Fatalf("4x replay took %v, want at least %v", elapsed, gap/4)
+	}
+}
+
+// TestEventLogReplayCloseUnblocksPacing: Remove must not wait out a
+// long recorded gap.
+func TestEventLogReplayCloseUnblocksPacing(t *testing.T) {
+	evs := []feedtypes.Event{
+		ev(100, "10.0.0.0/24", 0, 666),
+		ev(100, "10.0.1.0/24", time.Hour, 666), // pacing would sleep ~1h
+	}
+	data := evlogArchive(t, evs)
+	open := func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(data)), nil }
+
+	var got collector
+	sup := ingest.New(got.deliver, ingest.Config{DedupTTL: -1})
+	defer sup.Close()
+	id := sup.AddDialer("replay", ingest.EventLogReplayDialer(open, ingest.EventLogReplay{Speed: 1}), ingest.Blocking())
+	waitFor(t, "first event", func() bool { return got.count() >= 1 })
+
+	done := make(chan struct{})
+	go func() { sup.Remove(id); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Remove hung behind replay pacing")
+	}
+}
+
+// TestEventLogFileDialerSegments replays rotated recorder segments in
+// order through the glob dialer.
+func TestEventLogFileDialerSegments(t *testing.T) {
+	dir := t.TempDir()
+	prefixPath := filepath.Join(dir, "cap")
+	var evs []feedtypes.Event
+	for i := 0; i < 10; i++ {
+		evs = append(evs, ev(100, "10.0.0.0/24", time.Duration(i)*time.Millisecond, 666))
+	}
+	var s1, s2 bytes.Buffer
+	if err := eventlog.NewWriter(&s1).WriteBatch(evs[:6]); err != nil {
+		t.Fatal(err)
+	}
+	if err := eventlog.NewWriter(&s2).WriteBatch(evs[6:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(eventlog.SegmentName(prefixPath, 1), s1.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(eventlog.SegmentName(prefixPath, 2), s2.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var got collector
+	sup := ingest.New(got.deliver, ingest.Config{DedupTTL: -1})
+	defer sup.Close()
+	sup.AddDialer("files", ingest.EventLogFileDialer(prefixPath+"-*.evlog", ingest.EventLogReplay{}), ingest.Blocking())
+	sup.Wait()
+	all := got.all()
+	if len(all) != len(evs) {
+		t.Fatalf("delivered %d events, want %d", len(all), len(evs))
+	}
+	for i := range all {
+		if all[i].EmittedAt != evs[i].EmittedAt {
+			t.Fatalf("order broken at %d: %v", i, all[i].EmittedAt)
+		}
+	}
+
+	// DedupTTL disabled above; with tiny SeenAt gaps the cross-source
+	// dedup would otherwise be the thing under test.
+	if sup.Snapshot().Sources[0].Drops != 0 {
+		t.Fatal("blocking replay dropped events")
+	}
+}
+
+// TestRateLimitShedsDropPolicySource: a non-blocking source over its
+// token budget sheds batches, counted in RateShed, without touching
+// sibling throughput.
+func TestRateLimitShedsDropPolicySource(t *testing.T) {
+	var got collector
+	sup := ingest.New(got.deliver, ingest.Config{DedupTTL: -1, BackoffBase: time.Millisecond, Seed: 9})
+	defer sup.Close()
+
+	d := &flakyDialer{}
+	// 1 event/s with the standard 512-token burst: the burst admits the
+	// first five 100-event batches, then the bucket is dry for the rest
+	// of the test (refill is ~1 token over its runtime).
+	id := sup.AddDialer("chatty", d, ingest.RateLimit(1))
+	waitFor(t, "connection", func() bool { return d.lastConn() != nil })
+	conn := d.lastConn()
+
+	for i := 0; i < 10; i++ {
+		batch := make([]feedtypes.Event, 100)
+		for j := range batch {
+			batch[j] = ev(100, "10.0.0.0/24", time.Duration(i*100+j)*time.Millisecond, 666)
+		}
+		conn.ch <- batch
+	}
+	waitFor(t, "admitted + shed split", func() bool {
+		s := sup.Snapshot().Sources[0]
+		return s.Events+s.RateShed == 1000
+	})
+	s := sup.Snapshot().Sources[0]
+	if s.Events != 500 || s.RateShed != 500 {
+		t.Fatalf("events=%d rateShed=%d, want 500/500 (burst 512 admits 5 batches of 100)", s.Events, s.RateShed)
+	}
+	if s.Drops != 0 {
+		t.Fatalf("queue drops %d; the rate limit, not the queue bound, must shed", s.Drops)
+	}
+	if st := sup.SourceState(id); st != ingest.StateHealthy {
+		t.Fatalf("state = %v; shedding must not affect health", st)
+	}
+}
+
+// TestRateLimitPacesBlockingSource: a blocking replay is paced, not
+// shed — everything arrives, but not faster than the configured rate.
+func TestRateLimitPacesBlockingSource(t *testing.T) {
+	var got collector
+	sup := ingest.New(got.deliver, ingest.Config{DedupTTL: -1})
+	defer sup.Close()
+
+	// 3 batches of 512 events = 1536 events at 51200/s with burst 512:
+	// the last batch cannot clear before (1536-512)/51200 ≈ 20ms.
+	var batches [][]feedtypes.Event
+	for b := 0; b < 3; b++ {
+		var batch []feedtypes.Event
+		for i := 0; i < 512; i++ {
+			batch = append(batch, ev(100, "10.0.0.0/24", time.Duration(b*512+i)*time.Microsecond, 666))
+		}
+		batches = append(batches, batch)
+	}
+	start := time.Now()
+	id := sup.AddDialer("paced", ingest.ReplayDialer(batches), ingest.Blocking(), ingest.RateLimit(51200))
+	sup.Wait()
+	elapsed := time.Since(start)
+
+	if n := got.count(); n != 3*512 {
+		t.Fatalf("delivered %d events, want %d (pacing must not shed)", n, 3*512)
+	}
+	if elapsed < 15*time.Millisecond {
+		t.Fatalf("blocking replay finished in %v, want pacing to stretch it past ~20ms", elapsed)
+	}
+	s := sup.Snapshot().Sources[0]
+	if s.RateShed != 0 || s.Drops != 0 {
+		t.Fatalf("paced source shed events: %+v", s)
+	}
+	if stv := sup.SourceState(id); stv != ingest.StateFinished {
+		t.Fatalf("state = %v, want finished", stv)
+	}
+}

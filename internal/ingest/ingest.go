@@ -50,8 +50,14 @@ const (
 	// before the next dial.
 	StateDegraded
 	// StateDead: the source ended for good — removed, supervisor closed,
-	// retry budget exhausted, or a finite (replay) stream completed.
+	// or retry budget exhausted.
 	StateDead
+	// StateFinished: a finite stream (MRT archive, eventlog replay)
+	// completed normally with ErrDone. Terminal like StateDead — the
+	// supervisor will not redial — but healthy: a finished replay is a
+	// success, not an outage, and must not page anyone (Node.Health
+	// treats finished sources as ok where dead live sources escalate).
+	StateFinished
 )
 
 func (s State) String() string {
@@ -64,13 +70,20 @@ func (s State) String() string {
 		return "degraded"
 	case StateDead:
 		return "dead"
+	case StateFinished:
+		return "finished"
 	}
 	return "unknown"
 }
 
+// Terminal reports whether the state is an end state the supervisor
+// will not leave (no redial scheduled).
+func (s State) Terminal() bool { return s == StateDead || s == StateFinished }
+
 // ErrDone is returned by a Conn's Recv when a finite stream (an MRT
-// archive replay, a scripted test feed) is complete: the supervisor marks
-// the source dead instead of redialing.
+// archive replay, an eventlog replay, a scripted test feed) is
+// complete: the supervisor marks the source finished — terminal but
+// healthy — instead of redialing.
 var ErrDone = errors.New("ingest: source stream complete")
 
 // Conn is one live feed connection: Recv blocks for the next batch of
@@ -241,6 +254,10 @@ type source struct {
 	// for replay sources, whose "transport" can be flow-controlled.
 	blocking bool
 
+	// limit is the optional per-source token bucket (RateLimit). Only
+	// the forwarder touches it, so it needs no lock.
+	limit *tokenBucket
+
 	// connMu guards the live connection so Remove/Close can unblock a
 	// pending Recv.
 	connMu sync.Mutex
@@ -258,8 +275,8 @@ type source struct {
 	// only consumer and releases each batch after delivery.
 	queue *ring.Ring[*feedtypes.Batch]
 
-	events, batches, dedupHits, drops, reconnects stats.Counter
-	latency                                       *stats.Histogram
+	events, batches, dedupHits, drops, reconnects, rateShed stats.Counter
+	latency                                                 *stats.Histogram
 }
 
 func (src *source) setState(st State) {
@@ -283,6 +300,87 @@ type SourceOption func(*source)
 // server's slow-client handling instead. Only honored for dial sources.
 func Blocking() SourceOption {
 	return func(src *source) { src.blocking = true }
+}
+
+// RateLimit caps the source's delivery rate at eventsPerSec with a token
+// bucket, de-prioritizing it relative to its siblings: a chatty or
+// low-value feed can be pinned below the pipeline's capacity so it can
+// never crowd out higher-priority sources. Blocking sources are paced
+// (the forwarder waits for tokens, pushing backpressure into the
+// source's flow-controlled queue); drop-policy sources shed over-limit
+// batches, counted in the RateShed snapshot field. The burst allowance
+// is two full receive batches, so a coalesced batch always fits and a
+// quiet source keeps its low latency. Non-positive rates are ignored.
+func RateLimit(eventsPerSec int) SourceOption {
+	return func(src *source) {
+		if eventsPerSec <= 0 {
+			return
+		}
+		const burst = 2 * maxRecvBatch
+		src.limit = &tokenBucket{rate: float64(eventsPerSec), burst: burst, tokens: burst}
+	}
+}
+
+// tokenBucket is a per-source rate limiter. Only the source's forwarder
+// goroutine touches it, so it needs no synchronization.
+type tokenBucket struct {
+	rate   float64 // tokens (events) added per second
+	burst  float64 // cap on accumulated tokens
+	tokens float64
+	last   time.Time
+}
+
+// refill credits tokens for the time elapsed since the last call.
+func (tb *tokenBucket) refill(now time.Time) {
+	if !tb.last.IsZero() {
+		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	tb.last = now
+}
+
+// admit decides whether an n-event batch may be delivered now. For a
+// blocking source it always returns true, first sleeping (interruptible
+// by stop, so Close still drains promptly) until the bucket covers the
+// debt; for a drop-policy source it returns false when the bucket lacks
+// n tokens and the batch should be shed.
+func (src *source) admit(n int) bool {
+	tb := src.limit
+	tb.refill(time.Now())
+	if src.blocking {
+		tb.tokens -= float64(n)
+		if tb.tokens < 0 {
+			wait := time.Duration(-tb.tokens / tb.rate * float64(time.Second))
+			if src.sleepStop(wait) {
+				tb.refill(time.Now())
+			} else {
+				// Stopping: deliver without pacing so the queue drains fast.
+				tb.tokens = 0
+			}
+		}
+		return true
+	}
+	if tb.tokens < float64(n) {
+		return false
+	}
+	tb.tokens -= float64(n)
+	return true
+}
+
+// sleepStop waits d unless the source is stopped first. Unlike sleep it
+// ignores kicks: a Bounce must not consume the kick the dial loop relies
+// on, and pacing is not a backoff to be skipped.
+func (src *source) sleepStop(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-src.stop:
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 func (s *Supervisor) newSource(name string) *source {
@@ -523,7 +621,7 @@ func (s *Supervisor) runDial(src *source, d Dialer) {
 			src.connMu.Unlock()
 			conn.Close()
 			if errors.Is(err, ErrDone) {
-				src.setState(StateDead)
+				src.setState(StateFinished)
 				return
 			}
 			if delivered {
@@ -681,6 +779,11 @@ func (s *Supervisor) forward(src *source) {
 		if !ok {
 			return
 		}
+		if src.limit != nil && !src.admit(len(b.Events)) {
+			src.rateShed.Add(int64(len(b.Events)))
+			b.Release()
+			continue
+		}
 		scratch = s.deliverBatchBuf(src, b.Events, scratch)
 		// The delivered slice must not be retained by deliver (the
 		// pipeline deep-copies), so the pooled copy can be recycled now.
@@ -745,6 +848,7 @@ func (s *Supervisor) Snapshot() stats.IngestSnapshot {
 			Batches:    src.batches.Load(),
 			DedupHits:  src.dedupHits.Load(),
 			Drops:      src.drops.Load(),
+			RateShed:   src.rateShed.Load(),
 			Reconnects: src.reconnects.Load(),
 			QueueLen:   src.queue.Len(),
 			QueueCap:   src.queue.Cap(),

@@ -426,8 +426,8 @@ func TestBlockingReplayDeliversEverythingInOrder(t *testing.T) {
 	id := sup.AddDialer("replay", ingest.ReplayDialer(batches), ingest.Blocking())
 	sup.Wait()
 	defer sup.Close()
-	if st := sup.SourceState(id); st != ingest.StateDead {
-		t.Fatalf("replay source state = %v, want dead after ErrDone", st)
+	if st := sup.SourceState(id); st != ingest.StateFinished {
+		t.Fatalf("replay source state = %v, want finished after ErrDone", st)
 	}
 	all := got.all()
 	if len(all) != n {

@@ -359,17 +359,23 @@ func MustParseAddr(s string) Addr {
 // v6 (lowercase hex, longest run of two or more zero groups compressed,
 // leftmost run on ties).
 func (a Addr) String() string {
+	var b [41]byte
+	return string(a.AppendText(b[:0]))
+}
+
+// AppendText appends the canonical text form (see String) to dst and
+// returns the extended slice. It never allocates when dst has capacity,
+// which keeps hot-path encoders (the eventlog codec) allocation-free.
+func (a Addr) AppendText(dst []byte) []byte {
 	if !a.is6 {
-		var b [15]byte
 		v := uint32(a.lo)
-		buf := strconv.AppendUint(b[:0], uint64(v>>24), 10)
-		buf = append(buf, '.')
-		buf = strconv.AppendUint(buf, uint64(v>>16&0xff), 10)
-		buf = append(buf, '.')
-		buf = strconv.AppendUint(buf, uint64(v>>8&0xff), 10)
-		buf = append(buf, '.')
-		buf = strconv.AppendUint(buf, uint64(v&0xff), 10)
-		return string(buf)
+		dst = strconv.AppendUint(dst, uint64(v>>24), 10)
+		dst = append(dst, '.')
+		dst = strconv.AppendUint(dst, uint64(v>>16&0xff), 10)
+		dst = append(dst, '.')
+		dst = strconv.AppendUint(dst, uint64(v>>8&0xff), 10)
+		dst = append(dst, '.')
+		return strconv.AppendUint(dst, uint64(v&0xff), 10)
 	}
 	var words [8]uint16
 	for i := 0; i < 4; i++ {
@@ -392,23 +398,22 @@ func (a Addr) String() string {
 		}
 		i = j
 	}
-	var b [41]byte
-	buf := b[:0]
+	start := len(dst)
 	for i := 0; i < 8; i++ {
 		if i == zStart {
-			buf = append(buf, ':', ':')
+			dst = append(dst, ':', ':')
 			i += zLen - 1
 			continue
 		}
-		if len(buf) > 0 && buf[len(buf)-1] != ':' {
-			buf = append(buf, ':')
+		if len(dst) > start && dst[len(dst)-1] != ':' {
+			dst = append(dst, ':')
 		}
-		buf = strconv.AppendUint(buf, uint64(words[i]), 16)
+		dst = strconv.AppendUint(dst, uint64(words[i]), 16)
 	}
-	if len(buf) == 0 {
-		return "::"
+	if len(dst) == start {
+		dst = append(dst, ':', ':')
 	}
-	return string(buf)
+	return dst
 }
 
 // Prefix is a CIDR prefix of either family. The zero value is 0.0.0.0/0
@@ -483,7 +488,15 @@ func (p Prefix) Is6() bool { return p.addr.is6 }
 
 // String returns CIDR notation.
 func (p Prefix) String() string {
-	return p.addr.String() + "/" + strconv.Itoa(int(p.bits))
+	var b [45]byte
+	return string(p.AppendText(b[:0]))
+}
+
+// AppendText appends CIDR notation to dst (see Addr.AppendText).
+func (p Prefix) AppendText(dst []byte) []byte {
+	dst = p.addr.AppendText(dst)
+	dst = append(dst, '/')
+	return strconv.AppendUint(dst, uint64(p.bits), 10)
 }
 
 // Contains reports whether p contains (or equals) q: same family, q's

@@ -67,7 +67,7 @@ type IngestSourceSnapshot struct {
 	ID   int
 	Name string
 	// State is the lifecycle state ("connecting", "healthy", "degraded",
-	// "dead").
+	// "dead", "finished").
 	State string
 	// Events/Batches count deliveries into the pipeline after dedup.
 	Events, Batches int64
@@ -77,6 +77,10 @@ type IngestSourceSnapshot struct {
 	// Drops counts events shed by this source's own queue bound — the
 	// drop policy that keeps a stalled source from wedging its siblings.
 	Drops int64
+	// RateShed counts events shed by the source's token-bucket rate
+	// limit (drop-policy sources only; blocking sources are paced, not
+	// shed).
+	RateShed int64
 	// Reconnects counts dial attempts beyond the first (redials after a
 	// connection loss plus retries of failed dials).
 	Reconnects int64

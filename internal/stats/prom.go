@@ -31,7 +31,7 @@ func (s PipelineSnapshot) WriteProm(w io.Writer) {
 
 // ingestStates are the lifecycle states a supervised source can be in,
 // rendered one-hot so dashboards can alert on "any source not healthy".
-var ingestStates = []string{"connecting", "healthy", "degraded", "dead"}
+var ingestStates = []string{"connecting", "healthy", "degraded", "dead", "finished"}
 
 // WriteProm renders the ingest supervisor's counters.
 func (s IngestSnapshot) WriteProm(w io.Writer) {
@@ -45,6 +45,7 @@ func (s IngestSnapshot) WriteProm(w io.Writer) {
 		fmt.Fprintf(w, "artemis_ingest_source_batches_total{%s} %d\n", l, src.Batches)
 		fmt.Fprintf(w, "artemis_ingest_source_dedup_hits_total{%s} %d\n", l, src.DedupHits)
 		fmt.Fprintf(w, "artemis_ingest_source_dropped_events_total{%s} %d\n", l, src.Drops)
+		fmt.Fprintf(w, "artemis_ingest_source_rate_shed_total{%s} %d\n", l, src.RateShed)
 		fmt.Fprintf(w, "artemis_ingest_source_reconnects_total{%s} %d\n", l, src.Reconnects)
 		fmt.Fprintf(w, "artemis_ingest_source_queue_depth{%s} %d\n", l, src.QueueLen)
 		fmt.Fprintf(w, "artemis_ingest_source_queue_capacity{%s} %d\n", l, src.QueueCap)

@@ -44,11 +44,15 @@ const (
 	SourceBGPmon    = "bgpmon"    // BGPmon-style XML TCP stream
 	SourceMRT       = "mrt"       // MRT archive replay from a file
 	SourcePeriscope = "periscope" // Periscope-style looking-glass REST polling
+	SourceBMP       = "bmp"       // BMP station session to a router (RFC 7854)
+	SourceReplay    = "replay"    // eventlog archive replay (record/replay loop)
 )
 
 // SourceSpec declares one monitoring feed. Which fields apply depends on
 // Type: URL for ris (ws://…) and periscope (http://…), Addr for bgpmon
-// (host:port), Path for mrt; Interval and LGs tune periscope polling.
+// and bmp (host:port), Path for mrt and replay (for replay, a glob over
+// rotated segments); Interval and LGs tune periscope polling, Speed the
+// replay time compression.
 type SourceSpec struct {
 	Type string `json:"type"`
 	// Name labels the source in metrics, health and events. Defaults to
@@ -59,6 +63,36 @@ type SourceSpec struct {
 	Path     string   `json:"path,omitempty"`
 	Interval Duration `json:"interval,omitempty"`
 	LGs      []string `json:"lgs,omitempty"`
+	// Speed is the replay time-compression factor (replay sources only):
+	// 1 = recorded cadence, 16 = sixteen times faster, 0 = as fast as
+	// possible. Events keep their recorded clocks at any speed, so
+	// detection behaves identically — only wall time shrinks.
+	Speed float64 `json:"speed,omitempty"`
+	// MaxEventsPerSec, when positive, rate-limits the source with a
+	// token bucket: live (drop-policy) sources shed over-limit batches,
+	// replay (blocking) sources are paced. The shed count is the
+	// rate_shed_total metric.
+	MaxEventsPerSec int `json:"max_events_per_sec,omitempty"`
+}
+
+// RecordConfig declares the event archive sink: every post-dedup event
+// the pipeline ingests is appended to size/time-rotated eventlog
+// segments (docs/INTERCHANGE.md), which replay sources re-run at any
+// speed. The recorder is bounded and lossy by design — a slow disk
+// drops archive batches (counted in artemis_record_dropped_total) but
+// never stalls detection.
+type RecordConfig struct {
+	// Path is the segment path prefix: "captures/cap" writes
+	// captures/cap-000001.evlog, -000002, … Empty disables recording.
+	Path string `json:"path,omitempty"`
+	// MaxFileSize rotates a segment once it exceeds this many bytes
+	// (default 64 MiB).
+	MaxFileSize int64 `json:"max_file_size,omitempty"`
+	// MaxFileAge rotates a segment after this long regardless of size
+	// (default: size-only rotation).
+	MaxFileAge Duration `json:"max_file_age,omitempty"`
+	// QueueDepth bounds the recorder's pending-batch queue (default 64).
+	QueueDepth int `json:"queue_depth,omitempty"`
 }
 
 // MitigationConfig declares how alerts are mitigated.
@@ -187,6 +221,7 @@ type Config struct {
 	Sources []SourceSpec `json:"sources,omitempty"`
 
 	Mitigation MitigationConfig `json:"mitigation,omitempty"`
+	Record     RecordConfig     `json:"record,omitempty"`
 	Tuning     TuningConfig     `json:"tuning,omitempty"`
 	Control    ControlConfig    `json:"control,omitempty"`
 }
@@ -324,10 +359,27 @@ func (s *SourceSpec) validate() error {
 		if s.Path == "" {
 			return fmt.Errorf("artemis: mrt source needs path")
 		}
+	case SourceBMP:
+		if s.Addr == "" {
+			return fmt.Errorf("artemis: bmp source needs addr")
+		}
+	case SourceReplay:
+		if s.Path == "" {
+			return fmt.Errorf("artemis: replay source needs path")
+		}
 	case "":
 		return fmt.Errorf("artemis: source missing type")
 	default:
 		return fmt.Errorf("artemis: unknown source type %q", s.Type)
+	}
+	if s.Speed < 0 {
+		return fmt.Errorf("artemis: source speed must be >= 0")
+	}
+	if s.Speed != 0 && s.Type != SourceReplay {
+		return fmt.Errorf("artemis: speed only applies to replay sources")
+	}
+	if s.MaxEventsPerSec < 0 {
+		return fmt.Errorf("artemis: max_events_per_sec must be >= 0")
 	}
 	return nil
 }
@@ -392,7 +444,7 @@ func (d *configDecoder) decode(root *yamlNode) *Config {
 		d.fail(root.line, "config must be a mapping")
 		return cfg
 	}
-	d.checkKeys(root, "prefixes", "origins", "upstreams", "tenants", "sources", "mitigation", "tuning", "control")
+	d.checkKeys(root, "prefixes", "origins", "upstreams", "tenants", "sources", "mitigation", "record", "tuning", "control")
 
 	if n := root.child("prefixes"); n != nil {
 		for _, item := range d.scalarList(n) {
@@ -438,6 +490,13 @@ func (d *configDecoder) decode(root *yamlNode) *Config {
 		cfg.Mitigation.MaxDeaggLen = d.optInt(n, "max-deagg-len")
 		cfg.Mitigation.MaxDeaggLen6 = d.optInt(n, "max-deagg-len6")
 		cfg.Mitigation.Manual = d.optBool(n, "manual")
+	}
+	if n := root.child("record"); n != nil && d.isMap(n, "record") {
+		d.checkKeys(n, "path", "max-file-size", "max-file-age", "queue-depth")
+		cfg.Record.Path = d.optScalar(n, "path")
+		cfg.Record.MaxFileSize = int64(d.optInt(n, "max-file-size"))
+		cfg.Record.MaxFileAge = d.optDuration(n, "max-file-age")
+		cfg.Record.QueueDepth = d.optInt(n, "queue-depth")
 	}
 	if n := root.child("tuning"); n != nil && d.isMap(n, "tuning") {
 		d.checkKeys(n, "shards", "source-queue", "dedup-ttl", "alert-ttl", "alert-dedup-max", "max-mitigation-retries")
@@ -560,13 +619,15 @@ func (d *configDecoder) decodeSource(n *yamlNode) SourceSpec {
 		d.fail(n.line, "each source must be a mapping with a \"type\"")
 		return spec
 	}
-	d.checkKeys(n, "type", "name", "url", "addr", "path", "interval", "lgs")
+	d.checkKeys(n, "type", "name", "url", "addr", "path", "interval", "lgs", "speed", "max-events-per-sec")
 	spec.Type = d.optScalar(n, "type")
 	spec.Name = d.optScalar(n, "name")
 	spec.URL = d.optScalar(n, "url")
 	spec.Addr = d.optScalar(n, "addr")
 	spec.Path = d.optScalar(n, "path")
 	spec.Interval = d.optDuration(n, "interval")
+	spec.Speed = d.optFloat(n, "speed")
+	spec.MaxEventsPerSec = d.optInt(n, "max-events-per-sec")
 	if lg := n.child("lgs"); lg != nil {
 		for _, item := range d.scalarList(lg) {
 			spec.LGs = append(spec.LGs, item.scalar)
@@ -643,6 +704,19 @@ func (d *configDecoder) optInt(n *yamlNode, key string) int {
 	v, err := strconv.Atoi(c.scalar)
 	if err != nil || c.kind != yScalar {
 		d.fail(c.line, "%s must be an integer", key)
+		return 0
+	}
+	return v
+}
+
+func (d *configDecoder) optFloat(n *yamlNode, key string) float64 {
+	c := n.child(key)
+	if c == nil {
+		return 0
+	}
+	v, err := strconv.ParseFloat(c.scalar, 64)
+	if err != nil || c.kind != yScalar {
+		d.fail(c.line, "%s must be a number", key)
 		return 0
 	}
 	return v

@@ -23,6 +23,7 @@
 //	GET    /v1/alerts         alert history                        [tenant-scoped]
 //	GET    /v1/mitigations    mitigation attempt history           [tenant-scoped]
 //	GET    /v1/alerts/stream  SSE stream (?kinds=..., ?tenant=...) [tenant-scoped]
+//	GET    /v1/events/stream  SSE firehose of post-dedup feed events [tenant-scoped]
 //	GET    /metrics           Prometheus text exposition           [admin]
 //
 // # Authentication
@@ -49,6 +50,7 @@ import (
 	"sync"
 	"time"
 
+	"artemis/internal/feeds/eventlog"
 	"artemis/pkg/artemis"
 )
 
@@ -92,6 +94,7 @@ func NewServer(node *artemis.Node) *Server {
 	s.mux.HandleFunc("GET /v1/alerts", scoped(s.getAlerts))
 	s.mux.HandleFunc("GET /v1/mitigations", scoped(s.getMitigations))
 	s.mux.HandleFunc("GET /v1/alerts/stream", scoped(s.streamEvents))
+	s.mux.HandleFunc("GET /v1/events/stream", scoped(s.streamFeed))
 	s.mux.HandleFunc("GET /metrics", admin(s.getMetrics))
 	s.http = &http.Server{Handler: s.mux}
 	return s
@@ -531,6 +534,64 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, scope arte
 				continue
 			}
 			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data)
+			flusher.Flush()
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": ping\n\n")
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// streamFeed serves the post-dedup feed event stream (the raw routing
+// observations, before classification) as server-sent events. Each
+// frame is "event: route" carrying one canonical envelope line —
+// ["R", seq, time, type, data, meta], the same interchange form the
+// event log records (docs/INTERCHANGE.md) — with seq assigned per
+// subscription. ?tenant= (or a tenant token) scopes the stream to
+// events matching that tenant's owned space; slow consumers shed
+// events rather than backpressure ingest.
+func (s *Server) streamFeed(w http.ResponseWriter, r *http.Request, scope artemis.AuthScope) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	tenant, ok := s.tenantParam(w, r, scope, "")
+	if !ok {
+		return
+	}
+	sub, err := s.node.SubscribeEvents(tenant, 256)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": artemis feed event stream\n\n")
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	var seq uint64
+	var buf []byte
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return // node drained
+			}
+			seq++
+			buf = append(buf[:0], "event: route\ndata: "...)
+			buf = eventlog.AppendRecord(buf, eventlog.Record{Seq: seq, Event: ev})
+			buf = append(buf, '\n') // envelope ends with \n; SSE frames end with a blank line
+			w.Write(buf)
 			flusher.Flush()
 		case <-heartbeat.C:
 			fmt.Fprint(w, ": ping\n\n")

@@ -1,0 +1,184 @@
+package control_test
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/bgp/bmp"
+	"artemis/internal/feeds/eventlog"
+	"artemis/internal/prefix"
+	"artemis/pkg/artemis"
+	"artemis/pkg/artemis/control"
+)
+
+// sseFeed collects /v1/events/stream frames in the background.
+type sseFeed struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (s *sseFeed) add(l string) {
+	s.mu.Lock()
+	s.lines = append(s.lines, l)
+	s.mu.Unlock()
+}
+
+// records parses every data frame received so far.
+func (s *sseFeed) records(t *testing.T) []eventlog.Record {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []eventlog.Record
+	for _, l := range s.lines {
+		data, ok := strings.CutPrefix(l, "data: ")
+		if !ok {
+			continue
+		}
+		r, err := eventlog.ParseRecord([]byte(data))
+		if err != nil {
+			t.Fatalf("bad stream frame %q: %v", l, err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func openFeed(t *testing.T, url string) *sseFeed {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	f := &sseFeed{}
+	go func() {
+		scanner := bufio.NewScanner(resp.Body)
+		for scanner.Scan() {
+			f.add(scanner.Text())
+		}
+	}()
+	return f
+}
+
+// TestEventsStreamFirehose: GET /v1/events/stream serves the post-dedup
+// feed event stream as canonical envelope lines, with per-subscription
+// sequence numbers and tenant scoping — a tenant's stream carries only
+// events matching its owned space, while the admin stream carries
+// everything.
+func TestEventsStreamFirehose(t *testing.T) {
+	exp, err := bmp.NewExporter("127.0.0.1:0", "rtr-test", bgp.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	peer := bmp.PerPeerHeader{Addr: prefix.MustParseAddr("192.0.2.10"), AS: 65010, BGPID: 1}
+	exp.PeerUp(&bmp.PeerUp{
+		Peer:      peer,
+		LocalAddr: prefix.MustParseAddr("192.0.2.1"), LocalPort: 179, RemotePort: 30000,
+		SentOpen: bgp.NewOpen(64512, 90, prefix.MustParseAddr("192.0.2.1")),
+		RecvOpen: bgp.NewOpen(65010, 90, prefix.MustParseAddr("192.0.2.99")),
+	})
+
+	cfg := &artemis.Config{
+		Prefixes: []string{"10.0.0.0/23"},
+		Origins:  []uint32{61000},
+		Tenants: []artemis.TenantSpec{
+			{Name: "globex", Prefixes: []string{"172.16.0.0/22"}, Origins: []uint32{62000}},
+		},
+		Sources: []artemis.SourceSpec{{Type: artemis.SourceBMP, Addr: exp.Addr()}},
+	}
+	node, err := artemis.New(cfg, artemis.WithLogf(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- node.Run(ctx) }()
+	srv := control.NewServer(node)
+	api := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		api.Close()
+		srv.Shutdown(context.Background())
+		cancel()
+		<-runDone
+	})
+
+	if resp, err := http.Get(api.URL + "/v1/events/stream?tenant=nosuch"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown tenant: %d, want 404", resp.StatusCode)
+	}
+
+	all := openFeed(t, api.URL+"/v1/events/stream")
+	scoped := openFeed(t, api.URL+"/v1/events/stream?tenant=globex")
+
+	// Wait for the BMP session (and with it, both live subscriptions are
+	// already registered — openFeed returned after the 200).
+	waitStream(t, "bmp healthy", func() bool {
+		h := node.Health()
+		return len(h.Sources) == 1 && h.Sources[0].State == "healthy"
+	})
+
+	publish := func(path []bgp.ASN, pfx string) {
+		u := &bgp.Update{
+			Attrs: []bgp.PathAttr{
+				&bgp.OriginAttr{Value: bgp.OriginIGP},
+				bgp.NewASPath(path),
+				&bgp.NextHopAttr{Addr: prefix.MustParseAddr("192.0.2.1")},
+			},
+			NLRI: []prefix.Prefix{prefix.MustParse(pfx)},
+		}
+		exp.Publish(&bmp.RouteMonitoring{Peer: peer, Update: u})
+	}
+	publish([]bgp.ASN{65010, 61000}, "10.0.0.0/24")   // default tenant's space
+	publish([]bgp.ASN{65010, 62000}, "172.16.0.0/24") // globex's space
+
+	waitStream(t, "admin stream carries both events", func() bool {
+		return len(all.records(t)) >= 2
+	})
+	waitStream(t, "scoped stream carries its event", func() bool {
+		return len(scoped.records(t)) >= 1
+	})
+	// Give a straggler frame a moment to prove it never arrives.
+	time.Sleep(50 * time.Millisecond)
+
+	got := all.records(t)
+	if got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("admin stream seq: %d, %d", got[0].Seq, got[1].Seq)
+	}
+	if got[0].Event.Prefix != prefix.MustParse("10.0.0.0/24") ||
+		got[1].Event.Prefix != prefix.MustParse("172.16.0.0/24") {
+		t.Fatalf("admin stream events: %+v", got)
+	}
+	if got[0].Event.Source != "bmp" || got[0].Event.Collector != "rtr-test" ||
+		got[0].Event.VantagePoint != 65010 {
+		t.Fatalf("envelope meta: %+v", got[0].Event)
+	}
+	sc := scoped.records(t)
+	if len(sc) != 1 || sc[0].Seq != 1 || sc[0].Event.Prefix != prefix.MustParse("172.16.0.0/24") {
+		t.Fatalf("scoped stream: %+v", sc)
+	}
+}
+
+func waitStream(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -51,6 +51,7 @@ import (
 	"artemis/internal/bgp"
 	"artemis/internal/controller"
 	"artemis/internal/core"
+	"artemis/internal/feeds/eventlog"
 	"artemis/internal/feeds/feedtypes"
 	"artemis/internal/ingest"
 	"artemis/internal/prefix"
@@ -66,6 +67,17 @@ type Node struct {
 	pl  *core.Pipeline
 	sup *ingest.Supervisor
 	bus *eventBus
+	// rec, when Config.Record is set, archives the post-dedup event
+	// stream to rotated segment files (docs/INTERCHANGE.md). Fixed at
+	// construction; nil means no recording.
+	rec *eventlog.Recorder
+	// Feed-event firehose: bounded taps on the post-dedup stream for
+	// GET /v1/events/stream. feedTaps is the hot-path guard — deliver
+	// skips the fan-out entirely (no lock, no copies) while it is zero.
+	feedMu     sync.Mutex
+	feedSubs   map[*EventStreamSub]struct{}
+	feedClosed bool
+	feedTaps   atomic.Int32
 	// injectPool recycles Inject's submission batches: the pipeline copies
 	// every batch during Submit, so Inject can build observations in
 	// pooled storage and release it immediately — a caller-side inject
@@ -130,6 +142,7 @@ func New(cfg *Config, opts ...Option) (*Node, error) {
 		drained:    make(chan struct{}),
 		runExited:  make(chan struct{}),
 		injectPool: feedtypes.NewBatchPool(),
+		feedSubs:   make(map[*EventStreamSub]struct{}),
 	}
 	for _, o := range opts {
 		o(&n.opts)
@@ -152,12 +165,28 @@ func New(cfg *Config, opts ...Option) (*Node, error) {
 		n.ctrlDelay = controller.DefaultConfigDelay
 	}
 
+	if cfg.Record.Path != "" {
+		rec, err := eventlog.NewRecorder(eventlog.RecorderConfig{
+			Prefix:       cfg.Record.Path,
+			MaxFileBytes: cfg.Record.MaxFileSize,
+			MaxFileAge:   cfg.Record.MaxFileAge.Std(),
+			QueueDepth:   cfg.Record.QueueDepth,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.rec = rec
+	}
+
 	// One service stack per tenant, all classifying on one shared
 	// pipeline under one policy table.
 	policies := make([]core.TenantPolicy, 0, 1+len(cfg.Tenants))
 	closeTenants := func() {
 		for _, ts := range n.tenants {
 			ts.svc.Close()
+		}
+		if n.rec != nil {
+			n.rec.Close()
 		}
 	}
 	for _, sc := range cfg.scopes() {
@@ -182,7 +211,7 @@ func New(cfg *Config, opts ...Option) (*Node, error) {
 	for name, ts := range n.tenants {
 		ts.svc.BindReconfigureVia(n.tenantBarrier(name))
 	}
-	n.sup = ingest.New(n.pl.Submit, ingest.Config{
+	n.sup = ingest.New(n.deliver, ingest.Config{
 		QueueDepth: cfg.Tuning.SourceQueue,
 		DedupTTL:   cfg.Tuning.DedupTTL.Std(),
 		OnHealth: func(tr ingest.HealthTransition) {
@@ -382,6 +411,149 @@ func (n *Node) filterProvider() feedtypes.Filter {
 	}
 }
 
+// deliver is the ingest supervisor's sink: every post-dedup batch
+// enters the detection pipeline and, when enabled, the archive
+// recorder and the event firehose. Both taps stay off the hot path
+// when unused — with no recorder configured and no stream subscribers
+// this is exactly n.pl.Submit, and the recorder itself copies into
+// pooled storage without blocking on I/O.
+func (n *Node) deliver(evs []feedtypes.Event) {
+	n.pl.Submit(evs)
+	if n.rec != nil {
+		n.rec.Record(evs)
+	}
+	if n.feedTaps.Load() > 0 {
+		n.fanOutEvents(evs)
+	}
+}
+
+// EventStreamSub is one bounded tap on the node's post-dedup feed
+// event stream (the raw observations, before classification) — the
+// mechanism behind GET /v1/events/stream. Slow consumers shed: when
+// the buffer is full events are dropped and counted, never allowed to
+// backpressure ingest.
+type EventStreamSub struct {
+	n       *Node
+	scope   feedtypes.Filter
+	scoped  bool
+	ch      chan feedtypes.Event
+	dropped atomic.Int64
+	once    sync.Once
+}
+
+// Events is the subscription channel. It closes when the subscriber
+// calls Close or the node drains. Path slices are owned by the
+// receiver.
+func (s *EventStreamSub) Events() <-chan feedtypes.Event { return s.ch }
+
+// Dropped reports how many events were shed because the subscriber
+// fell behind.
+func (s *EventStreamSub) Dropped() int64 { return s.dropped.Load() }
+
+// Close detaches the subscription and closes its channel.
+func (s *EventStreamSub) Close() {
+	s.n.feedMu.Lock()
+	if _, ok := s.n.feedSubs[s]; ok {
+		delete(s.n.feedSubs, s)
+		s.n.feedTaps.Add(-1)
+	}
+	s.once.Do(func() { close(s.ch) })
+	s.n.feedMu.Unlock()
+}
+
+// SubscribeEvents taps the post-dedup feed event stream. tenant ""
+// (admin scope) sees everything; a tenant name scopes the stream to
+// events matching that tenant's owned space at subscribe time, both
+// directions — the same routing rule classification uses. buffer <= 0
+// selects 256; a tenant's Limits.StreamBuffer caps it.
+func (n *Node) SubscribeEvents(tenant string, buffer int) (*EventStreamSub, error) {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	s := &EventStreamSub{n: n}
+	if tenant != "" {
+		n.mu.Lock()
+		sc, found := n.cfg.scope(tenant)
+		n.mu.Unlock()
+		if !found {
+			return nil, fmt.Errorf("artemis: unknown tenant %q", tenant)
+		}
+		if sc.Limits.StreamBuffer > 0 && buffer > sc.Limits.StreamBuffer {
+			buffer = sc.Limits.StreamBuffer
+		}
+		pfx := make([]prefix.Prefix, 0, len(sc.Prefixes))
+		for _, str := range sc.Prefixes {
+			p, err := prefix.Parse(str)
+			if err != nil {
+				return nil, fmt.Errorf("artemis: bad prefix %q: %v", str, err)
+			}
+			pfx = append(pfx, p)
+		}
+		s.scoped = true
+		s.scope = feedtypes.Filter{Prefixes: pfx, MoreSpecific: true, LessSpecific: true}
+	}
+	s.ch = make(chan feedtypes.Event, buffer)
+	n.feedMu.Lock()
+	if n.feedClosed {
+		s.once.Do(func() { close(s.ch) })
+	} else {
+		n.feedSubs[s] = struct{}{}
+		n.feedTaps.Add(1)
+	}
+	n.feedMu.Unlock()
+	return s, nil
+}
+
+// fanOutEvents copies the batch to every stream subscriber whose scope
+// matches. Path slices are copied once per event (not per subscriber)
+// because the batch storage is recycled after deliver returns;
+// subscribers may hold events indefinitely.
+func (n *Node) fanOutEvents(evs []feedtypes.Event) {
+	n.feedMu.Lock()
+	defer n.feedMu.Unlock()
+	if len(n.feedSubs) == 0 {
+		return
+	}
+	for _, ev := range evs {
+		copied := false
+		for s := range n.feedSubs {
+			if s.scoped && !s.scope.Match(ev.Prefix) {
+				continue
+			}
+			if !copied && len(ev.Path) != 0 {
+				ev.Path = append([]bgp.ASN(nil), ev.Path...)
+				copied = true
+			}
+			select {
+			case s.ch <- ev:
+			default:
+				s.dropped.Add(1)
+			}
+		}
+	}
+}
+
+// closeEventStreams ends every firehose subscription at drain.
+func (n *Node) closeEventStreams() {
+	n.feedMu.Lock()
+	n.feedClosed = true
+	for s := range n.feedSubs {
+		delete(n.feedSubs, s)
+		n.feedTaps.Add(-1)
+		s.once.Do(func() { close(s.ch) })
+	}
+	n.feedMu.Unlock()
+}
+
+// RecordStatus reports the archive recorder's counters, or false when
+// recording is not configured.
+func (n *Node) RecordStatus() (eventlog.RecorderSnapshot, bool) {
+	if n.rec == nil {
+		return eventlog.RecorderSnapshot{}, false
+	}
+	return n.rec.Snapshot(), true
+}
+
 // Run starts the configured monitoring sources and blocks until ctx is
 // cancelled or Drain is called, then shuts down gracefully in dependency
 // order: sources stop (no new batches), the pipeline flushes and closes
@@ -452,6 +624,10 @@ func (n *Node) shutdown() {
 	n.sup.Close()
 	n.pl.Flush()
 	n.pl.Close()
+	if n.rec != nil {
+		n.rec.Close() // queue drains; final segment flushes
+	}
+	n.closeEventStreams()
 	n.mu.Lock()
 	tenants := make([]*tenantState, 0, len(n.tenants))
 	for _, ts := range n.tenants {
@@ -1048,6 +1224,19 @@ func (n *Node) addSourceLocked(spec SourceSpec) (string, error) {
 // resolves the subscription filter live (dial time or poll time), which
 // is what makes prefix hot-adds reach running sources.
 func (n *Node) dialerFor(spec SourceSpec) (ingest.Dialer, []ingest.SourceOption, error) {
+	dialer, opts, err := n.dialerForType(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if spec.MaxEventsPerSec > 0 {
+		// Applies to every transport: blocking sources are paced,
+		// drop-policy sources shed (counted in rate_shed_total).
+		opts = append(opts, ingest.RateLimit(spec.MaxEventsPerSec))
+	}
+	return dialer, opts, nil
+}
+
+func (n *Node) dialerForType(spec SourceSpec) (ingest.Dialer, []ingest.SourceOption, error) {
 	switch spec.Type {
 	case SourceRIS:
 		return ingest.RISDialerDynamic(spec.URL, n.filterProvider), nil, nil
@@ -1064,6 +1253,23 @@ func (n *Node) dialerFor(spec SourceSpec) (ingest.Dialer, []ingest.SourceOption,
 			PollInterval: spec.Interval.Std(),
 			Now:          n.now,
 		}), nil, nil
+	case SourceBMP:
+		return ingest.BMPDialerConfig(spec.Addr, ingest.BMPConfig{
+			Filter: n.filterProvider,
+			Now:    n.now,
+			OnPeer: func(pe ingest.BMPPeerEvent) {
+				if pe.Up {
+					n.opts.logf("artemis: bmp %s: peer %s AS%d up", pe.Collector, pe.Addr, pe.AS)
+				} else {
+					n.opts.logf("artemis: bmp %s: peer %s AS%d down (reason %d)", pe.Collector, pe.Addr, pe.AS, pe.Reason)
+				}
+			},
+		}), nil, nil
+	case SourceReplay:
+		// Blocking: an archive replay must deliver every event — pacing
+		// comes from the recorded timestamps, loss would change history.
+		return ingest.EventLogFileDialer(spec.Path, ingest.EventLogReplay{Speed: spec.Speed}),
+			[]ingest.SourceOption{ingest.Blocking()}, nil
 	}
 	return nil, nil, fmt.Errorf("artemis: unknown source type %q", spec.Type)
 }
@@ -1295,17 +1501,19 @@ type SourceStatus struct {
 	Events  int64 `json:"events"`
 	Batches int64 `json:"batches"`
 	// DedupHits were suppressed as cross-source duplicates; Drops shed by
-	// the source's own queue bound; Reconnects counts redials.
+	// the source's own queue bound; RateShed shed by the source's
+	// configured rate limit; Reconnects counts redials.
 	DedupHits  int64 `json:"dedup_hits"`
 	Drops      int64 `json:"drops"`
+	RateShed   int64 `json:"rate_shed,omitempty"`
 	Reconnects int64 `json:"reconnects"`
 }
 
 // Health summarizes the node for operators: overall status plus
-// per-source detail. Status is "ok" when every source is connecting or
-// healthy, "degraded" when any source is backing off, and "critical"
-// when a live source is dead. A dead MRT replay does not escalate: a
-// finite archive ending is its normal completion, not an outage.
+// per-source detail. Status is "ok" when every source is connecting,
+// healthy, or finished (a finite replay ending is its normal
+// completion, not an outage), "degraded" when any source is backing
+// off, and "critical" when a source is dead.
 type Health struct {
 	Status  string         `json:"status"`
 	Sources []SourceStatus `json:"sources"`
@@ -1329,6 +1537,7 @@ func (n *Node) Health() Health {
 			Batches:    src.Batches,
 			DedupHits:  src.DedupHits,
 			Drops:      src.Drops,
+			RateShed:   src.RateShed,
 			Reconnects: src.Reconnects,
 		})
 		switch src.State {
@@ -1337,9 +1546,7 @@ func (n *Node) Health() Health {
 				h.Status = "degraded"
 			}
 		case ingest.StateDead.String():
-			if types[src.Name] != SourceMRT {
-				h.Status = "critical"
-			}
+			h.Status = "critical"
 		}
 	}
 	return h
@@ -1358,6 +1565,9 @@ func (n *Node) WriteMetrics(w io.Writer) {
 
 	n.sup.Snapshot().WriteProm(w)
 	n.pl.Snapshot().WriteProm(w)
+	if n.rec != nil {
+		n.rec.Snapshot().WriteProm(w)
+	}
 	var mq stats.MitigationQueueSnapshot
 	alerts, dedup := 0, 0
 	var failures int64

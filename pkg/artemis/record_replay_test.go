@@ -1,0 +1,213 @@
+package artemis_test
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/bgp/bmp"
+	"artemis/internal/prefix"
+	"artemis/pkg/artemis"
+)
+
+// bmpPeer is the one monitored session the sim exporter replays. The
+// zero timestamp makes the station stamp events with the node clock,
+// as a live deployment would.
+func bmpPeer() bmp.PerPeerHeader {
+	return bmp.PerPeerHeader{Addr: prefix.MustParseAddr("192.0.2.10"), AS: 65010, BGPID: 0x0a000001}
+}
+
+func bmpSessionUp() *bmp.PeerUp {
+	return &bmp.PeerUp{
+		Peer:       bmpPeer(),
+		LocalAddr:  prefix.MustParseAddr("192.0.2.1"),
+		LocalPort:  179,
+		RemotePort: 30000,
+		SentOpen:   bgp.NewOpen(64512, 90, prefix.MustParseAddr("192.0.2.1")),
+		RecvOpen:   bgp.NewOpen(65010, 90, prefix.MustParseAddr("192.0.2.99")),
+	}
+}
+
+func bmpUpdate(path []bgp.ASN, prefixes ...string) *bmp.RouteMonitoring {
+	u := &bgp.Update{
+		Attrs: []bgp.PathAttr{
+			&bgp.OriginAttr{Value: bgp.OriginIGP},
+			bgp.NewASPath(path),
+			&bgp.NextHopAttr{Addr: prefix.MustParseAddr("192.0.2.1")},
+		},
+	}
+	for _, p := range prefixes {
+		u.NLRI = append(u.NLRI, prefix.MustParse(p))
+	}
+	return &bmp.RouteMonitoring{Peer: bmpPeer(), Update: u}
+}
+
+// runNode starts a node and returns a stop function that drains it.
+func runNode(t *testing.T, node *artemis.Node) func() {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- node.Run(ctx) }()
+	return func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("Run did not drain")
+		}
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestRecordReplayRoundTrip is the interchange tentpole's acceptance
+// property, end to end through the public facade: live sim traffic
+// arrives over BMP and is detected, mitigated and recorded; replaying
+// the archive at 1x and at 16x reproduces the live run — byte-identical
+// alert history (detection runs on preserved event time) and identical
+// mitigation decisions — and a completed replay reports terminal-but-
+// healthy, never critical. Peer Down on the live session surfaces as a
+// health transition.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	exp, err := bmp.NewExporter("127.0.0.1:0", "rtr-live", bgp.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	exp.PeerUp(bmpSessionUp())
+
+	// --- live phase: BMP feed, recorder on ---
+	liveInj := &stringInjector{}
+	cfg := &artemis.Config{
+		Prefixes:   []string{"10.0.0.0/23"},
+		Origins:    []uint32{61000},
+		Mitigation: artemis.MitigationConfig{ConfigDelay: artemis.Duration(time.Millisecond)},
+		Sources:    []artemis.SourceSpec{{Type: artemis.SourceBMP, Addr: exp.Addr()}},
+		Record:     artemis.RecordConfig{Path: filepath.Join(dir, "cap")},
+	}
+	live, err := artemis.New(cfg, quiet(), artemis.WithRouteInjector(liveInj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthSub := live.Subscribe(artemis.KindHealth, 64)
+	stopLive := runNode(t, live)
+	waitCond(t, "bmp source healthy", func() bool {
+		h := live.Health()
+		return len(h.Sources) == 1 && h.Sources[0].State == "healthy"
+	})
+
+	// The incident: a benign announcement, a sub-prefix hijack, and an
+	// exact-prefix origin hijack — two distinct incidents to detect.
+	exp.Publish(bmpUpdate([]bgp.ASN{65010, 3356, 61000}, "10.0.0.0/23"))
+	exp.Publish(bmpUpdate([]bgp.ASN{65010, 666}, "10.0.0.0/24"))
+	exp.Publish(bmpUpdate([]bgp.ASN{65010, 3356, 666}, "10.0.0.0/23"))
+	waitCond(t, "live alerts+mitigations", func() bool {
+		return len(live.Alerts()) == 2 && len(live.Mitigations()) == 2
+	})
+
+	// Losing the only monitored peer must surface on health: the source
+	// leaves healthy (it is blind), observable as a degraded transition.
+	exp.PeerDown(&bmp.PeerDown{Peer: bmpPeer(), Reason: bmp.PeerDownRemoteNoNotify})
+	sawDegraded := false
+	deadline := time.After(5 * time.Second)
+	for !sawDegraded {
+		select {
+		case ev := <-healthSub.C:
+			if ev.Kind == artemis.KindHealth && ev.SourceHealth.To == "degraded" {
+				sawDegraded = true
+			}
+		case <-deadline:
+			t.Fatal("no degraded health transition after peer down")
+		}
+	}
+	stopLive()
+	liveAlerts, liveMits := live.Alerts(), live.Mitigations()
+	if liveAlerts[0].Type != "sub-prefix" || liveAlerts[0].Prefix != "10.0.0.0/24" ||
+		liveAlerts[1].Type != "exact-origin" || liveAlerts[1].Origin != 666 {
+		t.Fatalf("live alerts: %+v", liveAlerts)
+	}
+	if rs, ok := live.RecordStatus(); !ok || rs.Events != 3 || rs.Dropped != 0 {
+		t.Fatalf("record status: %+v ok=%v", rs, ok)
+	}
+
+	// --- replay phase: same policy, archive as the only source ---
+	glob := filepath.Join(dir, "cap-*.evlog")
+	replayRun := func(speed float64) ([]artemis.Alert, []artemis.Mitigation) {
+		inj := &stringInjector{}
+		rcfg := &artemis.Config{
+			Prefixes:   []string{"10.0.0.0/23"},
+			Origins:    []uint32{61000},
+			Mitigation: artemis.MitigationConfig{ConfigDelay: artemis.Duration(time.Millisecond)},
+			Sources:    []artemis.SourceSpec{{Type: artemis.SourceReplay, Path: glob, Speed: speed}},
+		}
+		// The constant clock makes the wall-time-stamped mitigation
+		// trigger times comparable across replay speeds; detection time
+		// comes from the archive's event time either way.
+		node, err := artemis.New(rcfg, quiet(),
+			artemis.WithRouteInjector(inj), artemis.WithNow(func() time.Duration { return 0 }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stop := runNode(t, node)
+		// Bugfix regression: a completed replay is terminal-but-healthy.
+		// The source must settle in "finished" with overall status "ok" —
+		// never critical, never a reconnect/backoff loop.
+		waitCond(t, "replay finished", func() bool {
+			h := node.Health()
+			return len(h.Sources) == 1 && h.Sources[0].State == "finished"
+		})
+		h := node.Health()
+		if h.Status != "ok" {
+			t.Fatalf("health after finished replay = %q, want ok (%+v)", h.Status, h)
+		}
+		if h.Sources[0].Reconnects != 0 {
+			t.Fatalf("finished replay reconnected %d times, want 0", h.Sources[0].Reconnects)
+		}
+		waitCond(t, "replay mitigations", func() bool { return len(node.Mitigations()) == 2 })
+		stop()
+		return node.Alerts(), node.Mitigations()
+	}
+	a1, m1 := replayRun(1)
+	a16, m16 := replayRun(16)
+
+	// 1x vs 16x: the whole history is byte-identical — event time, not
+	// replay pacing, drives every clock that reaches the records.
+	if mustJSON(t, a1) != mustJSON(t, a16) {
+		t.Fatalf("alert history differs across replay speed:\n1x:  %s\n16x: %s", mustJSON(t, a1), mustJSON(t, a16))
+	}
+	if mustJSON(t, m1) != mustJSON(t, m16) {
+		t.Fatalf("mitigation history differs across replay speed:\n1x:  %s\n16x: %s", mustJSON(t, m1), mustJSON(t, m16))
+	}
+
+	// Replay vs live: alerts are byte-identical (DetectedAt is the
+	// recorded emission time). Mitigation trigger times are wall-clock on
+	// the live node, so compare with them normalized out.
+	if mustJSON(t, liveAlerts) != mustJSON(t, a1) {
+		t.Fatalf("replayed alerts differ from live:\nlive:   %s\nreplay: %s", mustJSON(t, liveAlerts), mustJSON(t, a1))
+	}
+	norm := func(ms []artemis.Mitigation) []artemis.Mitigation {
+		out := append([]artemis.Mitigation(nil), ms...)
+		for i := range out {
+			out[i].TriggeredAt = 0
+		}
+		return out
+	}
+	if mustJSON(t, norm(liveMits)) != mustJSON(t, norm(m1)) {
+		t.Fatalf("replayed mitigations differ from live:\nlive:   %s\nreplay: %s",
+			mustJSON(t, norm(liveMits)), mustJSON(t, norm(m1)))
+	}
+}
