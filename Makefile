@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench soak fuzz fmt vet examples ci
+.PHONY: build test race bench soak fuzz fmt vet examples ci rib-fixture rib-measure
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,22 @@ race:
 # BENCH_* data source).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | tee bench.txt
+
+# Fetch-or-generate the full-scale RIB fixture: a deterministic
+# TABLE_DUMP_V2 snapshot sized like today's global table (~1M v4 + ~220k
+# v6 prefixes, ~390MB). ribgen keeps an existing non-empty file, so a
+# downloaded real collector dump at the same path is never clobbered;
+# RIB_FIXTURE overrides the location.
+RIB_FIXTURE ?= testdata/rib-full.mrt
+rib-fixture:
+	@mkdir -p $(dir $(RIB_FIXTURE))
+	$(GO) run ./cmd/ribgen -o $(RIB_FIXTURE)
+
+# Measure full-RIB bootstrap (load time + resident table memory) against
+# the fixture above; numbers feed docs/PERFORMANCE.md#full-rib-load.
+rib-measure: rib-fixture
+	ARTEMIS_RIB_FULL=1 ARTEMIS_RIB_FIXTURE=$(abspath $(RIB_FIXTURE)) \
+		$(GO) test -run TestFullRIBLoadMeasured -count=1 -v ./internal/rib
 
 # Soak the ingest supervisor against flapping in-process RIS/BGPmon
 # servers under the race detector (the short-mode version of this test

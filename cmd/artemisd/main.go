@@ -79,6 +79,10 @@ func main() {
 	srcQueue := flag.Int("source-queue", 0, "per-source pending-batch bound (default 64)")
 	dedupTTL := flag.Duration("dedup-ttl", 0, "cross-source dedup window (default 10m; negative disables)")
 	alertTTL := flag.Duration("alert-ttl", 0, "incident dedup window (default 24h; 0 = dedup forever, unbounded suppression)")
+	ribPath := flag.String("rib", "", "MRT TABLE_DUMP_V2 snapshot to bootstrap the route table (enables /v1/lookup)")
+	rpkiSrc := flag.String("rpki", "", "ROA export for origin validation: a JSON file path or an http(s) URL")
+	rpkiRefresh := flag.Duration("rpki-refresh", 0, "re-fetch interval for an -rpki URL (0 = fetch once)")
+	asnamesPath := flag.String("asnames", "", "AS-name CSV (asn,name[,locale]) to enrich alerts and lookups")
 	flag.Parse()
 	// Flags whose zero value is meaningful need set-detection: an
 	// explicit 0 maps to the config schema's negative sentinel ("really
@@ -175,6 +179,20 @@ func main() {
 		cfg.Control.Listen = *listen
 	} else if *metricsAddr != "" {
 		cfg.Control.Listen = *metricsAddr
+	}
+	if *ribPath != "" {
+		cfg.RIB = artemis.RIBConfig{Enabled: true, Path: *ribPath}
+	}
+	if *rpkiSrc != "" {
+		cfg.RPKI = artemis.RPKIConfig{Refresh: artemis.Duration(*rpkiRefresh)}
+		if strings.HasPrefix(*rpkiSrc, "http://") || strings.HasPrefix(*rpkiSrc, "https://") {
+			cfg.RPKI.URL = *rpkiSrc
+		} else {
+			cfg.RPKI.Path = *rpkiSrc
+		}
+	}
+	if *asnamesPath != "" {
+		cfg.ASNames.Path = *asnamesPath
 	}
 	if len(cfg.Sources) == 0 {
 		log.Fatal("no feeds configured; declare sources in -config or pass -ris/-bgpmon/-mrt/-periscope/-bmp/-replay")

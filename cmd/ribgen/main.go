@@ -1,0 +1,63 @@
+// ribgen writes a deterministic synthetic full-RIB MRT snapshot
+// (TABLE_DUMP_V2: one PEER_INDEX_TABLE followed by RIB_IPV4_UNICAST and
+// RIB_IPV6_UNICAST entries), sized like a real collector dump. It backs
+// `make rib-fixture` and the full-scale load measurement
+// (docs/PERFORMANCE.md): the default sizes approximate today's global
+// table (~1M IPv4 + ~220k IPv6 prefixes).
+//
+//	go run ./cmd/ribgen -o testdata/rib-full.mrt
+//	go run ./cmd/ribgen -v4 4000 -v6 880 -o small.mrt
+//
+// Output is a pure function of the flags (fixed seed, no wall clock), so
+// a fixture can be regenerated instead of checked in.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"artemis/internal/rib"
+)
+
+func main() {
+	v4 := flag.Int("v4", 1_000_000, "IPv4 prefixes to generate")
+	v6 := flag.Int("v6", 220_000, "IPv6 prefixes to generate")
+	peers := flag.Int("peers", 8, "collector peers in the PEER_INDEX_TABLE")
+	routes := flag.Int("routes-per-prefix", 2, "routes (peer views) per prefix")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("o", "", "output file (required)")
+	force := flag.Bool("force", false, "regenerate even if the output already exists")
+	flag.Parse()
+
+	if *out == "" {
+		log.Fatal("ribgen: -o output file required")
+	}
+	if !*force {
+		if st, err := os.Stat(*out); err == nil && st.Size() > 0 {
+			fmt.Printf("ribgen: %s exists (%d bytes), keeping it (use -force to regenerate)\n", *out, st.Size())
+			return
+		}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	cfg := rib.SynthConfig{V4: *v4, V6: *v6, Peers: *peers, RoutesPerPrefix: *routes, Seed: *seed}
+	if err := rib.WriteSynth(w, cfg); err != nil {
+		os.Remove(*out)
+		log.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := os.Stat(*out)
+	fmt.Printf("ribgen: wrote %s (%d bytes: %d v4 + %d v6 prefixes, %d peers, seed %d)\n",
+		*out, st.Size(), *v4, *v6, *peers, *seed)
+}

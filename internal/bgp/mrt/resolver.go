@@ -1,0 +1,48 @@
+package mrt
+
+import "fmt"
+
+// PeerResolver threads a TABLE_DUMP_V2 PEER_INDEX_TABLE through to the RIB
+// entries that refer into it by position. Every TABLE_DUMP_V2 consumer (the
+// ingest MRT dialer, the RIB bootstrap loader, the baseline detector) needs
+// the same bookkeeping: remember the most recent index table, resolve
+// RIBPeerRoute.PeerIndex against it, and fail loudly when a RIB entry
+// arrives before any index table — guessing the vantage point from the AS
+// path is wrong for route-server peers, which do not prepend themselves.
+type PeerResolver struct {
+	pit *PeerIndexTable
+}
+
+// Observe feeds one decoded record through the resolver. Only
+// *PeerIndexTable records change its state; everything else is ignored, so
+// callers can unconditionally Observe every record they read.
+func (r *PeerResolver) Observe(rec Record) {
+	if pit, ok := rec.(*PeerIndexTable); ok {
+		r.pit = pit
+	}
+}
+
+// Ready reports whether a peer index table has been seen.
+func (r *PeerResolver) Ready() bool { return r.pit != nil }
+
+// Peers returns the number of peers in the current index table.
+func (r *PeerResolver) Peers() int {
+	if r.pit == nil {
+		return 0
+	}
+	return len(r.pit.Peers)
+}
+
+// Peer resolves a RIB route's peer index to the collector peer it names.
+// It returns a descriptive error when no PEER_INDEX_TABLE has been seen yet
+// or the index is out of range — both indicate a malformed or truncated
+// dump, not a condition to paper over.
+func (r *PeerResolver) Peer(idx uint16) (Peer, error) {
+	if r.pit == nil {
+		return Peer{}, fmt.Errorf("mrt: RIB entry before any PEER_INDEX_TABLE record")
+	}
+	if int(idx) >= len(r.pit.Peers) {
+		return Peer{}, fmt.Errorf("mrt: RIB peer index %d out of range (table has %d peers)", idx, len(r.pit.Peers))
+	}
+	return r.pit.Peers[idx], nil
+}

@@ -26,6 +26,7 @@ import (
 
 	"artemis/internal/bgp"
 	"artemis/internal/prefix"
+	"artemis/internal/rpki"
 )
 
 // Config is the operator-supplied ground truth about the protected AS.
@@ -73,6 +74,13 @@ type Config struct {
 	// hijack storm from starving the others' classification capacity. 0
 	// disables the quota (and keeps classification exactly deterministic).
 	MaxEventsPerSecond int
+	// RPKI, when set, enables route-origin validation (RFC 6811) in the
+	// classifier: a ROA-valid announcement of owned space is fast-rejected
+	// (it cannot be an origin hijack), and origin alerts carry the verdict
+	// ("invalid" / "unknown") as evidence. The table is an immutable
+	// snapshot like the rest of the config — a ROA refresh installs a new
+	// config, so the pipeline/serial equivalence argument is untouched.
+	RPKI *rpki.Table
 	// MitigationRatePerMin, when positive, bounds automatic
 	// alert→mitigation dispatches per minute (wall clock, token bucket,
 	// burst of one minute's allowance). Excess alerts are dropped from

@@ -9,6 +9,7 @@ import (
 	"artemis/internal/bgp"
 	"artemis/internal/feeds/feedtypes"
 	"artemis/internal/prefix"
+	"artemis/internal/rpki"
 	"artemis/internal/ttlset"
 )
 
@@ -54,6 +55,11 @@ type Alert struct {
 	// Origin is the illegitimate origin AS (for path anomalies, the AS
 	// spliced next to the legitimate origin).
 	Origin bgp.ASN
+	// RPKI is the origin-validation verdict for the offending announcement
+	// ("invalid" or "unknown"), empty when no ROA table is configured or
+	// the alert is a path anomaly (whose origin is legitimate — RPKI has
+	// nothing to say about the spliced upstream).
+	RPKI string
 	// Evidence is the first feed event that triggered the alert.
 	Evidence feedtypes.Event
 	// DetectedAt is when ARTEMIS learned of it — the evidence's emission
@@ -232,7 +238,24 @@ func (c *Config) classifyRouted(ev *feedtypes.Event, owned prefix.Prefix, rel Al
 		}
 		alert = Alert{Type: AlertPathAnomaly, Prefix: ev.Prefix, Owned: owned, Origin: upstream}
 	} else {
-		alert = Alert{Type: rel, Prefix: ev.Prefix, Owned: owned, Origin: origin}
+		verdict := ""
+		if c.RPKI != nil {
+			// Origin validation runs only on the rare alert-raising path,
+			// so the allocation-free hot path is untouched; the verdict
+			// strings are constants.
+			switch c.RPKI.Validate(ev.Prefix, origin) {
+			case rpki.Valid:
+				// A ROA authorizes this (origin, prefix): not an origin
+				// hijack, whatever the local origin list says. Fast-reject
+				// before any alert bookkeeping.
+				return Alert{}, counted, false
+			case rpki.Invalid:
+				verdict = rpki.Invalid.String()
+			default:
+				verdict = rpki.NotFound.String()
+			}
+		}
+		alert = Alert{Type: rel, Prefix: ev.Prefix, Owned: owned, Origin: origin, RPKI: verdict}
 	}
 	alert.Evidence = *ev
 	alert.DetectedAt = ev.EmittedAt

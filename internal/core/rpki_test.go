@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"artemis/internal/bgp"
+	"artemis/internal/prefix"
+	"artemis/internal/rpki"
+)
+
+// rpkiConfig is testConfig plus a ROA table: the owned /23 is ROA'd to the
+// legitimate origin (max length /24), and 10.0.1.0/24 is additionally
+// ROA'd to AS64900.
+func rpkiConfig() *Config {
+	cfg := testConfig()
+	tb := rpki.NewTable()
+	tb.AddROA(rpki.ROA{Prefix: prefix.MustParse("10.0.0.0/23"), ASN: 61000, MaxLength: 24})
+	tb.AddROA(rpki.ROA{Prefix: prefix.MustParse("10.0.1.0/24"), ASN: 64900, MaxLength: 24})
+	cfg.RPKI = tb
+	return cfg
+}
+
+func TestRPKIInvalidVerdictOnAlert(t *testing.T) {
+	d := NewDetector(rpkiConfig())
+	// Sub-prefix hijack by 666: covered by the /23 ROA, wrong origin.
+	d.Process(announceEvent("10.0.0.0/24", 1001, 1002, 666))
+	alerts := d.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+	if alerts[0].Type != AlertSubPrefix || alerts[0].RPKI != "invalid" {
+		t.Fatalf("alert = %+v, want sub-prefix with rpki=invalid", alerts[0])
+	}
+}
+
+func TestRPKIValidFastReject(t *testing.T) {
+	d := NewDetector(rpkiConfig())
+	// AS64900 is not in LegitOrigins, but a ROA authorizes it for
+	// 10.0.1.0/24: fast-rejected, no alert.
+	d.Process(announceEvent("10.0.1.0/24", 1001, 1002, 64900))
+	if got := d.Alerts(); len(got) != 0 {
+		t.Fatalf("ROA-valid announcement alerted: %+v", got)
+	}
+	// The event still counts toward per-source diagnostics.
+	if n := d.EventsBySource()["test"]; n != 1 {
+		t.Fatalf("counted = %d, want 1", n)
+	}
+	_, valid, _ := d.Config().RPKI.VerdictCounts()
+	if valid != 1 {
+		t.Fatalf("valid verdicts = %d, want 1", valid)
+	}
+	// The same origin beyond the ROA's maxLength is invalid again.
+	d.Process(announceEvent("10.0.1.128/25", 1001, 1002, 64900))
+	alerts := d.Alerts()
+	if len(alerts) != 1 || alerts[0].RPKI != "invalid" {
+		t.Fatalf("alerts = %+v, want one rpki=invalid", alerts)
+	}
+}
+
+func TestRPKIUnknownVerdict(t *testing.T) {
+	cfg := testConfig()
+	cfg.OwnedPrefixes = append(cfg.OwnedPrefixes, prefix.MustParse("192.0.2.0/24"))
+	tb := rpki.NewTable()
+	tb.AddROA(rpki.ROA{Prefix: prefix.MustParse("10.0.0.0/23"), ASN: 61000})
+	cfg.RPKI = tb
+	d := NewDetector(cfg)
+	// 192.0.2.0/24 has no covering ROA: alert fires with verdict unknown.
+	d.Process(announceEvent("192.0.2.0/24", 1001, 666))
+	alerts := d.Alerts()
+	if len(alerts) != 1 || alerts[0].RPKI != "unknown" {
+		t.Fatalf("alerts = %+v, want one rpki=unknown", alerts)
+	}
+}
+
+func TestNoRPKITableNoVerdict(t *testing.T) {
+	d := NewDetector(testConfig())
+	d.Process(announceEvent("10.0.0.0/23", 1001, 666))
+	alerts := d.Alerts()
+	if len(alerts) != 1 || alerts[0].RPKI != "" {
+		t.Fatalf("alerts = %+v, want empty verdict without a table", alerts)
+	}
+}
+
+func TestRPKIPathAnomalyCarriesNoVerdict(t *testing.T) {
+	cfg := rpkiConfig()
+	cfg.AllowedUpstreams = map[bgp.ASN][]bgp.ASN{61000: {1002}}
+	d := NewDetector(cfg)
+	// Legit origin via a disallowed upstream: path anomaly, no RPKI verdict
+	// (the origin itself is fine).
+	d.Process(announceEvent("10.0.0.0/23", 1001, 9999, 61000))
+	alerts := d.Alerts()
+	if len(alerts) != 1 || alerts[0].Type != AlertPathAnomaly || alerts[0].RPKI != "" {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+}

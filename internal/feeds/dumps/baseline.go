@@ -32,6 +32,11 @@ type BaselineDetector struct {
 type BaselineAlert struct {
 	Prefix prefix.Prefix
 	Origin bgp.ASN
+	// VantagePoint is the collector peer that observed the conflicting
+	// route: the BGP4MP peer AS for update files, the PEER_INDEX_TABLE
+	// peer for RIB snapshots (never inferred from the AS path — route
+	// servers do not prepend themselves).
+	VantagePoint bgp.ASN
 	// ObservedAt is when the VP actually changed (from the MRT record).
 	ObservedAt time.Duration
 	// PublishedAt is when the file containing it was released.
@@ -70,6 +75,7 @@ func (d *BaselineDetector) Alerts() []BaselineAlert {
 
 func (d *BaselineDetector) processFile(f File) {
 	r := mrt.NewReader(bytes.NewReader(f.Data))
+	var peers mrt.PeerResolver
 	for {
 		rec, err := r.Next()
 		if err == io.EOF {
@@ -78,6 +84,7 @@ func (d *BaselineDetector) processFile(f File) {
 		if err != nil {
 			return // a corrupt archive file yields whatever parsed so far
 		}
+		peers.Observe(rec)
 		switch m := rec.(type) {
 		case *mrt.BGP4MPMessage:
 			u, ok := m.Message.(*bgp.Update)
@@ -89,7 +96,7 @@ func (d *BaselineDetector) processFile(f File) {
 				continue
 			}
 			for _, p := range u.NLRI {
-				d.check(p, origin, SimTimeOf(m.Timestamp), f.PublishedAt)
+				d.check(p, origin, m.PeerAS, SimTimeOf(m.Timestamp), f.PublishedAt)
 			}
 		case *mrt.RIBEntry:
 			for _, rt := range m.Routes {
@@ -98,13 +105,17 @@ func (d *BaselineDetector) processFile(f File) {
 				if !ok {
 					continue
 				}
-				d.check(m.Prefix, origin, SimTimeOf(m.Timestamp), f.PublishedAt)
+				peer, err := peers.Peer(rt.PeerIndex)
+				if err != nil {
+					continue // unresolvable peer index: skip, as with corrupt data
+				}
+				d.check(m.Prefix, origin, peer.AS, SimTimeOf(m.Timestamp), f.PublishedAt)
 			}
 		}
 	}
 }
 
-func (d *BaselineDetector) check(p prefix.Prefix, origin bgp.ASN, observed, published time.Duration) {
+func (d *BaselineDetector) check(p prefix.Prefix, origin, vp bgp.ASN, observed, published time.Duration) {
 	if !d.filter.Match(p) || d.legit[origin] {
 		return
 	}
@@ -116,6 +127,7 @@ func (d *BaselineDetector) check(p prefix.Prefix, origin bgp.ASN, observed, publ
 	d.alerts = append(d.alerts, BaselineAlert{
 		Prefix:       p,
 		Origin:       origin,
+		VantagePoint: vp,
 		ObservedAt:   observed,
 		PublishedAt:  published,
 		ActionableAt: published + d.notifyDelay,

@@ -155,6 +155,11 @@ type mrtConn struct {
 	rc        io.ReadCloser
 	r         *mrt.Reader
 	collector string
+	// peers threads the dump's PEER_INDEX_TABLE through to RIB entries so
+	// each route's vantage point comes from the peer record it names, not
+	// from path[0] — route-server peers do not prepend themselves, so the
+	// first path hop is not necessarily the peer.
+	peers mrt.PeerResolver
 	// buf is the reused per-Recv batch (Conn contract: valid until the
 	// next Recv).
 	buf []feedtypes.Event
@@ -202,6 +207,9 @@ func (c *mrtConn) Recv() ([]feedtypes.Event, error) {
 					})
 				}
 			}
+		case *mrt.PeerIndexTable:
+			c.peers.Observe(m)
+			continue
 		case *mrt.RIBEntry:
 			at := dumps.SimTimeOf(m.Timestamp)
 			for _, rt := range m.Routes {
@@ -210,10 +218,11 @@ func (c *mrtConn) Recv() ([]feedtypes.Event, error) {
 				if !ok {
 					continue
 				}
-				vp := bgp.ASN(0)
-				if len(path) > 0 {
-					vp = path[0] // dumps writes paths starting at the VP
+				peer, err := c.peers.Peer(rt.PeerIndex)
+				if err != nil {
+					return nil, err
 				}
+				vp := peer.AS
 				batch = append(batch, feedtypes.Event{
 					Source:       dumps.SourceName,
 					Collector:    c.collector,

@@ -1,0 +1,86 @@
+package rib
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"artemis/internal/bgp"
+)
+
+// ASName is the registry identity of an AS — the glass-service asn_name
+// shape: a short handle/description plus the registration locale.
+type ASName struct {
+	Name   string
+	Locale string
+}
+
+// ASNames maps origin ASNs to names. Immutable after load; share freely.
+type ASNames struct {
+	m map[bgp.ASN]ASName
+}
+
+// Lookup returns the name record for asn.
+func (n *ASNames) Lookup(asn bgp.ASN) (ASName, bool) {
+	if n == nil {
+		return ASName{}, false
+	}
+	v, ok := n.m[asn]
+	return v, ok
+}
+
+// Len returns the number of named ASNs.
+func (n *ASNames) Len() int {
+	if n == nil {
+		return 0
+	}
+	return len(n.m)
+}
+
+// ParseASNames reads the CSV mapping "asn,name,locale" (one AS per line;
+// the locale column is optional, '#' lines and blanks are skipped, and the
+// ASN accepts a bare number or an "AS"-prefixed form).
+func ParseASNames(data []byte) (*ASNames, error) {
+	r := csv.NewReader(bytes.NewReader(data))
+	r.FieldsPerRecord = -1 // locale column optional
+	r.Comment = '#'
+	r.TrimLeadingSpace = true
+	r.LazyQuotes = true // registry names embed stray quotes
+	recs, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("asnames: %w", err)
+	}
+	out := &ASNames{m: make(map[bgp.ASN]ASName, len(recs))}
+	for i, rec := range recs {
+		if len(rec) == 0 || (len(rec) == 1 && strings.TrimSpace(rec[0]) == "") {
+			continue
+		}
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("asnames: line %d: want asn,name[,locale]", i+1)
+		}
+		s := strings.TrimSpace(rec[0])
+		s = strings.TrimPrefix(strings.TrimPrefix(s, "AS"), "as")
+		v, err := strconv.ParseUint(s, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("asnames: line %d: bad ASN %q", i+1, rec[0])
+		}
+		entry := ASName{Name: strings.TrimSpace(rec[1])}
+		if len(rec) > 2 {
+			entry.Locale = strings.TrimSpace(rec[2])
+		}
+		out.m[bgp.ASN(v)] = entry
+	}
+	return out, nil
+}
+
+// LoadASNames reads an asn,name,locale CSV file.
+func LoadASNames(path string) (*ASNames, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseASNames(data)
+}

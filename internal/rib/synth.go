@@ -1,0 +1,153 @@
+package rib
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/bgp/mrt"
+	"artemis/internal/prefix"
+)
+
+// SynthConfig parameterizes a synthetic TABLE_DUMP_V2 snapshot. The
+// generator is deterministic for a given config, so fixtures regenerate
+// bit-identically and tests can replay the exact stream a loader saw.
+type SynthConfig struct {
+	// V4/V6 are prefix counts per family (a full table is ~1M v4 + ~220k v6).
+	V4, V6 int
+	// Peers is the collector peer count; odd-indexed peers behave as route
+	// servers and do not prepend themselves to exported paths. Default 4.
+	Peers int
+	// RoutesPerPrefix is how many peers export each prefix. Default 1.
+	RoutesPerPrefix int
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+func (c *SynthConfig) normalize() {
+	if c.Peers <= 0 {
+		c.Peers = 4
+	}
+	if c.RoutesPerPrefix <= 0 {
+		c.RoutesPerPrefix = 1
+	}
+	if c.RoutesPerPrefix > c.Peers {
+		c.RoutesPerPrefix = c.Peers
+	}
+}
+
+// maskDist is a weighted prefix-length distribution; weights sum to 100.
+type maskBucket struct {
+	bits   int
+	weight int
+}
+
+// Roughly the shape of the real global table: v4 dominated by /24s, v6 by
+// /48s and /32s.
+var (
+	v4Masks = []maskBucket{{24, 55}, {23, 8}, {22, 12}, {21, 6}, {20, 6}, {19, 5}, {18, 4}, {16, 4}}
+	v6Masks = []maskBucket{{48, 50}, {44, 8}, {40, 10}, {36, 8}, {32, 24}}
+)
+
+func pickMask(rnd *rand.Rand, dist []maskBucket) int {
+	n := rnd.Intn(100)
+	for _, b := range dist {
+		if n < b.weight {
+			return b.bits
+		}
+		n -= b.weight
+	}
+	return dist[0].bits
+}
+
+// synthEpoch matches the dumps package's simulation epoch so SimTimeOf
+// yields small positive offsets for synthetic records.
+var synthEpoch = time.Unix(1466000000, 0).UTC()
+
+// WriteSynth writes a synthetic snapshot: one PEER_INDEX_TABLE followed by
+// cfg.V4+cfg.V6 RIB entries with unique prefixes (per-mask counters keep
+// same-length prefixes disjoint; cross-mask overlap is allowed, as in a
+// real table with covering aggregates).
+func WriteSynth(w io.Writer, cfg SynthConfig) error {
+	cfg.normalize()
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	mw := mrt.NewWriter(w)
+
+	pit := &mrt.PeerIndexTable{
+		Timestamp:   synthEpoch,
+		CollectorID: prefix.MustParseAddr("198.51.100.1"),
+		ViewName:    "synth",
+	}
+	for i := 0; i < cfg.Peers; i++ {
+		id := prefix.AddrFrom4(uint32(0xc6336400 + i)) // 198.51.100.x
+		pit.Peers = append(pit.Peers, mrt.Peer{BGPID: id, IP: id, AS: bgp.ASN(64500 + i)})
+	}
+	if err := mw.Write(pit); err != nil {
+		return err
+	}
+
+	seq := uint32(0)
+	perMask := make(map[int]uint64)
+	emit := func(count int, is6 bool, dist []maskBucket) error {
+		for i := 0; i < count; i++ {
+			bits := pickMask(rnd, dist)
+			key := bits
+			if is6 {
+				key += 1000 // v6 counters are independent of v4's
+			}
+			k := perMask[key]
+			perMask[key] = k + 1
+			var p prefix.Prefix
+			if is6 {
+				// 2000::/4 space; the counter occupies the bits below the
+				// mask so same-length prefixes never collide.
+				hi := uint64(0x2)<<60 | k<<(64-bits)
+				p = prefix.New(prefix.AddrFrom16(hi, 0), bits)
+			} else {
+				p = prefix.New(prefix.AddrFrom4(uint32(k)<<(32-bits)), bits)
+			}
+			origin := bgp.ASN(1000 + rnd.Intn(70000))
+			entry := &mrt.RIBEntry{
+				Timestamp: synthEpoch.Add(time.Duration(rnd.Intn(3600)) * time.Second),
+				Sequence:  seq,
+				Prefix:    p,
+			}
+			seq++
+			first := rnd.Intn(cfg.Peers)
+			for j := 0; j < cfg.RoutesPerPrefix; j++ {
+				idx := (first + j) % cfg.Peers
+				peer := pit.Peers[idx]
+				hops := rnd.Intn(3) + 1
+				path := make([]bgp.ASN, 0, hops+2)
+				if idx%2 == 0 {
+					// A normal peer prepends itself; a route server (odd
+					// index) exports the path as learned.
+					path = append(path, peer.AS)
+				}
+				for h := 0; h < hops; h++ {
+					path = append(path, bgp.ASN(100000+rnd.Intn(5000)))
+				}
+				path = append(path, origin)
+				entry.Routes = append(entry.Routes, mrt.RIBPeerRoute{
+					PeerIndex:  uint16(idx),
+					Originated: entry.Timestamp,
+					Attrs: []bgp.PathAttr{
+						&bgp.OriginAttr{Value: bgp.OriginIGP},
+						bgp.NewASPath(path),
+						&bgp.NextHopAttr{Addr: peer.IP},
+					},
+				})
+			}
+			if err := mw.Write(entry); err != nil {
+				return fmt.Errorf("rib: synth entry %s: %w", p, err)
+			}
+		}
+		return nil
+	}
+	if err := emit(cfg.V4, false, v4Masks); err != nil {
+		return err
+	}
+	return emit(cfg.V6, true, v6Masks)
+}

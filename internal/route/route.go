@@ -12,6 +12,7 @@ package route
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"artemis/internal/bgp"
@@ -56,6 +57,18 @@ func (r *Route) LocalPref() int {
 	default: // provider
 		return 100
 	}
+}
+
+// Equal reports whether two routes carry identical content: same prefix,
+// same AS path, learned from the same neighbor under the same relationship.
+// A duplicate UPDATE re-announcing an unchanged route is Equal to the
+// installed candidate even though it arrives as a distinct allocation.
+func (r *Route) Equal(o *Route) bool {
+	if r == nil || o == nil {
+		return r == o
+	}
+	return r.Prefix == o.Prefix && r.From == o.From && r.Rel == o.Rel &&
+		slices.Equal(r.Path, o.Path)
 }
 
 // HasLoop reports whether asn already appears in the AS path — the RFC 4271

@@ -83,6 +83,13 @@ func (t *Table) reselect(p prefix.Prefix, st *prefixState) (old, best *Route, ch
 	if best == old {
 		return old, best, false
 	}
+	// A content-identical re-announcement arrives as a fresh allocation, so
+	// the pointer compare above misses it; without this check every duplicate
+	// UPDATE (common in real feeds, guaranteed under RIB reload) would
+	// reinsert into the trie and re-propagate downstream.
+	if best.Equal(old) {
+		return old, best, false
+	}
 	if best == nil {
 		t.best.Delete(p)
 	} else {
@@ -112,6 +119,16 @@ func (t *Table) Candidates(p prefix.Prefix) []*Route {
 		out = append(out, r)
 	}
 	return out
+}
+
+// NumCandidates returns the number of candidate routes for exactly p
+// without allocating (Candidates copies; counters only need the size).
+func (t *Table) NumCandidates(p prefix.Prefix) int {
+	st := t.prefixes[p]
+	if st == nil {
+		return 0
+	}
+	return len(st.candidates)
 }
 
 // Resolve performs longest-prefix-match forwarding for addr and returns the

@@ -154,4 +154,45 @@ func TestBestIsStableIdentity(t *testing.T) {
 	}
 }
 
+func TestDuplicateReannounceNotChanged(t *testing.T) {
+	// A content-identical re-announcement from the same neighbor arrives as
+	// a fresh *Route; reselect must report changed=false (content equality,
+	// not pointer identity) or every duplicate UPDATE re-propagates.
+	tb := NewTable(42)
+	p := "10.0.0.0/23"
+	tb.Update(mk(p, 1, topo.Customer, 1, 5, 9))
+	_, best, changed := tb.Update(mk(p, 1, topo.Customer, 1, 5, 9))
+	if changed {
+		t.Fatalf("duplicate re-announcement reported changed=true (best=%v)", best)
+	}
+	// An actual content change from the same neighbor must still propagate.
+	_, best, changed = tb.Update(mk(p, 1, topo.Customer, 1, 9))
+	if !changed || len(best.Path) != 2 {
+		t.Fatalf("real replacement suppressed: best=%v changed=%v", best, changed)
+	}
+}
+
+func TestRouteEqual(t *testing.T) {
+	a := mk("10.0.0.0/23", 1, topo.Customer, 1, 9)
+	if !a.Equal(mk("10.0.0.0/23", 1, topo.Customer, 1, 9)) {
+		t.Fatal("identical content not Equal")
+	}
+	cases := []*Route{
+		mk("10.0.0.0/24", 1, topo.Customer, 1, 9), // prefix differs
+		mk("10.0.0.0/23", 2, topo.Customer, 1, 9), // neighbor differs
+		mk("10.0.0.0/23", 1, topo.Peer, 1, 9),     // relationship differs
+		mk("10.0.0.0/23", 1, topo.Customer, 1, 5, 9),
+		nil,
+	}
+	for i, c := range cases {
+		if a.Equal(c) {
+			t.Fatalf("case %d: %v should not equal %v", i, a, c)
+		}
+	}
+	var n *Route
+	if !n.Equal(nil) || n.Equal(a) {
+		t.Fatal("nil Equal semantics wrong")
+	}
+}
+
 var _ = bgp.ASN(0) // keep import when test bodies change

@@ -1,0 +1,95 @@
+package rpki
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/prefix"
+)
+
+// The export format shared by routinator, rpki-client and RIPE's validator:
+//
+//	{"roas": [{"asn": "AS13335", "prefix": "1.0.0.0/24", "maxLength": 24}]}
+//
+// with asn accepted as "AS13335", "13335" or a bare number.
+type roaExport struct {
+	ROAs []roaJSON `json:"roas"`
+}
+
+type roaJSON struct {
+	ASN       asnField `json:"asn"`
+	Prefix    string   `json:"prefix"`
+	MaxLength int      `json:"maxLength"`
+}
+
+type asnField bgp.ASN
+
+func (a *asnField) UnmarshalJSON(b []byte) error {
+	s := strings.Trim(string(b), `"`)
+	s = strings.TrimPrefix(strings.TrimPrefix(s, "AS"), "as")
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return fmt.Errorf("rpki: bad asn %s", string(b))
+	}
+	*a = asnField(v)
+	return nil
+}
+
+// Parse builds a table from a JSON ROA export.
+func Parse(data []byte) (*Table, error) {
+	var exp roaExport
+	if err := json.Unmarshal(data, &exp); err != nil {
+		return nil, fmt.Errorf("rpki: parse export: %w", err)
+	}
+	t := NewTable()
+	for i, r := range exp.ROAs {
+		p, err := prefix.Parse(r.Prefix)
+		if err != nil {
+			return nil, fmt.Errorf("rpki: roa %d: %w", i, err)
+		}
+		t.AddROA(ROA{Prefix: p, ASN: bgp.ASN(r.ASN), MaxLength: r.MaxLength})
+	}
+	return t, nil
+}
+
+// LoadFile builds a table from a JSON export on disk.
+func LoadFile(path string) (*Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// maxExportBytes bounds a fetched export (a full global export is ~100MB;
+// the cap keeps a misbehaving endpoint from exhausting memory).
+const maxExportBytes = 1 << 29
+
+// Fetch builds a table from a REST endpoint serving the JSON export (e.g.
+// a local routinator's /json). The client enforces the given timeout.
+func Fetch(url string, timeout time.Duration) (*Table, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	cli := &http.Client{Timeout: timeout}
+	resp, err := cli.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("rpki: fetch %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("rpki: fetch %s: status %s", url, resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxExportBytes))
+	if err != nil {
+		return nil, fmt.Errorf("rpki: fetch %s: %w", url, err)
+	}
+	return Parse(data)
+}

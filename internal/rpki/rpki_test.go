@@ -1,0 +1,129 @@
+package rpki
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"artemis/internal/bgp"
+	"artemis/internal/prefix"
+)
+
+func asn(v uint32) bgp.ASN { return bgp.ASN(v) }
+
+func table(t *testing.T) *Table {
+	t.Helper()
+	tb := NewTable()
+	tb.AddROA(ROA{Prefix: prefix.MustParse("10.0.0.0/16"), ASN: 64500, MaxLength: 24})
+	tb.AddROA(ROA{Prefix: prefix.MustParse("10.1.0.0/16"), ASN: 64501}) // maxLength defaults to 16
+	tb.AddROA(ROA{Prefix: prefix.MustParse("2001:db8::/32"), ASN: 64500, MaxLength: 48})
+	return tb
+}
+
+func TestValidate(t *testing.T) {
+	tb := table(t)
+	cases := []struct {
+		p      string
+		origin uint32
+		want   Validity
+	}{
+		{"10.0.0.0/16", 64500, Valid},
+		{"10.0.1.0/24", 64500, Valid},   // within maxLength
+		{"10.0.1.0/25", 64500, Invalid}, // longer than maxLength
+		{"10.0.0.0/16", 666, Invalid},   // covered, wrong origin
+		{"10.1.0.0/16", 64501, Valid},
+		{"10.1.2.0/24", 64501, Invalid}, // maxLength defaulted to 16
+		{"10.9.0.0/16", 64500, NotFound},
+		{"192.0.2.0/24", 666, NotFound},
+		{"2001:db8:1::/48", 64500, Valid},
+		{"2001:db8:1::/56", 64500, Invalid},
+		{"2001:db8::/32", 666, Invalid},
+		{"2001:db9::/32", 666, NotFound},
+	}
+	for _, c := range cases {
+		if got := tb.Validate(prefix.MustParse(c.p), asn(c.origin)); got != c.want {
+			t.Errorf("Validate(%s, AS%d) = %v, want %v", c.p, c.origin, got, c.want)
+		}
+	}
+	nf, v, inv := tb.VerdictCounts()
+	if nf != 3 || v != 4 || inv != 5 {
+		t.Fatalf("verdict counts = %d,%d,%d", nf, v, inv)
+	}
+}
+
+func TestValidAnywhereWins(t *testing.T) {
+	// RFC 6811: one matching ROA makes the route valid even when another
+	// covering ROA names a different origin.
+	tb := NewTable()
+	tb.AddROA(ROA{Prefix: prefix.MustParse("10.0.0.0/8"), ASN: 1, MaxLength: 24})
+	tb.AddROA(ROA{Prefix: prefix.MustParse("10.0.0.0/16"), ASN: 2, MaxLength: 24})
+	if got := tb.Validate(prefix.MustParse("10.0.0.0/24"), 2); got != Valid {
+		t.Fatalf("verdict = %v, want valid", got)
+	}
+	if got := tb.Validate(prefix.MustParse("10.0.0.0/24"), 3); got != Invalid {
+		t.Fatalf("verdict = %v, want invalid", got)
+	}
+}
+
+func TestNilTable(t *testing.T) {
+	var tb *Table
+	if got := tb.Validate(prefix.MustParse("10.0.0.0/24"), 1); got != NotFound {
+		t.Fatalf("nil table verdict = %v", got)
+	}
+	if tb.Len() != 0 {
+		t.Fatal("nil table Len != 0")
+	}
+}
+
+func TestValidityString(t *testing.T) {
+	if Valid.String() != "valid" || Invalid.String() != "invalid" || NotFound.String() != "unknown" {
+		t.Fatal("verdict strings wrong")
+	}
+}
+
+const exportJSON = `{"roas": [
+	{"asn": "AS64500", "prefix": "10.0.0.0/16", "maxLength": 24},
+	{"asn": 64501, "prefix": "10.1.0.0/16", "maxLength": 0},
+	{"asn": "64500", "prefix": "2001:db8::/32", "maxLength": 48}
+]}`
+
+func TestParseExport(t *testing.T) {
+	tb, err := Parse([]byte(exportJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if got := tb.Validate(prefix.MustParse("10.0.3.0/24"), 64500); got != Valid {
+		t.Fatalf("verdict = %v", got)
+	}
+	if _, err := Parse([]byte(`{"roas":[{"asn":"ASX","prefix":"10.0.0.0/8"}]}`)); err == nil {
+		t.Fatal("bad asn accepted")
+	}
+	if _, err := Parse([]byte(`{"roas":[{"asn":1,"prefix":"10.0.0.0/99"}]}`)); err == nil {
+		t.Fatal("bad prefix accepted")
+	}
+}
+
+func TestFetch(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(exportJSON))
+	}))
+	defer srv.Close()
+	tb, err := Fetch(srv.URL, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusForbidden)
+	}))
+	defer bad.Close()
+	if _, err := Fetch(bad.URL, 5*time.Second); err == nil {
+		t.Fatal("non-200 accepted")
+	}
+}

@@ -137,6 +137,45 @@ type TuningConfig struct {
 	MaxMitigationRetries int `json:"max_mitigation_retries,omitempty"`
 }
 
+// RIBConfig declares the node's route-intelligence table: a full
+// longest-prefix-match view of what the feeds observe, behind the
+// /v1/lookup and /v1/as glass endpoints and the artemis_rib_* metrics.
+type RIBConfig struct {
+	// Enabled turns the table on. Live feed events are folded into it as
+	// they arrive (announce/withdraw movement is counted per family and
+	// per mask length).
+	Enabled bool `json:"enabled,omitempty"`
+	// Path, when set, bootstraps the table from an MRT TABLE_DUMP_V2
+	// snapshot (a RIB dump) before sources start, so lookups answer from
+	// a full table instead of only post-start churn. Implies Enabled.
+	Path string `json:"path,omitempty"`
+}
+
+// RPKIConfig declares the ROA source for route-origin validation
+// (RFC 6811). With a table loaded, ROA-valid announcements of owned
+// space are fast-rejected in the classifier and origin alerts carry an
+// "invalid"/"unknown" verdict as evidence.
+type RPKIConfig struct {
+	// Path loads a JSON ROA export (routinator/rpki-client/RIPE format)
+	// from disk.
+	Path string `json:"path,omitempty"`
+	// URL fetches the export from a REST endpoint (e.g. a local
+	// routinator's /json) instead. Exactly one of Path and URL may be set.
+	URL string `json:"url,omitempty"`
+	// Refresh re-fetches the URL periodically and swaps the new table
+	// into every tenant's config at a pipeline barrier (URL sources only;
+	// 0 = fetch once at startup).
+	Refresh Duration `json:"refresh,omitempty"`
+}
+
+// ASNamesConfig declares the AS-name registry used to enrich alerts and
+// lookup responses with the announcing network's name and locale.
+type ASNamesConfig struct {
+	// Path is a CSV of "asn,name[,locale]" rows ('#' comments allowed;
+	// the ASN accepts an optional "AS" prefix).
+	Path string `json:"path,omitempty"`
+}
+
 // ControlConfig declares the HTTP control plane.
 type ControlConfig struct {
 	// Listen is the address the control plane (REST API + /metrics)
@@ -224,6 +263,9 @@ type Config struct {
 	Record     RecordConfig     `json:"record,omitempty"`
 	Tuning     TuningConfig     `json:"tuning,omitempty"`
 	Control    ControlConfig    `json:"control,omitempty"`
+	RIB        RIBConfig        `json:"rib,omitzero"`
+	RPKI       RPKIConfig       `json:"rpki,omitzero"`
+	ASNames    ASNamesConfig    `json:"asnames,omitzero"`
 }
 
 // Clone returns a deep copy.
@@ -303,6 +345,15 @@ func (c *Config) Validate() error {
 			}
 			names[n] = true
 		}
+	}
+	if c.RPKI.Path != "" && c.RPKI.URL != "" {
+		return fmt.Errorf("artemis: rpki needs path or url, not both")
+	}
+	if c.RPKI.Refresh != 0 && c.RPKI.URL == "" {
+		return fmt.Errorf("artemis: rpki refresh needs a url source")
+	}
+	if c.RPKI.Refresh < 0 {
+		return fmt.Errorf("artemis: negative rpki refresh")
 	}
 	return nil
 }
@@ -444,7 +495,7 @@ func (d *configDecoder) decode(root *yamlNode) *Config {
 		d.fail(root.line, "config must be a mapping")
 		return cfg
 	}
-	d.checkKeys(root, "prefixes", "origins", "upstreams", "tenants", "sources", "mitigation", "record", "tuning", "control")
+	d.checkKeys(root, "prefixes", "origins", "upstreams", "tenants", "sources", "mitigation", "record", "tuning", "control", "rib", "rpki", "asnames")
 
 	if n := root.child("prefixes"); n != nil {
 		for _, item := range d.scalarList(n) {
@@ -512,6 +563,30 @@ func (d *configDecoder) decode(root *yamlNode) *Config {
 		cfg.Control.Listen = d.optScalar(n, "listen")
 		cfg.Control.AdminToken = d.optScalar(n, "admin-token")
 		cfg.Control.StateFile = d.optScalar(n, "state-file")
+	}
+	if n := root.child("rib"); n != nil && d.isMap(n, "rib") {
+		d.checkKeys(n, "enabled", "path")
+		cfg.RIB.Enabled = d.optBool(n, "enabled")
+		cfg.RIB.Path = d.optScalar(n, "path")
+		if cfg.RIB.Path != "" {
+			cfg.RIB.Enabled = true
+		}
+	}
+	if n := root.child("rpki"); n != nil && d.isMap(n, "rpki") {
+		d.checkKeys(n, "path", "url", "refresh")
+		cfg.RPKI.Path = d.optScalar(n, "path")
+		cfg.RPKI.URL = d.optScalar(n, "url")
+		cfg.RPKI.Refresh = d.optDuration(n, "refresh")
+		if cfg.RPKI.Path != "" && cfg.RPKI.URL != "" {
+			d.fail(n.line, "rpki needs path or url, not both")
+		}
+		if cfg.RPKI.Refresh != 0 && cfg.RPKI.URL == "" {
+			d.fail(n.line, "rpki refresh needs a url source")
+		}
+	}
+	if n := root.child("asnames"); n != nil && d.isMap(n, "asnames") {
+		d.checkKeys(n, "path")
+		cfg.ASNames.Path = d.optScalar(n, "path")
 	}
 
 	// Cross-field validation that has no better position than the list

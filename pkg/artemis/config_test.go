@@ -228,3 +228,58 @@ func TestDurationJSON(t *testing.T) {
 		t.Fatal("numeric duration accepted")
 	}
 }
+
+// TestParseConfigRouteIntel covers the rib:/rpki:/asnames: blocks that
+// configure the route table, origin validation and AS-name enrichment.
+func TestParseConfigRouteIntel(t *testing.T) {
+	yaml := `prefixes: [10.0.0.0/23]
+origins: [61000]
+rib:
+  path: testdata/rib.mrt
+rpki:
+  url: http://127.0.0.1:8323/json
+  refresh: 1h
+asnames:
+  path: asnames.csv
+`
+	cfg, err := ParseConfig([]byte(yaml), "t.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.RIB.Enabled || cfg.RIB.Path != "testdata/rib.mrt" {
+		t.Fatalf("rib = %+v (a path must imply enabled)", cfg.RIB)
+	}
+	if cfg.RPKI.URL != "http://127.0.0.1:8323/json" || cfg.RPKI.Refresh.Std() != time.Hour {
+		t.Fatalf("rpki = %+v", cfg.RPKI)
+	}
+	if cfg.ASNames.Path != "asnames.csv" {
+		t.Fatalf("asnames = %+v", cfg.ASNames)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A live-only table: enabled without a bootstrap path.
+	cfg, err = ParseConfig([]byte("prefixes: [10.0.0.0/23]\norigins: [61000]\nrib:\n  enabled: true\n"), "t.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.RIB.Enabled || cfg.RIB.Path != "" {
+		t.Fatalf("rib = %+v", cfg.RIB)
+	}
+
+	bad := []struct {
+		yaml string
+		msg  string
+	}{
+		{"prefixes: [10.0.0.0/23]\norigins: [1]\nrpki:\n  path: a.json\n  url: http://x/json\n", "path or url, not both"},
+		{"prefixes: [10.0.0.0/23]\norigins: [1]\nrpki:\n  refresh: 1h\n", "refresh needs a url"},
+		{"prefixes: [10.0.0.0/23]\norigins: [1]\nrib:\n  pathh: x\n", `unknown key "pathh"`},
+		{"prefixes: [10.0.0.0/23]\norigins: [1]\nasnames:\n  url: http://x\n", `unknown key "url"`},
+	}
+	for _, c := range bad {
+		if _, err := ParseConfig([]byte(c.yaml), "t.yaml"); err == nil || !strings.Contains(err.Error(), c.msg) {
+			t.Errorf("yaml %q: err = %v, want %q", c.yaml, err, c.msg)
+		}
+	}
+}

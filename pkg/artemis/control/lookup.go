@@ -1,0 +1,156 @@
+package control
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"artemis/pkg/artemis"
+)
+
+// lookupCacheTTL bounds how stale a cached glass answer may be. Route
+// lookups are read-heavy and tolerate seconds of staleness (the table
+// itself only changes at feed pace), so a short TTL absorbs dashboard
+// refresh storms without serving stale routes for long.
+const lookupCacheTTL = 2 * time.Second
+
+// lookupCacheMax bounds the cache; beyond it the oldest entry is
+// evicted, ttlset-style (insertion order, first-wins: a refreshed key
+// does not extend its life).
+const lookupCacheMax = 1024
+
+type cacheEntry struct {
+	body []byte
+	at   time.Time
+}
+
+// respCache is a bounded TTL'd response cache for the glass endpoints.
+// Same shape as internal/ttlset but carrying values: entries expire
+// lookupCacheTTL after insertion and the oldest is evicted at capacity.
+type respCache struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	mu sync.Mutex
+	m  map[string]cacheEntry
+	q  []string // insertion order; head is the eviction candidate
+}
+
+func newRespCache() *respCache {
+	return &respCache{m: make(map[string]cacheEntry)}
+}
+
+func (c *respCache) get(key string, now time.Time) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if ok && now.Sub(e.at) < lookupCacheTTL {
+		c.hits.Add(1)
+		return e.body, true
+	}
+	if ok {
+		delete(c.m, key)
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+func (c *respCache) put(key string, body []byte, now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; !ok {
+		for len(c.m) >= lookupCacheMax && len(c.q) > 0 {
+			delete(c.m, c.q[0])
+			c.q = c.q[1:]
+		}
+		c.q = append(c.q, key)
+	}
+	c.m[key] = cacheEntry{body: body, at: now}
+}
+
+// marshalCached renders a cacheable JSON body, reporting the (unlikely)
+// encode failure to the client.
+func marshalCached(w http.ResponseWriter, v any) ([]byte, bool) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return nil, false
+	}
+	return append(body, '\n'), true
+}
+
+// writeCached serves a prebuilt JSON body with its cache disposition.
+func writeCached(w http.ResponseWriter, body []byte, hit bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// getLookup answers GET /v1/lookup/{prefix}: the best route the node's
+// table holds for the longest prefix covering the query (a prefix, slash
+// included thanks to the {prefix...} wildcard, or a bare address).
+// Answers are cached for lookupCacheTTL; X-Cache reports hit/miss.
+func (s *Server) getLookup(w http.ResponseWriter, r *http.Request, _ artemis.AuthScope) {
+	query := r.PathValue("prefix")
+	key := "lookup/" + query
+	now := time.Now()
+	if body, ok := s.cache.get(key, now); ok {
+		writeCached(w, body, true)
+		return
+	}
+	res, found, err := s.node.Lookup(query)
+	switch {
+	case errors.Is(err, artemis.ErrRIBDisabled):
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	case !found:
+		writeError(w, http.StatusNotFound, "no route for %s", res.Query)
+		return
+	}
+	body, ok := marshalCached(w, res)
+	if !ok {
+		return
+	}
+	s.cache.put(key, body, now)
+	writeCached(w, body, false)
+}
+
+// getAS answers GET /v1/as/{asn}: the AS's registry name/locale plus how
+// many table prefixes its best routes currently originate.
+func (s *Server) getAS(w http.ResponseWriter, r *http.Request, _ artemis.AuthScope) {
+	raw := r.PathValue("asn")
+	v, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad asn %q", raw)
+		return
+	}
+	key := "as/" + raw
+	now := time.Now()
+	if body, ok := s.cache.get(key, now); ok {
+		writeCached(w, body, true)
+		return
+	}
+	info, known := s.node.ASInfo(uint32(v))
+	if !known {
+		writeError(w, http.StatusNotFound, "nothing known about AS%d", v)
+		return
+	}
+	body, ok := marshalCached(w, info)
+	if !ok {
+		return
+	}
+	s.cache.put(key, body, now)
+	writeCached(w, body, false)
+}

@@ -1,0 +1,220 @@
+package control_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"artemis/internal/rib"
+	"artemis/pkg/artemis"
+	"artemis/pkg/artemis/control"
+)
+
+// newLookupHarness builds a secured node with a bootstrapped route
+// table, an AS-name registry and two credentials (admin + tenant token),
+// served over httptest.
+func newLookupHarness(t testing.TB) (*artemis.Node, *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	mrtPath := filepath.Join(dir, "rib.mrt")
+	var buf bytes.Buffer
+	if err := rib.WriteSynth(&buf, rib.SynthConfig{V4: 500, V6: 120, Peers: 4, RoutesPerPrefix: 2, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mrtPath, buf.Bytes(), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	namesPath := filepath.Join(dir, "asnames.csv")
+	if err := os.WriteFile(namesPath, []byte("666,BADNET,XX\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cfg := &artemis.Config{
+		Prefixes: []string{"10.0.0.0/23"},
+		Origins:  []uint32{61000},
+		Tenants: []artemis.TenantSpec{{
+			Name: "acme", Prefixes: []string{"192.0.2.0/24"}, Origins: []uint32{64500}, Token: "acme-token",
+		}},
+		Control: artemis.ControlConfig{AdminToken: "admin-token"},
+		RIB:     artemis.RIBConfig{Path: mrtPath},
+		ASNames: artemis.ASNamesConfig{Path: namesPath},
+	}
+	node, err := artemis.New(cfg, artemis.WithLogf(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := control.NewServer(node)
+	api := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		api.Close()
+		node.Drain()
+	})
+	return node, api
+}
+
+// get performs an authenticated GET and returns status, X-Cache and body.
+func get(t testing.TB, url, token string) (int, string, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header.Get("X-Cache"), body
+}
+
+// TestLookupEndpoints drives the glass API end to end: prefix and
+// address lookups behind the TTL cache, per-AS answers, tenant-token
+// access and the cache counters in /metrics.
+func TestLookupEndpoints(t *testing.T) {
+	_, api := newLookupHarness(t)
+
+	// First lookup misses the cache; the synthetic table's first /24 sits
+	// at the v4 base so the query resolves. Note the prefix's slash rides
+	// inside the path ({prefix...} wildcard).
+	status, cache, body := get(t, api.URL+"/v1/lookup/0.0.0.0/24", "admin-token")
+	if status != http.StatusOK || cache != "miss" {
+		t.Fatalf("first lookup: status=%d cache=%q body=%s", status, cache, body)
+	}
+	var res artemis.LookupResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched != "0.0.0.0/24" || len(res.Path) == 0 || res.Candidates != 2 {
+		t.Fatalf("lookup result = %+v", res)
+	}
+
+	// Same query again: served from cache, byte-identical.
+	status, cache, body2 := get(t, api.URL+"/v1/lookup/0.0.0.0/24", "admin-token")
+	if status != http.StatusOK || cache != "hit" {
+		t.Fatalf("second lookup: status=%d cache=%q", status, cache)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Fatal("cached body differs from original")
+	}
+
+	// A bare address resolves by longest match.
+	status, _, body = get(t, api.URL+"/v1/lookup/0.0.0.7", "admin-token")
+	if status != http.StatusOK {
+		t.Fatalf("address lookup: status=%d body=%s", status, body)
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Query != "0.0.0.7/32" || res.Matched != "0.0.0.0/24" {
+		t.Fatalf("address lookup result = %+v", res)
+	}
+
+	// Tenant tokens may use the glass endpoints (scoped, not admin-only).
+	if status, _, body := get(t, api.URL+"/v1/lookup/0.0.0.0/24", "acme-token"); status != http.StatusOK {
+		t.Fatalf("tenant-token lookup: status=%d body=%s", status, body)
+	}
+	// No token on a secured node: 401.
+	if status, _, _ := get(t, api.URL+"/v1/lookup/0.0.0.0/24", ""); status != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated lookup: status=%d", status)
+	}
+
+	// Misses and junk.
+	if status, _, _ := get(t, api.URL+"/v1/lookup/203.0.113.0/24", "admin-token"); status != http.StatusNotFound {
+		t.Fatalf("uncovered lookup: status=%d", status)
+	}
+	if status, _, _ := get(t, api.URL+"/v1/lookup/junk", "admin-token"); status != http.StatusBadRequest {
+		t.Fatalf("junk lookup: status=%d", status)
+	}
+
+	// Per-AS view: the registry knows AS666 even with nothing originated.
+	status, _, body = get(t, api.URL+"/v1/as/666", "admin-token")
+	if status != http.StatusOK {
+		t.Fatalf("as lookup: status=%d body=%s", status, body)
+	}
+	var info artemis.ASInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "BADNET" || info.Locale != "XX" || info.PrefixesV4 != 0 {
+		t.Fatalf("as info = %+v", info)
+	}
+	if status, _, _ := get(t, api.URL+"/v1/as/4200000000", "admin-token"); status != http.StatusNotFound {
+		t.Fatalf("unknown as: status=%d", status)
+	}
+	if status, _, _ := get(t, api.URL+"/v1/as/not-a-number", "admin-token"); status != http.StatusBadRequest {
+		t.Fatalf("bad asn: status=%d", status)
+	}
+
+	// The cache counters surface in /metrics alongside the table stats.
+	status, _, body = get(t, api.URL+"/metrics", "admin-token")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status=%d", status)
+	}
+	metrics := string(body)
+	// Two hits by now: the repeat admin lookup and the tenant's lookup of
+	// the same (token-independent) cache key.
+	for _, want := range []string{
+		"artemis_lookup_cache_hits_total 2",
+		"artemis_rib_prefixes{family=\"4\"} 500",
+		"artemis_rib_routes 1240",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestLookupWithoutRIB checks the disabled-table answer.
+func TestLookupWithoutRIB(t *testing.T) {
+	cfg := &artemis.Config{Prefixes: []string{"10.0.0.0/23"}, Origins: []uint32{61000}}
+	node, err := artemis.New(cfg, artemis.WithLogf(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Drain()
+	api := httptest.NewServer(control.NewServer(node).Handler())
+	defer api.Close()
+	status, _, body := get(t, api.URL+"/v1/lookup/10.0.0.1", "")
+	if status != http.StatusNotFound || !strings.Contains(string(body), "not enabled") {
+		t.Fatalf("lookup without rib: status=%d body=%s", status, body)
+	}
+}
+
+// BenchmarkLookupEndpoint measures the glass lookup round trip through
+// the mux and auth (no network), rotating queries across a small working
+// set so both cache hits and the underlying table lookup are exercised.
+func BenchmarkLookupEndpoint(b *testing.B) {
+	_, api := newLookupHarness(b)
+	queries := make([]*http.Request, 8)
+	for i := range queries {
+		req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/v1/lookup/0.0.%d.0/24", api.URL, i), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer admin-token")
+		queries[i] = req
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.DefaultClient.Do(queries[i%len(queries)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}

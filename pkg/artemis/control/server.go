@@ -24,6 +24,8 @@
 //	GET    /v1/mitigations    mitigation attempt history           [tenant-scoped]
 //	GET    /v1/alerts/stream  SSE stream (?kinds=..., ?tenant=...) [tenant-scoped]
 //	GET    /v1/events/stream  SSE firehose of post-dedup feed events [tenant-scoped]
+//	GET    /v1/lookup/{prefix} glass-style best-route lookup       [tenant-scoped]
+//	GET    /v1/as/{asn}       AS name/locale + originated counts   [tenant-scoped]
 //	GET    /metrics           Prometheus text exposition           [admin]
 //
 // # Authentication
@@ -64,6 +66,10 @@ type Server struct {
 	done     chan struct{}
 	doneOnce sync.Once
 
+	// cache absorbs repeated glass lookups (lookup.go); its hit/miss
+	// counters are appended to /metrics.
+	cache *respCache
+
 	mu sync.Mutex
 	ln net.Listener
 }
@@ -73,7 +79,7 @@ type authedHandler func(w http.ResponseWriter, r *http.Request, scope artemis.Au
 
 // NewServer builds the control plane for node.
 func NewServer(node *artemis.Node) *Server {
-	s := &Server{node: node, mux: http.NewServeMux(), done: make(chan struct{})}
+	s := &Server{node: node, mux: http.NewServeMux(), done: make(chan struct{}), cache: newRespCache()}
 	admin := s.admin
 	scoped := s.scoped
 	s.mux.HandleFunc("GET /v1/config", admin(s.getConfig))
@@ -95,6 +101,8 @@ func NewServer(node *artemis.Node) *Server {
 	s.mux.HandleFunc("GET /v1/mitigations", scoped(s.getMitigations))
 	s.mux.HandleFunc("GET /v1/alerts/stream", scoped(s.streamEvents))
 	s.mux.HandleFunc("GET /v1/events/stream", scoped(s.streamFeed))
+	s.mux.HandleFunc("GET /v1/lookup/{prefix...}", scoped(s.getLookup))
+	s.mux.HandleFunc("GET /v1/as/{asn}", scoped(s.getAS))
 	s.mux.HandleFunc("GET /metrics", admin(s.getMetrics))
 	s.http = &http.Server{Handler: s.mux}
 	return s
@@ -482,6 +490,8 @@ func (s *Server) getMitigations(w http.ResponseWriter, r *http.Request, scope ar
 func (s *Server) getMetrics(w http.ResponseWriter, r *http.Request, _ artemis.AuthScope) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.node.WriteMetrics(w)
+	fmt.Fprintf(w, "artemis_lookup_cache_hits_total %d\n", s.cache.hits.Load())
+	fmt.Fprintf(w, "artemis_lookup_cache_misses_total %d\n", s.cache.misses.Load())
 }
 
 // streamEvents serves the node's typed events as server-sent events:

@@ -64,6 +64,15 @@ type Alert struct {
 	// Origin is the offending AS (for path anomalies, the AS spliced next
 	// to the legitimate origin).
 	Origin uint32 `json:"origin"`
+	// OriginName/OriginLocale name the offending AS when an AS-name
+	// registry is configured (asnames:), so alerts read "AS666
+	// (BADNET, XX)" instead of a bare number.
+	OriginName   string `json:"origin_name,omitempty"`
+	OriginLocale string `json:"origin_locale,omitempty"`
+	// RPKI is the route-origin-validation verdict for the offending
+	// (prefix, origin) pair — "invalid" or "unknown" — when an ROA table
+	// is configured (rpki:). ROA-valid announcements never alert.
+	RPKI string `json:"rpki,omitempty"`
 	// Source/Collector/VantagePoint locate the evidence: which feed saw
 	// the announcement from where.
 	Source       string `json:"source"`
@@ -264,6 +273,7 @@ func alertFromCore(a core.Alert) Alert {
 		Prefix:       a.Prefix.String(),
 		Owned:        a.Owned.String(),
 		Origin:       uint32(a.Origin),
+		RPKI:         a.RPKI,
 		Source:       a.Evidence.Source,
 		Collector:    a.Evidence.Collector,
 		VantagePoint: uint32(a.Evidence.VantagePoint),

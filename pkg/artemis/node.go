@@ -55,6 +55,8 @@ import (
 	"artemis/internal/feeds/feedtypes"
 	"artemis/internal/ingest"
 	"artemis/internal/prefix"
+	"artemis/internal/rib"
+	"artemis/internal/rpki"
 	"artemis/internal/stats"
 )
 
@@ -91,6 +93,15 @@ type Node struct {
 	// authFailures counts rejected control-plane requests (also published
 	// as KindAuth events).
 	authFailures atomic.Int64
+
+	// Route intelligence (routeintel.go), fixed at construction: the
+	// longest-prefix-match route table behind /v1/lookup (nil when the
+	// rib: block is off), its bootstrap statistics, the AS-name registry,
+	// and the current ROA table (swapped live by the rpki: refresh loop).
+	rib     *rib.Table
+	ribLoad rib.LoadStats
+	asNames *rib.ASNames
+	roas    atomic.Pointer[rpki.Table]
 
 	// Southbound wiring, fixed at construction and reused when tenants
 	// are added later.
@@ -154,6 +165,12 @@ func New(cfg *Config, opts ...Option) (*Node, error) {
 	}
 	if n.opts.logf == nil {
 		n.opts.logf = log.Printf
+	}
+
+	// Route-intelligence state loads before the tenant stacks: their core
+	// configs embed the ROA table snapshot.
+	if err := n.setupRouteIntel(cfg); err != nil {
+		return nil, err
 	}
 
 	n.inj, n.manual = n.southbound(cfg)
@@ -240,6 +257,7 @@ func (n *Node) newTenant(sc TenantSpec, cfg *Config) (*tenantState, core.TenantP
 		return nil, core.TenantPolicy{}, err
 	}
 	ccfg.ManualMitigation = n.manual
+	ccfg.RPKI = n.roas.Load()
 	ctrl := controller.New(n.inj, n.now,
 		func(d time.Duration, fn func()) { time.AfterFunc(d, fn) },
 		controller.WithConfigDelay(n.ctrlDelay))
@@ -251,8 +269,21 @@ func (n *Node) newTenant(sc TenantSpec, cfg *Config) (*tenantState, core.TenantP
 	svc.Detector.OnAlert(func(a core.Alert) {
 		pub := alertFromCore(a)
 		pub.Tenant = name
-		n.opts.logf("artemis: ALERT [%s] %s: %s announced by AS%d (collides with owned %s, via %s/%s vp AS%d)",
-			name, pub.Type, pub.Prefix, pub.Origin, pub.Owned, pub.Source, pub.Collector, pub.VantagePoint)
+		n.enrichAlert(&pub)
+		who := fmt.Sprintf("AS%d", pub.Origin)
+		if pub.OriginName != "" {
+			who += " (" + pub.OriginName
+			if pub.OriginLocale != "" {
+				who += ", " + pub.OriginLocale
+			}
+			who += ")"
+		}
+		rpkiNote := ""
+		if pub.RPKI != "" {
+			rpkiNote = ", rpki " + pub.RPKI
+		}
+		n.opts.logf("artemis: ALERT [%s] %s: %s announced by %s (collides with owned %s, via %s/%s vp AS%d%s)",
+			name, pub.Type, pub.Prefix, who, pub.Owned, pub.Source, pub.Collector, pub.VantagePoint, rpkiNote)
 		n.bus.publish(Event{Kind: KindAlert, Tenant: name, Alert: &pub})
 	})
 	svc.Mitigator.OnRecord(func(r core.MitigationRecord) {
@@ -419,6 +450,11 @@ func (n *Node) filterProvider() feedtypes.Filter {
 // pooled storage without blocking on I/O.
 func (n *Node) deliver(evs []feedtypes.Event) {
 	n.pl.Submit(evs)
+	if n.rib != nil {
+		// Fold the batch into the route table (its own lock; paths are
+		// deep-copied there because batch storage is pooled).
+		n.rib.Apply(evs)
+	}
 	if n.rec != nil {
 		n.rec.Record(evs)
 	}
@@ -568,11 +604,15 @@ func (n *Node) Run(ctx context.Context) error {
 	}
 	n.running = true
 	err := n.attachDeferredLocked()
+	rpkiURL, rpkiRefresh := n.cfg.RPKI.URL, n.cfg.RPKI.Refresh.Std()
 	n.mu.Unlock()
 	defer close(n.runExited)
 	if err != nil {
 		n.shutdown()
 		return err
+	}
+	if rpkiURL != "" && rpkiRefresh > 0 {
+		go n.refreshRPKILoop(ctx, rpkiURL, rpkiRefresh)
 	}
 	select {
 	case <-ctx.Done():
@@ -783,6 +823,7 @@ func (n *Node) reconfigureTenant(tenant string, mutate func(*TenantSpec) error) 
 		return err
 	}
 	ccfg.ManualMitigation = ts.svc.CurrentConfig().ManualMitigation
+	ccfg.RPKI = n.roas.Load()
 	if err := ts.svc.Reconfigure(ccfg); err != nil {
 		return err
 	}
@@ -995,6 +1036,7 @@ func (n *Node) ReplaceConfig(next *Config) error {
 			return err
 		}
 		ccfg.ManualMitigation = ts.svc.CurrentConfig().ManualMitigation
+		ccfg.RPKI = n.roas.Load()
 		if err := ts.svc.Reconfigure(ccfg); err != nil {
 			return err
 		}
@@ -1425,6 +1467,7 @@ func (n *Node) Alerts() []Alert {
 		for _, a := range ts.svc.Detector.Alerts() {
 			pub := alertFromCore(a)
 			pub.Tenant = ts.name
+			n.enrichAlert(&pub)
 			out = append(out, pub)
 		}
 	}
@@ -1444,6 +1487,7 @@ func (n *Node) TenantAlerts(tenant string) ([]Alert, error) {
 	for i, a := range alerts {
 		out[i] = alertFromCore(a)
 		out[i].Tenant = tenant
+		n.enrichAlert(&out[i])
 	}
 	return out, nil
 }
@@ -1595,6 +1639,16 @@ func (n *Node) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "artemis_monitor_hijacked_vps %d\n", hijacked)
 	fmt.Fprintf(w, "artemis_monitor_unknown_vps %d\n", unknown)
 	fmt.Fprintf(w, "artemis_auth_failures_total %d\n", n.authFailures.Load())
+	if n.rib != nil {
+		n.rib.Snapshot().WriteProm(w)
+	}
+	if tb := n.roas.Load(); tb != nil {
+		nf, valid, invalid := tb.VerdictCounts()
+		fmt.Fprintf(w, "artemis_rpki_roas %d\n", tb.Len())
+		fmt.Fprintf(w, "artemis_rpki_verdicts_total{verdict=\"valid\"} %d\n", valid)
+		fmt.Fprintf(w, "artemis_rpki_verdicts_total{verdict=\"invalid\"} %d\n", invalid)
+		fmt.Fprintf(w, "artemis_rpki_verdicts_total{verdict=\"unknown\"} %d\n", nf)
+	}
 	for _, ts := range tenants {
 		tsn := stats.TenantSnapshot{
 			Name:                ts.name,
@@ -1669,6 +1723,9 @@ func (n *Node) Inject(obs ...RouteObservation) error {
 		batch.Append(ev)
 	}
 	n.pl.Submit(batch.Events)
+	if n.rib != nil {
+		n.rib.Apply(batch.Events)
+	}
 	return nil
 }
 

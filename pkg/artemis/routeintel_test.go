@@ -1,0 +1,228 @@
+package artemis_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"artemis/internal/rib"
+	"artemis/pkg/artemis"
+)
+
+// writeRouteIntelFixtures materializes the three route-intelligence
+// inputs in a temp dir: a small synthetic full-RIB MRT snapshot, an
+// AS-name registry CSV, and a JSON ROA export covering the owned /23.
+func writeRouteIntelFixtures(t *testing.T) (mrtPath, namesPath, roaPath string) {
+	t.Helper()
+	dir := t.TempDir()
+
+	mrtPath = filepath.Join(dir, "rib.mrt")
+	var buf bytes.Buffer
+	if err := rib.WriteSynth(&buf, rib.SynthConfig{V4: 300, V6: 80, Peers: 4, RoutesPerPrefix: 2, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mrtPath, buf.Bytes(), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	namesPath = filepath.Join(dir, "asnames.csv")
+	names := "# asn,name,locale\n666,BADNET,XX\n61000,GOODNET,GR\n"
+	if err := os.WriteFile(namesPath, []byte(names), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	roaPath = filepath.Join(dir, "roas.json")
+	roas := `{"roas": [{"asn": "AS61000", "prefix": "10.0.0.0/23", "maxLength": 23}]}`
+	if err := os.WriteFile(roaPath, []byte(roas), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return mrtPath, namesPath, roaPath
+}
+
+// TestNodeRouteIntel drives the route-intelligence surface end to end on
+// the embeddable facade: full-RIB bootstrap, glass lookups, live table
+// movement via Inject, AS-name enrichment and RPKI verdicts on alerts.
+func TestNodeRouteIntel(t *testing.T) {
+	mrtPath, namesPath, roaPath := writeRouteIntelFixtures(t)
+	cfg := &artemis.Config{
+		Prefixes:   []string{"10.0.0.0/23"},
+		Origins:    []uint32{61000},
+		Mitigation: artemis.MitigationConfig{Manual: true},
+		RIB:        artemis.RIBConfig{Path: mrtPath},
+		RPKI:       artemis.RPKIConfig{Path: roaPath},
+		ASNames:    artemis.ASNamesConfig{Path: namesPath},
+	}
+	node, err := artemis.New(cfg, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Drain()
+
+	if !node.RIBEnabled() {
+		t.Fatal("RIB path configured but table not enabled")
+	}
+	boot := node.RIBBootstrap()
+	if boot.Entries != 380 || boot.V4Routes != 600 || boot.V6Routes != 160 {
+		t.Fatalf("bootstrap stats = %+v", boot)
+	}
+	st := node.RIBStats()
+	if st.PrefixesV4 != 300 || st.PrefixesV6 != 80 {
+		t.Fatalf("table stats = %+v", st)
+	}
+
+	// The synthetic table's first /24 sits at each family's base, so an
+	// address lookup resolves through longest match.
+	res, found, err := node.Lookup("0.0.0.1")
+	if err != nil || !found {
+		t.Fatalf("Lookup(0.0.0.1) = %v, %v", found, err)
+	}
+	if res.Query != "0.0.0.1/32" || res.Matched == "" || len(res.Path) == 0 || res.Candidates < 1 {
+		t.Fatalf("lookup result = %+v", res)
+	}
+	if res.RPKI != "unknown" {
+		t.Fatalf("synthetic space verdict = %q, want unknown (no covering ROA)", res.RPKI)
+	}
+	if _, found, _ := node.Lookup("203.0.113.0/24"); found {
+		t.Fatal("uncovered space resolved")
+	}
+	if _, _, err := node.Lookup("not-a-prefix"); err == nil {
+		t.Fatal("bad query accepted")
+	}
+
+	// Live movement: an injected announcement lands in the table and the
+	// movement counters, not just the detection pipeline.
+	if err := node.Inject(artemis.RouteObservation{
+		VantagePoint: 100, Prefix: "198.51.100.0/24", Path: []uint32{100, 2000, 666},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, found, err = node.Lookup("198.51.100.0/24")
+	if err != nil || !found {
+		t.Fatalf("injected route not in table: %v, %v", found, err)
+	}
+	if res.Origin != 666 || res.OriginName != "BADNET" || res.OriginLocale != "XX" {
+		t.Fatalf("injected route = %+v, want origin 666 (BADNET, XX)", res)
+	}
+	if got := node.RIBStats(); got.AnnouncesV4 != 1 {
+		t.Fatalf("announce movement counter = %d, want 1", got.AnnouncesV4)
+	}
+
+	// A sub-prefix hijack of the ROA'd /23: the alert names the hijacker
+	// and carries the invalid verdict as evidence.
+	sub := node.Subscribe(artemis.KindAlert, 8)
+	defer sub.Cancel()
+	if err := node.Inject(artemis.RouteObservation{
+		VantagePoint: 100, Prefix: "10.0.1.0/24", Path: []uint32{100, 2000, 666},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-sub.C:
+		a := ev.Alert
+		if a.Type != "sub-prefix" || a.Origin != 666 {
+			t.Fatalf("alert = %+v", a)
+		}
+		if a.RPKI != "invalid" {
+			t.Fatalf("alert verdict = %q, want invalid", a.RPKI)
+		}
+		if a.OriginName != "BADNET" || a.OriginLocale != "XX" {
+			t.Fatalf("alert enrichment = %q/%q, want BADNET/XX", a.OriginName, a.OriginLocale)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no alert within 5s")
+	}
+	// Alert history carries the same enrichment.
+	alerts := node.Alerts()
+	if len(alerts) != 1 || alerts[0].OriginName != "BADNET" || alerts[0].RPKI != "invalid" {
+		t.Fatalf("alert history = %+v", alerts)
+	}
+
+	// The glass per-AS view: named hijacker, originated table space.
+	info, known := node.ASInfo(666)
+	if !known || info.Name != "BADNET" || info.PrefixesV4 != 2 {
+		t.Fatalf("ASInfo(666) = %+v known=%v, want BADNET with 2 v4 prefixes", info, known)
+	}
+	if _, known := node.ASInfo(4_200_000_000); known {
+		t.Fatal("unknown AS reported as known")
+	}
+}
+
+// TestNodeRouteIntelDisabled checks the no-RIB behavior: Lookup refuses
+// with ErrRIBDisabled and ASInfo still answers from the registry.
+func TestNodeRouteIntelDisabled(t *testing.T) {
+	_, namesPath, _ := writeRouteIntelFixtures(t)
+	cfg := &artemis.Config{
+		Prefixes: []string{"10.0.0.0/23"},
+		Origins:  []uint32{61000},
+		ASNames:  artemis.ASNamesConfig{Path: namesPath},
+	}
+	node, err := artemis.New(cfg, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Drain()
+	if node.RIBEnabled() {
+		t.Fatal("RIB enabled without a rib: block")
+	}
+	if _, _, err := node.Lookup("10.0.0.1"); err != artemis.ErrRIBDisabled {
+		t.Fatalf("Lookup error = %v, want ErrRIBDisabled", err)
+	}
+	info, known := node.ASInfo(61000)
+	if !known || info.Name != "GOODNET" {
+		t.Fatalf("ASInfo(61000) = %+v known=%v", info, known)
+	}
+}
+
+// TestNodeRPKIValidFastReject checks that a ROA-valid announcement of
+// owned space by a non-configured origin does not alert through the
+// public facade.
+func TestNodeRPKIValidFastReject(t *testing.T) {
+	dir := t.TempDir()
+	roaPath := filepath.Join(dir, "roas.json")
+	// AS64900 is ROA-authorized for the /24 but not in Origins.
+	roas := `{"roas": [{"asn": 64900, "prefix": "10.0.1.0/24", "maxLength": 24}]}`
+	if err := os.WriteFile(roaPath, []byte(roas), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cfg := &artemis.Config{
+		Prefixes: []string{"10.0.0.0/23"},
+		Origins:  []uint32{61000},
+		RPKI:     artemis.RPKIConfig{Path: roaPath},
+	}
+	node, err := artemis.New(cfg, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Drain()
+	if err := node.Inject(artemis.RouteObservation{
+		VantagePoint: 100, Prefix: "10.0.1.0/24", Path: []uint32{100, 2000, 64900},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// An unauthorized origin on the same space still alerts — proves the
+	// pipeline processed both and only the ROA-valid one was rejected.
+	if err := node.Inject(artemis.RouteObservation{
+		VantagePoint: 100, Prefix: "10.0.1.0/24", Path: []uint32{100, 2000, 666},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		alerts := node.Alerts()
+		if len(alerts) == 1 && alerts[0].Origin == 666 {
+			if alerts[0].RPKI != "invalid" {
+				t.Fatalf("alert verdict = %q", alerts[0].RPKI)
+			}
+			break
+		}
+		if len(alerts) > 1 {
+			t.Fatalf("ROA-valid announcement alerted: %+v", alerts)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no alert within 5s (have %+v)", alerts)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
