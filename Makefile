@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench soak fuzz fmt vet examples ci rib-fixture rib-measure
+.PHONY: build test race bench soak fuzz fmt vet examples ci rib-fixture rib-measure fleet fleet-smoke fleet-corpus
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,24 @@ rib-fixture:
 rib-measure: rib-fixture
 	ARTEMIS_RIB_FULL=1 ARTEMIS_RIB_FIXTURE=$(abspath $(RIB_FIXTURE)) \
 		$(GO) test -run TestFullRIBLoadMeasured -count=1 -v ./internal/rib
+
+# The adversarial scenario fleet (docs/SCENARIOS.md): N seeded hijack
+# scenarios per taxonomy class over v4/v6/mixed owned sets, scored for
+# detection latency and FP/FN accuracy. Writes fleet-scorecard.json and
+# enforces the fleet.gates accuracy bounds (zero FN on origin-level
+# classes, zero FP on the controls). Nightly CI archives the scorecard.
+FLEET_SEEDS ?= 3
+fleet:
+	$(GO) run ./cmd/fleet -seeds $(FLEET_SEEDS) -out fleet-scorecard.json -check fleet.gates
+
+# PR-CI subset: full taxonomy, v4 only, one seed — a few seconds.
+fleet-smoke:
+	$(GO) run ./cmd/fleet -smoke -out '' -check fleet.gates
+
+# Regenerate the checked-in detector-level replay corpus
+# (internal/fleet/testdata) after an intentional behavior change.
+fleet-corpus:
+	$(GO) run ./cmd/fleet -testdata internal/fleet/testdata
 
 # Soak the ingest supervisor against flapping in-process RIS/BGPmon
 # servers under the race detector (the short-mode version of this test

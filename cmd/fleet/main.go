@@ -1,0 +1,231 @@
+// Command fleet runs the adversarial scenario fleet: N seeded hijack
+// scenarios per taxonomy class (exact-prefix type-0/1/N, sub-prefix,
+// squat, route leaks, legitimate MOAS, prepend forgery, and
+// adversarially-timed campaigns) over v4/v6/mixed owned sets, scored for
+// detection latency and FP/FN accuracy per class.
+//
+// The scorecard is written as JSON (-out). With -check, accuracy gates
+// (fleet.gates) are evaluated against it and the process exits non-zero
+// on any breach — the CI accuracy gate. Failing scenarios are shrunk to
+// minimal reproducers; with -repro they are exported as detector-level
+// .evlog replays plus JSON sidecars.
+//
+//	fleet -seeds 3 -out fleet-scorecard.json -check fleet.gates
+//	fleet -smoke -check fleet.gates       # PR-CI subset (v4, 1 seed)
+//	fleet -testdata internal/fleet/testdata  # regenerate replay corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"artemis/internal/fleet"
+
+	"encoding/json"
+)
+
+func main() {
+	var (
+		seeds    = flag.Int("seeds", 3, "seeds per class x family cell")
+		baseSeed = flag.Int64("seed", 1, "first seed of the range")
+		classes  = flag.String("classes", "", "comma-separated class subset (default: full taxonomy)")
+		families = flag.String("families", "", "comma-separated family subset of v4,v6,mixed (default: all)")
+		out      = flag.String("out", "fleet-scorecard.json", "scorecard output path ('' = skip)")
+		check    = flag.String("check", "", "gates file to enforce; exit 1 on any breach")
+		smoke    = flag.Bool("smoke", false, "PR-CI subset: full taxonomy, v4 only, 1 seed")
+		shrink   = flag.Bool("shrink", true, "shrink failing scenarios to minimal reproducers")
+		repro    = flag.String("repro", "", "directory to export failure reproducers (.evlog + .json)")
+		testdata = flag.String("testdata", "", "regenerate the regression replay corpus into this directory, then exit")
+		budget   = flag.Int("shrink-budget", 12, "max re-runs the shrinker may spend per failure")
+		verbose  = flag.Bool("v", false, "log every trial")
+	)
+	flag.Parse()
+
+	if *testdata != "" {
+		if err := writeCorpus(*testdata); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	classList := splitList(*classes)
+	familyList := splitList(*families)
+	if *smoke {
+		familyList = []string{"v4"}
+		*seeds = 1
+	}
+	scs, err := fleet.Generate(classList, familyList, *seeds, *baseSeed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fleet: %d scenarios (%d classes x %d families x %d seeds)\n",
+		len(scs), countDistinct(scs, func(s fleet.Scenario) string { return s.Class }),
+		countDistinct(scs, func(s fleet.Scenario) string { return s.Family }), *seeds)
+
+	start := time.Now()
+	var progress func(fleet.Result)
+	if *verbose {
+		progress = func(r fleet.Result) {
+			fmt.Printf("  %-40s %-10s %s\n", r.Scenario.Name(), r.Verdict, r.Detail)
+		}
+	}
+	results := fleet.RunAll(scs, progress)
+	card := fleet.Score(results, *baseSeed, *seeds)
+	fmt.Printf("fleet: ran %d trials in %v\n", card.Totals.Trials, time.Since(start).Round(time.Millisecond))
+
+	if *shrink {
+		for i := range card.Failures {
+			f := &card.Failures[i]
+			small, tries := fleet.Shrink(f.Scenario, f.Verdict, *budget)
+			f.Shrunk = &small
+			fmt.Printf("fleet: shrunk %s (%s) in %d runs: stubs=%d transit=%d delay=%v owned=%d\n",
+				f.Scenario.Name(), f.Verdict, tries, small.Stubs, small.Transit,
+				small.HijackDelay, len(small.OwnedSet))
+			if *repro != "" {
+				if err := os.MkdirAll(*repro, 0o755); err != nil {
+					fatal(err)
+				}
+				name := sanitize(small.Name())
+				if _, _, err := fleet.Capture(small, *repro, name); err != nil {
+					fmt.Fprintf(os.Stderr, "fleet: reproducer for %s: %v\n", small.Name(), err)
+				} else {
+					f.Reproducer = name + ".json"
+					fmt.Printf("fleet: wrote reproducer %s\n", filepath.Join(*repro, name+".json"))
+				}
+			}
+		}
+	}
+
+	printSummary(card)
+
+	if *out != "" {
+		blob, err := json.MarshalIndent(card, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fleet: scorecard written to %s\n", *out)
+	}
+
+	if *check != "" {
+		f, err := os.Open(*check)
+		if err != nil {
+			fatal(err)
+		}
+		gates, err := fleet.ParseGates(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if bad := card.Check(gates); len(bad) != 0 {
+			fmt.Fprintf(os.Stderr, "fleet: %d gate violation(s):\n", len(bad))
+			for _, b := range bad {
+				fmt.Fprintf(os.Stderr, "  %s\n", b)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("fleet: all %d gates green\n", len(gates))
+	}
+}
+
+// corpusEntries are the checked-in regression reproducers: the detector
+// misclassifications this repo fixed (hidden forged-origin sub-prefix,
+// legitimate-MOAS/self-announcement whitelisting) plus the
+// prepend-forgery upstream-inference case, captured post-fix so replays
+// assert the fixed verdicts.
+var corpusEntries = []fleet.Scenario{
+	{Class: "sub-prefix-forged-origin", Family: "v4", Seed: 2,
+		Owned: "10.0.0.0/23", OwnedSet: []string{"10.0.0.0/23", "10.0.2.0/23"},
+		Stubs: 40, Transit: 12},
+	{Class: "legit-moas", Family: "v4", Seed: 2,
+		Owned: "10.0.0.0/23", OwnedSet: []string{"10.0.0.0/23", "10.0.2.0/23"},
+		Stubs: 40, Transit: 12},
+	{Class: "prepend-forgery", Family: "v4", Seed: 2,
+		Owned: "10.0.0.0/23", OwnedSet: []string{"10.0.0.0/23", "10.0.2.0/23"},
+		Stubs: 40, Transit: 12},
+	{Class: "legit-moas", Family: "v6", Seed: 3,
+		Owned: "2001:db8::/47", OwnedSet: []string{"2001:db8::/47", "2001:db8:2::/47"},
+		Stubs: 40, Transit: 12},
+}
+
+func writeCorpus(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, sc := range corpusEntries {
+		name := sanitize(sc.Name())
+		rep, res, err := fleet.Capture(sc, dir, name)
+		if err != nil {
+			return fmt.Errorf("capture %s: %w", sc.Name(), err)
+		}
+		if res.Failed() {
+			return fmt.Errorf("capture %s: verdict %s (%s) — corpus must record passing runs",
+				sc.Name(), res.Verdict, res.Detail)
+		}
+		alerts, err := rep.Replay(dir)
+		if err != nil {
+			return fmt.Errorf("replay %s: %w", sc.Name(), err)
+		}
+		if err := rep.CheckExpect(alerts); err != nil {
+			return fmt.Errorf("replay %s: %w", sc.Name(), err)
+		}
+		fmt.Printf("fleet: corpus entry %s (%d alerts on replay)\n", name, len(alerts))
+	}
+	return nil
+}
+
+func printSummary(card fleet.Scorecard) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "CLASS\tFAMILY\tTRIALS\tDETECTED\tFN\tFP\tWRONG\tERR\tDET p50\tDET p90")
+	for _, c := range card.Classes {
+		p50, p90 := "-", "-"
+		if c.Detected > 0 {
+			p50 = c.Detection.Median.Round(time.Second).String()
+			p90 = c.Detection.P90.Round(time.Second).String()
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
+			c.Class, c.Family, c.Trials, c.Detected, c.FN, c.FP, c.WrongType, c.Errors, p50, p90)
+	}
+	t := card.Totals
+	fmt.Fprintf(w, "TOTAL\t\t%d\t%d\t%d\t%d\t%d\t%d\t\t\n", t.Trials, t.Detected, t.FN, t.FP, t.WrongType, t.Errors)
+	w.Flush()
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func countDistinct(scs []fleet.Scenario, key func(fleet.Scenario) string) int {
+	set := map[string]bool{}
+	for _, sc := range scs {
+		set[key(sc)] = true
+	}
+	return len(set)
+}
+
+func sanitize(name string) string {
+	return strings.NewReplacer("/", "-", ":", "-").Replace(name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fleet:", err)
+	os.Exit(1)
+}

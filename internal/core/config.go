@@ -81,6 +81,15 @@ type Config struct {
 	// snapshot like the rest of the config — a ROA refresh installs a new
 	// config, so the pipeline/serial equivalence argument is untouched.
 	RPKI *rpki.Table
+	// Self is the registry of more-specific announcements ARTEMIS itself
+	// originates (mitigation de-aggregations). Shared by reference across
+	// snapshots like RPKI; NewService installs one when nil. It is what
+	// lets the detector flag forged-legit-origin sub-prefix hijacks
+	// ("hidden" hijacks) without alerting on its own mitigation routes.
+	// Operators doing sub-prefix traffic engineering should list those
+	// prefixes in OwnedPrefixes — anything announced that is neither owned
+	// nor registered here is treated as hijacked space.
+	Self *SelfAnnounced
 	// MitigationRatePerMin, when positive, bounds automatic
 	// alert→mitigation dispatches per minute (wall clock, token bucket,
 	// burst of one minute's allowance). Excess alerts are dropped from
@@ -178,6 +187,38 @@ func (c *Config) upstreamAllowed(origin, upstream bgp.ASN) bool {
 		}
 	}
 	return false
+}
+
+// expectedAnnouncement reports whether an announcement of exactly p is one
+// the operator makes on purpose: an owned prefix itself, or a registered
+// self-announcement (mitigation de-aggregation).
+func (c *Config) expectedAnnouncement(p prefix.Prefix) bool {
+	for _, o := range c.OwnedPrefixes {
+		if p == o {
+			return true
+		}
+	}
+	return c.Self.Has(p)
+}
+
+// entryLegit decides whether a routed (prefix, origin) observation
+// represents legitimate custody of the addresses it covers: the origin
+// must be configured legit, and a strict more-specific of owned space must
+// additionally be an announcement we expect — a forged legitimate origin
+// on an unexpected sub-prefix is a hidden hijack, not legitimacy.
+func (c *Config) entryLegit(p prefix.Prefix, origin bgp.ASN) bool {
+	if !c.originLegit(origin) {
+		return false
+	}
+	if c.expectedAnnouncement(p) {
+		return true
+	}
+	for _, o := range c.OwnedPrefixes {
+		if o.Contains(p) && p != o {
+			return false
+		}
+	}
+	return true
 }
 
 // matchOwned returns the owned prefix related to p, and the relation:

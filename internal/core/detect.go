@@ -218,6 +218,21 @@ func (c *Config) classifyRouted(ev *feedtypes.Event, owned prefix.Prefix, rel Al
 		return Alert{}, counted, false
 	}
 	if c.originLegit(origin) {
+		// A more-specific announcement of owned space that we did not make
+		// ourselves is a hijack regardless of the claimed origin: the
+		// operator knows exactly what it announces (§2), and an attacker
+		// can put the legitimate origin at the tail of a forged path — the
+		// "hidden" sub-prefix hijack. Owned prefixes themselves and
+		// registered self-announcements (mitigation de-aggregations coming
+		// back through the feeds) are expected; everything else alerts. No
+		// RPKI fast-reject here: a ROA covering the origin says nothing
+		// when the origin itself is forged.
+		if rel == AlertSubPrefix && !c.expectedAnnouncement(ev.Prefix) {
+			alert = Alert{Type: AlertSubPrefix, Prefix: ev.Prefix, Owned: owned, Origin: origin}
+			alert.Evidence = *ev
+			alert.DetectedAt = ev.EmittedAt
+			return alert, counted, true
+		}
 		// Origin fine; check the adjacent upstream when a policy exists.
 		// Path[len-1] is the origin, but origins routinely prepend
 		// themselves for traffic engineering (…, upstream, origin,

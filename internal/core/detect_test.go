@@ -279,3 +279,89 @@ func TestPerSourceCounterCardinalityBounded(t *testing.T) {
 		t.Fatalf("overflow bucket = %d, want %d", got[otherSources], 2*maxTrackedSources)
 	}
 }
+
+func TestHiddenSubPrefixHijackDetected(t *testing.T) {
+	// The attacker announces a more-specific of owned space with a forged
+	// path tail ending in the legitimate origin. Origin checks pass, but
+	// the operator never announced that prefix — it must alert as a
+	// sub-prefix hijack (the paper's "sub-prefix hijacks of all types are
+	// detectable" position).
+	d := NewDetector(testConfig())
+	d.Process(announceEvent("10.0.0.0/24", 50, 666, 61000))
+	alerts := d.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("hidden sub-prefix hijack missed: %d alerts", len(alerts))
+	}
+	if alerts[0].Type != AlertSubPrefix {
+		t.Fatalf("alert type = %v, want sub-prefix", alerts[0].Type)
+	}
+	if alerts[0].Origin != 61000 {
+		t.Fatalf("alert origin = %v (the claimed — forged — origin)", alerts[0].Origin)
+	}
+}
+
+func TestSelfAnnouncedSuppressesOwnMitigation(t *testing.T) {
+	// Our own mitigation de-aggregations come back through the feeds as
+	// legit-origin sub-prefix announcements. Registered ones never alert;
+	// a hijack OF a registered mitigation prefix (wrong origin) still does.
+	cfg := testConfig()
+	cfg.Self = NewSelfAnnounced()
+	cfg.Self.Add(prefix.MustParse("10.0.0.0/24"))
+	d := NewDetector(cfg)
+	d.Process(announceEvent("10.0.0.0/24", 50, 61000))
+	if n := len(d.Alerts()); n != 0 {
+		t.Fatalf("registered self-announcement raised %d alerts", n)
+	}
+	d.Process(announceEvent("10.0.0.0/24", 50, 666))
+	if n := len(d.Alerts()); n != 1 {
+		t.Fatalf("hijack of the mitigation prefix: %d alerts, want 1", n)
+	}
+}
+
+func TestNestedOwnedSubPrefixIsExpected(t *testing.T) {
+	// A /24 listed in OwnedPrefixes alongside its covering /23 (sub-prefix
+	// traffic engineering) is an expected announcement even when the
+	// linear scan classifies it as rel=sub-prefix of the /23.
+	cfg := testConfig()
+	cfg.OwnedPrefixes = append(cfg.OwnedPrefixes, prefix.MustParse("10.0.1.0/24"))
+	d := NewDetector(cfg)
+	d.Process(announceEvent("10.0.1.0/24", 50, 61000))
+	if n := len(d.Alerts()); n != 0 {
+		t.Fatalf("owned TE sub-prefix raised %d alerts", n)
+	}
+}
+
+func TestSelfAnnouncedNilSafe(t *testing.T) {
+	var s *SelfAnnounced
+	s.Add(prefix.MustParse("10.0.0.0/24"))
+	s.Remove(prefix.MustParse("10.0.0.0/24"))
+	if s.Has(prefix.MustParse("10.0.0.0/24")) || s.Len() != 0 {
+		t.Fatal("nil registry must be empty")
+	}
+	s = NewSelfAnnounced()
+	p := prefix.MustParse("10.0.0.0/24")
+	s.Add(p)
+	if !s.Has(p) || s.Len() != 1 {
+		t.Fatal("add not visible")
+	}
+	s.Remove(p)
+	if s.Has(p) || s.Len() != 0 {
+		t.Fatal("remove not visible")
+	}
+}
+
+func TestMitigatorRegistersSelfAnnouncements(t *testing.T) {
+	cfg := testConfig()
+	cfg.Self = NewSelfAnnounced()
+	m := NewMitigator(cfg, announcerFunc(func(p prefix.Prefix) error { return nil }), func() time.Duration { return 0 })
+	m.HandleAlert(Alert{Type: AlertExactOrigin, Prefix: prefix.MustParse("10.0.0.0/23"), Owned: prefix.MustParse("10.0.0.0/23"), Origin: 666})
+	for _, want := range []string{"10.0.0.0/24", "10.0.1.0/24"} {
+		if !cfg.Self.Has(prefix.MustParse(want)) {
+			t.Fatalf("mitigation prefix %s not registered", want)
+		}
+	}
+}
+
+type announcerFunc func(prefix.Prefix) error
+
+func (f announcerFunc) Announce(p prefix.Prefix) error { return f(p) }

@@ -153,6 +153,15 @@ func (m *Mitigator) HandleAlert(a Alert) {
 	m.mu.Unlock()
 
 	prefixes, competitive := m.MitigationPrefixes(a)
+	// Register our own de-aggregations before the controller can route
+	// them: every feed echoes announcements back into the detector, and an
+	// unregistered more-specific of owned space would raise a sub-prefix
+	// alert against our own mitigation.
+	if self := m.cfg.Load().Self; self != nil {
+		for _, p := range prefixes {
+			self.Add(p)
+		}
+	}
 	// Register the record before touching the controller: a failure
 	// callback (NoteAnnounceFailure) can fire on another goroutine as soon
 	// as the first Announce is scheduled, and it must find the incident.

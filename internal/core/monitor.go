@@ -187,9 +187,9 @@ func (m *Monitor) SetConfig(next *Config) {
 		st.status = make([]probeStatus, len(m.probes))
 		st.informed, st.bad = 0, 0
 		for idx, addr := range m.probes {
-			if _, e, ok := st.entries.LongestMatch(addr); ok {
+			if pfx, e, ok := st.entries.LongestMatch(addr); ok {
 				st.informed++
-				if m.cfg.originLegit(e.origin) {
+				if m.cfg.entryLegit(pfx, e.origin) {
 					st.status[idx] = probeLegit
 				} else {
 					st.status[idx] = probeBad
@@ -292,8 +292,8 @@ func (m *Monitor) rescoreProbesLocked(st *vpState, p prefix.Prefix) {
 	for ; i < len(m.byAddr) && m.probes[m.byAddr[i]].Compare(hi) <= 0; i++ {
 		idx := m.byAddr[i]
 		var now probeStatus
-		if _, e, ok := st.entries.LongestMatch(m.probes[idx]); ok {
-			if m.cfg.originLegit(e.origin) {
+		if pfx, e, ok := st.entries.LongestMatch(m.probes[idx]); ok {
+			if m.cfg.entryLegit(pfx, e.origin) {
 				now = probeLegit
 			} else {
 				now = probeBad
@@ -377,12 +377,12 @@ func (m *Monitor) Rescore(at time.Duration) Sample {
 	for _, st := range m.vps {
 		informed, bad := 0, 0
 		for _, addr := range m.probes {
-			_, e, ok := st.entries.LongestMatch(addr)
+			pfx, e, ok := st.entries.LongestMatch(addr)
 			if !ok {
 				continue
 			}
 			informed++
-			if !m.cfg.originLegit(e.origin) {
+			if !m.cfg.entryLegit(pfx, e.origin) {
 				bad++
 			}
 		}

@@ -36,7 +36,13 @@ func TestMonitorTracksHijackAndRecovery(t *testing.T) {
 		t.Fatalf("FractionLegit = %v", got)
 	}
 	// Mitigation: VP 2 gets the two /24s back from the owner. The stale
-	// /23 still points at the attacker but LPM prefers the /24s.
+	// /23 still points at the attacker but LPM prefers the /24s. The
+	// mitigator registers its de-aggregations before announcing; an
+	// unregistered more-specific with a legit origin would count as a
+	// hidden hijack, not as recovery.
+	m.cfg.Self = NewSelfAnnounced()
+	m.cfg.Self.Add(prefix.MustParse("10.0.0.0/24"))
+	m.cfg.Self.Add(prefix.MustParse("10.0.1.0/24"))
 	m.Process(monEvent(2, "10.0.0.0/24", 3*time.Second, 2, 61000))
 	m.Process(monEvent(2, "10.0.1.0/24", 3*time.Second, 2, 61000))
 	s = m.Snapshot(3 * time.Second)

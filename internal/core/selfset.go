@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sync"
+
+	"artemis/internal/prefix"
+)
+
+// SelfAnnounced is the registry of more-specific announcements ARTEMIS
+// itself originates — today that is the mitigation de-aggregations. The
+// detector treats any *other* more-specific announcement of owned space as
+// a hijack even when its path tail claims a legitimate origin (the paper's
+// §2 position: the operator knows exactly what it announces, so sub-prefix
+// hijacks of all types are detectable). Without this registry the fix
+// would bite its own tail: mitigation announces owned/2^k sub-prefixes,
+// the feeds deliver them back, and the detector would raise a sub-prefix
+// alert against its own response.
+//
+// The registry is shared by reference across configuration snapshots
+// (Clone copies the pointer, like the RPKI table), so a registration made
+// while mitigating under one snapshot is visible to classification under
+// the next. The mitigator registers prefixes *before* handing them to the
+// controller, so no feed can echo an announcement that is not yet
+// expected.
+type SelfAnnounced struct {
+	mu  sync.RWMutex
+	set map[prefix.Prefix]struct{}
+}
+
+// NewSelfAnnounced returns an empty registry.
+func NewSelfAnnounced() *SelfAnnounced {
+	return &SelfAnnounced{set: make(map[prefix.Prefix]struct{})}
+}
+
+// Add registers p as an announcement of our own. Nil-safe no-op.
+func (s *SelfAnnounced) Add(p prefix.Prefix) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.set[p] = struct{}{}
+	s.mu.Unlock()
+}
+
+// Remove forgets p (e.g. when a mitigation is rolled back).
+func (s *SelfAnnounced) Remove(p prefix.Prefix) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	delete(s.set, p)
+	s.mu.Unlock()
+}
+
+// Has reports whether p is a registered self-announcement. Nil-safe.
+func (s *SelfAnnounced) Has(p prefix.Prefix) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.RLock()
+	_, ok := s.set[p]
+	s.mu.RUnlock()
+	return ok
+}
+
+// List returns the registered prefixes in unspecified order. Nil-safe.
+// Used to snapshot the registry into offline reproducers, where the
+// mitigation announcements echoed by the feeds must stay whitelisted.
+func (s *SelfAnnounced) List() []prefix.Prefix {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]prefix.Prefix, 0, len(s.set))
+	for p := range s.set {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Len reports the number of registered prefixes (diagnostics).
+func (s *SelfAnnounced) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.set)
+}

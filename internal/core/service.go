@@ -90,6 +90,12 @@ func NewService(cfg *Config, ctrl *controller.Controller, now func() time.Durati
 	for _, opt := range opts {
 		opt(&o)
 	}
+	if cfg.Self == nil {
+		// The self-announcement registry ties mitigation to detection: the
+		// mitigator registers its de-aggregations here so the detector does
+		// not flag them as sub-prefix hijacks when the feeds echo them back.
+		cfg.Self = NewSelfAnnounced()
+	}
 	s := &Service{
 		Config:    cfg,
 		Detector:  NewDetector(cfg),
@@ -245,6 +251,11 @@ func (s *Service) Reconfigure(next *Config) error {
 		return err
 	}
 	next = next.Clone()
+	if next.Self == nil {
+		// Carry the self-announcement registry across reconfiguration:
+		// mitigations dispatched under the old snapshot stay expected.
+		next.Self = s.CurrentConfig().Self
+	}
 	s.reconfigMu.Lock()
 	defer s.reconfigMu.Unlock()
 	s.plMu.Lock()

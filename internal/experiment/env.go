@@ -50,12 +50,38 @@ type Options struct {
 	// 30s, /24 ingress filtering).
 	Net simnet.Config
 	// Owned is the victim's prefix (default 10.0.0.0/23, the paper's
-	// shape).
+	// shape). It is the prefix the configured attack targets.
 	Owned prefix.Prefix
+	// OwnedSet lists every prefix the victim originates, enabling
+	// multi-prefix and mixed v4/v6 deployments. Empty means just Owned;
+	// when set it must contain Owned (Build validates). All of them are
+	// announced in phase 1, monitored by every feed, and listed as
+	// OwnedPrefixes in the ARTEMIS config.
+	OwnedSet []prefix.Prefix
 	// Kind is the attack scenario (default exact-origin, §3).
 	Kind hijack.Kind
 	// Sources enables monitoring feeds by name; nil enables all three.
 	Sources []string
+
+	// Partner attaches a second legitimate origin (PartnerASN) at two
+	// additional stub muxes and lists it in LegitOrigins — the
+	// legitimate-MOAS scenarios announce Owned from it and ARTEMIS must
+	// stay silent. Requires a topology with at least 6 stubs.
+	Partner bool
+	// UpstreamPolicy pins each legitimate origin's allowed first-hops to
+	// its actual mux ASes (core.Config.AllowedUpstreams), enabling Type-1
+	// path-anomaly detection in trials.
+	UpstreamPolicy bool
+	// SplitCoverage assigns each feed source a disjoint slice of the
+	// owned set (round-robin by prefix) instead of every source watching
+	// everything, and enables ingest auto-widening — the coverage-hole
+	// experiments kill one source and assert the survivors take over its
+	// slice. Sources left without a slice watch the full set.
+	SplitCoverage bool
+	// DeliverTee, when set, observes every deduplicated batch on its way
+	// into the pipeline (the fleet's replay recorder hooks here). It runs
+	// inline on the delivery path and must not block.
+	DeliverTee func([]feedtypes.Event)
 
 	// Feed shape. Zero values select the defaults noted.
 	RISCollectors, RISPeers int           // 3 collectors x 3 peers
@@ -78,7 +104,14 @@ func (o Options) withDefaults() Options {
 		o.Topo.Seed = o.Seed
 	}
 	if o.Owned == (prefix.Prefix{}) {
-		o.Owned = prefix.MustParse("10.0.0.0/23")
+		if len(o.OwnedSet) > 0 {
+			o.Owned = o.OwnedSet[0]
+		} else {
+			o.Owned = prefix.MustParse("10.0.0.0/23")
+		}
+	}
+	if len(o.OwnedSet) == 0 {
+		o.OwnedSet = []prefix.Prefix{o.Owned}
 	}
 	if o.Sources == nil {
 		o.Sources = []string{SrcRIS, SrcBGPmon, SrcPeriscope}
@@ -108,8 +141,11 @@ func (o Options) withDefaults() Options {
 }
 
 // VictimASN and AttackerASN are the virtual ASes' numbers, PEERING-style.
+// PartnerASN is the victim's sibling origin for legitimate-MOAS scenarios
+// (an anycast partner or a sibling AS of the same organization).
 const (
 	VictimASN   bgp.ASN = 61000
+	PartnerASN  bgp.ASN = 61001
 	AttackerASN bgp.ASN = 64666
 )
 
@@ -121,8 +157,10 @@ type Env struct {
 	Net      *simnet.Network
 	Victim   *peering.VirtualAS
 	Attacker *peering.VirtualAS
-	Ctrl     *controller.Controller
-	Artemis  *core.Service
+	// Partner is the second legitimate origin; nil unless Options.Partner.
+	Partner *peering.VirtualAS
+	Ctrl    *controller.Controller
+	Artemis *core.Service
 	// Pipeline is the sharded detection data path the trials run against;
 	// it feeds both the detector and the monitor. Synchronous mode keeps
 	// virtual-time semantics: a feed's publish returns only once its
@@ -142,8 +180,17 @@ type Env struct {
 
 	// MonitoredVPs is the union of feed vantage points.
 	MonitoredVPs []bgp.ASN
+	// SourceIDs maps feed name → supervised source id, for scripted
+	// lifecycle events (killing a source mid-trial).
+	SourceIDs map[string]ingest.SourceID
 
 	track *captureTracker
+}
+
+// LeakerASN picks the route-leak offender: the first transit AS, which
+// sits on many propagation paths. Deterministic per topology.
+func (env *Env) LeakerASN() bgp.ASN {
+	return topo.FirstASN + bgp.ASN(env.Opts.Topo.Tier1)
 }
 
 // Build assembles the testbed. Nothing has been announced yet.
@@ -153,6 +200,16 @@ func Build(opts Options) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
+	ownedOK := false
+	for _, p := range opts.OwnedSet {
+		if p == opts.Owned {
+			ownedOK = true
+			break
+		}
+	}
+	if !ownedOK {
+		return nil, fmt.Errorf("experiment: Owned %v not in OwnedSet %v", opts.Owned, opts.OwnedSet)
+	}
 	eng := sim.NewEngine(opts.Seed)
 	rng := eng.Rand()
 
@@ -161,8 +218,12 @@ func Build(opts Options) (*Env, error) {
 	for i := stubStart; i < tp.Len(); i++ {
 		stubs = append(stubs, topo.FirstASN+bgp.ASN(i))
 	}
-	if len(stubs) < 4 {
-		return nil, fmt.Errorf("experiment: need at least 4 stubs for mux placement")
+	need := 4
+	if opts.Partner {
+		need = 6
+	}
+	if len(stubs) < need {
+		return nil, fmt.Errorf("experiment: need at least %d stubs for mux placement", need)
 	}
 	perm := rng.Perm(len(stubs))
 	victimMuxes := []bgp.ASN{stubs[perm[0]], stubs[perm[1]]}
@@ -176,11 +237,20 @@ func Build(opts Options) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
+	var partner *peering.VirtualAS
+	var partnerMuxes []bgp.ASN
+	if opts.Partner {
+		partnerMuxes = []bgp.ASN{stubs[perm[4]], stubs[perm[5]]}
+		partner, err = peering.Attach(tp, PartnerASN, partnerMuxes, 5*time.Millisecond)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	nw := simnet.New(tp, eng, opts.Net)
 	env := &Env{
 		Opts: opts, Topo: tp, Engine: eng, Net: nw,
-		Victim: victim, Attacker: attacker,
+		Victim: victim, Attacker: attacker, Partner: partner,
 	}
 
 	// Vantage points come from the transit tier, like real collectors and
@@ -237,7 +307,7 @@ func Build(opts Options) (*Env, error) {
 		}
 		env.Periscope, err = periscope.New(nw, periscope.Config{
 			LGs:          lgs,
-			Prefixes:     []prefix.Prefix{opts.Owned},
+			Prefixes:     opts.OwnedSet,
 			PollInterval: opts.LGPoll,
 		})
 		if err != nil {
@@ -251,10 +321,22 @@ func Build(opts Options) (*Env, error) {
 	sort.Slice(env.MonitoredVPs, func(i, j int) bool { return env.MonitoredVPs[i] < env.MonitoredVPs[j] })
 
 	env.Ctrl = controller.NewSim(nw, victim.Bind(nw), controller.WithConfigDelay(opts.ControllerDelay))
-	env.Artemis, err = core.NewService(&core.Config{
-		OwnedPrefixes: []prefix.Prefix{opts.Owned},
+	coreCfg := &core.Config{
+		OwnedPrefixes: append([]prefix.Prefix(nil), opts.OwnedSet...),
 		LegitOrigins:  []bgp.ASN{VictimASN},
-	}, env.Ctrl, eng.Now)
+	}
+	if opts.Partner {
+		coreCfg.LegitOrigins = append(coreCfg.LegitOrigins, PartnerASN)
+	}
+	if opts.UpstreamPolicy {
+		coreCfg.AllowedUpstreams = map[bgp.ASN][]bgp.ASN{
+			VictimASN: append([]bgp.ASN(nil), victimMuxes...),
+		}
+		if opts.Partner {
+			coreCfg.AllowedUpstreams[PartnerASN] = append([]bgp.ASN(nil), partnerMuxes...)
+		}
+	}
+	env.Artemis, err = core.NewService(coreCfg, env.Ctrl, eng.Now)
 	if err != nil {
 		return nil, err
 	}
@@ -262,17 +344,44 @@ func Build(opts Options) (*Env, error) {
 		Shards:      4,
 		Synchronous: true,
 	})
-	env.Ingest = ingest.New(env.Pipeline.SubmitWait, ingest.Config{
+	// Route config swaps through the pipeline barrier, so a mid-incident
+	// Reconfigure lands at a well-defined serial position in the stream.
+	env.Artemis.BindPipeline(env.Pipeline)
+	deliver := env.Pipeline.SubmitWait
+	if opts.DeliverTee != nil {
+		tee, inner := opts.DeliverTee, deliver
+		deliver = func(batch []feedtypes.Event) {
+			tee(batch)
+			inner(batch)
+		}
+	}
+	env.Ingest = ingest.New(deliver, ingest.Config{
 		Synchronous: true,
 		Seed:        opts.Seed,
+		AutoWiden:   opts.SplitCoverage,
 	})
-	feedFilter := feedtypes.Filter{
-		Prefixes:     []prefix.Prefix{opts.Owned},
-		MoreSpecific: true,
-		LessSpecific: true,
-	}
-	for _, src := range env.Sources {
-		env.Ingest.AddSource(src.Name(), src, feedFilter)
+	env.SourceIDs = make(map[string]ingest.SourceID, len(env.Sources))
+	for i, src := range env.Sources {
+		f := feedtypes.Filter{
+			Prefixes:     opts.OwnedSet,
+			MoreSpecific: true,
+			LessSpecific: true,
+		}
+		if opts.SplitCoverage && len(env.Sources) > 1 {
+			// Round-robin: prefix j belongs to source j mod N. A source
+			// left empty-handed keeps the full set (an empty filter would
+			// match everything, the opposite of a narrow slice).
+			var mine []prefix.Prefix
+			for j, p := range opts.OwnedSet {
+				if j%len(env.Sources) == i {
+					mine = append(mine, p)
+				}
+			}
+			if len(mine) > 0 {
+				f.Prefixes = mine
+			}
+		}
+		env.SourceIDs[src.Name()] = env.Ingest.AddSource(src.Name(), src, f)
 	}
 	env.track = newCaptureTracker(env)
 	return env, nil

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"artemis/internal/core"
 	"artemis/internal/hijack"
 	"artemis/internal/prefix"
 	"artemis/internal/topo"
@@ -142,15 +143,193 @@ func TestRunTrialSlash24NotFullyRecoverable(t *testing.T) {
 	}
 }
 
-func TestPathFakeRejectedInTrials(t *testing.T) {
+// Forged-origin exact-prefix hijacks (Type-0 with the victim's ASN faked
+// at the path tail) evade every origin check: the detector is blind
+// without an upstream policy, while ground truth shows real capture.
+func TestPathFakeBlindWithoutUpstreamPolicy(t *testing.T) {
 	opts := smallOpts(1)
 	opts.Kind = hijack.PathFake
 	env, err := Build(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunTrial(env); err == nil {
-		t.Fatal("PathFake trial should be rejected")
+	defer env.Close()
+	tr, err := RunTrial(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Detected {
+		t.Fatalf("forged-origin exact hijack should evade origin checks: %+v", tr)
+	}
+	if tr.EverCaptured == 0 {
+		t.Fatal("forged announcement captured nothing — attack not injected")
+	}
+}
+
+func TestPathFakeCaughtByUpstreamPolicy(t *testing.T) {
+	opts := smallOpts(1)
+	opts.Kind = hijack.PathFake
+	opts.UpstreamPolicy = true
+	env, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	tr, err := RunTrial(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Detected {
+		t.Fatalf("upstream policy should catch the forged first hop: %+v", tr)
+	}
+	if tr.AlertType != core.AlertPathAnomaly {
+		t.Fatalf("alert type = %v, want path anomaly", tr.AlertType)
+	}
+}
+
+// A second legitimate origin announcing the owned prefix (anycast
+// partner) is a MOAS event ARTEMIS must stay silent on.
+func TestLegitMOASNoAlert(t *testing.T) {
+	opts := smallOpts(1)
+	opts.Kind = hijack.LegitMOAS
+	opts.Partner = true
+	env, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	tr, err := RunTrial(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Detected {
+		t.Fatalf("legitimate MOAS raised an alert: %+v", env.Artemis.Detector.Alerts())
+	}
+	if tr.EverCaptured != 0 {
+		t.Fatalf("partner origin counted as capture: %+v", tr)
+	}
+}
+
+// A route leak keeps the legitimate origin on every path: no alert, no
+// capture — the detector's scope boundary, exercised as a control.
+func TestRouteLeakNoAlert(t *testing.T) {
+	opts := smallOpts(2)
+	opts.Kind = hijack.RouteLeak
+	env, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	tr, err := RunTrial(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Detected {
+		t.Fatalf("route leak raised an alert: %+v", env.Artemis.Detector.Alerts())
+	}
+	if tr.EverCaptured != 0 {
+		t.Fatalf("leaked-but-legit paths counted as capture: %+v", tr)
+	}
+}
+
+// Killing the only source covering the attacked prefix mid-trial must
+// not blind detection: with SplitCoverage the supervisor widens the
+// survivor's filter to absorb the dead source's slice. Run under -race
+// in CI, this also exercises the widen path's locking.
+func TestSourceDeathAutoWidensCoverage(t *testing.T) {
+	opts := smallOpts(3)
+	opts.Sources = []string{SrcRIS, SrcBGPmon}
+	opts.OwnedSet = []prefix.Prefix{
+		prefix.MustParse("10.0.0.0/23"),
+		prefix.MustParse("10.0.2.0/23"),
+	}
+	opts.Owned = opts.OwnedSet[0] // RIS's slice under SplitCoverage
+	opts.SplitCoverage = true
+	env, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	tr, err := RunScript(env, []ScriptStep{
+		{Name: "kill ris", Do: func(e *Env) error {
+			e.Ingest.Remove(e.SourceIDs[SrcRIS])
+			return nil
+		}},
+		{After: time.Minute, Name: "hijack", Hijack: true, Do: func(e *Env) error {
+			_, err := e.LaunchAttack()
+			return err
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Detected {
+		t.Fatal("hijack undetected after source death — coverage hole not widened")
+	}
+	if tr.DetectedBy != SrcBGPmon {
+		t.Fatalf("detected by %q, want the widened survivor %q", tr.DetectedBy, SrcBGPmon)
+	}
+	f, ok := env.Ingest.EffectiveFilter(env.SourceIDs[SrcBGPmon])
+	if !ok || len(f.Prefixes) != 2 {
+		t.Fatalf("survivor filter not widened: %+v ok=%v", f, ok)
+	}
+}
+
+// E1 headline latencies must hold for a v6-only victim and for each
+// family of a mixed v4/v6 owned set.
+func TestE1MixedFamilies(t *testing.T) {
+	mixed := []prefix.Prefix{
+		prefix.MustParse("10.0.0.0/23"),
+		prefix.MustParse("2001:db8::/47"),
+	}
+	cases := []struct {
+		name  string
+		set   []prefix.Prefix
+		owned prefix.Prefix
+	}{
+		{"v6-only", nil, prefix.MustParse("2001:db8::/47")},
+		{"mixed-attack-v4", mixed, mixed[0]},
+		{"mixed-attack-v6", mixed, mixed[1]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := smallOpts(111)
+			opts.OwnedSet = tc.set
+			opts.Owned = tc.owned
+			res, err := E1(2, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Detection.Mean <= 0 || res.Detection.Mean > 2*time.Minute {
+				t.Fatalf("detection mean = %v", res.Detection.Mean)
+			}
+			if res.Total.Mean > 15*time.Minute {
+				t.Fatalf("total mean = %v", res.Total.Mean)
+			}
+		})
+	}
+}
+
+// E2's min-of-sources property must hold when the owned set spans both
+// families.
+func TestE2MixedFamilySet(t *testing.T) {
+	opts := smallOpts(121)
+	opts.OwnedSet = []prefix.Prefix{
+		prefix.MustParse("10.0.0.0/23"),
+		prefix.MustParse("2001:db8::/47"),
+	}
+	opts.Owned = opts.OwnedSet[1]
+	res, err := E2(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Combined.N != 2 {
+		t.Fatalf("combined = %+v", res.Combined)
+	}
+	for name, s := range res.PerSource {
+		if s.N == res.Combined.N && res.Combined.Mean > s.Mean+time.Millisecond {
+			t.Fatalf("combined mean %v exceeds %s mean %v", res.Combined.Mean, name, s.Mean)
+		}
 	}
 }
 

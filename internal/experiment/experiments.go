@@ -91,7 +91,7 @@ func E2(n int, base Options) (E2Result, error) {
 		}
 		// Tap every source: first event showing the attacker as origin.
 		firstBySource := map[string]time.Duration{}
-		filter := feedtypes.Filter{Prefixes: []prefix.Prefix{opts.withDefaults().Owned}, MoreSpecific: true, LessSpecific: true}
+		filter := feedtypes.Filter{Prefixes: opts.withDefaults().OwnedSet, MoreSpecific: true, LessSpecific: true}
 		for _, src := range env.Sources {
 			name := src.Name()
 			src.Subscribe(filter, func(ev feedtypes.Event) {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"artemis/internal/bgp"
+	"artemis/internal/core"
 	"artemis/internal/hijack"
 	"artemis/internal/prefix"
 	"artemis/internal/simnet"
@@ -12,12 +13,15 @@ import (
 
 // captureTracker maintains the ground-truth data-plane state during a
 // trial: which ASes currently send the owned address space's traffic to
-// an illegitimate origin. It mirrors the paper's measurement ("until all
-// the vantage points ... have switched to the legitimate ASN-1") but over
-// every AS, which is strictly stronger.
+// an illegitimate destination. It mirrors the paper's measurement ("until
+// all the vantage points ... have switched to the legitimate ASN-1") but
+// over every AS, which is strictly stronger.
 type captureTracker struct {
-	env      *Env
-	probes   []prefix.Addr
+	env    *Env
+	probes []prefix.Addr
+	// legit holds the origins allowed to attract the owned space: the
+	// victim, plus the partner when one is attached.
+	legit    map[bgp.ASN]bool
 	captured map[bgp.ASN]bool
 	// everCaptured records ASes hit at least once; lastRecovery the time
 	// of the most recent captured→clean transition.
@@ -29,33 +33,66 @@ type captureTracker struct {
 func newCaptureTracker(env *Env) *captureTracker {
 	t := &captureTracker{
 		env:          env,
+		legit:        map[bgp.ASN]bool{VictimASN: true},
 		captured:     make(map[bgp.ASN]bool),
 		everCaptured: make(map[bgp.ASN]bool),
 	}
-	owned := env.Opts.Owned
-	probeLen := 24
-	if owned.Is6() {
-		probeLen = 48
+	if env.Opts.Partner {
+		t.legit[PartnerASN] = true
 	}
-	if subs, err := owned.Deaggregate(min(owned.Bits()+1, probeLen)); err == nil {
-		for _, s := range subs {
-			t.probes = append(t.probes, s.Addr())
+	for _, owned := range env.Opts.OwnedSet {
+		probeLen := 24
+		if owned.Is6() {
+			probeLen = 48
 		}
-	} else {
-		t.probes = []prefix.Addr{owned.Addr()}
+		if subs, err := owned.Deaggregate(min(owned.Bits()+1, probeLen)); err == nil {
+			for _, s := range subs {
+				t.probes = append(t.probes, s.Addr())
+			}
+		} else {
+			t.probes = append(t.probes, owned.Addr())
+		}
 	}
 	env.Net.OnChange(func(ev simnet.RouteChange) { t.onChange(ev) })
 	return t
 }
 
+// badCustody reports whether node's traffic for addr lands somewhere
+// illegitimate. Origin alone is not enough: a forged-origin announcement
+// carries the victim's ASN at the path's tail while the traffic
+// terminates at the attacker — so a path that transits the attacker is
+// captured too (the attacker is a stub, no legitimate route crosses it).
+func (t *captureTracker) badCustody(node *simnet.Node, addr prefix.Addr) bool {
+	r, ok := node.Table().Resolve(addr)
+	if !ok {
+		return false
+	}
+	if !t.legit[r.Origin(node.ASN())] {
+		return true
+	}
+	for _, as := range r.Path {
+		if as == AttackerASN {
+			return true
+		}
+	}
+	return false
+}
+
 func (t *captureTracker) onChange(ev simnet.RouteChange) {
-	if !ev.Prefix.Overlaps(t.env.Opts.Owned) {
+	overlaps := false
+	for _, owned := range t.env.Opts.OwnedSet {
+		if ev.Prefix.Overlaps(owned) {
+			overlaps = true
+			break
+		}
+	}
+	if !overlaps {
 		return
 	}
 	node := t.env.Net.Node(ev.AS)
 	bad := false
 	for _, addr := range t.probes {
-		if origin, ok := node.ResolveOrigin(addr); ok && origin != VictimASN {
+		if t.badCustody(node, addr) {
 			bad = true
 			break
 		}
@@ -94,6 +131,8 @@ type Trial struct {
 	Total time.Duration
 	// DetectedBy names the feed that delivered the first evidence.
 	DetectedBy string
+	// AlertType is the classification of the measured alert.
+	AlertType core.AlertType
 	// PeakCaptured is the maximum number of ASes simultaneously captured.
 	PeakCaptured int
 	// EverCaptured counts ASes hit at any point.
@@ -130,7 +169,9 @@ func (env *Env) runQuiet(horizon time.Duration) {
 
 // runPhase3 advances the simulation until the hijack outcome is final:
 // routing quiet, and either mitigation fully applied or enough time past
-// the slowest feed cycle to call the hijack undetected.
+// the slowest feed cycle to call the hijack undetected. Only alerts at or
+// after hijackAt count as detection — campaign scripts can carry earlier
+// incidents whose alerts must not satisfy the measured hijack.
 func (env *Env) runPhase3(hijackAt time.Duration) {
 	deadline := env.Engine.Now() + runHorizon
 	// Give every feed at least two full cycles before declaring a miss.
@@ -140,8 +181,14 @@ func (env *Env) runPhase3(hijackAt time.Duration) {
 		if env.Engine.Now()-env.Net.LastChange() < quietPeriod {
 			continue
 		}
-		recs := env.Artemis.Mitigator.Records()
-		if len(recs) == 0 {
+		detected := false
+		for _, a := range env.Artemis.Detector.Alerts() {
+			if a.DetectedAt >= hijackAt {
+				detected = true
+				break
+			}
+		}
+		if !detected {
 			if env.Engine.Now()-hijackAt >= undetectedGrace {
 				return // undetected for good
 			}
@@ -150,7 +197,7 @@ func (env *Env) runPhase3(hijackAt time.Duration) {
 		// Count what was actually requested of the controller: failed
 		// records contribute only the partial set already announced.
 		want := 0
-		for _, r := range recs {
+		for _, r := range env.Artemis.Mitigator.Records() {
 			want += len(r.Announced)
 		}
 		if len(env.Ctrl.Applied()) >= want {
@@ -159,35 +206,83 @@ func (env *Env) runPhase3(hijackAt time.Duration) {
 	}
 }
 
-// RunTrial executes the three phases of §3 against a built environment
-// and returns the measured timeline.
-func RunTrial(env *Env) (Trial, error) {
-	owned := env.Opts.Owned
+// LaunchAttack mounts the configured attack scenario against Owned and
+// returns the announced (or leaked) prefix. Forged-origin kinds are
+// injected with Network.AnnounceWithPath — the attacker's router lies
+// about the path's tail; route leaks toggle the leaker's export policy;
+// the legitimate-MOAS control announces from the partner origin.
+func (env *Env) LaunchAttack() (prefix.Prefix, error) {
+	kind, owned := env.Opts.Kind, env.Opts.Owned
+	attack, err := hijack.AttackPrefix(kind, owned)
+	if err != nil {
+		return prefix.Prefix{}, err
+	}
+	switch {
+	case kind == hijack.RouteLeak:
+		return attack, env.Net.SetLeaking(env.LeakerASN(), true)
+	case kind == hijack.LegitMOAS:
+		if env.Partner == nil {
+			return prefix.Prefix{}, fmt.Errorf("experiment: LegitMOAS needs Options.Partner")
+		}
+		return attack, env.Partner.Announce(env.Net, attack)
+	case kind.ForgesOrigin():
+		suffix := hijack.ForgedPathSuffix(kind, VictimASN, env.Victim.Muxes[0])
+		return attack, env.Net.AnnounceWithPath(AttackerASN, attack, suffix)
+	default:
+		return attack, env.Attacker.Announce(env.Net, attack)
+	}
+}
 
+// ScriptStep is one timed action in a multi-event campaign (the fleet's
+// adversarial-timing scenarios: a hijack during a feed outage, during a
+// reconfiguration, during a prior incident's mitigation).
+type ScriptStep struct {
+	// After is the virtual-time delay from the previous step (from setup
+	// convergence, for the first step).
+	After time.Duration
+	// Name labels the step in errors.
+	Name string
+	// Hijack marks the step the detection/mitigation timeline is measured
+	// against. At most one step should set it; with none, the trial
+	// reports ground truth only, measured from the last step.
+	Hijack bool
+	// Do performs the step's action. A nil Do just advances time.
+	Do func(*Env) error
+}
+
+// RunScript executes phase 1 (announce all owned prefixes, converge,
+// assert no false alert), then the scripted steps, then runs the trial to
+// completion and measures the timeline relative to the Hijack-marked
+// step. RunTrial is the single-step instance of this.
+func RunScript(env *Env, steps []ScriptStep) (Trial, error) {
 	// Phase 1 — setup: announce and wait for convergence.
-	if err := env.Victim.Announce(env.Net, owned); err != nil {
-		return Trial{}, err
+	for _, p := range env.Opts.OwnedSet {
+		if err := env.Victim.Announce(env.Net, p); err != nil {
+			return Trial{}, err
+		}
 	}
 	env.runQuiet(setupHorizon)
 	if len(env.Artemis.Detector.Alerts()) != 0 {
 		return Trial{}, fmt.Errorf("experiment: false alert during setup: %+v", env.Artemis.Detector.Alerts())
 	}
 
-	// Phase 2 — hijack.
-	attack, err := hijack.AttackPrefix(env.Opts.Kind, owned)
-	if err != nil {
-		return Trial{}, err
+	// Phase 2 — scripted events.
+	tr := Trial{HijackAt: -1}
+	for _, st := range steps {
+		if st.After > 0 {
+			env.Engine.RunUntil(env.Engine.Now() + st.After)
+		}
+		if st.Hijack {
+			tr.HijackAt = env.Engine.Now()
+		}
+		if st.Do != nil {
+			if err := st.Do(env); err != nil {
+				return Trial{}, fmt.Errorf("experiment: step %q: %w", st.Name, err)
+			}
+		}
 	}
-	tr := Trial{HijackAt: env.Engine.Now()}
-	if env.Opts.Kind == hijack.PathFake {
-		// A forged path cannot be expressed through normal origination in
-		// the simulator's control plane (the attacker's router would need
-		// to lie); experiments that use PathFake drive the detector
-		// directly. Reject here to keep trial semantics honest.
-		return Trial{}, fmt.Errorf("experiment: PathFake is exercised at the detector level, not in trials")
-	}
-	if err := env.Attacker.Announce(env.Net, attack); err != nil {
-		return Trial{}, err
+	if tr.HijackAt < 0 {
+		tr.HijackAt = env.Engine.Now()
 	}
 
 	// Phase 3 — detection fires the mitigation automatically; run until
@@ -197,13 +292,22 @@ func RunTrial(env *Env) (Trial, error) {
 	env.runPhase3(tr.HijackAt)
 
 	alerts := env.Artemis.Detector.Alerts()
-	if len(alerts) == 0 {
+	var alert *core.Alert
+	for i := range alerts {
+		if alerts[i].DetectedAt >= tr.HijackAt {
+			alert = &alerts[i]
+			break
+		}
+	}
+	if alert == nil {
 		// Undetected: report ground-truth impact with Detected=false.
 		tr.PeakCaptured = env.track.peak
 		tr.EverCaptured = len(env.track.everCaptured)
 		tr.StillCaptured = len(env.track.captured)
 		if tr.EverCaptured > 0 {
 			tr.RecoveredFrac = 1 - float64(tr.StillCaptured)/float64(tr.EverCaptured)
+		} else {
+			tr.RecoveredFrac = 1
 		}
 		if env.Periscope != nil {
 			tr.LGQueries = env.Periscope.Queries()
@@ -211,19 +315,18 @@ func RunTrial(env *Env) (Trial, error) {
 		return tr, nil
 	}
 	tr.Detected = true
-	alert := alerts[0]
 	tr.DetectionDelay = alert.DetectedAt - tr.HijackAt
 	tr.DetectedBy = alert.Evidence.Source
+	tr.AlertType = alert.Type
 
-	actions := env.Ctrl.Applied()
-	if len(actions) == 0 {
-		return Trial{}, fmt.Errorf("experiment: mitigation never applied")
-	}
 	var announcedAt time.Duration
-	for _, a := range actions {
-		if a.AppliedAt > announcedAt {
+	for _, a := range env.Ctrl.Applied() {
+		if a.AppliedAt >= alert.DetectedAt && a.AppliedAt > announcedAt {
 			announcedAt = a.AppliedAt
 		}
+	}
+	if announcedAt == 0 {
+		return Trial{}, fmt.Errorf("experiment: mitigation never applied")
 	}
 	tr.TriggerDelay = announcedAt - alert.DetectedAt
 
@@ -248,4 +351,17 @@ func RunTrial(env *Env) (Trial, error) {
 		tr.LGQueries = env.Periscope.Queries()
 	}
 	return tr, nil
+}
+
+// RunTrial executes the three phases of §3 against a built environment
+// and returns the measured timeline.
+func RunTrial(env *Env) (Trial, error) {
+	return RunScript(env, []ScriptStep{{
+		Name:   "hijack",
+		Hijack: true,
+		Do: func(e *Env) error {
+			_, err := e.LaunchAttack()
+			return err
+		},
+	}})
 }

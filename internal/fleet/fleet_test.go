@@ -1,0 +1,269 @@
+package fleet
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The generator must cover the full taxonomy across all families and be
+// reproducible call to call.
+func TestGenerateMatrix(t *testing.T) {
+	a, err := Generate(nil, nil, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(nil, nil, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Generate is not deterministic")
+	}
+	if want := len(Classes()) * len(Families()) * 2; len(a) != want {
+		t.Fatalf("generated %d scenarios, want %d", len(a), want)
+	}
+	if len(Classes()) < 8 {
+		t.Fatalf("taxonomy has %d classes, want >= 8", len(Classes()))
+	}
+	seen := map[string]bool{}
+	for _, sc := range a {
+		if seen[sc.Name()] {
+			t.Fatalf("duplicate scenario %s", sc.Name())
+		}
+		seen[sc.Name()] = true
+		if _, err := sc.Options(); err != nil {
+			t.Fatalf("%s: %v", sc.Name(), err)
+		}
+		if _, err := sc.steps(); err != nil {
+			t.Fatalf("%s: %v", sc.Name(), err)
+		}
+	}
+	if _, err := Generate([]string{"no-such-class"}, nil, 1, 1); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if _, err := Generate(nil, []string{"v5"}, 1, 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+// Every taxonomy class must earn its expectation on the v4 family: the
+// attack classes alert with the right type, the controls and the type-N
+// blind spot stay silent. One seed per class keeps this test at a few
+// seconds of wall clock (virtual-time trials).
+func TestTaxonomyVerdictsV4(t *testing.T) {
+	scs, err := Generate(nil, []string{"v4"}, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs {
+		sc := sc
+		t.Run(sc.Class, func(t *testing.T) {
+			t.Parallel()
+			res := Run(sc)
+			if res.Failed() {
+				t.Fatalf("%s: verdict %s (%s)", sc.Name(), res.Verdict, res.Detail)
+			}
+		})
+	}
+}
+
+// The v6 and mixed families must hold the same verdicts for the core
+// attack kinds and the MOAS control.
+func TestTaxonomyVerdictsOtherFamilies(t *testing.T) {
+	classes := []string{"exact-type0", "sub-prefix", "squat", "legit-moas", "outage-hijack"}
+	for _, family := range []string{"v6", "mixed"} {
+		// Two seeds for mixed so both target parities (v4 and v6 member)
+		// are exercised.
+		seeds := 1
+		if family == "mixed" {
+			seeds = 2
+		}
+		scs, err := Generate(classes, []string{family}, seeds, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range scs {
+			sc := sc
+			t.Run(sc.Name(), func(t *testing.T) {
+				t.Parallel()
+				res := Run(sc)
+				if res.Failed() {
+					t.Fatalf("%s: verdict %s (%s)", sc.Name(), res.Verdict, res.Detail)
+				}
+			})
+		}
+	}
+}
+
+// Same scenarios, same seeds → byte-identical scorecard.
+func TestScorecardDeterministic(t *testing.T) {
+	scs, err := Generate([]string{"exact-type0", "route-leak"}, []string{"v4"}, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []byte {
+		card := Score(RunAll(scs, nil), 11, 1)
+		blob, err := json.Marshal(card)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("scorecard not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+func TestGates(t *testing.T) {
+	gates, err := ParseGates(strings.NewReader(`
+# comment
+exact-type0 fn <= 0
+legit-moas fp <= 0
+* errors <= 0
+exact-type0 detection_p90_ms <= 120000
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gates) != 4 {
+		t.Fatalf("parsed %d gates, want 4", len(gates))
+	}
+	if _, err := ParseGates(strings.NewReader("exact-type0 fn >= 1")); err == nil {
+		t.Fatal("bad operator accepted")
+	}
+
+	mk := func(verdict string, detected bool) Result {
+		r := Result{
+			Scenario: Scenario{Class: "exact-type0", Family: "v4", Seed: 1},
+			Expect:   Expectation{Detect: true, Alert: "exact-origin"},
+			Verdict:  verdict,
+		}
+		r.Trial.Detected = detected
+		return r
+	}
+	green := Score([]Result{mk(VerdictOK, true), {
+		Scenario: Scenario{Class: "legit-moas", Family: "v4", Seed: 1},
+		Expect:   Expectation{Detect: false},
+		Verdict:  VerdictOK,
+	}}, 1, 1)
+	if bad := green.Check(gates); len(bad) != 0 {
+		t.Fatalf("green scorecard flagged: %v", bad)
+	}
+	red := Score([]Result{mk(VerdictFN, false), {
+		Scenario: Scenario{Class: "legit-moas", Family: "v4", Seed: 1},
+		Expect:   Expectation{Detect: false},
+		Verdict:  VerdictFP,
+	}}, 1, 1)
+	bad := red.Check(gates)
+	if len(bad) != 2 {
+		t.Fatalf("violations = %v, want fn and fp breaches", bad)
+	}
+	// A gate naming a class missing from the run is itself a violation.
+	empty := Score(nil, 1, 1)
+	if bad := empty.Check(gates[:1]); len(bad) != 1 {
+		t.Fatalf("missing-class gate not flagged: %v", bad)
+	}
+}
+
+// The shrinker must reduce topology size and timing while preserving the
+// verdict it is locking in.
+func TestShrinkPreservesVerdict(t *testing.T) {
+	sc := Scenario{
+		Class: "exact-type0", Family: "v4", Seed: 5,
+		Owned: "10.0.0.0/23", OwnedSet: []string{"10.0.0.0/23", "10.0.2.0/23"},
+		Stubs: genStubs, Transit: genTransit, HijackDelay: attackDelay(5),
+	}
+	small, tries := Shrink(sc, VerdictOK, 10)
+	if tries == 0 {
+		t.Fatal("shrinker never probed")
+	}
+	if small.Stubs >= sc.Stubs && small.Transit >= sc.Transit &&
+		small.HijackDelay >= sc.HijackDelay && len(small.OwnedSet) >= len(sc.OwnedSet) {
+		t.Fatalf("nothing shrunk: %+v", small)
+	}
+	if res := Run(small); res.Verdict != VerdictOK {
+		t.Fatalf("shrunk scenario verdict = %s (%s)", res.Verdict, res.Detail)
+	}
+	if small.Stubs < shrinkMinStubs || small.Transit < shrinkMinTransit {
+		t.Fatalf("shrunk below floors: %+v", small)
+	}
+}
+
+// Capture → load → replay must reproduce the live verdict offline, for
+// both a detection class and a silence class.
+func TestCaptureReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, class := range []string{"sub-prefix-forged-origin", "legit-moas"} {
+		sc := Scenario{
+			Class: class, Family: "v4", Seed: 2,
+			Owned: "10.0.0.0/23", OwnedSet: []string{"10.0.0.0/23", "10.0.2.0/23"},
+			Stubs: 40, Transit: 12,
+		}
+		rep, res, err := Capture(sc, dir, class)
+		if err != nil {
+			t.Fatalf("%s: capture: %v", class, err)
+		}
+		if res.Failed() {
+			t.Fatalf("%s: capture verdict %s (%s)", class, res.Verdict, res.Detail)
+		}
+		loaded, err := LoadReproducer(filepath.Join(dir, class+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep, loaded) {
+			t.Fatalf("%s: sidecar round-trip mismatch", class)
+		}
+		alerts, err := loaded.Replay(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := loaded.CheckExpect(alerts); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The checked-in regression corpus must keep replaying to its recorded
+// expectations — these are the shrunk reproducers of detector bugs this
+// repo fixed (hidden forged-origin sub-prefix, MOAS whitelisting) plus
+// the prepend-forgery upstream-inference case.
+func TestCorpusReplay(t *testing.T) {
+	sidecars, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sidecars) == 0 {
+		t.Fatal("no reproducers in testdata/")
+	}
+	for _, sidecar := range sidecars {
+		rep, err := LoadReproducer(sidecar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(filepath.Base(sidecar), func(t *testing.T) {
+			alerts, err := rep.Replay("testdata")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.CheckExpect(alerts); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	// Corpus files stay newline-terminated and parseable as JSON.
+	for _, sidecar := range sidecars {
+		blob, err := os.ReadFile(sidecar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v map[string]any
+		if err := json.Unmarshal(blob, &v); err != nil {
+			t.Fatalf("%s: %v", sidecar, err)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"artemis/internal/experiment"
+	"artemis/internal/hijack"
+)
+
+// AlertName is a core.AlertType in its string form, so expectations and
+// scorecards stay readable in JSON ("sub-prefix", not 2).
+type AlertName string
+
+// Campaign scripts (adversarial timing around the measured hijack).
+const (
+	// campaignOutage kills the feed source covering the target prefix,
+	// then hijacks into the coverage hole — detection must land via the
+	// auto-widened survivor.
+	campaignOutage = "outage"
+	// campaignReconfig swaps the ARTEMIS config at the pipeline barrier
+	// 20 s into the incident, mid-detection.
+	campaignReconfig = "reconfig"
+	// campaignRemit mounts a sub-prefix hijack against another owned
+	// prefix first, then the measured attack while that prior incident is
+	// being mitigated.
+	campaignRemit = "remit"
+)
+
+// outageSources is the deliberately thin feed arsenal of the outage
+// campaign: two sources, one prefix slice each (SplitCoverage).
+var outageSources = []string{experiment.SrcRIS, experiment.SrcBGPmon}
+
+// classSpec pins down everything a class name implies.
+type classSpec struct {
+	name     string
+	kind     hijack.Kind
+	upstream bool   // enable AllowedUpstreams (type-1 detection)
+	partner  bool   // attach a second legitimate origin
+	split    bool   // per-source disjoint coverage + auto-widen
+	campaign string // "" = plain single-hijack trial
+	detect   bool   // ground truth: must alert
+	alert    AlertName
+	doc      string
+}
+
+// classSpecs is the taxonomy, in scorecard order. Twelve classes: nine
+// single-event attack kinds (including two must-NOT-alert controls and
+// the documented type-N blind spot) plus three adversarially-timed
+// campaigns.
+var classSpecs = []classSpec{
+	{
+		name: "exact-type0", kind: hijack.ExactOrigin,
+		detect: true, alert: "exact-origin",
+		doc: "attacker originates the exact owned prefix (MOAS)",
+	},
+	{
+		name: "exact-type1", kind: hijack.PathFake, upstream: true,
+		detect: true, alert: "path-anomaly",
+		doc: "forged path tail ends in the legit origin; first hop is the attacker",
+	},
+	{
+		name: "exact-typeN", kind: hijack.PathFakeDeep, upstream: true,
+		detect: false,
+		doc:    "forged legit origin AND legit first hop — documented blind spot, must stay silent",
+	},
+	{
+		name: "prepend-forgery", kind: hijack.PrependForgery, upstream: true,
+		detect: true, alert: "path-anomaly",
+		doc: "forged [victim victim] prepend tail that defeats naive Path[len-2] inference",
+	},
+	{
+		name: "sub-prefix", kind: hijack.SubPrefix,
+		detect: true, alert: "sub-prefix",
+		doc: "more-specific slice announced by the attacker (wins LPM everywhere)",
+	},
+	{
+		name: "sub-prefix-forged-origin", kind: hijack.SubPrefixForgedOrigin,
+		detect: true, alert: "sub-prefix",
+		doc: "hidden hijack: more-specific with a forged legit-origin tail",
+	},
+	{
+		name: "squat", kind: hijack.Squat,
+		detect: true, alert: "squat",
+		doc: "covering super-prefix announced by the attacker",
+	},
+	{
+		name: "route-leak", kind: hijack.RouteLeak,
+		detect: false,
+		doc:    "accuracy control: a transit re-exports the legit route; origin stays legit",
+	},
+	{
+		name: "legit-moas", kind: hijack.LegitMOAS, partner: true,
+		detect: false,
+		doc:    "accuracy control: configured partner origin announces the owned prefix",
+	},
+	{
+		name: "outage-hijack", kind: hijack.ExactOrigin, split: true,
+		campaign: campaignOutage, detect: true, alert: "exact-origin",
+		doc: "hijack during a feed outage: the covering source dies first",
+	},
+	{
+		name: "reconfig-hijack", kind: hijack.SubPrefix,
+		campaign: campaignReconfig, detect: true, alert: "sub-prefix",
+		doc: "hijack across a config-swap barrier mid-incident",
+	},
+	{
+		name: "remit-hijack", kind: hijack.ExactOrigin,
+		campaign: campaignRemit, detect: true, alert: "exact-origin",
+		doc: "hijack while a prior incident on another owned prefix is being mitigated",
+	},
+}
+
+func (sc Scenario) spec() (classSpec, error) {
+	for _, s := range classSpecs {
+		if s.name == sc.Class {
+			return s, nil
+		}
+	}
+	return classSpec{}, fmt.Errorf("fleet: unknown class %q", sc.Class)
+}
+
+// Classes returns the taxonomy class names in scorecard order.
+func Classes() []string {
+	out := make([]string, len(classSpecs))
+	for i, s := range classSpecs {
+		out[i] = s.name
+	}
+	return out
+}
+
+// ClassDoc returns the one-line description of a class ("" if unknown).
+func ClassDoc(class string) string {
+	for _, s := range classSpecs {
+		if s.name == class {
+			return s.doc
+		}
+	}
+	return ""
+}
+
+// Families returns the supported owned-set families.
+func Families() []string { return []string{"v4", "v6", "mixed"} }
+
+// familySet builds the owned set for a family. The mixed family
+// alternates the attack target between the v4 and v6 member by seed
+// parity, so a multi-seed run exercises both directions.
+func familySet(family string, seed int64) (owned string, set []string, err error) {
+	switch family {
+	case "v4":
+		set = []string{"10.0.0.0/23", "10.0.2.0/23"}
+		return set[0], set, nil
+	case "v6":
+		set = []string{"2001:db8::/47", "2001:db8:2::/47"}
+		return set[0], set, nil
+	case "mixed":
+		set = []string{"10.0.0.0/23", "2001:db8::/47"}
+		return set[seed&1], set, nil
+	default:
+		return "", nil, fmt.Errorf("fleet: unknown family %q", family)
+	}
+}
+
+// Topology scale of generated scenarios: the experiment suite's
+// laptop-scale Internet. The shrinker may go below, to its own floors.
+const (
+	genStubs   = 100
+	genTransit = 30
+)
+
+// Generate builds the scenario matrix: every class × family × seed in
+// [baseSeed, baseSeed+seeds). The timing dimension (attack delay after
+// convergence) is drawn deterministically from the hijack duration model,
+// so campaigns spread over the feed-polling phase instead of always
+// striking at t=0. Nil classes/families select the full taxonomy.
+func Generate(classes, families []string, seeds int, baseSeed int64) ([]Scenario, error) {
+	if classes == nil {
+		classes = Classes()
+	}
+	if families == nil {
+		families = Families()
+	}
+	if seeds < 1 {
+		return nil, fmt.Errorf("fleet: seeds = %d, want >= 1", seeds)
+	}
+	var out []Scenario
+	for _, class := range classes {
+		for _, family := range families {
+			for s := int64(0); s < int64(seeds); s++ {
+				seed := baseSeed + s
+				owned, set, err := familySet(family, seed)
+				if err != nil {
+					return nil, err
+				}
+				sc := Scenario{
+					Class:       class,
+					Family:      family,
+					Seed:        seed,
+					Owned:       owned,
+					OwnedSet:    set,
+					Stubs:       genStubs,
+					Transit:     genTransit,
+					HijackDelay: attackDelay(seed),
+				}
+				if _, err := sc.spec(); err != nil {
+					return nil, err
+				}
+				out = append(out, sc)
+			}
+		}
+	}
+	return out, nil
+}
+
+// attackDelay derives the measured attack's post-convergence delay from
+// the paper's hijack duration model, compressed to trial scale.
+func attackDelay(seed int64) time.Duration {
+	d := hijack.NewDurationModel(seed).Sample() / 20
+	if d > 3*time.Minute {
+		d = 3 * time.Minute
+	}
+	return d.Round(time.Second)
+}

@@ -1,0 +1,224 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"artemis/internal/bgp"
+	"artemis/internal/core"
+	"artemis/internal/experiment"
+	"artemis/internal/feeds/eventlog"
+	"artemis/internal/feeds/feedtypes"
+	"artemis/internal/prefix"
+)
+
+// Reproducer is a scenario frozen as a detector-level replay: the exact
+// deduplicated event stream the pipeline saw (a sibling .evlog file) plus
+// the detector configuration that classified it. Replaying feeds the
+// events straight into a fresh core.Detector — no topology, no virtual
+// time — so a shrunk failure, or a fixed one kept as regression corpus,
+// re-runs in microseconds.
+type Reproducer struct {
+	Scenario Scenario    `json:"scenario"`
+	Expect   Expectation `json:"expect"`
+	// Verdict is what the capturing run earned ("ok" for regression
+	// corpus entries recorded after a fix; a failure verdict for shrunk
+	// bug reproducers).
+	Verdict string `json:"verdict"`
+	// Detector config snapshot. Topology-derived pieces (upstream policy,
+	// mitigation self-announcements) cannot be recomputed from the
+	// scenario alone, so they are pinned here.
+	Owned            []string              `json:"owned"`
+	LegitOrigins     []bgp.ASN             `json:"legit_origins"`
+	AllowedUpstreams map[bgp.ASN][]bgp.ASN `json:"allowed_upstreams,omitempty"`
+	Self             []string              `json:"self,omitempty"`
+	// Events is the sibling .evlog file name (relative to the sidecar).
+	Events string `json:"events"`
+}
+
+// Capture runs the scenario with a recorder teed into the pipeline's
+// delivery path and writes `<name>.evlog` (the event stream) and
+// `<name>.json` (the Reproducer sidecar) into dir.
+func Capture(sc Scenario, dir, name string) (Reproducer, Result, error) {
+	expect, err := sc.Expect()
+	if err != nil {
+		return Reproducer{}, Result{}, err
+	}
+	opts, err := sc.Options()
+	if err != nil {
+		return Reproducer{}, Result{}, err
+	}
+	steps, err := sc.steps()
+	if err != nil {
+		return Reproducer{}, Result{}, err
+	}
+
+	evName := name + ".evlog"
+	f, err := os.Create(filepath.Join(dir, evName))
+	if err != nil {
+		return Reproducer{}, Result{}, err
+	}
+	bw := bufio.NewWriter(f)
+	w := eventlog.NewWriter(bw)
+	var mu sync.Mutex
+	opts.DeliverTee = func(batch []feedtypes.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		_ = w.WriteBatch(batch)
+	}
+
+	env, err := experiment.Build(opts)
+	if err != nil {
+		f.Close()
+		return Reproducer{}, Result{}, err
+	}
+	tr, runErr := experiment.RunScript(env, steps)
+	cfg := env.Artemis.CurrentConfig()
+	self := cfg.Self.List()
+	env.Close()
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return Reproducer{}, Result{}, err
+	}
+	if err := f.Close(); err != nil {
+		return Reproducer{}, Result{}, err
+	}
+
+	var res Result
+	if runErr != nil {
+		res = errResult(sc, expect, runErr)
+	} else {
+		res = evaluate(sc, expect, tr)
+	}
+
+	rep := Reproducer{
+		Scenario:         sc,
+		Expect:           expect,
+		Verdict:          res.Verdict,
+		LegitOrigins:     cfg.LegitOrigins,
+		AllowedUpstreams: cfg.AllowedUpstreams,
+		Events:           evName,
+	}
+	for _, p := range cfg.OwnedPrefixes {
+		rep.Owned = append(rep.Owned, p.String())
+	}
+	// Mitigation may de-aggregate exactly onto an attacked prefix (a /24
+	// sub-prefix hijack is re-announced as the same /24). Live, the alert
+	// preceded that registration; a replayed Self set applies from event
+	// one, so keeping the attack prefix would whitelist the hijack itself.
+	attacked := map[prefix.Prefix]bool{}
+	if aps, err := sc.attackPrefixes(); err == nil {
+		for _, p := range aps {
+			attacked[p] = true
+		}
+	}
+	for _, p := range self {
+		if !attacked[p] {
+			rep.Self = append(rep.Self, p.String())
+		}
+	}
+	sort.Strings(rep.Owned)
+	sort.Strings(rep.Self)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return Reproducer{}, Result{}, err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(filepath.Join(dir, name+".json"), blob, 0o644); err != nil {
+		return Reproducer{}, Result{}, err
+	}
+	return rep, res, nil
+}
+
+// LoadReproducer reads a sidecar written by Capture.
+func LoadReproducer(path string) (Reproducer, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return Reproducer{}, err
+	}
+	var rep Reproducer
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return Reproducer{}, fmt.Errorf("fleet: %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Replay rebuilds the pinned detector config, streams the .evlog (found
+// next to dir) through a fresh detector, and returns the alerts raised.
+func (rep Reproducer) Replay(dir string) ([]core.Alert, error) {
+	cfg := &core.Config{
+		LegitOrigins:     rep.LegitOrigins,
+		AllowedUpstreams: rep.AllowedUpstreams,
+		Self:             core.NewSelfAnnounced(),
+	}
+	for _, s := range rep.Owned {
+		p, err := prefix.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: reproducer owned %q: %w", s, err)
+		}
+		cfg.OwnedPrefixes = append(cfg.OwnedPrefixes, p)
+	}
+	for _, s := range rep.Self {
+		p, err := prefix.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: reproducer self %q: %w", s, err)
+		}
+		cfg.Self.Add(p)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	f, err := os.Open(filepath.Join(dir, rep.Events))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	det := core.NewDetector(cfg)
+	r := eventlog.NewReader(bufio.NewReader(f))
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fleet: replay %s: %w", rep.Events, err)
+		}
+		det.Process(rec.Event)
+	}
+	return det.Alerts(), nil
+}
+
+// CheckExpect judges replayed alerts against the scenario expectation:
+// silence classes must raise nothing; detection classes must raise at
+// least one alert of the expected type. Nil means the expectation holds.
+func (rep Reproducer) CheckExpect(alerts []core.Alert) error {
+	if !rep.Expect.Detect {
+		if len(alerts) != 0 {
+			return fmt.Errorf("fleet: %s: expected silence, got %d alert(s), first %s on %s",
+				rep.Scenario.Name(), len(alerts), alerts[0].Type, alerts[0].Prefix)
+		}
+		return nil
+	}
+	if len(alerts) == 0 {
+		return fmt.Errorf("fleet: %s: expected a %s alert, got none", rep.Scenario.Name(), rep.Expect.Alert)
+	}
+	if rep.Expect.Alert == "" {
+		return nil
+	}
+	for _, a := range alerts {
+		if AlertName(a.Type.String()) == rep.Expect.Alert {
+			return nil
+		}
+	}
+	return fmt.Errorf("fleet: %s: no %s alert among %d raised (first %s)",
+		rep.Scenario.Name(), rep.Expect.Alert, len(alerts), alerts[0].Type)
+}

@@ -1,0 +1,171 @@
+// Package fleet generates, runs, scores, and shrinks adversarial hijack
+// campaigns at topology scale. A fleet run executes N seeded scenarios
+// per taxonomy class — exact-prefix type-0/1/N, sub-prefix (plain and
+// forged-origin), squatting, route leaks, legitimate MOAS, prepend
+// forgery, and adversarially-timed campaigns (hijack during a feed
+// outage, during a config swap, during mitigation of a prior incident) —
+// over v4, v6, and mixed owned sets, and reports detection-latency
+// percentiles and FP/FN rates per class as a scorecard. Failures are
+// shrunk to minimal reproducers and exported as detector-level .evlog
+// replays for the regression corpus.
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"artemis/internal/experiment"
+	"artemis/internal/hijack"
+	"artemis/internal/prefix"
+	"artemis/internal/topo"
+)
+
+// Scenario is one seeded, self-describing adversarial trial. The class
+// name selects the attack kind, detector features, and campaign script
+// (see classSpecs); the remaining fields are the knobs the shrinker is
+// allowed to turn. Prefixes are strings so scenarios round-trip through
+// JSON (reproducer sidecars, scorecard failure listings).
+type Scenario struct {
+	// Class is the taxonomy class (one of Classes()).
+	Class string `json:"class"`
+	// Family is the owned-set address family: "v4", "v6", or "mixed".
+	Family string `json:"family"`
+	// Seed drives topology generation, feed jitter, and victim/attacker
+	// placement. Same scenario, same seed → same trial, bit for bit.
+	Seed int64 `json:"seed"`
+	// Owned is the prefix the attack targets; member of OwnedSet.
+	Owned string `json:"owned"`
+	// OwnedSet is everything the victim originates.
+	OwnedSet []string `json:"owned_set"`
+	// Stubs and Transit size the synthetic Internet.
+	Stubs   int `json:"stubs"`
+	Transit int `json:"transit"`
+	// HijackDelay postpones the measured attack after convergence (the
+	// timing dimension; campaigns may extend it).
+	HijackDelay time.Duration `json:"hijack_delay_ns"`
+}
+
+// Name is the scenario's unique id within a fleet run.
+func (sc Scenario) Name() string {
+	return fmt.Sprintf("%s/%s/seed%d", sc.Class, sc.Family, sc.Seed)
+}
+
+// Expectation is the ground-truth verdict a correct detector must reach.
+type Expectation struct {
+	// Detect: must ARTEMIS raise an alert for the measured attack?
+	// Accuracy controls (route-leak, legit-moas) and the documented
+	// type-N blind spot set it false — an alert there is a false
+	// positive.
+	Detect bool `json:"detect"`
+	// Alert is the required classification when Detect is true (0 = any).
+	Alert AlertName `json:"alert,omitempty"`
+}
+
+// Expect returns the class's expectation.
+func (sc Scenario) Expect() (Expectation, error) {
+	spec, err := sc.spec()
+	if err != nil {
+		return Expectation{}, err
+	}
+	return Expectation{Detect: spec.detect, Alert: spec.alert}, nil
+}
+
+// Options maps the scenario onto an experiment environment.
+func (sc Scenario) Options() (experiment.Options, error) {
+	spec, err := sc.spec()
+	if err != nil {
+		return experiment.Options{}, err
+	}
+	owned, err := prefix.Parse(sc.Owned)
+	if err != nil {
+		return experiment.Options{}, fmt.Errorf("fleet: %s: owned: %w", sc.Name(), err)
+	}
+	set := make([]prefix.Prefix, len(sc.OwnedSet))
+	for i, s := range sc.OwnedSet {
+		if set[i], err = prefix.Parse(s); err != nil {
+			return experiment.Options{}, fmt.Errorf("fleet: %s: owned set: %w", sc.Name(), err)
+		}
+	}
+	cfg := topo.DefaultGenConfig()
+	cfg.Seed = sc.Seed
+	if sc.Stubs > 0 {
+		cfg.Stubs = sc.Stubs
+	}
+	if sc.Transit > 0 {
+		cfg.Transit = sc.Transit
+	}
+	opts := experiment.Options{
+		Seed:           sc.Seed,
+		Topo:           cfg,
+		Owned:          owned,
+		OwnedSet:       set,
+		Kind:           spec.kind,
+		Partner:        spec.partner,
+		UpstreamPolicy: spec.upstream,
+		SplitCoverage:  spec.split,
+	}
+	if spec.campaign == campaignOutage {
+		// Two sources splitting two prefixes: killing the one that covers
+		// the target leaves a real coverage hole for auto-widen to close.
+		opts.Sources = outageSources
+	}
+	return opts, nil
+}
+
+// otherOwned returns an OwnedSet member different from the attack target
+// (the remit campaign's prior-incident victim).
+func (sc Scenario) otherOwned() (string, error) {
+	for _, p := range sc.OwnedSet {
+		if p != sc.Owned {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("fleet: %s: owned set has no second prefix", sc.Name())
+}
+
+// attackPrefixes lists every prefix the scenario's script announces
+// adversarially (the measured attack, plus the remit campaign's prior
+// incident). The reproducer snapshot must not whitelist these as
+// self-announcements: at live time the mitigator registered them only
+// *after* the alert, while a replayed Self set applies from event one.
+func (sc Scenario) attackPrefixes() ([]prefix.Prefix, error) {
+	spec, err := sc.spec()
+	if err != nil {
+		return nil, err
+	}
+	owned, err := prefix.Parse(sc.Owned)
+	if err != nil {
+		return nil, err
+	}
+	attack, err := hijack.AttackPrefix(spec.kind, owned)
+	if err != nil {
+		return nil, err
+	}
+	out := []prefix.Prefix{attack}
+	if spec.campaign == campaignRemit {
+		other, err := sc.otherOwned()
+		if err != nil {
+			return nil, err
+		}
+		op, err := prefix.Parse(other)
+		if err != nil {
+			return nil, err
+		}
+		prior, err := hijack.AttackPrefix(hijack.SubPrefix, op)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, prior)
+	}
+	return out, nil
+}
+
+// ownedIndex returns the target's position in the owned set.
+func (sc Scenario) ownedIndex() (int, error) {
+	for i, p := range sc.OwnedSet {
+		if p == sc.Owned {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("fleet: %s: owned %s not in owned set", sc.Name(), sc.Owned)
+}

@@ -1,0 +1,236 @@
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"artemis/internal/stats"
+)
+
+// ClassScore aggregates one class × family cell of the scorecard.
+type ClassScore struct {
+	Class        string `json:"class"`
+	Family       string `json:"family"`
+	Doc          string `json:"doc,omitempty"`
+	ExpectDetect bool   `json:"expect_detect"`
+	Trials       int    `json:"trials"`
+	Detected     int    `json:"detected"`
+	FN           int    `json:"fn"`
+	FP           int    `json:"fp"`
+	WrongType    int    `json:"wrong_type"`
+	Errors       int    `json:"errors"`
+	// Detection summarizes DetectionDelay over the detected trials
+	// (virtual time; the paper's §3 headline is ≈45 s).
+	Detection stats.DurationSummary `json:"detection"`
+	// Total summarizes hijack→fully-mitigated over the detected trials.
+	Total stats.DurationSummary `json:"total"`
+}
+
+// Scorecard is a fleet run's accuracy report: one row per class × family,
+// plus the failing results verbatim (with their shrunk reproducers filled
+// in by the caller, when shrinking is on).
+type Scorecard struct {
+	BaseSeed int64        `json:"base_seed"`
+	Seeds    int          `json:"seeds"`
+	Classes  []ClassScore `json:"classes"`
+	Failures []Result     `json:"failures,omitempty"`
+	Totals   ScoreTotals  `json:"totals"`
+}
+
+// ScoreTotals sums the accuracy counters across all cells.
+type ScoreTotals struct {
+	Trials    int `json:"trials"`
+	Detected  int `json:"detected"`
+	FN        int `json:"fn"`
+	FP        int `json:"fp"`
+	WrongType int `json:"wrong_type"`
+	Errors    int `json:"errors"`
+}
+
+// Score aggregates results into a scorecard. Rows are sorted in taxonomy
+// order (then family), so same results → same scorecard bytes.
+func Score(results []Result, baseSeed int64, seeds int) Scorecard {
+	type key struct{ class, family string }
+	cells := map[key]*ClassScore{}
+	detections := map[key][]time.Duration{}
+	totals := map[key][]time.Duration{}
+	card := Scorecard{BaseSeed: baseSeed, Seeds: seeds}
+
+	for _, r := range results {
+		k := key{r.Scenario.Class, r.Scenario.Family}
+		cell := cells[k]
+		if cell == nil {
+			cell = &ClassScore{
+				Class:        k.class,
+				Family:       k.family,
+				Doc:          ClassDoc(k.class),
+				ExpectDetect: r.Expect.Detect,
+			}
+			cells[k] = cell
+		}
+		cell.Trials++
+		card.Totals.Trials++
+		if r.Trial.Detected {
+			cell.Detected++
+			card.Totals.Detected++
+			detections[k] = append(detections[k], r.Trial.DetectionDelay)
+			if r.Trial.Total > 0 {
+				totals[k] = append(totals[k], r.Trial.Total)
+			}
+		}
+		switch r.Verdict {
+		case VerdictFN:
+			cell.FN++
+			card.Totals.FN++
+		case VerdictFP:
+			cell.FP++
+			card.Totals.FP++
+		case VerdictWrongType:
+			cell.WrongType++
+			card.Totals.WrongType++
+		case VerdictError:
+			cell.Errors++
+			card.Totals.Errors++
+		}
+		if r.Failed() {
+			card.Failures = append(card.Failures, r)
+		}
+	}
+
+	order := map[string]int{}
+	for i, c := range Classes() {
+		order[c] = i
+	}
+	for k, cell := range cells {
+		cell.Detection = stats.SummarizeDurations(detections[k])
+		cell.Total = stats.SummarizeDurations(totals[k])
+		card.Classes = append(card.Classes, *cell)
+	}
+	sort.Slice(card.Classes, func(i, j int) bool {
+		a, b := card.Classes[i], card.Classes[j]
+		if a.Class != b.Class {
+			return order[a.Class] < order[b.Class]
+		}
+		return a.Family < b.Family
+	})
+	sort.Slice(card.Failures, func(i, j int) bool {
+		return card.Failures[i].Scenario.Name() < card.Failures[j].Scenario.Name()
+	})
+	return card
+}
+
+// Gate is one accuracy bound: a class metric that must stay <= Max.
+// Class "*" applies to the cross-class totals. Metrics are aggregated
+// over families: counters sum, latency metrics take the worst cell.
+type Gate struct {
+	Class  string
+	Metric string
+	Max    float64
+}
+
+// ParseGates reads a gates file (the fleet.gates format, mirroring
+// bench.gates): one `<class> <metric> <= <value>` rule per line, #
+// comments and blank lines ignored.
+func ParseGates(r io.Reader) ([]Gate, error) {
+	var gates []Gate
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 4 || fields[2] != "<=" {
+			return nil, fmt.Errorf("gates line %d: want `<class> <metric> <= <value>`, got %q", line, text)
+		}
+		val, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("gates line %d: bad value %q: %v", line, fields[3], err)
+		}
+		gates = append(gates, Gate{Class: fields[0], Metric: fields[1], Max: val})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return gates, nil
+}
+
+// metric extracts a gate metric aggregated across the class's family
+// cells (or the totals for class "*").
+func (card Scorecard) metric(class, name string) (float64, error) {
+	if class == "*" {
+		switch name {
+		case "fn":
+			return float64(card.Totals.FN), nil
+		case "fp":
+			return float64(card.Totals.FP), nil
+		case "wrong_type":
+			return float64(card.Totals.WrongType), nil
+		case "errors":
+			return float64(card.Totals.Errors), nil
+		}
+		return 0, fmt.Errorf("unknown totals metric %q", name)
+	}
+	var sum float64
+	var worst time.Duration
+	found := false
+	for _, cell := range card.Classes {
+		if cell.Class != class {
+			continue
+		}
+		found = true
+		switch name {
+		case "fn":
+			sum += float64(cell.FN)
+		case "fp":
+			sum += float64(cell.FP)
+		case "wrong_type":
+			sum += float64(cell.WrongType)
+		case "errors":
+			sum += float64(cell.Errors)
+		case "detection_p90_ms":
+			if cell.Detection.P90 > worst {
+				worst = cell.Detection.P90
+			}
+		case "detection_max_ms":
+			if cell.Detection.Max > worst {
+				worst = cell.Detection.Max
+			}
+		default:
+			return 0, fmt.Errorf("unknown metric %q", name)
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("no scorecard rows for class %q", class)
+	}
+	if strings.HasSuffix(name, "_ms") {
+		return float64(worst) / float64(time.Millisecond), nil
+	}
+	return sum, nil
+}
+
+// Check evaluates the gates and returns one violation message per broken
+// bound (empty = all green). A gate referencing a class absent from the
+// run is itself a violation — a silently skipped gate is how accuracy
+// regressions sneak in.
+func (card Scorecard) Check(gates []Gate) []string {
+	var bad []string
+	for _, g := range gates {
+		got, err := card.metric(g.Class, g.Metric)
+		if err != nil {
+			bad = append(bad, fmt.Sprintf("gate %s %s: %v", g.Class, g.Metric, err))
+			continue
+		}
+		if got > g.Max {
+			bad = append(bad, fmt.Sprintf("gate %s %s: %.6g > %.6g", g.Class, g.Metric, got, g.Max))
+		}
+	}
+	return bad
+}

@@ -1,0 +1,75 @@
+package fleet
+
+// Shrink floors: small enough for a fast reproducer, large enough that
+// every class still builds (Partner needs 6 stubs; propagation needs a
+// couple of transit tiers).
+const (
+	shrinkMinStubs   = 20
+	shrinkMinTransit = 8
+)
+
+// Shrink greedily reduces a failing scenario while the failure still
+// reproduces (same verdict on re-run), and returns the smallest
+// reproducing variant plus the number of trial executions spent. Each
+// probe is a full virtual-time trial, so the budget bounds wall-clock.
+//
+// Dimensions, in order: topology size (stubs, transit — halved toward
+// the floors), attack timing (delay dropped to zero), and the owned set
+// (collapsed to just the target when the class doesn't script the other
+// prefix). The loop repeats until a full pass keeps nothing.
+func Shrink(sc Scenario, verdict string, budget int) (Scenario, int) {
+	spec, err := sc.spec()
+	if err != nil {
+		return sc, 0
+	}
+	// Campaigns that script a second prefix or a split feed arsenal need
+	// the full owned set.
+	needsSet := spec.campaign == campaignOutage || spec.campaign == campaignRemit
+	tries := 0
+	probe := func(cand Scenario) bool {
+		if tries >= budget {
+			return false
+		}
+		tries++
+		return Run(cand).Verdict == verdict
+	}
+	for changed := true; changed && tries < budget; {
+		changed = false
+		if sc.Stubs > shrinkMinStubs {
+			cand := sc
+			cand.Stubs = maxInt(shrinkMinStubs, sc.Stubs/2)
+			if probe(cand) {
+				sc, changed = cand, true
+			}
+		}
+		if sc.Transit > shrinkMinTransit {
+			cand := sc
+			cand.Transit = maxInt(shrinkMinTransit, sc.Transit/2)
+			if probe(cand) {
+				sc, changed = cand, true
+			}
+		}
+		if sc.HijackDelay > 0 {
+			cand := sc
+			cand.HijackDelay = 0
+			if probe(cand) {
+				sc, changed = cand, true
+			}
+		}
+		if len(sc.OwnedSet) > 1 && !needsSet {
+			cand := sc
+			cand.OwnedSet = []string{sc.Owned}
+			if probe(cand) {
+				sc, changed = cand, true
+			}
+		}
+	}
+	return sc, tries
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"time"
 
+	"artemis/internal/bgp"
 	"artemis/internal/prefix"
 )
 
@@ -31,6 +32,28 @@ const (
 	// path ending in the legitimate origin (Type-1 hijack); only the
 	// path-anomaly check can see it.
 	PathFake
+	// PathFakeDeep: the attacker forges a path ending in a *legitimate
+	// upstream adjacency* of the origin (Type-N, N >= 2). Invisible to
+	// origin and first-hop checks alike — the paper's acknowledged blind
+	// spot without deeper path knowledge.
+	PathFakeDeep
+	// PrependForgery: the attacker forges the victim origin and imitates
+	// the victim's own prepending ([victim victim ...] tail), which
+	// defeats an upstream inference that naively reads Path[len-2].
+	PrependForgery
+	// SubPrefixForgedOrigin: a more-specific announcement whose forged
+	// path ends in the legitimate origin — the "hidden" sub-prefix
+	// hijack. Origin checks pass; only announced-prefix knowledge
+	// catches it.
+	SubPrefixForgedOrigin
+	// RouteLeak: a neighbor re-exports the victim's legitimate route
+	// against valley-free policy. The origin stays legitimate, so a
+	// correct detector must NOT alert (accuracy control).
+	RouteLeak
+	// LegitMOAS: a second legitimate origin (e.g. an anycast or DDoS-
+	// protection partner) announces the owned prefix. Must NOT alert
+	// when the partner is configured as a legit origin.
+	LegitMOAS
 )
 
 func (k Kind) String() string {
@@ -43,17 +66,38 @@ func (k Kind) String() string {
 		return "squat"
 	case PathFake:
 		return "path-fake"
+	case PathFakeDeep:
+		return "path-fake-deep"
+	case PrependForgery:
+		return "prepend-forgery"
+	case SubPrefixForgedOrigin:
+		return "sub-prefix-forged-origin"
+	case RouteLeak:
+		return "route-leak"
+	case LegitMOAS:
+		return "legit-moas"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ForgesOrigin reports whether the attack carries a forged path tail that
+// ends in the legitimate origin (so origin-level checks see a legit
+// announcement).
+func (k Kind) ForgesOrigin() bool {
+	switch k {
+	case PathFake, PathFakeDeep, PrependForgery, SubPrefixForgedOrigin:
+		return true
+	}
+	return false
 }
 
 // AttackPrefix computes what the attacker announces against an owned
 // prefix.
 func AttackPrefix(k Kind, owned prefix.Prefix) (prefix.Prefix, error) {
 	switch k {
-	case ExactOrigin, PathFake:
+	case ExactOrigin, PathFake, PathFakeDeep, PrependForgery, RouteLeak, LegitMOAS:
 		return owned, nil
-	case SubPrefix:
+	case SubPrefix, SubPrefixForgedOrigin:
 		if owned.Bits() >= owned.MaxBits() {
 			return prefix.Prefix{}, fmt.Errorf("hijack: cannot sub-prefix a /%d", owned.Bits())
 		}
@@ -66,6 +110,38 @@ func AttackPrefix(k Kind, owned prefix.Prefix) (prefix.Prefix, error) {
 		return owned.Parent(), nil
 	}
 	return prefix.Prefix{}, fmt.Errorf("hijack: unknown kind %v", k)
+}
+
+// ForgedPathSuffix returns the AS-path tail the attacker fabricates for
+// the kind (origin last), or nil when the attack announces honestly with
+// the attacker as origin. victim is the legitimate origin; upstream is a
+// legitimate first-hop adjacency of the victim (used by PathFakeDeep —
+// pass 0 to fall back to a plain type-1 tail).
+func ForgedPathSuffix(k Kind, victim, upstream bgp.ASN) []bgp.ASN {
+	switch k {
+	case PathFake, SubPrefixForgedOrigin:
+		return []bgp.ASN{victim}
+	case PathFakeDeep:
+		if upstream == 0 {
+			return []bgp.ASN{victim}
+		}
+		return []bgp.ASN{upstream, victim}
+	case PrependForgery:
+		return []bgp.ASN{victim, victim}
+	}
+	return nil
+}
+
+// FilteredAt reports whether an attack prefix is too specific to
+// propagate past the conventional ingress filters (more specific than
+// v4Limit / v6Limit, the simnet defaults being 24 and 48). A sub-prefix
+// attack at the clamp boundary is announced but goes nowhere — the §2
+// caveat, from the attacker's side.
+func FilteredAt(p prefix.Prefix, v4Limit, v6Limit int) bool {
+	if p.Is6() {
+		return p.Bits() > v6Limit
+	}
+	return p.Bits() > v4Limit
 }
 
 // DurationModel samples hijack durations following the Argus-style

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"artemis/internal/bgp"
 	"artemis/internal/prefix"
 )
 
@@ -80,6 +81,121 @@ func TestDurationModelDeterministic(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		if a.Sample() != b.Sample() {
 			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestAttackPrefixNewKinds(t *testing.T) {
+	owned := prefix.MustParse("10.0.0.0/23")
+	owned6 := prefix.MustParse("2001:db8::/47")
+	cases := []struct {
+		kind  Kind
+		owned prefix.Prefix
+		want  string
+	}{
+		{PathFakeDeep, owned, "10.0.0.0/23"},
+		{PrependForgery, owned, "10.0.0.0/23"},
+		{SubPrefixForgedOrigin, owned, "10.0.0.0/24"},
+		{RouteLeak, owned, "10.0.0.0/23"},
+		{LegitMOAS, owned, "10.0.0.0/23"},
+		// v6 route-leak and forged-origin sub-prefix paths.
+		{RouteLeak, owned6, "2001:db8::/47"},
+		{SubPrefixForgedOrigin, owned6, "2001:db8::/48"},
+		{Squat, owned6, "2001:db8::/46"},
+	}
+	for _, c := range cases {
+		got, err := AttackPrefix(c.kind, c.owned)
+		if err != nil || got.String() != c.want {
+			t.Errorf("%v(%v): got %v, %v; want %s", c.kind, c.owned, got, err, c.want)
+		}
+	}
+}
+
+func TestAttackPrefixClampBoundaries(t *testing.T) {
+	// Sub-prefix attacks at the conventional filter boundaries: the /24
+	// (v4) and /48 (v6) owned prefixes still split — the attacker can
+	// announce a /25 or /49 — but the result is ingress-filtered
+	// everywhere, which FilteredAt reports.
+	p25, err := AttackPrefix(SubPrefix, prefix.MustParse("10.0.0.0/24"))
+	if err != nil || p25.String() != "10.0.0.0/25" {
+		t.Fatalf("sub-prefix of /24: %v, %v", p25, err)
+	}
+	if !FilteredAt(p25, 24, 48) {
+		t.Fatal("/25 must be reported as filtered at the /24 clamp")
+	}
+	p49, err := AttackPrefix(SubPrefixForgedOrigin, prefix.MustParse("2001:db8::/48"))
+	if err != nil || p49.String() != "2001:db8::/49" {
+		t.Fatalf("sub-prefix of /48: %v, %v", p49, err)
+	}
+	if !FilteredAt(p49, 24, 48) {
+		t.Fatal("/49 must be reported as filtered at the /48 clamp")
+	}
+	// One below the boundary propagates.
+	if FilteredAt(prefix.MustParse("10.0.0.0/24"), 24, 48) {
+		t.Fatal("/24 is not filtered")
+	}
+	if FilteredAt(prefix.MustParse("2001:db8::/48"), 24, 48) {
+		t.Fatal("/48 is not filtered")
+	}
+	// v6 sub-prefix of a /128 is impossible, like the v4 /32.
+	if _, err := AttackPrefix(SubPrefixForgedOrigin, prefix.MustParse("2001:db8::1/128")); err == nil {
+		t.Fatal("sub-prefix of /128 accepted")
+	}
+	// Squatting on unannounced space is computed the same way — the
+	// covering parent — whether or not the victim ever announced: the
+	// prefix math must not depend on announcement state.
+	sq, err := AttackPrefix(Squat, prefix.MustParse("198.51.100.0/24"))
+	if err != nil || sq.String() != "198.51.100.0/23" {
+		t.Fatalf("squat on unannounced /24: %v, %v", sq, err)
+	}
+}
+
+func TestForgedPathSuffix(t *testing.T) {
+	const victim, up = bgp.ASN(61000), bgp.ASN(2000)
+	cases := []struct {
+		kind Kind
+		want []bgp.ASN
+	}{
+		{PathFake, []bgp.ASN{victim}},
+		{SubPrefixForgedOrigin, []bgp.ASN{victim}},
+		{PathFakeDeep, []bgp.ASN{up, victim}},
+		{PrependForgery, []bgp.ASN{victim, victim}},
+		{ExactOrigin, nil},
+		{SubPrefix, nil},
+		{Squat, nil},
+		{RouteLeak, nil},
+		{LegitMOAS, nil},
+	}
+	for _, c := range cases {
+		got := ForgedPathSuffix(c.kind, victim, up)
+		if len(got) != len(c.want) {
+			t.Errorf("%v: suffix %v, want %v", c.kind, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%v: suffix %v, want %v", c.kind, got, c.want)
+			}
+		}
+		if c.kind.ForgesOrigin() != (c.want != nil) {
+			t.Errorf("%v: ForgesOrigin = %v", c.kind, c.kind.ForgesOrigin())
+		}
+	}
+	// PathFakeDeep with no known upstream degrades to a type-1 tail.
+	if got := ForgedPathSuffix(PathFakeDeep, victim, 0); len(got) != 1 || got[0] != victim {
+		t.Errorf("PathFakeDeep without upstream: %v", got)
+	}
+}
+
+func TestKindStringNewKinds(t *testing.T) {
+	for k, want := range map[Kind]string{
+		PathFakeDeep: "path-fake-deep", PrependForgery: "prepend-forgery",
+		SubPrefixForgedOrigin: "sub-prefix-forged-origin",
+		RouteLeak:             "route-leak", LegitMOAS: "legit-moas",
+		Kind(99): "Kind(99)",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
 		}
 	}
 }

@@ -140,6 +140,15 @@ type Config struct {
 	// Seed seeds the backoff jitter (0 → 1); tests pin it for
 	// reproducible schedules.
 	Seed int64
+	// AutoWiden closes coverage holes left by dead sources: when a source
+	// reaches StateDead, every surviving source whose filter does not
+	// already cover the dead source's watched prefixes has them merged
+	// into its own filter. In-process sources are re-subscribed with the
+	// widened filter immediately; dial sources are bounced so the redial
+	// picks it up (their dialers must consult EffectiveFilter). Sources
+	// whose filter the supervisor does not know (dial sources without a
+	// Covers declaration) neither contribute a hole nor widen.
+	AutoWiden bool
 	// OnHealth, when non-nil, is invoked on every source lifecycle
 	// transition (connecting→healthy, healthy→degraded, …). It runs on
 	// the source's own goroutine and must not block or call back into the
@@ -266,6 +275,16 @@ type source struct {
 	// cancel detaches an in-process subscription (nil for dial sources).
 	cancel func()
 
+	// feed is the in-process source being supervised (nil for dial
+	// sources); auto-widening re-subscribes through it.
+	feed feedtypes.Source
+	// eff is the source's effective filter: the base subscription filter
+	// (AddSource's, or a dial source's Covers declaration) plus any
+	// coverage widened in from dead siblings. hasFilter marks it known.
+	// Both are guarded by the supervisor's mu once registered.
+	eff       feedtypes.Filter
+	hasFilter bool
+
 	// qmu guards qclosed for producers that outlive their cancel call
 	// (hub callbacks may still be in flight when Remove returns), and
 	// serializes those callbacks into the ring's single logical producer.
@@ -318,6 +337,22 @@ func RateLimit(eventsPerSec int) SourceOption {
 		}
 		const burst = 2 * maxRecvBatch
 		src.limit = &tokenBucket{rate: float64(eventsPerSec), burst: burst, tokens: burst}
+	}
+}
+
+// Covers declares the filter a dial source's connections subscribe with.
+// The supervisor cannot see a dialer's server-side subscription, so this
+// is what the auto-widen bookkeeping (Config.AutoWiden) works from: it
+// defines both the hole the source leaves behind when it dies and the
+// base the survivors widen from. Dialers of covered sources should read
+// EffectiveFilter at Dial time so a post-widen bounce reconnects with the
+// merged filter. In-process sources get this automatically from their
+// AddSource filter.
+func Covers(f feedtypes.Filter) SourceOption {
+	return func(src *source) {
+		src.eff = f
+		src.eff.Prefixes = append([]prefix.Prefix(nil), f.Prefixes...)
+		src.hasFilter = true
 	}
 }
 
@@ -384,7 +419,7 @@ func (src *source) sleepStop(d time.Duration) bool {
 }
 
 func (s *Supervisor) newSource(name string) *source {
-	return &source{
+	src := &source{
 		name:     name,
 		stop:     make(chan struct{}),
 		kick:     make(chan struct{}, 1),
@@ -392,6 +427,122 @@ func (s *Supervisor) newSource(name string) *source {
 		latency:  stats.NewHistogram(),
 		onHealth: s.cfg.OnHealth,
 	}
+	if s.cfg.AutoWiden {
+		// Every death — retry exhaustion, Remove, a replay source's stop —
+		// triggers the coverage-hole check; widenFrom itself ignores
+		// supervisor shutdown. Runs before the user's OnHealth so an
+		// operator notified of the death already sees the widened state.
+		user := src.onHealth
+		src.onHealth = func(tr HealthTransition) {
+			if tr.To == StateDead {
+				s.widenFrom(src)
+			}
+			if user != nil {
+				user(tr)
+			}
+		}
+	}
+	return src
+}
+
+// widenFrom closes the coverage hole a dead source leaves: every
+// surviving source with a known filter absorbs the dead source's watched
+// prefixes. In-process survivors are re-subscribed with the widened
+// filter under the supervisor lock (events published in the gap are
+// missed exactly as across any reconnect); dial survivors are bounced
+// after the lock is released so their next Dial reads EffectiveFilter.
+func (s *Supervisor) widenFrom(dead *source) {
+	s.mu.Lock()
+	if s.closed || !dead.hasFilter {
+		s.mu.Unlock()
+		return
+	}
+	hole := dead.eff
+	var bounce []SourceID
+	for _, src := range s.sources {
+		if src == dead || !src.hasFilter || src.getState().Terminal() {
+			continue
+		}
+		if !widenFilter(&src.eff, hole) {
+			continue // already covers the hole
+		}
+		if src.cancel != nil && src.feed != nil {
+			src.cancel()
+			f := src.eff
+			f.Prefixes = append([]prefix.Prefix(nil), f.Prefixes...)
+			sub := src
+			if s.cfg.Synchronous {
+				src.cancel = subscribeBatches(src.feed, f, func(batch []feedtypes.Event) {
+					s.deliverBatch(sub, batch)
+				})
+			} else {
+				src.cancel = subscribeBatches(src.feed, f, func(batch []feedtypes.Event) {
+					s.enqueueGuarded(sub, batch)
+				})
+			}
+		} else if src.cancel == nil {
+			bounce = append(bounce, src.id)
+		}
+	}
+	s.mu.Unlock()
+	for _, id := range bounce {
+		s.Bounce(id)
+	}
+}
+
+// widenFilter merges hole into dst, reporting whether dst changed. A
+// filter that already matches everything never changes; a match-all hole
+// turns dst into match-all.
+func widenFilter(dst *feedtypes.Filter, hole feedtypes.Filter) bool {
+	if dst.MatchAll() {
+		return false
+	}
+	if hole.MatchAll() {
+		dst.Prefixes = nil
+		return true
+	}
+	changed := false
+	for _, p := range hole.Prefixes {
+		covered := false
+		for _, w := range dst.Prefixes {
+			if w == p ||
+				(dst.MoreSpecific && w.Contains(p)) ||
+				(dst.LessSpecific && p.Contains(w)) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			dst.Prefixes = append(dst.Prefixes, p)
+			changed = true
+		}
+	}
+	if hole.MoreSpecific && !dst.MoreSpecific {
+		dst.MoreSpecific = true
+		changed = true
+	}
+	if hole.LessSpecific && !dst.LessSpecific {
+		dst.LessSpecific = true
+		changed = true
+	}
+	return changed
+}
+
+// EffectiveFilter returns a source's current filter: its base plus any
+// coverage widened in from dead siblings (Config.AutoWiden). The second
+// result is false for unknown sources and for dial sources that never
+// declared Covers. Dialers serving a covered source should build their
+// subscription from this at Dial time.
+func (s *Supervisor) EffectiveFilter(id SourceID) (feedtypes.Filter, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src, ok := s.sources[id]
+	if !ok || !src.hasFilter {
+		return feedtypes.Filter{}, false
+	}
+	f := src.eff
+	f.Prefixes = append([]prefix.Prefix(nil), f.Prefixes...)
+	return f, true
 }
 
 // register assigns an id and installs the source; reports false when the
@@ -439,6 +590,10 @@ func (s *Supervisor) AddDialer(name string, d Dialer, opts ...SourceOption) Sour
 // subscription attached (and the forward goroutine waiting) forever.
 func (s *Supervisor) AddSource(name string, feed feedtypes.Source, f feedtypes.Filter) SourceID {
 	src := s.newSource(name)
+	src.feed = feed
+	src.eff = f
+	src.eff.Prefixes = append([]prefix.Prefix(nil), f.Prefixes...)
+	src.hasFilter = true
 	s.mu.Lock()
 	if s.cfg.Synchronous {
 		if !s.registerLocked(src, 0) {

@@ -1,6 +1,8 @@
 package route
 
 import (
+	"slices"
+
 	"artemis/internal/bgp"
 	"artemis/internal/prefix"
 )
@@ -65,6 +67,16 @@ func (t *Table) Withdraw(p prefix.Prefix, from bgp.ASN) (old, best *Route, chang
 // Originate installs a locally originated route for p.
 func (t *Table) Originate(p prefix.Prefix) (old, best *Route, changed bool) {
 	return t.Update(&Route{Prefix: p})
+}
+
+// OriginateWithPath installs a locally originated route for p whose AS path
+// already carries the given suffix (origin last) — the forged-origination
+// primitive behind type-1/type-N hijacks and prepend forgery. The router
+// prepends its own ASN on export exactly as for an honest origination, so
+// downstream ASes see [self, suffix...] and attribute the prefix to
+// suffix's last hop. An empty suffix is an honest Originate.
+func (t *Table) OriginateWithPath(p prefix.Prefix, suffix []bgp.ASN) (old, best *Route, changed bool) {
+	return t.Update(&Route{Prefix: p, Path: slices.Clone(suffix)})
 }
 
 // WithdrawLocal removes the local origination of p.

@@ -196,3 +196,31 @@ func TestRouteEqual(t *testing.T) {
 }
 
 var _ = bgp.ASN(0) // keep import when test bodies change
+
+func TestOriginateWithPath(t *testing.T) {
+	tb := NewTable(100)
+	p := prefix.MustParse("10.0.0.0/23")
+	_, best, changed := tb.OriginateWithPath(p, []bgp.ASN{64500})
+	if !changed || best == nil {
+		t.Fatal("forged origination did not install")
+	}
+	if !best.Local() {
+		t.Fatal("forged origination must still be a local route")
+	}
+	if got := best.Origin(100); got != 64500 {
+		t.Fatalf("origin = %v, want forged 64500", got)
+	}
+	// The suffix is cloned: mutating the caller's slice must not reach
+	// the installed route.
+	suffix := []bgp.ASN{64501, 64502}
+	tb.OriginateWithPath(prefix.MustParse("10.2.0.0/23"), suffix)
+	suffix[0] = 1
+	r, _ := tb.Best(prefix.MustParse("10.2.0.0/23"))
+	if r.Path[0] != 64501 {
+		t.Fatal("installed path aliases the caller's slice")
+	}
+	// WithdrawLocal removes it like an honest origination.
+	if _, _, changed := tb.WithdrawLocal(p); !changed {
+		t.Fatal("withdraw of forged origination did not change best")
+	}
+}

@@ -137,6 +137,23 @@ func (nw *Network) Announce(asn bgp.ASN, p prefix.Prefix) error {
 	return nil
 }
 
+// AnnounceWithPath schedules a local origination of p at asn whose AS path
+// already carries the forged suffix (origin last). The announcing router
+// still prepends its own ASN on export, so neighbors see [asn, suffix...] —
+// the mechanics of a type-1/type-N hijack or prepend forgery, where the
+// attacker fabricates an adjacency (or a whole tail) to a legitimate origin.
+// ASes that appear in the suffix drop the announcement via standard loop
+// detection, exactly as on the real Internet. Withdraw removes it.
+func (nw *Network) AnnounceWithPath(asn bgp.ASN, p prefix.Prefix, suffix []bgp.ASN) error {
+	n := nw.nodes[asn]
+	if n == nil {
+		return fmt.Errorf("simnet: unknown AS %v", asn)
+	}
+	forged := append([]bgp.ASN(nil), suffix...)
+	nw.Engine.After(0, func() { n.originateWithPath(p, forged) })
+	return nil
+}
+
 // Withdraw schedules withdrawal of a local origination of p at asn, now.
 func (nw *Network) Withdraw(asn bgp.ASN, p prefix.Prefix) error {
 	n := nw.nodes[asn]
@@ -144,6 +161,20 @@ func (nw *Network) Withdraw(asn bgp.ASN, p prefix.Prefix) error {
 		return fmt.Errorf("simnet: unknown AS %v", asn)
 	}
 	nw.Engine.After(0, func() { n.withdrawLocal(p) })
+	return nil
+}
+
+// SetLeaking toggles route-leak mode on an AS: while leaking, the node
+// re-exports every best route to every neighbor regardless of valley-free
+// export policy — the classic "customer leaks provider routes to its other
+// provider" incident shape. Enabling re-floods the full table through the
+// now-open export; disabling withdraws the leaked routes again.
+func (nw *Network) SetLeaking(asn bgp.ASN, on bool) error {
+	n := nw.nodes[asn]
+	if n == nil {
+		return fmt.Errorf("simnet: unknown AS %v", asn)
+	}
+	nw.Engine.After(0, func() { n.setLeaking(on) })
 	return nil
 }
 
@@ -203,6 +234,7 @@ type Node struct {
 	neighbors []topo.Neighbor
 	peers     map[bgp.ASN]*peerState
 	filters   bool
+	leaks     bool
 	listeners []func(RouteChange)
 }
 
@@ -255,6 +287,31 @@ func (n *Node) originate(p prefix.Prefix) {
 	old, best, changed := n.table.Originate(p)
 	if changed {
 		n.bestChanged(p, old, best)
+	}
+}
+
+func (n *Node) originateWithPath(p prefix.Prefix, suffix []bgp.ASN) {
+	old, best, changed := n.table.OriginateWithPath(p, suffix)
+	if changed {
+		n.bestChanged(p, old, best)
+	}
+}
+
+func (n *Node) setLeaking(on bool) {
+	if n.leaks == on {
+		return
+	}
+	n.leaks = on
+	// Every selected route may change export status toward every
+	// adjacency; mark them all dirty and let flush sort out announce vs
+	// withdraw against adjOut.
+	for _, nbr := range n.neighbors {
+		ps := n.peers[nbr.ASN]
+		n.table.WalkBest(func(r *route.Route) bool {
+			ps.dirty[r.Prefix] = true
+			return true
+		})
+		n.kick(ps)
 	}
 }
 
@@ -360,7 +417,7 @@ func (n *Node) flush(ps *peerState) {
 	for _, p := range dirty {
 		delete(ps.dirty, p)
 		best, ok := n.table.Best(p)
-		shouldAnnounce := ok && route.Exportable(best, ps.nbr.Rel) && best.From != ps.nbr.ASN
+		shouldAnnounce := ok && (n.leaks || route.Exportable(best, ps.nbr.Rel)) && best.From != ps.nbr.ASN
 		if shouldAnnounce {
 			path := append([]bgp.ASN{n.asn}, best.Path...)
 			ps.adjOut[p] = path

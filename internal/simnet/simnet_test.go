@@ -382,3 +382,94 @@ func TestDeterministicRuns(t *testing.T) {
 		t.Fatalf("runs diverge: (%v,%d) vs (%v,%d)", e1, s1, e2, s2)
 	}
 }
+
+func TestAnnounceWithPathForgedOrigin(t *testing.T) {
+	// Attacker at the top of a line forges origination with the victim's
+	// ASN as the path tail (type-1 shape). Remote ASes attribute the
+	// prefix to the victim but route toward the attacker; the victim
+	// itself drops the announcement via loop detection.
+	tp := topo.Line(5, time.Millisecond)
+	nw, eng := build(t, tp, fastCfg())
+	p := prefix.MustParse("10.0.0.0/23")
+	victim := topo.FirstASN
+	attacker := topo.FirstASN + 4
+	if err := nw.AnnounceWithPath(attacker, p, []bgp.ASN{victim}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	mid := topo.FirstASN + 2
+	r, ok := nw.Node(mid).BestRoute(p)
+	if !ok {
+		t.Fatal("mid AS has no route")
+	}
+	if got := r.Origin(mid); got != victim {
+		t.Fatalf("forged origin = %v, want victim %v", got, victim)
+	}
+	var viaAttacker bool
+	for _, a := range r.Path {
+		if a == attacker {
+			viaAttacker = true
+		}
+	}
+	if !viaAttacker {
+		t.Fatalf("path %v does not traverse the attacker", r.Path)
+	}
+	// Loop detection: the victim sees its own ASN in the path and drops.
+	if _, ok := nw.Node(victim).BestRoute(p); ok {
+		t.Fatal("victim accepted a path containing its own ASN")
+	}
+	// Withdraw cleans up like any local origination.
+	nw.Withdraw(attacker, p)
+	eng.Run()
+	if _, ok := nw.Node(mid).BestRoute(p); ok {
+		t.Fatal("forged route survived withdraw")
+	}
+	if err := nw.AnnounceWithPath(9999, p, nil); err == nil {
+		t.Fatal("unknown AS accepted")
+	}
+}
+
+func TestRouteLeakCrossesPeering(t *testing.T) {
+	// Same shape as TestValleyFreeExport, but t1 leaks: the
+	// provider-originated route must now cross the t1-t2 peering, and be
+	// withdrawn again when the leak stops.
+	tp := topo.New()
+	var prov, t1, t2, stub2 bgp.ASN = 100, 10, 20, 2
+	tp.AddC2P(t1, prov, time.Millisecond)
+	tp.AddPeering(t1, t2, time.Millisecond)
+	tp.AddC2P(stub2, t2, time.Millisecond)
+
+	nw, eng := build(t, tp, fastCfg())
+	pProv := prefix.MustParse("192.0.2.0/24")
+	nw.Announce(prov, pProv)
+	eng.Run()
+	if _, ok := nw.Node(t2).BestRoute(pProv); ok {
+		t.Fatal("provider route crossed the peering before the leak")
+	}
+
+	if err := nw.SetLeaking(t1, true); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	r, ok := nw.Node(t2).BestRoute(pProv)
+	if !ok {
+		t.Fatal("leak did not export the provider route over the peering")
+	}
+	if got := r.Origin(t2); got != prov {
+		t.Fatalf("leaked route origin = %v, want %v (leaks keep the true origin)", got, prov)
+	}
+	if _, ok := nw.Node(stub2).BestRoute(pProv); !ok {
+		t.Fatal("leaked route should propagate to t2's customers")
+	}
+
+	if err := nw.SetLeaking(t1, false); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if _, ok := nw.Node(t2).BestRoute(pProv); ok {
+		t.Fatal("leaked route survived leak disable")
+	}
+	if err := nw.SetLeaking(9999, true); err == nil {
+		t.Fatal("unknown AS accepted")
+	}
+}
